@@ -1,0 +1,39 @@
+//! # stats-autotuner
+//!
+//! Design-space exploration for STATS configurations (§II-C).
+//!
+//! The STATS system drives an autotuner → back-end → profiler loop: "The
+//! autotuner chooses a configuration in this design space … The profiler
+//! executes the binary … These information are given back to the
+//! autotuner, which uses them to choose the next configuration." The
+//! original uses OpenTuner; this crate provides the equivalent ensemble of
+//! search techniques over [`stats_core::DesignSpace`]:
+//!
+//! * [`RandomSearch`] — uniform sampling of valid configurations;
+//! * [`HillClimb`] — single-dimension mutations of the best-so-far;
+//! * [`Evolutionary`] — a small population with tournament selection;
+//! * [`Annealing`] — simulated annealing with Metropolis acceptance;
+//! * [`Ensemble`] — a bandit over the above, rewarding whichever technique
+//!   recently improved the best cost (OpenTuner's AUC bandit, simplified).
+//!
+//! [`Tuner`] runs the loop against any objective (`Config -> cost`); the
+//! experiment harness plugs in the simulated runtime's makespan.
+//!
+//! ```
+//! use stats_autotuner::{Tuner, Strategy};
+//! use stats_core::DesignSpace;
+//!
+//! let space = DesignSpace::for_inputs(560, 28, false);
+//! let tuner = Tuner::new(space, 40, 7);
+//! // Toy objective: prefer many chunks, mild lookback.
+//! let report = tuner.tune(Strategy::Ensemble, |cfg| {
+//!     (60 - cfg.chunks) as f64 + cfg.lookback as f64 * 0.1
+//! });
+//! assert!(report.best.chunks >= 28);
+//! ```
+
+mod searcher;
+mod tuner;
+
+pub use searcher::{Annealing, Ensemble, Evolutionary, HillClimb, RandomSearch, Searcher};
+pub use tuner::{Strategy, Tuner, TuningReport};

@@ -1,0 +1,193 @@
+//! The autotuner drive loop (Fig. 3's autotuner → back-end → profiler).
+
+use crate::searcher::{Annealing, Ensemble, Evolutionary, HillClimb, RandomSearch, Searcher};
+use serde::{Deserialize, Serialize};
+use stats_core::{Config, DesignSpace};
+
+/// Which search technique drives the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Uniform random sampling.
+    Random,
+    /// Best-first single-dimension mutation.
+    HillClimb,
+    /// Evolutionary search.
+    Evolutionary,
+    /// Simulated annealing.
+    Annealing,
+    /// Bandit ensemble of all techniques (the default, like OpenTuner).
+    Ensemble,
+}
+
+/// The result of a tuning session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningReport {
+    /// Best configuration found.
+    pub best: Config,
+    /// Its cost.
+    pub best_cost: f64,
+    /// Every `(config, cost)` evaluated, in order (§IV-B reports 89–342
+    /// configurations per benchmark).
+    pub evaluations: Vec<(Config, f64)>,
+}
+
+impl TuningReport {
+    /// Number of configurations evaluated.
+    pub fn configurations_explored(&self) -> usize {
+        self.evaluations.len()
+    }
+
+    /// Cost trajectory: best-so-far after each evaluation.
+    pub fn convergence(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.evaluations
+            .iter()
+            .map(|(_, c)| {
+                best = best.min(*c);
+                best
+            })
+            .collect()
+    }
+}
+
+/// The autotuner: a design space, an evaluation budget, and a seed.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    space: DesignSpace,
+    budget: usize,
+    seed: u64,
+}
+
+impl Tuner {
+    /// Create a tuner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn new(space: DesignSpace, budget: usize, seed: u64) -> Self {
+        assert!(budget > 0, "need a non-zero evaluation budget");
+        Tuner {
+            space,
+            budget,
+            seed,
+        }
+    }
+
+    /// The design space being explored.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// Run the loop: propose, evaluate (`objective` returns a cost, lower
+    /// is better), feed back, repeat until the budget is exhausted. Each
+    /// distinct configuration is evaluated at most once (results are
+    /// memoized, like OpenTuner's result database).
+    pub fn tune(&self, strategy: Strategy, mut objective: impl FnMut(Config) -> f64) -> TuningReport {
+        let mut history: Vec<(Config, f64)> = Vec::new();
+        let mut searcher: Box<dyn Searcher> = match strategy {
+            Strategy::Random => Box::new(RandomSearch::new(self.seed)),
+            Strategy::HillClimb => Box::new(HillClimb::new(self.seed)),
+            Strategy::Evolutionary => Box::new(Evolutionary::new(self.seed)),
+            Strategy::Annealing => Box::new(Annealing::new(self.seed)),
+            Strategy::Ensemble => Box::new(Ensemble::new(self.seed)),
+        };
+        let mut evaluated: Vec<Config> = Vec::new();
+        let mut proposals_without_progress = 0usize;
+        while history.len() < self.budget {
+            let cfg = searcher.propose(&self.space, &history);
+            if evaluated.contains(&cfg) {
+                proposals_without_progress += 1;
+                // The space may be smaller than the budget; stop once the
+                // searcher keeps re-proposing known points.
+                if proposals_without_progress > 50 {
+                    break;
+                }
+                continue;
+            }
+            proposals_without_progress = 0;
+            let cost = objective(cfg);
+            assert!(!cost.is_nan(), "objective returned NaN for {cfg:?}");
+            evaluated.push(cfg);
+            history.push((cfg, cost));
+        }
+        let (best, best_cost) = history
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .map(|(c, v)| (*c, *v))
+            .expect("budget > 0 evaluated at least one config");
+        TuningReport {
+            best,
+            best_cost,
+            evaluations: history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> DesignSpace {
+        DesignSpace::for_inputs(560, 28, true)
+    }
+
+    fn objective(cfg: Config) -> f64 {
+        (cfg.chunks as f64 - 28.0).abs() + cfg.lookback as f64 * 0.1
+            + if cfg.combine_inner_tlp { 0.0 } else { 0.5 }
+    }
+
+    #[test]
+    fn tuner_finds_a_good_configuration() {
+        let report = Tuner::new(space(), 80, 1).tune(Strategy::Ensemble, objective);
+        assert!(report.best_cost <= 1.5, "best cost {}", report.best_cost);
+        assert_eq!(report.best.chunks, 28);
+        assert!(report.best.combine_inner_tlp);
+    }
+
+    #[test]
+    fn convergence_is_monotone() {
+        let report = Tuner::new(space(), 60, 2).tune(Strategy::Random, objective);
+        let conv = report.convergence();
+        for pair in conv.windows(2) {
+            assert!(pair[1] <= pair[0]);
+        }
+        assert_eq!(conv.len(), report.configurations_explored());
+    }
+
+    #[test]
+    fn no_config_evaluated_twice() {
+        let report = Tuner::new(space(), 120, 3).tune(Strategy::Ensemble, objective);
+        let mut seen = report.evaluations.iter().map(|(c, _)| *c).collect::<Vec<_>>();
+        let before = seen.len();
+        seen.sort_by_key(|c| (c.chunks, c.lookback, c.extra_states, c.combine_inner_tlp));
+        seen.dedup();
+        assert_eq!(seen.len(), before, "duplicate evaluations");
+    }
+
+    #[test]
+    fn budget_exceeding_space_terminates() {
+        // A tiny space with a huge budget must still terminate.
+        let tiny = DesignSpace {
+            chunk_choices: vec![1, 2],
+            lookback_choices: vec![1],
+            extra_state_choices: vec![0],
+            allow_combine: false,
+            inputs: 10,
+        };
+        let report = Tuner::new(tiny, 1_000, 4).tune(Strategy::Random, objective);
+        assert!(report.configurations_explored() <= 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Tuner::new(space(), 40, 9).tune(Strategy::Ensemble, objective);
+        let b = Tuner::new(space(), 40, 9).tune(Strategy::Ensemble, objective);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero evaluation budget")]
+    fn zero_budget_rejected() {
+        Tuner::new(space(), 0, 1);
+    }
+}

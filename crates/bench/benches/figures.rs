@@ -1,0 +1,81 @@
+//! Criterion benches: one per table/figure of the paper's evaluation.
+//!
+//! Each bench measures the end-to-end harness that regenerates the
+//! corresponding result at a reduced input scale (the full-scale tables
+//! are produced by the `--bin` targets; see EXPERIMENTS.md). Timing these
+//! pipelines keeps the reproduction honest about its own cost and catches
+//! performance regressions in the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stats_bench::pipeline::Scale;
+
+const SCALE: Scale = Scale(0.1);
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_resources", |b| {
+        b.iter(|| stats_bench::table1::compute(std::hint::black_box(SCALE)))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("fig09_speedups", |b| {
+        b.iter(|| stats_bench::fig09::compute(std::hint::black_box(SCALE)))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_loss_attribution", |b| {
+        b.iter(|| stats_bench::fig10::compute(std::hint::black_box(SCALE)))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_extra_computation", |b| {
+        b.iter(|| stats_bench::fig11::compute(std::hint::black_box(SCALE)))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12_stats_only_losses", |b| {
+        b.iter(|| stats_bench::fig12::compute(std::hint::black_box(SCALE)))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_stats_only_extra", |b| {
+        b.iter(|| stats_bench::fig13::compute(std::hint::black_box(SCALE)))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("fig14_extra_instructions", |b| {
+        b.iter(|| stats_bench::fig14::compute(std::hint::black_box(SCALE)))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("fig15_instruction_breakdown", |b| {
+        b.iter(|| stats_bench::fig15::compute(std::hint::black_box(SCALE)))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_uarch_counters", |b| {
+        b.iter(|| stats_bench::table2::compute(std::hint::black_box(Scale(0.01))))
+    });
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    c.bench_function("fig16_quality_distributions", |b| {
+        b.iter(|| stats_bench::fig16::compute(std::hint::black_box(SCALE), 4))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_table1, bench_fig09, bench_fig10, bench_fig11,
+              bench_fig12, bench_fig13, bench_fig14, bench_fig15,
+              bench_table2, bench_fig16
+}
+criterion_main!(figures);

@@ -1,0 +1,97 @@
+//! Criterion micro-benches of the workbench's substrates: cache and
+//! branch simulation, the discrete-event scheduler, the speculation
+//! semantic layer, chunk planning, and the particle filter.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stats_core::rng::StatsRng;
+use stats_core::runtime::sequential::run_sequential;
+use stats_core::speculation::run_speculative;
+use stats_core::{plan_balanced, Config};
+use stats_platform::{CostModel, Machine, TaskGraph, Topology};
+use stats_trace::{Category, Cycles, ThreadId};
+use stats_uarch::{BimodalPredictor, BranchPredictor, Cache, CacheConfig};
+use stats_workloads::particle::ParticleCloud;
+use stats_workloads::swaptions::Swaptions;
+use stats_workloads::Workload;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uarch");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("cache_access_4k", |b| {
+        let mut cache = Cache::new(CacheConfig::haswell_l1d());
+        let mut addr = 0u64;
+        b.iter(|| {
+            for _ in 0..4096 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+                cache.access(addr % (1 << 22));
+            }
+        })
+    });
+    g.bench_function("bimodal_predict_4k", |b| {
+        let mut p = BimodalPredictor::new(4096);
+        let mut x = 1u64;
+        b.iter(|| {
+            for _ in 0..4096 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                p.predict_and_train(x & 0xFFFF, x & 0x100 != 0);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    // A fork-join heavy graph: 1k tasks over 64 logical threads.
+    let mut graph = TaskGraph::new("bench");
+    let mut prev = None;
+    for i in 0..1_000usize {
+        let t = graph.task(
+            ThreadId(i % 64),
+            Category::ChunkCompute,
+            Cycles(100 + (i as u64 % 37)),
+        );
+        if let Some(p) = prev {
+            if i % 3 == 0 {
+                graph.depend(p, t);
+            }
+        }
+        prev = Some(t);
+    }
+    let machine = Machine::new(Topology::paper_machine(), CostModel::default());
+    c.bench_function("scheduler_1k_tasks", |b| {
+        b.iter(|| machine.execute(std::hint::black_box(&graph)).unwrap())
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    c.bench_function("plan_balanced_1m", |b| {
+        b.iter(|| plan_balanced(std::hint::black_box(1_000_000), 280))
+    });
+}
+
+fn bench_particle(c: &mut Criterion) {
+    c.bench_function("particle_step_128x16", |b| {
+        let mut cloud = ParticleCloud::fresh(128, 16, 1);
+        let obs = vec![0.1; 16];
+        let mut rng = StatsRng::from_seed_value(7);
+        b.iter(|| cloud.step(&obs, 0.06, 0.08, 3, &mut rng))
+    });
+}
+
+fn bench_speculation(c: &mut Criterion) {
+    let w = Swaptions::paper();
+    let inputs = w.generate_inputs(280, 1);
+    c.bench_function("speculation_swaptions_280", |b| {
+        b.iter(|| run_speculative(&w, &inputs, Config::stats_only(14, 4, 1), 42))
+    });
+    c.bench_function("sequential_swaptions_280", |b| {
+        b.iter(|| run_sequential(&w, &inputs, 42))
+    });
+}
+
+criterion_group! {
+    name = microcosts;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_cache, bench_scheduler, bench_planner, bench_particle, bench_speculation
+}
+criterion_main!(microcosts);

@@ -1,0 +1,7 @@
+//! Run every ablation study. Scale via STATS_SCALE (default 1.0).
+use stats_bench::pipeline::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", stats_bench::ablations::render(scale));
+}

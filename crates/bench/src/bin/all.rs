@@ -1,0 +1,13 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//! Scale via STATS_SCALE (default 1.0 = native); Fig. 16 runs via first arg
+//! (default 200).
+use stats_bench::pipeline::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    println!("{}", stats_bench::report::full_report(scale, runs));
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig09. Scale via STATS_SCALE (default 1.0).
+use stats_bench::pipeline::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", stats_bench::fig09::render(scale));
+    let svg = stats_bench::svg::fig09_svg(&stats_bench::fig09::compute(scale));
+    if let Some(path) = stats_bench::svg::write_if_configured("fig09", &svg) {
+        println!("(svg written to {})", path.display());
+    }
+}

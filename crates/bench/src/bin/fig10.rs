@@ -1,0 +1,14 @@
+//! Regenerate the paper's fig10. Scale via STATS_SCALE (default 1.0).
+use stats_bench::pipeline::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", stats_bench::fig10::render(scale));
+    let svg = stats_bench::svg::losses_svg(
+        "Fig. 10: % of ideal speedup lost per overhead source (Par. STATS, 28 cores)",
+        &stats_bench::fig10::compute(scale),
+    );
+    if let Some(path) = stats_bench::svg::write_if_configured("fig10", &svg) {
+        println!("(svg written to {})", path.display());
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Fig. 13. Scale via STATS_SCALE (default 1.0).
+use stats_bench::pipeline::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", stats_bench::fig13::render(scale));
+}

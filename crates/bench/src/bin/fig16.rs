@@ -1,0 +1,12 @@
+//! Regenerate the paper's Fig. 16 (200 runs by default; first CLI arg
+//! overrides the run count, STATS_SCALE the input scale).
+use stats_bench::pipeline::Scale;
+
+fn main() {
+    let runs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let scale = Scale::from_env();
+    println!("{}", stats_bench::fig16::render(scale, runs));
+}

@@ -1,0 +1,4 @@
+//! Input-size and core-count scaling sweeps (the paper's §I claims).
+fn main() {
+    println!("{}", stats_bench::scaling::render());
+}

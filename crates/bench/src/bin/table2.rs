@@ -1,0 +1,8 @@
+//! Regenerate the paper's table2. Scale via STATS_SCALE (default 1.0).
+use stats_bench::pipeline::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", stats_bench::table2::render(scale));
+    println!("{}", stats_bench::table2::render_cpi(scale));
+}

@@ -1,0 +1,160 @@
+//! Fig. 9: speedups of the three TLP configurations on 14 and 28 cores.
+//!
+//! "Original" is the out-of-the-box parallel benchmark; "Seq. STATS" uses
+//! only the TLP extracted from state dependences; "Par. STATS" combines
+//! both sources.
+
+use crate::pipeline::{geomean, run_benchmark, tuned_config, Machines, Scale, FIGURE_SEED};
+use crate::render::{f2, TextTable};
+use serde::{Deserialize, Serialize};
+use stats_core::Config;
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+/// Speedups for one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Original TLP on 14 cores.
+    pub original_14: f64,
+    /// Original TLP on 28 cores.
+    pub original_28: f64,
+    /// STATS TLP alone on 14 cores.
+    pub seq_stats_14: f64,
+    /// STATS TLP alone on 28 cores.
+    pub seq_stats_28: f64,
+    /// Combined TLP on 14 cores.
+    pub par_stats_14: f64,
+    /// Combined TLP on 28 cores.
+    pub par_stats_28: f64,
+}
+
+struct Visit {
+    scale: Scale,
+}
+
+impl WorkloadVisitor for Visit {
+    type Output = Row;
+    fn visit<W: Workload>(self, w: &W) -> Row {
+        let machines = Machines::paper();
+        let scale = self.scale;
+        let run = |machine: &stats_platform::Machine, cfg: Config| {
+            run_benchmark(w, machine, cfg, scale, FIGURE_SEED).speedup()
+        };
+        let tuned14 = tuned_config(w, 14, scale);
+        let tuned28 = tuned_config(w, 28, scale);
+        let seq14 = Config {
+            combine_inner_tlp: false,
+            ..tuned14
+        };
+        let seq28 = Config {
+            combine_inner_tlp: false,
+            ..tuned28
+        };
+        let par14 = Config {
+            combine_inner_tlp: true,
+            ..tuned14
+        };
+        let par28 = Config {
+            combine_inner_tlp: true,
+            ..tuned28
+        };
+        Row {
+            benchmark: w.name().to_string(),
+            original_14: run(&machines.cores14, Config::original_only()),
+            original_28: run(&machines.cores28, Config::original_only()),
+            seq_stats_14: run(&machines.cores14, seq14),
+            seq_stats_28: run(&machines.cores28, seq28),
+            par_stats_14: run(&machines.cores14, par14),
+            par_stats_28: run(&machines.cores28, par28),
+        }
+    }
+}
+
+/// Compute all rows plus the geomean row (last).
+pub fn compute(scale: Scale) -> Vec<Row> {
+    let mut rows: Vec<Row> = BENCHMARK_NAMES
+        .iter()
+        .map(|name| dispatch(name, Visit { scale }))
+        .collect();
+    let gm = |f: fn(&Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    rows.push(Row {
+        benchmark: "geomean".to_string(),
+        original_14: gm(|r| r.original_14),
+        original_28: gm(|r| r.original_28),
+        seq_stats_14: gm(|r| r.seq_stats_14),
+        seq_stats_28: gm(|r| r.seq_stats_28),
+        par_stats_14: gm(|r| r.par_stats_14),
+        par_stats_28: gm(|r| r.par_stats_28),
+    });
+    rows
+}
+
+/// Render the figure as a table of speedups.
+pub fn render(scale: Scale) -> String {
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "Original 14",
+        "Original 28",
+        "Seq.STATS 14",
+        "Seq.STATS 28",
+        "Par.STATS 14",
+        "Par.STATS 28",
+    ]);
+    for r in compute(scale) {
+        t.row(vec![
+            r.benchmark,
+            f2(r.original_14),
+            f2(r.original_28),
+            f2(r.seq_stats_14),
+            f2(r.seq_stats_28),
+            f2(r.par_stats_14),
+            f2(r.par_stats_28),
+        ]);
+    }
+    format!(
+        "Fig. 9: speedup over sequential execution per TLP source\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_shape_holds_at_reduced_scale() {
+        let rows = compute(Scale(0.25));
+        let gm = rows.last().unwrap();
+        // The paper's ordering: Original < Seq.STATS < Par.STATS at 28
+        // cores, and original TLP saturates (tiny gain from 14 -> 28).
+        assert!(
+            gm.seq_stats_28 > gm.original_28,
+            "STATS should beat original: {} vs {}",
+            gm.seq_stats_28,
+            gm.original_28
+        );
+        assert!(
+            gm.par_stats_28 >= gm.seq_stats_28 * 0.95,
+            "combined should be at least STATS-only: {} vs {}",
+            gm.par_stats_28,
+            gm.seq_stats_28
+        );
+        assert!(
+            gm.original_28 - gm.original_14 < 1.0,
+            "original TLP should saturate: {} -> {}",
+            gm.original_14,
+            gm.original_28
+        );
+        // STATS TLP keeps scaling with cores.
+        assert!(gm.seq_stats_28 > gm.seq_stats_14);
+    }
+
+    #[test]
+    fn sublinear_but_substantial() {
+        let rows = compute(Scale(0.25));
+        let gm = rows.last().unwrap();
+        assert!(gm.par_stats_28 > 4.0, "par stats 28: {}", gm.par_stats_28);
+        assert!(gm.par_stats_28 < 28.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Fig. 10: percentage of speedup lost per overhead source, combined TLP,
+//! 28 cores.
+
+use crate::attribution::{attribute, LossBreakdown, LossCategory};
+use crate::pipeline::{tuned_config, Machines, Scale, FIGURE_SEED};
+use crate::render::{f2, pct, TextTable};
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+struct Visit {
+    scale: Scale,
+}
+
+impl WorkloadVisitor for Visit {
+    type Output = LossBreakdown;
+    fn visit<W: Workload>(self, w: &W) -> LossBreakdown {
+        let machines = Machines::paper();
+        let cfg = tuned_config(w, 28, self.scale);
+        attribute(w, &machines.cores28, cfg, self.scale, FIGURE_SEED)
+    }
+}
+
+/// Compute the breakdown for every benchmark.
+pub fn compute(scale: Scale) -> Vec<LossBreakdown> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|name| dispatch(name, Visit { scale }))
+        .collect()
+}
+
+/// Render as a per-category table (the paper's stacked bars, columnized).
+pub fn render(scale: Scale) -> String {
+    let breakdowns = compute(scale);
+    render_breakdowns(
+        "Fig. 10: % of ideal speedup lost per overhead source (Par. STATS, 28 cores)",
+        &breakdowns,
+    )
+}
+
+/// Shared renderer for Figs. 10 and 12.
+pub fn render_breakdowns(title: &str, breakdowns: &[LossBreakdown]) -> String {
+    let mut header = vec!["Benchmark".to_string()];
+    header.extend(LossCategory::ALL.iter().map(|c| c.name().to_string()));
+    header.push("lost speedup".to_string());
+    header.push("achieved".to_string());
+    let mut t = TextTable::new(header);
+    for b in breakdowns {
+        let shares = b.normalized_percent();
+        let mut row = vec![b.benchmark.clone()];
+        for cat in LossCategory::ALL {
+            let v = shares
+                .iter()
+                .find(|(c, _)| *c == cat)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0);
+            row.push(pct(v));
+        }
+        row.push(f2(b.total_lost()));
+        row.push(format!("{}x/{}", f2(b.achieved), b.ideal as usize));
+        t.row(row);
+    }
+    let mut footer = String::from(
+        "\nspeedup points recoverable by engineering vs requiring a deeper \
+         evolution of STATS (§I):\n",
+    );
+    for b in breakdowns {
+        footer.push_str(&format!(
+            "  {:<18} engineering {:>5.2} | evolution {:>5.2}\n",
+            b.benchmark,
+            b.engineering_recoverable(),
+            b.requires_evolution()
+        ));
+    }
+    format!("{title}\n\n{}{footer}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_attributed() {
+        let rows = compute(Scale(0.15));
+        assert_eq!(rows.len(), 6);
+        for b in &rows {
+            assert!(b.achieved > 1.0, "{}: no speedup at all", b.benchmark);
+            // Every benchmark loses something to overhead (none is ideal).
+            assert!(b.total_lost() > 0.0, "{}: lossless?", b.benchmark);
+        }
+    }
+
+    #[test]
+    fn swaptions_among_the_most_linear() {
+        // The paper: "swaptions parallelized by STATS reaches linear
+        // speedup on 28 cores" — it must be among the least lossy
+        // benchmarks (the stream benchmarks converge faster under STATS,
+        // which also keeps their losses low).
+        let rows = compute(Scale(0.5));
+        let swaptions = rows.iter().find(|b| b.benchmark == "swaptions").unwrap();
+        let lossier = rows
+            .iter()
+            .filter(|b| b.total_lost() + 1e-9 < swaptions.total_lost())
+            .count();
+        assert!(
+            lossier <= 2,
+            "swaptions should rank in the top 3: {} benchmarks lose less",
+            lossier
+        );
+    }
+
+    #[test]
+    fn renders_all_loss_categories() {
+        let s = render_breakdowns("t", &compute(Scale(0.1)));
+        for cat in LossCategory::ALL {
+            assert!(s.contains(cat.name()), "missing {cat}");
+        }
+    }
+}

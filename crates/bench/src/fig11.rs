@@ -1,0 +1,157 @@
+//! Fig. 11: breakdown of the extra computation performed by the parallel
+//! binaries (combined TLP, 28 cores), in busy cycles per §III-B category.
+
+use crate::pipeline::{run_benchmark, tuned_config, Machines, Scale, FIGURE_SEED};
+use crate::render::{pct, TextTable};
+use serde::{Deserialize, Serialize};
+use stats_trace::Category;
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+/// The §III-B extra-computation components broken out by Figs. 11/13.
+pub const EXTRA_COMPONENTS: [Category; 6] = [
+    Category::AltProducer,
+    Category::OriginalStateGen,
+    Category::StateComparison,
+    Category::Setup,
+    Category::StateCopy,
+    Category::AbortedCompute,
+];
+
+/// One benchmark's extra-computation share per component (fractions of the
+/// benchmark's total extra computation; they sum to 1 unless there is no
+/// extra computation at all).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `(component, share)` pairs in [`EXTRA_COMPONENTS`] order.
+    pub shares: Vec<(Category, f64)>,
+    /// Total extra-computation cycles.
+    pub total_cycles: u64,
+}
+
+pub(crate) struct Visit {
+    pub(crate) scale: Scale,
+    pub(crate) combine: bool,
+    pub(crate) cores: usize,
+}
+
+impl WorkloadVisitor for Visit {
+    type Output = Row;
+    fn visit<W: Workload>(self, w: &W) -> Row {
+        let machines = Machines::paper();
+        let machine = if self.cores == 14 {
+            &machines.cores14
+        } else {
+            &machines.cores28
+        };
+        let mut cfg = tuned_config(w, self.cores, self.scale);
+        cfg.combine_inner_tlp = self.combine;
+        if !self.combine {
+            // STATS-only runs force one chunk per core (§V-B).
+            cfg = crate::pipeline::clamp_config(
+                stats_core::Config {
+                    chunks: self.cores,
+                    ..cfg
+                },
+                self.scale.inputs_for(w),
+            );
+        }
+        let report = run_benchmark(w, machine, cfg, self.scale, FIGURE_SEED);
+        let cycles = report.execution.trace.cycles_by_category();
+        let total: u64 = EXTRA_COMPONENTS
+            .iter()
+            .map(|c| cycles.get(c).map(|x| x.get()).unwrap_or(0))
+            .sum();
+        let shares = EXTRA_COMPONENTS
+            .iter()
+            .map(|c| {
+                let v = cycles.get(c).map(|x| x.get()).unwrap_or(0);
+                (*c, if total == 0 { 0.0 } else { v as f64 / total as f64 })
+            })
+            .collect();
+        Row {
+            benchmark: w.name().to_string(),
+            shares,
+            total_cycles: total,
+        }
+    }
+}
+
+/// Compute all rows (combined TLP, 28 cores).
+pub fn compute(scale: Scale) -> Vec<Row> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|name| {
+            dispatch(
+                name,
+                Visit {
+                    scale,
+                    combine: true,
+                    cores: 28,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Shared renderer for Figs. 11 and 13.
+pub fn render_rows(title: &str, rows: &[Row]) -> String {
+    let mut header = vec!["Benchmark".to_string()];
+    header.extend(EXTRA_COMPONENTS.iter().map(|c| c.name().to_string()));
+    let mut t = TextTable::new(header);
+    for r in rows {
+        let mut cells = vec![r.benchmark.clone()];
+        for (_, share) in &r.shares {
+            cells.push(pct(share * 100.0));
+        }
+        t.row(cells);
+    }
+    format!("{title}\n\n{}", t.render())
+}
+
+/// Render the figure.
+pub fn render(scale: Scale) -> String {
+    render_rows(
+        "Fig. 11: breakdown of extra computation (Par. STATS, 28 cores)",
+        &compute(scale),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for r in compute(Scale(0.15)) {
+            let sum: f64 = r.shares.iter().map(|(_, s)| s).sum();
+            if r.total_cycles > 0 {
+                assert!((sum - 1.0).abs() < 1e-9, "{}: shares sum {sum}", r.benchmark);
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_state_generation_is_prominent() {
+        // The paper: "The two main sources of extra computation are …
+        // generating the speculative state and the multiple original
+        // states." Across benchmarks their combined share dominates.
+        let rows = compute(Scale(0.15));
+        let mut spec_heavy = 0;
+        for r in &rows {
+            let spec: f64 = r
+                .shares
+                .iter()
+                .filter(|(c, _)| {
+                    matches!(c, Category::AltProducer | Category::OriginalStateGen)
+                })
+                .map(|(_, s)| s)
+                .sum();
+            if spec > 0.4 {
+                spec_heavy += 1;
+            }
+        }
+        assert!(spec_heavy >= 3, "only {spec_heavy} benchmarks are speculation-heavy");
+    }
+}

@@ -1,0 +1,122 @@
+//! Fig. 12: % speedup lost per overhead source when only STATS TLP is
+//! used, forced to 14 and 28 chunks on 14 and 28 cores.
+
+use crate::attribution::{attribute, LossBreakdown};
+use crate::fig10::render_breakdowns;
+use crate::pipeline::{clamp_config, tuned_config, Machines, Scale, FIGURE_SEED};
+use stats_core::Config;
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+/// Results for both core counts.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Forced 14 chunks on 14 cores.
+    pub cores14: Vec<LossBreakdown>,
+    /// Forced 28 chunks on 28 cores.
+    pub cores28: Vec<LossBreakdown>,
+}
+
+struct Visit {
+    scale: Scale,
+    cores: usize,
+}
+
+impl WorkloadVisitor for Visit {
+    type Output = LossBreakdown;
+    fn visit<W: Workload>(self, w: &W) -> LossBreakdown {
+        let machines = Machines::paper();
+        let machine = if self.cores == 14 {
+            &machines.cores14
+        } else {
+            &machines.cores28
+        };
+        // "we run STATS forcing it to create 14 and 28 STATS-threads …
+        // without using the original TLP" (§V-B).
+        let tuned = tuned_config(w, self.cores, self.scale);
+        let cfg = clamp_config(
+            Config {
+                chunks: self.cores,
+                combine_inner_tlp: false,
+                ..tuned
+            },
+            self.scale.inputs_for(w),
+        );
+        attribute(w, machine, cfg, self.scale, FIGURE_SEED)
+    }
+}
+
+/// Compute both core counts.
+pub fn compute(scale: Scale) -> Fig12 {
+    let run = |cores: usize| {
+        BENCHMARK_NAMES
+            .iter()
+            .map(|name| dispatch(name, Visit { scale, cores }))
+            .collect()
+    };
+    Fig12 {
+        cores14: run(14),
+        cores28: run(28),
+    }
+}
+
+/// Render both tables.
+pub fn render(scale: Scale) -> String {
+    let f = compute(scale);
+    format!(
+        "{}\n{}",
+        render_breakdowns(
+            "Fig. 12a: % speedup lost, STATS TLP only, 14 chunks on 14 cores",
+            &f.cores14
+        ),
+        render_breakdowns(
+            "Fig. 12b: % speedup lost, STATS TLP only, 28 chunks on 28 cores",
+            &f.cores28
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extra_computation_grows_with_stats_only_tlp() {
+        // "extracting more TLP from state dependences generates
+        // significantly more extra computation" (§V-B): forcing one chunk
+        // per core spends more cycles on the execution model than the
+        // tuned combined configuration does.
+        let scale = Scale(0.15);
+        let solo: Vec<_> = stats_workloads::BENCHMARK_NAMES
+            .iter()
+            .map(|name| {
+                stats_workloads::dispatch(
+                    name,
+                    crate::fig11::Visit {
+                        scale,
+                        combine: false,
+                        cores: 28,
+                    },
+                )
+            })
+            .collect();
+        let combined = crate::fig11::compute(scale);
+        let mut grew = 0;
+        for (s, c) in solo.iter().zip(&combined) {
+            assert_eq!(s.benchmark, c.benchmark);
+            if s.total_cycles >= c.total_cycles {
+                grew += 1;
+            }
+        }
+        assert!(grew >= 4, "extra computation grew for only {grew}/6");
+    }
+
+    #[test]
+    fn both_core_counts_cover_all_benchmarks() {
+        let f = compute(Scale(0.1));
+        assert_eq!(f.cores14.len(), 6);
+        assert_eq!(f.cores28.len(), 6);
+        for b in f.cores14.iter().chain(&f.cores28) {
+            assert!(b.achieved > 0.5, "{}: speedup {}", b.benchmark, b.achieved);
+        }
+    }
+}

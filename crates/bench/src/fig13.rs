@@ -1,0 +1,80 @@
+//! Fig. 13: breakdown of extra computation when only STATS TLP is used,
+//! at 14 and 28 chunks.
+
+use crate::fig11::{render_rows, Row, Visit};
+use crate::pipeline::Scale;
+use stats_workloads::{dispatch, BENCHMARK_NAMES};
+
+/// Results at both chunk counts.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// 14 chunks on 14 cores.
+    pub chunks14: Vec<Row>,
+    /// 28 chunks on 28 cores.
+    pub chunks28: Vec<Row>,
+}
+
+/// Compute both chunk counts.
+pub fn compute(scale: Scale) -> Fig13 {
+    let run = |cores: usize| {
+        BENCHMARK_NAMES
+            .iter()
+            .map(|name| {
+                dispatch(
+                    name,
+                    Visit {
+                        scale,
+                        combine: false,
+                        cores,
+                    },
+                )
+            })
+            .collect()
+    };
+    Fig13 {
+        chunks14: run(14),
+        chunks28: run(28),
+    }
+}
+
+/// Render both tables.
+pub fn render(scale: Scale) -> String {
+    let f = compute(scale);
+    format!(
+        "{}\n{}",
+        render_rows(
+            "Fig. 13a: extra-computation breakdown, STATS only, 14 chunks",
+            &f.chunks14
+        ),
+        render_rows(
+            "Fig. 13b: extra-computation breakdown, STATS only, 28 chunks",
+            &f.chunks28
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_chunks_more_extra_cycles() {
+        let f = compute(Scale(0.15));
+        let mut grew = 0;
+        for (a, b) in f.chunks14.iter().zip(&f.chunks28) {
+            assert_eq!(a.benchmark, b.benchmark);
+            if b.total_cycles >= a.total_cycles {
+                grew += 1;
+            }
+        }
+        // 28 chunks need more alt producers/replicas than 14 chunks.
+        assert!(grew >= 4, "extra computation grew for only {grew}/6");
+    }
+
+    #[test]
+    fn rows_cover_every_benchmark() {
+        let f = compute(Scale(0.1));
+        assert_eq!(f.chunks14.len(), 6);
+        assert_eq!(f.chunks28.len(), 6);
+    }
+}

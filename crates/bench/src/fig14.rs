@@ -1,0 +1,110 @@
+//! Fig. 14: extra instructions executed by the STATS binaries versus their
+//! sequential baselines, on 28 cores.
+
+use crate::pipeline::{run_benchmark, tuned_config, Machines, Scale, FIGURE_SEED};
+use crate::render::{pct, TextTable};
+use serde::{Deserialize, Serialize};
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+/// One benchmark's instruction accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Instructions of the STATS parallel execution.
+    pub stats_instructions: u64,
+    /// Instructions of the sequential baseline.
+    pub baseline_instructions: u64,
+    /// Extra instructions as a percentage (negative = fewer than
+    /// baseline, the stream benchmarks' behaviour).
+    pub extra_percent: f64,
+}
+
+struct Visit {
+    scale: Scale,
+}
+
+impl WorkloadVisitor for Visit {
+    type Output = Row;
+    fn visit<W: Workload>(self, w: &W) -> Row {
+        let machines = Machines::paper();
+        let cfg = tuned_config(w, 28, self.scale);
+        let report = run_benchmark(w, &machines.cores28, cfg, self.scale, FIGURE_SEED);
+        Row {
+            benchmark: w.name().to_string(),
+            stats_instructions: report.execution.trace.total_instructions(),
+            baseline_instructions: report.sequential_instructions,
+            extra_percent: report.extra_instruction_percent(),
+        }
+    }
+}
+
+/// Compute all rows.
+pub fn compute(scale: Scale) -> Vec<Row> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|name| dispatch(name, Visit { scale }))
+        .collect()
+}
+
+/// Render the figure.
+pub fn render(scale: Scale) -> String {
+    let mut t = TextTable::new(vec!["Benchmark", "Extra instructions vs. baseline"]);
+    for r in compute(scale) {
+        t.row(vec![r.benchmark, pct(r.extra_percent)]);
+    }
+    format!(
+        "Fig. 14: extra instructions executed by STATS binaries (28 cores)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trackers_execute_more_streams_execute_less() {
+        // Native scale: the effect sizes only manifest at the paper's
+        // input scaling (§IV-C).
+        let rows = compute(Scale::NATIVE);
+        let get = |n: &str| rows.iter().find(|r| r.benchmark == n).unwrap();
+        // The paper: bodytrack +107.4%, facedet-and-track +43.8%;
+        // streamclassifier and streamcluster execute *fewer* instructions.
+        assert!(
+            get("bodytrack").extra_percent > 25.0,
+            "bodytrack: {}",
+            get("bodytrack").extra_percent
+        );
+        assert!(
+            get("facedet-and-track").extra_percent > 8.0,
+            "facedet: {}",
+            get("facedet-and-track").extra_percent
+        );
+        assert!(
+            get("streamcluster").extra_percent < 0.0,
+            "streamcluster should execute fewer instructions: {}",
+            get("streamcluster").extra_percent
+        );
+        assert!(
+            get("streamclassifier").extra_percent < 0.0,
+            "streamclassifier should execute fewer instructions: {}",
+            get("streamclassifier").extra_percent
+        );
+    }
+
+    #[test]
+    fn bodytrack_is_the_heaviest() {
+        let rows = compute(Scale::NATIVE);
+        let body = rows.iter().find(|r| r.benchmark == "bodytrack").unwrap();
+        for r in &rows {
+            assert!(
+                body.extra_percent >= r.extra_percent - 1e-9,
+                "bodytrack ({:.1}%) should top {} ({:.1}%)",
+                body.extra_percent,
+                r.benchmark,
+                r.extra_percent
+            );
+        }
+    }
+}

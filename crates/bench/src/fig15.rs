@@ -1,0 +1,153 @@
+//! Fig. 15: breakdown of the extra instructions added by STATS, per
+//! §III-B component (28 cores).
+
+use crate::fig11::EXTRA_COMPONENTS;
+use crate::pipeline::{run_benchmark, tuned_config, Machines, Scale, FIGURE_SEED};
+use crate::render::{pct, TextTable};
+use serde::{Deserialize, Serialize};
+use stats_trace::{Category, InstructionBreakdown};
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+/// One benchmark's extra-instruction shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `(component, share-of-extra-instructions)` in
+    /// [`EXTRA_COMPONENTS`] order, plus runtime sync.
+    pub shares: Vec<(Category, f64)>,
+    /// Total overhead instructions.
+    pub total: u64,
+}
+
+/// Components reported by Fig. 15 (the §III-B set plus runtime sync).
+pub fn components() -> Vec<Category> {
+    let mut v = EXTRA_COMPONENTS.to_vec();
+    v.push(Category::Sync);
+    v
+}
+
+struct Visit {
+    scale: Scale,
+}
+
+impl WorkloadVisitor for Visit {
+    type Output = Row;
+    fn visit<W: Workload>(self, w: &W) -> Row {
+        let machines = Machines::paper();
+        let cfg = tuned_config(w, 28, self.scale);
+        let report = run_benchmark(w, &machines.cores28, cfg, self.scale, FIGURE_SEED);
+        let ib = InstructionBreakdown::from_trace(&report.execution.trace);
+        let comps = components();
+        let total: u64 = comps.iter().map(|c| ib.get(*c)).sum();
+        let shares = comps
+            .iter()
+            .map(|c| {
+                (
+                    *c,
+                    if total == 0 {
+                        0.0
+                    } else {
+                        ib.get(*c) as f64 / total as f64
+                    },
+                )
+            })
+            .collect();
+        Row {
+            benchmark: w.name().to_string(),
+            shares,
+            total,
+        }
+    }
+}
+
+/// Compute all rows.
+pub fn compute(scale: Scale) -> Vec<Row> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|name| dispatch(name, Visit { scale }))
+        .collect()
+}
+
+/// Render the figure.
+pub fn render(scale: Scale) -> String {
+    let mut header = vec!["Benchmark".to_string()];
+    header.extend(components().iter().map(|c| c.name().to_string()));
+    let mut t = TextTable::new(header);
+    for r in compute(scale) {
+        let mut cells = vec![r.benchmark.clone()];
+        for (_, s) in &r.shares {
+            cells.push(pct(s * 100.0));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Fig. 15: breakdown of extra instructions added by STATS (28 cores)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copying_and_speculation_dominate() {
+        // The paper: "Most of the extra instructions added by STATS are
+        // executed to copy computational states and to generate
+        // speculative states."
+        let rows = compute(Scale(0.2));
+        let mut dominated = 0;
+        for r in &rows {
+            let main: f64 = r
+                .shares
+                .iter()
+                .filter(|(c, _)| {
+                    matches!(
+                        c,
+                        Category::StateCopy | Category::AltProducer | Category::OriginalStateGen
+                    )
+                })
+                .map(|(_, s)| s)
+                .sum();
+            if main > 0.5 {
+                dominated += 1;
+            }
+        }
+        assert!(dominated >= 4, "only {dominated}/6 dominated by copy+spec");
+    }
+
+    #[test]
+    fn bodytrack_state_copies_are_visible() {
+        // 500 KB states vs 24 B states: bodytrack's absolute copy
+        // instructions must dwarf swaptions' even though swaptions copies
+        // states at more chunk boundaries.
+        let rows = compute(Scale(0.2));
+        let abs_copy = |name: &str| {
+            let r = rows.iter().find(|r| r.benchmark == name).unwrap();
+            let share = r
+                .shares
+                .iter()
+                .find(|(c, _)| *c == Category::StateCopy)
+                .unwrap()
+                .1;
+            share * r.total as f64
+        };
+        assert!(
+            abs_copy("bodytrack") > 20.0 * abs_copy("swaptions"),
+            "bodytrack {} vs swaptions {}",
+            abs_copy("bodytrack"),
+            abs_copy("swaptions")
+        );
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for r in compute(Scale(0.1)) {
+            if r.total > 0 {
+                let sum: f64 = r.shares.iter().map(|(_, s)| s).sum();
+                assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", r.benchmark);
+            }
+        }
+    }
+}

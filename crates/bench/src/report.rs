@@ -1,0 +1,50 @@
+//! One-call assembly of the full experiment suite (what `--bin all`
+//! prints).
+
+use crate::pipeline::Scale;
+
+/// Render every table and figure, in the paper's order, plus the derived
+/// CPI view. `fig16_runs` controls Fig. 16's repetition count.
+pub fn full_report(scale: Scale, fig16_runs: usize) -> String {
+    let sections = [
+        crate::table1::render(scale),
+        crate::fig09::render(scale),
+        crate::fig10::render(scale),
+        crate::fig11::render(scale),
+        crate::fig12::render(scale),
+        crate::fig13::render(scale),
+        crate::fig14::render(scale),
+        crate::fig15::render(scale),
+        crate::table2::render(scale),
+        crate::table2::render_cpi(scale),
+        crate::fig16::render(scale, fig16_runs),
+    ];
+    sections.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_report_contains_every_section() {
+        let report = full_report(Scale(0.05), 3);
+        for needle in [
+            "Table I:",
+            "Fig. 9:",
+            "Fig. 10:",
+            "Fig. 11:",
+            "Fig. 12a:",
+            "Fig. 12b:",
+            "Fig. 13a:",
+            "Fig. 13b:",
+            "Fig. 14:",
+            "Fig. 15:",
+            "Table II:",
+            "Table II (derived):",
+            "Fig. 16:",
+        ] {
+            assert!(report.contains(needle), "missing section {needle}");
+        }
+    }
+}

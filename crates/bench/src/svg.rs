@@ -1,0 +1,296 @@
+//! Minimal SVG rendering of the figures — grouped bars for Fig. 9 and
+//! stacked bars for Figs. 10/12 — with no chart dependencies.
+//!
+//! The binaries accept `STATS_SVG_DIR=<dir>` to drop `.svg` files next to
+//! their textual tables; the files open in any browser.
+
+use crate::attribution::{LossBreakdown, LossCategory};
+use crate::fig09;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 960.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_LEFT: f64 = 60.0;
+const MARGIN_BOTTOM: f64 = 90.0;
+const MARGIN_TOP: f64 = 40.0;
+
+/// Colors for grouped series (Fig. 9's black/grey/red bars).
+const SERIES_COLORS: [&str; 6] = [
+    "#222222", "#888888", "#c0392b", "#2980b9", "#27ae60", "#8e44ad",
+];
+
+/// Colors for the ten loss categories, in [`LossCategory::ALL`] order.
+const LOSS_COLORS: [&str; 10] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+    "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+];
+
+fn svg_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         font-family=\"sans-serif\" font-size=\"11\">\n\
+         <text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+        WIDTH / 2.0,
+        svg_escape(title)
+    )
+}
+
+/// Render grouped bars: one group per label, one bar per series.
+///
+/// `data[group].1[series]` is the bar height in data units.
+pub fn grouped_bars(
+    title: &str,
+    series_names: &[&str],
+    data: &[(String, Vec<f64>)],
+    y_label: &str,
+) -> String {
+    let mut out = svg_header(title);
+    let max = data
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(1e-9, f64::max);
+    let plot_w = WIDTH - MARGIN_LEFT - 20.0;
+    let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+    let group_w = plot_w / data.len() as f64;
+    let bar_w = (group_w * 0.8) / series_names.len() as f64;
+
+    // Y axis with 4 gridlines.
+    for i in 0..=4 {
+        let v = max * i as f64 / 4.0;
+        let y = MARGIN_TOP + plot_h * (1.0 - i as f64 / 4.0);
+        let _ = writeln!(
+            out,
+            "<line x1=\"{MARGIN_LEFT}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{v:.1}</text>",
+            WIDTH - 20.0,
+            MARGIN_LEFT - 6.0,
+            y + 4.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "<text x=\"14\" y=\"{:.1}\" transform=\"rotate(-90 14 {:.1})\" text-anchor=\"middle\">{}</text>",
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        svg_escape(y_label)
+    );
+
+    for (g, (label, values)) in data.iter().enumerate() {
+        let gx = MARGIN_LEFT + g as f64 * group_w + group_w * 0.1;
+        for (si, v) in values.iter().enumerate() {
+            let h = plot_h * (v / max);
+            let x = gx + si as f64 * bar_w;
+            let y = MARGIN_TOP + plot_h - h;
+            let color = SERIES_COLORS[si % SERIES_COLORS.len()];
+            let _ = writeln!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.1}\" height=\"{h:.1}\" fill=\"{color}\">\
+                 <title>{}: {} = {v:.2}</title></rect>",
+                bar_w * 0.92,
+                svg_escape(label),
+                svg_escape(series_names[si]),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" \
+             transform=\"rotate(-35 {:.1} {:.1})\">{}</text>",
+            gx + group_w * 0.4,
+            HEIGHT - MARGIN_BOTTOM + 16.0,
+            gx + group_w * 0.4,
+            HEIGHT - MARGIN_BOTTOM + 16.0,
+            svg_escape(label)
+        );
+    }
+
+    // Legend.
+    for (si, name) in series_names.iter().enumerate() {
+        let x = MARGIN_LEFT + si as f64 * 140.0;
+        let y = HEIGHT - 16.0;
+        let color = SERIES_COLORS[si % SERIES_COLORS.len()];
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x:.1}\" y=\"{:.1}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\
+             <text x=\"{:.1}\" y=\"{y:.1}\">{}</text>",
+            y - 10.0,
+            x + 16.0,
+            svg_escape(name)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render Fig. 9 as grouped bars.
+pub fn fig09_svg(rows: &[fig09::Row]) -> String {
+    let series = [
+        "Original 14",
+        "Original 28",
+        "Seq.STATS 14",
+        "Seq.STATS 28",
+        "Par.STATS 14",
+        "Par.STATS 28",
+    ];
+    let data: Vec<(String, Vec<f64>)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.benchmark.clone(),
+                vec![
+                    r.original_14,
+                    r.original_28,
+                    r.seq_stats_14,
+                    r.seq_stats_28,
+                    r.par_stats_14,
+                    r.par_stats_28,
+                ],
+            )
+        })
+        .collect();
+    grouped_bars(
+        "Fig. 9: speedup over sequential execution per TLP source",
+        &series,
+        &data,
+        "speedup (x)",
+    )
+}
+
+/// Render Fig. 10/12-style loss breakdowns as stacked bars (percent of
+/// ideal speedup lost, stacked by category).
+pub fn losses_svg(title: &str, breakdowns: &[LossBreakdown]) -> String {
+    let mut out = svg_header(title);
+    let plot_w = WIDTH - MARGIN_LEFT - 20.0;
+    let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+    let max = breakdowns
+        .iter()
+        .map(|b| b.total_lost_percent())
+        .fold(1e-9, f64::max)
+        .max(10.0);
+    let group_w = plot_w / breakdowns.len() as f64;
+
+    for (g, b) in breakdowns.iter().enumerate() {
+        let x = MARGIN_LEFT + g as f64 * group_w + group_w * 0.18;
+        let bar_w = group_w * 0.55;
+        let mut y = MARGIN_TOP + plot_h;
+        for (ci, cat) in LossCategory::ALL.iter().enumerate() {
+            let pct = b
+                .normalized_percent()
+                .iter()
+                .find(|(c, _)| c == cat)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0);
+            let h = plot_h * (pct / max);
+            if h <= 0.0 {
+                continue;
+            }
+            y -= h;
+            let _ = writeln!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" \
+                 fill=\"{}\"><title>{}: {} = {pct:.1}%</title></rect>",
+                LOSS_COLORS[ci],
+                svg_escape(&b.benchmark),
+                cat.name(),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{:.1}</text>",
+            x + bar_w / 2.0,
+            y - 4.0,
+            b.total_lost()
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" \
+             transform=\"rotate(-35 {:.1} {:.1})\">{}</text>",
+            x + bar_w / 2.0,
+            HEIGHT - MARGIN_BOTTOM + 16.0,
+            x + bar_w / 2.0,
+            HEIGHT - MARGIN_BOTTOM + 16.0,
+            svg_escape(&b.benchmark)
+        );
+    }
+    // Legend, two rows.
+    for (ci, cat) in LossCategory::ALL.iter().enumerate() {
+        let x = MARGIN_LEFT + (ci % 5) as f64 * 170.0;
+        let y = HEIGHT - 30.0 + (ci / 5) as f64 * 16.0;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+            y - 9.0,
+            LOSS_COLORS[ci],
+            x + 14.0,
+            y,
+            cat.name()
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Write an SVG to `$STATS_SVG_DIR/<name>.svg` if the env var is set;
+/// returns the path written.
+pub fn write_if_configured(name: &str, svg: &str) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("STATS_SVG_DIR")?;
+    let path = std::path::Path::new(&dir).join(format!("{name}.svg"));
+    std::fs::write(&path, svg).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Scale;
+
+    #[test]
+    fn grouped_bars_emit_one_rect_per_value() {
+        let data = vec![
+            ("a".to_string(), vec![1.0, 2.0]),
+            ("b".to_string(), vec![3.0, 4.0]),
+        ];
+        let svg = grouped_bars("t", &["s1", "s2"], &data, "y");
+        // 4 data rects + 2 legend rects.
+        assert_eq!(svg.matches("<rect").count(), 6);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn fig09_svg_covers_all_benchmarks() {
+        let rows = crate::fig09::compute(Scale(0.08));
+        let svg = fig09_svg(&rows);
+        for r in &rows {
+            assert!(svg.contains(&r.benchmark), "missing {}", r.benchmark);
+        }
+        // 7 groups x 6 series data rects + 6 legend rects.
+        assert_eq!(svg.matches("<rect").count(), 7 * 6 + 6);
+    }
+
+    #[test]
+    fn losses_svg_is_well_formed() {
+        let breakdowns = crate::fig10::compute(Scale(0.08));
+        let svg = losses_svg("test", &breakdowns);
+        assert!(svg.contains("</svg>"));
+        let opens = svg.matches("<rect").count();
+        let closes = svg.matches("</rect>").count() + svg.matches("/>").count();
+        assert!(opens <= closes, "unclosed rects");
+        for b in &breakdowns {
+            assert!(svg.contains(&b.benchmark));
+        }
+    }
+
+    #[test]
+    fn escaping_prevents_markup_injection() {
+        let data = vec![("<evil> & co".to_string(), vec![1.0])];
+        let svg = grouped_bars("a <b> title", &["s"], &data, "y");
+        assert!(!svg.contains("<evil>"));
+        assert!(svg.contains("&lt;evil&gt;"));
+        assert!(svg.contains("&amp; co"));
+    }
+}

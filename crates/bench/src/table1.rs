@@ -1,0 +1,109 @@
+//! Table I: threads, states, and state sizes the STATS runtime creates.
+
+use crate::pipeline::{tuned_config, Scale};
+use crate::render::TextTable;
+use serde::{Deserialize, Serialize};
+use stats_core::runtime::simulated::effective_width;
+use stats_core::ResourceAccounting;
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Logical threads created on 28 cores.
+    pub threads: usize,
+    /// Computational states allocated.
+    pub states: usize,
+    /// Bytes per state.
+    pub state_bytes: usize,
+}
+
+struct Visit {
+    scale: Scale,
+}
+
+impl WorkloadVisitor for Visit {
+    type Output = Row;
+    fn visit<W: Workload>(self, w: &W) -> Row {
+        let cfg = tuned_config(w, 28, self.scale);
+        let width = effective_width(&cfg, &w.inner_parallelism(), 28);
+        let acc = ResourceAccounting::for_config(&cfg, w.state_bytes(), width);
+        Row {
+            benchmark: w.name().to_string(),
+            threads: acc.threads,
+            states: acc.states,
+            state_bytes: acc.state_bytes,
+        }
+    }
+}
+
+/// Compute all rows at the given input scale.
+pub fn compute(scale: Scale) -> Vec<Row> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|name| dispatch(name, Visit { scale }))
+        .collect()
+}
+
+/// Render the table as text.
+pub fn render(scale: Scale) -> String {
+    let mut t = TextTable::new(vec!["Benchmark", "#Threads", "#States", "State size [Bytes]"]);
+    for r in compute(scale) {
+        t.row(vec![
+            r.benchmark,
+            r.threads.to_string(),
+            r.states.to_string(),
+            r.state_bytes.to_string(),
+        ]);
+    }
+    format!("Table I: resources created by STATS on 28 cores\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_benchmarks() {
+        let rows = compute(Scale::NATIVE);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.threads > 1, "{}: no threads", r.benchmark);
+            assert!(r.states > 1);
+        }
+    }
+
+    #[test]
+    fn state_sizes_match_paper() {
+        let rows = compute(Scale::NATIVE);
+        let get = |n: &str| rows.iter().find(|r| r.benchmark == n).unwrap();
+        assert_eq!(get("swaptions").state_bytes, 24);
+        assert_eq!(get("streamcluster").state_bytes, 104);
+        assert_eq!(get("streamclassifier").state_bytes, 104);
+        assert_eq!(get("bodytrack").state_bytes, 500_000);
+        assert_eq!(get("facetrack").state_bytes, 8_000);
+        assert_eq!(get("facedet-and-track").state_bytes, 8_000);
+    }
+
+    #[test]
+    fn thread_counts_exceed_cores_except_small_configs() {
+        // The paper: "the number of threads created is greater than the
+        // number of cores … the only exception is facedet-and-track"
+        // (in ours, the low-chunk trackers are the exceptions).
+        let rows = compute(Scale::NATIVE);
+        let sc = rows.iter().find(|r| r.benchmark == "streamcluster").unwrap();
+        assert!(sc.threads > 100, "streamcluster should oversubscribe: {}", sc.threads);
+        let ft = rows.iter().find(|r| r.benchmark == "facetrack").unwrap();
+        assert!(ft.threads < 60);
+    }
+
+    #[test]
+    fn render_contains_every_benchmark() {
+        let s = render(Scale(0.2));
+        for name in BENCHMARK_NAMES {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The STATS developer interface: explicit state dependences.
+
+use crate::rng::StatsRng;
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// The cost of one state update, reported by the workload.
+///
+/// The workbench keeps computation *real* (states and outputs are genuinely
+/// computed) but time *virtual*: each update tells the platform how many
+/// abstract work units (≈ cycles) and committed instructions it represents.
+/// Workloads derive these deterministically from the work they actually did
+/// (e.g. particles × cameras × annealing layers), so costs vary per input
+/// exactly like real latencies do — which is what creates computation
+/// imbalance (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UpdateCost {
+    /// Abstract work units; the platform cost model converts them to
+    /// cycles.
+    pub work: u64,
+    /// Committed instructions (the paper's Fig. 14 accounting).
+    pub instructions: u64,
+}
+
+impl UpdateCost {
+    /// A cost with the given work and a default instruction estimate
+    /// (2 instructions retired per cycle, a typical Haswell IPC).
+    pub fn with_work(work: u64) -> Self {
+        UpdateCost {
+            work,
+            instructions: work * 2,
+        }
+    }
+
+    /// A fully specified cost.
+    pub fn new(work: u64, instructions: u64) -> Self {
+        UpdateCost { work, instructions }
+    }
+}
+
+impl Add for UpdateCost {
+    type Output = UpdateCost;
+    fn add(self, rhs: UpdateCost) -> UpdateCost {
+        UpdateCost {
+            work: self.work + rhs.work,
+            instructions: self.instructions + rhs.instructions,
+        }
+    }
+}
+
+/// A program's state dependence, made explicit for STATS (§II-A).
+///
+/// This trait is the library-level equivalent of the paper's language
+/// extension: the developer identifies the computational state, the update
+/// function that advances it per input, and an application-specific
+/// acceptance predicate used by the runtime to validate speculation.
+///
+/// # The short memory property
+///
+/// For STATS to extract parallelism, `update` must have *short memory*:
+/// starting from [`fresh_state`](StateDependence::fresh_state) and
+/// processing the `k` inputs preceding position `i` must yield a state that
+/// [`states_match`](StateDependence::states_match) accepts against the
+/// state of a full sequential run, for some modest `k`. Workloads with long
+/// memory simply mispeculate and fall back to serialized re-execution —
+/// semantics are preserved either way (§II-B).
+///
+/// # Nondeterminism
+///
+/// `update` receives a [`StatsRng`]; all randomness must come from it.
+/// Every logical role in the execution model gets an independent stream,
+/// so commit/abort decisions depend only on the run's master seed, never
+/// on scheduling.
+pub trait StateDependence {
+    /// The computational state threaded through the dependence chain.
+    type State: Clone + Send + 'static;
+    /// One element of the input stream.
+    type Input: Sync;
+    /// The per-input output.
+    type Output: Send + 'static;
+
+    /// The state a computation starts from (also used by alternative
+    /// producers, which exploit short memory by starting fresh).
+    fn fresh_state(&self) -> Self::State;
+
+    /// Advance `state` by one input, producing the input's output and the
+    /// cost of doing so.
+    fn update(
+        &self,
+        state: &mut Self::State,
+        input: &Self::Input,
+        rng: &mut StatsRng,
+    ) -> (Self::Output, UpdateCost);
+
+    /// Whether two states are interchangeable under the program's output
+    /// quality requirements: the runtime commits a speculative state iff it
+    /// matches one of the sampled original states (§II-B).
+    fn states_match(&self, a: &Self::State, b: &Self::State) -> bool;
+
+    /// Size of one serialized state in bytes (drives copy/compare costs;
+    /// the paper's Table I column "State size").
+    fn state_bytes(&self) -> usize;
+
+    /// Work units of program code before and after the STATS region
+    /// (§III-D "Sequential code"). Defaults to none.
+    fn outside_region_work(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Number of synchronized runtime handoffs per update (input/output
+    /// list operations, pipeline stage signals). Pipelined programs like
+    /// `facedet-and-track` pay several per frame; simple streams pay one.
+    /// Drives the §III-C synchronization overhead.
+    fn sync_ops_per_update(&self) -> u64 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The doctest workload from the crate root, reused across unit tests.
+    pub struct NoisyAverage;
+
+    impl StateDependence for NoisyAverage {
+        type State = f64;
+        type Input = f64;
+        type Output = f64;
+
+        fn fresh_state(&self) -> f64 {
+            0.0
+        }
+
+        fn update(&self, state: &mut f64, input: &f64, rng: &mut StatsRng) -> (f64, UpdateCost) {
+            *state = 0.5 * *state + 0.5 * (*input + rng.noise(0.01));
+            (*state, UpdateCost::with_work(100))
+        }
+
+        fn states_match(&self, a: &f64, b: &f64) -> bool {
+            (a - b).abs() < 0.1
+        }
+
+        fn state_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn update_cost_arithmetic() {
+        let a = UpdateCost::with_work(100);
+        assert_eq!(a.instructions, 200);
+        let b = UpdateCost::new(50, 10);
+        let c = a + b;
+        assert_eq!(c.work, 150);
+        assert_eq!(c.instructions, 210);
+    }
+
+    #[test]
+    fn noisy_average_has_short_memory() {
+        let w = NoisyAverage;
+        let inputs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        // Full run.
+        let mut full = w.fresh_state();
+        let mut rng = StatsRng::from_seed_value(1);
+        for inp in &inputs {
+            w.update(&mut full, inp, &mut rng);
+        }
+        // Lookback-only run over the last k inputs.
+        let k = 20;
+        let mut short = w.fresh_state();
+        let mut rng2 = StatsRng::from_seed_value(2);
+        for inp in &inputs[inputs.len() - k..] {
+            w.update(&mut short, inp, &mut rng2);
+        }
+        assert!(
+            w.states_match(&full, &short),
+            "short-memory property violated: {full} vs {short}"
+        );
+    }
+
+    #[test]
+    fn default_outside_region_is_zero() {
+        assert_eq!(NoisyAverage.outside_region_work(), (0, 0));
+    }
+}

@@ -1,0 +1,204 @@
+//! Chunk planning: splitting the input stream across STATS threads.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A partition of `0..inputs` into consecutive, non-empty chunks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkPlan {
+    ranges: Vec<Range<usize>>,
+}
+
+impl ChunkPlan {
+    /// Build a plan from consecutive ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are not a contiguous, gap-free, non-empty
+    /// cover starting at 0.
+    pub fn from_ranges(ranges: Vec<Range<usize>>) -> Self {
+        assert!(!ranges.is_empty(), "a plan needs at least one chunk");
+        let mut expect = 0;
+        for r in &ranges {
+            assert_eq!(r.start, expect, "chunks must be contiguous");
+            assert!(r.end > r.start, "chunks must be non-empty");
+            expect = r.end;
+        }
+        ChunkPlan { ranges }
+    }
+
+    /// The chunk ranges, in stream order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the plan is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total inputs covered.
+    pub fn inputs(&self) -> usize {
+        self.ranges.last().map(|r| r.end).unwrap_or(0)
+    }
+
+    /// The range of chunk `i`.
+    pub fn chunk(&self, i: usize) -> Range<usize> {
+        self.ranges[i].clone()
+    }
+}
+
+/// Split `inputs` into `chunks` balanced consecutive ranges (sizes differ
+/// by at most one; earlier chunks take the remainder).
+///
+/// # Panics
+///
+/// Panics if `chunks` is zero or exceeds `inputs`.
+///
+/// ```
+/// use stats_core::plan_balanced;
+/// let plan = plan_balanced(10, 3);
+/// assert_eq!(plan.ranges(), &[0..4, 4..7, 7..10]);
+/// ```
+pub fn plan_balanced(inputs: usize, chunks: usize) -> ChunkPlan {
+    assert!(chunks > 0, "need at least one chunk");
+    assert!(chunks <= inputs, "more chunks ({chunks}) than inputs ({inputs})");
+    let base = inputs / chunks;
+    let remainder = inputs % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < remainder);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ChunkPlan::from_ranges(ranges)
+}
+
+/// Split `inputs` into `chunks` ranges whose total *weight* is balanced,
+/// given a per-input weight function (e.g. a profile of per-input cost).
+///
+/// Uses a greedy scan that closes a chunk once it reaches the average
+/// weight, guaranteeing every chunk is non-empty.
+///
+/// ```
+/// use stats_core::plan_weighted;
+/// // The first half of the stream is 9x as expensive: the work-balanced
+/// // plan gives the cheap half many more inputs.
+/// let plan = plan_weighted(100, 2, |i| if i < 50 { 9 } else { 1 });
+/// assert!(plan.chunk(0).len() < plan.chunk(1).len());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `chunks` is zero or exceeds `inputs`.
+pub fn plan_weighted(inputs: usize, chunks: usize, weight: impl Fn(usize) -> u64) -> ChunkPlan {
+    assert!(chunks > 0, "need at least one chunk");
+    assert!(chunks <= inputs, "more chunks ({chunks}) than inputs ({inputs})");
+    let total: u64 = (0..inputs).map(&weight).sum();
+    let target = total as f64 / chunks as f64;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    let mut acc = 0u64;
+    for i in 0..inputs {
+        acc += weight(i);
+        let remaining_chunks = chunks - ranges.len();
+        let remaining_inputs = inputs - i - 1;
+        // Close the chunk at the weight target, but keep enough inputs for
+        // the chunks still to be formed.
+        let must_close = remaining_inputs < remaining_chunks;
+        let reached = (acc as f64) >= target * (ranges.len() + 1) as f64;
+        if ranges.len() + 1 < chunks && (reached || must_close) && i + 1 > start {
+            ranges.push(start..i + 1);
+            start = i + 1;
+        }
+    }
+    ranges.push(start..inputs);
+    ChunkPlan::from_ranges(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_partitions_exactly() {
+        for inputs in [1, 7, 28, 100, 1_001] {
+            for chunks in [1, 2, 3, 7] {
+                if chunks > inputs {
+                    continue;
+                }
+                let plan = plan_balanced(inputs, chunks);
+                assert_eq!(plan.len(), chunks);
+                assert_eq!(plan.inputs(), inputs);
+                let sizes: Vec<_> = plan.ranges().iter().map(|r| r.len()).collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_covers_all() {
+        let plan = plan_balanced(42, 1);
+        assert_eq!(plan.ranges(), &[0..42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more chunks")]
+    fn balanced_rejects_excess_chunks() {
+        plan_balanced(3, 4);
+    }
+
+    #[test]
+    fn weighted_balances_skewed_costs() {
+        // First 50 inputs cost 1, last 50 cost 9.
+        let weight = |i: usize| if i < 50 { 1 } else { 9 };
+        let plan = plan_weighted(100, 2, weight);
+        assert_eq!(plan.len(), 2);
+        let w0: u64 = plan.chunk(0).map(weight).sum();
+        let w1: u64 = plan.chunk(1).map(weight).sum();
+        let imbalance = (w0 as f64 - w1 as f64).abs() / (w0 + w1) as f64;
+        assert!(imbalance < 0.1, "weights {w0} vs {w1}");
+        // The first chunk must be longer in input count.
+        assert!(plan.chunk(0).len() > plan.chunk(1).len());
+    }
+
+    #[test]
+    fn weighted_with_uniform_weights_is_balanced() {
+        let plan = plan_weighted(100, 4, |_| 1);
+        let sizes: Vec<_> = plan.ranges().iter().map(|r| r.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn weighted_never_produces_empty_chunks() {
+        // Pathological: all weight on input 0.
+        let plan = plan_weighted(10, 5, |i| if i == 0 { 1_000 } else { 0 });
+        assert_eq!(plan.len(), 5);
+        for r in plan.ranges() {
+            assert!(!r.is_empty());
+        }
+        assert_eq!(plan.inputs(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn from_ranges_rejects_gaps() {
+        ChunkPlan::from_ranges(vec![0..3, 5..8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn from_ranges_rejects_empty_chunk() {
+        ChunkPlan::from_ranges(vec![0..3, 3..3]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Run reports: what a STATS execution did and what it cost.
+
+use crate::config::Config;
+use serde::{Deserialize, Serialize};
+use stats_platform::ExecutionResult;
+use stats_trace::Cycles;
+
+/// The runtime's verdict on one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChunkDecision {
+    /// Chunk 0: starts from the program's initial state, never speculative.
+    First,
+    /// The speculative state matched an original state; the chunk's
+    /// speculative execution was kept (§II-B case (ii)).
+    Committed,
+    /// No original state matched; the chunk was re-executed from the true
+    /// state (§II-B case (i)).
+    Aborted,
+}
+
+/// Resources the STATS runtime allocates for a configuration — the paper's
+/// Table I columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceAccounting {
+    /// Logical threads created (workers + replica generators + inner-TLP
+    /// shard threads + main).
+    pub threads: usize,
+    /// Computational states allocated (initial + chunk states + speculative
+    /// states + replica states).
+    pub states: usize,
+    /// Bytes per state.
+    pub state_bytes: usize,
+}
+
+impl ResourceAccounting {
+    /// Account for a configuration on `cores` cores with the given inner
+    /// width (1 when inner TLP is off).
+    pub fn for_config(config: &Config, state_bytes: usize, inner_width: usize) -> Self {
+        let c = config.chunks;
+        let boundaries = c.saturating_sub(1);
+        let workers = c;
+        let replicas = boundaries * config.extra_states;
+        let shards = if inner_width > 1 { c * inner_width } else { 0 };
+        let threads = 1 + workers + replicas + shards;
+        let states = 1                      // initial
+            + c                             // working state per chunk
+            + boundaries                    // speculative state per boundary
+            + boundaries * config.extra_states; // replica states
+        ResourceAccounting {
+            threads,
+            states,
+            state_bytes,
+        }
+    }
+
+    /// Total state memory footprint in bytes.
+    pub fn state_footprint(&self) -> usize {
+        self.states * self.state_bytes
+    }
+}
+
+/// The full result of running a workload under the simulated STATS runtime.
+#[derive(Debug, Clone)]
+pub struct RunReport<O> {
+    /// Realized outputs, in input order.
+    pub outputs: Vec<O>,
+    /// Per-chunk decisions (index 0 is always [`ChunkDecision::First`]).
+    pub decisions: Vec<ChunkDecision>,
+    /// The scheduled execution (trace, makespan, placements).
+    pub execution: ExecutionResult,
+    /// Cycles of the matching sequential execution (same seed).
+    pub sequential_cycles: Cycles,
+    /// Instructions of the matching sequential execution.
+    pub sequential_instructions: u64,
+    /// The configuration that ran.
+    pub config: Config,
+    /// Thread/state accounting (Table I).
+    pub accounting: ResourceAccounting,
+}
+
+impl<O> RunReport<O> {
+    /// Speedup over the sequential execution.
+    pub fn speedup(&self) -> f64 {
+        self.execution.speedup_vs(self.sequential_cycles)
+    }
+
+    /// Number of aborted chunks.
+    pub fn aborts(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| **d == ChunkDecision::Aborted)
+            .count()
+    }
+
+    /// Extra instructions versus the sequential baseline, as a percentage
+    /// (Fig. 14; negative when STATS executes fewer instructions).
+    pub fn extra_instruction_percent(&self) -> f64 {
+        if self.sequential_instructions == 0 {
+            return 0.0;
+        }
+        let total = self.execution.trace.total_instructions() as f64;
+        (total - self.sequential_instructions as f64) / self.sequential_instructions as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_sequential_config() {
+        let acc = ResourceAccounting::for_config(&Config::sequential(), 24, 1);
+        // main + 1 worker; initial + 1 working state.
+        assert_eq!(acc.threads, 2);
+        assert_eq!(acc.states, 2);
+        assert_eq!(acc.state_footprint(), 48);
+    }
+
+    #[test]
+    fn accounting_scales_with_chunks_and_replicas() {
+        let cfg = Config::stats_only(28, 8, 2);
+        let acc = ResourceAccounting::for_config(&cfg, 104, 1);
+        // 1 + 28 workers + 27*2 replicas = 83 threads.
+        assert_eq!(acc.threads, 1 + 28 + 54);
+        // 1 + 28 + 27 + 54 = 110 states.
+        assert_eq!(acc.states, 110);
+    }
+
+    #[test]
+    fn accounting_counts_inner_shards() {
+        let cfg = Config {
+            chunks: 14,
+            lookback: 4,
+            extra_states: 1,
+            combine_inner_tlp: true,
+        };
+        let acc = ResourceAccounting::for_config(&cfg, 500_000, 2);
+        // 1 + 14 + 13 + 14*2 shards.
+        assert_eq!(acc.threads, 1 + 14 + 13 + 28);
+    }
+}

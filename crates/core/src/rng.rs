@@ -1,0 +1,224 @@
+//! Deterministic randomness for nondeterministic programs.
+//!
+//! The benchmarks STATS targets are *nondeterministic*: their outputs vary
+//! run to run because of random sampling (particle filters, Monte Carlo,
+//! random center openings). To reproduce that behaviour deterministically
+//! per experiment, every source of randomness flows through [`StatsRng`],
+//! a seeded ChaCha stream. Different *runs* use different master seeds;
+//! within a run, each (chunk, role, replica) gets an independent derived
+//! stream so the execution schedule cannot change the values drawn — the
+//! simulated and threaded runtimes therefore make identical
+//! commit/abort decisions.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The role a derived RNG stream plays within the STATS execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamRole {
+    /// The single stream of a plain sequential execution.
+    Sequential,
+    /// The speculative run of a chunk (and its continuation if committed).
+    Chunk(usize),
+    /// The alternative producer feeding a chunk.
+    AltProducer(usize),
+    /// Replica `replica` of the original-state generation at the end of a
+    /// chunk.
+    OriginalState { chunk: usize, replica: usize },
+    /// The re-execution of a chunk after an abort.
+    Rerun(usize),
+}
+
+impl StreamRole {
+    fn tag(self) -> u64 {
+        match self {
+            StreamRole::Sequential => 0x5E00,
+            StreamRole::Chunk(c) => 0x1000_0000 + c as u64,
+            StreamRole::AltProducer(c) => 0x2000_0000 + c as u64,
+            StreamRole::OriginalState { chunk, replica } => {
+                0x3000_0000 + (chunk as u64) * 1_024 + replica as u64
+            }
+            StreamRole::Rerun(c) => 0x4000_0000 + c as u64,
+        }
+    }
+}
+
+/// A seeded random stream handed to [`StateDependence::update`]
+/// implementations.
+///
+/// [`StateDependence::update`]: crate::StateDependence::update
+#[derive(Debug, Clone)]
+pub struct StatsRng {
+    inner: ChaCha8Rng,
+    draws: u64,
+}
+
+impl StatsRng {
+    /// A stream derived from a run's master seed and a role.
+    pub fn derive(master_seed: u64, role: StreamRole) -> Self {
+        // SplitMix-style mixing of seed and role tag.
+        let mut z = master_seed ^ role.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        StatsRng {
+            inner: ChaCha8Rng::seed_from_u64(z),
+            draws: 0,
+        }
+    }
+
+    /// A stream seeded directly (tests, standalone tools).
+    pub fn from_seed_value(seed: u64) -> Self {
+        StatsRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+            draws: 0,
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.draws += 1;
+        self.inner.gen::<f64>()
+    }
+
+    /// Zero-mean uniform noise in `[-amplitude, amplitude)`.
+    pub fn noise(&mut self, amplitude: f64) -> f64 {
+        (self.unit() * 2.0 - 1.0) * amplitude
+    }
+
+    /// Standard-normal draw (Box–Muller; two underlying draws).
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = self.unit().max(1e-12);
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Uniform draw from a range.
+    pub fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.draws += 1;
+        self.inner.gen_range(range)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Number of draws made so far (diagnostics).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+impl RngCore for StatsRng {
+    fn next_u32(&mut self) -> u32 {
+        self.draws += 1;
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.draws += 1;
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.draws += 1;
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StatsRng::derive(42, StreamRole::Chunk(3));
+        let mut b = StatsRng::derive(42, StreamRole::Chunk(3));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn roles_are_independent() {
+        let mut a = StatsRng::derive(42, StreamRole::Chunk(3));
+        let mut b = StatsRng::derive(42, StreamRole::AltProducer(3));
+        let mut c = StatsRng::derive(42, StreamRole::Rerun(3));
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_ne!(x, y);
+        assert_ne!(y, z);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn replicas_are_independent() {
+        let mut r0 = StatsRng::derive(7, StreamRole::OriginalState { chunk: 1, replica: 0 });
+        let mut r1 = StatsRng::derive(7, StreamRole::OriginalState { chunk: 1, replica: 1 });
+        assert_ne!(r0.next_u64(), r1.next_u64());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StatsRng::derive(1, StreamRole::Sequential);
+        let mut b = StatsRng::derive(2, StreamRole::Sequential);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        let mut r = StatsRng::from_seed_value(9);
+        for _ in 0..1_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn noise_is_bounded_and_zero_mean() {
+        let mut r = StatsRng::from_seed_value(9);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.noise(0.5);
+            assert!((-0.5..0.5).contains(&x));
+            sum += x;
+        }
+        assert!((sum / n as f64).abs() < 0.02);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = StatsRng::from_seed_value(11);
+        let n = 20_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let g = r.gaussian();
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut r = StatsRng::from_seed_value(13);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn draw_counter_advances() {
+        let mut r = StatsRng::from_seed_value(1);
+        assert_eq!(r.draws(), 0);
+        r.unit();
+        r.gen_range(0..10);
+        assert_eq!(r.draws(), 2);
+    }
+}

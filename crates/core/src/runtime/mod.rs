@@ -1,0 +1,14 @@
+//! The three executors of the STATS execution model.
+//!
+//! * [`sequential`] — the reference executor: one thread, one state, the
+//!   program as written. Baseline for every speedup in the paper.
+//! * [`simulated`] — executes the model on the `stats-platform` machine,
+//!   producing virtual-time traces with every critical point of the
+//!   execution model instrumented (§V-B's methodology).
+//! * [`threaded`] — the same protocol on real `std::thread`s, used to
+//!   validate that the model is executable and that its commit/abort
+//!   decisions match the simulator's exactly.
+
+pub mod sequential;
+pub mod simulated;
+pub mod threaded;

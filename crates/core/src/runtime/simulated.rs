@@ -1,0 +1,886 @@
+//! The simulated STATS runtime: execution-model → task graph → machine.
+//!
+//! This executor mirrors §V-B of the paper: it timestamps "each critical
+//! point of the STATS execution model" — setup, every alternative
+//! producer, every original-state generation block, every comparison,
+//! every state clone, every synchronization block, and the parallelized
+//! region boundaries — by construction: each becomes a task with an
+//! explicit category, scheduled on the modeled machine.
+
+use crate::config::Config;
+use crate::dependence::StateDependence;
+use crate::report::{ChunkDecision, ResourceAccounting, RunReport};
+use crate::runtime::sequential::run_sequential;
+use crate::speculation::{run_speculative, SpeculationOutcome};
+use crate::tlp::InnerParallelism;
+use crate::UpdateCost;
+use stats_platform::{Machine, SimError, TaskGraph, TaskId};
+use stats_trace::{Category, Cycles, ThreadId};
+
+/// Options controlling how an outcome is lowered to a task graph.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphOptions {
+    /// The workload's inner (original) parallelism profile.
+    pub inner: InnerParallelism,
+    /// Pretend every speculation committed: drop re-executions and keep
+    /// speculative runs as useful work. Used by the mispeculation what-if
+    /// of the attribution analysis (§III-E).
+    pub assume_all_commit: bool,
+    /// Work units of program code before/after the STATS region (§III-D).
+    pub outside_work: (u64, u64),
+    /// Synchronized runtime handoffs per update (see
+    /// [`StateDependence::sync_ops_per_update`]).
+    pub sync_ops_per_update: u64,
+    /// Lazy original-state replication: generate replicas one at a time,
+    /// stopping at the first match, instead of the paper's eager parallel
+    /// generation (Fig. 5). An execution-model evolution in the spirit of
+    /// the paper's conclusion — trades replica *work* for commit
+    /// *latency*; quantified by the `replication` ablation.
+    pub lazy_replicas: bool,
+}
+
+impl Default for GraphOptions {
+    fn default() -> Self {
+        GraphOptions {
+            inner: InnerParallelism::none(),
+            assume_all_commit: false,
+            outside_work: (0, 0),
+            sync_ops_per_update: 1,
+            lazy_replicas: false,
+        }
+    }
+}
+
+/// Deterministic thread-id layout of the generated parallel program.
+#[derive(Debug, Clone, Copy)]
+struct ThreadLayout {
+    chunks: usize,
+    extra_states: usize,
+    width: usize,
+}
+
+impl ThreadLayout {
+    fn main(&self) -> ThreadId {
+        ThreadId(0)
+    }
+    fn worker(&self, c: usize) -> ThreadId {
+        ThreadId(1 + c)
+    }
+    fn replica(&self, boundary: usize, j: usize) -> ThreadId {
+        ThreadId(1 + self.chunks + boundary * self.extra_states + j)
+    }
+    fn shard(&self, c: usize, s: usize) -> ThreadId {
+        let boundaries = self.chunks.saturating_sub(1);
+        ThreadId(1 + self.chunks + boundaries * self.extra_states + c * self.width + s)
+    }
+}
+
+/// Effective inner-TLP width for a configuration on a machine.
+pub fn effective_width(config: &Config, inner: &InnerParallelism, cores: usize) -> usize {
+    if config.combine_inner_tlp && inner.is_parallel() {
+        (cores / config.chunks).max(1).min(inner.max_width)
+    } else {
+        1
+    }
+}
+
+/// Emit one (possibly sharded) compute segment on `worker`'s thread.
+/// Returns the id of the task that signals segment completion.
+///
+/// `updates` is the number of original-program updates the segment covers:
+/// inner (original) TLP forks and joins *per update* — per frame in
+/// bodytrack, per point batch in streamcluster — so its synchronization
+/// cost scales with both width and update count, which is what makes the
+/// original TLP saturate in Fig. 9.
+#[allow(clippy::too_many_arguments)]
+fn emit_compute(
+    g: &mut TaskGraph,
+    machine: &Machine,
+    layout: &ThreadLayout,
+    chunk: usize,
+    category: Category,
+    cost: UpdateCost,
+    updates: u64,
+    inner: &InnerParallelism,
+    label: &str,
+) -> TaskId {
+    let cm = machine.cost_model();
+    let worker = layout.worker(chunk);
+    let width = layout.width;
+    if width <= 1 || !inner.is_parallel() || cost.work == 0 {
+        return g.task_full(
+            worker,
+            category,
+            cm.work(cost.work),
+            cost.instructions,
+            Vec::new(),
+            Some(label.to_string()),
+        );
+    }
+    let updates = updates.max(1);
+    let (serial, per_shard) = inner.split_work(cost.work, width);
+    let serial_instr = (cost.instructions as f64 * serial as f64 / cost.work as f64) as u64;
+    let shard_instr = (cost.instructions - serial_instr) / width as u64;
+    let serial_task = g.task_full(
+        worker,
+        category,
+        cm.work(serial),
+        serial_instr,
+        Vec::new(),
+        Some(format!("{label} serial")),
+    );
+    // Fork: the worker signals `width` shard threads, once per update.
+    let fork = g.task_full(
+        worker,
+        Category::Sync,
+        Cycles(cm.sync_wakeup.get() * width as u64 * updates),
+        200 * width as u64 * updates,
+        vec![serial_task],
+        Some(format!("{label} fork")),
+    );
+    let mut shard_ids = Vec::with_capacity(width);
+    for s in 0..width {
+        let id = g.task_full(
+            layout.shard(chunk, s),
+            category,
+            cm.work(per_shard),
+            shard_instr,
+            vec![fork],
+            Some(format!("{label} shard {s}")),
+        );
+        shard_ids.push(id);
+    }
+    g.task_full(
+        worker,
+        Category::Sync,
+        Cycles(cm.sync_block.get() * updates),
+        200 * updates,
+        shard_ids,
+        Some(format!("{label} join")),
+    )
+}
+
+/// Lower a speculation outcome to a schedulable task graph.
+///
+/// The graph reproduces the execution model of Figs. 2b/5/6/7: alternative
+/// producers feed chunk threads, original-state replicas fork off each
+/// realized chunk's snapshot, comparisons gate sequential-order commits,
+/// and aborts trigger serialized re-execution.
+pub fn build_task_graph<O>(
+    name: &str,
+    outcome: &SpeculationOutcome<O>,
+    machine: &Machine,
+    opts: &GraphOptions,
+) -> TaskGraph {
+    let cm = *machine.cost_model();
+    let config = outcome.config;
+    let chunks = outcome.chunks.len();
+    let bytes = outcome.state_bytes;
+    let width = effective_width(&config, &opts.inner, machine.topology().total_cores());
+    let layout = ThreadLayout {
+        chunks,
+        extra_states: config.extra_states,
+        width,
+    };
+    let acc = ResourceAccounting::for_config(&config, bytes, width);
+    let mut g = TaskGraph::new(name);
+
+    // ---- main thread prologue -------------------------------------------
+    let out_before = g.task_full(
+        layout.main(),
+        Category::OutsideRegion,
+        cm.work(opts.outside_work.0),
+        opts.outside_work.0 * 2,
+        Vec::new(),
+        Some("code before STATS".into()),
+    );
+    let setup = g.task_full(
+        layout.main(),
+        Category::Setup,
+        cm.setup(acc.threads, acc.states, bytes),
+        acc.states as u64 * 100 + acc.threads as u64 * 400,
+        vec![out_before],
+        Some("STATS setup".into()),
+    );
+
+    // Per-chunk bookkeeping filled during emission.
+    let mut spec_copy: Vec<Option<TaskId>> = vec![None; chunks];
+    let mut realized_last: Vec<TaskId> = Vec::with_capacity(chunks);
+    // Snapshot copies feeding each boundary's replicas.
+    let mut snap_copies: Vec<Vec<TaskId>> = vec![Vec::new(); chunks];
+    let mut commit: Vec<Option<TaskId>> = vec![None; chunks];
+
+    let aborted = |c: usize| !opts.assume_all_commit && outcome.chunks[c].aborted();
+
+    // ---- pass 1: worker pipelines (speculative runs) ---------------------
+    for c in 0..chunks {
+        let ch = &outcome.chunks[c];
+        let worker = layout.worker(c);
+        let len = ch.range.len();
+        let suffix_n = config.lookback.min(len) as u64;
+        let prefix_n = (len as u64) - suffix_n;
+        // Worker wake-up after setup.
+        let wake = g.task_full(
+            worker,
+            Category::Sync,
+            cm.sync_wakeup + cm.sync_block,
+            300,
+            vec![setup],
+            Some(format!("chunk {c} start")),
+        );
+        let _ = wake;
+        // Runtime dispatch: every input of the chunk flows through the
+        // STATS runtime's synchronized lists; oversubscribed thread counts
+        // (Table I) pay scheduler latency per signal (§III-C).
+        let per_update =
+            cm.per_update_sync(acc.threads, machine.topology().total_cores());
+        g.task_full(
+            worker,
+            Category::Sync,
+            Cycles(per_update.get() * opts.sync_ops_per_update * len as u64),
+            40 * opts.sync_ops_per_update * len as u64,
+            Vec::new(),
+            Some(format!("runtime dispatch {c}")),
+        );
+        if let Some(alt) = ch.alt_cost {
+            g.task_full(
+                worker,
+                Category::AltProducer,
+                cm.work(alt.work),
+                alt.instructions,
+                Vec::new(),
+                Some(format!("alt producer {c}")),
+            );
+            // Copy of the speculative state handed to the runtime for the
+            // later comparison (Fig. 6).
+            let copy = g.task_full(
+                worker,
+                Category::StateCopy,
+                cm.state_copy(machine.topology(), bytes, worker, layout.worker(c - 1)),
+                cm.copy_instructions(bytes),
+                Vec::new(),
+                Some(format!("spec state copy {c}")),
+            );
+            spec_copy[c] = Some(copy);
+        }
+        let compute_cat = if aborted(c) {
+            Category::AbortedCompute
+        } else {
+            Category::ChunkCompute
+        };
+        let prefix = emit_compute(
+            &mut g,
+            machine,
+            &layout,
+            c,
+            compute_cat,
+            ch.spec_prefix,
+            prefix_n,
+            &opts.inner,
+            &format!("chunk {c} prefix"),
+        );
+        let _ = prefix;
+        // Snapshot copies for this chunk's boundary replicas — only on the
+        // realized path; for committed chunks that is the speculative run.
+        if !aborted(c) {
+            for j in 0..ch.replica_costs.len() {
+                let snap = g.task_full(
+                    worker,
+                    Category::StateCopy,
+                    cm.state_copy(machine.topology(), bytes, worker, layout.replica(c, j)),
+                    cm.copy_instructions(bytes),
+                    Vec::new(),
+                    Some(format!("snapshot {c}.{j}")),
+                );
+                snap_copies[c].push(snap);
+            }
+        }
+        let suffix = emit_compute(
+            &mut g,
+            machine,
+            &layout,
+            c,
+            compute_cat,
+            ch.spec_suffix,
+            suffix_n,
+            &opts.inner,
+            &format!("chunk {c} suffix"),
+        );
+        realized_last.push(suffix);
+        if c == 0 {
+            // Chunk 0 needs no validation: a trivial commit record.
+            let cmt = g.task_full(
+                worker,
+                Category::Commit,
+                Cycles(200),
+                100,
+                Vec::new(),
+                Some("commit 0".into()),
+            );
+            commit[0] = Some(cmt);
+        }
+    }
+
+    // ---- pass 2: boundary validation, commits, re-executions -------------
+    for c in 1..chunks {
+        let b = c - 1; // producing boundary
+        let producer = layout.worker(b);
+        let m = outcome.chunks[b].replica_costs.len();
+
+        // Original-state replicas at boundary b. Eagerly they run in
+        // parallel on their own threads (Fig. 5's blocks); lazily they
+        // chain on one thread and stop at the first matching state.
+        let lazy_needed = match outcome.chunks[c].matched_original {
+            Some(j) => j, // j replicas were generated before the match
+            None => m,    // no match: all replicas were tried
+        };
+        let mut replica_tasks = Vec::with_capacity(m);
+        let mut lazy_prev: Option<TaskId> = None;
+        for (j, rc) in outcome.chunks[b].replica_costs.iter().enumerate() {
+            if opts.lazy_replicas && j >= lazy_needed && !opts.assume_all_commit {
+                break;
+            }
+            let rthread = if opts.lazy_replicas {
+                layout.replica(b, 0)
+            } else {
+                layout.replica(b, j)
+            };
+            let dep = snap_copies[b].get(j).copied();
+            let mut sync_deps: Vec<TaskId> = dep.into_iter().collect();
+            if let Some(prev) = lazy_prev {
+                sync_deps.push(prev);
+            }
+            let sync = g.task_full(
+                rthread,
+                Category::Sync,
+                cm.sync_wakeup + cm.sync_block,
+                300,
+                sync_deps,
+                Some(format!("replica {b}.{j} start")),
+            );
+            let rep = g.task_full(
+                rthread,
+                Category::OriginalStateGen,
+                cm.work(rc.work),
+                rc.instructions,
+                vec![sync],
+                Some(format!("original state {b}.{j}")),
+            );
+            if opts.lazy_replicas {
+                lazy_prev = Some(rep);
+            }
+            replica_tasks.push(rep);
+        }
+
+        // Comparison on the producer's thread, gated by sequential commit
+        // order, the speculative-state copy, and the replicas.
+        let mut cmp_deps: Vec<TaskId> = Vec::new();
+        if let Some(sc) = spec_copy[c] {
+            cmp_deps.push(sc);
+        }
+        cmp_deps.extend(replica_tasks.iter().copied());
+        if let Some(prev_commit) = commit[b] {
+            cmp_deps.push(prev_commit);
+        }
+        let cmp_sync = g.task_full(
+            producer,
+            Category::Sync,
+            cm.sync_block,
+            250,
+            cmp_deps,
+            Some(format!("await boundary {b}")),
+        );
+        let cmp = g.task_full(
+            producer,
+            Category::StateComparison,
+            Cycles(cm.state_compare(bytes).get() * (m as u64 + 1)),
+            cm.compare_instructions(bytes) * (m as u64 + 1),
+            vec![cmp_sync],
+            Some(format!("compare chunk {c}")),
+        );
+        let cmt = g.task_full(
+            producer,
+            Category::Commit,
+            Cycles(200),
+            100,
+            vec![cmp],
+            Some(format!("decide chunk {c}")),
+        );
+        commit[c] = Some(cmt);
+
+        // Abort path: serialized re-execution from the true state.
+        if aborted(c) {
+            let worker = layout.worker(c);
+            let rr_sync = g.task_full(
+                worker,
+                Category::Sync,
+                cm.sync_wakeup + cm.sync_block,
+                300,
+                vec![cmt],
+                Some(format!("abort notify {c}")),
+            );
+            let _ = rr_sync;
+            g.task_full(
+                worker,
+                Category::StateCopy,
+                cm.state_copy(machine.topology(), bytes, producer, worker),
+                cm.copy_instructions(bytes),
+                Vec::new(),
+                Some(format!("true state copy {c}")),
+            );
+            let (rp, rs) = outcome.chunks[c].rerun.expect("aborted chunk has a rerun");
+            let rlen = outcome.chunks[c].range.len();
+            let rerun_suffix_n = config.lookback.min(rlen) as u64;
+            let rerun_prefix_n = (rlen as u64) - rerun_suffix_n;
+            emit_compute(
+                &mut g,
+                machine,
+                &layout,
+                c,
+                Category::ChunkCompute,
+                rp,
+                rerun_prefix_n,
+                &opts.inner,
+                &format!("chunk {c} rerun prefix"),
+            );
+            for j in 0..outcome.chunks[c].replica_costs.len() {
+                let snap = g.task_full(
+                    worker,
+                    Category::StateCopy,
+                    cm.state_copy(machine.topology(), bytes, worker, layout.replica(c, j)),
+                    cm.copy_instructions(bytes),
+                    Vec::new(),
+                    Some(format!("snapshot {c}.{j} (rerun)")),
+                );
+                snap_copies[c].push(snap);
+            }
+            let rsuf = emit_compute(
+                &mut g,
+                machine,
+                &layout,
+                c,
+                Category::ChunkCompute,
+                rs,
+                rerun_suffix_n,
+                &opts.inner,
+                &format!("chunk {c} rerun suffix"),
+            );
+            realized_last[c] = rsuf;
+        }
+    }
+
+    // ---- main thread epilogue --------------------------------------------
+    let mut join_deps: Vec<TaskId> = realized_last.clone();
+    if let Some(last_commit) = commit[chunks - 1] {
+        join_deps.push(last_commit);
+    }
+    let join = g.task_full(
+        layout.main(),
+        Category::Sync,
+        Cycles(cm.sync_block.get() * chunks as u64),
+        250 * chunks as u64,
+        join_deps,
+        Some("join workers".into()),
+    );
+    g.task_full(
+        layout.main(),
+        Category::OutsideRegion,
+        cm.work(opts.outside_work.1),
+        opts.outside_work.1 * 2,
+        vec![join],
+        Some("code after STATS".into()),
+    );
+
+    g
+}
+
+/// The simulated STATS runtime: a machine plus the lowering logic.
+#[derive(Debug, Clone)]
+pub struct SimulatedRuntime {
+    machine: Machine,
+}
+
+impl SimulatedRuntime {
+    /// Create a runtime on the given machine.
+    pub fn new(machine: Machine) -> Self {
+        SimulatedRuntime { machine }
+    }
+
+    /// A runtime on the paper's 28-core machine.
+    pub fn paper_machine() -> Self {
+        SimulatedRuntime::new(Machine::paper_machine())
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Run `workload` over `inputs` under `config`, producing a full
+    /// report: outputs, decisions, instrumented trace, and baselines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the platform (only possible on an
+    /// internal bug: generated graphs are acyclic by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid for `inputs.len()`.
+    pub fn run<W: StateDependence>(
+        &self,
+        name: &str,
+        workload: &W,
+        inputs: &[W::Input],
+        config: Config,
+        inner: InnerParallelism,
+        master_seed: u64,
+    ) -> Result<RunReport<W::Output>, SimError> {
+        let outcome = run_speculative(workload, inputs, config, master_seed);
+        let opts = GraphOptions {
+            inner,
+            assume_all_commit: false,
+            outside_work: workload.outside_region_work(),
+            sync_ops_per_update: workload.sync_ops_per_update(),
+            lazy_replicas: false,
+        };
+        self.run_from_outcome(name, workload, inputs, outcome, opts, master_seed)
+    }
+
+    /// Lower and execute a precomputed outcome (lets callers reuse one
+    /// semantic run across several what-if graphs). `inputs` must be the
+    /// same stream the outcome was computed from: it is re-run sequentially
+    /// to establish the baseline.
+    pub fn run_from_outcome<W: StateDependence>(
+        &self,
+        name: &str,
+        workload: &W,
+        inputs: &[W::Input],
+        outcome: SpeculationOutcome<W::Output>,
+        opts: GraphOptions,
+        master_seed: u64,
+    ) -> Result<RunReport<W::Output>, SimError> {
+        let graph = build_task_graph(name, &outcome, &self.machine, &opts);
+        let execution = self.machine.execute(&graph)?;
+        let cm = self.machine.cost_model();
+        let (seq_cycles, seq_instr) = {
+            // The sequential baseline with the same master seed, so
+            // nondeterministic per-run costs are honestly sampled.
+            let run = run_sequential(workload, inputs, master_seed);
+            let outside = opts.outside_work.0 + opts.outside_work.1;
+            (
+                cm.work(run.cost.work + outside),
+                run.cost.instructions + outside * 2,
+            )
+        };
+        let width = effective_width(
+            &outcome.config,
+            &opts.inner,
+            self.machine.topology().total_cores(),
+        );
+        let accounting =
+            ResourceAccounting::for_config(&outcome.config, outcome.state_bytes, width);
+        let decisions: Vec<ChunkDecision> = outcome.chunks.iter().map(|c| c.decision).collect();
+        Ok(RunReport {
+            outputs: outcome.outputs,
+            decisions,
+            execution,
+            sequential_cycles: seq_cycles,
+            sequential_instructions: seq_instr,
+            config: outcome.config,
+            accounting,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StatsRng;
+    use stats_trace::TraceSummary;
+
+    struct Ema {
+        decay: f64,
+        tolerance: f64,
+        outside: (u64, u64),
+    }
+
+    impl StateDependence for Ema {
+        type State = f64;
+        type Input = f64;
+        type Output = f64;
+        fn fresh_state(&self) -> f64 {
+            0.0
+        }
+        fn update(&self, state: &mut f64, input: &f64, rng: &mut StatsRng) -> (f64, UpdateCost) {
+            *state = self.decay * *state + (1.0 - self.decay) * (*input + rng.noise(0.001));
+            (*state, UpdateCost::with_work(400_000))
+        }
+        fn states_match(&self, a: &f64, b: &f64) -> bool {
+            (a - b).abs() < self.tolerance
+        }
+        fn state_bytes(&self) -> usize {
+            104
+        }
+        fn outside_region_work(&self) -> (u64, u64) {
+            self.outside
+        }
+    }
+
+    fn short_memory() -> Ema {
+        Ema {
+            decay: 0.5,
+            tolerance: 0.05,
+            outside: (0, 0),
+        }
+    }
+
+    fn inputs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.05).sin()).collect()
+    }
+
+    #[test]
+    fn stats_run_speeds_up_and_preserves_output_count() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = short_memory();
+        let ins = inputs(560);
+        let cfg = Config::stats_only(28, 16, 2);
+        let report = rt
+            .run("ema", &w, &ins, cfg, InnerParallelism::none(), 42)
+            .unwrap();
+        assert_eq!(report.outputs.len(), 560);
+        assert_eq!(report.aborts(), 0);
+        let speedup = report.speedup();
+        assert!(
+            speedup > 6.0 && speedup < 28.0,
+            "expected sublinear parallel speedup, got {speedup}"
+        );
+        // The paper's core claim: STATS TLP scales with the amount of
+        // input. Quadrupling the inputs improves the speedup.
+        let big = inputs(2_240);
+        let report_big = rt
+            .run("ema-big", &w, &big, cfg, InnerParallelism::none(), 42)
+            .unwrap();
+        assert!(
+            report_big.speedup() > speedup * 1.3,
+            "speedup should scale with input size: {} vs {speedup}",
+            report_big.speedup()
+        );
+    }
+
+    #[test]
+    fn sequential_config_speedup_near_one() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = short_memory();
+        let ins = inputs(100);
+        let report = rt
+            .run("ema-seq", &w, &ins, Config::sequential(), InnerParallelism::none(), 1)
+            .unwrap();
+        let s = report.speedup();
+        assert!(s > 0.9 && s <= 1.01, "speedup {s}");
+    }
+
+    #[test]
+    fn original_tlp_saturates() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = short_memory();
+        let ins = inputs(100);
+        let inner = InnerParallelism::amdahl(0.75, usize::MAX);
+        let report = rt
+            .run("ema-orig", &w, &ins, Config::original_only(), inner, 1)
+            .unwrap();
+        let s = report.speedup();
+        assert!(s > 2.0 && s < 4.5, "Amdahl-limited speedup, got {s}");
+    }
+
+    #[test]
+    fn trace_contains_every_model_category() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = Ema {
+            outside: (100_000, 50_000),
+            ..short_memory()
+        };
+        let ins = inputs(280);
+        let cfg = Config::stats_only(14, 10, 2);
+        let report = rt
+            .run("ema-cat", &w, &ins, cfg, InnerParallelism::none(), 3)
+            .unwrap();
+        let cats = report.execution.trace.cycles_by_category();
+        for c in [
+            Category::Setup,
+            Category::AltProducer,
+            Category::OriginalStateGen,
+            Category::StateComparison,
+            Category::StateCopy,
+            Category::Sync,
+            Category::ChunkCompute,
+            Category::Commit,
+            Category::OutsideRegion,
+        ] {
+            assert!(
+                cats.get(&c).map(|x| x.get() > 0).unwrap_or(false),
+                "category {c} missing from trace"
+            );
+        }
+    }
+
+    #[test]
+    fn aborts_create_aborted_compute_spans() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-7,
+            outside: (0, 0),
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 4, 1);
+        let report = rt
+            .run("ema-abort", &w, &ins, cfg, InnerParallelism::none(), 7)
+            .unwrap();
+        assert!(report.aborts() > 0);
+        let cats = report.execution.trace.cycles_by_category();
+        assert!(cats.contains_key(&Category::AbortedCompute));
+        // Aborts serialize: speedup well below chunk count.
+        assert!(report.speedup() < 3.0, "speedup {}", report.speedup());
+    }
+
+    #[test]
+    fn assume_all_commit_removes_reruns() {
+        let machine = Machine::paper_machine();
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-7,
+            outside: (0, 0),
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 4, 1);
+        let outcome = run_speculative(&w, &ins, cfg, 7);
+        assert!(outcome.aborts() > 0);
+        let with = build_task_graph(
+            "with",
+            &outcome,
+            &machine,
+            &GraphOptions::default(),
+        );
+        let without = build_task_graph(
+            "without",
+            &outcome,
+            &machine,
+            &GraphOptions {
+                assume_all_commit: true,
+                ..GraphOptions::default()
+            },
+        );
+        let r_with = machine.execute(&with).unwrap();
+        let r_without = machine.execute(&without).unwrap();
+        assert!(
+            r_without.makespan < r_with.makespan,
+            "all-commit must be faster: {} vs {}",
+            r_without.makespan,
+            r_with.makespan
+        );
+        let cats = r_without.trace.cycles_by_category();
+        assert!(!cats.contains_key(&Category::AbortedCompute) || cats[&Category::AbortedCompute].get() == 0);
+    }
+
+    #[test]
+    fn combined_mode_uses_shard_threads() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = short_memory();
+        let ins = inputs(280);
+        let cfg = Config {
+            chunks: 14,
+            lookback: 10,
+            extra_states: 1,
+            combine_inner_tlp: true,
+        };
+        let inner = InnerParallelism::amdahl(0.8, usize::MAX);
+        let report = rt.run("ema-combined", &w, &ins, cfg, inner, 5).unwrap();
+        // width = 28/14 = 2 -> shard threads exist beyond main+workers+replicas.
+        let acc = &report.accounting;
+        assert!(acc.threads > 1 + 14 + 13);
+        let report_solo = rt
+            .run(
+                "ema-solo",
+                &w,
+                &ins,
+                Config::stats_only(14, 10, 1),
+                inner,
+                5,
+            )
+            .unwrap();
+        assert!(
+            report.speedup() > report_solo.speedup(),
+            "combining TLP should help: {} vs {}",
+            report.speedup(),
+            report_solo.speedup()
+        );
+    }
+
+    #[test]
+    fn imbalance_shows_up_in_summary() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = short_memory();
+        let ins = inputs(290); // 290/28 leaves uneven chunks
+        let cfg = Config::stats_only(28, 5, 1);
+        let report = rt
+            .run("ema-imb", &w, &ins, cfg, InnerParallelism::none(), 2)
+            .unwrap();
+        let summary = TraceSummary::from_trace(&report.execution.trace);
+        assert!(summary.imbalance() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = short_memory();
+        let ins = inputs(140);
+        let cfg = Config::stats_only(7, 10, 1);
+        let a = rt
+            .run("ema-det", &w, &ins, cfg, InnerParallelism::none(), 11)
+            .unwrap();
+        let b = rt
+            .run("ema-det", &w, &ins, cfg, InnerParallelism::none(), 11)
+            .unwrap();
+        assert_eq!(a.execution.makespan, b.execution.makespan);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.execution.schedule, b.execution.schedule);
+    }
+
+    #[test]
+    fn more_chunks_more_extra_instructions() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = short_memory();
+        let ins = inputs(560);
+        let few = rt
+            .run("few", &w, &ins, Config::stats_only(4, 10, 2), InnerParallelism::none(), 1)
+            .unwrap();
+        let many = rt
+            .run("many", &w, &ins, Config::stats_only(28, 10, 2), InnerParallelism::none(), 1)
+            .unwrap();
+        assert!(
+            many.extra_instruction_percent() > few.extra_instruction_percent(),
+            "more TLP means more extra work (Fig. 12/13): {} vs {}",
+            many.extra_instruction_percent(),
+            few.extra_instruction_percent()
+        );
+    }
+
+    #[test]
+    fn effective_width_rules() {
+        let inner = InnerParallelism::amdahl(0.8, usize::MAX);
+        let combined = Config {
+            chunks: 14,
+            lookback: 1,
+            extra_states: 0,
+            combine_inner_tlp: true,
+        };
+        assert_eq!(effective_width(&combined, &inner, 28), 2);
+        assert_eq!(effective_width(&Config::stats_only(14, 1, 0), &inner, 28), 1);
+        assert_eq!(effective_width(&Config::original_only(), &inner, 28), 28);
+        assert_eq!(
+            effective_width(&Config::original_only(), &InnerParallelism::none(), 28),
+            1
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! The STATS execution model on real operating-system threads.
+//!
+//! This executor runs the exact protocol of §II-B with `std::thread` and
+//! crossbeam channels: one worker per chunk (alternative producer followed
+//! by the speculative run), original-state replicas forked at each
+//! boundary, a coordinator performing sequential-order commit checks, and
+//! serialized re-execution on abort.
+//!
+//! Because all randomness flows through per-role derived streams
+//! ([`crate::rng::StreamRole`]), this executor makes *identical*
+//! commit/abort decisions and produces *identical* outputs to the
+//! simulated runtime for the same `(workload, inputs, config, seed)` —
+//! property-tested in the crate's test suite.
+
+use crate::config::Config;
+use crate::dependence::StateDependence;
+use crate::planner::plan_balanced;
+use crate::report::ChunkDecision;
+use crate::rng::{StatsRng, StreamRole};
+use crate::speculation::run_segment;
+use crossbeam::channel::bounded;
+use std::time::{Duration, Instant};
+
+/// Result of a threaded STATS execution.
+#[derive(Debug, Clone)]
+pub struct ThreadedRun<O> {
+    /// Realized outputs, in input order.
+    pub outputs: Vec<O>,
+    /// Per-chunk decisions.
+    pub decisions: Vec<ChunkDecision>,
+    /// Wall-clock time of the parallel region (host-dependent; informative
+    /// only — all figures use the deterministic simulated runtime).
+    pub elapsed: Duration,
+}
+
+impl<O> ThreadedRun<O> {
+    /// Number of aborted chunks.
+    pub fn aborts(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| **d == ChunkDecision::Aborted)
+            .count()
+    }
+}
+
+/// What the coordinator tells a worker after validating its speculation.
+enum Verdict<S> {
+    Commit,
+    Abort(Box<S>),
+}
+
+/// A worker's report to the coordinator.
+struct WorkerResult<S, O> {
+    spec_state: Option<S>,
+    outputs: Vec<O>,
+    snapshot: S,
+    final_state: S,
+}
+
+/// Run the STATS protocol on real threads.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid for `inputs.len()` or a worker thread
+/// panics (workload `update` panicked).
+pub fn run_threaded<W>(
+    workload: &W,
+    inputs: &[W::Input],
+    config: Config,
+    master_seed: u64,
+) -> ThreadedRun<W::Output>
+where
+    W: StateDependence + Sync,
+{
+    config
+        .validate(inputs.len())
+        .expect("invalid configuration for input length");
+    let plan = plan_balanced(inputs.len(), config.chunks);
+    run_threaded_planned(workload, inputs, config, plan, master_seed)
+}
+
+/// [`run_threaded`] with an explicit chunk plan (parity with
+/// [`crate::speculation::run_speculative_planned`]).
+///
+/// # Panics
+///
+/// Panics if the plan does not match the configuration or a worker
+/// panics.
+pub fn run_threaded_planned<W>(
+    workload: &W,
+    inputs: &[W::Input],
+    config: Config,
+    plan: crate::planner::ChunkPlan,
+    master_seed: u64,
+) -> ThreadedRun<W::Output>
+where
+    W: StateDependence + Sync,
+{
+    assert_eq!(plan.inputs(), inputs.len(), "plan does not cover the input stream");
+    assert_eq!(plan.len(), config.chunks, "plan chunk count mismatch");
+    let chunks = plan.len();
+    let k = config.lookback;
+    let m = config.extra_states;
+    let start_time = Instant::now();
+
+    // Channels: worker -> coordinator results, coordinator -> worker
+    // verdicts, worker -> coordinator rerun results.
+    let mut result_rx = Vec::with_capacity(chunks);
+    let mut verdict_tx = Vec::with_capacity(chunks);
+    let mut rerun_rx = Vec::with_capacity(chunks);
+    let mut worker_ends = Vec::with_capacity(chunks);
+    for _ in 0..chunks {
+        let (rtx, rrx) = bounded::<WorkerResult<W::State, W::Output>>(1);
+        let (vtx, vrx) = bounded::<Verdict<W::State>>(1);
+        let (xtx, xrx) = bounded::<WorkerResult<W::State, W::Output>>(1);
+        result_rx.push(rrx);
+        verdict_tx.push(vtx);
+        rerun_rx.push(xrx);
+        worker_ends.push((rtx, vrx, xtx));
+    }
+
+    let mut decisions = vec![ChunkDecision::First; chunks];
+    let mut outputs_per_chunk: Vec<Vec<W::Output>> = Vec::with_capacity(chunks);
+
+    std::thread::scope(|scope| {
+        // ---- workers ------------------------------------------------------
+        for (c, (rtx, vrx, xtx)) in worker_ends.into_iter().enumerate() {
+            let range = plan.chunk(c);
+            scope.spawn(move || {
+                let (spec_state, start_state) = if c == 0 {
+                    (None, workload.fresh_state())
+                } else {
+                    let mut rng = StatsRng::derive(master_seed, StreamRole::AltProducer(c));
+                    let mut st = workload.fresh_state();
+                    for input in &inputs[range.start - k..range.start] {
+                        workload.update(&mut st, input, &mut rng);
+                    }
+                    (Some(st.clone()), st)
+                };
+                let mut rng = StatsRng::derive(master_seed, StreamRole::Chunk(c));
+                let run = run_segment(workload, start_state, inputs, range.clone(), k, &mut rng);
+                rtx.send(WorkerResult {
+                    spec_state,
+                    outputs: run.outputs,
+                    snapshot: run.snapshot,
+                    final_state: run.final_state,
+                })
+                .expect("coordinator alive");
+                match vrx.recv().expect("coordinator alive") {
+                    Verdict::Commit => {}
+                    Verdict::Abort(true_state) => {
+                        let mut rng = StatsRng::derive(master_seed, StreamRole::Rerun(c));
+                        let rerun =
+                            run_segment(workload, *true_state, inputs, range, k, &mut rng);
+                        xtx.send(WorkerResult {
+                            spec_state: None,
+                            outputs: rerun.outputs,
+                            snapshot: rerun.snapshot,
+                            final_state: rerun.final_state,
+                        })
+                        .expect("coordinator alive");
+                    }
+                }
+            });
+        }
+
+        // ---- coordinator: sequential-order commit checks -------------------
+        let mut prev_final: Option<W::State> = None;
+        let mut prev_snapshot: Option<W::State> = None;
+        for c in 0..chunks {
+            let result = result_rx[c].recv().expect("worker alive");
+            if c == 0 {
+                decisions[0] = ChunkDecision::First;
+                verdict_tx[0].send(Verdict::Commit).expect("worker alive");
+                prev_final = Some(result.final_state);
+                prev_snapshot = Some(result.snapshot);
+                outputs_per_chunk.push(result.outputs);
+                continue;
+            }
+            let spec_state = result.spec_state.as_ref().expect("speculative chunk");
+            let pf = prev_final.take().expect("previous final state");
+            let snapshot = prev_snapshot.take().expect("previous snapshot");
+            // Generate the m extra original states in parallel (Fig. 5).
+            let prev_range = plan.chunk(c - 1);
+            let replay_start = prev_range.end.saturating_sub(k).max(prev_range.start);
+            let mut replica_states: Vec<Option<W::State>> = Vec::new();
+            std::thread::scope(|rep_scope| {
+                let handles: Vec<_> = (0..m)
+                    .map(|j| {
+                        let snap = snapshot.clone();
+                        let replay = replay_start..prev_range.end;
+                        rep_scope.spawn(move || {
+                            let mut rng = StatsRng::derive(
+                                master_seed,
+                                StreamRole::OriginalState {
+                                    chunk: c - 1,
+                                    replica: j,
+                                },
+                            );
+                            let mut st = snap;
+                            for idx in replay {
+                                workload.update(&mut st, &inputs[idx], &mut rng);
+                            }
+                            st
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    replica_states.push(Some(h.join().expect("replica thread")));
+                }
+            });
+            // Ordered comparison: producer's own final state first, then
+            // replicas — identical order to the semantic layer.
+            let mut matched = workload.states_match(spec_state, &pf);
+            for st in replica_states.iter().flatten() {
+                if matched {
+                    break;
+                }
+                matched = workload.states_match(spec_state, st);
+            }
+            if matched {
+                decisions[c] = ChunkDecision::Committed;
+                verdict_tx[c].send(Verdict::Commit).expect("worker alive");
+                prev_final = Some(result.final_state);
+                prev_snapshot = Some(result.snapshot);
+                outputs_per_chunk.push(result.outputs);
+            } else {
+                decisions[c] = ChunkDecision::Aborted;
+                verdict_tx[c]
+                    .send(Verdict::Abort(Box::new(pf)))
+                    .expect("worker alive");
+                let rerun = rerun_rx[c].recv().expect("worker alive");
+                prev_final = Some(rerun.final_state);
+                prev_snapshot = Some(rerun.snapshot);
+                outputs_per_chunk.push(rerun.outputs);
+            }
+        }
+    });
+
+    ThreadedRun {
+        outputs: outputs_per_chunk.into_iter().flatten().collect(),
+        decisions,
+        elapsed: start_time.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependence::UpdateCost;
+    use crate::speculation::run_speculative;
+
+    struct Ema {
+        decay: f64,
+        tolerance: f64,
+    }
+
+    impl StateDependence for Ema {
+        type State = f64;
+        type Input = f64;
+        type Output = f64;
+        fn fresh_state(&self) -> f64 {
+            0.0
+        }
+        fn update(&self, state: &mut f64, input: &f64, rng: &mut StatsRng) -> (f64, UpdateCost) {
+            *state = self.decay * *state + (1.0 - self.decay) * (*input + rng.noise(0.001));
+            (*state, UpdateCost::with_work(50))
+        }
+        fn states_match(&self, a: &f64, b: &f64) -> bool {
+            (a - b).abs() < self.tolerance
+        }
+        fn state_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    fn inputs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.05).sin()).collect()
+    }
+
+    #[test]
+    fn threaded_matches_semantic_layer() {
+        let w = Ema {
+            decay: 0.6,
+            tolerance: 0.02,
+        };
+        let ins = inputs(200);
+        let cfg = Config::stats_only(5, 10, 2);
+        let threaded = run_threaded(&w, &ins, cfg, 42);
+        let semantic = run_speculative(&w, &ins, cfg, 42);
+        assert_eq!(threaded.outputs, semantic.outputs);
+        let semantic_decisions: Vec<_> = semantic.chunks.iter().map(|c| c.decision).collect();
+        assert_eq!(threaded.decisions, semantic_decisions);
+    }
+
+    #[test]
+    fn threaded_matches_semantic_layer_with_aborts() {
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-6,
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 4, 1);
+        let threaded = run_threaded(&w, &ins, cfg, 7);
+        let semantic = run_speculative(&w, &ins, cfg, 7);
+        assert!(threaded.aborts() > 0, "this setup must abort");
+        assert_eq!(threaded.outputs, semantic.outputs);
+        assert_eq!(
+            threaded.decisions,
+            semantic.chunks.iter().map(|c| c.decision).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_chunk_runs_sequentially() {
+        let w = Ema {
+            decay: 0.5,
+            tolerance: 0.1,
+        };
+        let ins = inputs(32);
+        let run = run_threaded(&w, &ins, Config::sequential(), 1);
+        assert_eq!(run.outputs.len(), 32);
+        assert_eq!(run.decisions, vec![ChunkDecision::First]);
+        assert_eq!(run.aborts(), 0);
+    }
+
+    #[test]
+    fn planned_threaded_matches_planned_semantics() {
+        use crate::planner::plan_weighted;
+        use crate::speculation::run_speculative_planned;
+        let w = Ema {
+            decay: 0.6,
+            tolerance: 0.02,
+        };
+        let ins = inputs(200);
+        let cfg = Config::stats_only(5, 10, 1);
+        let plan = plan_weighted(200, 5, |i| 1 + (i % 3) as u64);
+        let semantic = run_speculative_planned(&w, &ins, cfg, plan.clone(), 4);
+        let threaded = run_threaded_planned(&w, &ins, cfg, plan, 4);
+        assert_eq!(threaded.outputs, semantic.outputs);
+        assert_eq!(
+            threaded.decisions,
+            semantic.chunks.iter().map(|c| c.decision).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn repeated_runs_are_reproducible() {
+        let w = Ema {
+            decay: 0.6,
+            tolerance: 0.02,
+        };
+        let ins = inputs(100);
+        let cfg = Config::stats_only(4, 8, 1);
+        let a = run_threaded(&w, &ins, cfg, 9);
+        let b = run_threaded(&w, &ins, cfg, 9);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.decisions, b.decisions);
+    }
+}

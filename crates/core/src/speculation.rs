@@ -1,0 +1,584 @@
+//! The semantic layer of the STATS execution model.
+//!
+//! This module *actually runs* the workload under the STATS protocol
+//! (§II-B) and records what happened: every alternative producer's
+//! speculative state, every replica's original state, every commit/abort
+//! decision, and the cost of every piece of computation. It is pure
+//! semantics — no scheduling, no timing — and is shared by the simulated
+//! and threaded runtimes, which therefore always agree on decisions.
+
+use crate::config::Config;
+use crate::dependence::{StateDependence, UpdateCost};
+use crate::planner::{plan_balanced, ChunkPlan};
+use crate::report::ChunkDecision;
+use crate::rng::{StatsRng, StreamRole};
+use std::ops::Range;
+
+/// The recorded execution of one chunk under the STATS protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkOutcome {
+    /// Input range the chunk covers.
+    pub range: Range<usize>,
+    /// What the runtime decided for this chunk.
+    pub decision: ChunkDecision,
+    /// Cost of the chunk's alternative producer (absent for chunk 0).
+    pub alt_cost: Option<UpdateCost>,
+    /// Cost of the speculative run's prefix (inputs before the last `k`).
+    pub spec_prefix: UpdateCost,
+    /// Cost of the speculative run's suffix (the last `k` inputs, re-run
+    /// by replicas at this chunk's boundary).
+    pub spec_suffix: UpdateCost,
+    /// Costs of the re-execution after an abort (prefix, suffix).
+    pub rerun: Option<(UpdateCost, UpdateCost)>,
+    /// Costs of the `m` original-state replicas generated at the end of
+    /// this chunk (empty for the last chunk).
+    pub replica_costs: Vec<UpdateCost>,
+    /// Which original state matched this chunk's speculative state:
+    /// `Some(0)` is the producer's own final state, `Some(j)` is replica
+    /// `j-1`. `None` for chunk 0 and for aborted chunks.
+    pub matched_original: Option<usize>,
+}
+
+impl ChunkOutcome {
+    /// Total useful-work cost of the realized run of this chunk.
+    pub fn realized_cost(&self) -> UpdateCost {
+        match self.rerun {
+            Some((p, s)) => p + s,
+            None => self.spec_prefix + self.spec_suffix,
+        }
+    }
+
+    /// Whether this chunk's speculation aborted.
+    pub fn aborted(&self) -> bool {
+        self.decision == ChunkDecision::Aborted
+    }
+}
+
+/// The complete semantic record of one STATS execution.
+#[derive(Debug, Clone)]
+pub struct SpeculationOutcome<O> {
+    /// The chunk plan used.
+    pub plan: ChunkPlan,
+    /// The configuration executed.
+    pub config: Config,
+    /// Per-chunk records, in stream order.
+    pub chunks: Vec<ChunkOutcome>,
+    /// The realized outputs, in input order (speculative outputs for
+    /// committed chunks, re-run outputs for aborted ones).
+    pub outputs: Vec<O>,
+    /// Size of one state in bytes.
+    pub state_bytes: usize,
+}
+
+impl<O> SpeculationOutcome<O> {
+    /// Number of aborted chunks.
+    pub fn aborts(&self) -> usize {
+        self.chunks.iter().filter(|c| c.aborted()).count()
+    }
+
+    /// Commit rate over the speculative chunks (chunk 0 excluded);
+    /// 1.0 when nothing speculated.
+    pub fn commit_rate(&self) -> f64 {
+        let speculative = self.chunks.len().saturating_sub(1);
+        if speculative == 0 {
+            return 1.0;
+        }
+        1.0 - self.aborts() as f64 / speculative as f64
+    }
+
+    /// Total useful work (realized runs only), in work units.
+    pub fn realized_work(&self) -> u64 {
+        self.chunks.iter().map(|c| c.realized_cost().work).sum()
+    }
+}
+
+/// One segment run: outputs plus aggregated prefix/suffix costs and the
+/// states needed by the protocol.
+pub(crate) struct SegmentRun<S, O> {
+    pub(crate) outputs: Vec<O>,
+    pub(crate) prefix_cost: UpdateCost,
+    pub(crate) suffix_cost: UpdateCost,
+    /// State snapshot taken before processing the last `k` inputs.
+    pub(crate) snapshot: S,
+    pub(crate) final_state: S,
+}
+
+/// Run `inputs[range]` from `start` state, splitting cost accounting at
+/// `range.len() - k` and snapshotting the state there.
+pub(crate) fn run_segment<W: StateDependence>(
+    workload: &W,
+    start: W::State,
+    inputs: &[W::Input],
+    range: Range<usize>,
+    k: usize,
+    rng: &mut StatsRng,
+) -> SegmentRun<W::State, W::Output> {
+    let len = range.len();
+    let split = len.saturating_sub(k);
+    let mut state = start;
+    let mut outputs = Vec::with_capacity(len);
+    let mut prefix_cost = UpdateCost::default();
+    let mut suffix_cost = UpdateCost::default();
+    let mut snapshot = state.clone();
+    for (i, idx) in range.enumerate() {
+        if i == split {
+            snapshot = state.clone();
+        }
+        let (out, cost) = workload.update(&mut state, &inputs[idx], rng);
+        outputs.push(out);
+        if i < split {
+            prefix_cost = prefix_cost + cost;
+        } else {
+            suffix_cost = suffix_cost + cost;
+        }
+    }
+    if split == 0 {
+        // The whole segment is "suffix"; snapshot is the starting state.
+    }
+    SegmentRun {
+        outputs,
+        prefix_cost,
+        suffix_cost,
+        snapshot,
+        final_state: state,
+    }
+}
+
+/// Execute the STATS protocol over `inputs` and record everything.
+///
+/// Deterministic: the same `(workload, inputs, config, master_seed)` always
+/// yields the same outcome, regardless of how the runtimes later schedule
+/// the work.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid for `inputs.len()` (validate first with
+/// [`Config::validate`]).
+pub fn run_speculative<W: StateDependence>(
+    workload: &W,
+    inputs: &[W::Input],
+    config: Config,
+    master_seed: u64,
+) -> SpeculationOutcome<W::Output> {
+    config
+        .validate(inputs.len())
+        .expect("invalid configuration for input length");
+    let plan = plan_balanced(inputs.len(), config.chunks);
+    run_speculative_planned(workload, inputs, config, plan, master_seed)
+}
+
+/// Execute the STATS protocol with an explicit chunk plan.
+///
+/// The paper lists "the length of each computation chunk" among the design
+/// space parameters (§II-B); this entry point lets callers supply a
+/// profile-weighted plan (see [`crate::plan_weighted`]) so benchmarks with
+/// skewed per-input costs — `facedet-and-track`'s detector-vs-filter
+/// bimodality — can be balanced by work rather than by input count.
+///
+/// # Panics
+///
+/// Panics if the plan does not cover `inputs`, its chunk count differs
+/// from `config.chunks`, or any chunk is shorter than the lookback.
+pub fn run_speculative_planned<W: StateDependence>(
+    workload: &W,
+    inputs: &[W::Input],
+    config: Config,
+    plan: ChunkPlan,
+    master_seed: u64,
+) -> SpeculationOutcome<W::Output> {
+    assert_eq!(plan.inputs(), inputs.len(), "plan does not cover the input stream");
+    assert_eq!(plan.len(), config.chunks, "plan chunk count mismatch");
+    for c in 1..plan.len() {
+        assert!(
+            plan.chunk(c - 1).len() >= config.lookback,
+            "chunk {} shorter than the lookback",
+            c - 1
+        );
+    }
+    let k = config.lookback;
+    let m = config.extra_states;
+
+    let mut chunks: Vec<ChunkOutcome> = Vec::with_capacity(plan.len());
+    let mut outputs_per_chunk: Vec<Vec<W::Output>> = Vec::with_capacity(plan.len());
+
+    // Realized boundary data of the previous chunk.
+    let mut prev_final: W::State = workload.fresh_state();
+    let mut prev_snapshot: Option<W::State> = None;
+
+    for c in 0..plan.len() {
+        let range = plan.chunk(c);
+        if c == 0 {
+            let mut rng = StatsRng::derive(master_seed, StreamRole::Chunk(0));
+            let run = run_segment(workload, workload.fresh_state(), inputs, range.clone(), k, &mut rng);
+            chunks.push(ChunkOutcome {
+                range,
+                decision: ChunkDecision::First,
+                alt_cost: None,
+                spec_prefix: run.prefix_cost,
+                spec_suffix: run.suffix_cost,
+                rerun: None,
+                replica_costs: Vec::new(),
+                matched_original: None,
+            });
+            outputs_per_chunk.push(run.outputs);
+            prev_final = run.final_state;
+            prev_snapshot = Some(run.snapshot);
+            continue;
+        }
+
+        // Alternative producer: the k inputs preceding the chunk, from a
+        // fresh state (the short memory property, §II-B).
+        let alt_range = range.start - k..range.start;
+        let mut alt_rng = StatsRng::derive(master_seed, StreamRole::AltProducer(c));
+        let mut alt_state = workload.fresh_state();
+        let mut alt_cost = UpdateCost::default();
+        for idx in alt_range {
+            let (_, cost) = workload.update(&mut alt_state, &inputs[idx], &mut alt_rng);
+            alt_cost = alt_cost + cost;
+        }
+        let spec_state = alt_state;
+
+        // Speculative run of this chunk from the speculative state.
+        let mut chunk_rng = StatsRng::derive(master_seed, StreamRole::Chunk(c));
+        let spec_run = run_segment(
+            workload,
+            spec_state.clone(),
+            inputs,
+            range.clone(),
+            k,
+            &mut chunk_rng,
+        );
+
+        // Validation at the previous boundary: the producer's own final
+        // state plus m replicas re-running its last k inputs from the
+        // realized snapshot, each with an independent random stream
+        // ("these original states differ because of the nondeterminism of
+        // the original algorithm", §II-B).
+        let prev_range = plan.chunk(c - 1);
+        let replay_start = prev_range.end.saturating_sub(k).max(prev_range.start);
+        let snapshot = prev_snapshot
+            .take()
+            .expect("previous chunk recorded a snapshot");
+        let mut replica_costs = Vec::with_capacity(m);
+        let mut matched: Option<usize> = None;
+        if workload.states_match(&spec_state, &prev_final) {
+            matched = Some(0);
+        }
+        for j in 0..m {
+            let mut rng = StatsRng::derive(
+                master_seed,
+                StreamRole::OriginalState {
+                    chunk: c - 1,
+                    replica: j,
+                },
+            );
+            let mut st = snapshot.clone();
+            let mut cost = UpdateCost::default();
+            for input in &inputs[replay_start..prev_range.end] {
+                let (_, step) = workload.update(&mut st, input, &mut rng);
+                cost = cost + step;
+            }
+            replica_costs.push(cost);
+            if matched.is_none() && workload.states_match(&spec_state, &st) {
+                matched = Some(j + 1);
+            }
+        }
+        chunks[c - 1].replica_costs = replica_costs;
+
+        // Decision.
+        if let Some(which) = matched {
+            chunks.push(ChunkOutcome {
+                range,
+                decision: ChunkDecision::Committed,
+                alt_cost: Some(alt_cost),
+                spec_prefix: spec_run.prefix_cost,
+                spec_suffix: spec_run.suffix_cost,
+                rerun: None,
+                replica_costs: Vec::new(),
+                matched_original: Some(which),
+            });
+            prev_final = spec_run.final_state;
+            prev_snapshot = Some(spec_run.snapshot);
+            outputs_per_chunk.push(spec_run.outputs);
+        } else {
+            // Abort: re-run from the true original state (§II-B case (i)).
+            let mut rerun_rng = StatsRng::derive(master_seed, StreamRole::Rerun(c));
+            let rerun = run_segment(
+                workload,
+                prev_final.clone(),
+                inputs,
+                range.clone(),
+                k,
+                &mut rerun_rng,
+            );
+            chunks.push(ChunkOutcome {
+                range,
+                decision: ChunkDecision::Aborted,
+                alt_cost: Some(alt_cost),
+                spec_prefix: spec_run.prefix_cost,
+                spec_suffix: spec_run.suffix_cost,
+                rerun: Some((rerun.prefix_cost, rerun.suffix_cost)),
+                replica_costs: Vec::new(),
+                matched_original: None,
+            });
+            prev_final = rerun.final_state;
+            prev_snapshot = Some(rerun.snapshot);
+            outputs_per_chunk.push(rerun.outputs);
+        }
+    }
+
+    let outputs = outputs_per_chunk.into_iter().flatten().collect();
+    SpeculationOutcome {
+        plan,
+        config,
+        chunks,
+        outputs,
+        state_bytes: workload.state_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependence::UpdateCost;
+
+    /// Noisy moving average with tunable memory: with decay 0.5 the state
+    /// forgets quickly (short memory); with decay ~1.0 it remembers
+    /// everything (speculation must abort).
+    struct Ema {
+        decay: f64,
+        tolerance: f64,
+    }
+
+    impl StateDependence for Ema {
+        type State = f64;
+        type Input = f64;
+        type Output = f64;
+
+        fn fresh_state(&self) -> f64 {
+            0.0
+        }
+
+        fn update(&self, state: &mut f64, input: &f64, rng: &mut StatsRng) -> (f64, UpdateCost) {
+            *state = self.decay * *state + (1.0 - self.decay) * (*input + rng.noise(0.001));
+            (*state, UpdateCost::with_work(100))
+        }
+
+        fn states_match(&self, a: &f64, b: &f64) -> bool {
+            (a - b).abs() < self.tolerance
+        }
+
+        fn state_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    fn inputs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.05).sin()).collect()
+    }
+
+    #[test]
+    fn short_memory_workload_commits() {
+        let w = Ema {
+            decay: 0.5,
+            tolerance: 0.05,
+        };
+        let ins = inputs(256);
+        let cfg = Config::stats_only(8, 16, 2);
+        let out = run_speculative(&w, &ins, cfg, 42);
+        assert_eq!(out.outputs.len(), 256);
+        assert_eq!(out.aborts(), 0, "short memory should commit everywhere");
+        assert_eq!(out.commit_rate(), 1.0);
+    }
+
+    #[test]
+    fn long_memory_workload_aborts() {
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 0.001,
+        };
+        let ins = inputs(256);
+        let cfg = Config::stats_only(8, 4, 1);
+        let out = run_speculative(&w, &ins, cfg, 42);
+        assert!(out.aborts() > 0, "long memory must mispeculate");
+        assert_eq!(out.outputs.len(), 256);
+    }
+
+    #[test]
+    fn outputs_match_input_count_always() {
+        let w = Ema {
+            decay: 0.7,
+            tolerance: 0.02,
+        };
+        let ins = inputs(100);
+        for chunks in [1, 2, 5, 10] {
+            let cfg = Config::stats_only(chunks, 8.min(100 / chunks), 1);
+            if cfg.validate(ins.len()).is_err() {
+                continue;
+            }
+            let out = run_speculative(&w, &ins, cfg, 7);
+            assert_eq!(out.outputs.len(), 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = Ema {
+            decay: 0.6,
+            tolerance: 0.03,
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 8, 2);
+        let a = run_speculative(&w, &ins, cfg, 5);
+        let b = run_speculative(&w, &ins, cfg, 5);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.aborts(), b.aborts());
+        let c = run_speculative(&w, &ins, cfg, 6);
+        // Different seed: values differ (nondeterminism) though often the
+        // same decisions.
+        assert_ne!(a.outputs, c.outputs);
+    }
+
+    #[test]
+    fn aborted_chunk_outputs_come_from_rerun() {
+        // With decay ~1 the speculative run starting near 0 produces
+        // different outputs than the re-run starting from the true state.
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-9,
+        };
+        let ins: Vec<f64> = (0..64).map(|_| 1.0).collect();
+        let cfg = Config::stats_only(2, 2, 0);
+        let out = run_speculative(&w, &ins, cfg, 3);
+        assert_eq!(out.aborts(), 1);
+        // Sequential reference: state keeps growing toward 1; the second
+        // half's outputs must continue from the first half's level, which
+        // speculation (starting fresh) could not achieve.
+        assert!(out.outputs[32] > out.outputs[16] * 0.9);
+    }
+
+    #[test]
+    fn replica_costs_attach_to_producer_chunk() {
+        let w = Ema {
+            decay: 0.5,
+            tolerance: 0.05,
+        };
+        let ins = inputs(120);
+        let cfg = Config::stats_only(3, 10, 2);
+        let out = run_speculative(&w, &ins, cfg, 11);
+        // Chunks 0 and 1 produce replicas for their successors; chunk 2
+        // (the last) does not.
+        assert_eq!(out.chunks[0].replica_costs.len(), 2);
+        assert_eq!(out.chunks[1].replica_costs.len(), 2);
+        assert!(out.chunks[2].replica_costs.is_empty());
+    }
+
+    #[test]
+    fn matched_original_is_recorded() {
+        let w = Ema {
+            decay: 0.5,
+            tolerance: 0.05,
+        };
+        let ins = inputs(120);
+        let cfg = Config::stats_only(3, 10, 2);
+        let out = run_speculative(&w, &ins, cfg, 11);
+        for c in &out.chunks[1..] {
+            assert!(c.matched_original.is_some());
+        }
+        assert_eq!(out.chunks[0].matched_original, None);
+    }
+
+    #[test]
+    fn realized_work_counts_reruns() {
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-9,
+        };
+        let ins = inputs(64);
+        let cfg = Config::stats_only(2, 2, 0);
+        let out = run_speculative(&w, &ins, cfg, 3);
+        assert_eq!(out.aborts(), 1);
+        // Realized work = both chunks' re-realized runs = 64 updates.
+        assert_eq!(out.realized_work(), 64 * 100);
+        let c1 = &out.chunks[1];
+        assert!(c1.rerun.is_some());
+        let rerun_total = c1.rerun.unwrap().0 + c1.rerun.unwrap().1;
+        assert_eq!(rerun_total.work, 32 * 100);
+    }
+
+    #[test]
+    fn single_chunk_never_speculates() {
+        let w = Ema {
+            decay: 0.9,
+            tolerance: 0.01,
+        };
+        let ins = inputs(50);
+        let out = run_speculative(&w, &ins, Config::sequential(), 1);
+        assert_eq!(out.chunks.len(), 1);
+        assert_eq!(out.chunks[0].decision, ChunkDecision::First);
+        assert_eq!(out.commit_rate(), 1.0);
+        assert!(out.chunks[0].alt_cost.is_none());
+    }
+
+    #[test]
+    fn planned_execution_matches_balanced_when_plans_agree() {
+        let w = Ema {
+            decay: 0.5,
+            tolerance: 0.05,
+        };
+        let ins = inputs(120);
+        let cfg = Config::stats_only(4, 8, 1);
+        let balanced = run_speculative(&w, &ins, cfg, 3);
+        let plan = crate::planner::plan_balanced(120, 4);
+        let planned = run_speculative_planned(&w, &ins, cfg, plan, 3);
+        assert_eq!(balanced.outputs, planned.outputs);
+        assert_eq!(balanced.aborts(), planned.aborts());
+    }
+
+    #[test]
+    fn weighted_plans_change_chunk_shapes_not_semantics() {
+        let w = Ema {
+            decay: 0.5,
+            tolerance: 0.05,
+        };
+        let ins = inputs(120);
+        let cfg = Config::stats_only(4, 8, 1);
+        // Skewed weights: front-loaded work.
+        let plan = crate::planner::plan_weighted(120, 4, |i| if i < 40 { 10 } else { 1 });
+        assert!(plan.chunk(0).len() < plan.chunk(3).len());
+        let out = run_speculative_planned(&w, &ins, cfg, plan, 3);
+        assert_eq!(out.outputs.len(), 120);
+        assert_eq!(out.chunks.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan chunk count mismatch")]
+    fn planned_execution_rejects_wrong_chunk_count() {
+        let w = Ema {
+            decay: 0.5,
+            tolerance: 0.05,
+        };
+        let ins = inputs(60);
+        let plan = crate::planner::plan_balanced(60, 3);
+        run_speculative_planned(&w, &ins, Config::stats_only(4, 4, 1), plan, 1);
+    }
+
+    #[test]
+    fn extra_states_raise_commit_rate() {
+        // Borderline tolerance: more original states = more chances to
+        // match (§II-B's motivation for multiple original states).
+        let w = Ema {
+            decay: 0.9,
+            tolerance: 0.0035,
+        };
+        let ins = inputs(512);
+        let strict = run_speculative(&w, &ins, Config::stats_only(8, 16, 0), 17);
+        let lenient = run_speculative(&w, &ins, Config::stats_only(8, 16, 6), 17);
+        assert!(
+            lenient.aborts() <= strict.aborts(),
+            "extra states should never hurt: {} vs {}",
+            lenient.aborts(),
+            strict.aborts()
+        );
+    }
+}

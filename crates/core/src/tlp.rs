@@ -1,0 +1,148 @@
+//! Modeling the benchmarks' pre-existing ("original") thread-level
+//! parallelism.
+//!
+//! The PARSEC benchmarks the paper studies already contain developer-
+//! expressed TLP (POSIX threads/OpenMP inside each input's processing).
+//! Fig. 9 shows this *original* TLP saturating — 3.7× on 14 cores, 3.76×
+//! on 28 — because only a fraction of each update parallelizes and
+//! fork/join synchronization costs grow with width. [`InnerParallelism`]
+//! captures exactly that: an Amdahl fraction plus per-shard fork/join
+//! costs, used by the simulated runtime to shard update work across cores.
+
+use serde::{Deserialize, Serialize};
+
+/// An Amdahl-style model of the parallelism *inside* one state update.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InnerParallelism {
+    /// Fraction of each update's work that can run in parallel, in
+    /// `[0, 1]`.
+    pub parallel_fraction: f64,
+    /// Maximum useful width (e.g. bodytrack's per-frame parallelism is
+    /// bounded by its particle batch count). `usize::MAX` when unbounded.
+    pub max_width: usize,
+}
+
+impl InnerParallelism {
+    /// No inner parallelism at all (a fully sequential update).
+    pub fn none() -> Self {
+        InnerParallelism {
+            parallel_fraction: 0.0,
+            max_width: 1,
+        }
+    }
+
+    /// An Amdahl profile with the given parallel fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallel_fraction` is outside `[0, 1]` or
+    /// `max_width` is zero.
+    pub fn amdahl(parallel_fraction: f64, max_width: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&parallel_fraction),
+            "fraction out of range"
+        );
+        assert!(max_width > 0, "zero width");
+        InnerParallelism {
+            parallel_fraction,
+            max_width,
+        }
+    }
+
+    /// Effective width when `cores` cores are available.
+    pub fn width(&self, cores: usize) -> usize {
+        cores.clamp(1, self.max_width)
+    }
+
+    /// Ideal (sync-free) speedup at the given width.
+    pub fn ideal_speedup(&self, width: usize) -> f64 {
+        let w = width.clamp(1, self.max_width) as f64;
+        let f = self.parallel_fraction;
+        1.0 / ((1.0 - f) + f / w)
+    }
+
+    /// Split `work` units into the serial part and the per-shard parallel
+    /// part at the given width: `(serial, per_shard)`.
+    ///
+    /// `serial + width * per_shard ≈ work` (integer rounding keeps the
+    /// total within `width` units).
+    pub fn split_work(&self, work: u64, width: usize) -> (u64, u64) {
+        let w = self.width(width);
+        if w <= 1 || self.parallel_fraction <= 0.0 {
+            return (work, 0);
+        }
+        let parallel = (work as f64 * self.parallel_fraction) as u64;
+        let serial = work - parallel;
+        (serial, parallel.div_ceil(w as u64))
+    }
+
+    /// Whether sharding is worthwhile at all.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel_fraction > 0.0 && self.max_width > 1
+    }
+}
+
+impl Default for InnerParallelism {
+    fn default() -> Self {
+        InnerParallelism::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_speeds_up() {
+        let p = InnerParallelism::none();
+        assert_eq!(p.ideal_speedup(28), 1.0);
+        assert_eq!(p.split_work(1_000, 28), (1_000, 0));
+        assert!(!p.is_parallel());
+    }
+
+    #[test]
+    fn amdahl_saturates_like_fig9() {
+        // The paper's aggregate original TLP: ~3.7x at 14 cores, ~3.76x at
+        // 28. A fraction of ~0.75 reproduces that saturation shape.
+        let p = InnerParallelism::amdahl(0.75, usize::MAX);
+        let s14 = p.ideal_speedup(14);
+        let s28 = p.ideal_speedup(28);
+        assert!(s14 > 3.0 && s14 < 4.2, "s14 = {s14}");
+        assert!(s28 - s14 < 0.6, "gain from doubling cores should be small");
+    }
+
+    #[test]
+    fn split_work_conserves_total() {
+        let p = InnerParallelism::amdahl(0.8, usize::MAX);
+        for width in [1usize, 2, 7, 28] {
+            let (serial, shard) = p.split_work(10_000, width);
+            let total = serial + shard * p.width(width) as u64;
+            assert!(total >= 10_000, "lost work at width {width}");
+            assert!(total <= 10_000 + width as u64, "excess at width {width}");
+        }
+    }
+
+    #[test]
+    fn max_width_caps_speedup() {
+        let p = InnerParallelism::amdahl(1.0, 4);
+        assert_eq!(p.width(28), 4);
+        assert!((p.ideal_speedup(28) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_monotone_in_width() {
+        let p = InnerParallelism::amdahl(0.9, usize::MAX);
+        let mut prev = 0.0;
+        for w in 1..=32 {
+            let s = p.ideal_speedup(w);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn rejects_bad_fraction() {
+        InnerParallelism::amdahl(1.5, 2);
+    }
+}

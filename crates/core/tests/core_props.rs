@@ -1,0 +1,134 @@
+//! Property tests of the STATS core: configurations, design spaces,
+//! planning, and speculation accounting.
+
+use proptest::prelude::*;
+use stats_core::rng::StatsRng;
+use stats_core::runtime::sequential::run_sequential;
+use stats_core::speculation::run_speculative;
+use stats_core::{
+    plan_weighted, Config, DesignSpace, InnerParallelism, StateDependence, UpdateCost,
+};
+
+struct Counter;
+
+impl StateDependence for Counter {
+    type State = u64;
+    type Input = u64;
+    type Output = u64;
+    fn fresh_state(&self) -> u64 {
+        0
+    }
+    fn update(&self, s: &mut u64, i: &u64, _rng: &mut StatsRng) -> (u64, UpdateCost) {
+        // Count updates: deterministic, zero memory -> always commits.
+        *s = s.wrapping_add(1).min(1_000_000);
+        (*s + i, UpdateCost::with_work(10 + i % 7))
+    }
+    fn states_match(&self, _a: &u64, _b: &u64) -> bool {
+        true // memoryless acceptance: everything matches
+    }
+    fn state_bytes(&self) -> usize {
+        8
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every configuration a design space enumerates validates, and
+    /// validation is consistent with explicit checks.
+    #[test]
+    fn design_spaces_only_contain_valid_configs(inputs in 2usize..2_000, cores in 1usize..64) {
+        let space = DesignSpace::for_inputs(inputs, cores, true);
+        for cfg in space.enumerate() {
+            prop_assert!(cfg.validate(inputs).is_ok(), "{cfg:?} invalid for {inputs}");
+        }
+    }
+
+    /// Weighted planning always covers the stream exactly with non-empty
+    /// chunks, for arbitrary weight functions.
+    #[test]
+    fn weighted_plans_cover(inputs in 1usize..800, chunks in 1usize..32, seed in 0u64..100) {
+        prop_assume!(chunks <= inputs);
+        let weight = move |i: usize| (i as u64).wrapping_mul(seed + 1) % 17;
+        let plan = plan_weighted(inputs, chunks, weight);
+        prop_assert_eq!(plan.len(), chunks);
+        prop_assert_eq!(plan.inputs(), inputs);
+        for r in plan.ranges() {
+            prop_assert!(!r.is_empty());
+        }
+    }
+
+    /// With a memoryless acceptance predicate everything commits, and the
+    /// total realized work equals the sequential work exactly (aside from
+    /// the replicas' and alt-producers' separately-accounted costs).
+    #[test]
+    fn memoryless_workload_always_commits(
+        inputs in 8usize..300,
+        chunks in 1usize..16,
+        k in 1usize..8,
+        m in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = Config::stats_only(chunks, k, m);
+        prop_assume!(cfg.validate(inputs).is_ok());
+        let stream: Vec<u64> = (0..inputs as u64).collect();
+        let out = run_speculative(&Counter, &stream, cfg, seed);
+        prop_assert_eq!(out.aborts(), 0);
+        let seq = run_sequential(&Counter, &stream, seed);
+        prop_assert_eq!(out.realized_work(), seq.cost.work);
+        prop_assert_eq!(out.outputs.len(), inputs);
+        // Replica accounting: every chunk but the last carries exactly m
+        // replica cost entries.
+        for (i, c) in out.chunks.iter().enumerate() {
+            let expect = if i + 1 == out.chunks.len() || chunks == 1 { 0 } else { m };
+            prop_assert_eq!(c.replica_costs.len(), expect, "chunk {}", i);
+        }
+    }
+
+    /// Inner parallelism obeys Amdahl: ideal speedup is bounded by
+    /// 1/(1-f) and by the width, and split work conserves totals.
+    #[test]
+    fn amdahl_bounds(f in 0.0f64..1.0, width in 1usize..64, work in 1u64..1_000_000) {
+        prop_assume!(f < 0.999);
+        let p = InnerParallelism::amdahl(f, usize::MAX);
+        let s = p.ideal_speedup(width);
+        prop_assert!(s >= 1.0 - 1e-12);
+        prop_assert!(s <= width as f64 + 1e-9);
+        prop_assert!(s <= 1.0 / (1.0 - f) + 1e-9);
+        let (serial, per_shard) = p.split_work(work, width);
+        let total = serial + per_shard * p.width(width) as u64;
+        prop_assert!(total >= work);
+        prop_assert!(total <= work + width as u64);
+    }
+
+    /// Config validation is total and panic-free over arbitrary inputs.
+    #[test]
+    fn validation_never_panics(chunks in 0usize..10_000, lookback in 0usize..10_000, m in 0usize..64, inputs in 0usize..10_000) {
+        let cfg = Config {
+            chunks,
+            lookback,
+            extra_states: m,
+            combine_inner_tlp: chunks % 2 == 0,
+        };
+        let _ = cfg.validate(inputs);
+    }
+
+    /// Derived RNG streams: equal (seed, role) pairs agree, different
+    /// chunk indices diverge within a few draws.
+    #[test]
+    fn rng_streams_are_role_separated(seed in 0u64..10_000, chunk in 0usize..500) {
+        use stats_core::rng::StreamRole;
+        let mut a = StatsRng::derive(seed, StreamRole::Chunk(chunk));
+        let mut b = StatsRng::derive(seed, StreamRole::Chunk(chunk));
+        let mut c = StatsRng::derive(seed, StreamRole::Chunk(chunk + 1));
+        let mut diverged = false;
+        for _ in 0..4 {
+            let (x, y, z) = (a.unit(), b.unit(), c.unit());
+            prop_assert_eq!(x, y);
+            if (x - z).abs() > 1e-15 {
+                diverged = true;
+            }
+        }
+        prop_assert!(diverged, "adjacent chunk streams never diverged");
+    }
+}

@@ -1,0 +1,153 @@
+//! Structural invariants of the task graphs the simulated runtime lowers
+//! speculation outcomes into, checked over randomized configurations.
+
+use proptest::prelude::*;
+use stats_core::rng::StatsRng;
+use stats_core::runtime::simulated::{build_task_graph, GraphOptions};
+use stats_core::speculation::run_speculative;
+use stats_core::{Config, StateDependence, UpdateCost};
+use stats_platform::Machine;
+use stats_trace::Category;
+
+#[derive(Debug, Clone)]
+struct Ema {
+    decay: f64,
+    tolerance: f64,
+}
+
+impl StateDependence for Ema {
+    type State = f64;
+    type Input = f64;
+    type Output = f64;
+    fn fresh_state(&self) -> f64 {
+        0.0
+    }
+    fn update(&self, s: &mut f64, x: &f64, rng: &mut StatsRng) -> (f64, UpdateCost) {
+        *s = self.decay * *s + (1.0 - self.decay) * (*x + rng.noise(0.01));
+        (*s, UpdateCost::with_work(2_000))
+    }
+    fn states_match(&self, a: &f64, b: &f64) -> bool {
+        (a - b).abs() < self.tolerance
+    }
+    fn state_bytes(&self) -> usize {
+        64
+    }
+}
+
+fn setup(decay: f64, tolerance: f64, chunks: usize, k: usize, m: usize, seed: u64) -> Option<(
+    stats_core::SpeculationOutcome<f64>,
+    GraphOptions,
+)> {
+    let cfg = Config::stats_only(chunks, k, m);
+    let inputs: Vec<f64> = (0..120).map(|i| (i as f64 * 0.07).sin()).collect();
+    cfg.validate(inputs.len()).ok()?;
+    let w = Ema { decay, tolerance };
+    let outcome = run_speculative(&w, &inputs, cfg, seed);
+    Some((outcome, GraphOptions::default()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every lowered graph executes (acyclic), covers all model
+    /// categories it should, and respects the sequential commit order in
+    /// the realized schedule.
+    #[test]
+    fn lowered_graphs_are_wellformed(
+        decay in 0.3f64..0.999,
+        tolerance in 0.0001f64..0.2,
+        chunks in 2usize..10,
+        k in 1usize..8,
+        m in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let Some((outcome, opts)) = setup(decay, tolerance, chunks, k, m, seed) else {
+            return Ok(());
+        };
+        let machine = Machine::paper_machine();
+        let graph = build_task_graph("prop", &outcome, &machine, &opts);
+        let result = machine.execute(&graph).expect("lowered graphs are acyclic");
+
+        // Commit tasks exist once per chunk and end in sequential order.
+        let mut commit_ends = Vec::new();
+        for t in graph.tasks() {
+            if t.category == Category::Commit {
+                commit_ends.push(result.entry(t.id).end);
+            }
+        }
+        prop_assert_eq!(commit_ends.len(), chunks);
+        for pair in commit_ends.windows(2) {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "commit order violated: {} after {}",
+                pair[0],
+                pair[1]
+            );
+        }
+
+        // Alternative producers exist for every chunk but the first.
+        let alts = graph
+            .tasks()
+            .iter()
+            .filter(|t| t.category == Category::AltProducer)
+            .count();
+        prop_assert_eq!(alts, chunks - 1);
+
+        // Replica counts: m per non-final boundary, all scheduled.
+        let reps = graph
+            .tasks()
+            .iter()
+            .filter(|t| t.category == Category::OriginalStateGen)
+            .count();
+        prop_assert_eq!(reps, m * (chunks - 1));
+
+        // Aborted chunks appear as AbortedCompute and re-runs extend the
+        // makespan beyond the all-commit graph's.
+        if outcome.aborts() > 0 {
+            let aborted_cycles: u64 = graph
+                .tasks()
+                .iter()
+                .filter(|t| t.category == Category::AbortedCompute)
+                .map(|t| t.duration.get())
+                .sum();
+            prop_assert!(aborted_cycles > 0, "aborts without AbortedCompute spans");
+            let commit_all = GraphOptions {
+                assume_all_commit: true,
+                ..opts
+            };
+            let g2 = build_task_graph("all-commit", &outcome, &machine, &commit_all);
+            let r2 = machine.execute(&g2).unwrap();
+            prop_assert!(r2.makespan <= result.makespan);
+        }
+    }
+
+    /// Lazy replication is a strict work subset of eager replication.
+    #[test]
+    fn lazy_graphs_are_subsets(
+        chunks in 2usize..8,
+        k in 1usize..6,
+        m in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let Some((outcome, opts)) = setup(0.5, 0.05, chunks, k, m, seed) else {
+            return Ok(());
+        };
+        let machine = Machine::paper_machine();
+        let eager = build_task_graph("eager", &outcome, &machine, &opts);
+        let lazy_opts = GraphOptions {
+            lazy_replicas: true,
+            ..opts
+        };
+        let lazy = build_task_graph("lazy", &outcome, &machine, &lazy_opts);
+        let gen_cycles = |g: &stats_platform::TaskGraph| -> u64 {
+            g.tasks()
+                .iter()
+                .filter(|t| t.category == Category::OriginalStateGen)
+                .map(|t| t.duration.get())
+                .sum()
+        };
+        prop_assert!(gen_cycles(&lazy) <= gen_cycles(&eager));
+        // Both still execute.
+        machine.execute(&lazy).expect("lazy graph acyclic");
+    }
+}

@@ -1,0 +1,228 @@
+//! Cycle-cost model for abstract runtime operations.
+
+use crate::{SocketId, Topology};
+use serde::{Deserialize, Serialize};
+use stats_trace::{Cycles, ThreadId};
+
+/// Converts abstract operation quantities into virtual cycles.
+///
+/// The defaults are calibrated to the qualitative facts the paper states:
+/// synchronization wakeups cost "several hundreds of clock cycles"
+/// (§III-C); cross-socket transfers ride the QPI link and are slower than
+/// intra-socket ones; state copies are bandwidth-bound.
+///
+/// All costs are deterministic functions of their inputs; the simulator is
+/// reproducible bit-for-bit across hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles per abstract work unit reported by workloads (1 by default;
+    /// workloads express their compute directly in cycle-equivalents).
+    pub cycles_per_work_unit: u64,
+    /// Cycles per byte for a state copy within one socket (cache-to-cache
+    /// or through DRAM; ~0.25 cy/B models ~35 GB/s effective per-core copy
+    /// bandwidth at 2.3 GHz, rounded to integer math as 1 cy / 4 B).
+    pub copy_bytes_per_cycle_intra: u64,
+    /// Bytes per cycle for a state copy that crosses the QPI interconnect
+    /// (slower: the paper's 9.6 GT/s QPI).
+    pub copy_bytes_per_cycle_inter: u64,
+    /// Fixed cost of a kernel-level thread wakeup (futex/condvar signal).
+    pub sync_wakeup: Cycles,
+    /// Fixed cost of blocking on a synchronization object (entering the
+    /// kernel on the waiter side).
+    pub sync_block: Cycles,
+    /// Cost of spawning a thread (inflates the paper's setup overhead for
+    /// benchmarks that create hundreds of threads, Table I).
+    pub thread_spawn: Cycles,
+    /// Per-byte cost of comparing two states.
+    pub compare_bytes_per_cycle: u64,
+    /// Fixed per-state-buffer allocation/initialization cost during setup.
+    pub state_alloc: Cycles,
+    /// Cost of one uncontended pass through the STATS runtime's
+    /// synchronized input/output lists (mutex + queue op).
+    pub dispatch: Cycles,
+    /// Scheduler/context-switch latency charged when logical threads
+    /// oversubscribe the cores (Table I: up to 280 threads on 28 cores).
+    pub context_switch: Cycles,
+}
+
+impl CostModel {
+    /// Cycles for `work` abstract work units.
+    pub fn work(&self, work_units: u64) -> Cycles {
+        Cycles(work_units * self.cycles_per_work_unit)
+    }
+
+    /// Cycles to copy a state of `bytes` between the home sockets of two
+    /// logical threads (see [`CostModel::home_socket`]).
+    pub fn state_copy(
+        &self,
+        topology: &Topology,
+        bytes: usize,
+        from: ThreadId,
+        to: ThreadId,
+    ) -> Cycles {
+        let cross = self.home_socket(topology, from) != self.home_socket(topology, to);
+        let bpc = if cross {
+            self.copy_bytes_per_cycle_inter
+        } else {
+            self.copy_bytes_per_cycle_intra
+        };
+        // Fixed latency floor plus bandwidth term.
+        let latency = if cross { 300 } else { 80 };
+        Cycles(latency + (bytes as u64).div_ceil(bpc))
+    }
+
+    /// Cycles to compare two states of `bytes` each.
+    pub fn state_compare(&self, bytes: usize) -> Cycles {
+        Cycles(40 + (bytes as u64).div_ceil(self.compare_bytes_per_cycle))
+    }
+
+    /// The socket a logical thread is considered "at home" on.
+    ///
+    /// The simulator does not migrate memory with threads; instead, logical
+    /// threads are statically striped across sockets round-robin by id,
+    /// which is how the STATS runtime pins its worker pool. Copy costs are
+    /// computed from home sockets.
+    pub fn home_socket(&self, topology: &Topology, thread: ThreadId) -> SocketId {
+        SocketId(thread.0 % topology.sockets())
+    }
+
+    /// Setup cost for allocating `states` state buffers of `bytes` each and
+    /// spawning `threads` threads (§III-B "Setup").
+    pub fn setup(&self, threads: usize, states: usize, bytes: usize) -> Cycles {
+        let alloc = self.state_alloc.get() * states as u64;
+        let touch = (states as u64) * (bytes as u64).div_ceil(self.copy_bytes_per_cycle_intra);
+        let spawn = self.thread_spawn.get() * threads as u64;
+        Cycles(alloc + touch + spawn)
+    }
+
+    /// Instruction estimate for copying `bytes` (roughly one vector
+    /// instruction per 16 bytes plus loop overhead).
+    pub fn copy_instructions(&self, bytes: usize) -> u64 {
+        20 + (bytes as u64).div_ceil(16)
+    }
+
+    /// Instruction estimate for comparing states of `bytes`.
+    pub fn compare_instructions(&self, bytes: usize) -> u64 {
+        10 + (bytes as u64).div_ceil(16)
+    }
+
+    /// Per-update synchronization cost of the STATS runtime: every input
+    /// flows through synchronized lists, and signaling blocked threads
+    /// pays scheduler latency that grows once logical threads
+    /// oversubscribe the cores (§III-C).
+    ///
+    /// ```
+    /// use stats_platform::CostModel;
+    /// let cm = CostModel::default();
+    /// // Table I's streamcluster: 280 threads on 28 cores pay ~10x more
+    /// // per handoff than a balanced configuration.
+    /// assert!(cm.per_update_sync(280, 28) > cm.per_update_sync(28, 28));
+    /// ```
+    pub fn per_update_sync(&self, threads: usize, cores: usize) -> Cycles {
+        let base = self.dispatch.get();
+        if threads <= cores || cores == 0 {
+            return Cycles(base);
+        }
+        let oversub = (threads - cores) as u64;
+        Cycles(base + self.context_switch.get() * oversub / cores as u64)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            cycles_per_work_unit: 1,
+            copy_bytes_per_cycle_intra: 4,
+            copy_bytes_per_cycle_inter: 2,
+            sync_wakeup: Cycles(600),
+            sync_block: Cycles(250),
+            thread_spawn: Cycles(9_000),
+            compare_bytes_per_cycle: 8,
+            state_alloc: Cycles(400),
+            dispatch: Cycles(150),
+            context_switch: Cycles(3_000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_units_scale_linearly() {
+        let m = CostModel::default();
+        assert_eq!(m.work(0), Cycles::ZERO);
+        assert_eq!(m.work(1_000), Cycles(1_000));
+    }
+
+    #[test]
+    fn cross_socket_copy_costs_more() {
+        let m = CostModel::default();
+        let t = Topology::paper_machine();
+        // Threads 0 and 2 share home socket 0; threads 0 and 1 do not.
+        let intra = m.state_copy(&t, 8_000, ThreadId(0), ThreadId(2));
+        let inter = m.state_copy(&t, 8_000, ThreadId(0), ThreadId(1));
+        assert!(inter > intra, "{inter} should exceed {intra}");
+    }
+
+    #[test]
+    fn single_socket_never_crosses() {
+        let m = CostModel::default();
+        let t = Topology::paper_single_socket();
+        let a = m.state_copy(&t, 1_000, ThreadId(0), ThreadId(1));
+        let b = m.state_copy(&t, 1_000, ThreadId(0), ThreadId(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn copy_cost_grows_with_bytes() {
+        let m = CostModel::default();
+        let t = Topology::paper_machine();
+        let small = m.state_copy(&t, 24, ThreadId(0), ThreadId(2));
+        let big = m.state_copy(&t, 500_000, ThreadId(0), ThreadId(2));
+        // bodytrack's 500 KB states must dominate swaptions' 24 B states.
+        assert!(big.get() > 100 * small.get());
+    }
+
+    #[test]
+    fn sync_is_hundreds_of_cycles() {
+        let m = CostModel::default();
+        assert!(m.sync_wakeup.get() >= 100 && m.sync_wakeup.get() <= 2_000);
+    }
+
+    #[test]
+    fn setup_scales_with_threads_and_states() {
+        let m = CostModel::default();
+        let small = m.setup(2, 2, 100);
+        let big = m.setup(280, 280, 100);
+        assert!(big.get() > 100 * small.get() / 2);
+    }
+
+    #[test]
+    fn home_sockets_stripe_round_robin() {
+        let m = CostModel::default();
+        let t = Topology::paper_machine();
+        assert_eq!(m.home_socket(&t, ThreadId(0)), SocketId(0));
+        assert_eq!(m.home_socket(&t, ThreadId(1)), SocketId(1));
+        assert_eq!(m.home_socket(&t, ThreadId(2)), SocketId(0));
+    }
+
+    #[test]
+    fn per_update_sync_grows_with_oversubscription() {
+        let m = CostModel::default();
+        let balanced = m.per_update_sync(28, 28);
+        let oversub = m.per_update_sync(280, 28);
+        assert_eq!(balanced, m.dispatch);
+        assert!(oversub.get() > 10 * balanced.get());
+        // No penalty when undersubscribed.
+        assert_eq!(m.per_update_sync(4, 28), m.dispatch);
+    }
+
+    #[test]
+    fn instruction_estimates_monotone() {
+        let m = CostModel::default();
+        assert!(m.copy_instructions(1_000) > m.copy_instructions(10));
+        assert!(m.compare_instructions(1_000) > m.compare_instructions(10));
+    }
+}

@@ -1,0 +1,53 @@
+//! # stats-platform
+//!
+//! A deterministic discrete-event multicore platform simulator.
+//!
+//! The paper characterizes STATS binaries on a dual-socket, 28-core Intel
+//! Haswell server (§IV-A). That hardware is not available to a library
+//! reproduction, and wall-clock measurements would not be deterministic, so
+//! this crate models the machine instead:
+//!
+//! * [`Topology`] — sockets × cores (default 2 × 14, the paper's machine).
+//! * [`CostModel`] — cycle costs for abstract operations: work units, state
+//!   copies (intra- vs. inter-socket), kernel-level synchronization wakeups
+//!   ("several hundreds of clock cycles", §III-C), thread spawns.
+//! * [`TaskGraph`] — the unit of execution: tasks with durations,
+//!   cross-thread dependencies, and implicit per-thread program order.
+//! * [`Machine`] — an event-driven list scheduler that maps logical threads
+//!   onto cores (time-multiplexing when threads outnumber cores, as in the
+//!   paper's Table I where e.g. `streamcluster` creates 280 threads on 28
+//!   cores) and produces a fully instrumented [`stats_trace::Trace`].
+//!
+//! The scheduler also records, for every task, *which* earlier task bound
+//! its start time (a dependency, its thread predecessor, or the task that
+//! freed its core). This is the raw material for the post-mortem
+//! critical-path analysis the paper performs "similar to what proposed in
+//! \[26\]" (§V-B).
+//!
+//! ```
+//! use stats_platform::{Machine, TaskGraph, Topology, CostModel};
+//! use stats_trace::{Category, Cycles, ThreadId};
+//!
+//! let mut g = TaskGraph::new("two-thread demo");
+//! let a = g.task(ThreadId(0), Category::ChunkCompute, Cycles(1_000));
+//! let b = g.task(ThreadId(1), Category::ChunkCompute, Cycles(1_000));
+//! let join = g.task(ThreadId(0), Category::Sync, Cycles(10));
+//! g.depend(b, join);
+//!
+//! let machine = Machine::new(Topology::paper_machine(), CostModel::default());
+//! let run = machine.execute(&g).expect("acyclic graph");
+//! // Both 1000-cycle tasks ran in parallel; the join adds 10 cycles.
+//! assert_eq!(run.makespan, Cycles(1_010));
+//! ```
+
+mod cost;
+pub mod energy;
+mod machine;
+mod task;
+mod topology;
+
+pub use cost::CostModel;
+pub use energy::EnergyModel;
+pub use machine::{ExecutionResult, Machine, ScheduleEntry, SimError, StartBinding};
+pub use task::{Task, TaskGraph, TaskId};
+pub use topology::{CoreId, SocketId, Topology};

@@ -1,0 +1,577 @@
+//! The event-driven scheduler that executes task graphs on modeled cores.
+
+use crate::{CoreId, CostModel, TaskGraph, TaskId, Topology};
+use serde::{Deserialize, Serialize};
+use stats_trace::{Cycles, ThreadId, Trace, TraceBuilder};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::fmt;
+
+/// Why a task started when it did: the raw material for critical-path
+/// decomposition (\[26\]-style, §V-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StartBinding {
+    /// The task was ready at program start and a core was free.
+    ProgramStart,
+    /// Start time was bound by the completion of a dependency or the
+    /// thread's preceding task (the last enabler to finish).
+    Enabler(TaskId),
+    /// The task was ready earlier but had to wait for a core; it started
+    /// the moment this task released the core it runs on.
+    CoreFreedBy(TaskId),
+}
+
+/// Placement and timing of one task in a realized schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// The task.
+    pub task: TaskId,
+    /// Core it ran on.
+    pub core: CoreId,
+    /// Realized start time.
+    pub start: Cycles,
+    /// Realized end time.
+    pub end: Cycles,
+    /// Time at which the task became eligible to run.
+    pub ready: Cycles,
+    /// What bound the start time.
+    pub binding: StartBinding,
+}
+
+/// Errors from executing a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The dependency graph contains a cycle; the named tasks never became
+    /// eligible.
+    DependencyCycle { stuck_tasks: usize },
+    /// The produced trace failed validation (indicates a scheduler bug).
+    InvalidTrace(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DependencyCycle { stuck_tasks } => {
+                write!(f, "dependency cycle: {stuck_tasks} task(s) never became ready")
+            }
+            SimError::InvalidTrace(e) => write!(f, "scheduler produced an invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The outcome of executing a [`TaskGraph`] on a [`Machine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionResult {
+    /// Total virtual execution time.
+    pub makespan: Cycles,
+    /// Per-task placement and timing, indexed by [`TaskId`].
+    pub schedule: Vec<ScheduleEntry>,
+    /// The instrumented trace (one span per task, dependency edges
+    /// preserved).
+    pub trace: Trace,
+    /// Number of cores of the executing machine.
+    pub cores: usize,
+}
+
+impl ExecutionResult {
+    /// Speedup relative to a sequential duration.
+    pub fn speedup_vs(&self, sequential: Cycles) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            return 1.0;
+        }
+        sequential.get() as f64 / self.makespan.get() as f64
+    }
+
+    /// Average core utilization in `[0, 1]`: busy core-cycles over
+    /// `cores * makespan`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == Cycles::ZERO || self.cores == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.schedule.iter().map(|e| (e.end - e.start).get()).sum();
+        busy as f64 / (self.makespan.get() as f64 * self.cores as f64)
+    }
+
+    /// The schedule entry of a task.
+    pub fn entry(&self, task: TaskId) -> &ScheduleEntry {
+        &self.schedule[task.0]
+    }
+
+    /// Walk the binding chain backwards from the task that ends at the
+    /// makespan, yielding the critical path (latest-finishing first).
+    pub fn critical_path(&self) -> Vec<TaskId> {
+        let Some(last) = self
+            .schedule
+            .iter()
+            .max_by_key(|e| (e.end, Reverse(e.task)))
+            .map(|e| e.task)
+        else {
+            return Vec::new();
+        };
+        let mut path = vec![last];
+        let mut cur = last;
+        loop {
+            match self.schedule[cur.0].binding {
+                StartBinding::ProgramStart => break,
+                StartBinding::Enabler(prev) | StartBinding::CoreFreedBy(prev) => {
+                    path.push(prev);
+                    cur = prev;
+                }
+            }
+        }
+        path
+    }
+}
+
+/// A simulated multicore machine: a topology plus a cost model.
+///
+/// `Machine::execute` runs a [`TaskGraph`] with deterministic event-driven
+/// list scheduling: a task becomes *ready* once its cross-thread
+/// dependencies and its same-thread predecessor have finished; ready tasks
+/// are placed on free cores in `(ready_time, thread, id)` order, preferring
+/// each thread's previous core (sticky affinity). Logical threads may
+/// outnumber cores, in which case they time-multiplex — exactly the regime
+/// of the paper's Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    topology: Topology,
+    cost: CostModel,
+}
+
+impl Machine {
+    /// Create a machine.
+    pub fn new(topology: Topology, cost: CostModel) -> Self {
+        Machine { topology, cost }
+    }
+
+    /// The paper's 28-core dual-socket machine with default costs.
+    pub fn paper_machine() -> Self {
+        Machine::new(Topology::paper_machine(), CostModel::default())
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The machine's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Execute a task graph to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DependencyCycle`] if some tasks can never become
+    /// ready, or [`SimError::InvalidTrace`] if internal invariants are
+    /// violated (a bug).
+    pub fn execute(&self, graph: &TaskGraph) -> Result<ExecutionResult, SimError> {
+        let n = graph.len();
+        let tasks = graph.tasks();
+
+        // Per-thread program order.
+        let mut thread_order: HashMap<ThreadId, Vec<TaskId>> = HashMap::new();
+        for t in tasks {
+            thread_order.entry(t.thread).or_default().push(t.id);
+        }
+        // thread_pred[t] = same-thread predecessor of t.
+        let mut thread_pred: Vec<Option<TaskId>> = vec![None; n];
+        for order in thread_order.values() {
+            for pair in order.windows(2) {
+                thread_pred[pair[1].0] = Some(pair[0]);
+            }
+        }
+
+        //
+
+        // Reverse adjacency + blocker counts.
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut blockers: Vec<usize> = vec![0; n];
+        for t in tasks {
+            let mut uniq: BTreeSet<TaskId> = t.deps.iter().copied().collect();
+            if let Some(p) = thread_pred[t.id.0] {
+                uniq.insert(p);
+            }
+            blockers[t.id.0] = uniq.len();
+            for d in uniq {
+                dependents[d.0].push(t.id);
+            }
+        }
+
+        let mut finish: Vec<Option<Cycles>> = vec![None; n];
+        // Ready heap: min by (ready_time, thread, id).
+        let mut ready: BinaryHeap<Reverse<(Cycles, usize, TaskId)>> = BinaryHeap::new();
+        // Enabler (last-finishing blocker) per task.
+        let mut enabler: Vec<Option<TaskId>> = vec![None; n];
+        for t in tasks {
+            if blockers[t.id.0] == 0 {
+                ready.push(Reverse((Cycles::ZERO, t.thread.0, t.id)));
+            }
+        }
+
+        // Running heap: min by (end, task id).
+        let mut running: BinaryHeap<Reverse<(Cycles, TaskId)>> = BinaryHeap::new();
+        let mut free_cores: BTreeSet<CoreId> = self.topology.cores().collect();
+        let mut last_core_of_thread: HashMap<ThreadId, CoreId> = HashMap::new();
+        let mut last_task_on_core: HashMap<CoreId, TaskId> = HashMap::new();
+        let mut core_of_task: Vec<Option<CoreId>> = vec![None; n];
+
+        let mut schedule: Vec<Option<ScheduleEntry>> = vec![None; n];
+        let mut ready_time: Vec<Cycles> = vec![Cycles::ZERO; n];
+        let mut started = 0usize;
+        let mut now = Cycles::ZERO;
+
+        // Completion handler: mark finished, release blockers.
+        #[allow(clippy::too_many_arguments)]
+        fn complete(
+            tid: TaskId,
+            end: Cycles,
+            tasks: &[crate::Task],
+            dependents: &[Vec<TaskId>],
+            finish: &mut [Option<Cycles>],
+            blockers: &mut [usize],
+            enabler: &mut [Option<TaskId>],
+            ready: &mut BinaryHeap<Reverse<(Cycles, usize, TaskId)>>,
+            ready_time: &mut [Cycles],
+            free_cores: &mut BTreeSet<CoreId>,
+            core_of_task: &[Option<CoreId>],
+            last_task_on_core: &mut HashMap<CoreId, TaskId>,
+        ) {
+            finish[tid.0] = Some(end);
+            if let Some(core) = core_of_task[tid.0] {
+                free_cores.insert(core);
+                last_task_on_core.insert(core, tid);
+            }
+            for &d in &dependents[tid.0] {
+                blockers[d.0] -= 1;
+                // Track the last-finishing blocker as the enabler.
+                match enabler[d.0] {
+                    Some(e) if finish[e.0].unwrap() >= end => {}
+                    _ => enabler[d.0] = Some(tid),
+                }
+                if blockers[d.0] == 0 {
+                    ready_time[d.0] = finish[enabler[d.0].unwrap().0].unwrap();
+                    ready.push(Reverse((ready_time[d.0], tasks[d.0].thread.0, d)));
+                }
+            }
+        }
+
+        loop {
+            // 1. Retire tasks that have completed by `now`.
+            while let Some(&Reverse((end, tid))) = running.peek() {
+                if end <= now {
+                    running.pop();
+                    complete(
+                        tid,
+                        end,
+                        tasks,
+                        &dependents,
+                        &mut finish,
+                        &mut blockers,
+                        &mut enabler,
+                        &mut ready,
+                        &mut ready_time,
+                        &mut free_cores,
+                        &core_of_task,
+                        &mut last_task_on_core,
+                    );
+                } else {
+                    break;
+                }
+            }
+
+            // 2. Place ready tasks on free cores.
+            while !free_cores.is_empty() {
+                let Some(&Reverse((rt, _, tid))) = ready.peek() else {
+                    break;
+                };
+                if rt > now {
+                    break;
+                }
+                ready.pop();
+                let thread = tasks[tid.0].thread;
+                let core = match last_core_of_thread.get(&thread) {
+                    Some(c) if free_cores.contains(c) => *c,
+                    _ => *free_cores.iter().next().expect("checked non-empty"),
+                };
+                free_cores.remove(&core);
+                last_core_of_thread.insert(thread, core);
+                core_of_task[tid.0] = Some(core);
+
+                let start = now;
+                let end = start + tasks[tid.0].duration;
+                let binding = if start > ready_time[tid.0] {
+                    // Waited for a core: bound by whatever last freed it.
+                    match last_task_on_core.get(&core) {
+                        Some(&freer) => StartBinding::CoreFreedBy(freer),
+                        None => match enabler[tid.0] {
+                            Some(e) => StartBinding::Enabler(e),
+                            None => StartBinding::ProgramStart,
+                        },
+                    }
+                } else {
+                    match enabler[tid.0] {
+                        Some(e) => StartBinding::Enabler(e),
+                        None => StartBinding::ProgramStart,
+                    }
+                };
+                schedule[tid.0] = Some(ScheduleEntry {
+                    task: tid,
+                    core,
+                    start,
+                    end,
+                    ready: ready_time[tid.0],
+                    binding,
+                });
+                running.push(Reverse((end, tid)));
+                started += 1;
+            }
+
+            // 3. Advance virtual time to the next event.
+            let next_completion = running.peek().map(|&Reverse((end, _))| end);
+            let next_ready = if free_cores.is_empty() {
+                None
+            } else {
+                ready.peek().map(|&Reverse((rt, _, _))| rt)
+            };
+            now = match (next_completion, next_ready) {
+                (Some(c), Some(r)) => c.min(r).max(now),
+                (Some(c), None) => c.max(now),
+                (None, Some(r)) => r.max(now),
+                (None, None) => break,
+            };
+        }
+
+        if started != n {
+            return Err(SimError::DependencyCycle {
+                stuck_tasks: n - started,
+            });
+        }
+
+        // Build the trace: one span per task (span id == task id).
+        let mut builder = TraceBuilder::new(graph.name());
+        builder.cores(self.topology.total_cores());
+        for t in tasks {
+            let e = schedule[t.id.0].as_ref().expect("all tasks scheduled");
+            let sid = match &t.label {
+                Some(l) => {
+                    builder.push_labeled(t.thread, t.category, e.start, e.end, t.instructions, l.clone())
+                }
+                None => builder.push(t.thread, t.category, e.start, e.end, t.instructions),
+            };
+            debug_assert_eq!(sid.0, t.id.0);
+        }
+        for t in tasks {
+            for &d in &t.deps {
+                builder.depend(stats_trace::SpanId(d.0), stats_trace::SpanId(t.id.0));
+            }
+        }
+        let trace = builder
+            .finish()
+            .map_err(|e| SimError::InvalidTrace(e.to_string()))?;
+
+        let schedule: Vec<ScheduleEntry> =
+            schedule.into_iter().map(|e| e.expect("scheduled")).collect();
+        let makespan = trace.makespan();
+        Ok(ExecutionResult {
+            makespan,
+            schedule,
+            trace,
+            cores: self.topology.total_cores(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_trace::Category;
+
+    fn machine(cores: usize) -> Machine {
+        Machine::new(Topology::new(1, cores), CostModel::default())
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        let mut g = TaskGraph::new("par");
+        for i in 0..4 {
+            g.task(ThreadId(i), Category::ChunkCompute, Cycles(100));
+        }
+        let r = machine(4).execute(&g).unwrap();
+        assert_eq!(r.makespan, Cycles(100));
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependency_serializes() {
+        let mut g = TaskGraph::new("dep");
+        let a = g.task(ThreadId(0), Category::ChunkCompute, Cycles(100));
+        let b = g.task(ThreadId(1), Category::ChunkCompute, Cycles(100));
+        g.depend(a, b);
+        let r = machine(4).execute(&g).unwrap();
+        assert_eq!(r.makespan, Cycles(200));
+        assert_eq!(r.entry(b).binding, StartBinding::Enabler(a));
+    }
+
+    #[test]
+    fn same_thread_tasks_are_ordered() {
+        let mut g = TaskGraph::new("order");
+        let a = g.task(ThreadId(0), Category::ChunkCompute, Cycles(50));
+        let b = g.task(ThreadId(0), Category::ChunkCompute, Cycles(50));
+        let r = machine(4).execute(&g).unwrap();
+        assert_eq!(r.makespan, Cycles(100));
+        assert_eq!(r.entry(b).start, Cycles(50));
+        assert_eq!(r.entry(b).binding, StartBinding::Enabler(a));
+    }
+
+    #[test]
+    fn more_threads_than_cores_multiplex() {
+        let mut g = TaskGraph::new("mux");
+        for i in 0..8 {
+            g.task(ThreadId(i), Category::ChunkCompute, Cycles(100));
+        }
+        let r = machine(2).execute(&g).unwrap();
+        // 8 tasks of 100 cycles on 2 cores = 400 cycles.
+        assert_eq!(r.makespan, Cycles(400));
+        // Some task must report a core wait.
+        assert!(r
+            .schedule
+            .iter()
+            .any(|e| matches!(e.binding, StartBinding::CoreFreedBy(_))));
+    }
+
+    #[test]
+    fn single_core_serializes_everything() {
+        let mut g = TaskGraph::new("1core");
+        for i in 0..5 {
+            g.task(ThreadId(i), Category::ChunkCompute, Cycles(10));
+        }
+        let r = machine(1).execute(&g).unwrap();
+        assert_eq!(r.makespan, Cycles(50));
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let mut g = TaskGraph::new("cycle");
+        let a = g.task(ThreadId(0), Category::ChunkCompute, Cycles(10));
+        let b = g.task(ThreadId(1), Category::ChunkCompute, Cycles(10));
+        g.depend(a, b);
+        g.depend(b, a);
+        assert!(matches!(
+            machine(2).execute(&g),
+            Err(SimError::DependencyCycle { stuck_tasks: 2 })
+        ));
+    }
+
+    #[test]
+    fn zero_duration_tasks_complete() {
+        let mut g = TaskGraph::new("zero");
+        let a = g.task(ThreadId(0), Category::Sync, Cycles::ZERO);
+        let b = g.task(ThreadId(1), Category::ChunkCompute, Cycles(10));
+        g.depend(a, b);
+        let r = machine(2).execute(&g).unwrap();
+        assert_eq!(r.makespan, Cycles(10));
+    }
+
+    #[test]
+    fn empty_graph_executes() {
+        let g = TaskGraph::new("empty");
+        let r = machine(2).execute(&g).unwrap();
+        assert_eq!(r.makespan, Cycles::ZERO);
+        assert!(r.critical_path().is_empty());
+    }
+
+    #[test]
+    fn critical_path_follows_bindings() {
+        let mut g = TaskGraph::new("cp");
+        let a = g.task(ThreadId(0), Category::ChunkCompute, Cycles(100));
+        let b = g.task(ThreadId(1), Category::ChunkCompute, Cycles(10));
+        let c = g.task(ThreadId(1), Category::ChunkCompute, Cycles(10));
+        g.depend(a, c);
+        let _ = b;
+        let r = machine(4).execute(&g).unwrap();
+        let cp = r.critical_path();
+        // Path: c (ends at 110) <- a (ends at 100) <- start.
+        assert_eq!(cp, vec![c, a]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut g = TaskGraph::new("det");
+        for i in 0..50 {
+            let t = g.task(ThreadId(i % 7), Category::ChunkCompute, Cycles(10 + i as u64));
+            if i >= 7 {
+                g.depend(TaskId(i - 7), t);
+            }
+        }
+        let m = machine(3);
+        let r1 = m.execute(&g).unwrap();
+        let r2 = m.execute(&g).unwrap();
+        assert_eq!(r1.schedule, r2.schedule);
+        assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        // makespan >= total_work / cores and >= longest chain.
+        let mut g = TaskGraph::new("bounds");
+        let mut prev = None;
+        for i in 0..10 {
+            let t = g.task(ThreadId(i % 4), Category::ChunkCompute, Cycles(100));
+            if let Some(p) = prev {
+                if i % 2 == 0 {
+                    g.depend(p, t);
+                }
+            }
+            prev = Some(t);
+        }
+        let r = machine(4).execute(&g).unwrap();
+        let total = g.total_work().get();
+        assert!(r.makespan.get() * 4 >= total);
+    }
+
+    #[test]
+    fn trace_preserves_labels_and_edges() {
+        let mut g = TaskGraph::new("meta");
+        let a = g.task_full(
+            ThreadId(0),
+            Category::Setup,
+            Cycles(10),
+            7,
+            Vec::new(),
+            Some("the setup".into()),
+        );
+        let b = g.task(ThreadId(1), Category::ChunkCompute, Cycles(10));
+        g.depend(a, b);
+        let r = machine(2).execute(&g).unwrap();
+        let trace = &r.trace;
+        assert_eq!(trace.spans().len(), 2);
+        assert_eq!(trace.edges().len(), 1);
+        assert_eq!(trace.span(stats_trace::SpanId(0)).label.as_deref(), Some("the setup"));
+        assert_eq!(trace.span(stats_trace::SpanId(0)).instructions, 7);
+        assert_eq!(trace.meta().scenario, "meta");
+    }
+
+    #[test]
+    fn duplicate_deps_are_tolerated() {
+        let mut g = TaskGraph::new("dup");
+        let a = g.task(ThreadId(0), Category::ChunkCompute, Cycles(10));
+        let b = g.task(ThreadId(1), Category::ChunkCompute, Cycles(10));
+        g.depend(a, b);
+        g.depend(a, b); // duplicate edge must not double-count blockers
+        let r = machine(2).execute(&g).unwrap();
+        assert_eq!(r.makespan, Cycles(20));
+    }
+
+    #[test]
+    fn sticky_affinity_reuses_cores() {
+        let mut g = TaskGraph::new("affinity");
+        let a = g.task(ThreadId(5), Category::ChunkCompute, Cycles(10));
+        let b = g.task(ThreadId(5), Category::ChunkCompute, Cycles(10));
+        let r = machine(4).execute(&g).unwrap();
+        assert_eq!(r.entry(a).core, r.entry(b).core);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests of the discrete-event scheduler: for arbitrary acyclic
+//! task graphs, the realized schedule must respect program order,
+//! dependencies, core capacity, and classic makespan bounds.
+
+use proptest::prelude::*;
+use stats_platform::{CostModel, Machine, TaskGraph, TaskId, Topology};
+use stats_trace::{Category, Cycles, ThreadId};
+
+/// A generated task: thread, duration, and backwards-only dependencies
+/// (guaranteeing acyclicity).
+#[derive(Debug, Clone)]
+struct GenTask {
+    thread: usize,
+    duration: u64,
+    deps: Vec<usize>,
+}
+
+fn graph_strategy(max_tasks: usize) -> impl Strategy<Value = (Vec<GenTask>, usize)> {
+    let task = (0usize..8, 0u64..500, proptest::collection::vec(any::<prop::sample::Index>(), 0..3));
+    (proptest::collection::vec(task, 1..max_tasks), 1usize..6).prop_map(|(raw, cores)| {
+        let tasks = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (thread, duration, dep_idx))| GenTask {
+                thread,
+                duration,
+                deps: dep_idx
+                    .into_iter()
+                    .filter(|_| i > 0)
+                    .map(|ix| ix.index(i.max(1)))
+                    .collect(),
+            })
+            .collect();
+        (tasks, cores)
+    })
+}
+
+fn build(tasks: &[GenTask]) -> TaskGraph {
+    let mut g = TaskGraph::new("prop");
+    let mut ids = Vec::new();
+    for t in tasks {
+        let id = g.task(ThreadId(t.thread), Category::ChunkCompute, Cycles(t.duration));
+        for &d in &t.deps {
+            g.depend(ids[d], id);
+        }
+        ids.push(id);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedules_respect_all_constraints((tasks, cores) in graph_strategy(40)) {
+        let machine = Machine::new(Topology::new(1, cores), CostModel::default());
+        let g = build(&tasks);
+        let result = machine.execute(&g).expect("acyclic by construction");
+
+        // 1. Dependencies: no task starts before its deps end.
+        for (i, t) in tasks.iter().enumerate() {
+            let e = result.entry(TaskId(i));
+            for &d in &t.deps {
+                let dep = result.entry(TaskId(d));
+                prop_assert!(e.start >= dep.end, "task {i} started before dep {d}");
+            }
+        }
+
+        // 2. Program order per logical thread.
+        for thread in 0..8 {
+            let mut prev_end = Cycles::ZERO;
+            for (i, t) in tasks.iter().enumerate() {
+                if t.thread == thread {
+                    let e = result.entry(TaskId(i));
+                    prop_assert!(e.start >= prev_end, "thread {thread} overlapped at task {i}");
+                    prev_end = e.end;
+                }
+            }
+        }
+
+        // 3. Core capacity: at every task-start instant, at most `cores`
+        //    positive-duration tasks are simultaneously in flight
+        //    (concurrency only changes at start events, so sampling the
+        //    starts covers every instant).
+        for e in &result.schedule {
+            if e.start == e.end { continue; }
+            let concurrent = result
+                .schedule
+                .iter()
+                .filter(|o| o.start <= e.start && e.start < o.end)
+                .count();
+            prop_assert!(
+                concurrent <= cores,
+                "{concurrent} tasks in flight at {} on {cores} cores",
+                e.start
+            );
+        }
+
+        // 4. Durations preserved.
+        for (i, t) in tasks.iter().enumerate() {
+            let e = result.entry(TaskId(i));
+            prop_assert_eq!((e.end - e.start).get(), t.duration);
+        }
+
+        // 5. Makespan bounds: max(total/cores, longest chain) <= makespan
+        //    <= total (list scheduling is never worse than serial).
+        let total: u64 = tasks.iter().map(|t| t.duration).sum();
+        prop_assert!(result.makespan.get() <= total.max(1) + 1);
+        prop_assert!(result.makespan.get() * cores as u64 >= total);
+    }
+
+    #[test]
+    fn schedules_are_deterministic((tasks, cores) in graph_strategy(30)) {
+        let machine = Machine::new(Topology::new(1, cores), CostModel::default());
+        let g = build(&tasks);
+        let a = machine.execute(&g).unwrap();
+        let b = machine.execute(&g).unwrap();
+        prop_assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn more_cores_never_hurt((tasks, cores) in graph_strategy(30)) {
+        let g = build(&tasks);
+        let small = Machine::new(Topology::new(1, cores), CostModel::default());
+        let big = Machine::new(Topology::new(1, cores + 4), CostModel::default());
+        let a = small.execute(&g).unwrap();
+        let b = big.execute(&g).unwrap();
+        // Greedy list scheduling on identical machines with more cores can
+        // only start tasks earlier in this event model.
+        prop_assert!(b.makespan <= a.makespan, "{} vs {}", b.makespan, a.makespan);
+    }
+
+    #[test]
+    fn critical_path_is_time_contiguous((tasks, cores) in graph_strategy(30)) {
+        let machine = Machine::new(Topology::new(1, cores), CostModel::default());
+        let g = build(&tasks);
+        let result = machine.execute(&g).unwrap();
+        let path = result.critical_path();
+        // Walking the binding chain backwards, every predecessor ends
+        // exactly when (or before) its successor starts, covering the
+        // makespan without gaps.
+        for pair in path.windows(2) {
+            let later = result.entry(pair[0]);
+            let earlier = result.entry(pair[1]);
+            prop_assert!(earlier.end <= later.start || earlier.end == later.start,
+                "binding chain out of order");
+            prop_assert_eq!(later.start, earlier.end, "gap in the critical path");
+        }
+        if let Some(&first) = path.last() {
+            prop_assert_eq!(result.entry(first).start, Cycles::ZERO);
+        }
+        if let Some(&last) = path.first() {
+            prop_assert_eq!(result.entry(last).end, result.makespan);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Trace slicing and interval analysis utilities.
+
+use crate::{Category, Cycles, Trace, TraceBuilder};
+
+/// Restrict a trace to the spans matching `keep`, preserving timestamps
+/// (edges among surviving spans are kept; edges touching removed spans are
+/// dropped).
+pub fn filter_spans(trace: &Trace, keep: impl Fn(&crate::Span) -> bool) -> Trace {
+    let mut b = TraceBuilder::new(trace.meta().scenario.clone());
+    b.cores(trace.meta().cores);
+    if let Some(seq) = trace.meta().sequential_cycles {
+        b.sequential_cycles(seq);
+    }
+    let mut remap = vec![None; trace.spans().len()];
+    for s in trace.spans() {
+        if keep(s) {
+            let id = match &s.label {
+                Some(l) => b.push_labeled(s.thread, s.category, s.start, s.end, s.instructions, l.clone()),
+                None => b.push(s.thread, s.category, s.start, s.end, s.instructions),
+            };
+            remap[s.id.0] = Some(id);
+        }
+    }
+    for e in trace.edges() {
+        if let (Some(f), Some(t)) = (remap[e.from.0], remap[e.to.0]) {
+            b.depend(f, t);
+        }
+    }
+    b.finish().expect("subset of a valid trace is valid")
+}
+
+/// Clip a trace to the window `[start, end)`: spans are intersected with
+/// the window, spans outside it disappear, and edges among survivors whose
+/// clipped timestamps still respect causality are kept.
+pub fn window(trace: &Trace, start: Cycles, end: Cycles) -> Trace {
+    let mut b = TraceBuilder::new(format!("{} [{start}..{end})", trace.meta().scenario));
+    b.cores(trace.meta().cores);
+    let mut remap = vec![None; trace.spans().len()];
+    for s in trace.spans() {
+        let s_start = s.start.max(start);
+        let s_end = s.end.min(end);
+        if s_start < s_end || (s.start == s.end && s.start >= start && s.start < end) {
+            let id = b.push(s.thread, s.category, s_start, s_end.max(s_start), s.instructions);
+            remap[s.id.0] = Some(id);
+        }
+    }
+    for e in trace.edges() {
+        if let (Some(_), Some(_)) = (remap[e.from.0], remap[e.to.0]) {
+            // Clipping can invert edge timing (producer clipped later than
+            // consumer start); only keep edges that stay causal.
+            let f = trace.span(e.from);
+            let t = trace.span(e.to);
+            if f.end.min(end) <= t.start.max(start) {
+                b.depend(remap[e.from.0].unwrap(), remap[e.to.0].unwrap());
+            }
+        }
+    }
+    b.finish().expect("clipped spans cannot overlap")
+}
+
+/// Number of threads simultaneously busy at each category-changing
+/// instant: returns `(time, busy_threads)` breakpoints in time order.
+pub fn concurrency_profile(trace: &Trace) -> Vec<(Cycles, usize)> {
+    let mut events: Vec<(Cycles, i64)> = Vec::new();
+    for s in trace.spans() {
+        if s.start < s.end {
+            events.push((s.start, 1));
+            events.push((s.end, -1));
+        }
+    }
+    events.sort_by_key(|(t, delta)| (*t, *delta));
+    let mut profile = Vec::new();
+    let mut level = 0i64;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            level += events[i].1;
+            i += 1;
+        }
+        profile.push((t, level.max(0) as usize));
+    }
+    profile
+}
+
+/// Fraction of the makespan during which at least `threshold` threads are
+/// busy (the paper's §III-A imbalance view: "the amount of time spent when
+/// all threads but one is running" is `1 - busy_fraction(2)` for a
+/// two-thread program).
+///
+/// ```
+/// use stats_trace::{Category, Cycles, ThreadId, TraceBuilder};
+/// use stats_trace::analysis::busy_fraction;
+/// let mut b = TraceBuilder::new("demo");
+/// b.push(ThreadId(0), Category::ChunkCompute, Cycles(0), Cycles(100), 0);
+/// b.push(ThreadId(1), Category::ChunkCompute, Cycles(50), Cycles(100), 0);
+/// let t = b.finish().unwrap();
+/// assert_eq!(busy_fraction(&t, 2), 0.5);
+/// ```
+pub fn busy_fraction(trace: &Trace, threshold: usize) -> f64 {
+    let makespan = trace.makespan();
+    if makespan == Cycles::ZERO {
+        return 0.0;
+    }
+    let profile = concurrency_profile(trace);
+    let mut covered = 0u64;
+    for pair in profile.windows(2) {
+        if pair[0].1 >= threshold {
+            covered += (pair[1].0 - pair[0].0).get();
+        }
+    }
+    // Tail after the last breakpoint has level 0 by construction.
+    covered as f64 / makespan.get() as f64
+}
+
+/// Total cycles spent in `category` within the window `[start, end)`.
+pub fn category_cycles_in(trace: &Trace, category: Category, start: Cycles, end: Cycles) -> Cycles {
+    let mut total = 0u64;
+    for s in trace.spans().iter().filter(|s| s.category == category) {
+        let a = s.start.max(start);
+        let b = s.end.min(end);
+        if a < b {
+            total += (b - a).get();
+        }
+    }
+    Cycles(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadId;
+
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new("analysis");
+        let a = b.push(ThreadId(0), Category::Setup, Cycles(0), Cycles(100), 10);
+        let c = b.push(ThreadId(1), Category::ChunkCompute, Cycles(100), Cycles(300), 50);
+        b.push(ThreadId(2), Category::ChunkCompute, Cycles(150), Cycles(250), 40);
+        b.push(ThreadId(0), Category::OutsideRegion, Cycles(300), Cycles(350), 5);
+        b.depend(a, c);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn filter_keeps_matching_spans_and_edges() {
+        let t = trace();
+        let only_compute = filter_spans(&t, |s| s.category == Category::ChunkCompute);
+        assert_eq!(only_compute.spans().len(), 2);
+        assert!(only_compute.edges().is_empty(), "edge to setup dropped");
+        let keep_all = filter_spans(&t, |_| true);
+        assert_eq!(keep_all.spans().len(), 4);
+        assert_eq!(keep_all.edges().len(), 1);
+    }
+
+    #[test]
+    fn window_clips_spans() {
+        let t = trace();
+        let w = window(&t, Cycles(120), Cycles(220));
+        // Setup (0..100) and outside (300..350) vanish; the two compute
+        // spans clip to 120..220 and 150..220.
+        assert_eq!(w.spans().len(), 2);
+        assert_eq!(w.makespan(), Cycles(220));
+        for s in w.spans() {
+            assert!(s.start >= Cycles(120));
+            assert!(s.end <= Cycles(220));
+        }
+    }
+
+    #[test]
+    fn concurrency_profile_tracks_levels() {
+        let t = trace();
+        let p = concurrency_profile(&t);
+        // At 150..250 two compute threads overlap.
+        let level_at = |time: u64| {
+            p.iter()
+                .rev()
+                .find(|(t, _)| t.get() <= time)
+                .map(|(_, l)| *l)
+                .unwrap_or(0)
+        };
+        assert_eq!(level_at(50), 1);
+        assert_eq!(level_at(200), 2);
+        assert_eq!(level_at(275), 1);
+        assert_eq!(level_at(400), 0);
+    }
+
+    #[test]
+    fn busy_fraction_matches_hand_count() {
+        let t = trace();
+        // Makespan 350; >=1 busy during 0..350 = 100%; >=2 busy during
+        // 150..250 = 100/350.
+        assert!((busy_fraction(&t, 1) - 1.0).abs() < 1e-12);
+        assert!((busy_fraction(&t, 2) - 100.0 / 350.0).abs() < 1e-12);
+        assert_eq!(busy_fraction(&t, 3), 0.0);
+    }
+
+    #[test]
+    fn category_cycles_window_intersection() {
+        let t = trace();
+        let c = category_cycles_in(&t, Category::ChunkCompute, Cycles(0), Cycles(200));
+        // Span 100..300 contributes 100; span 150..250 contributes 50.
+        assert_eq!(c, Cycles(150));
+        assert_eq!(
+            category_cycles_in(&t, Category::Setup, Cycles(500), Cycles(600)),
+            Cycles::ZERO
+        );
+    }
+
+    #[test]
+    fn empty_trace_analysis_is_safe() {
+        let t = TraceBuilder::new("empty").finish().unwrap();
+        assert_eq!(busy_fraction(&t, 1), 0.0);
+        assert!(concurrency_profile(&t).is_empty());
+        assert!(filter_spans(&t, |_| true).spans().is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! Chrome trace-event export: load workbench traces in `chrome://tracing`
+//! or [Perfetto](https://ui.perfetto.dev).
+//!
+//! The trace-event format is plain JSON; this module hand-writes the tiny
+//! subset needed (complete events, `"ph":"X"`) so no JSON dependency is
+//! required. Virtual cycles are exported as microseconds (1 cycle = 1 µs)
+//! — absolute time is meaningless in a virtual-time trace, only structure
+//! matters.
+
+use crate::{Trace, DependencyEdge};
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON literal (the only dynamic strings we emit
+/// are scenario names and span labels).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a trace to the Chrome trace-event JSON format.
+///
+/// Each span becomes a complete event (`"ph":"X"`) on its logical thread;
+/// dependency edges become flow events (`"ph":"s"`/`"ph":"f"`) so the
+/// viewer draws arrows between producers and consumers.
+///
+/// ```
+/// use stats_trace::{Category, Cycles, ThreadId, TraceBuilder};
+/// use stats_trace::chrome::to_chrome_trace;
+///
+/// let mut b = TraceBuilder::new("demo");
+/// b.push(ThreadId(0), Category::Setup, Cycles(0), Cycles(10), 0);
+/// let json = to_chrome_trace(&b.finish().unwrap());
+/// assert!(json.starts_with('['));
+/// assert!(json.contains("\"ph\":\"X\""));
+/// ```
+pub fn to_chrome_trace(trace: &Trace) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut push = |event: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&event);
+    };
+
+    for s in trace.spans() {
+        let name = match &s.label {
+            Some(l) => format!("{} ({})", s.category.name(), escape(l)),
+            None => s.category.name().to_string(),
+        };
+        push(
+            format!(
+                "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"instructions\":{}}}}}",
+                escape(&name),
+                s.category.name(),
+                s.start.get(),
+                s.duration().get(),
+                s.thread.0,
+                s.instructions
+            ),
+            &mut out,
+        );
+    }
+
+    for (i, DependencyEdge { from, to }) in trace.edges().iter().enumerate() {
+        let f = trace.span(*from);
+        let t = trace.span(*to);
+        push(
+            format!(
+                "  {{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"s\",\"id\":{},\"ts\":{},\
+                 \"pid\":1,\"tid\":{}}}",
+                i,
+                f.end.get().max(1) - 1,
+                f.thread.0
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                "  {{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\
+                 \"ts\":{},\"pid\":1,\"tid\":{}}}",
+                i,
+                t.start.get(),
+                t.thread.0
+            ),
+            &mut out,
+        );
+    }
+
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Category, Cycles, ThreadId, TraceBuilder};
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("chrome");
+        let a = b.push(ThreadId(0), Category::Setup, Cycles(0), Cycles(10), 5);
+        let c = b.push_labeled(
+            ThreadId(1),
+            Category::ChunkCompute,
+            Cycles(10),
+            Cycles(30),
+            20,
+            "chunk 0",
+        );
+        b.depend(a, c);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn emits_complete_events_per_span() {
+        let json = to_chrome_trace(&sample());
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"tid\":0"));
+        assert!(json.contains("\"tid\":1"));
+        assert!(json.contains("\"dur\":20"));
+        assert!(json.contains("chunk 0"));
+    }
+
+    #[test]
+    fn emits_flow_events_per_edge() {
+        let json = to_chrome_trace(&sample());
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+    }
+
+    #[test]
+    fn output_is_structurally_valid_json_array() {
+        let json = to_chrome_trace(&sample());
+        let trimmed = json.trim();
+        assert!(trimmed.starts_with('['));
+        assert!(trimmed.ends_with(']'));
+        // Balanced braces and no trailing comma before the closer.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn escapes_hostile_labels() {
+        let mut b = TraceBuilder::new("esc");
+        b.push_labeled(
+            ThreadId(0),
+            Category::Sync,
+            Cycles(0),
+            Cycles(1),
+            0,
+            "quote \" backslash \\ newline \n end",
+        );
+        let json = to_chrome_trace(&b.finish().unwrap());
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\n"));
+        // Raw newline must not appear inside any string literal.
+        for line in json.lines() {
+            assert!(!line.contains("newline \n"));
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        let t = TraceBuilder::new("empty").finish().unwrap();
+        let json = to_chrome_trace(&t);
+        assert_eq!(json.trim(), "[\n\n]".trim_start());
+    }
+}

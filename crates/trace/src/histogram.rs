@@ -1,0 +1,128 @@
+//! Per-category span-duration statistics.
+
+use crate::{Category, Cycles, Trace, CATEGORIES};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Duration statistics of one category's spans.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurationStats {
+    /// Number of spans.
+    pub count: usize,
+    /// Shortest span.
+    pub min: Cycles,
+    /// Longest span.
+    pub max: Cycles,
+    /// Mean duration (rounded down).
+    pub mean: Cycles,
+    /// 95th-percentile duration (nearest rank).
+    pub p95: Cycles,
+}
+
+/// Compute duration statistics per category.
+///
+/// ```
+/// use stats_trace::{Category, Cycles, ThreadId, TraceBuilder};
+/// use stats_trace::histogram::span_stats;
+/// let mut b = TraceBuilder::new("demo");
+/// b.push(ThreadId(0), Category::Sync, Cycles(0), Cycles(10), 0);
+/// b.push(ThreadId(0), Category::Sync, Cycles(10), Cycles(40), 0);
+/// let stats = span_stats(&b.finish().unwrap());
+/// let sync = stats[&Category::Sync];
+/// assert_eq!(sync.count, 2);
+/// assert_eq!(sync.mean, Cycles(20));
+/// assert_eq!(sync.max, Cycles(30));
+/// ```
+pub fn span_stats(trace: &Trace) -> BTreeMap<Category, DurationStats> {
+    let mut buckets: BTreeMap<Category, Vec<u64>> = BTreeMap::new();
+    for s in trace.spans() {
+        buckets.entry(s.category).or_default().push(s.duration().get());
+    }
+    buckets
+        .into_iter()
+        .map(|(cat, mut durations)| {
+            durations.sort_unstable();
+            let count = durations.len();
+            let sum: u64 = durations.iter().sum();
+            let p95_idx = ((count - 1) as f64 * 0.95).round() as usize;
+            (
+                cat,
+                DurationStats {
+                    count,
+                    min: Cycles(durations[0]),
+                    max: Cycles(durations[count - 1]),
+                    mean: Cycles(sum / count as u64),
+                    p95: Cycles(durations[p95_idx]),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Render the statistics as a fixed-width table.
+pub fn render_span_stats(trace: &Trace) -> String {
+    let stats = span_stats(trace);
+    let mut out = format!(
+        "{:<20} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+        "category", "count", "min", "mean", "p95", "max"
+    );
+    for cat in CATEGORIES {
+        if let Some(s) = stats.get(&cat) {
+            out.push_str(&format!(
+                "{:<20} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+                cat.name(),
+                s.count,
+                s.min.get(),
+                s.mean.get(),
+                s.p95.get(),
+                s.max.get()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThreadId, TraceBuilder};
+
+    fn trace() -> Trace {
+        let mut b = TraceBuilder::new("hist");
+        let mut t = 0;
+        for (i, d) in [10u64, 20, 30, 40, 100].into_iter().enumerate() {
+            b.push(ThreadId(i), Category::ChunkCompute, Cycles(t), Cycles(t + d), 0);
+            t += d;
+        }
+        b.push(ThreadId(0), Category::Setup, Cycles(500), Cycles(510), 0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn stats_are_exact() {
+        let stats = span_stats(&trace());
+        let c = stats[&Category::ChunkCompute];
+        assert_eq!(c.count, 5);
+        assert_eq!(c.min, Cycles(10));
+        assert_eq!(c.max, Cycles(100));
+        assert_eq!(c.mean, Cycles(40));
+        assert_eq!(c.p95, Cycles(100));
+        assert_eq!(stats[&Category::Setup].count, 1);
+        assert!(!stats.contains_key(&Category::Sync));
+    }
+
+    #[test]
+    fn render_lists_present_categories_in_order() {
+        let text = render_span_stats(&trace());
+        let setup_pos = text.find("setup").unwrap();
+        let compute_pos = text.find("chunk-compute").unwrap();
+        assert!(setup_pos < compute_pos, "presentation order");
+        assert!(!text.contains("sync\n"));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_stats() {
+        let t = TraceBuilder::new("empty").finish().unwrap();
+        assert!(span_stats(&t).is_empty());
+    }
+}

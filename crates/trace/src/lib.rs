@@ -1,0 +1,52 @@
+//! # stats-trace
+//!
+//! Span tracing and instruction accounting for the STATS workbench.
+//!
+//! The ISPASS 2019 paper measures "the time in CPU cycles of each critical
+//! point of the STATS execution model" (§V-B) and attributes the gap to
+//! ideal speedup across a fixed taxonomy of overhead sources (§III). This
+//! crate provides that measurement vocabulary:
+//!
+//! * [`Category`] — the overhead taxonomy (setup, alternative producers,
+//!   original-state generation, state comparison, state copying,
+//!   synchronization, …).
+//! * [`Span`] — one timestamped interval on one logical thread, carrying a
+//!   cycle range and an instruction count.
+//! * [`Trace`] — a validated collection of spans plus cross-thread
+//!   dependency edges, the substrate for post-mortem critical-path analysis.
+//! * [`InstructionBreakdown`] — per-category instruction accounting used by
+//!   the paper's Figs. 14–15.
+//!
+//! Everything here is deterministic and serializable; traces produced by the
+//! platform simulator can be archived and re-analyzed.
+//!
+//! ```
+//! use stats_trace::{Category, Cycles, ThreadId, TraceBuilder};
+//!
+//! let mut b = TraceBuilder::new("demo");
+//! let t0 = ThreadId(0);
+//! let setup = b.push(t0, Category::Setup, Cycles(0), Cycles(100), 50);
+//! let work = b.push(t0, Category::ChunkCompute, Cycles(100), Cycles(1_000), 800);
+//! b.depend(setup, work);
+//! let trace = b.finish().expect("well-formed");
+//! assert_eq!(trace.makespan(), Cycles(1_000));
+//! ```
+
+pub mod analysis;
+pub mod chrome;
+mod category;
+pub mod histogram;
+mod ids;
+mod instructions;
+mod span;
+mod summary;
+pub mod timeline;
+#[allow(clippy::module_inception)]
+mod trace;
+
+pub use category::{Category, CategoryKind, CATEGORIES};
+pub use ids::{Cycles, SpanId, ThreadId};
+pub use instructions::InstructionBreakdown;
+pub use span::Span;
+pub use summary::{CategoryTotals, ThreadSummary, TraceSummary};
+pub use trace::{DependencyEdge, Trace, TraceBuilder, TraceError, TraceMeta};

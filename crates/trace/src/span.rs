@@ -1,0 +1,96 @@
+//! Individual trace spans.
+
+use crate::{Category, Cycles, SpanId, ThreadId};
+use serde::{Deserialize, Serialize};
+
+/// One timestamped activity interval on one logical thread.
+///
+/// Spans are flat (non-nested) per thread: the runtime emits a sequence of
+/// adjacent or gapped intervals per thread, mirroring the paper's
+/// timestamping of "each critical point of the STATS execution model"
+/// (§V-B). A gap between consecutive spans on the same thread is idle time
+/// (the thread is blocked waiting or was never scheduled on a core).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Identity of this span within its trace.
+    pub id: SpanId,
+    /// Logical thread the activity ran on.
+    pub thread: ThreadId,
+    /// What the thread was doing.
+    pub category: Category,
+    /// Start timestamp (inclusive), in virtual cycles.
+    pub start: Cycles,
+    /// End timestamp (exclusive), in virtual cycles. `end >= start`.
+    pub end: Cycles,
+    /// Committed instructions attributed to this span (the paper's Fig. 14
+    /// "extra instructions" accounting).
+    pub instructions: u64,
+    /// Free-form label, typically the chunk index (`"chunk 3"`) or the
+    /// replica index of an original-state generation.
+    pub label: Option<String>,
+}
+
+impl Span {
+    /// Duration of this span.
+    ///
+    /// ```
+    /// use stats_trace::{Category, Cycles, Span, SpanId, ThreadId};
+    /// let s = Span {
+    ///     id: SpanId(0),
+    ///     thread: ThreadId(0),
+    ///     category: Category::Sync,
+    ///     start: Cycles(10),
+    ///     end: Cycles(25),
+    ///     instructions: 0,
+    ///     label: None,
+    /// };
+    /// assert_eq!(s.duration(), Cycles(15));
+    /// ```
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+
+    /// Whether this span overlaps `other` in time (half-open intervals).
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(start: u64, end: u64) -> Span {
+        Span {
+            id: SpanId(0),
+            thread: ThreadId(0),
+            category: Category::ChunkCompute,
+            start: Cycles(start),
+            end: Cycles(end),
+            instructions: 0,
+            label: None,
+        }
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        assert_eq!(span(5, 12).duration(), Cycles(7));
+        assert_eq!(span(5, 5).duration(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn overlap_is_half_open() {
+        // [0,10) and [10,20) touch but do not overlap.
+        assert!(!span(0, 10).overlaps(&span(10, 20)));
+        assert!(span(0, 10).overlaps(&span(9, 20)));
+        assert!(span(5, 6).overlaps(&span(0, 100)));
+        assert!(!span(0, 5).overlaps(&span(6, 7)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = span(0, 10);
+        let b = span(5, 15);
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+}

@@ -1,0 +1,198 @@
+//! Aggregated views of a trace: per-category and per-thread summaries.
+
+use crate::{Category, Cycles, ThreadId, Trace, CATEGORIES};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Busy-time totals per category over a whole trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CategoryTotals {
+    totals: BTreeMap<Category, Cycles>,
+}
+
+impl CategoryTotals {
+    /// Compute totals from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        CategoryTotals {
+            totals: trace.cycles_by_category(),
+        }
+    }
+
+    /// Busy cycles in `category` (zero if absent).
+    pub fn get(&self, category: Category) -> Cycles {
+        self.totals.get(&category).copied().unwrap_or(Cycles::ZERO)
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> Cycles {
+        self.totals.values().copied().sum()
+    }
+
+    /// Sum over overhead categories only (everything except useful work).
+    pub fn overhead(&self) -> Cycles {
+        self.totals
+            .iter()
+            .filter(|(c, _)| c.is_overhead())
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Iterate categories in presentation order with their totals.
+    pub fn iter(&self) -> impl Iterator<Item = (Category, Cycles)> + '_ {
+        CATEGORIES.into_iter().map(move |c| (c, self.get(c)))
+    }
+}
+
+/// Per-thread busy/idle accounting within the parallel region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadSummary {
+    /// The logical thread.
+    pub thread: ThreadId,
+    /// First activity timestamp.
+    pub first_start: Cycles,
+    /// Last activity timestamp.
+    pub last_end: Cycles,
+    /// Total busy cycles across all the thread's spans.
+    pub busy: Cycles,
+    /// Idle cycles between `first_start` and `last_end` not covered by any
+    /// span (blocked or descheduled time).
+    pub idle: Cycles,
+}
+
+/// Whole-trace summary: makespan, per-thread accounting, imbalance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Per-thread accounting, ordered by thread id.
+    pub threads: Vec<ThreadSummary>,
+    /// End of the last span.
+    pub makespan: Cycles,
+    /// Busy-time totals per category.
+    pub categories: CategoryTotals,
+}
+
+impl TraceSummary {
+    /// Summarize a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut per_thread: BTreeMap<ThreadId, (Cycles, Cycles, Cycles)> = BTreeMap::new();
+        for s in trace.spans() {
+            let entry = per_thread
+                .entry(s.thread)
+                .or_insert((s.start, s.end, Cycles::ZERO));
+            entry.0 = entry.0.min(s.start);
+            entry.1 = entry.1.max(s.end);
+            entry.2 += s.duration();
+        }
+        let threads = per_thread
+            .into_iter()
+            .map(|(thread, (first_start, last_end, busy))| ThreadSummary {
+                thread,
+                first_start,
+                last_end,
+                busy,
+                idle: (last_end - first_start).saturating_sub(busy),
+            })
+            .collect();
+        TraceSummary {
+            threads,
+            makespan: trace.makespan(),
+            categories: CategoryTotals::from_trace(trace),
+        }
+    }
+
+    /// Imbalance ratio in `[0, 1)`: how much of the aggregate thread
+    /// lifetime is spent idle. Zero means perfectly balanced threads.
+    ///
+    /// This follows §III-A: "the performance lost because of imbalance
+    /// execution is the amount of time spent when all threads but one is
+    /// running" — generalized to the fraction of thread-lifetime cycles
+    /// that are idle.
+    pub fn imbalance(&self) -> f64 {
+        let lifetime: u64 = self
+            .threads
+            .iter()
+            .map(|t| (t.last_end - t.first_start).get())
+            .sum();
+        if lifetime == 0 {
+            return 0.0;
+        }
+        let idle: u64 = self.threads.iter().map(|t| t.idle.get()).sum();
+        idle as f64 / lifetime as f64
+    }
+
+    /// The busiest thread's busy time: a lower bound on the makespan.
+    pub fn max_thread_busy(&self) -> Cycles {
+        self.threads
+            .iter()
+            .map(|t| t.busy)
+            .max()
+            .unwrap_or(Cycles::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn two_thread_trace() -> Trace {
+        let mut b = TraceBuilder::new("sum");
+        // T0 busy 0..100 and 200..300 (idle 100..200).
+        b.push(ThreadId(0), Category::ChunkCompute, Cycles(0), Cycles(100), 100);
+        b.push(ThreadId(0), Category::Sync, Cycles(200), Cycles(300), 0);
+        // T1 busy 0..50.
+        b.push(ThreadId(1), Category::AltProducer, Cycles(0), Cycles(50), 40);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn thread_summaries_account_busy_and_idle() {
+        let s = TraceSummary::from_trace(&two_thread_trace());
+        assert_eq!(s.threads.len(), 2);
+        let t0 = &s.threads[0];
+        assert_eq!(t0.busy, Cycles(200));
+        assert_eq!(t0.idle, Cycles(100));
+        let t1 = &s.threads[1];
+        assert_eq!(t1.busy, Cycles(50));
+        assert_eq!(t1.idle, Cycles::ZERO);
+    }
+
+    #[test]
+    fn imbalance_fraction() {
+        let s = TraceSummary::from_trace(&two_thread_trace());
+        // lifetimes: 300 + 50 = 350; idle: 100.
+        assert!((s.imbalance() - 100.0 / 350.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_totals() {
+        let s = TraceSummary::from_trace(&two_thread_trace());
+        assert_eq!(s.categories.get(Category::ChunkCompute), Cycles(100));
+        assert_eq!(s.categories.get(Category::Sync), Cycles(100));
+        assert_eq!(s.categories.get(Category::AltProducer), Cycles(50));
+        assert_eq!(s.categories.get(Category::Setup), Cycles::ZERO);
+        assert_eq!(s.categories.total(), Cycles(250));
+        assert_eq!(s.categories.overhead(), Cycles(150));
+    }
+
+    #[test]
+    fn makespan_lower_bound() {
+        let s = TraceSummary::from_trace(&two_thread_trace());
+        assert!(s.max_thread_busy() <= s.makespan);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let t = TraceBuilder::new("empty").finish().unwrap();
+        let s = TraceSummary::from_trace(&t);
+        assert_eq!(s.imbalance(), 0.0);
+        assert_eq!(s.max_thread_busy(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn category_iter_covers_presentation_order() {
+        let s = TraceSummary::from_trace(&two_thread_trace());
+        let cats: Vec<_> = s.categories.iter().map(|(c, _)| c).collect();
+        assert_eq!(cats.len(), CATEGORIES.len());
+        assert_eq!(cats[0], Category::Setup);
+    }
+}

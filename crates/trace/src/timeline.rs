@@ -1,0 +1,194 @@
+//! ASCII timeline rendering of traces — a textual version of the paper's
+//! Figs. 4–8 execution diagrams.
+
+use crate::{Category, Cycles, ThreadId, Trace};
+
+/// Options for [`render_timeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Maximum number of threads to show (busiest first); the rest are
+    /// summarized in a footer.
+    pub max_threads: usize,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            width: 96,
+            max_threads: 24,
+        }
+    }
+}
+
+/// One-character glyph per category, chosen to evoke the paper's figures:
+/// dark blocks for program computation, light glyphs for overhead.
+pub fn glyph(category: Category) -> char {
+    match category {
+        Category::ChunkCompute => '#',
+        Category::AbortedCompute => 'x',
+        Category::AltProducer => 'a',
+        Category::OriginalStateGen => 'o',
+        Category::StateComparison => '=',
+        Category::StateCopy => 'c',
+        Category::Sync => '~',
+        Category::Setup => 's',
+        Category::Commit => '!',
+        Category::OutsideRegion => '.',
+    }
+}
+
+/// Render a trace as one row per logical thread, time flowing left to
+/// right. Idle time is blank; each cell shows the category that occupied
+/// the majority of its time slice.
+///
+/// ```
+/// use stats_trace::{Category, Cycles, ThreadId, TraceBuilder};
+/// use stats_trace::timeline::{render_timeline, TimelineOptions};
+///
+/// let mut b = TraceBuilder::new("demo");
+/// b.push(ThreadId(0), Category::Setup, Cycles(0), Cycles(50), 0);
+/// b.push(ThreadId(1), Category::ChunkCompute, Cycles(50), Cycles(100), 0);
+/// let text = render_timeline(&b.finish().unwrap(), &TimelineOptions::default());
+/// assert!(text.contains("T0"));
+/// assert!(text.contains('#'));
+/// ```
+pub fn render_timeline(trace: &Trace, opts: &TimelineOptions) -> String {
+    let makespan = trace.makespan();
+    if makespan == Cycles::ZERO {
+        return String::from("(empty trace)\n");
+    }
+    let width = opts.width.max(8);
+
+    // Busiest threads first, then by id for determinism.
+    let mut threads: Vec<(ThreadId, u64)> = {
+        let mut busy: std::collections::BTreeMap<ThreadId, u64> = std::collections::BTreeMap::new();
+        for s in trace.spans() {
+            *busy.entry(s.thread).or_default() += s.duration().get();
+        }
+        busy.into_iter().collect()
+    };
+    threads.sort_by_key(|(t, busy)| (std::cmp::Reverse(*busy), *t));
+    let shown = threads.len().min(opts.max_threads);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline of {:?}: {} over {} threads ({} shown)\n",
+        trace.meta().scenario,
+        makespan,
+        threads.len(),
+        shown
+    ));
+    let cell = (makespan.get() as f64 / width as f64).max(1.0);
+    for &(thread, _) in threads.iter().take(shown) {
+        // Coverage per cell: pick the category occupying the most time.
+        let mut cells: Vec<(u64, Option<Category>)> = vec![(0, None); width];
+        for s in trace.spans().iter().filter(|s| s.thread == thread) {
+            let first = (s.start.get() as f64 / cell) as usize;
+            let last = (((s.end.get() as f64) / cell).ceil() as usize).min(width);
+            for (i, slot) in cells.iter_mut().enumerate().take(last).skip(first) {
+                let cell_start = (i as f64 * cell) as u64;
+                let cell_end = ((i + 1) as f64 * cell) as u64;
+                let overlap = s.end.get().min(cell_end).saturating_sub(s.start.get().max(cell_start));
+                if overlap > slot.0 {
+                    *slot = (overlap, Some(s.category));
+                }
+            }
+        }
+        let row: String = cells
+            .iter()
+            .map(|(_, c)| c.map(glyph).unwrap_or(' '))
+            .collect();
+        out.push_str(&format!("{:>5} |{}|\n", format!("T{}", thread.0), row));
+    }
+    if threads.len() > shown {
+        out.push_str(&format!("      … {} more threads\n", threads.len() - shown));
+    }
+    out.push_str(
+        "legend: # compute  x aborted  a alt-producer  o original-state  = compare  \
+         c copy  ~ sync  s setup  ! commit  . outside\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("sample");
+        b.push(ThreadId(0), Category::Setup, Cycles(0), Cycles(100), 0);
+        b.push(ThreadId(0), Category::OutsideRegion, Cycles(900), Cycles(1_000), 0);
+        b.push(ThreadId(1), Category::AltProducer, Cycles(100), Cycles(300), 0);
+        b.push(ThreadId(1), Category::ChunkCompute, Cycles(300), Cycles(900), 0);
+        b.push(ThreadId(2), Category::OriginalStateGen, Cycles(400), Cycles(700), 0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn renders_each_thread_row() {
+        let text = render_timeline(&sample_trace(), &TimelineOptions::default());
+        for t in ["T0", "T1", "T2"] {
+            assert!(text.contains(t), "missing {t} in\n{text}");
+        }
+        assert!(text.contains('#'));
+        assert!(text.contains('a'));
+        assert!(text.contains('o'));
+        assert!(text.contains("legend:"));
+    }
+
+    #[test]
+    fn busiest_thread_is_listed_first() {
+        let text = render_timeline(&sample_trace(), &TimelineOptions::default());
+        let t1 = text.find("T1").unwrap();
+        let t0 = text.find("T0").unwrap();
+        assert!(t1 < t0, "T1 (800 busy) should precede T0 (200 busy)");
+    }
+
+    #[test]
+    fn respects_max_threads() {
+        let mut b = TraceBuilder::new("many");
+        for i in 0..10 {
+            b.push(ThreadId(i), Category::ChunkCompute, Cycles(0), Cycles(10), 0);
+        }
+        let text = render_timeline(
+            &b.finish().unwrap(),
+            &TimelineOptions {
+                width: 40,
+                max_threads: 3,
+            },
+        );
+        assert!(text.contains("… 7 more threads"));
+        assert_eq!(text.matches('|').count(), 6, "3 rows, 2 pipes each");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = TraceBuilder::new("empty").finish().unwrap();
+        assert_eq!(render_timeline(&t, &TimelineOptions::default()), "(empty trace)\n");
+    }
+
+    #[test]
+    fn rows_have_uniform_width() {
+        let opts = TimelineOptions {
+            width: 50,
+            max_threads: 10,
+        };
+        let text = render_timeline(&sample_trace(), &opts);
+        for line in text.lines().filter(|l| l.contains('|')) {
+            let inner = line.split('|').nth(1).unwrap();
+            assert_eq!(inner.chars().count(), 50, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn every_category_has_a_distinct_glyph() {
+        let glyphs: Vec<char> = crate::CATEGORIES.iter().map(|c| glyph(*c)).collect();
+        let mut dedup = glyphs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), glyphs.len(), "duplicate glyphs: {glyphs:?}");
+    }
+}

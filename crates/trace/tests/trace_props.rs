@@ -1,0 +1,107 @@
+//! Property tests of trace construction, validation, and aggregation.
+
+use proptest::prelude::*;
+use stats_trace::{Category, Cycles, ThreadId, TraceBuilder, TraceSummary, CATEGORIES};
+
+/// Generate per-thread sequences of adjacent (gap-or-touch) spans, which
+/// are well-formed by construction.
+fn wellformed_spans() -> impl Strategy<Value = Vec<(usize, usize, u64, u64, u64)>> {
+    // (thread, category index, gap, duration, instructions)
+    proptest::collection::vec(
+        (0usize..6, 0usize..CATEGORIES.len(), 0u64..50, 0u64..200, 0u64..1_000),
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adjacent per-thread spans always validate, and the aggregate
+    /// accounting is exact.
+    #[test]
+    fn wellformed_traces_validate(spans in wellformed_spans()) {
+        let mut b = TraceBuilder::new("prop");
+        let mut cursor = [0u64; 6];
+        let mut expect_busy = 0u64;
+        let mut expect_instr = 0u64;
+        let mut expect_makespan = 0u64;
+        for (thread, cat, gap, dur, instr) in &spans {
+            let start = cursor[*thread] + gap;
+            let end = start + dur;
+            cursor[*thread] = end;
+            expect_busy += dur;
+            expect_instr += instr;
+            expect_makespan = expect_makespan.max(end);
+            b.push(ThreadId(*thread), CATEGORIES[*cat], Cycles(start), Cycles(end), *instr);
+        }
+        let trace = b.finish().expect("well-formed by construction");
+        prop_assert_eq!(trace.makespan(), Cycles(expect_makespan));
+        prop_assert_eq!(trace.total_instructions(), expect_instr);
+        let busy: u64 = trace.cycles_by_category().values().map(|c| c.get()).sum();
+        prop_assert_eq!(busy, expect_busy);
+    }
+
+    /// Summaries conserve time: busy + idle equals each thread's lifetime,
+    /// and imbalance is a valid fraction.
+    #[test]
+    fn summaries_conserve_time(spans in wellformed_spans()) {
+        let mut b = TraceBuilder::new("prop");
+        let mut cursor = [0u64; 6];
+        for (thread, cat, gap, dur, instr) in &spans {
+            let start = cursor[*thread] + gap;
+            let end = start + dur;
+            cursor[*thread] = end;
+            b.push(ThreadId(*thread), CATEGORIES[*cat], Cycles(start), Cycles(end), *instr);
+        }
+        let trace = b.finish().unwrap();
+        let summary = TraceSummary::from_trace(&trace);
+        for t in &summary.threads {
+            prop_assert_eq!(
+                t.busy + t.idle,
+                t.last_end - t.first_start,
+                "thread {} lifetime mismatch", t.thread
+            );
+        }
+        let imb = summary.imbalance();
+        prop_assert!((0.0..=1.0).contains(&imb), "imbalance {imb}");
+        prop_assert!(summary.max_thread_busy() <= summary.makespan);
+    }
+
+    /// Overlapping spans on one thread are always rejected.
+    #[test]
+    fn overlaps_always_rejected(start in 0u64..1_000, len in 1u64..100, shift in 0u64..99) {
+        prop_assume!(shift < len);
+        let mut b = TraceBuilder::new("bad");
+        b.push(ThreadId(0), Category::Sync, Cycles(start), Cycles(start + len), 0);
+        b.push(
+            ThreadId(0),
+            Category::ChunkCompute,
+            Cycles(start + shift),
+            Cycles(start + shift + len),
+            0,
+        );
+        prop_assert!(b.finish().is_err());
+    }
+
+    /// Edges that point backwards in time are always rejected; forward
+    /// edges always accepted.
+    #[test]
+    fn edge_direction_is_enforced(a_end in 1u64..500, b_start in 0u64..1_000) {
+        let mut b = TraceBuilder::new("edges");
+        let first = b.push(ThreadId(0), Category::Setup, Cycles(0), Cycles(a_end), 0);
+        let second = b.push(
+            ThreadId(1),
+            Category::ChunkCompute,
+            Cycles(b_start),
+            Cycles(b_start + 10),
+            0,
+        );
+        b.depend(first, second);
+        let result = b.finish();
+        if b_start >= a_end {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}

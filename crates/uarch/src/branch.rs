@@ -1,0 +1,221 @@
+//! Branch predictor models: bimodal and gshare.
+
+/// A branch-direction predictor fed one `(pc, taken)` outcome at a time.
+pub trait BranchPredictor {
+    /// Predict and train on one branch; returns `true` if the prediction
+    /// was correct.
+    fn predict_and_train(&mut self, pc: u64, taken: bool) -> bool;
+
+    /// Number of branches observed.
+    fn branches(&self) -> u64;
+
+    /// Number of mispredictions.
+    fn mispredictions(&self) -> u64;
+
+    /// Misprediction rate in `[0, 1]`.
+    fn misprediction_rate(&self) -> f64 {
+        if self.branches() == 0 {
+            0.0
+        } else {
+            self.mispredictions() as f64 / self.branches() as f64
+        }
+    }
+}
+
+/// Saturating 2-bit counter (0–1 predict not-taken, 2–3 predict taken).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TwoBit(u8);
+
+impl TwoBit {
+    fn predict(self) -> bool {
+        self.0 >= 2
+    }
+    fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// A classic bimodal predictor: a table of 2-bit counters indexed by PC.
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    table: Vec<TwoBit>,
+    branches: u64,
+    mispredictions: u64,
+}
+
+impl BimodalPredictor {
+    /// Create a predictor with `entries` counters (rounded up to a power of
+    /// two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "need at least one entry");
+        let entries = entries.next_power_of_two();
+        BimodalPredictor {
+            table: vec![TwoBit(1); entries],
+            branches: 0,
+            mispredictions: 0,
+        }
+    }
+}
+
+impl BranchPredictor for BimodalPredictor {
+    fn predict_and_train(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = (pc as usize >> 2) & (self.table.len() - 1);
+        let correct = self.table[idx].predict() == taken;
+        self.table[idx].train(taken);
+        self.branches += 1;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        correct
+    }
+
+    fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+}
+
+/// A gshare predictor: 2-bit counters indexed by `PC xor global history`.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    table: Vec<TwoBit>,
+    history: u64,
+    history_bits: u32,
+    branches: u64,
+    mispredictions: u64,
+}
+
+impl GsharePredictor {
+    /// Create a gshare predictor with `entries` counters (rounded up to a
+    /// power of two) and `history_bits` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `history_bits` exceeds 32.
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        assert!(entries > 0, "need at least one entry");
+        assert!(history_bits <= 32, "history too long");
+        GsharePredictor {
+            table: vec![TwoBit(1); entries.next_power_of_two()],
+            history: 0,
+            history_bits,
+            branches: 0,
+            mispredictions: 0,
+        }
+    }
+}
+
+impl BranchPredictor for GsharePredictor {
+    fn predict_and_train(&mut self, pc: u64, taken: bool) -> bool {
+        let mask = self.table.len() as u64 - 1;
+        let hist = self.history & ((1u64 << self.history_bits) - 1).max(1);
+        let idx = (((pc >> 2) ^ hist) & mask) as usize;
+        let correct = self.table[idx].predict() == taken;
+        self.table[idx].train(taken);
+        self.history = (self.history << 1) | u64::from(taken);
+        self.branches += 1;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        correct
+    }
+
+    fn branches(&self) -> u64 {
+        self.branches
+    }
+
+    fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_saturates() {
+        let mut c = TwoBit(0);
+        c.train(false);
+        assert_eq!(c.0, 0);
+        c.train(true);
+        c.train(true);
+        c.train(true);
+        c.train(true);
+        assert_eq!(c.0, 3);
+        assert!(c.predict());
+    }
+
+    #[test]
+    fn bimodal_learns_a_constant_branch() {
+        let mut p = BimodalPredictor::new(256);
+        for _ in 0..100 {
+            p.predict_and_train(0x400000, true);
+        }
+        // After warm-up, the branch is always predicted correctly.
+        assert!(p.misprediction_rate() < 0.05, "{}", p.misprediction_rate());
+    }
+
+    #[test]
+    fn bimodal_struggles_with_alternating_branch() {
+        let mut p = BimodalPredictor::new(256);
+        let mut taken = false;
+        for _ in 0..1000 {
+            taken = !taken;
+            p.predict_and_train(0x400000, taken);
+        }
+        // An alternating branch defeats a 2-bit counter about half the time.
+        assert!(p.misprediction_rate() > 0.4);
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        let mut p = GsharePredictor::new(1024, 8);
+        let mut taken = false;
+        for _ in 0..2000 {
+            taken = !taken;
+            p.predict_and_train(0x400000, taken);
+        }
+        // History correlation lets gshare nail the pattern.
+        assert!(
+            p.misprediction_rate() < 0.1,
+            "rate = {}",
+            p.misprediction_rate()
+        );
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_entries() {
+        let mut p = BimodalPredictor::new(1024);
+        for _ in 0..50 {
+            p.predict_and_train(0x1000, true);
+            p.predict_and_train(0x1004, false);
+        }
+        assert!(p.misprediction_rate() < 0.1);
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let p = BimodalPredictor::new(16);
+        assert_eq!(p.branches(), 0);
+        assert_eq!(p.mispredictions(), 0);
+        assert_eq!(p.misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        BimodalPredictor::new(0);
+    }
+}

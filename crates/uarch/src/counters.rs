@@ -1,0 +1,131 @@
+//! Aggregated microarchitectural counters in Table II's shape.
+
+use crate::LevelCounters;
+use serde::{Deserialize, Serialize};
+
+/// One Table II cell group: cache miss counters for three levels plus
+/// branch misprediction counters, aggregated across all cores (§V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterSet {
+    /// Per-core L1 data caches, summed.
+    pub l1d: LevelCounters,
+    /// Per-core L2 caches, summed.
+    pub l2: LevelCounters,
+    /// Shared last-level caches, summed.
+    pub llc: LevelCounters,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_misses: u64,
+}
+
+impl CounterSet {
+    /// Branch misprediction rate in `[0, 1]`.
+    pub fn branch_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_misses as f64 / self.branches as f64
+        }
+    }
+
+    /// Merge absolute counters from another set.
+    pub fn merge(&mut self, other: &CounterSet) {
+        self.l1d.merge(other.l1d);
+        self.l2.merge(other.l2);
+        self.llc.merge(other.llc);
+        self.branches += other.branches;
+        self.branch_misses += other.branch_misses;
+    }
+
+    /// Accumulate `(after - before) * scale` into `self`; used by sampled
+    /// replays to extrapolate counters to the full stream length.
+    pub fn accumulate_scaled(&mut self, before: &CounterSet, after: &CounterSet, scale: f64) {
+        fn scaled(a: u64, b: u64, s: f64) -> u64 {
+            ((b.saturating_sub(a)) as f64 * s).round() as u64
+        }
+        self.l1d.accesses += scaled(before.l1d.accesses, after.l1d.accesses, scale);
+        self.l1d.misses += scaled(before.l1d.misses, after.l1d.misses, scale);
+        self.l2.accesses += scaled(before.l2.accesses, after.l2.accesses, scale);
+        self.l2.misses += scaled(before.l2.misses, after.l2.misses, scale);
+        self.llc.accesses += scaled(before.llc.accesses, after.llc.accesses, scale);
+        self.llc.misses += scaled(before.llc.misses, after.llc.misses, scale);
+        self.branches += scaled(before.branches, after.branches, scale);
+        self.branch_misses += scaled(before.branch_misses, after.branch_misses, scale);
+    }
+
+    /// Misses in billions (the unit Table II prints).
+    pub fn billions(x: u64) -> f64 {
+        x as f64 / 1e9
+    }
+}
+
+/// Table II row for one benchmark: counters under the three execution
+/// configurations the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConfigCounters {
+    /// Sequential baseline (no TLP).
+    pub sequential: CounterSet,
+    /// Original (developer-expressed) TLP on all cores.
+    pub original: CounterSet,
+    /// STATS TLP on all cores.
+    pub stats: CounterSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(acc: u64, miss: u64, br: u64, brm: u64) -> CounterSet {
+        CounterSet {
+            l1d: LevelCounters {
+                accesses: acc,
+                misses: miss,
+            },
+            l2: LevelCounters {
+                accesses: acc / 2,
+                misses: miss / 2,
+            },
+            llc: LevelCounters {
+                accesses: acc / 4,
+                misses: miss / 4,
+            },
+            branches: br,
+            branch_misses: brm,
+        }
+    }
+
+    #[test]
+    fn branch_rate_handles_zero() {
+        assert_eq!(CounterSet::default().branch_rate(), 0.0);
+        let c = cs(100, 10, 50, 5);
+        assert!((c.branch_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = cs(100, 10, 50, 5);
+        a.merge(&cs(100, 30, 50, 15));
+        assert_eq!(a.l1d.accesses, 200);
+        assert_eq!(a.l1d.misses, 40);
+        assert_eq!(a.branches, 100);
+        assert_eq!(a.branch_misses, 20);
+    }
+
+    #[test]
+    fn accumulate_scaled_extrapolates() {
+        let before = cs(100, 10, 50, 5);
+        let after = cs(200, 30, 100, 15);
+        let mut agg = CounterSet::default();
+        agg.accumulate_scaled(&before, &after, 10.0);
+        assert_eq!(agg.l1d.accesses, 1_000);
+        assert_eq!(agg.l1d.misses, 200);
+        assert_eq!(agg.branches, 500);
+        assert_eq!(agg.branch_misses, 100);
+    }
+
+    #[test]
+    fn billions_unit() {
+        assert!((CounterSet::billions(2_500_000_000) - 2.5).abs() < 1e-12);
+    }
+}

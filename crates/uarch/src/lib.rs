@@ -1,0 +1,41 @@
+//! # stats-uarch
+//!
+//! Microarchitecture simulators standing in for hardware performance
+//! counters.
+//!
+//! The paper's Table II reports L1D/L2/LLC cache misses and branch
+//! mispredictions for three configurations of each benchmark (sequential,
+//! original TLP on 28 cores, STATS TLP on 28 cores), "computed by adding
+//! all of the per-core counters" (§V-D). We cannot read a Haswell PMU, so
+//! this crate simulates the relevant structures:
+//!
+//! * [`Cache`] — a set-associative, LRU, write-allocate cache;
+//!   [`CacheHierarchy`] stacks per-core L1D/L2 under a shared LLC.
+//! * [`BranchPredictor`] — bimodal (2-bit counters) and gshare predictors.
+//! * [`MemoryEvent`]/[`AccessStream`] — the abstract event streams
+//!   workloads emit (deterministic, seeded), replayed through the
+//!   simulators by [`MultiCore`].
+//! * [`CounterSet`] — aggregated counters in Table II's shape (totals plus
+//!   miss rates).
+//!
+//! ```
+//! use stats_uarch::{Cache, CacheConfig};
+//!
+//! // An 8 KiB, 2-way, 64 B-line cache.
+//! let mut c = Cache::new(CacheConfig::new(8 * 1024, 2, 64));
+//! assert!(!c.access(0x1000));        // cold miss
+//! assert!(c.access(0x1000));         // hit
+//! assert!(c.access(0x1010));         // same line: hit
+//! ```
+
+mod branch;
+pub mod cpi;
+mod cache;
+mod counters;
+mod stream;
+
+pub use branch::{BimodalPredictor, BranchPredictor, GsharePredictor};
+pub use cache::{Cache, CacheConfig, CacheHierarchy, HierarchyConfig, LevelCounters, Tlb};
+pub use counters::{ConfigCounters, CounterSet};
+pub use cpi::CpiModel;
+pub use stream::{AccessStream, MemoryEvent, MultiCore, PredictorKind, StreamProfile};

@@ -1,0 +1,497 @@
+//! Abstract access streams and their replay on a simulated multicore.
+
+use crate::{
+    BimodalPredictor, BranchPredictor, Cache, CacheHierarchy, CounterSet, GsharePredictor,
+    HierarchyConfig,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One abstract microarchitectural event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryEvent {
+    /// A data access to a byte address.
+    Access(u64),
+    /// A conditional branch at `pc` with its outcome.
+    Branch { pc: u64, taken: bool },
+}
+
+/// A statistical description of one program phase's memory/branch
+/// behaviour, emitted by workloads instead of full address traces.
+///
+/// The generator interleaves three access flavours over a private region:
+/// sequential streaming (stride 64), hot-set reuse, and uniform-random
+/// accesses over the working set; branches mix loop-like (always-taken)
+/// and data-dependent (biased random) branches. All draws are seeded, so a
+/// profile expands to the same event stream every time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamProfile {
+    /// Base address of the phase's data region (keeps phases from aliasing
+    /// each other's lines unless they share state on purpose).
+    pub region_base: u64,
+    /// Touched bytes.
+    pub working_set: u64,
+    /// Total data accesses the phase performs.
+    pub accesses: u64,
+    /// Fraction of accesses that are sequential streaming (`[0, 1]`).
+    pub streaming: f64,
+    /// Fraction of accesses that hit a small hot set (`[0, 1]`,
+    /// `streaming + hot <= 1`; the rest are uniform random).
+    pub hot: f64,
+    /// Total conditional branches the phase executes.
+    pub branches: u64,
+    /// Fraction of branches that are data-dependent (unpredictable);
+    /// the rest are loop-like and almost always taken.
+    pub irregular_branches: f64,
+    /// Taken-probability of the data-dependent branches.
+    pub irregular_bias: f64,
+}
+
+impl StreamProfile {
+    /// A convenient all-streaming profile (for tests).
+    pub fn streaming(region_base: u64, working_set: u64, accesses: u64) -> Self {
+        StreamProfile {
+            region_base,
+            working_set,
+            accesses,
+            streaming: 1.0,
+            hot: 0.0,
+            branches: accesses / 8,
+            irregular_branches: 0.02,
+            irregular_bias: 0.5,
+        }
+    }
+
+    /// Validate field ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions are out of `[0, 1]` or `streaming + hot > 1`.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.streaming), "streaming fraction");
+        assert!((0.0..=1.0).contains(&self.hot), "hot fraction");
+        assert!(self.streaming + self.hot <= 1.0 + 1e-9, "fractions exceed 1");
+        assert!(
+            (0.0..=1.0).contains(&self.irregular_branches),
+            "irregular fraction"
+        );
+        assert!((0.0..=1.0).contains(&self.irregular_bias), "branch bias");
+        assert!(self.working_set > 0, "empty working set");
+    }
+}
+
+/// Deterministic event generator expanding a [`StreamProfile`].
+#[derive(Debug, Clone)]
+pub struct AccessStream {
+    profile: StreamProfile,
+    rng: ChaCha8Rng,
+    emitted_accesses: u64,
+    emitted_branches: u64,
+    stream_cursor: u64,
+}
+
+impl AccessStream {
+    /// Create a generator for `profile` with the given seed.
+    pub fn new(profile: StreamProfile, seed: u64) -> Self {
+        profile.validate();
+        AccessStream {
+            profile,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            emitted_accesses: 0,
+            emitted_branches: 0,
+            stream_cursor: 0,
+        }
+    }
+
+    fn next_access(&mut self) -> u64 {
+        let p = &self.profile;
+        let r: f64 = self.rng.gen();
+        let offset = if r < p.streaming {
+            // Element-granularity streaming: one line miss per 8 touches.
+            let o = self.stream_cursor % p.working_set;
+            self.stream_cursor += 8;
+            o
+        } else if r < p.streaming + p.hot {
+            // 4 KiB hot set at the start of the region.
+            self.rng.gen_range(0..p.working_set.min(4096))
+        } else {
+            self.rng.gen_range(0..p.working_set)
+        };
+        p.region_base + offset
+    }
+
+    fn next_branch(&mut self) -> (u64, bool) {
+        let p = &self.profile;
+        if self.rng.gen::<f64>() < p.irregular_branches {
+            // A handful of hard, data-dependent branch sites.
+            let site = self.rng.gen_range(0..8u64);
+            let taken = self.rng.gen::<f64>() < p.irregular_bias;
+            (p.region_base ^ (0xB000 + site * 4), taken)
+        } else {
+            // Loop-like branches: taken except at iteration boundaries.
+            let taken = self.rng.gen::<f64>() < 0.98;
+            (p.region_base ^ 0xA000, taken)
+        }
+    }
+}
+
+impl Iterator for AccessStream {
+    type Item = MemoryEvent;
+
+    fn next(&mut self) -> Option<MemoryEvent> {
+        let p = self.profile;
+        let total = p.accesses + p.branches;
+        let done = self.emitted_accesses + self.emitted_branches;
+        if done >= total {
+            return None;
+        }
+        // Interleave proportionally.
+        let want_branch = p.branches > 0
+            && (self.emitted_branches * p.accesses <= self.emitted_accesses * p.branches);
+        if want_branch && self.emitted_branches < p.branches {
+            self.emitted_branches += 1;
+            let (pc, taken) = self.next_branch();
+            Some(MemoryEvent::Branch { pc, taken })
+        } else if self.emitted_accesses < p.accesses {
+            self.emitted_accesses += 1;
+            Some(MemoryEvent::Access(self.next_access()))
+        } else {
+            self.emitted_branches += 1;
+            let (pc, taken) = self.next_branch();
+            Some(MemoryEvent::Branch { pc, taken })
+        }
+    }
+}
+
+/// Which branch predictor each simulated core runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictorKind {
+    /// Per-PC 2-bit counters (the default).
+    #[default]
+    Bimodal,
+    /// Global-history-xor-PC 2-bit counters.
+    Gshare,
+}
+
+/// A per-core predictor instance.
+#[derive(Debug)]
+enum CorePredictor {
+    Bimodal(BimodalPredictor),
+    Gshare(GsharePredictor),
+}
+
+impl CorePredictor {
+    fn new(kind: PredictorKind) -> Self {
+        match kind {
+            PredictorKind::Bimodal => CorePredictor::Bimodal(BimodalPredictor::new(4096)),
+            PredictorKind::Gshare => CorePredictor::Gshare(GsharePredictor::new(4096, 12)),
+        }
+    }
+    fn predict_and_train(&mut self, pc: u64, taken: bool) -> bool {
+        match self {
+            CorePredictor::Bimodal(p) => p.predict_and_train(pc, taken),
+            CorePredictor::Gshare(p) => p.predict_and_train(pc, taken),
+        }
+    }
+    fn branches(&self) -> u64 {
+        match self {
+            CorePredictor::Bimodal(p) => p.branches(),
+            CorePredictor::Gshare(p) => p.branches(),
+        }
+    }
+    fn mispredictions(&self) -> u64 {
+        match self {
+            CorePredictor::Bimodal(p) => p.mispredictions(),
+            CorePredictor::Gshare(p) => p.mispredictions(),
+        }
+    }
+}
+
+/// A multicore cache/branch simulator: per-core private hierarchies and
+/// predictors over per-socket shared LLCs.
+///
+/// Replays are *sampled*: a profile with billions of accesses is replayed
+/// for at most [`MultiCore::SAMPLE_CAP`] events and its counter deltas are
+/// scaled up, which preserves rates while keeping simulation fast. The
+/// scaling is recorded in the aggregate counters.
+#[derive(Debug)]
+pub struct MultiCore {
+    cores: Vec<CacheHierarchy>,
+    predictors: Vec<CorePredictor>,
+    llcs: Vec<Cache>,
+    cores_per_socket: usize,
+    aggregate: CounterSet,
+}
+
+impl MultiCore {
+    /// Maximum events actually simulated per replay; the remainder is
+    /// accounted for by linear scaling.
+    pub const SAMPLE_CAP: u64 = 1 << 17;
+
+    /// Create a machine with `cores` cores evenly spread over `sockets`
+    /// sockets (one shared LLC per socket).
+    ///
+    /// ```
+    /// use stats_uarch::{HierarchyConfig, MultiCore, StreamProfile};
+    /// let mut mc = MultiCore::new(28, 2, &HierarchyConfig::haswell());
+    /// mc.replay(0, &StreamProfile::streaming(0x1000, 1 << 20, 100_000), 7);
+    /// assert!(mc.counters().l1d.accesses > 0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not divisible by `sockets` or either is zero.
+    pub fn new(cores: usize, sockets: usize, config: &HierarchyConfig) -> Self {
+        Self::with_predictor(cores, sockets, config, PredictorKind::Bimodal)
+    }
+
+    /// Create a machine with an explicit branch-predictor design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not divisible by `sockets` or either is zero.
+    pub fn with_predictor(
+        cores: usize,
+        sockets: usize,
+        config: &HierarchyConfig,
+        predictor: PredictorKind,
+    ) -> Self {
+        assert!(cores > 0 && sockets > 0, "need cores and sockets");
+        assert!(cores.is_multiple_of(sockets), "cores must divide evenly into sockets");
+        MultiCore {
+            cores: (0..cores).map(|_| CacheHierarchy::new(config)).collect(),
+            predictors: (0..cores).map(|_| CorePredictor::new(predictor)).collect(),
+            llcs: (0..sockets).map(|_| Cache::new(config.llc)).collect(),
+            cores_per_socket: cores / sockets,
+            aggregate: CounterSet::default(),
+        }
+    }
+
+    /// Number of simulated cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Replay a phase profile on `core`, accumulating scaled counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn replay(&mut self, core: usize, profile: &StreamProfile, seed: u64) {
+        assert!(core < self.cores.len(), "core out of range");
+        let total_events = profile.accesses + profile.branches;
+        if total_events == 0 {
+            return;
+        }
+        let sampled = total_events.min(Self::SAMPLE_CAP);
+        // Scale the profile down to the sample, preserving the mix.
+        let ratio = sampled as f64 / total_events as f64;
+        let sample_profile = StreamProfile {
+            accesses: (profile.accesses as f64 * ratio).round() as u64,
+            branches: (profile.branches as f64 * ratio).round() as u64,
+            ..*profile
+        };
+        let scale = total_events as f64 / (sample_profile.accesses + sample_profile.branches).max(1) as f64;
+
+        let socket = core / self.cores_per_socket;
+        let before = self.snapshot(core, socket);
+        for ev in AccessStream::new(sample_profile, seed) {
+            match ev {
+                MemoryEvent::Access(addr) => {
+                    if !self.cores[core].access(addr) {
+                        self.llcs[socket].access(addr);
+                    }
+                }
+                MemoryEvent::Branch { pc, taken } => {
+                    self.predictors[core].predict_and_train(pc, taken);
+                }
+            }
+        }
+        let after = self.snapshot(core, socket);
+        self.aggregate.accumulate_scaled(&before, &after, scale);
+    }
+
+    fn snapshot(&self, core: usize, socket: usize) -> CounterSet {
+        CounterSet {
+            l1d: self.cores[core].l1d_counters(),
+            l2: self.cores[core].l2_counters(),
+            llc: self.llcs[socket].counters(),
+            branches: self.predictors[core].branches(),
+            branch_misses: self.predictors[core].mispredictions(),
+        }
+    }
+
+    /// Aggregated (scaled) counters across all cores, Table II-style.
+    pub fn counters(&self) -> CounterSet {
+        self.aggregate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(accesses: u64) -> StreamProfile {
+        StreamProfile {
+            region_base: 0x1000_0000,
+            working_set: 256 * 1024,
+            accesses,
+            streaming: 0.3,
+            hot: 0.4,
+            branches: accesses / 4,
+            irregular_branches: 0.1,
+            irregular_bias: 0.5,
+        }
+    }
+
+    #[test]
+    fn stream_emits_exact_event_counts() {
+        let p = profile(1_000);
+        let events: Vec<_> = AccessStream::new(p, 7).collect();
+        let accesses = events
+            .iter()
+            .filter(|e| matches!(e, MemoryEvent::Access(_)))
+            .count() as u64;
+        let branches = events.len() as u64 - accesses;
+        assert_eq!(accesses, p.accesses);
+        assert_eq!(branches, p.branches);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let p = profile(500);
+        let a: Vec<_> = AccessStream::new(p, 42).collect();
+        let b: Vec<_> = AccessStream::new(p, 42).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = AccessStream::new(p, 43).collect();
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn accesses_stay_in_region() {
+        let p = profile(2_000);
+        for ev in AccessStream::new(p, 1) {
+            if let MemoryEvent::Access(addr) = ev {
+                assert!(addr >= p.region_base);
+                assert!(addr < p.region_base + p.working_set);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_accumulates_counters() {
+        let mut mc = MultiCore::new(4, 2, &HierarchyConfig::tiny());
+        mc.replay(0, &profile(10_000), 3);
+        let c = mc.counters();
+        assert!(c.l1d.accesses > 0);
+        assert!(c.branches > 0);
+        assert!(c.l1d.miss_rate() > 0.0);
+    }
+
+    #[test]
+    fn sampling_scales_counts() {
+        // 10x the events should give ~10x the scaled counters.
+        let mut a = MultiCore::new(1, 1, &HierarchyConfig::tiny());
+        let mut b = MultiCore::new(1, 1, &HierarchyConfig::tiny());
+        let base = 400_000; // beyond SAMPLE_CAP when x10
+        a.replay(0, &profile(base), 3);
+        b.replay(0, &profile(base * 10), 3);
+        let ra = a.counters().l1d.accesses as f64;
+        let rb = b.counters().l1d.accesses as f64;
+        let ratio = rb / ra;
+        assert!((ratio - 10.0).abs() < 1.5, "scaled ratio = {ratio}");
+    }
+
+    #[test]
+    fn larger_working_set_misses_more() {
+        let cfg = HierarchyConfig::tiny();
+        let mut small = MultiCore::new(1, 1, &cfg);
+        let mut large = MultiCore::new(1, 1, &cfg);
+        let mut p_small = profile(50_000);
+        p_small.working_set = 2 * 1024; // fits in L2
+        p_small.streaming = 0.0;
+        p_small.hot = 0.0;
+        let mut p_large = p_small;
+        p_large.working_set = 1024 * 1024; // blows out the LLC
+        small.replay(0, &p_small, 9);
+        large.replay(0, &p_large, 9);
+        assert!(
+            large.counters().l1d.miss_rate() > small.counters().l1d.miss_rate(),
+            "large {} vs small {}",
+            large.counters().l1d.miss_rate(),
+            small.counters().l1d.miss_rate()
+        );
+    }
+
+    #[test]
+    fn irregular_branches_mispredict_more() {
+        let cfg = HierarchyConfig::tiny();
+        let mut reg = MultiCore::new(1, 1, &cfg);
+        let mut irr = MultiCore::new(1, 1, &cfg);
+        let mut p_reg = profile(50_000);
+        p_reg.irregular_branches = 0.0;
+        let mut p_irr = profile(50_000);
+        p_irr.irregular_branches = 0.9;
+        reg.replay(0, &p_reg, 9);
+        irr.replay(0, &p_irr, 9);
+        assert!(irr.counters().branch_rate() > reg.counters().branch_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "core out of range")]
+    fn replay_rejects_bad_core() {
+        let mut mc = MultiCore::new(2, 1, &HierarchyConfig::tiny());
+        mc.replay(5, &profile(10), 0);
+    }
+
+    #[test]
+    fn cores_share_socket_llc() {
+        let cfg = HierarchyConfig::tiny();
+        let mut mc = MultiCore::new(2, 1, &cfg);
+        // Same region on both cores: the second core's LLC accesses can hit
+        // lines brought in by the first.
+        let mut p = profile(30_000);
+        p.streaming = 0.0;
+        p.hot = 1.0;
+        mc.replay(0, &p, 1);
+        let after_first = mc.counters().llc;
+        mc.replay(1, &p, 2);
+        let after_second = mc.counters().llc;
+        // Second replay added accesses but relatively fewer misses.
+        let first_rate = after_first.miss_rate();
+        let second_delta_miss = after_second.misses - after_first.misses;
+        let second_delta_acc = after_second.accesses - after_first.accesses;
+        if second_delta_acc > 0 {
+            let second_rate = second_delta_miss as f64 / second_delta_acc as f64;
+            assert!(second_rate <= first_rate + 1e-9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod predictor_tests {
+    use super::*;
+
+    #[test]
+    fn gshare_machines_track_history_patterns() {
+        // A strongly patterned branch stream: gshare beats bimodal.
+        let cfg = HierarchyConfig::tiny();
+        let mut p = StreamProfile::streaming(0x1000, 64 * 1024, 60_000);
+        p.irregular_branches = 0.0; // loop-like, highly regular branches
+        let mut bimodal = MultiCore::with_predictor(1, 1, &cfg, PredictorKind::Bimodal);
+        let mut gshare = MultiCore::with_predictor(1, 1, &cfg, PredictorKind::Gshare);
+        bimodal.replay(0, &p, 5);
+        gshare.replay(0, &p, 5);
+        // Both predict the regular stream well; gshare is at least as good.
+        assert!(gshare.counters().branch_rate() <= bimodal.counters().branch_rate() + 0.02);
+    }
+
+    #[test]
+    fn default_predictor_is_bimodal() {
+        let cfg = HierarchyConfig::tiny();
+        let a = MultiCore::new(2, 1, &cfg);
+        let b = MultiCore::with_predictor(2, 1, &cfg, PredictorKind::Bimodal);
+        assert_eq!(a.cores(), b.cores());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests of the cache and branch-predictor simulators.
+
+use proptest::prelude::*;
+use stats_uarch::{
+    AccessStream, BimodalPredictor, BranchPredictor, Cache, CacheConfig, GsharePredictor,
+    MemoryEvent, StreamProfile,
+};
+
+fn cache_config_strategy() -> impl Strategy<Value = CacheConfig> {
+    (1usize..6, 0usize..4, 6u32..8).prop_map(|(sets_pow, ways_pow, line_pow)| {
+        let ways = 1 << ways_pow;
+        let line = 1usize << line_pow;
+        let sets = 1 << sets_pow;
+        CacheConfig::new(sets * ways * line, ways, line)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Re-accessing an address immediately after touching it always hits
+    /// (temporal locality is never lost instantaneously).
+    #[test]
+    fn immediate_reuse_hits(cfg in cache_config_strategy(), addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.access(a), "immediate reuse of {a:#x} missed");
+        }
+    }
+
+    /// Counters are consistent: misses never exceed accesses, and a
+    /// working set that fits in the cache converges to zero misses.
+    #[test]
+    fn counters_are_consistent(cfg in cache_config_strategy(), seed in 0u64..100) {
+        let mut c = Cache::new(cfg);
+        let lines = cfg.capacity / cfg.line;
+        // Touch at most half the cache's lines repeatedly.
+        let footprint = (lines / 2).max(1);
+        let mut x = seed;
+        let mut addrs = Vec::new();
+        for _ in 0..footprint {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            addrs.push((x as usize % footprint) as u64 * cfg.line as u64);
+        }
+        for _round in 0..4 {
+            for &a in &addrs {
+                c.access(a);
+            }
+        }
+        let counters = c.counters();
+        prop_assert!(counters.misses <= counters.accesses);
+        // Cold misses only: bounded by the distinct lines touched.
+        prop_assert!(counters.misses <= footprint as u64);
+    }
+
+    /// The cache never holds more lines than its capacity allows: after
+    /// filling with a huge stream, re-touching more-than-capacity distinct
+    /// lines in LRU order must miss again.
+    #[test]
+    fn capacity_is_respected(cfg in cache_config_strategy()) {
+        let mut c = Cache::new(cfg);
+        let lines = (cfg.capacity / cfg.line) as u64;
+        // Stream over 2x capacity in a cyclic pattern: steady-state LRU
+        // must miss on every access (each line evicted before reuse).
+        for round in 0..3u64 {
+            for i in 0..(2 * lines) {
+                let _ = round;
+                c.access(i * cfg.line as u64);
+            }
+        }
+        let rate = c.counters().miss_rate();
+        prop_assert!(rate > 0.99, "cyclic over-capacity stream must thrash, rate {rate}");
+    }
+
+    /// Predictors never report more mispredictions than branches, and a
+    /// constant branch converges to perfect prediction for both designs.
+    #[test]
+    fn predictors_learn_constants(pc in 0u64..1_000_000, taken in any::<bool>()) {
+        let mut bimodal = BimodalPredictor::new(1024);
+        let mut gshare = GsharePredictor::new(1024, 8);
+        for _ in 0..256 {
+            bimodal.predict_and_train(pc, taken);
+            gshare.predict_and_train(pc, taken);
+        }
+        prop_assert!(bimodal.mispredictions() <= bimodal.branches());
+        prop_assert!(bimodal.misprediction_rate() < 0.05);
+        prop_assert!(gshare.misprediction_rate() < 0.1);
+    }
+
+    /// Access streams emit exactly the profiled number of events, stay in
+    /// their region, and reproduce bit-for-bit per seed.
+    #[test]
+    fn streams_match_their_profile(
+        accesses in 1u64..3_000,
+        branch_div in 1u64..16,
+        streaming in 0.0f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let profile = StreamProfile {
+            region_base: 0x10_0000,
+            working_set: 64 * 1024,
+            accesses,
+            streaming,
+            hot: (1.0 - streaming) / 2.0,
+            branches: accesses / branch_div,
+            irregular_branches: 0.2,
+            irregular_bias: 0.5,
+        };
+        let events: Vec<_> = AccessStream::new(profile, seed).collect();
+        let n_access = events.iter().filter(|e| matches!(e, MemoryEvent::Access(_))).count() as u64;
+        prop_assert_eq!(n_access, accesses);
+        prop_assert_eq!(events.len() as u64, accesses + profile.branches);
+        for e in &events {
+            if let MemoryEvent::Access(a) = e {
+                prop_assert!(*a >= profile.region_base);
+                prop_assert!(*a < profile.region_base + profile.working_set);
+            }
+        }
+        let again: Vec<_> = AccessStream::new(profile, seed).collect();
+        prop_assert_eq!(events, again);
+    }
+}

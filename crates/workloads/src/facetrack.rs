@@ -1,0 +1,272 @@
+//! `facetrack`: particle filter tracking one face through a video (§IV-C:
+//! 600 frames of "a person moving in front of a camera", scored by "the
+//! average Euclidean distance between the boxes containing the detected
+//! faces").
+//!
+//! The pose is a 2-D box center with occasional occlusions. Occlusions
+//! make the acceptable-state space narrow and jumpy, so speculation beyond
+//! a handful of chunks starts aborting — the paper's autotuner "only
+//! creates 7 parallel chunks to avoid aborting the computation", making
+//! mispeculation facetrack's dominant loss (Fig. 10).
+
+use crate::particle::ParticleCloud;
+use crate::suite::{ExecMode, Workload};
+use crate::synth::{Frame, ImageStreamConfig};
+use stats_core::rng::StatsRng;
+use stats_core::{Config, InnerParallelism, StateDependence, UpdateCost};
+use stats_uarch::StreamProfile;
+
+/// Particles simulated (state is 8 KB at native scale per Table I).
+const PARTICLES: usize = 96;
+/// Annealing layers.
+const LAYERS: usize = 2;
+/// Native-scale multiplier.
+const NATIVE_SCALE: u64 = 2_600;
+
+/// The facetrack workload.
+#[derive(Debug, Clone)]
+pub struct FaceTrack {
+    stream: ImageStreamConfig,
+    /// Acceptance tolerance on the box-center distance.
+    tolerance: f64,
+}
+
+impl FaceTrack {
+    /// The paper-scale configuration.
+    pub fn paper() -> Self {
+        FaceTrack {
+            stream: ImageStreamConfig::face(),
+            tolerance: 0.12,
+        }
+    }
+}
+
+impl StateDependence for FaceTrack {
+    type State = ParticleCloud;
+    type Input = Frame;
+    type Output = Vec<f64>;
+
+    fn fresh_state(&self) -> ParticleCloud {
+        ParticleCloud::fresh(PARTICLES, 2, 0xFACE)
+    }
+
+    fn update(
+        &self,
+        state: &mut ParticleCloud,
+        input: &Frame,
+        rng: &mut StatsRng,
+    ) -> (Vec<f64>, UpdateCost) {
+        let mut extra_work = 0u64;
+        // A diffuse cloud (fresh start or lost track) re-detects the face.
+        // Under clutter, the detector sometimes locks onto the distractor
+        // — the nondeterministic failure mode that makes deep speculation
+        // abort (§V-B: the autotuner stops at 7 chunks "to avoid aborting
+        // the computation").
+        if state.spread() > 0.45 {
+            let target = if rng.chance(0.35 * input.clutter) {
+                &input.distractor
+            } else {
+                &input.observation
+            };
+            extra_work += state.step(target, 0.08, 0.4, 1, rng) * NATIVE_SCALE;
+        }
+        // Sticky data association: once the cloud sits closer to the
+        // distractor it keeps tracking it, escaping only occasionally.
+        let est = state.estimate();
+        let d = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let captured = d(&est, &input.distractor) < 0.8 * d(&est, &input.observation)
+            && !rng.chance(0.22);
+        let target: &[f64] = if captured {
+            &input.distractor
+        } else {
+            &input.observation
+        };
+        // Occluded frames carry almost no information: widen the
+        // observation model so the cloud coasts on its motion prior.
+        let obs_sigma = if input.occluded {
+            1.2
+        } else {
+            0.05 * (1.0 + 2.0 * input.clutter)
+        };
+        let flops = state.step(target, obs_sigma, 0.1, LAYERS, rng);
+        let estimate = state.estimate();
+        let work = flops * NATIVE_SCALE + extra_work;
+        (estimate, UpdateCost::new(work, work * 2))
+    }
+
+    fn states_match(&self, a: &ParticleCloud, b: &ParticleCloud) -> bool {
+        a.estimates_match(b, self.tolerance)
+    }
+
+    fn state_bytes(&self) -> usize {
+        8_000 // Table I
+    }
+
+    fn outside_region_work(&self) -> (u64, u64) {
+        (60_000_000, 30_000_000)
+    }
+
+    fn sync_ops_per_update(&self) -> u64 {
+        2
+    }
+}
+
+impl Workload for FaceTrack {
+    fn name(&self) -> &'static str {
+        "facetrack"
+    }
+
+    fn inner_parallelism(&self) -> InnerParallelism {
+        // OpenCV-based per-frame parallelism is limited.
+        InnerParallelism::amdahl(0.5, 8)
+    }
+
+    fn tuned_config(&self, cores: usize) -> Config {
+        // The paper: "STATS only creates 7 parallel chunks to avoid
+        // aborting the computation" (§V-B).
+        let _ = cores;
+        Config {
+            chunks: 7,
+            lookback: 4,
+            extra_states: 1,
+            combine_inner_tlp: true,
+        }
+    }
+
+    fn native_input_count(&self) -> usize {
+        600
+    }
+
+    fn generate_inputs(&self, n: usize, seed: u64) -> Vec<Frame> {
+        self.stream.generate(n, seed)
+    }
+
+    fn quality(&self, inputs: &[Frame], outputs: &[Vec<f64>]) -> f64 {
+        let truths: Vec<Vec<f64>> = inputs.iter().map(|f| f.truth.clone()).collect();
+        let err = crate::quality::mean_euclidean(outputs, &truths);
+        crate::quality::error_to_quality((err - 0.05).max(0.0) * 12.0)
+    }
+
+    fn uarch_profiles(&self, mode: ExecMode) -> Vec<StreamProfile> {
+        // Table II: facetrack loses data locality under STATS ("the STATS
+        // execution model runs in parallel the computation of input chunks
+        // breaking both the temporal and spatial locality").
+        let seq_accesses = 1_000_000_000u64;
+        let base = StreamProfile {
+            region_base: 0x6000_0000,
+            working_set: 6 * 1024 * 1024,
+            accesses: seq_accesses,
+            streaming: 0.55,
+            hot: 0.35,
+            branches: seq_accesses / 8,
+            irregular_branches: 0.1,
+            irregular_bias: 0.5,
+        };
+        match mode {
+            ExecMode::Sequential => vec![base],
+            ExecMode::OriginalTlp => (0..8)
+                .map(|i| StreamProfile {
+                    region_base: base.region_base + i * 0x100_0000,
+                    accesses: seq_accesses * 105 / (100 * 8),
+                    branches: seq_accesses * 105 / (100 * 8 * 8),
+                    ..base
+                })
+                .collect(),
+            ExecMode::StatsTlp => (0..7)
+                .map(|i| StreamProfile {
+                    region_base: base.region_base + i * 0x100_0000,
+                    accesses: seq_accesses * 125 / (100 * 7),
+                    branches: seq_accesses * 125 / (100 * 7 * 8),
+                    // Locality loss: less streaming, more random.
+                    streaming: 0.35,
+                    hot: 0.3,
+                    ..base
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::mean_euclidean;
+    use stats_core::runtime::sequential::run_sequential;
+    use stats_core::speculation::run_speculative;
+
+    #[test]
+    fn tracks_the_face() {
+        let w = FaceTrack::paper();
+        let inputs = w.generate_inputs(200, 1);
+        let run = run_sequential(&w, &inputs, 42);
+        let truths: Vec<Vec<f64>> = inputs.iter().map(|f| f.truth.clone()).collect();
+        let err = mean_euclidean(&run.outputs[30..], &truths[30..]);
+        assert!(err < 0.35, "tracking error {err}");
+    }
+
+    #[test]
+    fn tuned_config_mostly_commits() {
+        let w = FaceTrack::paper();
+        let inputs = w.generate_inputs(600, 2);
+        let out = run_speculative(&w, &inputs, w.tuned_config(28), 3);
+        assert!(out.commit_rate() >= 0.65, "rate {}", out.commit_rate());
+    }
+
+    #[test]
+    fn aggressive_chunking_aborts() {
+        // The reason the autotuner stops at 7 chunks: 28 chunks with a
+        // short lookback mispeculate noticeably.
+        let w = FaceTrack::paper();
+        let inputs = w.generate_inputs(600, 2);
+        let aggressive = run_speculative(&w, &inputs, Config::stats_only(28, 4, 1), 3);
+        let tuned = run_speculative(&w, &inputs, w.tuned_config(28), 3);
+        assert!(
+            aggressive.aborts() > tuned.aborts(),
+            "28 chunks: {} aborts vs 7 chunks: {}",
+            aggressive.aborts(),
+            tuned.aborts()
+        );
+    }
+
+    #[test]
+    fn occlusions_do_not_derail_tracking() {
+        let w = FaceTrack::paper();
+        let inputs = w.generate_inputs(400, 9);
+        assert!(inputs.iter().any(|f| f.occluded), "stream needs occlusions");
+        let run = run_sequential(&w, &inputs, 5);
+        let truths: Vec<Vec<f64>> = inputs.iter().map(|f| f.truth.clone()).collect();
+        let err = mean_euclidean(&run.outputs[30..], &truths[30..]);
+        assert!(err < 0.5, "occlusions broke tracking: {err}");
+    }
+
+    #[test]
+    fn captured_tracks_eventually_escape() {
+        // The sticky data association has a per-frame escape chance, so a
+        // long sequential run is never permanently lost to the distractor.
+        let w = FaceTrack::paper();
+        let inputs = w.generate_inputs(600, 21);
+        let run = run_sequential(&w, &inputs, 17);
+        let d = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        };
+        // In the last quarter of the stream, the estimate is closer to the
+        // face than the distractor for a clear majority of frames.
+        let tail = 450..600;
+        let on_face = tail
+            .clone()
+            .filter(|&i| d(&run.outputs[i], &inputs[i].truth) < d(&run.outputs[i], &inputs[i].distractor))
+            .count();
+        assert!(on_face > 100, "only {on_face}/150 tail frames on the face");
+    }
+
+    #[test]
+    fn state_size_matches_table1() {
+        assert_eq!(FaceTrack::paper().state_bytes(), 8_000);
+    }
+}

@@ -1,0 +1,258 @@
+//! `fluidanimate`: the benchmark the paper *excluded* — kept here as a
+//! negative control.
+//!
+//! §IV-C: "We did not consider fluidanimate because the STATS
+//! parallelization had no significant impact in the program's
+//! performance." The reason is structural: a fluid simulation's state
+//! (the velocity/density field) carries *long* memory — momentum diffuses
+//! slowly, so the field after frame `i` genuinely depends on forces from
+//! hundreds of frames back. An alternative producer that replays only a
+//! few frames from a fresh state cannot reconstruct it, every speculation
+//! aborts, and STATS degenerates to serial execution plus overhead.
+//!
+//! This module exists to demonstrate that the workbench's speculation
+//! machinery *fails honestly* where the paper says it should: the tests
+//! assert near-zero commit rates and no speedup.
+
+use crate::suite::{ExecMode, Workload};
+use serde::{Deserialize, Serialize};
+use stats_core::rng::StatsRng;
+use stats_core::{Config, InnerParallelism, StateDependence, UpdateCost};
+use stats_uarch::StreamProfile;
+
+/// Coarse cells in the simulated velocity field.
+const CELLS: usize = 64;
+/// Native-scale multiplier per frame.
+const NATIVE_SCALE: u64 = 90_000;
+
+/// One frame's external forcing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Forcing {
+    /// Cell the force is applied to.
+    pub cell: usize,
+    /// Signed force magnitude.
+    pub force: f64,
+}
+
+/// The fluid state: a coarse velocity field with momentum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FluidState {
+    /// Per-cell velocity.
+    pub velocity: Vec<f64>,
+}
+
+/// The fluidanimate workload (negative control).
+#[derive(Debug, Clone)]
+pub struct FluidAnimate {
+    /// Per-frame momentum retention: close to 1 = long memory.
+    retention: f64,
+    /// Acceptance tolerance on the field distance.
+    tolerance: f64,
+}
+
+impl FluidAnimate {
+    /// The configuration mirroring the excluded PARSEC benchmark.
+    pub fn paper() -> Self {
+        FluidAnimate {
+            retention: 0.998,
+            tolerance: 0.05,
+        }
+    }
+
+    fn field_distance(a: &FluidState, b: &FluidState) -> f64 {
+        a.velocity
+            .iter()
+            .zip(&b.velocity)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl StateDependence for FluidAnimate {
+    type State = FluidState;
+    type Input = Forcing;
+    type Output = f64;
+
+    fn fresh_state(&self) -> FluidState {
+        FluidState {
+            velocity: vec![0.0; CELLS],
+        }
+    }
+
+    fn update(
+        &self,
+        state: &mut FluidState,
+        input: &Forcing,
+        rng: &mut StatsRng,
+    ) -> (f64, UpdateCost) {
+        // Apply the force, then diffuse with high momentum retention:
+        // the field remembers old forces almost indefinitely.
+        let cell = input.cell % CELLS;
+        state.velocity[cell] += input.force + rng.noise(0.001);
+        let mut next = state.velocity.clone();
+        for (i, n) in next.iter_mut().enumerate() {
+            let left = state.velocity[(i + CELLS - 1) % CELLS];
+            let right = state.velocity[(i + 1) % CELLS];
+            *n = self.retention * (0.9 * state.velocity[i] + 0.05 * (left + right));
+        }
+        state.velocity = next;
+        let kinetic: f64 = state.velocity.iter().map(|v| v * v).sum();
+        let work = CELLS as u64 * 8 * NATIVE_SCALE / 64;
+        (kinetic, UpdateCost::new(work, work * 2))
+    }
+
+    fn states_match(&self, a: &FluidState, b: &FluidState) -> bool {
+        Self::field_distance(a, b) <= self.tolerance
+    }
+
+    fn state_bytes(&self) -> usize {
+        CELLS * 8
+    }
+}
+
+impl Workload for FluidAnimate {
+    fn name(&self) -> &'static str {
+        "fluidanimate"
+    }
+
+    fn inner_parallelism(&self) -> InnerParallelism {
+        InnerParallelism::amdahl(0.8, usize::MAX)
+    }
+
+    fn tuned_config(&self, _cores: usize) -> Config {
+        // There is no useful STATS configuration — exactly why the paper
+        // excluded it. The least-bad option is not to speculate.
+        Config::original_only()
+    }
+
+    fn native_input_count(&self) -> usize {
+        1_200
+    }
+
+    fn generate_inputs(&self, n: usize, seed: u64) -> Vec<Forcing> {
+        let mut rng = StatsRng::from_seed_value(seed ^ 0xF1013);
+        (0..n)
+            .map(|_| Forcing {
+                cell: rng.gen_range(0..CELLS),
+                force: rng.noise(0.2),
+            })
+            .collect()
+    }
+
+    fn quality(&self, _inputs: &[Forcing], outputs: &[f64]) -> f64 {
+        // Energy-conservation plausibility: kinetic energy must stay
+        // bounded.
+        let max = outputs.iter().fold(0.0f64, |a, b| a.max(*b));
+        crate::quality::error_to_quality((max - 5.0).max(0.0))
+    }
+
+    fn uarch_profiles(&self, mode: ExecMode) -> Vec<StreamProfile> {
+        let accesses = 800_000_000u64;
+        let base = StreamProfile {
+            region_base: 0xE000_0000,
+            working_set: 48 * 1024 * 1024,
+            accesses,
+            streaming: 0.7,
+            hot: 0.2,
+            branches: accesses / 10,
+            irregular_branches: 0.05,
+            irregular_bias: 0.5,
+        };
+        match mode {
+            ExecMode::Sequential => vec![base],
+            _ => (0..28)
+                .map(|i| StreamProfile {
+                    region_base: base.region_base + i * 0x100_0000,
+                    accesses: accesses / 28,
+                    branches: accesses / (28 * 10),
+                    ..base
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats_core::runtime::sequential::run_sequential;
+    use stats_core::speculation::run_speculative;
+
+    #[test]
+    fn fluid_state_has_long_memory() {
+        // A fresh field replaying the last k forces is nowhere near the
+        // full field: the short-memory property does NOT hold.
+        let w = FluidAnimate::paper();
+        let inputs = w.generate_inputs(400, 1);
+        let full = run_sequential(&w, &inputs, 42);
+        let mut short = w.fresh_state();
+        let mut rng = stats_core::rng::StatsRng::from_seed_value(7);
+        for inp in &inputs[400 - 16..] {
+            w.update(&mut short, inp, &mut rng);
+        }
+        assert!(
+            !w.states_match(&full.final_state, &short),
+            "fluidanimate must violate short memory"
+        );
+    }
+
+    #[test]
+    fn speculation_aborts_everywhere() {
+        let w = FluidAnimate::paper();
+        let inputs = w.generate_inputs(280, 2);
+        for (chunks, k) in [(4usize, 8usize), (14, 16), (28, 8)] {
+            let out = run_speculative(&w, &inputs, Config::stats_only(chunks, k, 2), 3);
+            assert!(
+                out.commit_rate() < 0.2,
+                "{chunks} chunks / k={k}: fluidanimate committed {:.0}%",
+                out.commit_rate() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn stats_brings_no_speedup() {
+        // The paper's exclusion criterion, reproduced: STATS parallelizes
+        // nothing because every chunk serializes behind its re-execution.
+        use stats_core::runtime::simulated::SimulatedRuntime;
+        let w = FluidAnimate::paper();
+        let inputs = w.generate_inputs(280, 2);
+        let rt = SimulatedRuntime::paper_machine();
+        let report = rt
+            .run(
+                "fluidanimate",
+                &w,
+                &inputs,
+                Config::stats_only(14, 8, 1),
+                InnerParallelism::none(),
+                9,
+            )
+            .unwrap();
+        assert!(
+            report.speedup() < 1.5,
+            "no significant impact expected, got {:.2}x",
+            report.speedup()
+        );
+    }
+
+    #[test]
+    fn outputs_remain_correct_despite_aborting() {
+        // Semantics preservation holds even in the all-abort regime.
+        let w = FluidAnimate::paper();
+        let inputs = w.generate_inputs(120, 4);
+        let out = run_speculative(&w, &inputs, Config::stats_only(6, 8, 1), 11);
+        assert_eq!(out.outputs.len(), 120);
+        // Kinetic energy stays bounded (the field is diffusive).
+        assert!(out.outputs.iter().all(|e| e.is_finite() && *e < 50.0));
+    }
+
+    #[test]
+    fn sequential_field_is_stable() {
+        let w = FluidAnimate::paper();
+        let inputs = w.generate_inputs(600, 6);
+        let run = run_sequential(&w, &inputs, 13);
+        let q = w.quality(&inputs, &run.outputs);
+        assert!(q > 0.5, "field blew up: quality {q}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Shared annealed-particle-filter machinery for the tracking benchmarks.
+//!
+//! bodytrack's core loop (§II-A of the paper) is an annealed particle
+//! filter: per frame it diffuses a particle cloud, weights particles by an
+//! observation likelihood, and resamples — repeating over annealing layers
+//! with shrinking noise. `facetrack` and `facedet-and-track` use the same
+//! machinery with a 2-D pose. The cloud is the *computational state* whose
+//! dependence chain STATS parallelizes.
+
+use serde::{Deserialize, Serialize};
+use stats_core::rng::StatsRng;
+
+/// A weighted particle cloud over a `dims`-dimensional pose space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParticleCloud {
+    particles: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+}
+
+impl ParticleCloud {
+    /// A fresh cloud: particles spread uniformly over the pose box
+    /// `[-1, 1]^dims` with equal weights (what an alternative producer
+    /// starts from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `dims` is zero.
+    pub fn fresh(n: usize, dims: usize, seed: u64) -> Self {
+        assert!(n > 0 && dims > 0, "empty cloud");
+        let mut rng = StatsRng::from_seed_value(seed ^ 0x9A27_1C7E);
+        let particles = (0..n)
+            .map(|_| (0..dims).map(|_| rng.noise(1.0)).collect())
+            .collect();
+        ParticleCloud {
+            particles,
+            weights: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Whether the cloud is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Pose dimensionality.
+    pub fn dims(&self) -> usize {
+        self.particles[0].len()
+    }
+
+    /// The weighted-mean pose estimate.
+    pub fn estimate(&self) -> Vec<f64> {
+        let dims = self.dims();
+        let mut est = vec![0.0; dims];
+        for (p, w) in self.particles.iter().zip(&self.weights) {
+            for d in 0..dims {
+                est[d] += p[d] * w;
+            }
+        }
+        est
+    }
+
+    /// RMS spread of the cloud around its estimate (tracking confidence).
+    pub fn spread(&self) -> f64 {
+        let est = self.estimate();
+        let var: f64 = self
+            .particles
+            .iter()
+            .zip(&self.weights)
+            .map(|(p, w)| w * p.iter().zip(&est).map(|(x, e)| (x - e) * (x - e)).sum::<f64>())
+            .sum();
+        var.sqrt()
+    }
+
+    /// One annealed filter step against an observation; returns the number
+    /// of floating-point operations performed (the honest cost sample the
+    /// workloads scale to native size).
+    pub fn step(
+        &mut self,
+        observation: &[f64],
+        obs_sigma: f64,
+        motion_sigma: f64,
+        layers: usize,
+        rng: &mut StatsRng,
+    ) -> u64 {
+        let n = self.len();
+        let dims = self.dims();
+        let mut flops = 0u64;
+        for layer in 0..layers {
+            // Annealing: noise shrinks layer by layer.
+            let anneal = 1.0 / (1.0 + layer as f64);
+            let sigma = motion_sigma * anneal;
+            // Diffuse.
+            for p in &mut self.particles {
+                for x in p.iter_mut() {
+                    *x = (*x + rng.gaussian() * sigma).clamp(-1.5, 1.5);
+                }
+            }
+            // Weight by a heavy-tailed likelihood: a narrow peak for
+            // precision plus a wide component so a lost cloud still feels
+            // a gradient toward the target and can re-acquire it.
+            let inv = 1.0 / (2.0 * obs_sigma * obs_sigma * anneal.max(0.25));
+            let mut total = 0.0;
+            for (p, w) in self.particles.iter().zip(self.weights.iter_mut()) {
+                let d2: f64 = p
+                    .iter()
+                    .zip(observation)
+                    .map(|(x, o)| (x - o) * (x - o))
+                    .sum();
+                *w = (-d2 * inv).exp() + 0.02 * (-d2 * inv / 50.0).exp() + 1e-12;
+                total += *w;
+            }
+            for w in &mut self.weights {
+                *w /= total;
+            }
+            // Systematic resampling.
+            self.resample(rng);
+            flops += (n * dims * 6 + n * 4) as u64;
+        }
+        flops
+    }
+
+    /// Re-seed the cloud around a target pose (detector-style
+    /// initialization when the track is lost or freshly started); returns
+    /// the flop estimate.
+    pub fn reseed_around(&mut self, target: &[f64], sigma: f64, rng: &mut StatsRng) -> u64 {
+        let dims = self.dims();
+        for p in &mut self.particles {
+            for (x, t) in p.iter_mut().zip(target) {
+                *x = (t + rng.gaussian() * sigma).clamp(-1.5, 1.5);
+            }
+        }
+        let n = self.len();
+        self.weights = vec![1.0 / n as f64; n];
+        (n * dims * 3) as u64
+    }
+
+    fn resample(&mut self, rng: &mut StatsRng) {
+        let n = self.len();
+        let step = 1.0 / n as f64;
+        let mut u = rng.unit() * step;
+        let mut cum = 0.0;
+        let mut idx = 0usize;
+        let mut next = Vec::with_capacity(n);
+        for p in self.particles.iter().enumerate() {
+            let _ = p;
+            while idx < n - 1 && cum + self.weights[idx] < u {
+                cum += self.weights[idx];
+                idx += 1;
+            }
+            next.push(self.particles[idx].clone());
+            u += step;
+        }
+        self.particles = next;
+        self.weights = vec![step; n];
+    }
+
+    /// Application-level acceptance predicate: two clouds are
+    /// interchangeable when their pose estimates are within `tolerance`
+    /// (Euclidean) — the same metric the paper uses for output quality of
+    /// the trackers (§IV-C "average Euclidean distance between the boxes").
+    pub fn estimates_match(&self, other: &ParticleCloud, tolerance: f64) -> bool {
+        let (a, b) = (self.estimate(), other.estimate());
+        let d2: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        d2.sqrt() <= tolerance
+    }
+
+    /// Serialized size in bytes of a cloud with the given shape.
+    pub fn byte_size(n: usize, dims: usize) -> usize {
+        n * dims * 8 + n * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> StatsRng {
+        StatsRng::from_seed_value(seed)
+    }
+
+    #[test]
+    fn fresh_cloud_shape() {
+        let c = ParticleCloud::fresh(64, 2, 1);
+        assert_eq!(c.len(), 64);
+        assert_eq!(c.dims(), 2);
+        assert!(!c.is_empty());
+        // Uniform cloud: estimate near origin, large spread.
+        let est = c.estimate();
+        assert!(est.iter().all(|x| x.abs() < 0.3));
+        assert!(c.spread() > 0.3);
+    }
+
+    #[test]
+    fn filter_converges_to_static_target() {
+        let mut c = ParticleCloud::fresh(128, 2, 2);
+        let target = vec![0.5, -0.3];
+        let mut r = rng(3);
+        for _ in 0..10 {
+            c.step(&target, 0.05, 0.1, 3, &mut r);
+        }
+        let est = c.estimate();
+        let err: f64 = est
+            .iter()
+            .zip(&target)
+            .map(|(e, t)| (e - t) * (e - t))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 0.15, "did not converge: err {err}");
+        assert!(c.spread() < 0.3);
+    }
+
+    #[test]
+    fn filter_tracks_moving_target() {
+        let mut c = ParticleCloud::fresh(128, 2, 4);
+        let mut r = rng(5);
+        let mut total_err = 0.0;
+        let steps = 50;
+        for i in 0..steps {
+            let t = i as f64 / steps as f64;
+            let target = vec![0.8 * (t * 3.0).sin(), 0.8 * (t * 2.0).cos()];
+            c.step(&target, 0.05, 0.12, 3, &mut r);
+            let est = c.estimate();
+            total_err += est
+                .iter()
+                .zip(&target)
+                .map(|(e, x)| (e - x) * (e - x))
+                .sum::<f64>()
+                .sqrt();
+        }
+        assert!((total_err / steps as f64) < 0.2);
+    }
+
+    #[test]
+    fn short_memory_two_clouds_converge() {
+        // Two clouds with different histories end up matching after a few
+        // steps on the same observations — the property STATS exploits.
+        let mut a = ParticleCloud::fresh(128, 2, 10);
+        let mut b = ParticleCloud::fresh(128, 2, 99);
+        let mut ra = rng(1);
+        let mut rb = rng(2);
+        // Give cloud `a` a divergent history first.
+        for i in 0..5 {
+            let obs = vec![-0.5 + i as f64 * 0.1, 0.9];
+            a.step(&obs, 0.05, 0.1, 3, &mut ra);
+        }
+        // Now both see the same observations.
+        for _ in 0..6 {
+            let obs = vec![0.4, -0.2];
+            a.step(&obs, 0.05, 0.1, 3, &mut ra);
+            b.step(&obs, 0.05, 0.1, 3, &mut rb);
+        }
+        assert!(a.estimates_match(&b, 0.15));
+    }
+
+    #[test]
+    fn step_reports_flops() {
+        let mut c = ParticleCloud::fresh(64, 4, 1);
+        let f = c.step(&[0.0; 4], 0.1, 0.1, 5, &mut rng(1));
+        assert_eq!(f, 5 * (64 * 4 * 6 + 64 * 4) as u64);
+    }
+
+    #[test]
+    fn resampling_preserves_count_and_normalizes() {
+        let mut c = ParticleCloud::fresh(32, 2, 7);
+        c.step(&[0.1, 0.1], 0.1, 0.1, 1, &mut rng(9));
+        assert_eq!(c.len(), 32);
+        let total: f64 = c.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_size_formula() {
+        assert_eq!(ParticleCloud::byte_size(64, 2), 64 * 16 + 64 * 8);
+    }
+
+    #[test]
+    fn nondeterminism_changes_estimates_slightly() {
+        let mut a = ParticleCloud::fresh(128, 2, 3);
+        let mut b = ParticleCloud::fresh(128, 2, 3);
+        let mut ra = rng(1);
+        let mut rb = rng(2);
+        for _ in 0..8 {
+            a.step(&[0.3, 0.3], 0.05, 0.1, 3, &mut ra);
+            b.step(&[0.3, 0.3], 0.05, 0.1, 3, &mut rb);
+        }
+        // Different random streams: different clouds...
+        assert_ne!(a, b);
+        // ...but matching estimates (the nondeterministic acceptable space).
+        assert!(a.estimates_match(&b, 0.1));
+    }
+}

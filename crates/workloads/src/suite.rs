@@ -1,0 +1,189 @@
+//! The benchmark suite: per-workload metadata and dispatch.
+
+use crate::bodytrack::BodyTrack;
+use crate::facedet_and_track::FaceDetAndTrack;
+use crate::facetrack::FaceTrack;
+use crate::streamclassifier::StreamClassifier;
+use crate::streamcluster::StreamCluster;
+use crate::swaptions::Swaptions;
+use serde::{Deserialize, Serialize};
+use stats_core::{Config, InnerParallelism, StateDependence};
+use stats_uarch::StreamProfile;
+
+/// The execution configurations Table II compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// The sequential program (no TLP).
+    Sequential,
+    /// Original developer-expressed TLP on all cores.
+    OriginalTlp,
+    /// STATS TLP on all cores.
+    StatsTlp,
+}
+
+/// A benchmark: a [`StateDependence`] plus the metadata the experiment
+/// harness needs (tuned configuration, input generation, quality scoring,
+/// microarchitectural profiles).
+pub trait Workload: StateDependence + Sync {
+    /// Benchmark name as the paper prints it.
+    fn name(&self) -> &'static str;
+
+    /// The benchmark's pre-existing (original) TLP profile.
+    fn inner_parallelism(&self) -> InnerParallelism;
+
+    /// The configuration the autotuner settles on for `cores` cores
+    /// (reproduced offline so figures do not re-run tuning; the
+    /// `stats-autotuner` crate can re-derive comparable configurations).
+    fn tuned_config(&self, cores: usize) -> Config;
+
+    /// Native input-stream length (§IV-C input scaling).
+    fn native_input_count(&self) -> usize;
+
+    /// Generate `n` inputs deterministically from `seed`.
+    fn generate_inputs(&self, n: usize, seed: u64) -> Vec<Self::Input>;
+
+    /// Output-quality score in `(0, 1]`, higher is better (Fig. 16).
+    fn quality(&self, inputs: &[Self::Input], outputs: &[Self::Output]) -> f64;
+
+    /// Memory/branch stream profiles per execution mode, one entry per
+    /// logical worker; the Table II harness replays them round-robin over
+    /// the simulated cores.
+    fn uarch_profiles(&self, mode: ExecMode) -> Vec<StreamProfile>;
+}
+
+/// Benchmark names, in the paper's presentation order.
+pub const BENCHMARK_NAMES: [&str; 6] = [
+    "swaptions",
+    "streamcluster",
+    "streamclassifier",
+    "bodytrack",
+    "facetrack",
+    "facedet-and-track",
+];
+
+/// The evaluated benchmarks plus the paper's excluded negative control
+/// (`fluidanimate`, §IV-C).
+pub const EXTENDED_BENCHMARK_NAMES: [&str; 7] = [
+    "swaptions",
+    "streamcluster",
+    "streamclassifier",
+    "bodytrack",
+    "facetrack",
+    "facedet-and-track",
+    "fluidanimate",
+];
+
+/// A generic operation over any workload (visitor with a generic method,
+/// so the monomorphized experiment pipelines work on every benchmark).
+pub trait WorkloadVisitor {
+    /// Result of the operation.
+    type Output;
+
+    /// Apply the operation to a concrete workload.
+    fn visit<W: Workload>(self, workload: &W) -> Self::Output;
+}
+
+/// Run a visitor against the named benchmark.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`EXTENDED_BENCHMARK_NAMES`].
+pub fn dispatch<V: WorkloadVisitor>(name: &str, visitor: V) -> V::Output {
+    match name {
+        "swaptions" => visitor.visit(&Swaptions::paper()),
+        "streamcluster" => visitor.visit(&StreamCluster::paper()),
+        "streamclassifier" => visitor.visit(&StreamClassifier::paper()),
+        "bodytrack" => visitor.visit(&BodyTrack::paper()),
+        "facetrack" => visitor.visit(&FaceTrack::paper()),
+        "facedet-and-track" => visitor.visit(&FaceDetAndTrack::paper()),
+        "fluidanimate" => visitor.visit(&crate::fluidanimate::FluidAnimate::paper()),
+        other => panic!("unknown benchmark {other:?}; see BENCHMARK_NAMES"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NameOf;
+    impl WorkloadVisitor for NameOf {
+        type Output = &'static str;
+        fn visit<W: Workload>(self, workload: &W) -> &'static str {
+            workload.name()
+        }
+    }
+
+    #[test]
+    fn dispatch_reaches_every_benchmark() {
+        for name in EXTENDED_BENCHMARK_NAMES {
+            assert_eq!(dispatch(name, NameOf), name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn dispatch_rejects_unknown() {
+        dispatch("blackscholes", NameOf);
+    }
+
+    struct TunedConfigIsValid;
+    impl WorkloadVisitor for TunedConfigIsValid {
+        type Output = ();
+        fn visit<W: Workload>(self, w: &W) {
+            let cfg = w.tuned_config(28);
+            let n = w.native_input_count();
+            cfg.validate(n).unwrap_or_else(|e| {
+                panic!("{}: tuned config invalid for {} inputs: {e}", w.name(), n)
+            });
+        }
+    }
+
+    #[test]
+    fn every_tuned_config_is_valid_at_native_scale() {
+        for name in BENCHMARK_NAMES {
+            dispatch(name, TunedConfigIsValid);
+        }
+    }
+
+    struct ProfilesAreSane;
+    impl WorkloadVisitor for ProfilesAreSane {
+        type Output = ();
+        fn visit<W: Workload>(self, w: &W) {
+            for mode in [ExecMode::Sequential, ExecMode::OriginalTlp, ExecMode::StatsTlp] {
+                let profiles = w.uarch_profiles(mode);
+                assert!(!profiles.is_empty(), "{}: no profiles", w.name());
+                for p in &profiles {
+                    p.validate();
+                }
+                if mode == ExecMode::Sequential {
+                    assert_eq!(profiles.len(), 1, "{}: sequential is one stream", w.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_uarch_profile_validates() {
+        for name in BENCHMARK_NAMES {
+            dispatch(name, ProfilesAreSane);
+        }
+    }
+
+    struct InputsAreDeterministic;
+    impl WorkloadVisitor for InputsAreDeterministic {
+        type Output = ();
+        fn visit<W: Workload>(self, w: &W) {
+            let a = w.generate_inputs(16, 5);
+            let b = w.generate_inputs(16, 5);
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.len(), 16);
+        }
+    }
+
+    #[test]
+    fn input_generation_is_stable() {
+        for name in BENCHMARK_NAMES {
+            dispatch(name, InputsAreDeterministic);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Compact binary serialization of synthetic input streams.
+//!
+//! Native-scale streams are cheap to regenerate, but pinning a generated
+//! dataset to disk makes experiment artifacts self-contained (the same
+//! role PARSEC's `native` input archives play for the paper). The format
+//! is a minimal little-endian framing with a magic/version header —
+//! deliberately simple, round-trip property-tested.
+
+use crate::synth::{Frame, LabeledBatch, PointBatch, RateBatch};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: u32 = 0x5754_5301; // "STW" + version 1
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the expected magic/version.
+    BadMagic,
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// The kind tag does not match the requested stream type.
+    WrongKind {
+        /// Tag found in the header.
+        found: u8,
+        /// Tag required by the decoder.
+        expected: u8,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a stats-workbench stream (bad magic)"),
+            CodecError::Truncated => write!(f, "stream truncated"),
+            CodecError::WrongKind { found, expected } => {
+                write!(f, "wrong stream kind {found} (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const KIND_FRAMES: u8 = 1;
+const KIND_POINTS: u8 = 2;
+const KIND_LABELED: u8 = 3;
+const KIND_RATES: u8 = 4;
+
+fn put_header(buf: &mut BytesMut, kind: u8, count: usize) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(kind);
+    buf.put_u64_le(count as u64);
+}
+
+fn take_header(buf: &mut Bytes, expected: u8) -> Result<usize, CodecError> {
+    if buf.remaining() < 13 {
+        return Err(CodecError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let kind = buf.get_u8();
+    if kind != expected {
+        return Err(CodecError::WrongKind {
+            found: kind,
+            expected,
+        });
+    }
+    Ok(buf.get_u64_le() as usize)
+}
+
+fn put_vec(buf: &mut BytesMut, v: &[f64]) {
+    buf.put_u32_le(v.len() as u32);
+    for x in v {
+        buf.put_f64_le(*x);
+    }
+}
+
+fn take_vec(buf: &mut Bytes) -> Result<Vec<f64>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_f64_le()).collect())
+}
+
+/// Encode a frame stream (the tracker benchmarks' inputs).
+pub fn encode_frames(frames: &[Frame]) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, KIND_FRAMES, frames.len());
+    for f in frames {
+        put_vec(&mut buf, &f.truth);
+        put_vec(&mut buf, &f.observation);
+        put_vec(&mut buf, &f.distractor);
+        buf.put_f64_le(f.clutter);
+        buf.put_u8(u8::from(f.occluded));
+    }
+    buf.freeze()
+}
+
+/// Decode a frame stream.
+///
+/// # Errors
+///
+/// See [`CodecError`].
+pub fn decode_frames(mut buf: Bytes) -> Result<Vec<Frame>, CodecError> {
+    let count = take_header(&mut buf, KIND_FRAMES)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let truth = take_vec(&mut buf)?;
+        let observation = take_vec(&mut buf)?;
+        let distractor = take_vec(&mut buf)?;
+        if buf.remaining() < 9 {
+            return Err(CodecError::Truncated);
+        }
+        let clutter = buf.get_f64_le();
+        let occluded = buf.get_u8() != 0;
+        out.push(Frame {
+            truth,
+            observation,
+            distractor,
+            clutter,
+            occluded,
+        });
+    }
+    Ok(out)
+}
+
+/// Encode a point-batch stream (streamcluster's inputs).
+pub fn encode_points(batches: &[PointBatch]) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, KIND_POINTS, batches.len());
+    for b in batches {
+        buf.put_u32_le(b.points.len() as u32);
+        for p in &b.points {
+            put_vec(&mut buf, p);
+        }
+        buf.put_u32_le(b.true_centers.len() as u32);
+        for c in &b.true_centers {
+            put_vec(&mut buf, c);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a point-batch stream.
+///
+/// # Errors
+///
+/// See [`CodecError`].
+pub fn decode_points(mut buf: Bytes) -> Result<Vec<PointBatch>, CodecError> {
+    let count = take_header(&mut buf, KIND_POINTS)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let np = buf.get_u32_le() as usize;
+        let mut points = Vec::with_capacity(np);
+        for _ in 0..np {
+            points.push(take_vec(&mut buf)?);
+        }
+        if buf.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let nc = buf.get_u32_le() as usize;
+        let mut true_centers = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            true_centers.push(take_vec(&mut buf)?);
+        }
+        out.push(PointBatch {
+            points,
+            true_centers,
+        });
+    }
+    Ok(out)
+}
+
+/// Encode a labeled-batch stream (streamclassifier's inputs).
+pub fn encode_labeled(batches: &[LabeledBatch]) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, KIND_LABELED, batches.len());
+    for b in batches {
+        buf.put_u32_le(b.points.len() as u32);
+        for (p, label) in b.points.iter().zip(&b.labels) {
+            put_vec(&mut buf, p);
+            buf.put_u32_le(*label as u32);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a labeled-batch stream.
+///
+/// # Errors
+///
+/// See [`CodecError`].
+pub fn decode_labeled(mut buf: Bytes) -> Result<Vec<LabeledBatch>, CodecError> {
+    let count = take_header(&mut buf, KIND_LABELED)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let np = buf.get_u32_le() as usize;
+        let mut points = Vec::with_capacity(np);
+        let mut labels = Vec::with_capacity(np);
+        for _ in 0..np {
+            points.push(take_vec(&mut buf)?);
+            if buf.remaining() < 4 {
+                return Err(CodecError::Truncated);
+            }
+            labels.push(buf.get_u32_le() as usize);
+        }
+        out.push(LabeledBatch { points, labels });
+    }
+    Ok(out)
+}
+
+/// Encode a rate-batch stream (swaptions' inputs).
+pub fn encode_rates(batches: &[RateBatch]) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, KIND_RATES, batches.len());
+    for b in batches {
+        buf.put_u32_le(b.swaption as u32);
+        buf.put_u64_le(b.simulations);
+        buf.put_f64_le(b.strike);
+        buf.put_f64_le(b.maturity);
+        buf.put_f64_le(b.rate0);
+        buf.put_f64_le(b.volatility);
+    }
+    buf.freeze()
+}
+
+/// Decode a rate-batch stream.
+///
+/// # Errors
+///
+/// See [`CodecError`].
+pub fn decode_rates(mut buf: Bytes) -> Result<Vec<RateBatch>, CodecError> {
+    let count = take_header(&mut buf, KIND_RATES)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 + 8 + 4 * 8 {
+            return Err(CodecError::Truncated);
+        }
+        out.push(RateBatch {
+            swaption: buf.get_u32_le() as usize,
+            simulations: buf.get_u64_le(),
+            strike: buf.get_f64_le(),
+            maturity: buf.get_f64_le(),
+            rate0: buf.get_f64_le(),
+            volatility: buf.get_f64_le(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{ImageStreamConfig, PointStreamConfig, RateStreamConfig};
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = ImageStreamConfig::face().generate(64, 7);
+        let bytes = encode_frames(&frames);
+        let back = decode_frames(bytes).unwrap();
+        assert_eq!(frames, back);
+    }
+
+    #[test]
+    fn points_round_trip() {
+        let batches = PointStreamConfig::cluster_stream().generate(16, 3);
+        assert_eq!(decode_points(encode_points(&batches)).unwrap(), batches);
+    }
+
+    #[test]
+    fn labeled_round_trip() {
+        let batches = PointStreamConfig::classifier_stream().generate_labeled(16, 3);
+        assert_eq!(decode_labeled(encode_labeled(&batches)).unwrap(), batches);
+    }
+
+    #[test]
+    fn rates_round_trip() {
+        let batches = RateStreamConfig::paper().generate(32, 9);
+        assert_eq!(decode_rates(encode_rates(&batches)).unwrap(), batches);
+    }
+
+    #[test]
+    fn bad_magic_and_kind_are_rejected() {
+        let frames = ImageStreamConfig::face().generate(4, 1);
+        let good = encode_frames(&frames);
+        // Wrong kind: decode frames as points.
+        assert_eq!(
+            decode_points(good.clone()),
+            Err(CodecError::WrongKind {
+                found: KIND_FRAMES,
+                expected: KIND_POINTS
+            })
+        );
+        // Corrupt magic.
+        let mut corrupt = BytesMut::from(&good[..]);
+        corrupt[0] ^= 0xFF;
+        assert_eq!(decode_frames(corrupt.freeze()), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        let frames = ImageStreamConfig::face().generate(6, 5);
+        let bytes = encode_frames(&frames);
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            let prefix = bytes.slice(0..cut);
+            assert!(
+                decode_frames(prefix).is_err(),
+                "prefix of {cut} bytes decoded successfully?!"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_streams_round_trip() {
+        assert_eq!(decode_frames(encode_frames(&[])).unwrap(), Vec::<Frame>::new());
+        assert_eq!(decode_rates(encode_rates(&[])).unwrap(), Vec::<RateBatch>::new());
+    }
+}

@@ -1,0 +1,188 @@
+//! Synthetic image streams for the tracking benchmarks.
+//!
+//! A frame is not a pixel array — the particle filters consume *observed
+//! features*: a noisy measurement of the target's pose plus a clutter
+//! level. This is exactly the abstraction level at which bodytrack's
+//! likelihood function operates once its image-processing front end has
+//! produced edge maps.
+
+use serde::{Deserialize, Serialize};
+use stats_core::rng::StatsRng;
+
+/// One synthesized frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Ground-truth pose of the target (position, joint angles, …).
+    pub truth: Vec<f64>,
+    /// Noisy observation of the pose (what the tracker's likelihood sees).
+    pub observation: Vec<f64>,
+    /// Clutter level in `[0, 1]`: raises observation noise and detector
+    /// failure probability.
+    pub clutter: f64,
+    /// Whether the target is occluded in this frame (observation carries
+    /// almost no information).
+    pub occluded: bool,
+    /// A face-like distractor object moving independently: detectors and
+    /// freshly seeded trackers can lock onto it (the source of
+    /// mispeculation in the face benchmarks).
+    pub distractor: Vec<f64>,
+}
+
+/// Parameters of a synthetic video.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImageStreamConfig {
+    /// Dimensions of the pose vector (2 for a face box center, more for a
+    /// body model).
+    pub pose_dims: usize,
+    /// Per-frame random-walk step of the true pose.
+    pub motion_step: f64,
+    /// Standard deviation of the observation noise at zero clutter.
+    pub noise_base: f64,
+    /// Probability that a frame is occluded.
+    pub occlusion_prob: f64,
+    /// Smooth clutter oscillation period, in frames.
+    pub clutter_period: f64,
+}
+
+impl ImageStreamConfig {
+    /// A body-tracking stream: high-dimensional pose, moderate noise.
+    pub fn body() -> Self {
+        ImageStreamConfig {
+            pose_dims: 16,
+            motion_step: 0.05,
+            noise_base: 0.035,
+            occlusion_prob: 0.0,
+            clutter_period: 97.0,
+        }
+    }
+
+    /// A face-tracking stream: 2-D box center, occasional occlusion.
+    pub fn face() -> Self {
+        ImageStreamConfig {
+            pose_dims: 2,
+            motion_step: 0.08,
+            noise_base: 0.05,
+            occlusion_prob: 0.04,
+            clutter_period: 61.0,
+        }
+    }
+
+    /// Generate `n` frames deterministically from `seed`.
+    ///
+    /// The true pose performs a smooth bounded random walk; observations
+    /// add clutter-scaled Gaussian noise.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Frame> {
+        let mut rng = StatsRng::from_seed_value(seed ^ 0x1333_7AB1);
+        let mut truth = vec![0.0f64; self.pose_dims];
+        let mut distractor = vec![0.6f64; self.pose_dims];
+        let mut frames = Vec::with_capacity(n);
+        for i in 0..n {
+            // Smooth motion: sinusoidal drift plus a random step, bounded
+            // to [-1, 1] per dimension.
+            for (d, t) in truth.iter_mut().enumerate() {
+                let drift = 0.3 * ((i as f64 / (40.0 + d as f64)) + d as f64).sin();
+                *t = (*t * 0.95 + drift * 0.05 + rng.noise(self.motion_step)).clamp(-1.0, 1.0);
+            }
+            let clutter =
+                0.5 + 0.5 * (std::f64::consts::TAU * i as f64 / self.clutter_period).sin();
+            let occluded = rng.chance(self.occlusion_prob);
+            let sigma = self.noise_base * (1.0 + 2.0 * clutter) * if occluded { 8.0 } else { 1.0 };
+            let observation = truth
+                .iter()
+                .map(|t| t + rng.gaussian() * sigma)
+                .collect::<Vec<_>>();
+            // The distractor wanders independently, biased away from the
+            // target so sequential trackers rarely confuse the two.
+            for (d, (x, t)) in distractor.iter_mut().zip(&truth).enumerate() {
+                let repel = if (*x - t).abs() < 0.3 {
+                    0.05 * (*x - t).signum()
+                } else {
+                    0.0
+                };
+                *x = (*x + repel
+                    + 0.04 * ((i as f64 / (31.0 + d as f64)) + 2.0 * d as f64).cos()
+                    + rng.noise(self.motion_step))
+                .clamp(-1.0, 1.0);
+            }
+            frames.push(Frame {
+                truth: truth.clone(),
+                observation,
+                clutter,
+                occluded,
+                distractor: distractor.clone(),
+            });
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let cfg = ImageStreamConfig::face();
+        let a = cfg.generate(100, 7);
+        let b = cfg.generate(100, 7);
+        assert_eq!(a, b);
+        let c = cfg.generate(100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn truth_is_bounded_and_smooth() {
+        let cfg = ImageStreamConfig::body();
+        let frames = cfg.generate(500, 3);
+        for pair in frames.windows(2) {
+            for d in 0..cfg.pose_dims {
+                assert!(pair[0].truth[d].abs() <= 1.0);
+                let step = (pair[1].truth[d] - pair[0].truth[d]).abs();
+                assert!(step < 0.3, "motion too abrupt: {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn observations_track_truth_on_average() {
+        let cfg = ImageStreamConfig::face();
+        let frames = cfg.generate(400, 11);
+        let mean_err: f64 = frames
+            .iter()
+            .filter(|f| !f.occluded)
+            .map(|f| {
+                f.truth
+                    .iter()
+                    .zip(&f.observation)
+                    .map(|(t, o)| (t - o).abs())
+                    .sum::<f64>()
+                    / f.truth.len() as f64
+            })
+            .sum::<f64>()
+            / frames.len() as f64;
+        assert!(mean_err < 0.5, "observations useless: {mean_err}");
+    }
+
+    #[test]
+    fn occlusion_rate_matches_config() {
+        let cfg = ImageStreamConfig::face();
+        let frames = cfg.generate(2_000, 5);
+        let rate = frames.iter().filter(|f| f.occluded).count() as f64 / 2_000.0;
+        assert!((rate - cfg.occlusion_prob).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn body_stream_has_no_occlusion() {
+        let frames = ImageStreamConfig::body().generate(300, 1);
+        assert!(frames.iter().all(|f| !f.occluded));
+    }
+
+    #[test]
+    fn clutter_oscillates_in_unit_range() {
+        let frames = ImageStreamConfig::face().generate(200, 2);
+        assert!(frames.iter().all(|f| (0.0..=1.0).contains(&f.clutter)));
+        let max = frames.iter().map(|f| f.clutter).fold(0.0, f64::max);
+        let min = frames.iter().map(|f| f.clutter).fold(1.0, f64::min);
+        assert!(max - min > 0.5, "clutter should vary");
+    }
+}

@@ -1,0 +1,19 @@
+//! Deterministic synthetic input generators.
+//!
+//! The paper uses PARSEC native inputs, a 600-frame webcam video, and a
+//! 1,050-frame video (§IV-C) — none of which ship with a library. These
+//! generators produce statistically equivalent streams: moving targets
+//! with measurement noise and clutter for the trackers, drifting labeled
+//! Gaussian clusters for the stream benchmarks, and interest-rate batch
+//! descriptors for the pricer. Every stream is a pure function of its
+//! seed, and every element carries its ground truth so output quality can
+//! be scored without external references.
+
+pub mod codec;
+mod image;
+mod points;
+mod rates;
+
+pub use image::{Frame, ImageStreamConfig};
+pub use points::{LabeledBatch, PointBatch, PointStreamConfig};
+pub use rates::{RateBatch, RateStreamConfig};

@@ -1,0 +1,198 @@
+//! Synthetic point streams for the clustering benchmarks.
+
+use serde::{Deserialize, Serialize};
+use stats_core::rng::StatsRng;
+
+/// A batch of unlabeled points (streamcluster's unit of work).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointBatch {
+    /// Row-major points: `points[i]` is one `dims`-dimensional point.
+    pub points: Vec<Vec<f64>>,
+    /// The generating cluster centers at this moment (ground truth for
+    /// quality scoring).
+    pub true_centers: Vec<Vec<f64>>,
+}
+
+/// A batch of labeled points (streamclassifier's unit of work).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledBatch {
+    /// The points.
+    pub points: Vec<Vec<f64>>,
+    /// True class of each point.
+    pub labels: Vec<usize>,
+}
+
+/// Parameters of a drifting Gaussian-mixture stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointStreamConfig {
+    /// Dimensionality of the points.
+    pub dims: usize,
+    /// Number of generating clusters.
+    pub clusters: usize,
+    /// Points per batch.
+    pub batch: usize,
+    /// Within-cluster standard deviation.
+    pub spread: f64,
+    /// Per-batch drift of each cluster center.
+    pub drift: f64,
+}
+
+impl PointStreamConfig {
+    /// streamcluster-like stream: 8-D, 12 clusters, 64-point batches.
+    pub fn cluster_stream() -> Self {
+        PointStreamConfig {
+            dims: 8,
+            clusters: 12,
+            batch: 64,
+            spread: 0.15,
+            drift: 0.02,
+        }
+    }
+
+    /// streamclassifier-like stream: 16-D, 8 classes, 48-point batches.
+    pub fn classifier_stream() -> Self {
+        PointStreamConfig {
+            dims: 16,
+            clusters: 8,
+            batch: 48,
+            spread: 0.2,
+            drift: 0.015,
+        }
+    }
+
+    fn drift_centers(&self, centers: &mut [Vec<f64>], rng: &mut StatsRng) {
+        for c in centers.iter_mut() {
+            for x in c.iter_mut() {
+                *x = (*x + rng.noise(self.drift)).clamp(-1.0, 1.0);
+            }
+        }
+    }
+
+    fn initial_centers(&self, rng: &mut StatsRng) -> Vec<Vec<f64>> {
+        (0..self.clusters)
+            .map(|_| (0..self.dims).map(|_| rng.noise(1.0)).collect())
+            .collect()
+    }
+
+    /// Generate `n` unlabeled batches.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<PointBatch> {
+        let mut rng = StatsRng::from_seed_value(seed ^ 0x0C10_57E2);
+        let mut centers = self.initial_centers(&mut rng);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.drift_centers(&mut centers, &mut rng);
+            let points = (0..self.batch)
+                .map(|_| {
+                    let c = rng.gen_range(0..self.clusters);
+                    centers[c]
+                        .iter()
+                        .map(|x| x + rng.gaussian() * self.spread)
+                        .collect()
+                })
+                .collect();
+            out.push(PointBatch {
+                points,
+                true_centers: centers.clone(),
+            });
+        }
+        out
+    }
+
+    /// Generate `n` labeled batches.
+    pub fn generate_labeled(&self, n: usize, seed: u64) -> Vec<LabeledBatch> {
+        let mut rng = StatsRng::from_seed_value(seed ^ 0x0C1A_55ED);
+        let mut centers = self.initial_centers(&mut rng);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.drift_centers(&mut centers, &mut rng);
+            let mut points = Vec::with_capacity(self.batch);
+            let mut labels = Vec::with_capacity(self.batch);
+            for _ in 0..self.batch {
+                let c = rng.gen_range(0..self.clusters);
+                labels.push(c);
+                points.push(
+                    centers[c]
+                        .iter()
+                        .map(|x| x + rng.gaussian() * self.spread)
+                        .collect(),
+                );
+            }
+            out.push(LabeledBatch { points, labels });
+        }
+        out
+    }
+}
+
+/// Squared Euclidean distance between two points.
+#[cfg(test)]
+pub(crate) fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_configured_shape() {
+        let cfg = PointStreamConfig::cluster_stream();
+        let batches = cfg.generate(10, 1);
+        assert_eq!(batches.len(), 10);
+        for b in &batches {
+            assert_eq!(b.points.len(), cfg.batch);
+            assert_eq!(b.true_centers.len(), cfg.clusters);
+            for p in &b.points {
+                assert_eq!(p.len(), cfg.dims);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PointStreamConfig::classifier_stream();
+        assert_eq!(cfg.generate_labeled(5, 3), cfg.generate_labeled(5, 3));
+        assert_ne!(cfg.generate_labeled(5, 3), cfg.generate_labeled(5, 4));
+    }
+
+    #[test]
+    fn points_cluster_near_true_centers() {
+        let cfg = PointStreamConfig::cluster_stream();
+        let batches = cfg.generate(20, 9);
+        for b in &batches {
+            for p in &b.points {
+                let nearest = b
+                    .true_centers
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min);
+                // Within ~4 sigma of some center in most cases.
+                assert!(nearest.sqrt() < cfg.spread * 8.0 * (cfg.dims as f64).sqrt());
+            }
+        }
+    }
+
+    #[test]
+    fn centers_drift_over_time() {
+        let cfg = PointStreamConfig::cluster_stream();
+        let batches = cfg.generate(500, 2);
+        let first = &batches[0].true_centers;
+        let last = &batches[499].true_centers;
+        let moved: f64 = first
+            .iter()
+            .zip(last)
+            .map(|(a, b)| dist2(a, b).sqrt())
+            .sum::<f64>()
+            / cfg.clusters as f64;
+        assert!(moved > 0.05, "no drift: {moved}");
+    }
+
+    #[test]
+    fn labels_are_valid_classes() {
+        let cfg = PointStreamConfig::classifier_stream();
+        let batches = cfg.generate_labeled(10, 1);
+        for b in &batches {
+            assert_eq!(b.points.len(), b.labels.len());
+            assert!(b.labels.iter().all(|&l| l < cfg.clusters));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Synthetic simulation-batch descriptors for the swaptions benchmark.
+
+use serde::{Deserialize, Serialize};
+use stats_core::rng::StatsRng;
+
+/// One batch of Monte-Carlo simulations for a swaption (the unit of work
+/// the STATS state dependence chains over).
+///
+/// The paper runs 32 million simulations over 4 swaptions (§IV-C); the
+/// stream is the sequence of simulation batches, and the state dependence
+/// is the running price estimate each batch refines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateBatch {
+    /// Which of the swaptions this batch belongs to.
+    pub swaption: usize,
+    /// Number of simulations the batch represents at native scale.
+    pub simulations: u64,
+    /// Strike rate of the swaption.
+    pub strike: f64,
+    /// Years to maturity.
+    pub maturity: f64,
+    /// Initial short rate.
+    pub rate0: f64,
+    /// Short-rate volatility.
+    pub volatility: f64,
+}
+
+/// Parameters of the batch stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateStreamConfig {
+    /// Number of distinct swaptions (the paper uses 4).
+    pub swaptions: usize,
+    /// Simulations per batch at native scale.
+    pub sims_per_batch: u64,
+}
+
+impl RateStreamConfig {
+    /// The paper's configuration: 4 swaptions, 32M total simulations
+    /// spread over the generated batches.
+    pub fn paper() -> Self {
+        RateStreamConfig {
+            swaptions: 4,
+            sims_per_batch: 16_000,
+        }
+    }
+
+    /// Generate `n` batches; swaptions interleave round-robin so every
+    /// chunk of the stream touches every swaption.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<RateBatch> {
+        let mut rng = StatsRng::from_seed_value(seed ^ 0x5A97_0123);
+        // Fixed per-swaption contract terms, drawn once.
+        let contracts: Vec<(f64, f64, f64, f64)> = (0..self.swaptions)
+            .map(|_| {
+                (
+                    0.03 + rng.unit() * 0.04,  // strike 3-7%
+                    1.0 + rng.unit() * 9.0,    // maturity 1-10y
+                    0.02 + rng.unit() * 0.03,  // initial rate
+                    0.1 + rng.unit() * 0.3,    // volatility
+                )
+            })
+            .collect();
+        (0..n)
+            .map(|i| {
+                let s = i % self.swaptions;
+                let (strike, maturity, rate0, volatility) = contracts[s];
+                RateBatch {
+                    swaption: s,
+                    simulations: self.sims_per_batch,
+                    strike,
+                    maturity,
+                    rate0,
+                    volatility,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_interleave_swaptions() {
+        let cfg = RateStreamConfig::paper();
+        let batches = cfg.generate(16, 1);
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.swaption, i % 4);
+        }
+    }
+
+    #[test]
+    fn contract_terms_are_stable_per_swaption() {
+        let cfg = RateStreamConfig::paper();
+        let batches = cfg.generate(40, 2);
+        for b in &batches {
+            let first = batches.iter().find(|x| x.swaption == b.swaption).unwrap();
+            assert_eq!(b.strike, first.strike);
+            assert_eq!(b.maturity, first.maturity);
+        }
+    }
+
+    #[test]
+    fn terms_are_plausible() {
+        let batches = RateStreamConfig::paper().generate(8, 3);
+        for b in &batches {
+            assert!(b.strike > 0.0 && b.strike < 0.1);
+            assert!(b.maturity >= 1.0 && b.maturity <= 10.0);
+            assert!(b.volatility > 0.0 && b.volatility < 0.5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RateStreamConfig::paper();
+        assert_eq!(cfg.generate(10, 5), cfg.generate(10, 5));
+        assert_ne!(cfg.generate(10, 5), cfg.generate(10, 6));
+    }
+}

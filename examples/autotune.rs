@@ -1,0 +1,80 @@
+//! The STATS autotuning loop of Fig. 3: explore the design space of a
+//! benchmark with the OpenTuner-style ensemble, profiling each candidate
+//! configuration on the simulated 28-core machine.
+//!
+//! ```sh
+//! cargo run --release --example autotune [benchmark] [budget]
+//! ```
+
+use stats_workbench::autotuner::{Strategy, Tuner};
+use stats_workbench::bench::pipeline::{Scale, FIGURE_SEED};
+use stats_workbench::core::runtime::simulated::SimulatedRuntime;
+use stats_workbench::core::DesignSpace;
+use stats_workbench::workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+struct Tune {
+    budget: usize,
+}
+
+impl WorkloadVisitor for Tune {
+    type Output = ();
+    fn visit<W: Workload>(self, w: &W) {
+        // Training inputs are distinct from the evaluation inputs (§IV-C:
+        // "To find the best configuration for a benchmark we used training
+        // inputs, which are different from the native inputs").
+        let scale = Scale(0.25);
+        let n = scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, 0x7EA1_1216);
+        let rt = SimulatedRuntime::paper_machine();
+        let space = DesignSpace::for_inputs(n, 28, w.inner_parallelism().is_parallel());
+        println!(
+            "benchmark: {} | design space: {} valid configurations | budget: {}",
+            w.name(),
+            space.size(),
+            self.budget
+        );
+
+        let tuner = Tuner::new(space, self.budget, FIGURE_SEED);
+        let mut evals = 0usize;
+        let report = tuner.tune(Strategy::Ensemble, |cfg| {
+            evals += 1;
+            let run = rt
+                .run("autotune", w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+                .expect("valid config");
+            // The profiler's objective: execution time in cycles.
+            run.execution.makespan.get() as f64
+        });
+
+        println!("explored {} configurations", report.configurations_explored());
+        let conv = report.convergence();
+        for (i, cost) in conv.iter().enumerate() {
+            if i == 0 || i + 1 == conv.len() || (i % (conv.len() / 8).max(1)) == 0 {
+                println!("  after {:>3} evaluations: best makespan {:>12.0} cycles", i + 1, cost);
+            }
+        }
+        let best = report.best;
+        println!(
+            "best configuration: {} chunks, lookback {}, {} extra states, combined TLP: {}",
+            best.chunks, best.lookback, best.extra_states, best.combine_inner_tlp
+        );
+        let final_run = rt
+            .run("autotuned", w, &inputs, best, w.inner_parallelism(), FIGURE_SEED)
+            .expect("valid config");
+        println!("autotuned speedup: {:.2}x on 28 cores\n", final_run.speedup());
+    }
+}
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "swaptions".to_string());
+    let budget = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    assert!(
+        BENCHMARK_NAMES.contains(&name.as_str()),
+        "unknown benchmark {name:?}; choose one of {BENCHMARK_NAMES:?}"
+    );
+    dispatch(&name, Tune { budget });
+}

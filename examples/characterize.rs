@@ -1,0 +1,88 @@
+//! Characterize one benchmark's overhead the way the paper does (§V-B):
+//! run it on the modeled 28-core machine, then perform the what-if
+//! critical-path analysis that attributes every lost speedup point to an
+//! overhead source.
+//!
+//! ```sh
+//! cargo run --release --example characterize [benchmark] [scale]
+//! ```
+//!
+//! `benchmark` defaults to `facedet-and-track` (the paper's sync-bound
+//! case); `scale` (0..=1) scales the native input count.
+
+use stats_workbench::bench::attribution::{attribute, LossBreakdown};
+use stats_workbench::bench::pipeline::{run_benchmark, tuned_config, Machines, Scale, FIGURE_SEED};
+use stats_workbench::trace::histogram::render_span_stats;
+use stats_workbench::workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+struct Characterize {
+    scale: Scale,
+}
+
+impl WorkloadVisitor for Characterize {
+    type Output = LossBreakdown;
+    fn visit<W: Workload>(self, w: &W) -> LossBreakdown {
+        let machines = Machines::paper();
+        let cfg = tuned_config(w, 28, self.scale);
+        println!(
+            "benchmark: {} | tuned config: {} chunks, lookback {}, {} extra states, combined TLP: {}",
+            w.name(),
+            cfg.chunks,
+            cfg.lookback,
+            cfg.extra_states,
+            cfg.combine_inner_tlp
+        );
+        attribute(w, &machines.cores28, cfg, self.scale, FIGURE_SEED)
+    }
+}
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "facedet-and-track".to_string());
+    let scale = Scale(
+        std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0),
+    );
+    assert!(
+        BENCHMARK_NAMES.contains(&name.as_str()),
+        "unknown benchmark {name:?}; choose one of {BENCHMARK_NAMES:?}"
+    );
+
+    let breakdown = dispatch(&name, Characterize { scale });
+    println!(
+        "\nachieved speedup: {:.2}x of an ideal {:.0}x ({:.1}% lost); commit rate {:.0}%\n",
+        breakdown.achieved,
+        breakdown.ideal,
+        breakdown.total_lost_percent(),
+        breakdown.commit_rate * 100.0
+    );
+    println!("speedup lost per overhead source (normalized to the total):");
+    let mut shares = breakdown.normalized_percent();
+    shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    for (cat, pct) in shares {
+        if pct > 0.05 {
+            let bar = "#".repeat((pct * 1.5).round() as usize);
+            println!("  {:<16} {:>5.1}%  {}", cat.name(), pct, bar);
+        }
+    }
+    println!("\ndominant source: {}", breakdown.dominant().name());
+
+    // Span-level statistics of the instrumented trace (§V-B's raw data).
+    struct Spans {
+        scale: Scale,
+    }
+    impl WorkloadVisitor for Spans {
+        type Output = String;
+        fn visit<W: Workload>(self, w: &W) -> String {
+            let machines = Machines::paper();
+            let cfg = tuned_config(w, 28, self.scale);
+            let report = run_benchmark(w, &machines.cores28, cfg, self.scale, FIGURE_SEED);
+            render_span_stats(&report.execution.trace)
+        }
+    }
+    println!("\nspan durations by category (cycles):");
+    println!("{}", dispatch(&name, Spans { scale }));
+}

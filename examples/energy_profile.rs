@@ -1,0 +1,78 @@
+//! Energy profile of the three TLP configurations (the STATS profiler of
+//! §II-C "collects profiling information such as execution time and
+//! energy consumption"; §IV-A gives the machine's 120 W-per-socket
+//! envelope).
+//!
+//! ```sh
+//! cargo run --release --example energy_profile [benchmark]
+//! ```
+//!
+//! Shows the race-to-idle effect: parallel runs burn more instantaneous
+//! power but finish so much sooner that total energy drops.
+
+use stats_workbench::bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
+use stats_workbench::core::runtime::simulated::SimulatedRuntime;
+use stats_workbench::core::Config;
+use stats_workbench::platform::{EnergyModel, Topology};
+use stats_workbench::workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+struct Profile;
+
+impl WorkloadVisitor for Profile {
+    type Output = ();
+    fn visit<W: Workload>(self, w: &W) {
+        let scale = Scale(0.5);
+        let n = scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let rt = SimulatedRuntime::paper_machine();
+        let model = EnergyModel::paper_machine();
+        let topo = Topology::paper_machine();
+        println!(
+            "benchmark: {} | machine peak power {:.0} W\n",
+            w.name(),
+            model.peak_watts(&topo)
+        );
+        println!(
+            "{:<22} {:>9} {:>12} {:>12} {:>14}",
+            "configuration", "speedup", "time [ms]", "energy [J]", "EDP [J*s]"
+        );
+        let tuned = tuned_config(w, 28, scale);
+        for (label, cfg) in [
+            ("sequential", Config::sequential()),
+            ("original TLP", Config::original_only()),
+            (
+                "Seq. STATS",
+                Config {
+                    combine_inner_tlp: false,
+                    ..tuned
+                },
+            ),
+            ("Par. STATS", tuned),
+        ] {
+            let report = rt
+                .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+                .expect("valid configuration");
+            let trace = &report.execution.trace;
+            let seconds = report.execution.makespan.get() as f64 / model.frequency_hz;
+            println!(
+                "{:<22} {:>8.2}x {:>12.2} {:>12.3} {:>14.5}",
+                label,
+                report.speedup(),
+                seconds * 1e3,
+                model.energy_joules(trace, &topo),
+                model.energy_delay(trace, &topo),
+            );
+        }
+    }
+}
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "swaptions".to_string());
+    assert!(
+        BENCHMARK_NAMES.contains(&name.as_str()),
+        "unknown benchmark {name:?}; choose one of {BENCHMARK_NAMES:?}"
+    );
+    dispatch(&name, Profile);
+}

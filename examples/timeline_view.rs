@@ -1,0 +1,79 @@
+//! Visualize a STATS execution the way the paper draws Figs. 4-8: one row
+//! per logical thread, time flowing left to right, with each overhead
+//! category as its own glyph — then replay the benchmark's memory/branch
+//! behaviour through the microarchitecture simulators.
+//!
+//! ```sh
+//! cargo run --release --example timeline_view [benchmark]
+//! ```
+
+use stats_workbench::bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
+use stats_workbench::core::runtime::simulated::SimulatedRuntime;
+use stats_workbench::trace::timeline::{render_timeline, TimelineOptions};
+use stats_workbench::uarch::{HierarchyConfig, MultiCore};
+use stats_workbench::workloads::{dispatch, ExecMode, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+struct Show;
+
+impl WorkloadVisitor for Show {
+    type Output = ();
+    fn visit<W: Workload>(self, w: &W) {
+        // A small slice of the stream keeps the timeline legible.
+        let scale = Scale(0.1);
+        let n = scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let cfg = tuned_config(w, 28, scale);
+        let rt = SimulatedRuntime::paper_machine();
+        let report = rt
+            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+            .expect("valid configuration");
+
+        println!(
+            "{}",
+            render_timeline(
+                &report.execution.trace,
+                &TimelineOptions {
+                    width: 100,
+                    max_threads: 20,
+                }
+            )
+        );
+        println!(
+            "speedup {:.2}x on 28 cores, utilization {:.0}%\n",
+            report.speedup(),
+            report.execution.utilization() * 100.0
+        );
+
+        // Microarchitectural view (Table II's instruments).
+        for mode in [ExecMode::Sequential, ExecMode::StatsTlp] {
+            let (cores, sockets) = match mode {
+                ExecMode::Sequential => (1, 1),
+                _ => (28, 2),
+            };
+            let mut mc = MultiCore::new(cores, sockets, &HierarchyConfig::haswell());
+            for (i, mut p) in w.uarch_profiles(mode).into_iter().enumerate() {
+                p.accesses /= 50; // sample for the demo
+                p.branches /= 50;
+                mc.replay(i % cores, &p, i as u64);
+            }
+            let c = mc.counters();
+            println!(
+                "{mode:?}: L1D miss {:.1}%, LLC miss {:.1}%, branch mispredict {:.1}%",
+                c.l1d.miss_rate() * 100.0,
+                c.llc.miss_rate() * 100.0,
+                c.branch_rate() * 100.0
+            );
+        }
+    }
+}
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "facedet-and-track".to_string());
+    assert!(
+        BENCHMARK_NAMES.contains(&name.as_str()),
+        "unknown benchmark {name:?}; choose one of {BENCHMARK_NAMES:?}"
+    );
+    dispatch(&name, Show);
+}

@@ -1,0 +1,18 @@
+//! The `stats` command-line interface. See `stats help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match stats_workbench::cli::parse(&args) {
+        Ok(cmd) => match stats_workbench::cli::execute(cmd) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", stats_workbench::cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

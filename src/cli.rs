@@ -1,0 +1,541 @@
+//! Command-line interface of the `stats` binary.
+//!
+//! Subcommands:
+//!
+//! * `run <benchmark>` — execute one benchmark under its tuned (or
+//!   overridden) configuration and print a run summary.
+//! * `characterize <benchmark>` — the §V-B loss attribution.
+//! * `tune <benchmark>` — the Fig. 3 autotuning loop.
+//! * `figures [ids…]` — regenerate tables/figures (`all` by default).
+//! * `export <benchmark> <path>` — write a Chrome-trace JSON of a run.
+//!
+//! Argument parsing is hand-rolled (the workbench's dependency policy
+//! keeps the offline crate set minimal) and unit-tested.
+
+use stats_bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
+use stats_core::runtime::simulated::SimulatedRuntime;
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, EXTENDED_BENCHMARK_NAMES};
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `run <benchmark>`
+    Run {
+        /// Benchmark name.
+        benchmark: String,
+        /// Parsed common options.
+        opts: Options,
+    },
+    /// `characterize <benchmark>`
+    Characterize {
+        /// Benchmark name.
+        benchmark: String,
+        /// Parsed common options.
+        opts: Options,
+    },
+    /// `tune <benchmark>`
+    Tune {
+        /// Benchmark name.
+        benchmark: String,
+        /// Evaluation budget.
+        budget: usize,
+        /// Parsed common options.
+        opts: Options,
+    },
+    /// `figures [ids…]`
+    Figures {
+        /// Figure/table identifiers (e.g. `fig09`, `table1`); empty = all.
+        ids: Vec<String>,
+        /// Parsed common options.
+        opts: Options,
+    },
+    /// `export <benchmark> <path>`
+    Export {
+        /// Benchmark name.
+        benchmark: String,
+        /// Output path for the Chrome-trace JSON.
+        path: String,
+        /// Parsed common options.
+        opts: Options,
+    },
+    /// `help`
+    Help,
+}
+
+/// Options shared by the subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Input scale in `(0, 1]`.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Chunk-count override.
+    pub chunks: Option<usize>,
+    /// Lookback override.
+    pub lookback: Option<usize>,
+    /// Extra-original-states override.
+    pub extra_states: Option<usize>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: Scale::NATIVE,
+            seed: FIGURE_SEED,
+            chunks: None,
+            lookback: None,
+            extra_states: None,
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+stats — the STATS workload-characterization workbench
+
+USAGE:
+  stats run <benchmark> [options]          execute one benchmark
+  stats characterize <benchmark> [options] attribute its speedup losses
+  stats tune <benchmark> [--budget N] [options]
+  stats figures [fig09 fig10 … ablations scaling | all] [options]
+  stats export <benchmark> <out.json> [options]
+  stats help
+
+BENCHMARKS:
+  swaptions streamcluster streamclassifier bodytrack facetrack
+  facedet-and-track fluidanimate (the excluded negative control)
+
+OPTIONS:
+  --scale F        input scale in (0,1]   (default 1.0)
+  --seed N         master seed            (default: the figure seed)
+  --chunks N       override the tuned chunk count
+  --lookback N     override the tuned lookback k
+  --extra-states N override the tuned extra original states m
+  --budget N       tuning evaluations     (default 80; tune only)
+";
+
+fn parse_options(args: &[String]) -> Result<(Options, Vec<String>, usize), ParseError> {
+    let mut opts = Options::default();
+    let mut positional = Vec::new();
+    let mut budget = 80usize;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut take_value = |name: &str| -> Result<String, ParseError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                let v: f64 = take_value("--scale")?
+                    .parse()
+                    .map_err(|_| ParseError("--scale expects a number".into()))?;
+                if !(v > 0.0 && v <= 1.0) {
+                    return Err(ParseError("--scale must be in (0, 1]".into()));
+                }
+                opts.scale = Scale(v);
+            }
+            "--seed" => {
+                opts.seed = take_value("--seed")?
+                    .parse()
+                    .map_err(|_| ParseError("--seed expects an integer".into()))?;
+            }
+            "--chunks" => {
+                opts.chunks = Some(
+                    take_value("--chunks")?
+                        .parse()
+                        .map_err(|_| ParseError("--chunks expects an integer".into()))?,
+                );
+            }
+            "--lookback" => {
+                opts.lookback = Some(
+                    take_value("--lookback")?
+                        .parse()
+                        .map_err(|_| ParseError("--lookback expects an integer".into()))?,
+                );
+            }
+            "--extra-states" => {
+                opts.extra_states = Some(
+                    take_value("--extra-states")?
+                        .parse()
+                        .map_err(|_| ParseError("--extra-states expects an integer".into()))?,
+                );
+            }
+            "--budget" => {
+                budget = take_value("--budget")?
+                    .parse()
+                    .map_err(|_| ParseError("--budget expects an integer".into()))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(ParseError(format!("unknown option {other}")));
+            }
+            _ => positional.push(arg.clone()),
+        }
+        i += 1;
+    }
+    Ok((opts, positional, budget))
+}
+
+fn expect_benchmark(positional: &[String]) -> Result<String, ParseError> {
+    let name = positional
+        .first()
+        .ok_or_else(|| ParseError("missing benchmark name".into()))?;
+    if !EXTENDED_BENCHMARK_NAMES.contains(&name.as_str()) {
+        return Err(ParseError(format!(
+            "unknown benchmark {name:?}; choose one of {EXTENDED_BENCHMARK_NAMES:?}"
+        )));
+    }
+    Ok(name.clone())
+}
+
+/// Parse a full argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let (opts, positional, budget) = parse_options(rest)?;
+    match sub.as_str() {
+        "run" => Ok(Command::Run {
+            benchmark: expect_benchmark(&positional)?,
+            opts,
+        }),
+        "characterize" => Ok(Command::Characterize {
+            benchmark: expect_benchmark(&positional)?,
+            opts,
+        }),
+        "tune" => Ok(Command::Tune {
+            benchmark: expect_benchmark(&positional)?,
+            budget,
+            opts,
+        }),
+        "figures" => Ok(Command::Figures {
+            ids: positional,
+            opts,
+        }),
+        "export" => {
+            let benchmark = expect_benchmark(&positional)?;
+            let path = positional
+                .get(1)
+                .cloned()
+                .ok_or_else(|| ParseError("export needs an output path".into()))?;
+            Ok(Command::Export {
+                benchmark,
+                path,
+                opts,
+            })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn config_for<W: Workload>(w: &W, opts: &Options) -> stats_core::Config {
+    let mut cfg = tuned_config(w, 28, opts.scale);
+    if let Some(c) = opts.chunks {
+        cfg.chunks = c;
+    }
+    if let Some(k) = opts.lookback {
+        cfg.lookback = k;
+    }
+    if let Some(m) = opts.extra_states {
+        cfg.extra_states = m;
+    }
+    stats_bench::pipeline::clamp_config(cfg, opts.scale.inputs_for(w))
+}
+
+struct RunCmd {
+    opts: Options,
+}
+
+impl WorkloadVisitor for RunCmd {
+    type Output = String;
+    fn visit<W: Workload>(self, w: &W) -> String {
+        let cfg = config_for(w, &self.opts);
+        let n = self.opts.scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, self.opts.seed);
+        let rt = SimulatedRuntime::paper_machine();
+        let report = rt
+            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), self.opts.seed)
+            .expect("valid configuration");
+        let quality = w.quality(&inputs, &report.outputs);
+        format!(
+            "benchmark:     {}\n\
+             configuration: {}\n\
+             inputs:        {} ({}x native)\n\
+             speedup:       {:.2}x on 28 cores\n\
+             commit:        {} aborts over {} boundaries\n\
+             threads:       {} | states: {} x {} B\n\
+             extra instructions: {:+.1}%\n\
+             output quality: {:.3}\n",
+            w.name(),
+            cfg,
+            n,
+            self.opts.scale.0,
+            report.speedup(),
+            report.aborts(),
+            cfg.chunks.saturating_sub(1),
+            report.accounting.threads,
+            report.accounting.states,
+            report.accounting.state_bytes,
+            report.extra_instruction_percent(),
+            quality,
+        )
+    }
+}
+
+struct ExportCmd {
+    opts: Options,
+    path: String,
+}
+
+impl WorkloadVisitor for ExportCmd {
+    type Output = std::io::Result<String>;
+    fn visit<W: Workload>(self, w: &W) -> std::io::Result<String> {
+        let cfg = config_for(w, &self.opts);
+        let n = self.opts.scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, self.opts.seed);
+        let rt = SimulatedRuntime::paper_machine();
+        let report = rt
+            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), self.opts.seed)
+            .expect("valid configuration");
+        let json = stats_trace::chrome::to_chrome_trace(&report.execution.trace);
+        std::fs::write(&self.path, &json)?;
+        Ok(format!(
+            "wrote {} spans to {} (open in chrome://tracing or Perfetto)\n",
+            report.execution.trace.spans().len(),
+            self.path
+        ))
+    }
+}
+
+struct TuneCmd {
+    opts: Options,
+    budget: usize,
+}
+
+impl WorkloadVisitor for TuneCmd {
+    type Output = String;
+    fn visit<W: Workload>(self, w: &W) -> String {
+        use stats_autotuner::{Strategy, Tuner};
+        let n = self.opts.scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, self.opts.seed);
+        let rt = SimulatedRuntime::paper_machine();
+        let space = stats_core::DesignSpace::for_inputs(n, 28, w.inner_parallelism().is_parallel());
+        let tuner = Tuner::new(space, self.budget, self.opts.seed);
+        let report = tuner.tune(Strategy::Ensemble, |cfg| {
+            rt.run(w.name(), w, &inputs, cfg, w.inner_parallelism(), self.opts.seed)
+                .expect("valid config")
+                .execution
+                .makespan
+                .get() as f64
+        });
+        let best_run = rt
+            .run(w.name(), w, &inputs, report.best, w.inner_parallelism(), self.opts.seed)
+            .expect("valid config");
+        format!(
+            "benchmark: {}\nexplored:  {} configurations\nbest:      {}\nspeedup:   {:.2}x on 28 cores\n",
+            w.name(),
+            report.configurations_explored(),
+            report.best,
+            best_run.speedup(),
+        )
+    }
+}
+
+/// Execute a parsed command, returning its textual output.
+///
+/// # Errors
+///
+/// I/O errors from `export`; everything else is infallible.
+pub fn execute(cmd: Command) -> std::io::Result<String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Run { benchmark, opts } => Ok(dispatch(&benchmark, RunCmd { opts })),
+        Command::Characterize { benchmark, opts } => {
+            use stats_bench::attribution::attribute;
+            use stats_bench::pipeline::Machines;
+            struct C {
+                opts: Options,
+            }
+            impl WorkloadVisitor for C {
+                type Output = String;
+                fn visit<W: Workload>(self, w: &W) -> String {
+                    let cfg = config_for(w, &self.opts);
+                    let machines = Machines::paper();
+                    let b = attribute(w, &machines.cores28, cfg, self.opts.scale, self.opts.seed);
+                    let mut out = format!(
+                        "benchmark: {}\nachieved:  {:.2}x of {:.0}x ideal ({:.1}% lost)\n\n",
+                        b.benchmark,
+                        b.achieved,
+                        b.ideal,
+                        b.total_lost_percent()
+                    );
+                    let mut shares = b.normalized_percent();
+                    shares.sort_by(|a, c| c.1.partial_cmp(&a.1).expect("no NaN"));
+                    for (cat, pct) in shares {
+                        if pct > 0.05 {
+                            out.push_str(&format!("  {:<16} {:>5.1}%\n", cat.name(), pct));
+                        }
+                    }
+                    out
+                }
+            }
+            Ok(dispatch(&benchmark, C { opts }))
+        }
+        Command::Tune {
+            benchmark,
+            budget,
+            opts,
+        } => Ok(dispatch(&benchmark, TuneCmd { opts, budget })),
+        Command::Figures { ids, opts } => {
+            let scale = opts.scale;
+            let all = ids.is_empty() || ids.iter().any(|i| i == "all");
+            let want = |id: &str| all || ids.iter().any(|i| i == id);
+            let mut out = String::new();
+            if want("table1") {
+                out.push_str(&stats_bench::table1::render(scale));
+            }
+            if want("fig09") {
+                out.push_str(&stats_bench::fig09::render(scale));
+            }
+            if want("fig10") {
+                out.push_str(&stats_bench::fig10::render(scale));
+            }
+            if want("fig11") {
+                out.push_str(&stats_bench::fig11::render(scale));
+            }
+            if want("fig12") {
+                out.push_str(&stats_bench::fig12::render(scale));
+            }
+            if want("fig13") {
+                out.push_str(&stats_bench::fig13::render(scale));
+            }
+            if want("fig14") {
+                out.push_str(&stats_bench::fig14::render(scale));
+            }
+            if want("fig15") {
+                out.push_str(&stats_bench::fig15::render(scale));
+            }
+            if want("table2") {
+                out.push_str(&stats_bench::table2::render(scale));
+                out.push_str(&stats_bench::table2::render_cpi(scale));
+            }
+            if want("fig16") {
+                out.push_str(&stats_bench::fig16::render(scale, 40));
+            }
+            if !all && ids.iter().any(|i| i == "ablations") {
+                out.push_str(&stats_bench::ablations::render(scale));
+            }
+            if !all && ids.iter().any(|i| i == "scaling") {
+                out.push_str(&stats_bench::scaling::render());
+            }
+            if out.is_empty() {
+                out = format!("no known figure ids in {ids:?}\n\n{USAGE}");
+            }
+            Ok(out)
+        }
+        Command::Export {
+            benchmark,
+            path,
+            opts,
+        } => dispatch(&benchmark, ExportCmd { opts, path }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let cmd = parse(&args("run bodytrack --scale 0.25 --seed 7 --chunks 8")).unwrap();
+        match cmd {
+            Command::Run { benchmark, opts } => {
+                assert_eq!(benchmark, "bodytrack");
+                assert_eq!(opts.scale, Scale(0.25));
+                assert_eq!(opts.seed, 7);
+                assert_eq!(opts.chunks, Some(8));
+                assert_eq!(opts.lookback, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_benchmark_and_option() {
+        assert!(parse(&args("run blackscholes")).is_err());
+        assert!(parse(&args("run bodytrack --frobnicate 3")).is_err());
+        assert!(parse(&args("run")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(parse(&args("run bodytrack --scale 0")).is_err());
+        assert!(parse(&args("run bodytrack --scale 1.5")).is_err());
+        assert!(parse(&args("run bodytrack --scale abc")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help_show_usage() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+        assert!(execute(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parses_tune_budget_and_figures_ids() {
+        match parse(&args("tune swaptions --budget 25")).unwrap() {
+            Command::Tune { budget, .. } => assert_eq!(budget, 25),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args("figures fig09 table1 --scale 0.1")).unwrap() {
+            Command::Figures { ids, opts } => {
+                assert_eq!(ids, vec!["fig09", "table1"]);
+                assert_eq!(opts.scale, Scale(0.1));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn export_requires_a_path() {
+        assert!(parse(&args("export swaptions")).is_err());
+        assert!(parse(&args("export swaptions /tmp/x.json")).is_ok());
+    }
+
+    #[test]
+    fn run_command_executes_end_to_end() {
+        let cmd = parse(&args("run swaptions --scale 0.05 --chunks 8")).unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("swaptions"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn figures_command_renders_requested_ids() {
+        let cmd = parse(&args("figures table1 --scale 0.05")).unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("Table I"));
+        assert!(!out.contains("Fig. 9"));
+    }
+}

@@ -1,0 +1,64 @@
+//! # stats-workbench
+//!
+//! A production-quality Rust reproduction of *"Workload Characterization of
+//! Nondeterministic Programs Parallelized by STATS"* (Deiana & Campanoni,
+//! ISPASS 2019).
+//!
+//! The workbench implements the STATS execution model — speculative
+//! parallelization of *state dependences* in nondeterministic programs — and
+//! the full measurement apparatus the paper uses to characterize it:
+//!
+//! * [`core`] — the STATS runtime: chunk planning, alternative producers,
+//!   original-state replication, speculative commit/abort.
+//! * [`platform`] — a deterministic discrete-event multicore simulator
+//!   standing in for the paper's 28-core dual-socket Haswell testbed.
+//! * [`trace`] — span tracing and instruction accounting (the paper's
+//!   timestamp methodology from §V-B).
+//! * [`uarch`] — cache hierarchy and branch predictor simulators (Table II).
+//! * [`workloads`] — six nondeterministic benchmark analogs.
+//! * [`autotuner`] — OpenTuner-style design-space exploration.
+//! * [`mod@bench`] — experiment harnesses regenerating every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stats_workbench::core::{Config, StateDependence, UpdateCost};
+//! use stats_workbench::core::runtime::sequential::run_sequential;
+//! use stats_workbench::core::rng::StatsRng;
+//!
+//! /// A toy nondeterministic workload: a noisy moving average.
+//! struct NoisyAverage;
+//!
+//! impl StateDependence for NoisyAverage {
+//!     type State = f64;
+//!     type Input = f64;
+//!     type Output = f64;
+//!
+//!     fn fresh_state(&self) -> f64 { 0.0 }
+//!
+//!     fn update(&self, state: &mut f64, input: &f64, rng: &mut StatsRng)
+//!         -> (f64, UpdateCost)
+//!     {
+//!         *state = 0.5 * *state + 0.5 * (*input + rng.noise(0.01));
+//!         (*state, UpdateCost::with_work(100))
+//!     }
+//!
+//!     fn states_match(&self, a: &f64, b: &f64) -> bool { (a - b).abs() < 0.1 }
+//!
+//!     fn state_bytes(&self) -> usize { 8 }
+//! }
+//!
+//! let inputs: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+//! let run = run_sequential(&NoisyAverage, &inputs, 42);
+//! assert_eq!(run.outputs.len(), 64);
+//! ```
+
+pub mod cli;
+
+pub use stats_autotuner as autotuner;
+pub use stats_bench as bench;
+pub use stats_core as core;
+pub use stats_platform as platform;
+pub use stats_trace as trace;
+pub use stats_uarch as uarch;
+pub use stats_workloads as workloads;

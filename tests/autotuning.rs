@@ -1,0 +1,159 @@
+//! Integration of the autotuner with the simulated runtime: the Fig. 3
+//! loop must find configurations that beat naive ones.
+
+use stats_workbench::autotuner::{Strategy, Tuner};
+use stats_workbench::bench::pipeline::Scale;
+use stats_workbench::core::runtime::simulated::SimulatedRuntime;
+use stats_workbench::core::{Config, DesignSpace};
+use stats_workbench::workloads::swaptions::Swaptions;
+use stats_workbench::workloads::Workload;
+
+fn makespan_objective<'a>(
+    rt: &'a SimulatedRuntime,
+    w: &'a Swaptions,
+    inputs: &'a [<Swaptions as stats_workbench::core::StateDependence>::Input],
+) -> impl FnMut(Config) -> f64 + 'a {
+    move |cfg| {
+        rt.run("tune", w, inputs, cfg, w.inner_parallelism(), 1)
+            .expect("valid config")
+            .execution
+            .makespan
+            .get() as f64
+    }
+}
+
+#[test]
+fn autotuner_beats_the_sequential_configuration() {
+    let w = Swaptions::paper();
+    let n = Scale(0.15).inputs_for(&w);
+    let inputs = w.generate_inputs(n, 11);
+    let rt = SimulatedRuntime::paper_machine();
+    let space = DesignSpace::for_inputs(n, 28, true);
+    let tuner = Tuner::new(space, 50, 13);
+
+    let report = tuner.tune(Strategy::Ensemble, makespan_objective(&rt, &w, &inputs));
+
+    let sequential_cost = makespan_objective(&rt, &w, &inputs)(Config::sequential());
+    assert!(
+        report.best_cost < sequential_cost / 4.0,
+        "tuned {} should be far below sequential {}",
+        report.best_cost,
+        sequential_cost
+    );
+    // The winning configuration extracts real STATS TLP.
+    assert!(report.best.chunks >= 8, "chose {:?}", report.best);
+}
+
+#[test]
+fn all_strategies_find_speedup() {
+    let w = Swaptions::paper();
+    let n = Scale(0.1).inputs_for(&w);
+    let inputs = w.generate_inputs(n, 3);
+    let rt = SimulatedRuntime::paper_machine();
+    let seq_cost = makespan_objective(&rt, &w, &inputs)(Config::sequential());
+
+    for strategy in [
+        Strategy::Random,
+        Strategy::HillClimb,
+        Strategy::Evolutionary,
+        Strategy::Annealing,
+        Strategy::Ensemble,
+    ] {
+        let space = DesignSpace::for_inputs(n, 28, true);
+        let report =
+            Tuner::new(space, 30, 5).tune(strategy, makespan_objective(&rt, &w, &inputs));
+        assert!(
+            report.best_cost < seq_cost,
+            "{strategy:?} failed to beat sequential"
+        );
+        assert!(report.configurations_explored() <= 30);
+    }
+}
+
+#[test]
+fn paper_scale_exploration_counts() {
+    // §IV-B: "the number of configurations analyzed varied from 89 to
+    // 342". Our default budget regime lands in that range when the space
+    // allows it.
+    let w = Swaptions::paper();
+    let n = Scale(0.12).inputs_for(&w);
+    let space = DesignSpace::for_inputs(n, 28, true);
+    assert!(space.size() >= 89, "space too small: {}", space.size());
+    let inputs = w.generate_inputs(n, 9);
+    let rt = SimulatedRuntime::paper_machine();
+    let report = Tuner::new(space, 120, 21).tune(
+        Strategy::Ensemble,
+        makespan_objective(&rt, &w, &inputs),
+    );
+    assert!(report.configurations_explored() >= 89);
+}
+
+
+#[test]
+fn energy_objective_prefers_efficient_configurations() {
+    use stats_workbench::platform::{EnergyModel, Topology};
+    let w = Swaptions::paper();
+    let n = Scale(0.1).inputs_for(&w);
+    let inputs = w.generate_inputs(n, 21);
+    let rt = SimulatedRuntime::paper_machine();
+    let model = EnergyModel::paper_machine();
+    let topo = Topology::paper_machine();
+
+    let energy_of = |cfg: Config| {
+        let report = rt
+            .run("energy", &w, &inputs, cfg, w.inner_parallelism(), 21)
+            .expect("valid config");
+        model.energy_joules(&report.execution.trace, &topo)
+    };
+
+    // A parallel configuration finishes much sooner, so idle+uncore energy
+    // drops: STATS should be more energy-efficient than sequential here.
+    let seq = energy_of(Config::sequential());
+    let stats = energy_of(Config::stats_only(14, 4, 1));
+    assert!(
+        stats < seq,
+        "parallel run should save energy: {stats:.3} J vs {seq:.3} J"
+    );
+
+    // The tuner can optimize for energy directly.
+    let space = DesignSpace::for_inputs(n, 28, true);
+    let report = Tuner::new(space, 30, 33).tune(Strategy::Ensemble, energy_of);
+    assert!(report.best_cost <= stats * 1.05, "tuned energy {:.3}", report.best_cost);
+}
+
+
+#[test]
+fn autotuner_reproduces_the_abort_avoiding_chunk_choice() {
+    // §V-B: facetrack's autotuner "only creates 7 parallel chunks to
+    // avoid aborting the computation". Our tuner, given the same
+    // makespan objective, must likewise refuse to max out the chunk
+    // count on this abort-prone benchmark.
+    use stats_workbench::workloads::facetrack::FaceTrack;
+    let w = FaceTrack::paper();
+    let n = Scale(0.5).inputs_for(&w);
+    let inputs = w.generate_inputs(n, 0x7AC);
+    let rt = SimulatedRuntime::paper_machine();
+    let space = DesignSpace::for_inputs(n, 28, true);
+    let report = Tuner::new(space, 40, 17).tune(Strategy::Ensemble, |cfg| {
+        rt.run("tune-facetrack", &w, &inputs, cfg, w.inner_parallelism(), 0x7AC)
+            .expect("valid config")
+            .execution
+            .makespan
+            .get() as f64
+    });
+    // The winning configuration speculates, but conservatively: fewer
+    // chunks than cores (deep chunking mispeculates and loses).
+    assert!(
+        report.best.chunks > 1 && report.best.chunks < 28,
+        "tuner chose {} chunks",
+        report.best.chunks
+    );
+    // And it beats the original-TLP-only configuration.
+    let original = rt
+        .run("orig", &w, &inputs, Config::original_only(), w.inner_parallelism(), 0x7AC)
+        .unwrap()
+        .execution
+        .makespan
+        .get() as f64;
+    assert!(report.best_cost < original, "tuned {} vs original {original}", report.best_cost);
+}

@@ -1,0 +1,103 @@
+//! Stability and sanity of the figure harnesses at reduced scale: every
+//! experiment renders, covers all benchmarks, and reproduces bit-for-bit.
+
+use stats_workbench::bench::pipeline::Scale;
+use stats_workbench::bench::{fig09, fig10, fig14, fig16, table1, table2};
+use stats_workbench::workloads::BENCHMARK_NAMES;
+
+const SCALE: Scale = Scale(0.08);
+
+#[test]
+fn fig09_is_deterministic() {
+    let a = fig09::compute(SCALE);
+    let b = fig09::compute(SCALE);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 7, "six benchmarks + geomean");
+}
+
+#[test]
+fn every_render_names_every_benchmark() {
+    let renders = [
+        table1::render(SCALE),
+        fig09::render(SCALE),
+        fig14::render(SCALE),
+        table2::render(Scale(0.01)),
+        fig16::render(SCALE, 3),
+    ];
+    for (i, r) in renders.iter().enumerate() {
+        for name in BENCHMARK_NAMES {
+            assert!(r.contains(name), "render {i} missing {name}:\n{r}");
+        }
+    }
+}
+
+#[test]
+fn fig10_breakdowns_are_internally_consistent() {
+    for b in fig10::compute(SCALE) {
+        let shares = b.normalized_percent();
+        let sum: f64 = shares.iter().map(|(_, v)| v).sum();
+        // Shares sum to the total loss percentage (within float noise)
+        // whenever any loss was attributed.
+        if b.marginal.iter().any(|(_, v)| *v > 0.0) {
+            assert!(
+                (sum - b.total_lost_percent()).abs() < 1e-6,
+                "{}: {sum} vs {}",
+                b.benchmark,
+                b.total_lost_percent()
+            );
+        }
+        assert!(b.commit_rate >= 0.0 && b.commit_rate <= 1.0);
+    }
+}
+
+#[test]
+fn table2_modes_have_consistent_counters() {
+    for row in table2::compute(Scale(0.01)) {
+        for c in [
+            &row.counters.sequential,
+            &row.counters.original,
+            &row.counters.stats,
+        ] {
+            assert!(c.l1d.misses <= c.l1d.accesses, "{}", row.benchmark);
+            assert!(c.l2.accesses <= c.l1d.accesses, "{}: L2 filtered by L1", row.benchmark);
+            assert!(c.llc.accesses <= c.l2.accesses, "{}: LLC filtered by L2", row.benchmark);
+            assert!(c.branch_misses <= c.branches);
+        }
+    }
+}
+
+#[test]
+fn fig16_quality_distributions_are_sane() {
+    for row in fig16::compute(SCALE, 5) {
+        for d in [&row.sequential, &row.stats] {
+            assert_eq!(d.len(), 5);
+            assert!(d.worst() <= d.median() && d.median() <= d.best());
+            assert!(d.best() <= 1.0 && d.worst() >= 0.0);
+        }
+    }
+}
+
+
+#[test]
+fn exporters_handle_real_traces() {
+    use stats_workbench::bench::pipeline::{run_benchmark, tuned_config, Machines, FIGURE_SEED};
+    use stats_workbench::trace::chrome::to_chrome_trace;
+    use stats_workbench::trace::timeline::{render_timeline, TimelineOptions};
+    use stats_workbench::trace::analysis::busy_fraction;
+    use stats_workbench::workloads::swaptions::Swaptions;
+
+    let w = Swaptions::paper();
+    let machines = Machines::paper();
+    let cfg = tuned_config(&w, 28, SCALE);
+    let report = run_benchmark(&w, &machines.cores28, cfg, SCALE, FIGURE_SEED);
+    let trace = &report.execution.trace;
+
+    let json = to_chrome_trace(trace);
+    assert!(json.matches("\"ph\":\"X\"").count() >= trace.spans().len());
+
+    let gantt = render_timeline(trace, &TimelineOptions::default());
+    assert!(gantt.lines().count() > 5);
+
+    // During the parallel phase many threads are busy simultaneously.
+    assert!(busy_fraction(trace, 8) > 0.2, "{}", busy_fraction(trace, 8));
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration: every benchmark through the full pipeline —
+//! input synthesis → speculation → task graph → machine → trace →
+//! attribution — at reduced scale.
+
+use stats_workbench::bench::attribution::{attribute, LossCategory};
+use stats_workbench::bench::pipeline::{tuned_config, Machines, Scale, FIGURE_SEED};
+use stats_workbench::core::runtime::sequential::run_sequential;
+use stats_workbench::core::runtime::simulated::SimulatedRuntime;
+use stats_workbench::trace::TraceSummary;
+use stats_workbench::workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+const SCALE: Scale = Scale(0.12);
+
+struct FullPipeline;
+
+impl WorkloadVisitor for FullPipeline {
+    type Output = ();
+    fn visit<W: Workload>(self, w: &W) {
+        let machines = Machines::paper();
+        let n = SCALE.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let cfg = tuned_config(w, 28, SCALE);
+        let rt = SimulatedRuntime::new(machines.cores28.clone());
+        let report = rt
+            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+            .expect("pipeline must run");
+
+        // Outputs cover every input, in order.
+        assert_eq!(report.outputs.len(), n, "{}: output count", w.name());
+
+        // The run must beat sequential execution.
+        assert!(
+            report.speedup() > 1.0,
+            "{}: no speedup ({:.2}x)",
+            w.name(),
+            report.speedup()
+        );
+
+        // The trace is well-formed by construction and accounts for the
+        // full makespan on at least one thread.
+        let summary = TraceSummary::from_trace(&report.execution.trace);
+        assert!(summary.makespan >= summary.max_thread_busy());
+        assert!(!summary.threads.is_empty());
+
+        // The chunk decisions line up with the configuration.
+        assert_eq!(report.decisions.len(), cfg.chunks);
+
+        // Attribution runs end to end and accounts losses sanely.
+        let breakdown = attribute(w, &machines.cores28, cfg, SCALE, FIGURE_SEED);
+        assert!(breakdown.achieved <= breakdown.ideal + 1e-9);
+        for (cat, loss) in &breakdown.marginal {
+            assert!(
+                *loss >= 0.0 && loss.is_finite(),
+                "{}: {cat} loss {loss}",
+                w.name()
+            );
+        }
+        // Every loss category is present in the report exactly once.
+        for cat in LossCategory::ALL {
+            let hits = breakdown.marginal.iter().filter(|(c, _)| *c == cat).count();
+            assert_eq!(hits, 1, "{}: {cat} appears {hits} times", w.name());
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_runs_the_full_pipeline() {
+    for name in BENCHMARK_NAMES {
+        dispatch(name, FullPipeline);
+    }
+}
+
+struct QualityPreserved;
+
+impl WorkloadVisitor for QualityPreserved {
+    type Output = ();
+    fn visit<W: Workload>(self, w: &W) {
+        let n = Scale(0.2).inputs_for(w);
+        let inputs = w.generate_inputs(n, 0xAB);
+        let cfg = tuned_config(w, 28, Scale(0.2));
+        let seq = run_sequential(w, &inputs, 1);
+        let spec = stats_workbench::core::speculation::run_speculative(w, &inputs, cfg, 1);
+        let q_seq = w.quality(&inputs, &seq.outputs);
+        let q_stats = w.quality(&inputs, &spec.outputs);
+        assert!(
+            q_stats >= q_seq - 0.15,
+            "{}: STATS quality {q_stats:.3} degraded vs sequential {q_seq:.3}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn stats_preserves_output_quality() {
+    for name in BENCHMARK_NAMES {
+        dispatch(name, QualityPreserved);
+    }
+}
+
+#[test]
+fn speedup_scales_with_input_size() {
+    // The paper's core claim (§I): the TLP extracted "increases with the
+    // size of the input".
+    struct Grow;
+    impl WorkloadVisitor for Grow {
+        type Output = (f64, f64);
+        fn visit<W: Workload>(self, w: &W) -> (f64, f64) {
+            let machines = Machines::paper();
+            let rt = SimulatedRuntime::new(machines.cores28.clone());
+            let mut speeds = Vec::new();
+            for scale in [Scale(0.08), Scale(0.5)] {
+                let n = scale.inputs_for(w);
+                let inputs = w.generate_inputs(n, 3);
+                let cfg = tuned_config(w, 28, scale);
+                let report = rt
+                    .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), 3)
+                    .expect("runs");
+                speeds.push(report.speedup());
+            }
+            (speeds[0], speeds[1])
+        }
+    }
+    let mut grew = 0;
+    for name in BENCHMARK_NAMES {
+        let (small, large) = dispatch(name, Grow);
+        if large > small {
+            grew += 1;
+        }
+    }
+    assert!(grew >= 5, "speedup grew with input for only {grew}/6 benchmarks");
+}

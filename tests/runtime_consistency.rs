@@ -1,0 +1,72 @@
+//! The threaded runtime and the simulated runtime must agree on decisions
+//! and outputs for every real benchmark — all nondeterminism is derived
+//! from (seed, role), never from scheduling.
+
+use stats_workbench::bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
+use stats_workbench::core::runtime::simulated::SimulatedRuntime;
+use stats_workbench::core::runtime::threaded::run_threaded;
+use stats_workbench::workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+const SCALE: Scale = Scale(0.08);
+
+struct Consistency;
+
+impl WorkloadVisitor for Consistency {
+    type Output = ();
+    fn visit<W: Workload>(self, w: &W) {
+        let n = SCALE.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let cfg = tuned_config(w, 28, SCALE);
+
+        let rt = SimulatedRuntime::paper_machine();
+        let simulated = rt
+            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+            .expect("simulated run");
+        let threaded = run_threaded(w, &inputs, cfg, FIGURE_SEED);
+
+        assert_eq!(
+            threaded.decisions,
+            simulated.decisions,
+            "{}: decision mismatch",
+            w.name()
+        );
+        assert_eq!(
+            threaded.outputs.len(),
+            simulated.outputs.len(),
+            "{}: output count mismatch",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn threaded_and_simulated_runtimes_agree_on_every_benchmark() {
+    for name in BENCHMARK_NAMES {
+        dispatch(name, Consistency);
+    }
+}
+
+#[test]
+fn threaded_runtime_is_reproducible_under_load() {
+    // Run the same threaded execution repeatedly; host scheduling noise
+    // must never leak into results.
+    struct Repeat;
+    impl WorkloadVisitor for Repeat {
+        type Output = ();
+        fn visit<W: Workload>(self, w: &W) {
+            let n = Scale(0.05).inputs_for(w);
+            let inputs = w.generate_inputs(n, 7);
+            let cfg = tuned_config(w, 28, Scale(0.05));
+            let first = run_threaded(w, &inputs, cfg, 7);
+            for _ in 0..3 {
+                let again = run_threaded(w, &inputs, cfg, 7);
+                assert_eq!(again.decisions, first.decisions, "{}", w.name());
+            }
+        }
+    }
+    // The two cheapest benchmarks keep this test quick while still
+    // exercising real thread interleavings.
+    for name in ["facetrack", "facedet-and-track"] {
+        dispatch(name, Repeat);
+    }
+}
