@@ -1,0 +1,104 @@
+//! Rustc-style diagnostics for the lint pass.
+
+use std::fmt;
+use std::path::Path;
+
+/// One lint finding, with everything needed to render a rustc-style
+/// report: rule id, location, the offending source line, and a fix hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier, e.g. `ND002`.
+    pub rule: &'static str,
+    /// One-line description of what was found.
+    pub message: String,
+    /// Path of the offending file, as given to the linter.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the first offending character.
+    pub col: usize,
+    /// Length of the underlined region, in characters (at least 1).
+    pub len: usize,
+    /// The full source line, for the snippet.
+    pub snippet: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl Diagnostic {
+    /// `file:line:col` for terse listings and sorting.
+    pub fn location(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        writeln!(f, "warning[{}]: {}", self.rule, self.message)?;
+        writeln!(f, "{pad}--> {}:{}:{}", self.file, self.line, self.col)?;
+        writeln!(f, "{pad} |")?;
+        writeln!(f, "{gutter} | {}", self.snippet)?;
+        let underline = "^".repeat(self.len.max(1));
+        writeln!(
+            f,
+            "{pad} | {}{underline}",
+            " ".repeat(self.col.saturating_sub(1))
+        )?;
+        write!(f, "{pad} = help: {}", self.hint)
+    }
+}
+
+/// Shorten an absolute path to be relative to the current directory when
+/// possible, for readable diagnostics.
+pub fn display_path(path: &Path) -> String {
+    match std::env::current_dir() {
+        Ok(cwd) => path
+            .strip_prefix(&cwd)
+            .unwrap_or(path)
+            .display()
+            .to_string(),
+        Err(_) => path.display().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let d = Diagnostic {
+            rule: "ND002",
+            message: "wall-clock time read".to_string(),
+            file: "src/lib.rs".to_string(),
+            line: 12,
+            col: 9,
+            len: 12,
+            snippet: "    let t = Instant::now();".to_string(),
+            hint: "derive timing from the simulated clock",
+        };
+        let text = d.to_string();
+        assert!(text.contains("warning[ND002]"));
+        assert!(text.contains("--> src/lib.rs:12:9"));
+        assert!(text.contains("12 |     let t = Instant::now();"));
+        assert!(text.contains("^^^^^^^^^^^^"));
+        assert!(text.contains("= help:"));
+    }
+
+    #[test]
+    fn location_is_terse() {
+        let d = Diagnostic {
+            rule: "ND001",
+            message: String::new(),
+            file: "a.rs".to_string(),
+            line: 3,
+            col: 7,
+            len: 1,
+            snippet: String::new(),
+            hint: "",
+        };
+        assert_eq!(d.location(), "a.rs:3:7");
+    }
+}

@@ -1,0 +1,423 @@
+//! A lightweight Rust lexer for the lint pass.
+//!
+//! The build environment is hermetic (no `syn`), so the lint rules work on
+//! a token stream produced here instead of a full AST. The lexer
+//! understands exactly as much Rust as the rules need: comments (line,
+//! nested block, doc), string/char/byte literals, raw strings, lifetimes,
+//! identifiers, and punctuation — with line/column positions throughout.
+//! Rules then match short token patterns (`Instant :: now`) and use brace
+//! depth to scope matches to function bodies, which is reliable because
+//! the token stream already has all comment/string content removed.
+
+/// Kinds of tokens the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Any literal (number, string, char, byte string).
+    Literal,
+    /// A lifetime (`'a`); kept distinct so `'a` is not a char literal.
+    Lifetime,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text. For [`TokKind::Literal`] string literals this is the
+    /// placeholder `"\"\""` — rules never need literal contents.
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub col: usize,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// A lexed source file: the token stream plus the side tables rules use.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// All tokens, in order.
+    pub tokens: Vec<Tok>,
+    /// Source lines (for diagnostics snippets).
+    pub lines: Vec<String>,
+    /// Lines carrying an `stats-analyzer: allow(RULE)` directive, with the
+    /// allowed rule id. A directive suppresses findings of that rule on
+    /// its own line and on the next line.
+    pub allows: Vec<(usize, String)>,
+}
+
+impl LexedFile {
+    /// Whether rule `id` is allowed at `line` by a directive comment.
+    pub fn is_allowed(&self, id: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, rule)| rule == id && (line == *l || line == *l + 1))
+    }
+
+    /// The source line at 1-based `line`, or empty.
+    pub fn line(&self, line: usize) -> &str {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+}
+
+/// Scan a comment's text for allow directives.
+fn scan_allows(comment: &str, line: usize, allows: &mut Vec<(usize, String)>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("stats-analyzer:") {
+        rest = &rest[pos + "stats-analyzer:".len()..];
+        let trimmed = rest.trim_start();
+        if let Some(args) = trimmed.strip_prefix("allow(") {
+            if let Some(end) = args.find(')') {
+                for rule in args[..end].split(',') {
+                    allows.push((line, rule.trim().to_string()));
+                }
+            }
+        }
+    }
+}
+
+/// Lex `source` into tokens and side tables.
+///
+/// Unterminated strings or comments end at end-of-file rather than
+/// erroring: the linter must degrade gracefully on any input.
+pub fn lex(source: &str) -> LexedFile {
+    let lines: Vec<String> = source.lines().map(str::to_string).collect();
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Line comment (incl. doc comments).
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            let start = i;
+            let at_line = line;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            scan_allows(&text, at_line, &mut allows);
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let start = i;
+            let at_line = line;
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            scan_allows(&text, at_line, &mut allows);
+            continue;
+        }
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Raw strings: r"...", r#"..."#, br#"..."# etc.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&chars[i..]) {
+            let (tok_line, tok_col) = (line, col);
+            // Skip the prefix letters.
+            while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
+                bump!();
+            }
+            let mut hashes = 0usize;
+            while i < chars.len() && chars[i] == '#' {
+                hashes += 1;
+                bump!();
+            }
+            if i < chars.len() && chars[i] == '"' {
+                bump!();
+                // Scan to closing quote followed by `hashes` hashes.
+                'raw: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if chars.get(i + 1 + h) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for _ in 0..=hashes {
+                                bump!();
+                            }
+                            break 'raw;
+                        }
+                    }
+                    bump!();
+                }
+            }
+            tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: "\"\"".to_string(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+        // Regular string.
+        if c == '"' {
+            let (tok_line, tok_col) = (line, col);
+            bump!();
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    bump!();
+                    bump!();
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: "\"\"".to_string(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let (tok_line, tok_col) = (line, col);
+            // Lifetime: 'ident not followed by a closing quote.
+            let is_lifetime = matches!(chars.get(i + 1), Some(n) if n.is_alphabetic() || *n == '_')
+                && chars.get(i + 2) != Some(&'\'');
+            if is_lifetime {
+                bump!();
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            } else {
+                // Char literal: consume to closing quote, honoring escapes.
+                bump!();
+                while i < chars.len() {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '\'' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+                tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "''".to_string(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let (tok_line, tok_col) = (line, col);
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            let (tok_line, tok_col) = (line, col);
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                // Stop at `..` (range) — a number owns at most one dot.
+                if chars[i] == '.' && chars.get(i + 1) == Some(&'.') {
+                    break;
+                }
+                bump!();
+            }
+            tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: chars[start..i].iter().collect(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+        // Punctuation: one char at a time.
+        tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+        bump!();
+    }
+
+    LexedFile {
+        tokens,
+        lines,
+        allows,
+    }
+}
+
+/// Whether `chars` starts a raw-string literal (`r"`, `r#`, `br"`, …).
+fn is_raw_string_start(chars: &[char]) -> bool {
+    let mut j = 0;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts_with_positions() {
+        let f = lex("let x = a::b;\nfoo();");
+        let idents: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "a", "b", "foo"]);
+        let foo = f.tokens.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!((foo.line, foo.col), (2, 1));
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let f = lex("// Instant::now()\n/* HashMap */ let s = \"thread_rng()\";");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(!f.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!f.tokens.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("let")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = lex("/* a /* b */ c */ real");
+        let idents: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["real"]);
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let f = lex("let s = r#\"Instant::now() \" quote\"#; after");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "''"));
+    }
+
+    #[test]
+    fn allow_directives_are_collected() {
+        let src = "\n// stats-analyzer: allow(ND002): timing is informative only\nlet t = 1;";
+        let f = lex(src);
+        assert_eq!(f.allows, vec![(2, "ND002".to_string())]);
+        assert!(f.is_allowed("ND002", 2));
+        assert!(f.is_allowed("ND002", 3));
+        assert!(!f.is_allowed("ND002", 4));
+        assert!(!f.is_allowed("ND001", 3));
+    }
+
+    #[test]
+    fn allow_directives_accept_lists() {
+        let f = lex("// stats-analyzer: allow(ND001, ND003)");
+        assert!(f.is_allowed("ND001", 1));
+        assert!(f.is_allowed("ND003", 1));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let f = lex(r#"let s = "a \" Instant::now b"; x"#);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("x")));
+    }
+}

@@ -1,0 +1,22 @@
+//! # stats-analyzer
+//!
+//! Two engines that defend the STATS workbench's core invariant — *all
+//! nondeterminism flows through the seeded per-role streams* — from both
+//! directions:
+//!
+//! * [`lint`]: a static pass over the workspace sources that flags
+//!   determinism hazards (ambient RNG, wall-clock reads, unordered
+//!   iteration, hidden mutable state, stream bypasses) with rustc-style
+//!   diagnostics and allow-list comments.
+//! * [`model`]: a protocol model checker that re-executes the speculation
+//!   protocol of §II-B through the public [`stats_core`] API and asserts,
+//!   on small inputs, that decisions are independent of worker completion
+//!   order, that the threaded runtime agrees with the semantic layer, and
+//!   that replica validation is order-invariant and pure.
+//!
+//! Both ship behind one CLI: `cargo run -p stats-analyzer -- lint|check`.
+
+pub mod diag;
+pub mod lex;
+pub mod lint;
+pub mod model;

@@ -1,0 +1,457 @@
+//! Determinism and speculation-safety lint rules.
+//!
+//! STATS's central contract is that *all* nondeterminism flows through the
+//! per-role random streams ([`stats_core::rng::StreamRole`]): that is what
+//! makes the simulated and threaded runtimes take identical commit/abort
+//! decisions, and what makes every figure reproducible from a master seed.
+//! These rules flag the ways that contract gets broken in practice:
+//!
+//! | rule  | finds |
+//! |-------|-------|
+//! | ND001 | ambient randomness (`thread_rng`, `from_entropy`, `OsRng`) |
+//! | ND002 | wall-clock reads (`Instant::now`, `SystemTime::now`) |
+//! | ND003 | unordered iteration sources (`HashMap`, `HashSet`) |
+//! | ND004 | hidden mutable state (`static mut`, `thread_local!`, cells) |
+//! | ND005 | RNG streams built inside `update`/`states_match` bodies |
+//!
+//! A finding is suppressed by a comment on the same or the preceding
+//! line: `// stats-analyzer: allow(ND002): reason`.
+
+use crate::diag::{display_path, Diagnostic};
+use crate::lex::{lex, LexedFile, Tok, TokKind};
+use std::path::{Path, PathBuf};
+
+/// A rule match before it is joined with file context.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Underline length in characters.
+    pub len: usize,
+    /// Specific message for this match.
+    pub message: String,
+}
+
+impl RawFinding {
+    fn at(tok: &Tok, len: usize, message: String) -> Self {
+        RawFinding {
+            line: tok.line,
+            col: tok.col,
+            len,
+            message,
+        }
+    }
+}
+
+/// One lint rule: identity, documentation, and a checker over a lexed
+/// file.
+pub struct Rule {
+    /// Stable identifier (`ND001`…).
+    pub id: &'static str,
+    /// What the rule protects.
+    pub summary: &'static str,
+    /// Suggested fix, rendered as the diagnostic's `help:` line.
+    pub hint: &'static str,
+    check: fn(&LexedFile) -> Vec<RawFinding>,
+}
+
+/// The registry of all rules, in id order.
+pub fn registry() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "ND001",
+            summary: "ambient randomness outside the per-role STATS streams",
+            hint: "draw from the StatsRng passed to the update; ambient entropy makes \
+                   commit/abort decisions schedule-dependent",
+            check: check_ambient_randomness,
+        },
+        Rule {
+            id: "ND002",
+            summary: "wall-clock time read",
+            hint: "derive timing from the simulated clock (stats-platform cycles); \
+                   wall-clock reads differ across runs and runtimes",
+            check: check_wall_clock,
+        },
+        Rule {
+            id: "ND003",
+            summary: "unordered iteration source",
+            hint: "use BTreeMap/BTreeSet (or sort before iterating); HashMap/HashSet \
+                   iteration order varies per process and can leak into decisions, \
+                   float accumulation order, and reports",
+            check: check_unordered_iteration,
+        },
+        Rule {
+            id: "ND004",
+            summary: "hidden mutable state bypassing the State snapshot",
+            hint: "move the data into the workload's State type; state outside it is \
+                   invisible to snapshot/restore and survives aborts",
+            check: check_hidden_state,
+        },
+        Rule {
+            id: "ND005",
+            summary: "RNG stream constructed inside update/states_match",
+            hint: "use the StatsRng argument; a locally seeded stream repeats draws \
+                   across replicas and breaks decision schedule-independence",
+            check: check_stream_bypass,
+        },
+    ]
+}
+
+fn check_ambient_randomness(file: &LexedFile) -> Vec<RawFinding> {
+    const BAD: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+    file.tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && BAD.contains(&t.text.as_str()))
+        .map(|t| {
+            RawFinding::at(
+                t,
+                t.text.chars().count(),
+                format!("`{}` draws entropy outside the seeded streams", t.text),
+            )
+        })
+        .collect()
+}
+
+fn check_wall_clock(file: &LexedFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            let path_now = toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|a| a.is_ident("now"));
+            if path_now {
+                out.push(RawFinding::at(
+                    t,
+                    t.text.chars().count() + "::now".len(),
+                    format!("`{}::now` reads the wall clock", t.text),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn check_unordered_iteration(file: &LexedFile) -> Vec<RawFinding> {
+    file.tokens
+        .iter()
+        .filter(|t| t.is_ident("HashMap") || t.is_ident("HashSet"))
+        .map(|t| {
+            RawFinding::at(
+                t,
+                t.text.chars().count(),
+                format!("`{}` iterates in a per-process pseudo-random order", t.text),
+            )
+        })
+        .collect()
+}
+
+fn check_hidden_state(file: &LexedFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("static") && toks.get(i + 1).is_some_and(|a| a.is_ident("mut")) {
+            out.push(RawFinding::at(
+                t,
+                "static mut".len(),
+                "`static mut` is process-global mutable state".to_string(),
+            ));
+        }
+        if t.is_ident("thread_local") && toks.get(i + 1).is_some_and(|a| a.is_punct('!')) {
+            out.push(RawFinding::at(
+                t,
+                "thread_local!".len(),
+                "`thread_local!` state differs between the simulated and threaded runtimes"
+                    .to_string(),
+            ));
+        }
+        if (t.is_ident("Cell") || t.is_ident("RefCell") || t.is_ident("UnsafeCell"))
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('<'))
+        {
+            out.push(RawFinding::at(
+                t,
+                t.text.chars().count(),
+                format!("`{}` allows mutation invisible to state snapshots", t.text),
+            ));
+        }
+    }
+    out
+}
+
+/// The protocol entry points whose bodies must draw only from the passed
+/// stream.
+const PROTOCOL_FNS: &[&str] = &["update", "states_match"];
+
+fn check_stream_bypass(file: &LexedFile) -> Vec<RawFinding> {
+    const BAD_CALLS: &[&str] = &["from_seed_value", "seed_from_u64", "from_seed"];
+    const BAD_TYPES: &[&str] = &["StdRng", "SmallRng"];
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    // Track (fn-name, depth-at-entry); the body runs while depth > entry.
+    let mut depth = 0usize;
+    let mut stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if t.text == "fn" => {
+                if let Some(name) = toks.get(i + 1) {
+                    if name.kind == TokKind::Ident {
+                        pending_fn = Some(name.text.clone());
+                    }
+                }
+            }
+            TokKind::Punct if t.text == "{" => {
+                if let Some(name) = pending_fn.take() {
+                    stack.push((name, depth));
+                }
+                depth += 1;
+            }
+            TokKind::Punct if t.text == ";" => {
+                // `fn f(...);` in a trait: declaration only, no body.
+                pending_fn = None;
+            }
+            TokKind::Punct if t.text == "}" => {
+                depth = depth.saturating_sub(1);
+                if stack.last().is_some_and(|(_, d)| *d == depth) {
+                    stack.pop();
+                }
+            }
+            _ => {}
+        }
+        let in_protocol_fn = stack
+            .iter()
+            .any(|(name, _)| PROTOCOL_FNS.contains(&name.as_str()));
+        if !in_protocol_fn || t.kind != TokKind::Ident {
+            continue;
+        }
+        if BAD_CALLS.contains(&t.text.as_str()) {
+            out.push(RawFinding::at(
+                t,
+                t.text.chars().count(),
+                format!(
+                    "`{}` seeds a fresh stream inside a protocol function",
+                    t.text
+                ),
+            ));
+        }
+        if BAD_TYPES.contains(&t.text.as_str()) {
+            out.push(RawFinding::at(
+                t,
+                t.text.chars().count(),
+                format!("`{}` constructed inside a protocol function", t.text),
+            ));
+        }
+        // `StatsRng::derive` inside update re-derives a role stream from
+        // the master seed instead of consuming the caller's stream.
+        if t.text == "derive"
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("StatsRng")
+        {
+            out.push(RawFinding {
+                line: toks[i - 3].line,
+                col: toks[i - 3].col,
+                len: "StatsRng::derive".len(),
+                message: "`StatsRng::derive` inside a protocol function re-derives a \
+                          role stream instead of using the caller's"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Lint one file's source text. `name` is used in diagnostics.
+pub fn lint_source(name: &str, source: &str) -> Vec<Diagnostic> {
+    let file = lex(source);
+    let mut out = Vec::new();
+    for rule in registry() {
+        for f in (rule.check)(&file) {
+            if file.is_allowed(rule.id, f.line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: rule.id,
+                message: f.message,
+                file: name.to_string(),
+                line: f.line,
+                col: f.col,
+                len: f.len,
+                snippet: file.line(f.line).to_string(),
+                hint: rule.hint,
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Lint one file from disk.
+pub fn lint_file(path: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let source = std::fs::read_to_string(path)?;
+    Ok(lint_source(&display_path(path), &source))
+}
+
+/// Recursively lint every `.rs` file under each root, in sorted path
+/// order. Directories named `target` are skipped.
+pub fn lint_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for root in roots {
+        collect_rs_files(root, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    let mut out = Vec::new();
+    for f in &files {
+        out.extend(lint_file(f)?);
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    if path.file_name().is_some_and(|n| n == "target") {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(path)? {
+        collect_rs_files(&entry?.path(), out)?;
+    }
+    Ok(())
+}
+
+/// The production source trees linted by default: every workspace crate
+/// except the analyzer itself (whose test fixtures contain seeded
+/// violations on purpose).
+pub fn default_roots(repo_root: &Path) -> Vec<PathBuf> {
+    let crates = repo_root.join("crates");
+    let mut roots = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() && p.file_name().is_some_and(|n| n != "analyzer") {
+                roots.push(p);
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        lint_source("test.rs", src)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_thread_rng() {
+        assert_eq!(rules_hit("let mut r = rand::thread_rng();"), ["ND001"]);
+    }
+
+    #[test]
+    fn flags_wall_clock_paths_only() {
+        assert_eq!(rules_hit("let t = Instant::now();"), ["ND002"]);
+        assert_eq!(rules_hit("let t = SystemTime::now();"), ["ND002"]);
+        // `Instant` alone (e.g. in a type) is not a read.
+        assert_eq!(rules_hit("fn f(t: Instant) {}"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn flags_unordered_collections() {
+        assert_eq!(
+            rules_hit("use std::collections::{HashMap, HashSet};"),
+            ["ND003", "ND003"]
+        );
+    }
+
+    #[test]
+    fn flags_hidden_state() {
+        assert_eq!(rules_hit("static mut COUNTER: u64 = 0;"), ["ND004"]);
+        assert_eq!(rules_hit("thread_local! { static X: u8 = 0; }"), ["ND004"]);
+        assert_eq!(rules_hit("struct S { c: RefCell<u64> }"), ["ND004"]);
+        // A function named static_mut or the ident Cell without generics
+        // is not flagged.
+        assert_eq!(rules_hit("let c = Cell::new(1);"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn stream_bypass_is_scoped_to_protocol_fns() {
+        let in_update = "impl S { fn update(&self) { let r = StatsRng::from_seed_value(1); } }";
+        assert_eq!(rules_hit(in_update), ["ND005"]);
+        let in_match = "fn states_match(a: &S) -> bool { let r = X::seed_from_u64(2); true }";
+        assert_eq!(rules_hit(in_match), ["ND005"]);
+        // The same construction elsewhere is legitimate (input generation,
+        // oracles, tests).
+        let in_gen = "fn generate_inputs(&self) { let r = StatsRng::from_seed_value(1); }";
+        assert_eq!(rules_hit(in_gen), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn stream_bypass_sees_nested_fns_end() {
+        // A nested helper closes before the outer body ends; scoping must
+        // not leak past the update body's closing brace.
+        let src = "fn update() { helper(); }\nfn later() { let r = Q::from_seed(3); }";
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn derive_inside_update_is_flagged() {
+        let src = "fn update() { let r = StatsRng::derive(seed, role); }";
+        assert_eq!(rules_hit(src), ["ND005"]);
+    }
+
+    #[test]
+    fn trait_declarations_do_not_open_bodies() {
+        // `fn update(...);` in a trait has no body; a later free fn body
+        // must not be attributed to it.
+        let src = "trait T { fn update(&self); }\nfn elsewhere() { let r = X::from_seed(1); }";
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "// stats-analyzer: allow(ND002): measurement only\nlet t = Instant::now();";
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+        // The wrong rule id does not suppress.
+        let wrong = "// stats-analyzer: allow(ND001)\nlet t = Instant::now();";
+        assert_eq!(rules_hit(wrong), ["ND002"]);
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// thread_rng HashMap Instant::now\nlet s = \"static mut OsRng\";";
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn diagnostics_carry_position_and_snippet() {
+        let d = &lint_source("x.rs", "let a = 1;\nlet t = Instant::now();")[0];
+        assert_eq!(d.line, 2);
+        assert_eq!(d.col, 9);
+        assert_eq!(d.snippet, "let t = Instant::now();");
+        assert_eq!(d.rule, "ND002");
+        assert!(d.to_string().contains("--> x.rs:2:9"));
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_sorted() {
+        let ids: Vec<_> = registry().iter().map(|r| r.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(ids, sorted);
+    }
+}

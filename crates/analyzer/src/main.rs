@@ -1,0 +1,157 @@
+//! `stats-analyzer` — determinism lints and protocol model checking.
+//!
+//! ```text
+//! stats-analyzer lint  [paths...]        # default: every crate except this one
+//! stats-analyzer check [benchmarks...]   # default: swaptions facetrack streamclassifier
+//! stats-analyzer rules                   # list the lint rules
+//! ```
+//!
+//! `lint` exits 1 when it finds anything; `check` exits 1 when a protocol
+//! property fails. Both are wired into CI.
+
+use stats_analyzer::{lint, model};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("rules") => cmd_rules(),
+        _ => {
+            eprintln!(
+                "usage: stats-analyzer <command>\n\
+                 \n\
+                 commands:\n\
+                 \x20 lint  [paths...]       lint .rs files for determinism hazards\n\
+                 \x20                        (default: every workspace crate except the analyzer)\n\
+                 \x20 check [benchmarks...]  model-check the speculation protocol at small scale\n\
+                 \x20                        (default: swaptions facetrack streamclassifier;\n\
+                 \x20                        options: --inputs N, --chunks N, --seed N)\n\
+                 \x20 rules                  list the lint rules"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The repository root: two levels up from this crate's manifest, with a
+/// cwd fallback so the binary also works when relocated.
+fn repo_root() -> PathBuf {
+    let from_manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from);
+    match from_manifest {
+        Some(root) if root.join("crates").is_dir() => root,
+        _ => std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        lint::default_roots(&repo_root())
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    if roots.is_empty() {
+        eprintln!("stats-analyzer: no lint roots found (run from the repository)");
+        return ExitCode::from(2);
+    }
+    let diagnostics = match lint::lint_paths(&roots) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("stats-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diagnostics {
+        println!("{d}\n");
+    }
+    if diagnostics.is_empty() {
+        println!("stats-analyzer: no determinism hazards found");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "stats-analyzer: {} finding(s); suppress intentional ones with \
+             `// stats-analyzer: allow(ND00X): reason`",
+            diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let (default_n, default_cfg) = model::default_check_config();
+    let mut n = default_n;
+    let mut cfg = default_cfg;
+    let mut seed = 7u64;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut numeric = |what: &str| -> Option<u64> {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("stats-analyzer: {what} needs a numeric value");
+                    None
+                }
+            }
+        };
+        match a.as_str() {
+            "--inputs" => match numeric("--inputs") {
+                Some(v) => n = v as usize,
+                None => return ExitCode::from(2),
+            },
+            "--chunks" => match numeric("--chunks") {
+                Some(v) => cfg.chunks = v as usize,
+                None => return ExitCode::from(2),
+            },
+            "--seed" => match numeric("--seed") {
+                Some(v) => seed = v,
+                None => return ExitCode::from(2),
+            },
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = ["swaptions", "facetrack", "streamclassifier"]
+            .map(String::from)
+            .to_vec();
+    }
+    if let Err(e) = cfg.validate(n) {
+        eprintln!("stats-analyzer: invalid check configuration: {e}");
+        return ExitCode::from(2);
+    }
+    for name in &names {
+        if !stats_workloads::EXTENDED_BENCHMARK_NAMES.contains(&name.as_str()) {
+            eprintln!(
+                "stats-analyzer: unknown benchmark {name:?} (known: {})",
+                stats_workloads::EXTENDED_BENCHMARK_NAMES.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let mut all_passed = true;
+    for name in &names {
+        let report = model::check_benchmark(name, n, cfg, seed);
+        println!("{report}\n");
+        all_passed &= report.passed();
+    }
+    if all_passed {
+        println!("stats-analyzer: all protocol properties hold");
+        ExitCode::SUCCESS
+    } else {
+        println!("stats-analyzer: protocol property violated");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_rules() -> ExitCode {
+    for rule in lint::registry() {
+        println!("{}  {}", rule.id, rule.summary);
+        println!("       fix: {}", rule.hint);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,565 @@
+//! Protocol model checker for the STATS speculation protocol (§II-B).
+//!
+//! The semantic layer ([`stats_core::speculation`]) and the threaded
+//! runtime both claim the same property: for a fixed `(workload, inputs,
+//! config, master_seed)`, every commit/abort decision and every output is
+//! determined — no matter how the runtime schedules the work. This module
+//! *checks* that claim on small inputs by re-executing the protocol
+//! through the public API only (`fresh_state`/`update`/`states_match` and
+//! the per-role streams) and exploring the schedules the runtimes never
+//! take:
+//!
+//! * **replay-decisions** — an independent serial re-execution of the
+//!   protocol must reproduce the semantic layer's outputs and decisions
+//!   exactly (sequential commit order, abort-rerun state equivalence);
+//! * **schedule-independence** — the threaded runtime must agree with the
+//!   semantic layer (the paper's determinism claim across runtimes);
+//! * **completion-order** — computing the chunk workers in *every*
+//!   permutation of completion order must yield identical worker results
+//!   and identical coordinated outcomes (catches hidden state shared
+//!   between updates);
+//! * **validation-invariance** — at every chunk boundary, the
+//!   commit/abort verdict must not depend on the order the original
+//!   states are compared in, and `states_match` must be pure.
+
+use stats_core::rng::{StatsRng, StreamRole};
+use stats_core::runtime::threaded::run_threaded;
+use stats_core::{
+    plan_balanced, run_speculative, ChunkDecision, ChunkPlan, Config, StateDependence,
+};
+use stats_workloads::Workload;
+use std::fmt;
+use std::ops::Range;
+
+/// Outcome of one model-checker property.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Property name (`replay-decisions`, …).
+    pub name: &'static str,
+    /// Whether the property held.
+    pub passed: bool,
+    /// What was verified, or how it failed.
+    pub detail: String,
+}
+
+/// All properties checked for one `(workload, inputs, config, seed)`.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Benchmark name.
+    pub workload: String,
+    /// Input-stream length checked.
+    pub inputs: usize,
+    /// Configuration checked.
+    pub config: Config,
+    /// Master seed checked.
+    pub seed: u64,
+    /// Per-property results.
+    pub results: Vec<CheckResult>,
+}
+
+impl CheckReport {
+    /// Whether every property held.
+    pub fn passed(&self) -> bool {
+        self.results.iter().all(|r| r.passed)
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "model check: {} (n={}, chunks={}, lookback={}, extra_states={}, seed={})",
+            self.workload,
+            self.inputs,
+            self.config.chunks,
+            self.config.lookback,
+            self.config.extra_states,
+            self.seed
+        )?;
+        for (i, r) in self.results.iter().enumerate() {
+            let status = if r.passed { "PASS" } else { "FAIL" };
+            let sep = if i + 1 == self.results.len() {
+                ""
+            } else {
+                "\n"
+            };
+            write!(f, "  {status} {:<22} {}{sep}", r.name, r.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// One chunk worker's product, computed through the public API exactly as
+/// the threaded runtime's worker phase does: alternative producer over the
+/// `k` preceding inputs, then the speculative run of the chunk.
+struct WorkerOut<S, O> {
+    /// The speculative (alt-producer) state validation compares; `None`
+    /// for chunk 0, which starts from the true fresh state.
+    spec_state: Option<S>,
+    outputs: Vec<O>,
+    /// State snapshot before the last `k` inputs (replica replay point).
+    snapshot: S,
+    final_state: S,
+}
+
+impl<S: Clone, O: Clone> Clone for WorkerOut<S, O> {
+    fn clone(&self) -> Self {
+        WorkerOut {
+            spec_state: self.spec_state.clone(),
+            outputs: self.outputs.clone(),
+            snapshot: self.snapshot.clone(),
+            final_state: self.final_state.clone(),
+        }
+    }
+}
+
+impl<S: PartialEq, O: PartialEq> PartialEq for WorkerOut<S, O> {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec_state == other.spec_state
+            && self.outputs == other.outputs
+            && self.snapshot == other.snapshot
+            && self.final_state == other.final_state
+    }
+}
+
+/// Run `inputs[range]` serially from `start`, snapshotting the state
+/// before the last `k` inputs — the public-API mirror of the runtimes'
+/// segment execution.
+fn run_segment_public<W: StateDependence>(
+    workload: &W,
+    start: W::State,
+    inputs: &[W::Input],
+    range: Range<usize>,
+    k: usize,
+    rng: &mut StatsRng,
+) -> (Vec<W::Output>, W::State, W::State) {
+    let split = range.len().saturating_sub(k);
+    let mut state = start;
+    let mut snapshot = state.clone();
+    let mut outputs = Vec::with_capacity(range.len());
+    for (i, idx) in range.enumerate() {
+        if i == split {
+            snapshot = state.clone();
+        }
+        let (out, _) = workload.update(&mut state, &inputs[idx], rng);
+        outputs.push(out);
+    }
+    (outputs, snapshot, state)
+}
+
+fn run_worker<W: StateDependence>(
+    workload: &W,
+    inputs: &[W::Input],
+    plan: &ChunkPlan,
+    c: usize,
+    k: usize,
+    seed: u64,
+) -> WorkerOut<W::State, W::Output> {
+    let range = plan.chunk(c);
+    let (spec_state, start) = if c == 0 {
+        (None, workload.fresh_state())
+    } else {
+        let mut rng = StatsRng::derive(seed, StreamRole::AltProducer(c));
+        let mut st = workload.fresh_state();
+        for input in &inputs[range.start - k..range.start] {
+            let _ = workload.update(&mut st, input, &mut rng);
+        }
+        (Some(st.clone()), st)
+    };
+    let mut rng = StatsRng::derive(seed, StreamRole::Chunk(c));
+    let (outputs, snapshot, final_state) =
+        run_segment_public(workload, start, inputs, range, k, &mut rng);
+    WorkerOut {
+        spec_state,
+        outputs,
+        snapshot,
+        final_state,
+    }
+}
+
+/// The coordinator's view of one chunk boundary: the speculative state and
+/// the original states it was compared against (producer's final state
+/// first, then the replicas in stream order).
+struct Boundary<S> {
+    spec: S,
+    originals: Vec<S>,
+}
+
+/// A full coordinated run assembled from worker results.
+struct CoordRun<S, O> {
+    outputs: Vec<O>,
+    decisions: Vec<ChunkDecision>,
+    boundaries: Vec<Boundary<S>>,
+}
+
+/// Run the sequential-order commit protocol over precomputed worker
+/// results, exactly as both runtimes' coordinators do.
+fn coordinate<W: StateDependence>(
+    workload: &W,
+    inputs: &[W::Input],
+    plan: &ChunkPlan,
+    config: Config,
+    seed: u64,
+    workers: Vec<WorkerOut<W::State, W::Output>>,
+) -> CoordRun<W::State, W::Output> {
+    let k = config.lookback;
+    let m = config.extra_states;
+    let mut outputs = Vec::with_capacity(inputs.len());
+    let mut decisions = Vec::with_capacity(workers.len());
+    let mut boundaries = Vec::new();
+    let mut prev_final = workload.fresh_state();
+    let mut prev_snapshot = workload.fresh_state();
+    for (c, wk) in workers.into_iter().enumerate() {
+        if c == 0 {
+            decisions.push(ChunkDecision::First);
+            outputs.extend(wk.outputs);
+            prev_final = wk.final_state;
+            prev_snapshot = wk.snapshot;
+            continue;
+        }
+        let spec = wk
+            .spec_state
+            .clone()
+            .expect("speculative chunk has an alt state");
+        // Original states: the producer's realized final state, then m
+        // replicas replaying its last k inputs from the snapshot with
+        // independent streams.
+        let prev_range = plan.chunk(c - 1);
+        let replay_start = prev_range.end.saturating_sub(k).max(prev_range.start);
+        let mut originals = vec![prev_final.clone()];
+        for j in 0..m {
+            let mut rng = StatsRng::derive(
+                seed,
+                StreamRole::OriginalState {
+                    chunk: c - 1,
+                    replica: j,
+                },
+            );
+            let mut st = prev_snapshot.clone();
+            for input in &inputs[replay_start..prev_range.end] {
+                let _ = workload.update(&mut st, input, &mut rng);
+            }
+            originals.push(st);
+        }
+        let matched = originals.iter().any(|o| workload.states_match(&spec, o));
+        boundaries.push(Boundary { spec, originals });
+        if matched {
+            decisions.push(ChunkDecision::Committed);
+            outputs.extend(wk.outputs);
+            prev_final = wk.final_state;
+            prev_snapshot = wk.snapshot;
+        } else {
+            decisions.push(ChunkDecision::Aborted);
+            let mut rng = StatsRng::derive(seed, StreamRole::Rerun(c));
+            let (out, snapshot, final_state) = run_segment_public(
+                workload,
+                prev_final.clone(),
+                inputs,
+                plan.chunk(c),
+                k,
+                &mut rng,
+            );
+            outputs.extend(out);
+            prev_final = final_state;
+            prev_snapshot = snapshot;
+        }
+    }
+    CoordRun {
+        outputs,
+        decisions,
+        boundaries,
+    }
+}
+
+/// All permutations of `0..n` (Heap's algorithm), capped at `cap`.
+fn permutations(n: usize, cap: usize) -> Vec<Vec<usize>> {
+    fn heap(k: usize, arr: &mut Vec<usize>, out: &mut Vec<Vec<usize>>, cap: usize) {
+        if out.len() >= cap {
+            return;
+        }
+        if k <= 1 {
+            out.push(arr.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, arr, out, cap);
+            if k.is_multiple_of(2) {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+    let mut arr: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    heap(n, &mut arr, &mut out, cap);
+    out
+}
+
+/// Check every protocol property for one workload at one operating point.
+///
+/// Generic over any [`Workload`] whose state and output support equality —
+/// true of every benchmark in the suite (use [`check_benchmark`] for
+/// dispatch by name).
+pub fn check_workload<W>(workload: &W, n: usize, config: Config, seed: u64) -> CheckReport
+where
+    W: Workload,
+    W::State: PartialEq,
+    W::Output: PartialEq + Clone,
+{
+    config
+        .validate(n)
+        .expect("invalid configuration for the check's input length");
+    let inputs = workload.generate_inputs(n, seed);
+    let plan = plan_balanced(n, config.chunks);
+    let k = config.lookback;
+    let chunks = plan.len();
+    let mut results = Vec::new();
+
+    // Reference: workers in index order, then the sequential coordinator.
+    let ref_workers: Vec<_> = (0..chunks)
+        .map(|c| run_worker(workload, &inputs, &plan, c, k, seed))
+        .collect();
+    let reference = coordinate(workload, &inputs, &plan, config, seed, ref_workers.clone());
+    let semantic = run_speculative(workload, &inputs, config, seed);
+    let semantic_decisions: Vec<_> = semantic.chunks.iter().map(|c| c.decision).collect();
+    let aborts = semantic.aborts();
+
+    // 1. replay-decisions: the independent public-API re-execution agrees
+    // with the semantic layer on every output and decision.
+    let replay_ok =
+        reference.outputs == semantic.outputs && reference.decisions == semantic_decisions;
+    results.push(CheckResult {
+        name: "replay-decisions",
+        passed: replay_ok,
+        detail: if replay_ok {
+            format!("serial replay reproduces {chunks} chunks, {aborts} abort(s), {n} outputs")
+        } else {
+            format!(
+                "replay diverged: decisions {:?} vs {:?}, outputs equal: {}",
+                reference.decisions,
+                semantic_decisions,
+                reference.outputs == semantic.outputs
+            )
+        },
+    });
+
+    // 2. schedule-independence: the threaded runtime takes the same
+    // decisions and produces the same outputs as the semantic layer.
+    let threaded = run_threaded(workload, &inputs, config, seed);
+    let sched_ok = threaded.outputs == semantic.outputs && threaded.decisions == semantic_decisions;
+    results.push(CheckResult {
+        name: "schedule-independence",
+        passed: sched_ok,
+        detail: if sched_ok {
+            "threaded and simulated runtimes agree on all decisions and outputs".to_string()
+        } else {
+            format!(
+                "threaded diverged: decisions {:?} vs {:?}, outputs equal: {}",
+                threaded.decisions,
+                semantic_decisions,
+                threaded.outputs == semantic.outputs
+            )
+        },
+    });
+
+    // 3. completion-order: computing workers in any completion order must
+    // change nothing (workers share no state, only inputs and streams).
+    const PERM_CAP: usize = 24;
+    let perms = permutations(chunks, PERM_CAP);
+    let mut order_failure: Option<String> = None;
+    for order in &perms {
+        let mut slots: Vec<Option<WorkerOut<W::State, W::Output>>> =
+            (0..chunks).map(|_| None).collect();
+        for &c in order {
+            slots[c] = Some(run_worker(workload, &inputs, &plan, c, k, seed));
+        }
+        let workers: Vec<_> = slots
+            .into_iter()
+            .map(|s| s.expect("all chunks computed"))
+            .collect();
+        if workers != ref_workers {
+            order_failure = Some(format!(
+                "worker results changed when computed in order {order:?}"
+            ));
+            break;
+        }
+        let run = coordinate(workload, &inputs, &plan, config, seed, workers);
+        if run.outputs != reference.outputs || run.decisions != reference.decisions {
+            order_failure = Some(format!("coordinated outcome changed under order {order:?}"));
+            break;
+        }
+    }
+    results.push(CheckResult {
+        name: "completion-order",
+        passed: order_failure.is_none(),
+        detail: order_failure.unwrap_or_else(|| {
+            format!(
+                "{} completion order(s) of {chunks} workers yield identical outcomes",
+                perms.len()
+            )
+        }),
+    });
+
+    // 4. validation-invariance: at every boundary the verdict is the same
+    // whichever order the original states are compared in, and repeated
+    // `states_match` calls are stable (purity).
+    let mut validation_failure: Option<String> = None;
+    'boundaries: for (i, b) in reference.boundaries.iter().enumerate() {
+        let forward: Vec<bool> = b
+            .originals
+            .iter()
+            .map(|o| workload.states_match(&b.spec, o))
+            .collect();
+        for (j, o) in b.originals.iter().enumerate() {
+            if workload.states_match(&b.spec, o) != forward[j] {
+                validation_failure = Some(format!(
+                    "states_match is unstable at chunk {} original {j}",
+                    i + 1
+                ));
+                break 'boundaries;
+            }
+        }
+        let reversed_any = b
+            .originals
+            .iter()
+            .rev()
+            .any(|o| workload.states_match(&b.spec, o));
+        if reversed_any != forward.iter().any(|&m| m) {
+            validation_failure = Some(format!(
+                "verdict at chunk {} depends on comparison order",
+                i + 1
+            ));
+            break;
+        }
+    }
+    let boundaries_checked = reference.boundaries.len();
+    results.push(CheckResult {
+        name: "validation-invariance",
+        passed: validation_failure.is_none(),
+        detail: validation_failure.unwrap_or_else(|| {
+            format!("{boundaries_checked} boundary verdicts order-invariant, states_match pure")
+        }),
+    });
+
+    CheckReport {
+        workload: workload.name().to_string(),
+        inputs: n,
+        config,
+        seed,
+        results,
+    }
+}
+
+/// Run [`check_workload`] against a benchmark by suite name.
+///
+/// Dispatch is a concrete match (not [`stats_workloads::dispatch`])
+/// because the checks need `State: PartialEq` bounds the generic visitor
+/// cannot express.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of
+/// [`stats_workloads::EXTENDED_BENCHMARK_NAMES`].
+pub fn check_benchmark(name: &str, n: usize, config: Config, seed: u64) -> CheckReport {
+    match name {
+        "swaptions" => check_workload(
+            &stats_workloads::swaptions::Swaptions::paper(),
+            n,
+            config,
+            seed,
+        ),
+        "streamcluster" => check_workload(
+            &stats_workloads::streamcluster::StreamCluster::paper(),
+            n,
+            config,
+            seed,
+        ),
+        "streamclassifier" => check_workload(
+            &stats_workloads::streamclassifier::StreamClassifier::paper(),
+            n,
+            config,
+            seed,
+        ),
+        "bodytrack" => check_workload(
+            &stats_workloads::bodytrack::BodyTrack::paper(),
+            n,
+            config,
+            seed,
+        ),
+        "facetrack" => check_workload(
+            &stats_workloads::facetrack::FaceTrack::paper(),
+            n,
+            config,
+            seed,
+        ),
+        "facedet-and-track" => check_workload(
+            &stats_workloads::facedet_and_track::FaceDetAndTrack::paper(),
+            n,
+            config,
+            seed,
+        ),
+        "fluidanimate" => check_workload(
+            &stats_workloads::fluidanimate::FluidAnimate::paper(),
+            n,
+            config,
+            seed,
+        ),
+        other => panic!("unknown benchmark {other:?}; see EXTENDED_BENCHMARK_NAMES"),
+    }
+}
+
+/// The default operating point for `stats-analyzer check`: small enough
+/// to enumerate all 24 completion orders, big enough to speculate.
+pub fn default_check_config() -> (usize, Config) {
+    (32, Config::stats_only(4, 2, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutations_enumerate_and_cap() {
+        assert_eq!(permutations(3, 24).len(), 6);
+        assert_eq!(permutations(4, 24).len(), 24);
+        assert_eq!(permutations(5, 24).len(), 24);
+        let perms = permutations(3, 24);
+        let mut unique = perms.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn swaptions_passes_all_checks() {
+        let (n, cfg) = default_check_config();
+        let report = check_benchmark("swaptions", n, cfg, 7);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.results.len(), 4);
+    }
+
+    #[test]
+    fn report_renders_pass_lines() {
+        let (n, cfg) = default_check_config();
+        let report = check_benchmark("streamclassifier", n, cfg, 7);
+        let text = report.to_string();
+        assert!(text.contains("model check: streamclassifier"));
+        assert!(text.contains("replay-decisions"));
+        assert!(text.contains("schedule-independence"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        check_benchmark("blackscholes", 32, Config::stats_only(4, 2, 2), 1);
+    }
+
+    #[test]
+    fn negative_control_still_satisfies_protocol_invariants() {
+        // fluidanimate aborts everywhere (long memory), but the protocol
+        // invariants hold regardless of the commit rate.
+        let report = check_benchmark("fluidanimate", 32, Config::stats_only(4, 2, 1), 3);
+        assert!(report.passed(), "{report}");
+    }
+}

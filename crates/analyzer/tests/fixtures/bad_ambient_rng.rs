@@ -1,0 +1,14 @@
+//! Seeded violation: ambient entropy sources (ND001).
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn reseed() -> StdChaCha {
+    StdChaCha::from_entropy()
+}
+
+fn os_bytes(buf: &mut [u8]) {
+    OsRng.fill_bytes(buf);
+}

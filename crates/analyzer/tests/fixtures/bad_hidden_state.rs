@@ -1,0 +1,13 @@
+//! Seeded violation: mutable state outside the State type (ND004).
+
+use std::cell::RefCell;
+
+static mut CALLS: u64 = 0;
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<f64>> = RefCell::new(Vec::new());
+}
+
+struct Tracker {
+    cache: RefCell<Option<f64>>,
+}

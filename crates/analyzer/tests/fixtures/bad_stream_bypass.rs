@@ -1,0 +1,15 @@
+//! Seeded violation: RNG streams built inside protocol functions (ND005).
+
+impl StateDependence for Sneaky {
+    fn update(&self, state: &mut f64, input: &f64, rng: &mut StatsRng) -> (f64, UpdateCost) {
+        // Ignores the caller's stream: every replica redraws identically.
+        let mut own = StatsRng::from_seed_value(42);
+        *state += input + own.noise(0.1);
+        (*state, UpdateCost::with_work(1))
+    }
+
+    fn states_match(&self, a: &f64, b: &f64) -> bool {
+        let mut jitter = StatsRng::derive(0, StreamRole::Sequential);
+        (a - b).abs() < jitter.noise(0.01).abs()
+    }
+}

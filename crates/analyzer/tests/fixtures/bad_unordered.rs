@@ -1,0 +1,12 @@
+//! Seeded violation: unordered iteration sources (ND003).
+
+use std::collections::HashMap;
+
+fn tally(events: &[(u32, u64)]) -> Vec<(u32, u64)> {
+    let mut by_key: HashMap<u32, u64> = HashMap::new();
+    for (k, v) in events {
+        *by_key.entry(*k).or_default() += v;
+    }
+    // Iteration order varies per process: the output order leaks it.
+    by_key.into_iter().collect()
+}

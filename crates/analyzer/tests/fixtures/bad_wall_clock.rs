@@ -1,0 +1,10 @@
+//! Seeded violation: wall-clock reads (ND002).
+
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u128 {
+    let t = Instant::now();
+    let epoch = SystemTime::now();
+    let _ = epoch;
+    t.elapsed().as_nanos()
+}

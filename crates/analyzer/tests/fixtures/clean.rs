@@ -1,0 +1,43 @@
+//! A determinism-safe workload skeleton: every construct here is fine.
+
+use std::collections::BTreeMap;
+
+struct Ema {
+    decay: f64,
+}
+
+impl StateDependence for Ema {
+    fn update(&self, state: &mut f64, input: &f64, rng: &mut StatsRng) -> (f64, UpdateCost) {
+        // Draws only from the caller's role stream.
+        *state = self.decay * *state + (1.0 - self.decay) * (*input + rng.noise(0.001));
+        (*state, UpdateCost::with_work(100))
+    }
+
+    fn states_match(&self, a: &f64, b: &f64) -> bool {
+        (a - b).abs() < 0.05
+    }
+}
+
+fn histogram(values: &[u32]) -> BTreeMap<u32, u64> {
+    let mut out = BTreeMap::new();
+    for v in values {
+        *out.entry(*v).or_insert(0u64) += 1;
+    }
+    out
+}
+
+// Mentions in comments and strings are not findings: thread_rng,
+// Instant::now, HashMap, static mut.
+const DOC: &str = "HashMap iteration order is why we use BTreeMap";
+
+fn measured() -> u64 {
+    // stats-analyzer: allow(ND002): measurement outside the model
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+// A seeded stream outside update/states_match is legitimate.
+fn generate_inputs(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StatsRng::from_seed_value(seed);
+    (0..n).map(|_| rng.noise(1.0)).collect()
+}

@@ -1,0 +1,116 @@
+//! Fixture-based lint regression tests: every seeded violation in
+//! `tests/fixtures/bad_*.rs` is flagged, the clean fixture and the real
+//! workspace sources produce zero findings.
+
+use stats_analyzer::diag::Diagnostic;
+use stats_analyzer::lint::{default_roots, lint_file, lint_paths};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    lint_file(&path).expect("fixture readable")
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn ambient_rng_fixture_flags_every_source() {
+    let diags = fixture("bad_ambient_rng.rs");
+    assert_eq!(rules(&diags), ["ND001", "ND001", "ND001"]);
+    let text = diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("thread_rng"));
+    assert!(text.contains("from_entropy"));
+    assert!(text.contains("OsRng"));
+}
+
+#[test]
+fn wall_clock_fixture_flags_both_clocks_not_the_import() {
+    let diags = fixture("bad_wall_clock.rs");
+    assert_eq!(rules(&diags), ["ND002", "ND002"]);
+    // The `use std::time::{Instant, SystemTime}` line must not fire.
+    assert!(diags.iter().all(|d| d.line != 3), "{diags:?}");
+}
+
+#[test]
+fn unordered_fixture_flags_every_hashmap_mention() {
+    let diags = fixture("bad_unordered.rs");
+    assert_eq!(rules(&diags), ["ND003", "ND003", "ND003"]);
+}
+
+#[test]
+fn hidden_state_fixture_flags_all_forms() {
+    let diags = fixture("bad_hidden_state.rs");
+    assert_eq!(rules(&diags), ["ND004", "ND004", "ND004", "ND004"]);
+    let text = diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("static mut"));
+    assert!(text.contains("thread_local"));
+    assert!(text.contains("RefCell"));
+}
+
+#[test]
+fn stream_bypass_fixture_flags_update_and_states_match() {
+    let diags = fixture("bad_stream_bypass.rs");
+    assert_eq!(rules(&diags), ["ND005", "ND005"]);
+    // One in update (from_seed_value), one in states_match (derive).
+    let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+    assert!(lines[0] < lines[1]);
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let diags = fixture("clean.rs");
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:#?}");
+}
+
+#[test]
+fn diagnostics_point_into_the_fixture() {
+    let d = &fixture("bad_wall_clock.rs")[0];
+    assert!(d.file.ends_with("bad_wall_clock.rs"));
+    assert!(d.snippet.contains("Instant::now"));
+    assert!(d.col > 1);
+    let rendered = d.to_string();
+    assert!(rendered.contains("warning[ND002]"));
+    assert!(rendered.contains("= help:"));
+}
+
+#[test]
+fn shipped_workspace_sources_lint_clean() {
+    // The acceptance bar: zero findings on every production crate
+    // (crates/* except the analyzer, whose fixtures are bad on purpose).
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .expect("repository root");
+    let roots = default_roots(&repo_root);
+    assert!(
+        roots.iter().any(|r| r.ends_with("crates/core")),
+        "expected crates/core among lint roots, got {roots:?}"
+    );
+    assert!(
+        roots.iter().any(|r| r.ends_with("crates/workloads")),
+        "expected crates/workloads among lint roots, got {roots:?}"
+    );
+    let diags = lint_paths(&roots).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "shipped sources must lint clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n\n")
+    );
+}

@@ -1,0 +1,74 @@
+//! Model-checker regression tests at tiny scale: the protocol properties
+//! must hold for the paper's driving example (`swaptions`), a
+//! particle-filter workload (`facetrack`), and enough further benchmarks
+//! to cover the schedule-independence acceptance bar (≥3).
+
+use stats_analyzer::model::{check_benchmark, default_check_config};
+use stats_core::Config;
+
+#[test]
+fn swaptions_protocol_properties_hold() {
+    let (n, cfg) = default_check_config();
+    for seed in [1, 7, 23] {
+        let report = check_benchmark("swaptions", n, cfg, seed);
+        assert!(report.passed(), "seed {seed}:\n{report}");
+    }
+}
+
+#[test]
+fn facetrack_protocol_properties_hold() {
+    // The particle-filter regression: big cloud states, tolerance-based
+    // matching, seed-dependent re-detection — the hardest case for
+    // decision determinism.
+    let (n, cfg) = default_check_config();
+    for seed in [1, 7] {
+        let report = check_benchmark("facetrack", n, cfg, seed);
+        assert!(report.passed(), "seed {seed}:\n{report}");
+    }
+}
+
+#[test]
+fn schedule_independence_holds_across_the_suite() {
+    // Acceptance: decision schedule-independence for at least three
+    // benchmarks at small scale.
+    let (n, cfg) = default_check_config();
+    for name in [
+        "swaptions",
+        "facetrack",
+        "streamclassifier",
+        "streamcluster",
+    ] {
+        let report = check_benchmark(name, n, cfg, 7);
+        let sched = report
+            .results
+            .iter()
+            .find(|r| r.name == "schedule-independence")
+            .expect("property present");
+        assert!(sched.passed, "{name}:\n{report}");
+        assert!(report.passed(), "{name}:\n{report}");
+    }
+}
+
+#[test]
+fn properties_hold_under_aborts() {
+    // fluidanimate (the excluded negative control) aborts everywhere;
+    // the protocol invariants must survive the rerun paths too.
+    let report = check_benchmark("fluidanimate", 32, Config::stats_only(4, 2, 1), 3);
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn report_counts_every_property() {
+    let (n, cfg) = default_check_config();
+    let report = check_benchmark("swaptions", n, cfg, 7);
+    let names: Vec<_> = report.results.iter().map(|r| r.name).collect();
+    assert_eq!(
+        names,
+        [
+            "replay-decisions",
+            "schedule-independence",
+            "completion-order",
+            "validation-invariance"
+        ]
+    );
+}

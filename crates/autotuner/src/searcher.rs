@@ -159,7 +159,11 @@ impl Searcher for Evolutionary {
         // Uniform crossover.
         let mut child = Config {
             chunks: if self.rng.gen() { a.chunks } else { b.chunks },
-            lookback: if self.rng.gen() { a.lookback } else { b.lookback },
+            lookback: if self.rng.gen() {
+                a.lookback
+            } else {
+                b.lookback
+            },
             extra_states: if self.rng.gen() {
                 a.extra_states
             } else {
@@ -285,8 +289,7 @@ impl Ensemble {
             self.best_seen = cost;
             self.scores[self.last_technique] += 1.0;
         } else {
-            self.scores[self.last_technique] =
-                (self.scores[self.last_technique] * 0.95).max(0.2);
+            self.scores[self.last_technique] = (self.scores[self.last_technique] * 0.95).max(0.2);
         }
     }
 }
@@ -335,7 +338,8 @@ mod tests {
 
     fn cost(cfg: &Config) -> f64 {
         // Sweet spot at chunks=28, lookback=8, extras=1.
-        (cfg.chunks as f64 - 28.0).abs() + (cfg.lookback as f64 - 8.0).abs() * 0.5
+        (cfg.chunks as f64 - 28.0).abs()
+            + (cfg.lookback as f64 - 8.0).abs() * 0.5
             + (cfg.extra_states as f64 - 1.0).abs()
     }
 

@@ -82,7 +82,11 @@ impl Tuner {
     /// is better), feed back, repeat until the budget is exhausted. Each
     /// distinct configuration is evaluated at most once (results are
     /// memoized, like OpenTuner's result database).
-    pub fn tune(&self, strategy: Strategy, mut objective: impl FnMut(Config) -> f64) -> TuningReport {
+    pub fn tune(
+        &self,
+        strategy: Strategy,
+        mut objective: impl FnMut(Config) -> f64,
+    ) -> TuningReport {
         let mut history: Vec<(Config, f64)> = Vec::new();
         let mut searcher: Box<dyn Searcher> = match strategy {
             Strategy::Random => Box::new(RandomSearch::new(self.seed)),
@@ -132,7 +136,8 @@ mod tests {
     }
 
     fn objective(cfg: Config) -> f64 {
-        (cfg.chunks as f64 - 28.0).abs() + cfg.lookback as f64 * 0.1
+        (cfg.chunks as f64 - 28.0).abs()
+            + cfg.lookback as f64 * 0.1
             + if cfg.combine_inner_tlp { 0.0 } else { 0.5 }
     }
 
@@ -157,7 +162,11 @@ mod tests {
     #[test]
     fn no_config_evaluated_twice() {
         let report = Tuner::new(space(), 120, 3).tune(Strategy::Ensemble, objective);
-        let mut seen = report.evaluations.iter().map(|(c, _)| *c).collect::<Vec<_>>();
+        let mut seen = report
+            .evaluations
+            .iter()
+            .map(|(c, _)| *c)
+            .collect::<Vec<_>>();
         let before = seen.len();
         seen.sort_by_key(|c| (c.chunks, c.lookback, c.extra_states, c.combine_inner_tlp));
         seen.dedup();

@@ -19,14 +19,14 @@
 
 use crate::pipeline::{clamp_config, Scale};
 use serde::{Deserialize, Serialize};
-use stats_core::runtime::simulated::{build_task_graph, GraphOptions};
 use stats_core::runtime::sequential::run_sequential;
+use stats_core::runtime::simulated::{build_task_graph, GraphOptions};
 use stats_core::speculation::run_speculative;
 use stats_core::Config;
 use stats_platform::Machine;
 use stats_trace::{Category, Cycles, ThreadId};
 use stats_workloads::Workload;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// The loss taxonomy of §III, as presented in Figs. 10 and 12.
@@ -251,7 +251,7 @@ pub fn attribute<W: Workload>(
     {
         // Balance the *useful* per-thread work only; aborted speculative
         // work is mispeculation, not imbalance (§III-A vs §III-E).
-        let mut per_thread: HashMap<ThreadId, u64> = HashMap::new();
+        let mut per_thread: BTreeMap<ThreadId, u64> = BTreeMap::new();
         for t in base_graph.tasks() {
             if t.category == Category::ChunkCompute {
                 *per_thread.entry(t.thread).or_default() += t.duration.get();
@@ -261,7 +261,7 @@ pub fn attribute<W: Workload>(
         if compute_threads.len() > 1 {
             let mean: f64 = compute_threads.iter().map(|(_, v)| **v as f64).sum::<f64>()
                 / compute_threads.len() as f64;
-            let scales: HashMap<ThreadId, f64> = compute_threads
+            let scales: BTreeMap<ThreadId, f64> = compute_threads
                 .iter()
                 .map(|(t, v)| (**t, mean / **v as f64))
                 .collect();
@@ -312,7 +312,11 @@ pub fn attribute<W: Workload>(
             // count is mispeculation when deeper speculation aborts
             // (facetrack, §V-B); otherwise the chunks simply are not
             // there — unreachability.
-            (Some(max_outcome), (s_max - s_commit).max(0.0), abort_rate > 0.05)
+            (
+                Some(max_outcome),
+                (s_max - s_commit).max(0.0),
+                abort_rate > 0.05,
+            )
         } else {
             (None, 0.0, false)
         };
@@ -330,7 +334,7 @@ pub fn attribute<W: Workload>(
         g_best = g_best.without_category(Category::Commit);
         // Balance the best case too: residual imbalance is §III-A, not
         // unreachability.
-        let mut best_threads: HashMap<ThreadId, u64> = HashMap::new();
+        let mut best_threads: BTreeMap<ThreadId, u64> = BTreeMap::new();
         for t in g_best.tasks() {
             if t.category == Category::ChunkCompute {
                 *best_threads.entry(t.thread).or_default() += t.duration.get();
@@ -338,9 +342,8 @@ pub fn attribute<W: Workload>(
         }
         let busy: Vec<_> = best_threads.iter().filter(|(_, v)| **v > 0).collect();
         if busy.len() > 1 {
-            let mean: f64 =
-                busy.iter().map(|(_, v)| **v as f64).sum::<f64>() / busy.len() as f64;
-            let scales: HashMap<ThreadId, f64> =
+            let mean: f64 = busy.iter().map(|(_, v)| **v as f64).sum::<f64>() / busy.len() as f64;
+            let scales: BTreeMap<ThreadId, f64> =
                 busy.iter().map(|(t, v)| (**t, mean / **v as f64)).collect();
             patch_durations(&mut g_best, &scales);
         }
@@ -348,8 +351,7 @@ pub fn attribute<W: Workload>(
             .execute(&g_best)
             .expect("acyclic")
             .speedup_vs(seq_cycles);
-        let unreach = (ideal - s_best).max(0.0)
-            + if deficit_is_mispec { 0.0 } else { deficit };
+        let unreach = (ideal - s_best).max(0.0) + if deficit_is_mispec { 0.0 } else { deficit };
         marginal.push((LossCategory::Unreachability, unreach));
     }
 
@@ -376,14 +378,11 @@ pub fn critical_path_composition(
         let cat = graph.get(task).category;
         *totals.entry(cat).or_default() += (entry.end - entry.start).get();
     }
-    totals
-        .into_iter()
-        .map(|(c, v)| (c, Cycles(v)))
-        .collect()
+    totals.into_iter().map(|(c, v)| (c, Cycles(v))).collect()
 }
 
 /// Scale the compute-task durations of each thread by its factor.
-fn patch_durations(graph: &mut stats_platform::TaskGraph, scales: &HashMap<ThreadId, f64>) {
+fn patch_durations(graph: &mut stats_platform::TaskGraph, scales: &BTreeMap<ThreadId, f64>) {
     // TaskGraph has no mutable task access by design; rebuild through the
     // public mapping API, one thread at a time.
     let mut patched = graph.clone();

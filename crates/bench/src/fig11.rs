@@ -67,7 +67,14 @@ impl WorkloadVisitor for Visit {
             .iter()
             .map(|c| {
                 let v = cycles.get(c).map(|x| x.get()).unwrap_or(0);
-                (*c, if total == 0 { 0.0 } else { v as f64 / total as f64 })
+                (
+                    *c,
+                    if total == 0 {
+                        0.0
+                    } else {
+                        v as f64 / total as f64
+                    },
+                )
             })
             .collect();
         Row {
@@ -127,7 +134,11 @@ mod tests {
         for r in compute(Scale(0.15)) {
             let sum: f64 = r.shares.iter().map(|(_, s)| s).sum();
             if r.total_cycles > 0 {
-                assert!((sum - 1.0).abs() < 1e-9, "{}: shares sum {sum}", r.benchmark);
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "{}: shares sum {sum}",
+                    r.benchmark
+                );
             }
         }
     }
@@ -143,15 +154,16 @@ mod tests {
             let spec: f64 = r
                 .shares
                 .iter()
-                .filter(|(c, _)| {
-                    matches!(c, Category::AltProducer | Category::OriginalStateGen)
-                })
+                .filter(|(c, _)| matches!(c, Category::AltProducer | Category::OriginalStateGen))
                 .map(|(_, s)| s)
                 .sum();
             if spec > 0.4 {
                 spec_heavy += 1;
             }
         }
-        assert!(spec_heavy >= 3, "only {spec_heavy} benchmarks are speculation-heavy");
+        assert!(
+            spec_heavy >= 3,
+            "only {spec_heavy} benchmarks are speculation-heavy"
+        );
     }
 }

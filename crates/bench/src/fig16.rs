@@ -29,10 +29,7 @@ impl Row {
     /// sequential run (0.5 = indistinguishable; the paper finds STATS
     /// "tends to improve the quality", i.e. >= 0.5).
     pub fn stats_superiority(&self) -> f64 {
-        stats_workloads::quality::superiority(
-            self.stats.samples(),
-            self.sequential.samples(),
-        )
+        stats_workloads::quality::superiority(self.stats.samples(), self.sequential.samples())
     }
 }
 
@@ -123,7 +120,13 @@ mod tests {
     fn stats_quality_is_not_degraded() {
         // The paper's headline: STATS preserves (and tends to improve)
         // output quality. Allow a small tolerance per benchmark.
-        let rows = compute(Scale(0.15), 10);
+        //
+        // Scale(0.3) rather than smaller: with 28 chunks, a smaller input
+        // stream leaves each chunk only ~10 updates — far below swaptions'
+        // EWMA memory (~50 batches) — so per-chunk estimates carry
+        // miniature-scale Monte-Carlo variance the native configuration
+        // never sees. At 0.3 the chunk length clears the artifact.
+        let rows = compute(Scale(0.3), 10);
         for r in &rows {
             assert!(
                 r.stats.median() >= r.sequential.median() - 0.12,
@@ -141,8 +144,9 @@ mod tests {
         // statistic is sensitive to arbitrarily small consistent shifts
         // (chunk-warmup dips move the classifier's accuracy by <1%), so a
         // low P(STATS > seq) is only a failure when the practical gap is
-        // non-trivial.
-        let rows = compute(Scale(0.15), 10);
+        // non-trivial. Scale(0.3) for the same chunk-length reason as
+        // `stats_quality_is_not_degraded`.
+        let rows = compute(Scale(0.3), 10);
         for r in &rows {
             let sup = r.stats_superiority();
             let gap = r.sequential.median() - r.stats.median();
@@ -158,10 +162,7 @@ mod tests {
     fn nondeterminism_produces_spread() {
         let rows = compute(Scale(0.1), 10);
         // At least half the benchmarks show run-to-run variance.
-        let spread = rows
-            .iter()
-            .filter(|r| r.sequential.std_dev() > 0.0)
-            .count();
+        let spread = rows.iter().filter(|r| r.sequential.std_dev() > 0.0).count();
         assert!(spread >= 3, "only {spread}/6 benchmarks vary across runs");
     }
 }

@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: scales, machines, and standard runs.
 
-use stats_core::runtime::simulated::{build_task_graph, GraphOptions, SimulatedRuntime};
 use stats_core::runtime::sequential::run_sequential;
+use stats_core::runtime::simulated::{build_task_graph, GraphOptions, SimulatedRuntime};
 use stats_core::speculation::{run_speculative, SpeculationOutcome};
 use stats_core::{Config, RunReport};
 use stats_platform::{CostModel, Machine, Topology};

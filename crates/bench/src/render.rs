@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(f2(2.71828), "2.72");
+        assert_eq!(f2(2.71628), "2.72");
         assert_eq!(pct(12.345), "12.3%");
         assert_eq!(billions(2_500_000_000), "2.500");
     }

@@ -21,12 +21,14 @@ const SERIES_COLORS: [&str; 6] = [
 
 /// Colors for the ten loss categories, in [`LossCategory::ALL`] order.
 const LOSS_COLORS: [&str; 10] = [
-    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
-    "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac",
 ];
 
 fn svg_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn svg_header(title: &str) -> String {

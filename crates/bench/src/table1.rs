@@ -49,7 +49,12 @@ pub fn compute(scale: Scale) -> Vec<Row> {
 
 /// Render the table as text.
 pub fn render(scale: Scale) -> String {
-    let mut t = TextTable::new(vec!["Benchmark", "#Threads", "#States", "State size [Bytes]"]);
+    let mut t = TextTable::new(vec![
+        "Benchmark",
+        "#Threads",
+        "#States",
+        "State size [Bytes]",
+    ]);
     for r in compute(scale) {
         t.row(vec![
             r.benchmark,
@@ -58,7 +63,10 @@ pub fn render(scale: Scale) -> String {
             r.state_bytes.to_string(),
         ]);
     }
-    format!("Table I: resources created by STATS on 28 cores\n\n{}", t.render())
+    format!(
+        "Table I: resources created by STATS on 28 cores\n\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -93,8 +101,15 @@ mod tests {
         // number of cores … the only exception is facedet-and-track"
         // (in ours, the low-chunk trackers are the exceptions).
         let rows = compute(Scale::NATIVE);
-        let sc = rows.iter().find(|r| r.benchmark == "streamcluster").unwrap();
-        assert!(sc.threads > 100, "streamcluster should oversubscribe: {}", sc.threads);
+        let sc = rows
+            .iter()
+            .find(|r| r.benchmark == "streamcluster")
+            .unwrap();
+        assert!(
+            sc.threads > 100,
+            "streamcluster should oversubscribe: {}",
+            sc.threads
+        );
         let ft = rows.iter().find(|r| r.benchmark == "facetrack").unwrap();
         assert!(ft.threads < 60);
     }

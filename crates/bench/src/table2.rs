@@ -109,9 +109,7 @@ pub fn render_cpi(scale: Scale) -> String {
 
 /// Render the table (misses in billions, rates in parentheses).
 pub fn render(scale: Scale) -> String {
-    let mut t = TextTable::new(vec![
-        "Benchmark", "Mode", "L1D", "L2", "LLC", "BR",
-    ]);
+    let mut t = TextTable::new(vec!["Benchmark", "Mode", "L1D", "L2", "LLC", "BR"]);
     for r in compute(scale) {
         for (mode, c) in [
             ("sequential", &r.counters.sequential),

@@ -155,7 +155,14 @@ impl<'w, W: StateDependence> Stats<'w, W> {
     ) -> Result<RunReport<W::Output>, StatsError> {
         self.config.validate(inputs.len())?;
         SimulatedRuntime::new(self.machine.clone())
-            .run(&self.name, self.workload, inputs, self.config, self.inner, seed)
+            .run(
+                &self.name,
+                self.workload,
+                inputs,
+                self.config,
+                self.inner,
+                seed,
+            )
             .map_err(StatsError::Simulation)
     }
 

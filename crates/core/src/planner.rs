@@ -67,7 +67,10 @@ impl ChunkPlan {
 /// ```
 pub fn plan_balanced(inputs: usize, chunks: usize) -> ChunkPlan {
     assert!(chunks > 0, "need at least one chunk");
-    assert!(chunks <= inputs, "more chunks ({chunks}) than inputs ({inputs})");
+    assert!(
+        chunks <= inputs,
+        "more chunks ({chunks}) than inputs ({inputs})"
+    );
     let base = inputs / chunks;
     let remainder = inputs % chunks;
     let mut ranges = Vec::with_capacity(chunks);
@@ -99,7 +102,10 @@ pub fn plan_balanced(inputs: usize, chunks: usize) -> ChunkPlan {
 /// Panics if `chunks` is zero or exceeds `inputs`.
 pub fn plan_weighted(inputs: usize, chunks: usize, weight: impl Fn(usize) -> u64) -> ChunkPlan {
     assert!(chunks > 0, "need at least one chunk");
-    assert!(chunks <= inputs, "more chunks ({chunks}) than inputs ({inputs})");
+    assert!(
+        chunks <= inputs,
+        "more chunks ({chunks}) than inputs ({inputs})"
+    );
     let total: u64 = (0..inputs).map(&weight).sum();
     let target = total as f64 / chunks as f64;
     let mut ranges = Vec::with_capacity(chunks);
@@ -147,7 +153,7 @@ mod tests {
     #[test]
     fn single_chunk_covers_all() {
         let plan = plan_balanced(42, 1);
-        assert_eq!(plan.ranges(), &[0..42]);
+        assert_eq!(plan.ranges(), std::slice::from_ref(&(0..42)));
     }
 
     #[test]

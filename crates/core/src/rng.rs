@@ -156,8 +156,20 @@ mod tests {
 
     #[test]
     fn replicas_are_independent() {
-        let mut r0 = StatsRng::derive(7, StreamRole::OriginalState { chunk: 1, replica: 0 });
-        let mut r1 = StatsRng::derive(7, StreamRole::OriginalState { chunk: 1, replica: 1 });
+        let mut r0 = StatsRng::derive(
+            7,
+            StreamRole::OriginalState {
+                chunk: 1,
+                replica: 0,
+            },
+        );
+        let mut r1 = StatsRng::derive(
+            7,
+            StreamRole::OriginalState {
+                chunk: 1,
+                replica: 1,
+            },
+        );
         assert_ne!(r0.next_u64(), r1.next_u64());
     }
 

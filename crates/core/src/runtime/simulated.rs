@@ -232,8 +232,7 @@ pub fn build_task_graph<O>(
         // Runtime dispatch: every input of the chunk flows through the
         // STATS runtime's synchronized lists; oversubscribed thread counts
         // (Table I) pay scheduler latency per signal (§III-C).
-        let per_update =
-            cm.per_update_sync(acc.threads, machine.topology().total_cores());
+        let per_update = cm.per_update_sync(acc.threads, machine.topology().total_cores());
         g.task_full(
             worker,
             Category::Sync,
@@ -674,7 +673,14 @@ mod tests {
         let w = short_memory();
         let ins = inputs(100);
         let report = rt
-            .run("ema-seq", &w, &ins, Config::sequential(), InnerParallelism::none(), 1)
+            .run(
+                "ema-seq",
+                &w,
+                &ins,
+                Config::sequential(),
+                InnerParallelism::none(),
+                1,
+            )
             .unwrap();
         let s = report.speedup();
         assert!(s > 0.9 && s <= 1.01, "speedup {s}");
@@ -756,12 +762,7 @@ mod tests {
         let cfg = Config::stats_only(4, 4, 1);
         let outcome = run_speculative(&w, &ins, cfg, 7);
         assert!(outcome.aborts() > 0);
-        let with = build_task_graph(
-            "with",
-            &outcome,
-            &machine,
-            &GraphOptions::default(),
-        );
+        let with = build_task_graph("with", &outcome, &machine, &GraphOptions::default());
         let without = build_task_graph(
             "without",
             &outcome,
@@ -780,7 +781,10 @@ mod tests {
             r_with.makespan
         );
         let cats = r_without.trace.cycles_by_category();
-        assert!(!cats.contains_key(&Category::AbortedCompute) || cats[&Category::AbortedCompute].get() == 0);
+        assert!(
+            !cats.contains_key(&Category::AbortedCompute)
+                || cats[&Category::AbortedCompute].get() == 0
+        );
     }
 
     #[test]
@@ -853,10 +857,24 @@ mod tests {
         let w = short_memory();
         let ins = inputs(560);
         let few = rt
-            .run("few", &w, &ins, Config::stats_only(4, 10, 2), InnerParallelism::none(), 1)
+            .run(
+                "few",
+                &w,
+                &ins,
+                Config::stats_only(4, 10, 2),
+                InnerParallelism::none(),
+                1,
+            )
             .unwrap();
         let many = rt
-            .run("many", &w, &ins, Config::stats_only(28, 10, 2), InnerParallelism::none(), 1)
+            .run(
+                "many",
+                &w,
+                &ins,
+                Config::stats_only(28, 10, 2),
+                InnerParallelism::none(),
+                1,
+            )
             .unwrap();
         assert!(
             many.extra_instruction_percent() > few.extra_instruction_percent(),
@@ -876,7 +894,10 @@ mod tests {
             combine_inner_tlp: true,
         };
         assert_eq!(effective_width(&combined, &inner, 28), 2);
-        assert_eq!(effective_width(&Config::stats_only(14, 1, 0), &inner, 28), 1);
+        assert_eq!(
+            effective_width(&Config::stats_only(14, 1, 0), &inner, 28),
+            1
+        );
         assert_eq!(effective_width(&Config::original_only(), &inner, 28), 28);
         assert_eq!(
             effective_width(&Config::original_only(), &InnerParallelism::none(), 28),

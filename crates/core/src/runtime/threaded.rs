@@ -96,11 +96,16 @@ pub fn run_threaded_planned<W>(
 where
     W: StateDependence + Sync,
 {
-    assert_eq!(plan.inputs(), inputs.len(), "plan does not cover the input stream");
+    assert_eq!(
+        plan.inputs(),
+        inputs.len(),
+        "plan does not cover the input stream"
+    );
     assert_eq!(plan.len(), config.chunks, "plan chunk count mismatch");
     let chunks = plan.len();
     let k = config.lookback;
     let m = config.extra_states;
+    // stats-analyzer: allow(ND002): informative wall-clock only (ThreadedRun::elapsed)
     let start_time = Instant::now();
 
     // Channels: worker -> coordinator results, coordinator -> worker
@@ -150,8 +155,7 @@ where
                     Verdict::Commit => {}
                     Verdict::Abort(true_state) => {
                         let mut rng = StatsRng::derive(master_seed, StreamRole::Rerun(c));
-                        let rerun =
-                            run_segment(workload, *true_state, inputs, range, k, &mut rng);
+                        let rerun = run_segment(workload, *true_state, inputs, range, k, &mut rng);
                         xtx.send(WorkerResult {
                             spec_state: None,
                             outputs: rerun.outputs,
@@ -307,7 +311,11 @@ mod tests {
         assert_eq!(threaded.outputs, semantic.outputs);
         assert_eq!(
             threaded.decisions,
-            semantic.chunks.iter().map(|c| c.decision).collect::<Vec<_>>()
+            semantic
+                .chunks
+                .iter()
+                .map(|c| c.decision)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -340,7 +348,11 @@ mod tests {
         assert_eq!(threaded.outputs, semantic.outputs);
         assert_eq!(
             threaded.decisions,
-            semantic.chunks.iter().map(|c| c.decision).collect::<Vec<_>>()
+            semantic
+                .chunks
+                .iter()
+                .map(|c| c.decision)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -186,7 +186,11 @@ pub fn run_speculative_planned<W: StateDependence>(
     plan: ChunkPlan,
     master_seed: u64,
 ) -> SpeculationOutcome<W::Output> {
-    assert_eq!(plan.inputs(), inputs.len(), "plan does not cover the input stream");
+    assert_eq!(
+        plan.inputs(),
+        inputs.len(),
+        "plan does not cover the input stream"
+    );
     assert_eq!(plan.len(), config.chunks, "plan chunk count mismatch");
     for c in 1..plan.len() {
         assert!(
@@ -209,7 +213,14 @@ pub fn run_speculative_planned<W: StateDependence>(
         let range = plan.chunk(c);
         if c == 0 {
             let mut rng = StatsRng::derive(master_seed, StreamRole::Chunk(0));
-            let run = run_segment(workload, workload.fresh_state(), inputs, range.clone(), k, &mut rng);
+            let run = run_segment(
+                workload,
+                workload.fresh_state(),
+                inputs,
+                range.clone(),
+                k,
+                &mut rng,
+            );
             chunks.push(ChunkOutcome {
                 range,
                 decision: ChunkDecision::First,

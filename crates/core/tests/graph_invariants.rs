@@ -34,10 +34,14 @@ impl StateDependence for Ema {
     }
 }
 
-fn setup(decay: f64, tolerance: f64, chunks: usize, k: usize, m: usize, seed: u64) -> Option<(
-    stats_core::SpeculationOutcome<f64>,
-    GraphOptions,
-)> {
+fn setup(
+    decay: f64,
+    tolerance: f64,
+    chunks: usize,
+    k: usize,
+    m: usize,
+    seed: u64,
+) -> Option<(stats_core::SpeculationOutcome<f64>, GraphOptions)> {
     let cfg = Config::stats_only(chunks, k, m);
     let inputs: Vec<f64> = (0..120).map(|i| (i as f64 * 0.07).sin()).collect();
     cfg.validate(inputs.len()).ok()?;

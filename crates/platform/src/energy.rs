@@ -73,13 +73,10 @@ impl EnergyModel {
         let busy = busy.min(cores * makespan);
         let idle = cores * makespan - busy;
         let seconds_per_cycle = 1.0 / self.frequency_hz;
-        let core_energy = (busy * self.active_watts_per_core
-            + idle * self.idle_watts_per_core)
+        let core_energy = (busy * self.active_watts_per_core + idle * self.idle_watts_per_core)
             * seconds_per_cycle;
-        let uncore_energy = topology.sockets() as f64
-            * self.uncore_watts_per_socket
-            * makespan
-            * seconds_per_cycle;
+        let uncore_energy =
+            topology.sockets() as f64 * self.uncore_watts_per_socket * makespan * seconds_per_cycle;
         core_energy + uncore_energy
     }
 
@@ -91,7 +88,10 @@ impl EnergyModel {
     ///
     /// Panics if `cores` is not divisible by `sockets` or either is zero.
     pub fn energy_joules_for(&self, trace: &Trace, cores: usize, sockets: usize) -> f64 {
-        assert!(sockets > 0 && cores.is_multiple_of(sockets), "invalid machine shape");
+        assert!(
+            sockets > 0 && cores.is_multiple_of(sockets),
+            "invalid machine shape"
+        );
         self.energy_joules(trace, &Topology::new(sockets, cores / sockets))
     }
 
@@ -144,11 +144,8 @@ mod tests {
         let heavy = m.energy_joules(&trace(28, 1_000_000), &topo);
         assert!(heavy > light, "{heavy} vs {light}");
         // Same makespan: difference is purely active-vs-idle core power.
-        let per_core =
-            (heavy - light) / 27.0 / (1_000_000.0 / m.frequency_hz);
-        assert!(
-            (per_core - (m.active_watts_per_core - m.idle_watts_per_core)).abs() < 1e-6
-        );
+        let per_core = (heavy - light) / 27.0 / (1_000_000.0 / m.frequency_hz);
+        assert!((per_core - (m.active_watts_per_core - m.idle_watts_per_core)).abs() < 1e-6);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::{CoreId, CostModel, TaskGraph, TaskId, Topology};
 use serde::{Deserialize, Serialize};
 use stats_trace::{Cycles, ThreadId, Trace, TraceBuilder};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 
 /// Why a task started when it did: the raw material for critical-path
@@ -52,7 +52,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::DependencyCycle { stuck_tasks } => {
-                write!(f, "dependency cycle: {stuck_tasks} task(s) never became ready")
+                write!(
+                    f,
+                    "dependency cycle: {stuck_tasks} task(s) never became ready"
+                )
             }
             SimError::InvalidTrace(e) => write!(f, "scheduler produced an invalid trace: {e}"),
         }
@@ -173,7 +176,7 @@ impl Machine {
         let tasks = graph.tasks();
 
         // Per-thread program order.
-        let mut thread_order: HashMap<ThreadId, Vec<TaskId>> = HashMap::new();
+        let mut thread_order: BTreeMap<ThreadId, Vec<TaskId>> = BTreeMap::new();
         for t in tasks {
             thread_order.entry(t.thread).or_default().push(t.id);
         }
@@ -215,8 +218,8 @@ impl Machine {
         // Running heap: min by (end, task id).
         let mut running: BinaryHeap<Reverse<(Cycles, TaskId)>> = BinaryHeap::new();
         let mut free_cores: BTreeSet<CoreId> = self.topology.cores().collect();
-        let mut last_core_of_thread: HashMap<ThreadId, CoreId> = HashMap::new();
-        let mut last_task_on_core: HashMap<CoreId, TaskId> = HashMap::new();
+        let mut last_core_of_thread: BTreeMap<ThreadId, CoreId> = BTreeMap::new();
+        let mut last_task_on_core: BTreeMap<CoreId, TaskId> = BTreeMap::new();
         let mut core_of_task: Vec<Option<CoreId>> = vec![None; n];
 
         let mut schedule: Vec<Option<ScheduleEntry>> = vec![None; n];
@@ -238,7 +241,7 @@ impl Machine {
             ready_time: &mut [Cycles],
             free_cores: &mut BTreeSet<CoreId>,
             core_of_task: &[Option<CoreId>],
-            last_task_on_core: &mut HashMap<CoreId, TaskId>,
+            last_task_on_core: &mut BTreeMap<CoreId, TaskId>,
         ) {
             finish[tid.0] = Some(end);
             if let Some(core) = core_of_task[tid.0] {
@@ -357,9 +360,14 @@ impl Machine {
         for t in tasks {
             let e = schedule[t.id.0].as_ref().expect("all tasks scheduled");
             let sid = match &t.label {
-                Some(l) => {
-                    builder.push_labeled(t.thread, t.category, e.start, e.end, t.instructions, l.clone())
-                }
+                Some(l) => builder.push_labeled(
+                    t.thread,
+                    t.category,
+                    e.start,
+                    e.end,
+                    t.instructions,
+                    l.clone(),
+                ),
                 None => builder.push(t.thread, t.category, e.start, e.end, t.instructions),
             };
             debug_assert_eq!(sid.0, t.id.0);
@@ -373,8 +381,10 @@ impl Machine {
             .finish()
             .map_err(|e| SimError::InvalidTrace(e.to_string()))?;
 
-        let schedule: Vec<ScheduleEntry> =
-            schedule.into_iter().map(|e| e.expect("scheduled")).collect();
+        let schedule: Vec<ScheduleEntry> = schedule
+            .into_iter()
+            .map(|e| e.expect("scheduled"))
+            .collect();
         let makespan = trace.makespan();
         Ok(ExecutionResult {
             makespan,
@@ -502,7 +512,11 @@ mod tests {
     fn determinism_across_runs() {
         let mut g = TaskGraph::new("det");
         for i in 0..50 {
-            let t = g.task(ThreadId(i % 7), Category::ChunkCompute, Cycles(10 + i as u64));
+            let t = g.task(
+                ThreadId(i % 7),
+                Category::ChunkCompute,
+                Cycles(10 + i as u64),
+            );
             if i >= 7 {
                 g.depend(TaskId(i - 7), t);
             }
@@ -550,7 +564,10 @@ mod tests {
         let trace = &r.trace;
         assert_eq!(trace.spans().len(), 2);
         assert_eq!(trace.edges().len(), 1);
-        assert_eq!(trace.span(stats_trace::SpanId(0)).label.as_deref(), Some("the setup"));
+        assert_eq!(
+            trace.span(stats_trace::SpanId(0)).label.as_deref(),
+            Some("the setup")
+        );
         assert_eq!(trace.span(stats_trace::SpanId(0)).instructions, 7);
         assert_eq!(trace.meta().scenario, "meta");
     }

@@ -16,7 +16,11 @@ struct GenTask {
 }
 
 fn graph_strategy(max_tasks: usize) -> impl Strategy<Value = (Vec<GenTask>, usize)> {
-    let task = (0usize..8, 0u64..500, proptest::collection::vec(any::<prop::sample::Index>(), 0..3));
+    let task = (
+        0usize..8,
+        0u64..500,
+        proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+    );
     (proptest::collection::vec(task, 1..max_tasks), 1usize..6).prop_map(|(raw, cores)| {
         let tasks = raw
             .into_iter()
@@ -39,7 +43,11 @@ fn build(tasks: &[GenTask]) -> TaskGraph {
     let mut g = TaskGraph::new("prop");
     let mut ids = Vec::new();
     for t in tasks {
-        let id = g.task(ThreadId(t.thread), Category::ChunkCompute, Cycles(t.duration));
+        let id = g.task(
+            ThreadId(t.thread),
+            Category::ChunkCompute,
+            Cycles(t.duration),
+        );
         for &d in &t.deps {
             g.depend(ids[d], id);
         }

@@ -15,7 +15,14 @@ pub fn filter_spans(trace: &Trace, keep: impl Fn(&crate::Span) -> bool) -> Trace
     for s in trace.spans() {
         if keep(s) {
             let id = match &s.label {
-                Some(l) => b.push_labeled(s.thread, s.category, s.start, s.end, s.instructions, l.clone()),
+                Some(l) => b.push_labeled(
+                    s.thread,
+                    s.category,
+                    s.start,
+                    s.end,
+                    s.instructions,
+                    l.clone(),
+                ),
                 None => b.push(s.thread, s.category, s.start, s.end, s.instructions),
             };
             remap[s.id.0] = Some(id);
@@ -40,7 +47,13 @@ pub fn window(trace: &Trace, start: Cycles, end: Cycles) -> Trace {
         let s_start = s.start.max(start);
         let s_end = s.end.min(end);
         if s_start < s_end || (s.start == s.end && s.start >= start && s.start < end) {
-            let id = b.push(s.thread, s.category, s_start, s_end.max(s_start), s.instructions);
+            let id = b.push(
+                s.thread,
+                s.category,
+                s_start,
+                s_end.max(s_start),
+                s.instructions,
+            );
             remap[s.id.0] = Some(id);
         }
     }
@@ -134,9 +147,27 @@ mod tests {
     fn trace() -> Trace {
         let mut b = TraceBuilder::new("analysis");
         let a = b.push(ThreadId(0), Category::Setup, Cycles(0), Cycles(100), 10);
-        let c = b.push(ThreadId(1), Category::ChunkCompute, Cycles(100), Cycles(300), 50);
-        b.push(ThreadId(2), Category::ChunkCompute, Cycles(150), Cycles(250), 40);
-        b.push(ThreadId(0), Category::OutsideRegion, Cycles(300), Cycles(350), 5);
+        let c = b.push(
+            ThreadId(1),
+            Category::ChunkCompute,
+            Cycles(100),
+            Cycles(300),
+            50,
+        );
+        b.push(
+            ThreadId(2),
+            Category::ChunkCompute,
+            Cycles(150),
+            Cycles(250),
+            40,
+        );
+        b.push(
+            ThreadId(0),
+            Category::OutsideRegion,
+            Cycles(300),
+            Cycles(350),
+            5,
+        );
         b.depend(a, c);
         b.finish().unwrap()
     }

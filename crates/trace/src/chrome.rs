@@ -7,7 +7,7 @@
 //! — absolute time is meaningless in a virtual-time trace, only structure
 //! matters.
 
-use crate::{Trace, DependencyEdge};
+use crate::{DependencyEdge, Trace};
 use std::fmt::Write as _;
 
 /// Escape a string for a JSON literal (the only dynamic strings we emit

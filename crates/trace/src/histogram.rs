@@ -36,7 +36,10 @@ pub struct DurationStats {
 pub fn span_stats(trace: &Trace) -> BTreeMap<Category, DurationStats> {
     let mut buckets: BTreeMap<Category, Vec<u64>> = BTreeMap::new();
     for s in trace.spans() {
-        buckets.entry(s.category).or_default().push(s.duration().get());
+        buckets
+            .entry(s.category)
+            .or_default()
+            .push(s.duration().get());
     }
     buckets
         .into_iter()
@@ -91,7 +94,13 @@ mod tests {
         let mut b = TraceBuilder::new("hist");
         let mut t = 0;
         for (i, d) in [10u64, 20, 30, 40, 100].into_iter().enumerate() {
-            b.push(ThreadId(i), Category::ChunkCompute, Cycles(t), Cycles(t + d), 0);
+            b.push(
+                ThreadId(i),
+                Category::ChunkCompute,
+                Cycles(t),
+                Cycles(t + d),
+                0,
+            );
             t += d;
         }
         b.push(ThreadId(0), Category::Setup, Cycles(500), Cycles(510), 0);

@@ -86,9 +86,27 @@ mod tests {
 
     fn trace() -> Trace {
         let mut b = TraceBuilder::new("instr");
-        b.push(ThreadId(0), Category::ChunkCompute, Cycles(0), Cycles(10), 1_000);
-        b.push(ThreadId(0), Category::StateCopy, Cycles(10), Cycles(20), 300);
-        b.push(ThreadId(1), Category::AltProducer, Cycles(0), Cycles(10), 200);
+        b.push(
+            ThreadId(0),
+            Category::ChunkCompute,
+            Cycles(0),
+            Cycles(10),
+            1_000,
+        );
+        b.push(
+            ThreadId(0),
+            Category::StateCopy,
+            Cycles(10),
+            Cycles(20),
+            300,
+        );
+        b.push(
+            ThreadId(1),
+            Category::AltProducer,
+            Cycles(0),
+            Cycles(10),
+            200,
+        );
         b.finish().unwrap()
     }
 
@@ -125,7 +143,9 @@ mod tests {
     fn extra_computation_iterates_overhead_components() {
         let ib = InstructionBreakdown::from_trace(&trace());
         let items: Vec<_> = ib.extra_computation().collect();
-        assert!(items.iter().any(|(c, v)| *c == Category::StateCopy && *v == 300));
+        assert!(items
+            .iter()
+            .any(|(c, v)| *c == Category::StateCopy && *v == 300));
         assert!(items.iter().all(|(c, _)| c.is_extra_computation()));
     }
 }

@@ -33,8 +33,8 @@
 //! ```
 
 pub mod analysis;
-pub mod chrome;
 mod category;
+pub mod chrome;
 pub mod histogram;
 mod ids;
 mod instructions;

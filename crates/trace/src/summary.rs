@@ -137,10 +137,22 @@ mod tests {
     fn two_thread_trace() -> Trace {
         let mut b = TraceBuilder::new("sum");
         // T0 busy 0..100 and 200..300 (idle 100..200).
-        b.push(ThreadId(0), Category::ChunkCompute, Cycles(0), Cycles(100), 100);
+        b.push(
+            ThreadId(0),
+            Category::ChunkCompute,
+            Cycles(0),
+            Cycles(100),
+            100,
+        );
         b.push(ThreadId(0), Category::Sync, Cycles(200), Cycles(300), 0);
         // T1 busy 0..50.
-        b.push(ThreadId(1), Category::AltProducer, Cycles(0), Cycles(50), 40);
+        b.push(
+            ThreadId(1),
+            Category::AltProducer,
+            Cycles(0),
+            Cycles(50),
+            40,
+        );
         b.finish().unwrap()
     }
 

@@ -90,7 +90,11 @@ pub fn render_timeline(trace: &Trace, opts: &TimelineOptions) -> String {
             for (i, slot) in cells.iter_mut().enumerate().take(last).skip(first) {
                 let cell_start = (i as f64 * cell) as u64;
                 let cell_end = ((i + 1) as f64 * cell) as u64;
-                let overlap = s.end.get().min(cell_end).saturating_sub(s.start.get().max(cell_start));
+                let overlap = s
+                    .end
+                    .get()
+                    .min(cell_end)
+                    .saturating_sub(s.start.get().max(cell_start));
                 if overlap > slot.0 {
                     *slot = (overlap, Some(s.category));
                 }
@@ -120,10 +124,34 @@ mod tests {
     fn sample_trace() -> Trace {
         let mut b = TraceBuilder::new("sample");
         b.push(ThreadId(0), Category::Setup, Cycles(0), Cycles(100), 0);
-        b.push(ThreadId(0), Category::OutsideRegion, Cycles(900), Cycles(1_000), 0);
-        b.push(ThreadId(1), Category::AltProducer, Cycles(100), Cycles(300), 0);
-        b.push(ThreadId(1), Category::ChunkCompute, Cycles(300), Cycles(900), 0);
-        b.push(ThreadId(2), Category::OriginalStateGen, Cycles(400), Cycles(700), 0);
+        b.push(
+            ThreadId(0),
+            Category::OutsideRegion,
+            Cycles(900),
+            Cycles(1_000),
+            0,
+        );
+        b.push(
+            ThreadId(1),
+            Category::AltProducer,
+            Cycles(100),
+            Cycles(300),
+            0,
+        );
+        b.push(
+            ThreadId(1),
+            Category::ChunkCompute,
+            Cycles(300),
+            Cycles(900),
+            0,
+        );
+        b.push(
+            ThreadId(2),
+            Category::OriginalStateGen,
+            Cycles(400),
+            Cycles(700),
+            0,
+        );
         b.finish().unwrap()
     }
 
@@ -151,7 +179,13 @@ mod tests {
     fn respects_max_threads() {
         let mut b = TraceBuilder::new("many");
         for i in 0..10 {
-            b.push(ThreadId(i), Category::ChunkCompute, Cycles(0), Cycles(10), 0);
+            b.push(
+                ThreadId(i),
+                Category::ChunkCompute,
+                Cycles(0),
+                Cycles(10),
+                0,
+            );
         }
         let text = render_timeline(
             &b.finish().unwrap(),
@@ -167,7 +201,10 @@ mod tests {
     #[test]
     fn empty_trace_renders_placeholder() {
         let t = TraceBuilder::new("empty").finish().unwrap();
-        assert_eq!(render_timeline(&t, &TimelineOptions::default()), "(empty trace)\n");
+        assert_eq!(
+            render_timeline(&t, &TimelineOptions::default()),
+            "(empty trace)\n"
+        );
     }
 
     #[test]

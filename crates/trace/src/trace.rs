@@ -109,7 +109,11 @@ impl Trace {
 
     /// End time of the last span: the total parallel execution time.
     pub fn makespan(&self) -> Cycles {
-        self.spans.iter().map(|s| s.end).max().unwrap_or(Cycles::ZERO)
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(Cycles::ZERO)
     }
 
     /// Total busy cycles per category, across all threads.
@@ -286,8 +290,20 @@ mod tests {
         b.cores(4);
         b.sequential_cycles(Cycles(4_000));
         let a = b.push(t(0), Category::Setup, Cycles(0), Cycles(100), 10);
-        let c = b.push(t(1), Category::ChunkCompute, Cycles(100), Cycles(1_100), 900);
-        b.push(t(0), Category::OutsideRegion, Cycles(1_100), Cycles(1_200), 50);
+        let c = b.push(
+            t(1),
+            Category::ChunkCompute,
+            Cycles(100),
+            Cycles(1_100),
+            900,
+        );
+        b.push(
+            t(0),
+            Category::OutsideRegion,
+            Cycles(1_100),
+            Cycles(1_200),
+            50,
+        );
         b.depend(a, c);
         let trace = b.finish().unwrap();
 

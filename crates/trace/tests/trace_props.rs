@@ -8,7 +8,13 @@ use stats_trace::{Category, Cycles, ThreadId, TraceBuilder, TraceSummary, CATEGO
 fn wellformed_spans() -> impl Strategy<Value = Vec<(usize, usize, u64, u64, u64)>> {
     // (thread, category index, gap, duration, instructions)
     proptest::collection::vec(
-        (0usize..6, 0usize..CATEGORIES.len(), 0u64..50, 0u64..200, 0u64..1_000),
+        (
+            0usize..6,
+            0usize..CATEGORIES.len(),
+            0u64..50,
+            0u64..200,
+            0u64..1_000,
+        ),
         0..60,
     )
 }

@@ -166,7 +166,9 @@ mod tests {
         // swaptions-like (everything resident): the CPI gap explains why
         // the stream benchmarks are memory-bound.
         let m = CpiModel::haswell();
-        let stream = counters(10_000_000, 1_500_000, 1_455_000, 1_450_000, 1_100_000, 200_000);
+        let stream = counters(
+            10_000_000, 1_500_000, 1_455_000, 1_450_000, 1_100_000, 200_000,
+        );
         let compute = counters(10_000_000, 270_000, 210_000, 2_000, 1_600_000, 45_000);
         assert!(m.cpi(&stream) > 2.0 * m.cpi(&compute));
     }

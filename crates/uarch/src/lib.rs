@@ -29,9 +29,9 @@
 //! ```
 
 mod branch;
-pub mod cpi;
 mod cache;
 mod counters;
+pub mod cpi;
 mod stream;
 
 pub use branch::{BimodalPredictor, BranchPredictor, GsharePredictor};

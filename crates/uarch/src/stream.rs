@@ -71,7 +71,10 @@ impl StreamProfile {
     pub fn validate(&self) {
         assert!((0.0..=1.0).contains(&self.streaming), "streaming fraction");
         assert!((0.0..=1.0).contains(&self.hot), "hot fraction");
-        assert!(self.streaming + self.hot <= 1.0 + 1e-9, "fractions exceed 1");
+        assert!(
+            self.streaming + self.hot <= 1.0 + 1e-9,
+            "fractions exceed 1"
+        );
         assert!(
             (0.0..=1.0).contains(&self.irregular_branches),
             "irregular fraction"
@@ -258,7 +261,10 @@ impl MultiCore {
         predictor: PredictorKind,
     ) -> Self {
         assert!(cores > 0 && sockets > 0, "need cores and sockets");
-        assert!(cores.is_multiple_of(sockets), "cores must divide evenly into sockets");
+        assert!(
+            cores.is_multiple_of(sockets),
+            "cores must divide evenly into sockets"
+        );
         MultiCore {
             cores: (0..cores).map(|_| CacheHierarchy::new(config)).collect(),
             predictors: (0..cores).map(|_| CorePredictor::new(predictor)).collect(),
@@ -292,7 +298,8 @@ impl MultiCore {
             branches: (profile.branches as f64 * ratio).round() as u64,
             ..*profile
         };
-        let scale = total_events as f64 / (sample_profile.accesses + sample_profile.branches).max(1) as f64;
+        let scale =
+            total_events as f64 / (sample_profile.accesses + sample_profile.branches).max(1) as f64;
 
         let socket = core / self.cores_per_socket;
         let before = self.snapshot(core, socket);

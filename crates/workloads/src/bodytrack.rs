@@ -193,13 +193,13 @@ mod tests {
         let inputs = w.generate_inputs(150, 3);
         let run = run_sequential(&w, &inputs, 7);
         let truths: Vec<Vec<f64>> = inputs.iter().map(|f| f.truth.clone()).collect();
-        let zeros: Vec<Vec<f64>> = inputs
-            .iter()
-            .map(|f| vec![0.0; f.truth.len()])
-            .collect();
+        let zeros: Vec<Vec<f64>> = inputs.iter().map(|f| vec![0.0; f.truth.len()]).collect();
         let tracked = mean_euclidean(&run.outputs[20..], &truths[20..]);
         let constant = mean_euclidean(&zeros[20..], &truths[20..]);
-        assert!(tracked < constant, "tracked {tracked} vs constant {constant}");
+        assert!(
+            tracked < constant,
+            "tracked {tracked} vs constant {constant}"
+        );
     }
 
     #[test]
@@ -232,12 +232,20 @@ mod tests {
     #[test]
     fn per_frame_cost_is_native_scale() {
         let w = BodyTrack::paper();
-        let inputs = w.generate_inputs(3, 1);
+        let inputs = w.generate_inputs(16, 1);
         let run = run_sequential(&w, &inputs, 1);
         // flops per steady-state frame = LAYERS * (N*D*6 + N*4); frame 0
-        // additionally pays the re-initialization reseed.
+        // additionally pays the re-initialization reseed, and any frame
+        // where the cloud diffuses past the re-detect threshold does too —
+        // which frames those are depends on the run seed, so check the
+        // steady-state cost on the cheapest later frame.
         let flops = (LAYERS * (PARTICLES * 16 * 6 + PARTICLES * 4)) as u64;
-        assert_eq!(run.per_input_costs[2].work, flops * NATIVE_SCALE);
+        let steady = run.per_input_costs[1..]
+            .iter()
+            .map(|c| c.work)
+            .min()
+            .unwrap();
+        assert_eq!(steady, flops * NATIVE_SCALE);
         assert!(run.per_input_costs[0].work > flops * NATIVE_SCALE);
     }
 

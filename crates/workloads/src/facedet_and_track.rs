@@ -98,9 +98,7 @@ impl StateDependence for FaceDetAndTrack {
             state.box_center = target.iter().map(|o| o + rng.noise(0.01)).collect();
             state.misses = 0;
             // Keep the cloud warm by one cheap coast step toward the box.
-            let flops = state
-                .cloud
-                .step(&state.box_center, 0.2, 0.05, 1, rng);
+            let flops = state.cloud.step(&state.box_center, 0.2, 0.05, 1, rng);
             let work = DETECT_WORK + flops * 40;
             (state.box_center.clone(), UpdateCost::new(work, work * 2))
         } else {
@@ -280,7 +278,11 @@ mod tests {
         let inputs = w.generate_inputs(800, 12);
         let run = run_sequential(&w, &inputs, 3);
         let d = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         let confused = inputs
             .iter()

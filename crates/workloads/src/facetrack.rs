@@ -80,8 +80,8 @@ impl StateDependence for FaceTrack {
                 .sum::<f64>()
                 .sqrt()
         };
-        let captured = d(&est, &input.distractor) < 0.8 * d(&est, &input.observation)
-            && !rng.chance(0.22);
+        let captured =
+            d(&est, &input.distractor) < 0.8 * d(&est, &input.observation) && !rng.chance(0.22);
         let target: &[f64] = if captured {
             &input.distractor
         } else {
@@ -253,14 +253,20 @@ mod tests {
         let inputs = w.generate_inputs(600, 21);
         let run = run_sequential(&w, &inputs, 17);
         let d = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         // In the last quarter of the stream, the estimate is closer to the
         // face than the distractor for a clear majority of frames.
         let tail = 450..600;
         let on_face = tail
             .clone()
-            .filter(|&i| d(&run.outputs[i], &inputs[i].truth) < d(&run.outputs[i], &inputs[i].distractor))
+            .filter(|&i| {
+                d(&run.outputs[i], &inputs[i].truth) < d(&run.outputs[i], &inputs[i].distractor)
+            })
             .count();
         assert!(on_face > 100, "only {on_face}/150 tail frames on the face");
     }

@@ -32,8 +32,8 @@
 
 pub mod bodytrack;
 pub mod facedet_and_track;
-pub mod fluidanimate;
 pub mod facetrack;
+pub mod fluidanimate;
 pub mod particle;
 pub mod quality;
 pub mod streamclassifier;
@@ -42,4 +42,6 @@ pub mod suite;
 pub mod swaptions;
 pub mod synth;
 
-pub use suite::{dispatch, ExecMode, Workload, WorkloadVisitor, BENCHMARK_NAMES, EXTENDED_BENCHMARK_NAMES};
+pub use suite::{
+    dispatch, ExecMode, Workload, WorkloadVisitor, BENCHMARK_NAMES, EXTENDED_BENCHMARK_NAMES,
+};

@@ -71,7 +71,13 @@ impl ParticleCloud {
             .particles
             .iter()
             .zip(&self.weights)
-            .map(|(p, w)| w * p.iter().zip(&est).map(|(x, e)| (x - e) * (x - e)).sum::<f64>())
+            .map(|(p, w)| {
+                w * p
+                    .iter()
+                    .zip(&est)
+                    .map(|(x, e)| (x - e) * (x - e))
+                    .sum::<f64>()
+            })
             .sum();
         var.sqrt()
     }

@@ -101,9 +101,9 @@ impl StateDependence for StreamClassifier {
         let mut dist_evals = 0u64;
         let mut correct = 0usize;
         let process = |state: &mut Prototypes,
-                           rng: &mut StatsRng,
-                           count_correct: &mut usize,
-                           take: usize|
+                       rng: &mut StatsRng,
+                       count_correct: &mut usize,
+                       take: usize|
          -> u64 {
             let mut evals = 0u64;
             *count_correct = 0;
@@ -115,10 +115,7 @@ impl StateDependence for StreamClassifier {
                     .map(|(i, c)| {
                         (
                             i,
-                            c.iter()
-                                .zip(p)
-                                .map(|(x, y)| (x - y) * (x - y))
-                                .sum::<f64>(),
+                            c.iter().zip(p).map(|(x, y)| (x - y) * (x - y)).sum::<f64>(),
                         )
                     })
                     .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))

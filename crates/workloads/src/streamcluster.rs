@@ -394,7 +394,11 @@ mod tests {
         let mut rng = stats_core::rng::StatsRng::from_seed_value(3);
         for input in &inputs {
             w.update(&mut state, input, &mut rng);
-            assert!(state.centers.len() <= w.kmax, "{} centers", state.centers.len());
+            assert!(
+                state.centers.len() <= w.kmax,
+                "{} centers",
+                state.centers.len()
+            );
         }
     }
 

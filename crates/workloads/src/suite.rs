@@ -149,7 +149,11 @@ mod tests {
     impl WorkloadVisitor for ProfilesAreSane {
         type Output = ();
         fn visit<W: Workload>(self, w: &W) {
-            for mode in [ExecMode::Sequential, ExecMode::OriginalTlp, ExecMode::StatsTlp] {
+            for mode in [
+                ExecMode::Sequential,
+                ExecMode::OriginalTlp,
+                ExecMode::StatsTlp,
+            ] {
                 let profiles = w.uarch_profiles(mode);
                 assert!(!profiles.is_empty(), "{}: no profiles", w.name());
                 for p in &profiles {

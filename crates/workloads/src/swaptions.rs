@@ -73,8 +73,8 @@ impl Swaptions {
         }
         let price = payoff_sum / SAMPLE_PATHS as f64;
         // Deterministic normalizer: a crude expected payoff scale.
-        let reference =
-            (batch.rate0 * 1.2 - batch.strike).abs().max(0.002) + 0.3 * batch.volatility * batch.rate0;
+        let reference = (batch.rate0 * 1.2 - batch.strike).abs().max(0.002)
+            + 0.3 * batch.volatility * batch.rate0;
         price / reference
     }
 }
@@ -272,12 +272,31 @@ mod tests {
         // the application-specific acceptance check the STATS interface
         // lets developers express (§II-A).
         let w = Swaptions::paper();
-        let quiet_a = PriceState { price: 2.0, variance: 0.0, warmup: 1.0 };
-        let quiet_b = PriceState { price: 2.2, variance: 0.0, warmup: 1.0 };
+        let quiet_a = PriceState {
+            price: 2.0,
+            variance: 0.0,
+            warmup: 1.0,
+        };
+        let quiet_b = PriceState {
+            price: 2.2,
+            variance: 0.0,
+            warmup: 1.0,
+        };
         assert!(!w.states_match(&quiet_a, &quiet_b), "0.2 gap at zero noise");
-        let noisy_a = PriceState { price: 2.0, variance: 0.01, warmup: 1.0 };
-        let noisy_b = PriceState { price: 2.2, variance: 0.01, warmup: 1.0 };
-        assert!(w.states_match(&noisy_a, &noisy_b), "0.2 gap within 2.5 sigma");
+        let noisy_a = PriceState {
+            price: 2.0,
+            variance: 0.01,
+            warmup: 1.0,
+        };
+        let noisy_b = PriceState {
+            price: 2.2,
+            variance: 0.01,
+            warmup: 1.0,
+        };
+        assert!(
+            w.states_match(&noisy_a, &noisy_b),
+            "0.2 gap within 2.5 sigma"
+        );
     }
 
     #[test]

@@ -325,7 +325,13 @@ mod tests {
 
     #[test]
     fn empty_streams_round_trip() {
-        assert_eq!(decode_frames(encode_frames(&[])).unwrap(), Vec::<Frame>::new());
-        assert_eq!(decode_rates(encode_rates(&[])).unwrap(), Vec::<RateBatch>::new());
+        assert_eq!(
+            decode_frames(encode_frames(&[])).unwrap(),
+            Vec::<Frame>::new()
+        );
+        assert_eq!(
+            decode_rates(encode_rates(&[])).unwrap(),
+            Vec::<RateBatch>::new()
+        );
     }
 }

@@ -99,7 +99,8 @@ impl ImageStreamConfig {
                 } else {
                     0.0
                 };
-                *x = (*x + repel
+                *x = (*x
+                    + repel
                     + 0.04 * ((i as f64 / (31.0 + d as f64)) + 2.0 * d as f64).cos()
                     + rng.noise(self.motion_step))
                 .clamp(-1.0, 1.0);

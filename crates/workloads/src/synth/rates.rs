@@ -52,10 +52,10 @@ impl RateStreamConfig {
         let contracts: Vec<(f64, f64, f64, f64)> = (0..self.swaptions)
             .map(|_| {
                 (
-                    0.03 + rng.unit() * 0.04,  // strike 3-7%
-                    1.0 + rng.unit() * 9.0,    // maturity 1-10y
-                    0.02 + rng.unit() * 0.03,  // initial rate
-                    0.1 + rng.unit() * 0.3,    // volatility
+                    0.03 + rng.unit() * 0.04, // strike 3-7%
+                    1.0 + rng.unit() * 9.0,   // maturity 1-10y
+                    0.02 + rng.unit() * 0.03, // initial rate
+                    0.1 + rng.unit() * 0.3,   // volatility
                 )
             })
             .collect();

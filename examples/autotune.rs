@@ -39,17 +39,31 @@ impl WorkloadVisitor for Tune {
         let report = tuner.tune(Strategy::Ensemble, |cfg| {
             evals += 1;
             let run = rt
-                .run("autotune", w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+                .run(
+                    "autotune",
+                    w,
+                    &inputs,
+                    cfg,
+                    w.inner_parallelism(),
+                    FIGURE_SEED,
+                )
                 .expect("valid config");
             // The profiler's objective: execution time in cycles.
             run.execution.makespan.get() as f64
         });
 
-        println!("explored {} configurations", report.configurations_explored());
+        println!(
+            "explored {} configurations",
+            report.configurations_explored()
+        );
         let conv = report.convergence();
         for (i, cost) in conv.iter().enumerate() {
             if i == 0 || i + 1 == conv.len() || (i % (conv.len() / 8).max(1)) == 0 {
-                println!("  after {:>3} evaluations: best makespan {:>12.0} cycles", i + 1, cost);
+                println!(
+                    "  after {:>3} evaluations: best makespan {:>12.0} cycles",
+                    i + 1,
+                    cost
+                );
             }
         }
         let best = report.best;
@@ -58,9 +72,19 @@ impl WorkloadVisitor for Tune {
             best.chunks, best.lookback, best.extra_states, best.combine_inner_tlp
         );
         let final_run = rt
-            .run("autotuned", w, &inputs, best, w.inner_parallelism(), FIGURE_SEED)
+            .run(
+                "autotuned",
+                w,
+                &inputs,
+                best,
+                w.inner_parallelism(),
+                FIGURE_SEED,
+            )
             .expect("valid config");
-        println!("autotuned speedup: {:.2}x on 28 cores\n", final_run.speedup());
+        println!(
+            "autotuned speedup: {:.2}x on 28 cores\n",
+            final_run.speedup()
+        );
     }
 }
 

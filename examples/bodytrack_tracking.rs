@@ -48,7 +48,14 @@ fn main() {
     // And the simulated 28-core machine shows the speedup this buys.
     let rt = SimulatedRuntime::paper_machine();
     let report = rt
-        .run("bodytrack", &tracker, &frames, config, tracker.inner_parallelism(), seed)
+        .run(
+            "bodytrack",
+            &tracker,
+            &frames,
+            config,
+            tracker.inner_parallelism(),
+            seed,
+        )
         .expect("valid configuration");
     println!(
         "simulated speedup on 28 cores: {:.2}x ({} threads, {:.1} MB of states)",

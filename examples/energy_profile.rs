@@ -50,7 +50,14 @@ impl WorkloadVisitor for Profile {
             ("Par. STATS", tuned),
         ] {
             let report = rt
-                .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+                .run(
+                    w.name(),
+                    w,
+                    &inputs,
+                    cfg,
+                    w.inner_parallelism(),
+                    FIGURE_SEED,
+                )
                 .expect("valid configuration");
             let trace = &report.execution.trace;
             let seconds = report.execution.makespan.get() as f64 / model.frequency_hz;

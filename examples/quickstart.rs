@@ -11,10 +11,10 @@
 //! the simulated STATS runtime on a modeled 28-core machine, and under the
 //! real threaded STATS runtime on the host.
 
+use stats_workbench::core::rng::StatsRng;
 use stats_workbench::core::runtime::sequential::run_sequential;
 use stats_workbench::core::runtime::simulated::SimulatedRuntime;
 use stats_workbench::core::runtime::threaded::run_threaded;
-use stats_workbench::core::rng::StatsRng;
 use stats_workbench::core::{Config, InnerParallelism, StateDependence, UpdateCost};
 
 /// A noisy sensor-smoothing stream: the state is the smoothed estimate,
@@ -54,7 +54,11 @@ fn main() {
 
     // 1. The program as written: one dependence chain.
     let seq = run_sequential(&Smoother, &inputs, seed);
-    println!("sequential: {} outputs, final state {:.4}", seq.outputs.len(), seq.final_state);
+    println!(
+        "sequential: {} outputs, final state {:.4}",
+        seq.outputs.len(),
+        seq.final_state
+    );
 
     // 2. STATS on the paper's modeled 28-core machine: the chain is split
     //    into 28 chunks; alternative producers exploit the smoother's
@@ -62,7 +66,14 @@ fn main() {
     let config = Config::stats_only(28, 16, 2);
     let rt = SimulatedRuntime::paper_machine();
     let report = rt
-        .run("quickstart", &Smoother, &inputs, config, InnerParallelism::none(), seed)
+        .run(
+            "quickstart",
+            &Smoother,
+            &inputs,
+            config,
+            InnerParallelism::none(),
+            seed,
+        )
         .expect("valid configuration");
     println!(
         "simulated STATS: speedup {:.2}x on 28 cores, {} aborts, {} threads, {} states",

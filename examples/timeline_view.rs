@@ -25,7 +25,14 @@ impl WorkloadVisitor for Show {
         let cfg = tuned_config(w, 28, scale);
         let rt = SimulatedRuntime::paper_machine();
         let report = rt
-            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+            .run(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                FIGURE_SEED,
+            )
             .expect("valid configuration");
 
         println!(

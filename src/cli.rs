@@ -270,7 +270,14 @@ impl WorkloadVisitor for RunCmd {
         let inputs = w.generate_inputs(n, self.opts.seed);
         let rt = SimulatedRuntime::paper_machine();
         let report = rt
-            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), self.opts.seed)
+            .run(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                self.opts.seed,
+            )
             .expect("valid configuration");
         let quality = w.quality(&inputs, &report.outputs);
         format!(
@@ -311,7 +318,14 @@ impl WorkloadVisitor for ExportCmd {
         let inputs = w.generate_inputs(n, self.opts.seed);
         let rt = SimulatedRuntime::paper_machine();
         let report = rt
-            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), self.opts.seed)
+            .run(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                self.opts.seed,
+            )
             .expect("valid configuration");
         let json = stats_trace::chrome::to_chrome_trace(&report.execution.trace);
         std::fs::write(&self.path, &json)?;
@@ -338,14 +352,28 @@ impl WorkloadVisitor for TuneCmd {
         let space = stats_core::DesignSpace::for_inputs(n, 28, w.inner_parallelism().is_parallel());
         let tuner = Tuner::new(space, self.budget, self.opts.seed);
         let report = tuner.tune(Strategy::Ensemble, |cfg| {
-            rt.run(w.name(), w, &inputs, cfg, w.inner_parallelism(), self.opts.seed)
-                .expect("valid config")
-                .execution
-                .makespan
-                .get() as f64
+            rt.run(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                self.opts.seed,
+            )
+            .expect("valid config")
+            .execution
+            .makespan
+            .get() as f64
         });
         let best_run = rt
-            .run(w.name(), w, &inputs, report.best, w.inner_parallelism(), self.opts.seed)
+            .run(
+                w.name(),
+                w,
+                &inputs,
+                report.best,
+                w.inner_parallelism(),
+                self.opts.seed,
+            )
             .expect("valid config");
         format!(
             "benchmark: {}\nexplored:  {} configurations\nbest:      {}\nspeedup:   {:.2}x on 28 cores\n",

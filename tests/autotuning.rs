@@ -60,8 +60,7 @@ fn all_strategies_find_speedup() {
         Strategy::Ensemble,
     ] {
         let space = DesignSpace::for_inputs(n, 28, true);
-        let report =
-            Tuner::new(space, 30, 5).tune(strategy, makespan_objective(&rt, &w, &inputs));
+        let report = Tuner::new(space, 30, 5).tune(strategy, makespan_objective(&rt, &w, &inputs));
         assert!(
             report.best_cost < seq_cost,
             "{strategy:?} failed to beat sequential"
@@ -81,13 +80,10 @@ fn paper_scale_exploration_counts() {
     assert!(space.size() >= 89, "space too small: {}", space.size());
     let inputs = w.generate_inputs(n, 9);
     let rt = SimulatedRuntime::paper_machine();
-    let report = Tuner::new(space, 120, 21).tune(
-        Strategy::Ensemble,
-        makespan_objective(&rt, &w, &inputs),
-    );
+    let report =
+        Tuner::new(space, 120, 21).tune(Strategy::Ensemble, makespan_objective(&rt, &w, &inputs));
     assert!(report.configurations_explored() >= 89);
 }
-
 
 #[test]
 fn energy_objective_prefers_efficient_configurations() {
@@ -118,9 +114,12 @@ fn energy_objective_prefers_efficient_configurations() {
     // The tuner can optimize for energy directly.
     let space = DesignSpace::for_inputs(n, 28, true);
     let report = Tuner::new(space, 30, 33).tune(Strategy::Ensemble, energy_of);
-    assert!(report.best_cost <= stats * 1.05, "tuned energy {:.3}", report.best_cost);
+    assert!(
+        report.best_cost <= stats * 1.05,
+        "tuned energy {:.3}",
+        report.best_cost
+    );
 }
-
 
 #[test]
 fn autotuner_reproduces_the_abort_avoiding_chunk_choice() {
@@ -135,11 +134,18 @@ fn autotuner_reproduces_the_abort_avoiding_chunk_choice() {
     let rt = SimulatedRuntime::paper_machine();
     let space = DesignSpace::for_inputs(n, 28, true);
     let report = Tuner::new(space, 40, 17).tune(Strategy::Ensemble, |cfg| {
-        rt.run("tune-facetrack", &w, &inputs, cfg, w.inner_parallelism(), 0x7AC)
-            .expect("valid config")
-            .execution
-            .makespan
-            .get() as f64
+        rt.run(
+            "tune-facetrack",
+            &w,
+            &inputs,
+            cfg,
+            w.inner_parallelism(),
+            0x7AC,
+        )
+        .expect("valid config")
+        .execution
+        .makespan
+        .get() as f64
     });
     // The winning configuration speculates, but conservatively: fewer
     // chunks than cores (deep chunking mispeculates and loses).
@@ -150,10 +156,21 @@ fn autotuner_reproduces_the_abort_avoiding_chunk_choice() {
     );
     // And it beats the original-TLP-only configuration.
     let original = rt
-        .run("orig", &w, &inputs, Config::original_only(), w.inner_parallelism(), 0x7AC)
+        .run(
+            "orig",
+            &w,
+            &inputs,
+            Config::original_only(),
+            w.inner_parallelism(),
+            0x7AC,
+        )
         .unwrap()
         .execution
         .makespan
         .get() as f64;
-    assert!(report.best_cost < original, "tuned {} vs original {original}", report.best_cost);
+    assert!(
+        report.best_cost < original,
+        "tuned {} vs original {original}",
+        report.best_cost
+    );
 }

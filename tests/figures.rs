@@ -59,8 +59,16 @@ fn table2_modes_have_consistent_counters() {
             &row.counters.stats,
         ] {
             assert!(c.l1d.misses <= c.l1d.accesses, "{}", row.benchmark);
-            assert!(c.l2.accesses <= c.l1d.accesses, "{}: L2 filtered by L1", row.benchmark);
-            assert!(c.llc.accesses <= c.l2.accesses, "{}: LLC filtered by L2", row.benchmark);
+            assert!(
+                c.l2.accesses <= c.l1d.accesses,
+                "{}: L2 filtered by L1",
+                row.benchmark
+            );
+            assert!(
+                c.llc.accesses <= c.l2.accesses,
+                "{}: LLC filtered by L2",
+                row.benchmark
+            );
             assert!(c.branch_misses <= c.branches);
         }
     }
@@ -77,13 +85,12 @@ fn fig16_quality_distributions_are_sane() {
     }
 }
 
-
 #[test]
 fn exporters_handle_real_traces() {
     use stats_workbench::bench::pipeline::{run_benchmark, tuned_config, Machines, FIGURE_SEED};
+    use stats_workbench::trace::analysis::busy_fraction;
     use stats_workbench::trace::chrome::to_chrome_trace;
     use stats_workbench::trace::timeline::{render_timeline, TimelineOptions};
-    use stats_workbench::trace::analysis::busy_fraction;
     use stats_workbench::workloads::swaptions::Swaptions;
 
     let w = Swaptions::paper();

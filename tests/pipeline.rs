@@ -22,7 +22,14 @@ impl WorkloadVisitor for FullPipeline {
         let cfg = tuned_config(w, 28, SCALE);
         let rt = SimulatedRuntime::new(machines.cores28.clone());
         let report = rt
-            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+            .run(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                FIGURE_SEED,
+            )
             .expect("pipeline must run");
 
         // Outputs cover every input, in order.
@@ -78,10 +85,19 @@ impl WorkloadVisitor for QualityPreserved {
         let n = Scale(0.2).inputs_for(w);
         let inputs = w.generate_inputs(n, 0xAB);
         let cfg = tuned_config(w, 28, Scale(0.2));
-        let seq = run_sequential(w, &inputs, 1);
-        let spec = stats_workbench::core::speculation::run_speculative(w, &inputs, cfg, 1);
-        let q_seq = w.quality(&inputs, &seq.outputs);
-        let q_stats = w.quality(&inputs, &spec.outputs);
+        // Nondeterministic programs: any single run seed can hit an unlucky
+        // trajectory (e.g. a tracker briefly captured by a distractor), in
+        // the sequential *or* the speculative execution. The paper's claim
+        // is about typical output quality, so compare means over run seeds.
+        const RUN_SEEDS: [u64; 3] = [1, 2, 3];
+        let mut q_seq = 0.0;
+        let mut q_stats = 0.0;
+        for seed in RUN_SEEDS {
+            let seq = run_sequential(w, &inputs, seed);
+            let spec = stats_workbench::core::speculation::run_speculative(w, &inputs, cfg, seed);
+            q_seq += w.quality(&inputs, &seq.outputs) / RUN_SEEDS.len() as f64;
+            q_stats += w.quality(&inputs, &spec.outputs) / RUN_SEEDS.len() as f64;
+        }
         assert!(
             q_stats >= q_seq - 0.15,
             "{}: STATS quality {q_stats:.3} degraded vs sequential {q_seq:.3}",
@@ -127,5 +143,8 @@ fn speedup_scales_with_input_size() {
             grew += 1;
         }
     }
-    assert!(grew >= 5, "speedup grew with input for only {grew}/6 benchmarks");
+    assert!(
+        grew >= 5,
+        "speedup grew with input for only {grew}/6 benchmarks"
+    );
 }

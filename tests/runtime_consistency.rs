@@ -20,7 +20,14 @@ impl WorkloadVisitor for Consistency {
 
         let rt = SimulatedRuntime::paper_machine();
         let simulated = rt
-            .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), FIGURE_SEED)
+            .run(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                FIGURE_SEED,
+            )
             .expect("simulated run");
         let threaded = run_threaded(w, &inputs, cfg, FIGURE_SEED);
 

@@ -2,10 +2,10 @@
 //! guarantees, spanning `stats-core` and `stats-platform`.
 
 use proptest::prelude::*;
+use stats_workbench::core::rng::StatsRng;
 use stats_workbench::core::runtime::sequential::run_sequential;
 use stats_workbench::core::runtime::simulated::{build_task_graph, GraphOptions};
 use stats_workbench::core::runtime::threaded::run_threaded;
-use stats_workbench::core::rng::StatsRng;
 use stats_workbench::core::speculation::run_speculative;
 use stats_workbench::core::{plan_balanced, Config, StateDependence, UpdateCost};
 use stats_workbench::platform::Machine;

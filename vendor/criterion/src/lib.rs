@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workbench's `[[bench]]` targets compiling and *usefully
+//! runnable* in hermetic environments: each benchmark is warmed up,
+//! then timed over a fixed iteration budget, and a single
+//! median-of-batches line is printed per benchmark. No statistical
+//! analysis, no HTML reports, no comparison to saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, the only one upstream's users
+/// actually need.
+pub use std::hint::black_box;
+
+/// Throughput annotation; printed alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark context passed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in's iteration budget is
+    /// fixed.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in's timing budget is fixed.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; warm-up happens inside [`run_one`].
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in's iteration budget is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.throughput, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this batch's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up and pick an iteration count targeting ~40 ms per batch.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(20));
+    let iters =
+        (Duration::from_millis(40).as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    // Median of three timed batches.
+    let mut times = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_nanos() as u64 / iters.max(1));
+    }
+    times.sort_unstable();
+    let ns = times[1];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns > 0 => {
+            format!("  {:.1} Melem/s", n as f64 / ns as f64 * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if ns > 0 => {
+            format!(
+                "  {:.1} MiB/s",
+                n as f64 / ns as f64 * 1e9 / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("  {name}: {ns} ns/iter ({iters} iters){rate}");
+}
+
+/// Declare a group function compatible with upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_accept_throughput_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10))
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,73 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::distributions::StandardSample;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// Generate one canonical value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t as StandardSample>::standard_sample(rng)
+            }
+        }
+    )*};
+}
+
+arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::new(rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_full_width_values() {
+        let mut rng = TestRng::for_case("arbitrary-tests", 0);
+        let ints = any::<u64>();
+        let mut high_bits = false;
+        for _ in 0..64 {
+            if ints.generate(&mut rng) > u64::MAX / 2 {
+                high_bits = true;
+            }
+        }
+        assert!(high_bits, "no draw ever used the top bit");
+    }
+
+    #[test]
+    fn any_bool_takes_both_values() {
+        let mut rng = TestRng::for_case("arbitrary-tests", 1);
+        let coins = any::<bool>();
+        let heads = (0..100).filter(|_| coins.generate(&mut rng)).count();
+        assert!((10..90).contains(&heads));
+    }
+}

@@ -1,0 +1,94 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for collection strategies: either an exact
+/// size or a range of sizes.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty size range");
+        SizeRange { lo, hi }
+    }
+}
+
+/// A strategy for `Vec<S::Value>` with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.lo == self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..=self.size.hi)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::for_case("collection-tests", 0);
+        let exact = vec(0u8..5, 4usize);
+        let ranged = vec(0u8..5, 1..20);
+        for _ in 0..100 {
+            assert_eq!(exact.generate(&mut rng).len(), 4);
+            let v = ranged.generate(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 5));
+        }
+    }
+
+    #[test]
+    fn nested_vecs_compose() {
+        let mut rng = TestRng::for_case("collection-tests", 1);
+        let grid = vec(vec(-1.0f64..1.0, 4usize), 2..5);
+        let g = grid.generate(&mut rng);
+        assert!((2..5).contains(&g.len()));
+        assert!(g.iter().all(|row| row.len() == 4));
+    }
+}

@@ -1,0 +1,46 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// A position into a collection whose size is unknown at generation
+/// time: generated as raw entropy, resolved against a length later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wrap raw entropy.
+    pub fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolve against a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero (same contract as upstream).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        // Multiply-shift keeps the distribution uniform for small lens.
+        ((u128::from(self.0) * len as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_cover_the_range() {
+        let mut seen = [false; 7];
+        for i in 0..1_000u64 {
+            // Spread raw values over the full 64-bit range.
+            let raw = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            seen[Index::new(raw).index(7)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_collections_are_rejected() {
+        Index::new(1).index(0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is falsified.
+    Fail(String),
+    /// A precondition (`prop_assume!`) rejected the inputs.
+    Reject(&'static str),
+}
+
+impl TestCaseError {
+    /// A falsification with a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// A precondition rejection.
+    pub fn reject(what: &'static str) -> Self {
+        TestCaseError::Reject(what)
+    }
+}
+
+/// The RNG handed to strategies: a ChaCha8 stream seeded from the test
+/// name and case index, so every failure is reproducible by rerunning
+/// the same test binary — no state files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// The stream for `(test, case)`.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}
+
+/// Drive one property through `config.cases` accepted cases.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when a case falsifies the
+/// property, or when rejections exhaust the global budget
+/// (`cases * 20`, minimum 1000) like upstream's `max_global_rejects`.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut accepted: u64 = 0;
+    let mut rejected: u64 = 0;
+    let reject_budget = u64::from(config.cases.max(50)) * 20;
+    let mut stream: u64 = 0;
+    while accepted < u64::from(config.cases) {
+        let mut rng = TestRng::for_case(test_name, stream);
+        stream += 1;
+        match property(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "{test_name}: too many precondition rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property falsified at case {accepted} \
+                     (deterministic stream {}): {msg}",
+                    stream - 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn runner_counts_accepted_cases() {
+        let mut runs = 0;
+        run_cases(&ProptestConfig::with_cases(17), "counts", |_| {
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 17);
+    }
+
+    #[test]
+    fn rejections_do_not_consume_the_case_budget() {
+        let mut accepted = 0;
+        let mut seen = 0;
+        run_cases(&ProptestConfig::with_cases(10), "rejects", |rng| {
+            seen += 1;
+            if rng.gen::<bool>() {
+                return Err(TestCaseError::reject("coin"));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 10);
+        assert!(seen >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic_with_the_message() {
+        run_cases(&ProptestConfig::with_cases(5), "fails", |_| {
+            Err(TestCaseError::fail("boom".into()))
+        });
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name_and_case() {
+        let mut a = TestRng::for_case("same", 3);
+        let mut b = TestRng::for_case("same", 3);
+        let mut c = TestRng::for_case("same", 4);
+        let mut d = TestRng::for_case("other", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+        assert_ne!(b.next_u64(), d.next_u64());
+    }
+}

@@ -1,0 +1,206 @@
+//! Standard and uniform sampling, mirroring the upstream module layout
+//! (`rand::distributions::uniform`).
+
+use crate::RngCore;
+
+/// Types with a canonical "standard" distribution: what `rng.gen::<T>()`
+/// draws. Integers take uniform bits, floats take `[0, 1)`, `bool` a
+/// fair coin.
+pub trait StandardSample: Sized {
+    /// Draw one value from the standard distribution.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling (`SampleUniform` + `SampleRange`).
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform draw from `[low, high)`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Range types usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one value.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_inclusive(rng, low, high)
+        }
+    }
+
+    /// Uniform `u64` in `[0, span)` via 128-bit multiply-shift
+    /// (Lemire's method without the rejection step; the bias is
+    /// < 2^-64 per draw, far below anything the workbench can observe).
+    fn span_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as u64).wrapping_sub(low as u64);
+                    low.wrapping_add(span_u64(rng, span) as $t)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as u64).wrapping_sub(low as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    low.wrapping_add(span_u64(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as i64).wrapping_sub(low as i64) as u64;
+                    (low as i64).wrapping_add(span_u64(rng, span) as i64) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let span = (high as i64).wrapping_sub(low as i64) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (low as i64).wrapping_add(span_u64(rng, span + 1) as i64) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    let v = low + (high - low) * unit;
+                    // Floating rounding can land exactly on `high`; fold
+                    // that measure-zero case back inside the half-open
+                    // contract.
+                    if v >= high { low } else { v }
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                    low + (high - low) * unit
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        struct Lcg(u64);
+        impl RngCore for Lcg {
+            fn next_u32(&mut self) -> u32 {
+                (self.next_u64() >> 32) as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                self.0
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for b in dest.iter_mut() {
+                    *b = self.next_u64() as u8;
+                }
+            }
+        }
+
+        #[test]
+        fn integer_ranges_hit_all_values() {
+            let mut r = Lcg(99);
+            let mut seen = [false; 5];
+            for _ in 0..500 {
+                seen[r.gen_range(0usize..5)] = true;
+            }
+            assert!(seen.iter().all(|s| *s), "{seen:?}");
+        }
+
+        #[test]
+        fn negative_ranges_work() {
+            let mut r = Lcg(5);
+            for _ in 0..200 {
+                let v: i64 = r.gen_range(-10i64..-2);
+                assert!((-10..-2).contains(&v));
+            }
+        }
+
+        #[test]
+        fn float_half_open_excludes_high() {
+            let mut r = Lcg(17);
+            for _ in 0..10_000 {
+                let v: f64 = r.gen_range(0.0..1e-300);
+                assert!(v < 1e-300);
+            }
+        }
+    }
+}

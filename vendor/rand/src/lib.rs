@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workbench builds in hermetic environments with no crates.io
+//! access, so the workspace vendors the *exact* API surface it uses:
+//! [`RngCore`], [`SeedableRng`], the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), and the
+//! [`distributions::uniform`] sampling traits. Semantics follow the
+//! upstream contracts (half-open ranges, `[0, 1)` floats); bit-exact
+//! compatibility with upstream streams is explicitly *not* a goal —
+//! every consumer in this workspace derives its determinism from its
+//! own seeds, never from upstream rand's stream layout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod distributions;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::StandardSample;
+
+/// Error type carried by [`RngCore::try_fill_bytes`].
+///
+/// The vendored generators are infallible; this exists so trait
+/// signatures match upstream.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; infallible here.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from a fixed-size byte seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64 — the same
+    /// scheme upstream uses, so small seeds still produce well-mixed
+    /// key material.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Extension methods every [`RngCore`] gets for free.
+pub trait Rng: RngCore {
+    /// A value drawn from the standard distribution of `T` (uniform bits
+    /// for integers, `[0, 1)` for floats, a fair coin for `bool`).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Uniform draw from a range (`low..high` half-open or
+    /// `low..=high` inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::standard_sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u64);
+    impl RngCore for Counting {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so value-level tests see mixed bits.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let v = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&v[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Counting(1);
+        for _ in 0..1_000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u8 = r.gen_range(0..4u8);
+            assert!(y < 4);
+            let f: f64 = r.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i: i64 = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_half_open() {
+        let mut r = Counting(7);
+        for _ in 0..1_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = r.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn bools_are_roughly_fair() {
+        let mut r = Counting(3);
+        let heads = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn seed_from_u64_expands_whole_seed() {
+        struct Grab([u8; 32]);
+        impl SeedableRng for Grab {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Grab(seed)
+            }
+        }
+        let a = Grab::seed_from_u64(0);
+        let b = Grab::seed_from_u64(1);
+        assert_ne!(a.0, b.0);
+        assert_ne!(&a.0[8..16], &a.0[0..8], "blocks must differ");
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to
+//! mark them wire-ready, but — with `serde_json` outside the allowed
+//! dependency set — never drives an actual serializer (the trace test
+//! suite round-trips through `Debug` instead). This stand-in therefore
+//! ships the two trait names and derive macros with *no data model*:
+//! deriving compiles to empty marker impls. If a future PR adds a real
+//! serializer, replace this crate with a vendored full serde.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// Blanket impls for the std types the workspace composes into derived
+// containers (fields are not visited by the empty derives, but generic
+// containers like `Vec<Span>` still name these bounds in user code).
+macro_rules! mark_primitive {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+mark_primitive!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}

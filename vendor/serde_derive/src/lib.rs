@@ -1,0 +1,198 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits *empty marker impls* of the stand-in `serde::Serialize` /
+//! `serde::Deserialize` traits. The derive input is parsed with a small
+//! token walker (no `syn` in the hermetic build): enough to recover the
+//! type name, its generic parameters, and an optional `where` clause.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the token walker recovers from a derive input.
+struct Target {
+    name: String,
+    /// Full generics as written, without the angle brackets
+    /// (e.g. `T: Clone, 'a, const N: usize`).
+    params: String,
+    /// Parameter names only, for the type position (e.g. `T, 'a, N`).
+    args: String,
+    /// `where ...` clause, if any (without the trailing body).
+    where_clause: String,
+}
+
+fn parse_target(input: TokenStream) -> Target {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // `struct` / `enum` / `union` keyword, then the type name.
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw))
+            if matches!(kw.to_string().as_str(), "struct" | "enum" | "union") =>
+        {
+            i += 1
+        }
+        other => panic!("derive input is not a struct/enum/union: {other:?}"),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Generic parameter list.
+    let mut params = String::new();
+    let mut args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut body: Vec<TokenTree> = Vec::new();
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        depth += 1;
+                        body.push(tokens[i].clone());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            body.push(tokens[i].clone());
+                        }
+                    }
+                    Some(t) => body.push(t.clone()),
+                    None => panic!("unbalanced generics in derive input"),
+                }
+                i += 1;
+            }
+            params = body
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
+            args = param_names(&body).join(", ");
+        }
+    }
+
+    // Optional where clause: everything from `where` up to the body
+    // (brace group), tuple body (paren group), or unit `;`.
+    let mut where_clause = String::new();
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "where" {
+            let mut parts = Vec::new();
+            while let Some(t) = tokens.get(i) {
+                let done = matches!(t, TokenTree::Group(g)
+                        if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis))
+                    || matches!(t, TokenTree::Punct(p) if p.as_char() == ';');
+                if done {
+                    break;
+                }
+                parts.push(t.to_string());
+                i += 1;
+            }
+            where_clause = parts.join(" ");
+        }
+    }
+
+    Target {
+        name,
+        params,
+        args,
+        where_clause,
+    }
+}
+
+/// Extract parameter *names* from a generics body: the leading lifetime
+/// or identifier of each comma-separated parameter at depth zero
+/// (skipping a `const` keyword).
+fn param_names(body: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    let mut at_param_start = true;
+    let mut pending_lifetime = false;
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                at_param_start = true;
+                pending_lifetime = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 0 && at_param_start => {
+                pending_lifetime = true;
+            }
+            TokenTree::Ident(id) if at_param_start => {
+                let text = id.to_string();
+                if pending_lifetime {
+                    names.push(format!("'{text}"));
+                    at_param_start = false;
+                    pending_lifetime = false;
+                } else if text == "const" {
+                    // The next ident is the parameter name.
+                } else {
+                    names.push(text);
+                    at_param_start = false;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    names
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let t = parse_target(input);
+    let mut impl_params = String::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push_str(lt);
+    }
+    if !t.params.is_empty() {
+        if !impl_params.is_empty() {
+            impl_params.push_str(", ");
+        }
+        impl_params.push_str(&t.params);
+    }
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{impl_params}>")
+    };
+    let ty_generics = if t.args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", t.args)
+    };
+    let code = format!(
+        "impl{impl_generics} {trait_path} for {}{ty_generics} {} {{}}",
+        t.name, t.where_clause
+    );
+    code.parse().expect("generated marker impl parses")
+}
+
+/// Derive the stand-in `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", None)
+}
+
+/// Derive the stand-in `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'de>", Some("'de"))
+}
