@@ -13,9 +13,16 @@
 //! | ND003 | unordered iteration sources (`HashMap`, `HashSet`) |
 //! | ND004 | hidden mutable state (`static mut`, `thread_local!`, cells) |
 //! | ND005 | RNG streams built inside `update`/`states_match` bodies |
+//! | ND006 | `println!`/`eprintln!` in runtime hot paths (use telemetry) |
 //!
 //! A finding is suppressed by a comment on the same or the preceding
 //! line: `// stats-analyzer: allow(ND002): reason`.
+//!
+//! Most rules apply everywhere; a rule may instead scope itself to a
+//! path predicate ([`Rule::applies_to`]). ND006 only fires inside the
+//! runtime hot paths (`…/runtime/…`, `speculation.rs`), where stdout
+//! writes serialize threads behind the stdout lock and skew the very
+//! timings the telemetry layer exists to measure.
 
 use crate::diag::{display_path, Diagnostic};
 use crate::lex::{lex, LexedFile, Tok, TokKind};
@@ -54,7 +61,22 @@ pub struct Rule {
     pub summary: &'static str,
     /// Suggested fix, rendered as the diagnostic's `help:` line.
     pub hint: &'static str,
+    /// Path predicate: the rule only runs on files whose (display) path
+    /// satisfies it. Most rules use [`any_path`].
+    pub applies_to: fn(&str) -> bool,
     check: fn(&LexedFile) -> Vec<RawFinding>,
+}
+
+/// The default [`Rule::applies_to`]: every file.
+pub fn any_path(_path: &str) -> bool {
+    true
+}
+
+/// Runtime hot paths: the worker/coordinator loops and the speculation
+/// protocol itself, where a stray stdout write serializes every thread
+/// behind the stdout lock.
+pub fn hot_path(path: &str) -> bool {
+    path.contains("/runtime/") || path.ends_with("speculation.rs")
 }
 
 /// The registry of all rules, in id order.
@@ -65,6 +87,7 @@ pub fn registry() -> Vec<Rule> {
             summary: "ambient randomness outside the per-role STATS streams",
             hint: "draw from the StatsRng passed to the update; ambient entropy makes \
                    commit/abort decisions schedule-dependent",
+            applies_to: any_path,
             check: check_ambient_randomness,
         },
         Rule {
@@ -72,6 +95,7 @@ pub fn registry() -> Vec<Rule> {
             summary: "wall-clock time read",
             hint: "derive timing from the simulated clock (stats-platform cycles); \
                    wall-clock reads differ across runs and runtimes",
+            applies_to: any_path,
             check: check_wall_clock,
         },
         Rule {
@@ -80,6 +104,7 @@ pub fn registry() -> Vec<Rule> {
             hint: "use BTreeMap/BTreeSet (or sort before iterating); HashMap/HashSet \
                    iteration order varies per process and can leak into decisions, \
                    float accumulation order, and reports",
+            applies_to: any_path,
             check: check_unordered_iteration,
         },
         Rule {
@@ -87,6 +112,7 @@ pub fn registry() -> Vec<Rule> {
             summary: "hidden mutable state bypassing the State snapshot",
             hint: "move the data into the workload's State type; state outside it is \
                    invisible to snapshot/restore and survives aborts",
+            applies_to: any_path,
             check: check_hidden_state,
         },
         Rule {
@@ -94,7 +120,17 @@ pub fn registry() -> Vec<Rule> {
             summary: "RNG stream constructed inside update/states_match",
             hint: "use the StatsRng argument; a locally seeded stream repeats draws \
                    across replicas and breaks decision schedule-independence",
+            applies_to: any_path,
             check: check_stream_bypass,
+        },
+        Rule {
+            id: "ND006",
+            summary: "stdout/stderr print in a runtime hot path",
+            hint: "emit a stats-telemetry Event::Diagnostic (or a counter) instead; \
+                   println!/eprintln! serialize workers behind the stdout lock and \
+                   distort the timings telemetry reports",
+            applies_to: hot_path,
+            check: check_hot_path_print,
         },
     ]
 }
@@ -264,11 +300,35 @@ fn check_stream_bypass(file: &LexedFile) -> Vec<RawFinding> {
     out
 }
 
-/// Lint one file's source text. `name` is used in diagnostics.
+fn check_hot_path_print(file: &LexedFile) -> Vec<RawFinding> {
+    const BAD: &[&str] = &["println", "eprintln", "print", "eprint"];
+    let toks = &file.tokens;
+    toks.iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            t.kind == TokKind::Ident
+                && BAD.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|a| a.is_punct('!'))
+        })
+        .map(|(_, t)| {
+            RawFinding::at(
+                t,
+                t.text.chars().count() + 1,
+                format!("`{}!` writes to stdio from a runtime hot path", t.text),
+            )
+        })
+        .collect()
+}
+
+/// Lint one file's source text. `name` is used in diagnostics and
+/// matched against each rule's path predicate.
 pub fn lint_source(name: &str, source: &str) -> Vec<Diagnostic> {
     let file = lex(source);
     let mut out = Vec::new();
     for rule in registry() {
+        if !(rule.applies_to)(name) {
+            continue;
+        }
         for f in (rule.check)(&file) {
             if file.is_allowed(rule.id, f.line) {
                 continue;
@@ -444,6 +504,32 @@ mod tests {
         assert_eq!(d.snippet, "let t = Instant::now();");
         assert_eq!(d.rule, "ND002");
         assert!(d.to_string().contains("--> x.rs:2:9"));
+    }
+
+    #[test]
+    fn hot_path_prints_are_scoped_by_path() {
+        let src = "fn worker() { println!(\"chunk done\"); }";
+        let hot = lint_source("crates/core/src/runtime/threaded.rs", src);
+        assert_eq!(hot.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND006"]);
+        let spec = lint_source("crates/core/src/speculation.rs", src);
+        assert_eq!(spec.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND006"]);
+        // The same print outside the hot paths is fine (CLI, figures,
+        // reports all print deliberately).
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn hot_path_print_needs_a_macro_bang() {
+        // A function call named println (no `!`) is not the macro.
+        let call = "fn f() { println(buf); }";
+        assert!(lint_source("x/runtime/y.rs", call).is_empty());
+        // All four stdio macros are covered.
+        let each = "fn f() { print!(\"a\"); eprint!(\"b\"); }";
+        assert_eq!(lint_source("x/runtime/y.rs", each).len(), 2);
+        // And the waiver comment works like every other rule.
+        let waived =
+            "// stats-analyzer: allow(ND006): fatal-error path\nfn f() { eprintln!(\"x\"); }";
+        assert!(lint_source("x/runtime/y.rs", waived).is_empty());
     }
 
     #[test]

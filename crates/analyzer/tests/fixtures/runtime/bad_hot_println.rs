@@ -1,0 +1,13 @@
+//! Seeded ND006 violations: stdio prints inside a runtime hot path.
+//! This file lives under a `runtime/` directory so the path-scoped rule
+//! applies to it.
+
+fn worker_loop(chunk: usize) {
+    println!("chunk {chunk} started");
+    compute(chunk);
+    eprintln!("chunk {chunk} validated");
+    // stats-analyzer: allow(ND006): one-shot startup banner, outside the loop
+    println!("worker online");
+}
+
+fn compute(_chunk: usize) {}

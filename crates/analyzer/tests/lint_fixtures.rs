@@ -69,6 +69,32 @@ fn stream_bypass_fixture_flags_update_and_states_match() {
 }
 
 #[test]
+fn hot_println_fixture_flags_prints_but_honors_the_waiver() {
+    let diags = fixture("runtime/bad_hot_println.rs");
+    assert_eq!(rules(&diags), ["ND006", "ND006"]);
+    let text = diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("println"));
+    assert!(text.contains("eprintln"));
+    // The waived banner print is not reported.
+    assert!(diags.iter().all(|d| !d.snippet.contains("worker online")));
+}
+
+#[test]
+fn hot_println_rule_is_path_scoped() {
+    // The same source outside a runtime hot path lints clean: ND006 is
+    // about worker loops, not about printing in general.
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/runtime/bad_hot_println.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    let diags = stats_analyzer::lint::lint_source("crates/bench/src/table1.rs", &source);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
 fn clean_fixture_has_zero_findings() {
     let diags = fixture("clean.rs");
     assert!(diags.is_empty(), "clean fixture flagged: {diags:#?}");

@@ -3,6 +3,7 @@
 use crate::searcher::{Annealing, Ensemble, Evolutionary, HillClimb, RandomSearch, Searcher};
 use serde::{Deserialize, Serialize};
 use stats_core::{Config, DesignSpace};
+use stats_telemetry::{Event, TelemetrySink};
 
 /// Which search technique drives the loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,10 +83,19 @@ impl Tuner {
     /// is better), feed back, repeat until the budget is exhausted. Each
     /// distinct configuration is evaluated at most once (results are
     /// memoized, like OpenTuner's result database).
-    pub fn tune(
+    pub fn tune(&self, strategy: Strategy, objective: impl FnMut(Config) -> f64) -> TuningReport {
+        self.tune_observed(strategy, objective, None)
+    }
+
+    /// [`Tuner::tune`] with live telemetry: every evaluation emits a
+    /// [`Event::TuneIteration`] (configuration tried, its cost, the best
+    /// cost so far) into the sink's event log, so a tuning session can be
+    /// watched — and later replayed — from the JSONL stream.
+    pub fn tune_observed(
         &self,
         strategy: Strategy,
         mut objective: impl FnMut(Config) -> f64,
+        telemetry: Option<&TelemetrySink>,
     ) -> TuningReport {
         let mut history: Vec<(Config, f64)> = Vec::new();
         let mut searcher: Box<dyn Searcher> = match strategy {
@@ -113,6 +123,21 @@ impl Tuner {
             assert!(!cost.is_nan(), "objective returned NaN for {cfg:?}");
             evaluated.push(cfg);
             history.push((cfg, cost));
+            if let Some(t) = telemetry {
+                let best_cost = history
+                    .iter()
+                    .map(|(_, c)| *c)
+                    .fold(f64::INFINITY, f64::min);
+                t.event(&Event::TuneIteration {
+                    iteration: history.len(),
+                    chunks: cfg.chunks,
+                    lookback: cfg.lookback,
+                    extra_states: cfg.extra_states,
+                    combine_inner_tlp: cfg.combine_inner_tlp,
+                    cost,
+                    best_cost,
+                });
+            }
         }
         let (best, best_cost) = history
             .iter()
@@ -198,5 +223,47 @@ mod tests {
     #[should_panic(expected = "non-zero evaluation budget")]
     fn zero_budget_rejected() {
         Tuner::new(space(), 0, 1);
+    }
+
+    #[test]
+    fn observed_tuning_emits_one_event_per_evaluation() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf::default();
+        let sink = TelemetrySink::new(1).with_event_writer(Box::new(buf.clone()));
+        let report =
+            Tuner::new(space(), 40, 9).tune_observed(Strategy::Ensemble, objective, Some(&sink));
+        sink.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), report.configurations_explored());
+        // best_cost in the stream is monotone non-increasing, like
+        // TuningReport::convergence.
+        let mut last_best = f64::INFINITY;
+        for line in &lines {
+            assert!(line.contains("\"type\":\"tune_iteration\""));
+            let best = line
+                .split("\"best_cost\":")
+                .nth(1)
+                .and_then(|s| s.trim_end_matches('}').parse::<f64>().ok())
+                .expect("best_cost field");
+            assert!(best <= last_best, "best_cost regressed in {line}");
+            last_best = best;
+        }
+        // Observed and unobserved tuning make identical decisions.
+        let plain = Tuner::new(space(), 40, 9).tune(Strategy::Ensemble, objective);
+        assert_eq!(report.evaluations, plain.evaluations);
     }
 }

@@ -15,6 +15,7 @@ use crate::speculation::{run_speculative, SpeculationOutcome};
 use crate::tlp::InnerParallelism;
 use crate::UpdateCost;
 use stats_platform::{Machine, SimError, TaskGraph, TaskId};
+use stats_telemetry::{Counter, Event, TelemetrySink};
 use stats_trace::{Category, Cycles, ThreadId};
 
 /// Options controlling how an outcome is lowered to a task graph.
@@ -167,6 +168,39 @@ fn emit_compute(
 /// realized chunk's snapshot, comparisons gate sequential-order commits,
 /// and aborts trigger serialized re-execution.
 pub fn build_task_graph<O>(
+    name: &str,
+    outcome: &SpeculationOutcome<O>,
+    machine: &Machine,
+    opts: &GraphOptions,
+) -> TaskGraph {
+    build_task_graph_observed(name, outcome, machine, opts, None)
+}
+
+/// [`build_task_graph`] with live telemetry: every emitted task is also
+/// recorded as a `(category, cycles)` span in the sink at lowering time.
+///
+/// The machine later creates exactly one trace span per task with the
+/// same duration, so a snapshot of the sink reconciles 1:1 — span counts
+/// and cycle sums per category — against the executed trace. That makes
+/// the telemetry-vs-trace comparison a genuine lowering-vs-execution
+/// cross-check rather than two reads of the same data.
+pub fn build_task_graph_observed<O>(
+    name: &str,
+    outcome: &SpeculationOutcome<O>,
+    machine: &Machine,
+    opts: &GraphOptions,
+    telemetry: Option<&TelemetrySink>,
+) -> TaskGraph {
+    let graph = build_graph_inner(name, outcome, machine, opts);
+    if let Some(t) = telemetry {
+        for task in graph.tasks() {
+            t.record_span(task.category, task.duration);
+        }
+    }
+    graph
+}
+
+fn build_graph_inner<O>(
     name: &str,
     outcome: &SpeculationOutcome<O>,
     machine: &Machine,
@@ -493,6 +527,69 @@ pub fn build_task_graph<O>(
     g
 }
 
+/// Record the protocol counters and chunk-lifecycle events a threaded run
+/// would have recorded live, derived from the semantic outcome.
+///
+/// The recording points are shared with
+/// [`crate::runtime::threaded::run_threaded_observed`]: chunk starts,
+/// one speculative-state hand-off per producer, `m` replica snapshots per
+/// boundary, the ordered-comparison count
+/// (`1 + {Some(0) => 0, Some(j) => j, None => m}` per validated chunk),
+/// and one true-state transfer per abort — so both runtimes report
+/// identical protocol totals for the same `(workload, inputs, config,
+/// seed)`.
+fn record_outcome_telemetry<O>(outcome: &SpeculationOutcome<O>, t: &TelemetrySink) {
+    for (c, ch) in outcome.chunks.iter().enumerate() {
+        t.incr(c, Counter::ChunksStarted);
+        t.event(&Event::ChunkStarted {
+            chunk: c,
+            len: ch.range.len(),
+        });
+        if c == 0 {
+            continue;
+        }
+        let m = outcome.chunks[c - 1].replica_costs.len();
+        // Speculative-state hand-off, then one snapshot clone per replica.
+        t.incr(c, Counter::StateCopies);
+        t.add(c, Counter::ReplicasValidated, m as u64);
+        t.add(c, Counter::StateCopies, m as u64);
+        let comparisons = 1 + match ch.matched_original {
+            Some(0) => 0,
+            Some(j) => j as u64,
+            None => m as u64,
+        };
+        t.add(c, Counter::StateComparisons, comparisons);
+        t.event(&Event::ValidationFinished {
+            chunk: c,
+            comparisons,
+            matched_original: ch.matched_original,
+        });
+        match ch.decision {
+            ChunkDecision::Committed => {
+                t.incr(c, Counter::ChunksCommitted);
+                t.event(&Event::ChunkCommitted { chunk: c });
+            }
+            ChunkDecision::Aborted => {
+                t.incr(c, Counter::ChunksAborted);
+                t.incr(c, Counter::Reruns);
+                // True-state transfer to the re-executing chunk.
+                t.incr(c, Counter::StateCopies);
+                t.event(&Event::ChunkAborted { chunk: c });
+                t.event(&Event::RerunFinished { chunk: c });
+            }
+            ChunkDecision::First => {}
+        }
+    }
+    t.event(&Event::RunFinished {
+        committed: outcome
+            .chunks
+            .iter()
+            .filter(|c| c.decision == ChunkDecision::Committed)
+            .count(),
+        aborted: outcome.aborts(),
+    });
+}
+
 /// The simulated STATS runtime: a machine plus the lowering logic.
 #[derive(Debug, Clone)]
 pub struct SimulatedRuntime {
@@ -535,6 +632,35 @@ impl SimulatedRuntime {
         inner: InnerParallelism,
         master_seed: u64,
     ) -> Result<RunReport<W::Output>, SimError> {
+        self.run_observed(name, workload, inputs, config, inner, master_seed, None)
+    }
+
+    /// [`SimulatedRuntime::run`] with live telemetry.
+    ///
+    /// The sink receives the same protocol counters a threaded run records
+    /// (derived from the semantic outcome), per-category span accounting
+    /// recorded at task-graph lowering time (reconciling 1:1 with the
+    /// executed trace), busy/idle cycle totals, and chunk-lifecycle events
+    /// if an event log is attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid for `inputs.len()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed<W: StateDependence>(
+        &self,
+        name: &str,
+        workload: &W,
+        inputs: &[W::Input],
+        config: Config,
+        inner: InnerParallelism,
+        master_seed: u64,
+        telemetry: Option<&TelemetrySink>,
+    ) -> Result<RunReport<W::Output>, SimError> {
         let outcome = run_speculative(workload, inputs, config, master_seed);
         let opts = GraphOptions {
             inner,
@@ -543,7 +669,15 @@ impl SimulatedRuntime {
             sync_ops_per_update: workload.sync_ops_per_update(),
             lazy_replicas: false,
         };
-        self.run_from_outcome(name, workload, inputs, outcome, opts, master_seed)
+        self.run_from_outcome_observed(
+            name,
+            workload,
+            inputs,
+            outcome,
+            opts,
+            master_seed,
+            telemetry,
+        )
     }
 
     /// Lower and execute a precomputed outcome (lets callers reuse one
@@ -559,8 +693,39 @@ impl SimulatedRuntime {
         opts: GraphOptions,
         master_seed: u64,
     ) -> Result<RunReport<W::Output>, SimError> {
-        let graph = build_task_graph(name, &outcome, &self.machine, &opts);
+        self.run_from_outcome_observed(name, workload, inputs, outcome, opts, master_seed, None)
+    }
+
+    /// [`SimulatedRuntime::run_from_outcome`] with live telemetry (see
+    /// [`SimulatedRuntime::run_observed`] for what gets recorded).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_from_outcome_observed<W: StateDependence>(
+        &self,
+        name: &str,
+        workload: &W,
+        inputs: &[W::Input],
+        outcome: SpeculationOutcome<W::Output>,
+        opts: GraphOptions,
+        master_seed: u64,
+        telemetry: Option<&TelemetrySink>,
+    ) -> Result<RunReport<W::Output>, SimError> {
+        let graph = build_task_graph_observed(name, &outcome, &self.machine, &opts, telemetry);
         let execution = self.machine.execute(&graph)?;
+        if let Some(t) = telemetry {
+            record_outcome_telemetry(&outcome, t);
+            // Busy/idle in simulated cycles: span time vs. the rest of the
+            // threads' lifetimes up to the makespan.
+            let busy: u64 = execution
+                .trace
+                .spans()
+                .iter()
+                .map(|s| s.duration().get())
+                .sum();
+            let lifetime = execution.trace.makespan().get() * execution.trace.thread_count() as u64;
+            t.add(0, Counter::BusyTime, busy);
+            t.add(0, Counter::IdleTime, lifetime.saturating_sub(busy));
+            t.flush();
+        }
         let cm = self.machine.cost_model();
         let (seq_cycles, seq_instr) = {
             // The sequential baseline with the same master seed, so
@@ -832,6 +997,59 @@ mod tests {
             .unwrap();
         let summary = TraceSummary::from_trace(&report.execution.trace);
         assert!(summary.imbalance() > 0.0);
+    }
+
+    #[test]
+    fn observed_snapshot_reconciles_with_trace() {
+        use stats_trace::CATEGORIES;
+        let rt = SimulatedRuntime::paper_machine();
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-7,
+            outside: (50_000, 10_000),
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 4, 1);
+        let sink = TelemetrySink::new(cfg.chunks);
+        let report = rt
+            .run_observed(
+                "ema-obs",
+                &w,
+                &ins,
+                cfg,
+                InnerParallelism::none(),
+                7,
+                Some(&sink),
+            )
+            .unwrap();
+        assert!(report.aborts() > 0);
+        let snap = sink.snapshot();
+        assert!(snap.consistent);
+
+        // Span accounting recorded at lowering time must match the
+        // executed trace exactly, per category — counts and cycles.
+        let trace = &report.execution.trace;
+        for cat in CATEGORIES {
+            let trace_spans = trace.spans().iter().filter(|s| s.category == cat).count() as u64;
+            let trace_cycles: u64 = trace
+                .spans()
+                .iter()
+                .filter(|s| s.category == cat)
+                .map(|s| s.duration().get())
+                .sum();
+            assert_eq!(snap.category_spans(cat), trace_spans, "{cat} span count");
+            assert_eq!(snap.category_cycles(cat), trace_cycles, "{cat} cycles");
+        }
+
+        // Protocol counters derive from the same outcome as the decisions.
+        assert_eq!(snap.get(Counter::ChunksStarted), cfg.chunks as u64);
+        assert_eq!(snap.get(Counter::ChunksAborted), report.aborts() as u64);
+        assert_eq!(snap.get(Counter::Reruns), report.aborts() as u64);
+        // Busy + idle spans the whole machine-time rectangle.
+        assert_eq!(
+            snap.get(Counter::BusyTime) + snap.get(Counter::IdleTime),
+            trace.makespan().get() * trace.thread_count() as u64
+        );
     }
 
     #[test]

@@ -19,7 +19,13 @@ use crate::report::ChunkDecision;
 use crate::rng::{StatsRng, StreamRole};
 use crate::speculation::run_segment;
 use crossbeam::channel::bounded;
+use stats_telemetry::{Counter, Event, TelemetrySink};
 use std::time::{Duration, Instant};
+
+/// Nanoseconds since `start`, saturating at `u64::MAX`.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Result of a threaded STATS execution.
 #[derive(Debug, Clone)]
@@ -72,11 +78,37 @@ pub fn run_threaded<W>(
 where
     W: StateDependence + Sync,
 {
+    run_threaded_observed(workload, inputs, config, master_seed, None)
+}
+
+/// [`run_threaded`] with live telemetry.
+///
+/// When `telemetry` is given, workers record protocol counters into it
+/// lock-free while the run is in flight (chunk lifecycle, state copies,
+/// comparisons, busy/idle nanoseconds, validation-queue depth) and emit
+/// structured events if the sink carries an event log. Recording points
+/// match the semantic layer exactly, so a quiesced snapshot reconciles
+/// with [`crate::speculation::run_speculative`] for the same seed.
+///
+/// # Panics
+///
+/// Panics if `config` is invalid for `inputs.len()` or a worker thread
+/// panics (workload `update` panicked).
+pub fn run_threaded_observed<W>(
+    workload: &W,
+    inputs: &[W::Input],
+    config: Config,
+    master_seed: u64,
+    telemetry: Option<&TelemetrySink>,
+) -> ThreadedRun<W::Output>
+where
+    W: StateDependence + Sync,
+{
     config
         .validate(inputs.len())
         .expect("invalid configuration for input length");
     let plan = plan_balanced(inputs.len(), config.chunks);
-    run_threaded_planned(workload, inputs, config, plan, master_seed)
+    run_threaded_planned_observed(workload, inputs, config, plan, master_seed, telemetry)
 }
 
 /// [`run_threaded`] with an explicit chunk plan (parity with
@@ -92,6 +124,27 @@ pub fn run_threaded_planned<W>(
     config: Config,
     plan: crate::planner::ChunkPlan,
     master_seed: u64,
+) -> ThreadedRun<W::Output>
+where
+    W: StateDependence + Sync,
+{
+    run_threaded_planned_observed(workload, inputs, config, plan, master_seed, None)
+}
+
+/// [`run_threaded_planned`] with live telemetry (see
+/// [`run_threaded_observed`] for what gets recorded).
+///
+/// # Panics
+///
+/// Panics if the plan does not match the configuration or a worker
+/// panics.
+pub fn run_threaded_planned_observed<W>(
+    workload: &W,
+    inputs: &[W::Input],
+    config: Config,
+    plan: crate::planner::ChunkPlan,
+    master_seed: u64,
+    telemetry: Option<&TelemetrySink>,
 ) -> ThreadedRun<W::Output>
 where
     W: StateDependence + Sync,
@@ -132,6 +185,15 @@ where
         for (c, (rtx, vrx, xtx)) in worker_ends.into_iter().enumerate() {
             let range = plan.chunk(c);
             scope.spawn(move || {
+                // stats-analyzer: allow(ND002): telemetry busy/idle accounting, not workload semantics
+                let busy_start = Instant::now();
+                if let Some(t) = telemetry {
+                    t.incr(c, Counter::ChunksStarted);
+                    t.event(&Event::ChunkStarted {
+                        chunk: c,
+                        len: range.len(),
+                    });
+                }
                 let (spec_state, start_state) = if c == 0 {
                     (None, workload.fresh_state())
                 } else {
@@ -140,10 +202,18 @@ where
                     for input in &inputs[range.start - k..range.start] {
                         workload.update(&mut st, input, &mut rng);
                     }
+                    // Speculative-state hand-off to the coordinator (Fig. 6).
+                    if let Some(t) = telemetry {
+                        t.incr(c, Counter::StateCopies);
+                    }
                     (Some(st.clone()), st)
                 };
                 let mut rng = StatsRng::derive(master_seed, StreamRole::Chunk(c));
                 let run = run_segment(workload, start_state, inputs, range.clone(), k, &mut rng);
+                if let Some(t) = telemetry {
+                    t.add(c, Counter::BusyTime, elapsed_ns(busy_start));
+                    t.queue_enter();
+                }
                 rtx.send(WorkerResult {
                     spec_state,
                     outputs: run.outputs,
@@ -151,11 +221,26 @@ where
                     final_state: run.final_state,
                 })
                 .expect("coordinator alive");
+                // stats-analyzer: allow(ND002): telemetry busy/idle accounting, not workload semantics
+                let idle_start = Instant::now();
                 match vrx.recv().expect("coordinator alive") {
-                    Verdict::Commit => {}
+                    Verdict::Commit => {
+                        if let Some(t) = telemetry {
+                            t.add(c, Counter::IdleTime, elapsed_ns(idle_start));
+                        }
+                    }
                     Verdict::Abort(true_state) => {
+                        // stats-analyzer: allow(ND002): telemetry busy/idle accounting, not workload semantics
+                        let rerun_start = Instant::now();
+                        if let Some(t) = telemetry {
+                            t.add(c, Counter::IdleTime, elapsed_ns(idle_start));
+                            t.incr(c, Counter::Reruns);
+                        }
                         let mut rng = StatsRng::derive(master_seed, StreamRole::Rerun(c));
                         let rerun = run_segment(workload, *true_state, inputs, range, k, &mut rng);
+                        if let Some(t) = telemetry {
+                            t.add(c, Counter::BusyTime, elapsed_ns(rerun_start));
+                        }
                         xtx.send(WorkerResult {
                             spec_state: None,
                             outputs: rerun.outputs,
@@ -163,6 +248,9 @@ where
                             final_state: rerun.final_state,
                         })
                         .expect("coordinator alive");
+                        if let Some(t) = telemetry {
+                            t.event(&Event::RerunFinished { chunk: c });
+                        }
                     }
                 }
             });
@@ -173,6 +261,9 @@ where
         let mut prev_snapshot: Option<W::State> = None;
         for c in 0..chunks {
             let result = result_rx[c].recv().expect("worker alive");
+            if let Some(t) = telemetry {
+                t.queue_leave();
+            }
             if c == 0 {
                 decisions[0] = ChunkDecision::First;
                 verdict_tx[0].send(Verdict::Commit).expect("worker alive");
@@ -213,23 +304,50 @@ where
                     replica_states.push(Some(h.join().expect("replica thread")));
                 }
             });
+            if let Some(t) = telemetry {
+                // One snapshot clone feeds each replica.
+                t.add(c, Counter::ReplicasValidated, m as u64);
+                t.add(c, Counter::StateCopies, m as u64);
+            }
             // Ordered comparison: producer's own final state first, then
             // replicas — identical order to the semantic layer.
-            let mut matched = workload.states_match(spec_state, &pf);
-            for st in replica_states.iter().flatten() {
-                if matched {
+            let mut comparisons = 1u64;
+            let mut matched: Option<usize> = workload.states_match(spec_state, &pf).then_some(0);
+            for (j, st) in replica_states.iter().flatten().enumerate() {
+                if matched.is_some() {
                     break;
                 }
-                matched = workload.states_match(spec_state, st);
+                comparisons += 1;
+                if workload.states_match(spec_state, st) {
+                    matched = Some(j + 1);
+                }
             }
-            if matched {
+            if let Some(t) = telemetry {
+                t.add(c, Counter::StateComparisons, comparisons);
+                t.event(&Event::ValidationFinished {
+                    chunk: c,
+                    comparisons,
+                    matched_original: matched,
+                });
+            }
+            if matched.is_some() {
                 decisions[c] = ChunkDecision::Committed;
+                if let Some(t) = telemetry {
+                    t.incr(c, Counter::ChunksCommitted);
+                    t.event(&Event::ChunkCommitted { chunk: c });
+                }
                 verdict_tx[c].send(Verdict::Commit).expect("worker alive");
                 prev_final = Some(result.final_state);
                 prev_snapshot = Some(result.snapshot);
                 outputs_per_chunk.push(result.outputs);
             } else {
                 decisions[c] = ChunkDecision::Aborted;
+                if let Some(t) = telemetry {
+                    // True-state transfer to the aborted worker.
+                    t.incr(c, Counter::ChunksAborted);
+                    t.incr(c, Counter::StateCopies);
+                    t.event(&Event::ChunkAborted { chunk: c });
+                }
                 verdict_tx[c]
                     .send(Verdict::Abort(Box::new(pf)))
                     .expect("worker alive");
@@ -241,6 +359,19 @@ where
         }
     });
 
+    if let Some(t) = telemetry {
+        t.event(&Event::RunFinished {
+            committed: decisions
+                .iter()
+                .filter(|d| **d == ChunkDecision::Committed)
+                .count(),
+            aborted: decisions
+                .iter()
+                .filter(|d| **d == ChunkDecision::Aborted)
+                .count(),
+        });
+        t.flush();
+    }
     ThreadedRun {
         outputs: outputs_per_chunk.into_iter().flatten().collect(),
         decisions,
@@ -354,6 +485,104 @@ mod tests {
                 .map(|c| c.decision)
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn observed_counters_match_semantic_outcome() {
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-6,
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 4, 2);
+        let sink = TelemetrySink::new(cfg.chunks);
+        let threaded = run_threaded_observed(&w, &ins, cfg, 7, Some(&sink));
+        let semantic = run_speculative(&w, &ins, cfg, 7);
+        let snap = sink.snapshot();
+        assert!(snap.consistent, "quiesced snapshot must be consistent");
+
+        let chunks = cfg.chunks as u64;
+        let m = cfg.extra_states as u64;
+        let aborts = semantic.aborts() as u64;
+        let committed = semantic
+            .chunks
+            .iter()
+            .filter(|c| c.decision == ChunkDecision::Committed)
+            .count() as u64;
+        assert_eq!(snap.get(Counter::ChunksStarted), chunks);
+        assert_eq!(snap.get(Counter::ChunksCommitted), committed);
+        assert_eq!(snap.get(Counter::ChunksAborted), aborts);
+        assert_eq!(snap.get(Counter::Reruns), aborts);
+        assert_eq!(snap.get(Counter::ReplicasValidated), (chunks - 1) * m);
+        // Copies: spec hand-off per producer + m snapshots per boundary +
+        // one true-state transfer per abort.
+        assert_eq!(
+            snap.get(Counter::StateCopies),
+            (chunks - 1) + (chunks - 1) * m + aborts
+        );
+        // Comparisons: the shared ordered-comparison formula per chunk.
+        let expected_comparisons: u64 = semantic.chunks[1..]
+            .iter()
+            .map(|c| {
+                1 + match c.matched_original {
+                    Some(0) => 0,
+                    Some(j) => j as u64,
+                    None => m,
+                }
+            })
+            .sum();
+        assert_eq!(snap.get(Counter::StateComparisons), expected_comparisons);
+        assert!(snap.get(Counter::BusyTime) > 0);
+        assert!(snap.queue_high_water >= 1);
+        // Telemetry must not perturb semantics.
+        assert_eq!(threaded.outputs, semantic.outputs);
+    }
+
+    #[test]
+    fn observed_event_log_records_lifecycle() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-6,
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 4, 1);
+        let buf = Buf::default();
+        let sink = TelemetrySink::new(cfg.chunks).with_event_writer(Box::new(buf.clone()));
+        let run = run_threaded_observed(&w, &ins, cfg, 7, Some(&sink));
+        assert!(run.aborts() > 0, "this setup must abort");
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len() as u64, sink.snapshot().events_emitted);
+        let count = |kind: &str| {
+            lines
+                .iter()
+                .filter(|l| l.contains(&format!("\"type\":\"{kind}\"")))
+                .count()
+        };
+        assert_eq!(count("chunk_started"), cfg.chunks);
+        assert_eq!(count("validation_finished"), cfg.chunks - 1);
+        assert_eq!(count("chunk_aborted"), run.aborts());
+        assert_eq!(count("rerun_finished"), run.aborts());
+        assert_eq!(count("run_finished"), 1);
+        for line in &lines {
+            stats_telemetry::json::validate(line)
+                .unwrap_or_else(|e| panic!("bad event line {line}: {e}"));
+        }
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! # stats-telemetry
+//!
+//! Live observability for the STATS runtimes.
+//!
+//! The paper's methodology is post-mortem: §V-B attributes speedup loss
+//! from archived traces. That works for the deterministic simulated
+//! runtime, but the threaded runtime and the autotuner run in real time
+//! and need a way to watch commit/abort rates, queue depths, and
+//! mispeculation *while a run is in flight*. This crate provides that
+//! layer, in the spirit of TASKPROF's low-overhead on-the-fly profiling:
+//!
+//! * [`MetricsCore`] — sharded per-worker atomic counters with lock-free
+//!   hot-path recording ([`Counter`] names the protocol events tracked).
+//! * [`EventLog`] / [`Event`] — a structured JSONL event log with
+//!   monotonic sequence numbers (run/chunk/validation lifecycle plus
+//!   autotuner iterations), hand-serialized with the same escaping
+//!   approach as `stats-trace`'s Chrome exporter so no JSON dependency is
+//!   needed.
+//! * [`TelemetrySink`] — the handle the runtimes accept: counters, a
+//!   queue-depth gauge with a high-water mark, per-[`Category`] span
+//!   accounting that reconciles exactly with post-mortem traces, and the
+//!   optional event log.
+//! * [`export`] — Prometheus-style text exposition, a folded-stacks
+//!   (flamegraph-compatible) profile derived from trace category spans,
+//!   and a human-readable metrics table.
+//! * [`json`] — the escaping helpers and a small validating parser used
+//!   to test every JSON surface this workspace emits.
+//!
+//! Consistency model: counter recording is a single relaxed atomic add on
+//! a per-worker shard — no locks, no false sharing. [`TelemetrySink::snapshot`]
+//! aggregates with an epoch-style double-read: it re-reads all shards until
+//! two consecutive passes agree (the snapshot then reflects one instant)
+//! and otherwise marks the snapshot as torn. After a run has quiesced,
+//! snapshots are exact and reconcile with the run's trace.
+//!
+//! ```
+//! use stats_telemetry::{Counter, TelemetrySink};
+//!
+//! let sink = TelemetrySink::new(4);
+//! sink.incr(0, Counter::ChunksStarted);
+//! sink.add(1, Counter::StateComparisons, 3);
+//! let snap = sink.snapshot();
+//! assert_eq!(snap.get(Counter::ChunksStarted), 1);
+//! assert_eq!(snap.get(Counter::StateComparisons), 3);
+//! assert!(snap.consistent);
+//! ```
+
+pub mod counters;
+pub mod events;
+pub mod export;
+pub mod json;
+mod sink;
+
+pub use counters::{Counter, MetricsCore, COUNTERS};
+pub use events::{Event, EventLog};
+pub use sink::{CategorySnapshot, Snapshot, TelemetrySink};
+
+// Re-exported so downstream integration code can name trace categories
+// and cycle quantities without a direct stats-trace dependency.
+pub use stats_trace::{Category, Cycles};

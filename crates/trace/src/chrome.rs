@@ -183,4 +183,65 @@ mod tests {
         let json = to_chrome_trace(&t);
         assert_eq!(json.trim(), "[\n\n]".trim_start());
     }
+
+    #[test]
+    fn escape_handles_every_control_character() {
+        // The named shorthands.
+        assert_eq!(escape("\n\r\t"), "\\n\\r\\t");
+        // Everything else below 0x20 becomes a \u escape.
+        assert_eq!(escape("\u{0}"), "\\u0000");
+        assert_eq!(escape("\u{1b}"), "\\u001b");
+        assert_eq!(escape("\u{1f}"), "\\u001f");
+        for raw in 0u32..0x20 {
+            let c = char::from_u32(raw).unwrap();
+            let esc = escape(&c.to_string());
+            assert!(esc.is_ascii(), "U+{raw:04X} escaped to non-ASCII {esc:?}");
+            assert!(
+                !esc.chars().any(|c| (c as u32) < 0x20),
+                "U+{raw:04X} left a raw control char in {esc:?}"
+            );
+        }
+        // 0x20 itself (space) and DEL pass through: JSON only requires
+        // escaping below 0x20.
+        assert_eq!(escape(" \u{7f}"), " \u{7f}");
+    }
+
+    #[test]
+    fn escape_preserves_backslash_runs_and_unicode() {
+        // Each backslash doubles; a run of four becomes eight.
+        assert_eq!(escape("\\\\\\\\"), "\\\\\\\\\\\\\\\\");
+        // Escaping the escaped form doubles the backslashes again rather
+        // than corrupting them: one becomes two becomes four.
+        assert_eq!(escape(&escape("a\\b")), "a\\\\\\\\b");
+        // Multibyte characters pass through untouched — JSON strings are
+        // UTF-8, no \u escaping needed above 0x1F.
+        assert_eq!(escape("état 漢字 🎯"), "état 漢字 🎯");
+        // Mixed hostile input stays one logical line.
+        let esc = escape("a\"b\\c\nd\u{7}e");
+        assert_eq!(esc, "a\\\"b\\\\c\\nd\\u0007e");
+    }
+
+    #[test]
+    fn hostile_label_roundtrips_through_a_full_export() {
+        let mut b = TraceBuilder::new("esc2");
+        b.push_labeled(
+            ThreadId(0),
+            Category::Commit,
+            Cycles(0),
+            Cycles(2),
+            0,
+            "ctrl \u{1} quote \" slash \\ tab \t",
+        );
+        let json = to_chrome_trace(&b.finish().unwrap());
+        // No raw control characters survive anywhere in the document.
+        assert!(
+            !json.chars().any(|c| (c as u32) < 0x20 && c != '\n'),
+            "raw control char leaked into {json:?}"
+        );
+        // Quotes inside every emitted string stay escaped: each line is
+        // still a single brace-balanced object.
+        for line in json.lines().filter(|l| l.contains("{")) {
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
 }

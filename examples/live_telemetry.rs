@@ -1,0 +1,78 @@
+//! Watch a STATS run through the telemetry layer: stream the JSONL event
+//! log to stderr while the run executes, then render the counter snapshot
+//! as a table, as Prometheus exposition text, and as a folded-stacks
+//! profile ready for a flamegraph tool.
+//!
+//! ```sh
+//! cargo run --release --example live_telemetry [benchmark]
+//! ```
+
+use stats_telemetry::{export, Event, TelemetrySink};
+use stats_workbench::bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
+use stats_workbench::core::runtime::simulated::SimulatedRuntime;
+use stats_workbench::workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+struct Watch;
+
+impl WorkloadVisitor for Watch {
+    type Output = ();
+    fn visit<W: Workload>(self, w: &W) {
+        let scale = Scale(0.1);
+        let n = scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let cfg = tuned_config(w, 28, scale);
+
+        // One counter shard per chunk; lifecycle events stream to stderr
+        // as they happen (a file writer works the same way — this is what
+        // `stats run --telemetry <path>` wires up).
+        let sink = TelemetrySink::new(cfg.chunks).with_event_writer(Box::new(std::io::stderr()));
+        sink.event(&Event::RunStarted {
+            benchmark: w.name().to_string(),
+            runtime: "simulated",
+            inputs: n,
+            chunks: cfg.chunks,
+            lookback: cfg.lookback,
+            extra_states: cfg.extra_states,
+            seed: FIGURE_SEED,
+        });
+
+        let rt = SimulatedRuntime::paper_machine();
+        let report = rt
+            .run_observed(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                FIGURE_SEED,
+                Some(&sink),
+            )
+            .expect("valid configuration");
+        sink.flush();
+
+        let snap = sink.snapshot();
+        println!("== counter table ==\n{}", export::table(&snap));
+        println!("== prometheus exposition ==\n{}", export::prometheus(&snap));
+        println!(
+            "== folded stacks (pipe into a flamegraph tool) ==\n{}",
+            export::folded(&report.execution.trace)
+        );
+        println!(
+            "run: {:.2}x speedup, {} aborts, commit rate {:.2}",
+            report.speedup(),
+            report.aborts(),
+            snap.commit_rate()
+        );
+    }
+}
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "swaptions".into());
+    assert!(
+        BENCHMARK_NAMES.contains(&name.as_str()),
+        "unknown benchmark {name:?}; choose one of {BENCHMARK_NAMES:?}"
+    );
+    dispatch(&name, Watch);
+}

@@ -3,9 +3,12 @@
 //! Subcommands:
 //!
 //! * `run <benchmark>` — execute one benchmark under its tuned (or
-//!   overridden) configuration and print a run summary.
+//!   overridden) configuration and print a run summary (`--json` for a
+//!   machine-readable one, `--telemetry <path>` for a JSONL event log).
 //! * `characterize <benchmark>` — the §V-B loss attribution.
 //! * `tune <benchmark>` — the Fig. 3 autotuning loop.
+//! * `metrics <benchmark>` — run once and render the telemetry snapshot
+//!   (`--format table|prometheus|folded|json`).
 //! * `figures [ids…]` — regenerate tables/figures (`all` by default).
 //! * `export <benchmark> <path>` — write a Chrome-trace JSON of a run.
 //!
@@ -14,6 +17,8 @@
 
 use stats_bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
 use stats_core::runtime::simulated::SimulatedRuntime;
+use stats_telemetry::json::JsonObject;
+use stats_telemetry::{export, Event, TelemetrySink};
 use stats_workloads::{dispatch, Workload, WorkloadVisitor, EXTENDED_BENCHMARK_NAMES};
 use std::fmt;
 
@@ -50,6 +55,15 @@ pub enum Command {
         /// Parsed common options.
         opts: Options,
     },
+    /// `metrics <benchmark> [--format …]`
+    Metrics {
+        /// Benchmark name.
+        benchmark: String,
+        /// Output rendering.
+        format: MetricsFormat,
+        /// Parsed common options.
+        opts: Options,
+    },
     /// `export <benchmark> <path>`
     Export {
         /// Benchmark name.
@@ -61,6 +75,34 @@ pub enum Command {
     },
     /// `help`
     Help,
+}
+
+/// How `stats metrics` renders the post-run telemetry snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Human-readable counter table (the default).
+    #[default]
+    Table,
+    /// Prometheus text exposition format.
+    Prometheus,
+    /// Folded stacks for `flamegraph.pl` / `inferno-flamegraph`.
+    Folded,
+    /// The snapshot as one JSON object.
+    Json,
+}
+
+impl MetricsFormat {
+    fn from_arg(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "table" => Ok(MetricsFormat::Table),
+            "prometheus" => Ok(MetricsFormat::Prometheus),
+            "folded" => Ok(MetricsFormat::Folded),
+            "json" => Ok(MetricsFormat::Json),
+            other => Err(ParseError(format!(
+                "--format expects table|prometheus|folded|json, got {other:?}"
+            ))),
+        }
+    }
 }
 
 /// Options shared by the subcommands.
@@ -76,6 +118,10 @@ pub struct Options {
     pub lookback: Option<usize>,
     /// Extra-original-states override.
     pub extra_states: Option<usize>,
+    /// Write a JSONL telemetry event log to this path.
+    pub telemetry: Option<String>,
+    /// Print a machine-readable JSON summary instead of the text one.
+    pub json: bool,
 }
 
 impl Default for Options {
@@ -86,6 +132,8 @@ impl Default for Options {
             chunks: None,
             lookback: None,
             extra_states: None,
+            telemetry: None,
+            json: false,
         }
     }
 }
@@ -110,6 +158,7 @@ USAGE:
   stats run <benchmark> [options]          execute one benchmark
   stats characterize <benchmark> [options] attribute its speedup losses
   stats tune <benchmark> [--budget N] [options]
+  stats metrics <benchmark> [--format F] [options]
   stats figures [fig09 fig10 … ablations scaling | all] [options]
   stats export <benchmark> <out.json> [options]
   stats help
@@ -125,12 +174,25 @@ OPTIONS:
   --lookback N     override the tuned lookback k
   --extra-states N override the tuned extra original states m
   --budget N       tuning evaluations     (default 80; tune only)
+  --telemetry PATH write a JSONL telemetry event log (run/tune)
+  --json           machine-readable run summary   (run only)
+  --format F       metrics rendering: table | prometheus | folded | json
 ";
 
-fn parse_options(args: &[String]) -> Result<(Options, Vec<String>, usize), ParseError> {
+/// Everything `parse_options` extracts besides the shared [`Options`]:
+/// positionals plus the subcommand-specific flags.
+struct ParsedArgs {
+    opts: Options,
+    positional: Vec<String>,
+    budget: usize,
+    format: MetricsFormat,
+}
+
+fn parse_options(args: &[String]) -> Result<ParsedArgs, ParseError> {
     let mut opts = Options::default();
     let mut positional = Vec::new();
     let mut budget = 80usize;
+    let mut format = MetricsFormat::default();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -181,6 +243,15 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>, usize), Parse
                     .parse()
                     .map_err(|_| ParseError("--budget expects an integer".into()))?;
             }
+            "--telemetry" => {
+                opts.telemetry = Some(take_value("--telemetry")?);
+            }
+            "--json" => {
+                opts.json = true;
+            }
+            "--format" => {
+                format = MetricsFormat::from_arg(&take_value("--format")?)?;
+            }
             other if other.starts_with("--") => {
                 return Err(ParseError(format!("unknown option {other}")));
             }
@@ -188,7 +259,12 @@ fn parse_options(args: &[String]) -> Result<(Options, Vec<String>, usize), Parse
         }
         i += 1;
     }
-    Ok((opts, positional, budget))
+    Ok(ParsedArgs {
+        opts,
+        positional,
+        budget,
+        format,
+    })
 }
 
 fn expect_benchmark(positional: &[String]) -> Result<String, ParseError> {
@@ -208,7 +284,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let Some((sub, rest)) = args.split_first() else {
         return Ok(Command::Help);
     };
-    let (opts, positional, budget) = parse_options(rest)?;
+    let ParsedArgs {
+        opts,
+        positional,
+        budget,
+        format,
+    } = parse_options(rest)?;
     match sub.as_str() {
         "run" => Ok(Command::Run {
             benchmark: expect_benchmark(&positional)?,
@@ -221,6 +302,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "tune" => Ok(Command::Tune {
             benchmark: expect_benchmark(&positional)?,
             budget,
+            opts,
+        }),
+        "metrics" => Ok(Command::Metrics {
+            benchmark: expect_benchmark(&positional)?,
+            format,
             opts,
         }),
         "figures" => Ok(Command::Figures {
@@ -258,29 +344,83 @@ fn config_for<W: Workload>(w: &W, opts: &Options) -> stats_core::Config {
     stats_bench::pipeline::clamp_config(cfg, opts.scale.inputs_for(w))
 }
 
+/// Build the telemetry sink for a run: one counter shard per chunk
+/// (the simulated runtime shards protocol counters by chunk index),
+/// with a buffered JSONL writer attached when `--telemetry` was given.
+fn sink_for(cfg: &stats_core::Config, telemetry: Option<&str>) -> std::io::Result<TelemetrySink> {
+    let sink = TelemetrySink::new(cfg.chunks.max(1));
+    Ok(match telemetry {
+        Some(path) => {
+            let file = std::fs::File::create(path)?;
+            sink.with_event_writer(Box::new(std::io::BufWriter::new(file)))
+        }
+        None => sink,
+    })
+}
+
 struct RunCmd {
     opts: Options,
 }
 
 impl WorkloadVisitor for RunCmd {
-    type Output = String;
-    fn visit<W: Workload>(self, w: &W) -> String {
+    type Output = std::io::Result<String>;
+    fn visit<W: Workload>(self, w: &W) -> std::io::Result<String> {
         let cfg = config_for(w, &self.opts);
         let n = self.opts.scale.inputs_for(w);
         let inputs = w.generate_inputs(n, self.opts.seed);
+        let sink = sink_for(&cfg, self.opts.telemetry.as_deref())?;
+        sink.event(&Event::RunStarted {
+            benchmark: w.name().to_string(),
+            runtime: "simulated",
+            inputs: n,
+            chunks: cfg.chunks,
+            lookback: cfg.lookback,
+            extra_states: cfg.extra_states,
+            seed: self.opts.seed,
+        });
         let rt = SimulatedRuntime::paper_machine();
         let report = rt
-            .run(
+            .run_observed(
                 w.name(),
                 w,
                 &inputs,
                 cfg,
                 w.inner_parallelism(),
                 self.opts.seed,
+                Some(&sink),
             )
             .expect("valid configuration");
         let quality = w.quality(&inputs, &report.outputs);
-        format!(
+        let snap = sink.snapshot();
+        sink.event(&Event::Snapshot {
+            json: snap.to_json(),
+        });
+        sink.flush();
+        if self.opts.json {
+            let mut o = JsonObject::new();
+            o.str("benchmark", w.name())
+                .str("runtime", "simulated")
+                .u64("inputs", n as u64)
+                .f64("scale", self.opts.scale.0)
+                .u64("seed", self.opts.seed)
+                .u64("chunks", cfg.chunks as u64)
+                .u64("lookback", cfg.lookback as u64)
+                .u64("extra_states", cfg.extra_states as u64)
+                .bool("combine_inner_tlp", cfg.combine_inner_tlp)
+                .f64("speedup", report.speedup())
+                .u64("aborts", report.aborts() as u64)
+                .u64("threads", report.accounting.threads as u64)
+                .u64("states", report.accounting.states as u64)
+                .u64("state_bytes", report.accounting.state_bytes as u64)
+                .f64(
+                    "extra_instruction_percent",
+                    report.extra_instruction_percent(),
+                )
+                .f64("quality", quality)
+                .raw("telemetry", &snap.to_json());
+            return Ok(format!("{}\n", o.finish()));
+        }
+        let mut out = format!(
             "benchmark:     {}\n\
              configuration: {}\n\
              inputs:        {} ({}x native)\n\
@@ -301,7 +441,50 @@ impl WorkloadVisitor for RunCmd {
             report.accounting.state_bytes,
             report.extra_instruction_percent(),
             quality,
-        )
+        );
+        if let Some(path) = &self.opts.telemetry {
+            out.push_str(&format!(
+                "telemetry:     {} events -> {}\n",
+                snap.events_emitted + 1, // + the final snapshot event
+                path
+            ));
+        }
+        Ok(out)
+    }
+}
+
+struct MetricsCmd {
+    opts: Options,
+    format: MetricsFormat,
+}
+
+impl WorkloadVisitor for MetricsCmd {
+    type Output = std::io::Result<String>;
+    fn visit<W: Workload>(self, w: &W) -> std::io::Result<String> {
+        let cfg = config_for(w, &self.opts);
+        let n = self.opts.scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, self.opts.seed);
+        let sink = sink_for(&cfg, self.opts.telemetry.as_deref())?;
+        let rt = SimulatedRuntime::paper_machine();
+        let report = rt
+            .run_observed(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                self.opts.seed,
+                Some(&sink),
+            )
+            .expect("valid configuration");
+        sink.flush();
+        let snap = sink.snapshot();
+        Ok(match self.format {
+            MetricsFormat::Table => export::table(&snap),
+            MetricsFormat::Prometheus => export::prometheus(&snap),
+            MetricsFormat::Folded => export::folded(&report.execution.trace),
+            MetricsFormat::Json => format!("{}\n", snap.to_json()),
+        })
     }
 }
 
@@ -337,51 +520,94 @@ impl WorkloadVisitor for ExportCmd {
     }
 }
 
+/// Seeds the best configuration is replayed over after tuning, to
+/// expose nondeterministic run-to-run speedup variance in the log.
+const TUNE_REPLAY_SEEDS: usize = 5;
+
 struct TuneCmd {
     opts: Options,
     budget: usize,
 }
 
 impl WorkloadVisitor for TuneCmd {
-    type Output = String;
-    fn visit<W: Workload>(self, w: &W) -> String {
+    type Output = std::io::Result<String>;
+    fn visit<W: Workload>(self, w: &W) -> std::io::Result<String> {
         use stats_autotuner::{Strategy, Tuner};
         let n = self.opts.scale.inputs_for(w);
         let inputs = w.generate_inputs(n, self.opts.seed);
         let rt = SimulatedRuntime::paper_machine();
         let space = stats_core::DesignSpace::for_inputs(n, 28, w.inner_parallelism().is_parallel());
         let tuner = Tuner::new(space, self.budget, self.opts.seed);
-        let report = tuner.tune(Strategy::Ensemble, |cfg| {
-            rt.run(
-                w.name(),
-                w,
-                &inputs,
-                cfg,
-                w.inner_parallelism(),
-                self.opts.seed,
-            )
-            .expect("valid config")
-            .execution
-            .makespan
-            .get() as f64
+        // The autotuner shards nothing per-worker; one shard suffices.
+        let mut sink = TelemetrySink::new(1);
+        if let Some(path) = &self.opts.telemetry {
+            let file = std::fs::File::create(path)?;
+            sink = sink.with_event_writer(Box::new(std::io::BufWriter::new(file)));
+        }
+        let mut iteration = 0usize;
+        let report = tuner.tune_observed(
+            Strategy::Ensemble,
+            |cfg| {
+                let run = rt
+                    .run(
+                        w.name(),
+                        w,
+                        &inputs,
+                        cfg,
+                        w.inner_parallelism(),
+                        self.opts.seed,
+                    )
+                    .expect("valid config");
+                iteration += 1;
+                sink.event(&Event::TuneEvaluated {
+                    iteration,
+                    speedup: run.speedup(),
+                    quality: w.quality(&inputs, &run.outputs),
+                });
+                run.execution.makespan.get() as f64
+            },
+            Some(&sink),
+        );
+        // Replay the winner across several seeds: nondeterministic programs
+        // have per-run variance the single tuning seed hides.
+        let mut speedups = Vec::with_capacity(TUNE_REPLAY_SEEDS);
+        for s in 0..TUNE_REPLAY_SEEDS as u64 {
+            let seed = self.opts.seed.wrapping_add(s);
+            let replay_inputs = w.generate_inputs(n, seed);
+            let run = rt
+                .run(
+                    w.name(),
+                    w,
+                    &replay_inputs,
+                    report.best,
+                    w.inner_parallelism(),
+                    seed,
+                )
+                .expect("valid config");
+            speedups.push(run.speedup());
+        }
+        let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        let variance =
+            speedups.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / speedups.len() as f64;
+        sink.event(&Event::TuneFinished {
+            chunks: report.best.chunks,
+            lookback: report.best.lookback,
+            extra_states: report.best.extra_states,
+            combine_inner_tlp: report.best.combine_inner_tlp,
+            seeds: TUNE_REPLAY_SEEDS,
+            mean_speedup: mean,
+            speedup_variance: variance,
         });
-        let best_run = rt
-            .run(
-                w.name(),
-                w,
-                &inputs,
-                report.best,
-                w.inner_parallelism(),
-                self.opts.seed,
-            )
-            .expect("valid config");
-        format!(
-            "benchmark: {}\nexplored:  {} configurations\nbest:      {}\nspeedup:   {:.2}x on 28 cores\n",
+        sink.flush();
+        Ok(format!(
+            "benchmark: {}\nexplored:  {} configurations\nbest:      {}\nspeedup:   {:.2}x mean over {} seeds (variance {:.4})\n",
             w.name(),
             report.configurations_explored(),
             report.best,
-            best_run.speedup(),
-        )
+            mean,
+            TUNE_REPLAY_SEEDS,
+            variance,
+        ))
     }
 }
 
@@ -389,11 +615,17 @@ impl WorkloadVisitor for TuneCmd {
 ///
 /// # Errors
 ///
-/// I/O errors from `export`; everything else is infallible.
+/// I/O errors from `export` and from `--telemetry` log files; everything
+/// else is infallible.
 pub fn execute(cmd: Command) -> std::io::Result<String> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Run { benchmark, opts } => Ok(dispatch(&benchmark, RunCmd { opts })),
+        Command::Run { benchmark, opts } => dispatch(&benchmark, RunCmd { opts }),
+        Command::Metrics {
+            benchmark,
+            format,
+            opts,
+        } => dispatch(&benchmark, MetricsCmd { opts, format }),
         Command::Characterize { benchmark, opts } => {
             use stats_bench::attribution::attribute;
             use stats_bench::pipeline::Machines;
@@ -429,7 +661,7 @@ pub fn execute(cmd: Command) -> std::io::Result<String> {
             benchmark,
             budget,
             opts,
-        } => Ok(dispatch(&benchmark, TuneCmd { opts, budget })),
+        } => dispatch(&benchmark, TuneCmd { opts, budget }),
         Command::Figures { ids, opts } => {
             let scale = opts.scale;
             let all = ids.is_empty() || ids.iter().any(|i| i == "all");
@@ -565,5 +797,105 @@ mod tests {
         let out = execute(cmd).unwrap();
         assert!(out.contains("Table I"));
         assert!(!out.contains("Fig. 9"));
+    }
+
+    #[test]
+    fn parses_telemetry_json_and_format() {
+        match parse(&args("run swaptions --telemetry /tmp/t.jsonl --json")).unwrap() {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.telemetry.as_deref(), Some("/tmp/t.jsonl"));
+                assert!(opts.json);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args("metrics swaptions --format prometheus")).unwrap() {
+            Command::Metrics { format, .. } => assert_eq!(format, MetricsFormat::Prometheus),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&args("metrics swaptions --format xml")).is_err());
+        assert!(parse(&args("run swaptions --telemetry")).is_err());
+    }
+
+    #[test]
+    fn run_json_summary_is_valid_json() {
+        let cmd = parse(&args("run swaptions --scale 0.05 --chunks 8 --json")).unwrap();
+        let out = execute(cmd).unwrap();
+        stats_telemetry::json::validate(out.trim())
+            .unwrap_or_else(|e| panic!("invalid --json summary: {e}\n{out}"));
+        assert!(out.contains("\"benchmark\":\"swaptions\""));
+        assert!(out.contains("\"speedup\":"));
+        // The embedded telemetry snapshot rides along.
+        assert!(out.contains("\"telemetry\":{"));
+        assert!(out.contains("\"chunks_started\":8"));
+    }
+
+    #[test]
+    fn metrics_command_renders_each_format() {
+        for (fmt, needle) in [
+            ("table", "chunks_committed"),
+            ("prometheus", "stats_chunks_committed_total"),
+            ("folded", ";chunk-compute "),
+            ("json", "\"state_comparisons\":"),
+        ] {
+            let cmd = parse(&args(&format!(
+                "metrics swaptions --scale 0.05 --format {fmt}"
+            )))
+            .unwrap();
+            let out = execute(cmd).unwrap();
+            assert!(
+                out.contains(needle),
+                "--format {fmt} missing {needle:?}:\n{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_telemetry_writes_a_jsonl_event_log() {
+        let path = std::env::temp_dir().join("stats-cli-telemetry-test.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let cmd = parse(&args(&format!(
+            "run swaptions --scale 0.05 --chunks 8 --telemetry {path_str}"
+        )))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("telemetry:"));
+        let log = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = log.lines().collect();
+        assert!(lines.len() >= 2, "expected a full lifecycle, got:\n{log}");
+        assert!(lines[0].contains("\"seq\":0"));
+        assert!(lines[0].contains("\"type\":\"run_started\""));
+        assert!(lines[0].contains("\"benchmark\":\"swaptions\""));
+        assert!(lines[lines.len() - 1].contains("\"type\":\"snapshot\""));
+        for line in &lines {
+            stats_telemetry::json::validate(line)
+                .unwrap_or_else(|e| panic!("invalid event line: {e}\n{line}"));
+        }
+    }
+
+    #[test]
+    fn tune_telemetry_logs_iterations_and_finish() {
+        let path = std::env::temp_dir().join("stats-cli-tune-telemetry-test.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let cmd = parse(&args(&format!(
+            "tune swaptions --scale 0.05 --budget 5 --telemetry {path_str}"
+        )))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("mean over 5 seeds"));
+        let log = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let evaluated = log.matches("\"type\":\"tune_evaluated\"").count();
+        let iterations = log.matches("\"type\":\"tune_iteration\"").count();
+        assert_eq!(
+            evaluated, iterations,
+            "one evaluation per iteration:\n{log}"
+        );
+        assert!(evaluated >= 1);
+        assert_eq!(log.matches("\"type\":\"tune_finished\"").count(), 1);
+        for line in log.lines() {
+            stats_telemetry::json::validate(line)
+                .unwrap_or_else(|e| panic!("invalid event line: {e}\n{line}"));
+        }
     }
 }

@@ -1,0 +1,145 @@
+//! Live telemetry must reconcile exactly with post-mortem traces.
+//!
+//! The telemetry sink records two independent views of a run: protocol
+//! counters (derived from commit/abort outcomes) and per-category span
+//! accounting (recorded when the run is lowered to tasks). The trace is a
+//! third view, produced by the machine that executed those tasks. For
+//! every benchmark all three must agree to the cycle — and the threaded
+//! runtime, which records its counters live at the protocol call sites,
+//! must report the same protocol totals as the simulated one.
+
+use stats_telemetry::{Counter, TelemetrySink};
+use stats_trace::CATEGORIES;
+use stats_workbench::bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
+use stats_workbench::core::runtime::simulated::SimulatedRuntime;
+use stats_workbench::core::runtime::threaded::run_threaded_observed;
+use stats_workbench::core::ChunkDecision;
+use stats_workbench::workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+const SCALE: Scale = Scale(0.05);
+
+/// The protocol counters both runtimes record (time counters are in
+/// different units — simulated cycles vs. wall nanoseconds — and are
+/// checked separately).
+const PROTOCOL: [Counter; 7] = [
+    Counter::ChunksStarted,
+    Counter::ChunksCommitted,
+    Counter::ChunksAborted,
+    Counter::Reruns,
+    Counter::ReplicasValidated,
+    Counter::StateCopies,
+    Counter::StateComparisons,
+];
+
+struct Reconcile;
+
+impl WorkloadVisitor for Reconcile {
+    type Output = ();
+    fn visit<W: Workload>(self, w: &W) {
+        let n = SCALE.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let cfg = tuned_config(w, 28, SCALE);
+
+        let sim_sink = TelemetrySink::new(cfg.chunks);
+        let rt = SimulatedRuntime::paper_machine();
+        let report = rt
+            .run_observed(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                FIGURE_SEED,
+                Some(&sim_sink),
+            )
+            .expect("simulated run");
+        let sim = sim_sink.snapshot();
+        assert!(sim.consistent, "{}: torn snapshot at rest", w.name());
+
+        // Span accounting (recorded at lowering time) matches the trace
+        // (recorded at execution time) category by category, exactly.
+        let trace = &report.execution.trace;
+        for cat in CATEGORIES {
+            let spans = trace.spans().iter().filter(|s| s.category == cat).count() as u64;
+            let cycles: u64 = trace
+                .spans()
+                .iter()
+                .filter(|s| s.category == cat)
+                .map(|s| s.duration().get())
+                .sum();
+            assert_eq!(
+                sim.category_spans(cat),
+                spans,
+                "{}: {} span count",
+                w.name(),
+                cat.name()
+            );
+            assert_eq!(
+                sim.category_cycles(cat),
+                cycles,
+                "{}: {} cycles",
+                w.name(),
+                cat.name()
+            );
+        }
+
+        // Busy + idle partition the threads' lifetimes with nothing lost.
+        let lifetime = trace.makespan().get() * trace.thread_count() as u64;
+        assert_eq!(
+            sim.get(Counter::BusyTime) + sim.get(Counter::IdleTime),
+            lifetime,
+            "{}: busy/idle must partition makespan x threads",
+            w.name()
+        );
+
+        // Protocol counters agree with the run's semantic outcome.
+        let aborted = report
+            .decisions
+            .iter()
+            .filter(|d| **d == ChunkDecision::Aborted)
+            .count() as u64;
+        let committed = report
+            .decisions
+            .iter()
+            .filter(|d| **d == ChunkDecision::Committed)
+            .count() as u64;
+        assert_eq!(
+            sim.get(Counter::ChunksStarted),
+            report.decisions.len() as u64,
+            "{}",
+            w.name()
+        );
+        assert_eq!(sim.get(Counter::ChunksCommitted), committed, "{}", w.name());
+        assert_eq!(sim.get(Counter::ChunksAborted), aborted, "{}", w.name());
+        assert_eq!(sim.get(Counter::Reruns), aborted, "{}", w.name());
+
+        // The threaded runtime records the same protocol counters live,
+        // at the worker/coordinator call sites, and lands on identical
+        // totals — schedule-independence extends to the telemetry.
+        let thr_sink = TelemetrySink::new(cfg.chunks);
+        let threaded = run_threaded_observed(w, &inputs, cfg, FIGURE_SEED, Some(&thr_sink));
+        assert_eq!(
+            threaded.decisions,
+            report.decisions,
+            "{}: runtimes diverged",
+            w.name()
+        );
+        let thr = thr_sink.snapshot();
+        for counter in PROTOCOL {
+            assert_eq!(
+                thr.get(counter),
+                sim.get(counter),
+                "{}: {} differs between threaded and simulated telemetry",
+                w.name(),
+                counter.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn telemetry_reconciles_with_traces_on_every_benchmark() {
+    for name in BENCHMARK_NAMES {
+        dispatch(name, Reconcile);
+    }
+}
