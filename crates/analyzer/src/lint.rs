@@ -14,6 +14,7 @@
 //! | ND004 | hidden mutable state (`static mut`, `thread_local!`, cells) |
 //! | ND005 | RNG streams built inside `update`/`states_match` bodies |
 //! | ND006 | `println!`/`eprintln!` in runtime hot paths (use telemetry) |
+//! | ND007 | raw `std::thread` spawns in runtime hot paths (use the pool) |
 //!
 //! A finding is suppressed by a comment on the same or the preceding
 //! line: `// stats-analyzer: allow(ND002): reason`.
@@ -22,7 +23,10 @@
 //! path predicate ([`Rule::applies_to`]). ND006 only fires inside the
 //! runtime hot paths (`…/runtime/…`, `speculation.rs`), where stdout
 //! writes serialize threads behind the stdout lock and skew the very
-//! timings the telemetry layer exists to measure.
+//! timings the telemetry layer exists to measure. ND007 fires in the
+//! same hot paths except `pool.rs` itself: with the pooled executor in
+//! place, per-task `std::thread` creation off the pool reintroduces the
+//! spawn cost the pool exists to amortize.
 
 use crate::diag::{display_path, Diagnostic};
 use crate::lex::{lex, LexedFile, Tok, TokKind};
@@ -79,6 +83,12 @@ pub fn hot_path(path: &str) -> bool {
     path.contains("/runtime/") || path.ends_with("speculation.rs")
 }
 
+/// [`hot_path`] minus the worker pool itself — the one module allowed to
+/// create OS threads, so every other hot-path file must go through it.
+pub fn hot_path_outside_pool(path: &str) -> bool {
+    hot_path(path) && !path.ends_with("pool.rs")
+}
+
 /// The registry of all rules, in id order.
 pub fn registry() -> Vec<Rule> {
     vec![
@@ -131,6 +141,15 @@ pub fn registry() -> Vec<Rule> {
                    distort the timings telemetry reports",
             applies_to: hot_path,
             check: check_hot_path_print,
+        },
+        Rule {
+            id: "ND007",
+            summary: "raw std::thread spawn in a runtime hot path",
+            hint: "schedule the work on the WorkerPool (scope.spawn / spawn_urgent); \
+                   per-task OS threads reintroduce the creation cost and \
+                   oversubscription the pool exists to eliminate",
+            applies_to: hot_path_outside_pool,
+            check: check_raw_thread_spawn,
         },
     ]
 }
@@ -315,6 +334,35 @@ fn check_hot_path_print(file: &LexedFile) -> Vec<RawFinding> {
                 t,
                 t.text.chars().count() + 1,
                 format!("`{}!` writes to stdio from a runtime hot path", t.text),
+            )
+        })
+        .collect()
+}
+
+fn check_raw_thread_spawn(file: &LexedFile) -> Vec<RawFinding> {
+    const BAD: &[&str] = &["spawn", "scope", "Builder"];
+    let toks = &file.tokens;
+    toks.iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            // `thread::spawn`, `thread::scope`, `thread::Builder` — the
+            // `thread ::` prefix keeps pool-scope method calls
+            // (`scope.spawn(..)`) and `thread::available_parallelism`
+            // out of scope.
+            t.kind == TokKind::Ident
+                && t.text == "thread"
+                && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|a| a.kind == TokKind::Ident && BAD.contains(&a.text.as_str()))
+        })
+        .map(|(i, t)| {
+            let target = &toks[i + 3].text;
+            RawFinding::at(
+                t,
+                "thread::".chars().count() + target.chars().count(),
+                format!("`thread::{target}` creates OS threads off the worker pool"),
             )
         })
         .collect()
@@ -529,6 +577,33 @@ mod tests {
         // And the waiver comment works like every other rule.
         let waived =
             "// stats-analyzer: allow(ND006): fatal-error path\nfn f() { eprintln!(\"x\"); }";
+        assert!(lint_source("x/runtime/y.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_spawns_are_scoped_to_hot_paths_outside_the_pool() {
+        let src = "fn go() { std::thread::spawn(|| work()); }";
+        let hot = lint_source("crates/core/src/runtime/threaded.rs", src);
+        assert_eq!(hot.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND007"]);
+        // The pool module is the one place allowed to create OS threads.
+        assert!(lint_source("crates/core/src/runtime/pool.rs", src).is_empty());
+        // Outside the hot paths, spawning threads is unremarkable
+        // (tests, benches, the CLI).
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn raw_thread_spawn_variants_and_waiver() {
+        // scope and Builder are thread-creation entry points too.
+        let each = "fn f() { thread::scope(|s| {}); thread::Builder::new(); }";
+        assert_eq!(lint_source("x/runtime/y.rs", each).len(), 2);
+        // Pool-scope method calls and capacity probes don't match: no
+        // `thread::` prefix on the former, no BAD suffix on the latter.
+        let fine = "fn f(s: &PoolScope) { s.spawn(|| {}); thread::available_parallelism(); }";
+        assert!(lint_source("x/runtime/y.rs", fine).is_empty());
+        // And the waiver comment works like every other rule.
+        let waived = "// stats-analyzer: allow(ND007): thread-per-chunk baseline\n\
+                      fn f() { std::thread::scope(|s| {}); }";
         assert!(lint_source("x/runtime/y.rs", waived).is_empty());
     }
 

@@ -1,0 +1,20 @@
+//! Seeded ND007 violations: raw OS-thread creation inside a runtime hot
+//! path. This file lives under a `runtime/` directory (and is not named
+//! `pool.rs`), so the path-scoped rule applies to it.
+
+use std::thread;
+
+fn run_chunks(chunks: usize) {
+    for c in 0..chunks {
+        std::thread::spawn(move || compute(c));
+    }
+    thread::scope(|_s| {});
+    let _b = thread::Builder::new().name("chunk".into());
+    // Capacity probes are not thread creation.
+    let _n = thread::available_parallelism();
+    // stats-analyzer: allow(ND007): diagnostic helper thread, off the protocol path
+    std::thread::spawn(|| heartbeat());
+}
+
+fn compute(_chunk: usize) {}
+fn heartbeat() {}

@@ -95,6 +95,41 @@ fn hot_println_rule_is_path_scoped() {
 }
 
 #[test]
+fn hot_spawn_fixture_flags_thread_creation_but_honors_the_waiver() {
+    let diags = fixture("runtime/bad_hot_spawn.rs");
+    assert_eq!(rules(&diags), ["ND007", "ND007", "ND007"]);
+    let text = diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("thread::spawn"));
+    assert!(text.contains("thread::scope"));
+    assert!(text.contains("thread::Builder"));
+    // `available_parallelism` and the waived helper spawn are not reported.
+    assert!(diags
+        .iter()
+        .all(|d| !d.snippet.contains("available_parallelism")));
+    assert!(diags.iter().all(|d| !d.snippet.contains("heartbeat")));
+}
+
+#[test]
+fn hot_spawn_rule_exempts_the_pool_module() {
+    // Identical source lints clean when the path is the pool itself or
+    // any file outside the runtime hot paths.
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/runtime/bad_hot_spawn.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    for ok_path in [
+        "crates/core/src/runtime/pool.rs",
+        "crates/bench/src/table1.rs",
+    ] {
+        let diags = stats_analyzer::lint::lint_source(ok_path, &source);
+        assert!(diags.is_empty(), "{ok_path}: {diags:#?}");
+    }
+}
+
+#[test]
 fn clean_fixture_has_zero_findings() {
     let diags = fixture("clean.rs");
     assert!(diags.is_empty(), "clean fixture flagged: {diags:#?}");

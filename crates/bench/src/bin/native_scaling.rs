@@ -1,0 +1,362 @@
+//! Native scaling sweep: pooled executor vs. the thread-per-chunk
+//! baseline on real hardware.
+//!
+//! Runs all six paper benchmarks at several pool widths, timing both the
+//! pooled threaded runtime (`run_threaded_on`) and the pre-pool
+//! thread-per-chunk lowering (`run_threaded_per_chunk`), and emits
+//! `BENCH_native.json`. Timing uses the minimum over `--reps`
+//! repetitions — the standard low-noise estimator for a deterministic
+//! workload under scheduler jitter.
+//!
+//! Semantics are checked alongside performance: for every benchmark the
+//! pooled run at each width must reproduce the baseline's commit/abort
+//! decisions and outputs exactly (outputs are compared through length and
+//! the benchmark's scalar quality metric here; the test suite asserts
+//! element-wise equality with concrete types).
+//!
+//! With `--gate`, the process exits non-zero unless, over the
+//! oversubscribed rows (chunks ≥ 4× workers):
+//!
+//! * every row's decisions and outputs match the baseline,
+//! * at least one row has the pool strictly faster than thread-per-chunk,
+//! * the geometric-mean ratio pooled/per-chunk is ≤ 1.0 (no regression).
+//!
+//! Usage: `native_scaling [--scale F] [--reps N] [--workers 1,2,4,8]
+//! [--out PATH] [--gate]` — exits 0 on success, 1 on gate failure, 2 on
+//! bad arguments.
+
+use stats_bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
+use stats_core::runtime::pool::{default_workers, WorkerPool};
+use stats_core::runtime::threaded::{run_threaded_on, run_threaded_per_chunk, ThreadedRun};
+use stats_telemetry::json::{validate, JsonObject};
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+// stats-analyzer: allow(ND002): this harness measures real wall-clock scaling
+use std::time::Instant;
+
+/// A chunk count is "oversubscribed" for a pool when it exceeds the pool
+/// width by at least this factor (the regime the pool exists for).
+const OVERSUBSCRIPTION_FACTOR: usize = 4;
+
+#[derive(Clone)]
+struct Args {
+    scale: Scale,
+    reps: usize,
+    workers: Vec<usize>,
+    out: String,
+    gate: bool,
+}
+
+/// One (benchmark, pool-width) measurement.
+struct WidthRow {
+    workers: usize,
+    pooled_ms: f64,
+    oversubscribed: bool,
+    decisions_match: bool,
+    outputs_match: bool,
+}
+
+/// One benchmark's sweep: the shared thread-per-chunk baseline plus a row
+/// per pool width.
+struct BenchRow {
+    benchmark: &'static str,
+    inputs: usize,
+    chunks: usize,
+    per_chunk_ms: f64,
+    widths: Vec<WidthRow>,
+}
+
+/// `f64` equality by bit pattern: the outputs are produced by identical
+/// update sequences, so any legitimate match is exact.
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn min_ms<F: FnMut() -> ThreadedRun<O>, O>(reps: usize, mut run: F) -> (f64, ThreadedRun<O>) {
+    let mut best = f64::INFINITY;
+    let mut last = run(); // warm-up: caches, allocator, thread-creation paths
+    for _ in 0..reps {
+        // stats-analyzer: allow(ND002): scaling measurement harness
+        let t0 = Instant::now();
+        last = run();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, last)
+}
+
+struct Sweep<'a> {
+    args: &'a Args,
+}
+
+impl WorkloadVisitor for Sweep<'_> {
+    type Output = BenchRow;
+    fn visit<W: Workload>(self, w: &W) -> BenchRow {
+        let n = self.args.scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let cfg = tuned_config(w, 28, self.args.scale); // pre-clamped to n
+
+        let (per_chunk_ms, baseline) = min_ms(self.args.reps, || {
+            run_threaded_per_chunk(w, &inputs, cfg, FIGURE_SEED)
+        });
+        let baseline_quality = w.quality(&inputs, &baseline.outputs);
+
+        let widths = self
+            .args
+            .workers
+            .iter()
+            .map(|&workers| {
+                let pool = WorkerPool::new(workers);
+                let (pooled_ms, pooled) = min_ms(self.args.reps, || {
+                    run_threaded_on(&pool, w, &inputs, cfg, FIGURE_SEED, None)
+                });
+                WidthRow {
+                    workers,
+                    pooled_ms,
+                    oversubscribed: cfg.chunks >= OVERSUBSCRIPTION_FACTOR * workers,
+                    decisions_match: pooled.decisions == baseline.decisions,
+                    outputs_match: pooled.outputs.len() == baseline.outputs.len()
+                        && bits_eq(w.quality(&inputs, &pooled.outputs), baseline_quality),
+                }
+            })
+            .collect();
+
+        BenchRow {
+            benchmark: w.name(),
+            inputs: n,
+            chunks: cfg.chunks,
+            per_chunk_ms,
+            widths,
+        }
+    }
+}
+
+/// The gate verdict over all oversubscribed rows.
+struct Gate {
+    oversubscribed_rows: usize,
+    any_pooled_win: bool,
+    all_match: bool,
+    geomean_ratio: f64,
+}
+
+impl Gate {
+    fn evaluate(rows: &[BenchRow]) -> Gate {
+        let mut log_sum = 0.0f64;
+        let mut count = 0usize;
+        let mut any_win = false;
+        let mut all_match = true;
+        for row in rows {
+            for wr in &row.widths {
+                all_match &= wr.decisions_match && wr.outputs_match;
+                if !wr.oversubscribed {
+                    continue;
+                }
+                count += 1;
+                any_win |= wr.pooled_ms < row.per_chunk_ms;
+                log_sum += (wr.pooled_ms / row.per_chunk_ms).ln();
+            }
+        }
+        Gate {
+            oversubscribed_rows: count,
+            any_pooled_win: any_win,
+            all_match,
+            geomean_ratio: if count > 0 {
+                (log_sum / count as f64).exp()
+            } else {
+                f64::NAN
+            },
+        }
+    }
+
+    fn pass(&self) -> bool {
+        self.all_match
+            && self.oversubscribed_rows > 0
+            && self.any_pooled_win
+            && self.geomean_ratio <= 1.0
+    }
+}
+
+fn render_json(args: &Args, rows: &[BenchRow], gate: &Gate) -> String {
+    let mut benches = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            benches.push(',');
+        }
+        let mut widths = String::from("[");
+        for (j, wr) in row.widths.iter().enumerate() {
+            if j > 0 {
+                widths.push(',');
+            }
+            let mut o = JsonObject::new();
+            o.u64("workers", wr.workers as u64)
+                .f64("pooled_ms", wr.pooled_ms)
+                .f64("speedup_vs_per_chunk", row.per_chunk_ms / wr.pooled_ms)
+                .bool("oversubscribed", wr.oversubscribed)
+                .bool("decisions_match", wr.decisions_match)
+                .bool("outputs_match", wr.outputs_match);
+            widths.push_str(&o.finish());
+        }
+        widths.push(']');
+        let mut o = JsonObject::new();
+        o.str("benchmark", row.benchmark)
+            .u64("inputs", row.inputs as u64)
+            .u64("chunks", row.chunks as u64)
+            .f64("per_chunk_ms", row.per_chunk_ms)
+            .raw("workers", &widths);
+        benches.push_str(&o.finish());
+    }
+    benches.push(']');
+
+    let mut g = JsonObject::new();
+    g.bool("enforced", args.gate)
+        .u64("oversubscribed_rows", gate.oversubscribed_rows as u64)
+        .bool("any_pooled_win", gate.any_pooled_win)
+        .bool("all_match", gate.all_match)
+        .f64("geomean_pooled_over_per_chunk", gate.geomean_ratio)
+        .bool("pass", gate.pass());
+
+    let mut o = JsonObject::new();
+    o.str("bench", "native_scaling")
+        .u64("seed", FIGURE_SEED)
+        .f64("scale", args.scale.0)
+        .u64("reps", args.reps as u64)
+        .u64("host_parallelism", default_workers() as u64)
+        .raw("benchmarks", &benches)
+        .raw("gate", &g.finish());
+    format!("{}\n", o.finish())
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale(0.25),
+        reps: 3,
+        workers: vec![1, 2, 4, 8],
+        out: "BENCH_native.json".to_string(),
+        gate: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage =
+        "usage: native_scaling [--scale F] [--reps N] [--workers 1,2,4,8] [--out PATH] [--gate]";
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} requires a value\n{usage}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                let v: f64 = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --scale expects a number\n{usage}");
+                    std::process::exit(2);
+                });
+                args.scale = Scale(v);
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --reps expects an integer\n{usage}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--workers" => {
+                args.workers = value(i)
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("error: --workers expects a comma list like 1,2,4\n{usage}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--out" => {
+                args.out = value(i);
+                i += 2;
+            }
+            "--gate" => {
+                args.gate = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(args.scale.0 > 0.0 && args.scale.0 <= 1.0)
+        || args.reps == 0
+        || args.workers.is_empty()
+        || args.workers.contains(&0)
+    {
+        eprintln!("error: --scale in (0,1], --reps and all --workers positive\n{usage}");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "native_scaling: scale {}, {} reps, pool widths {:?}, host parallelism {}",
+        args.scale.0,
+        args.reps,
+        args.workers,
+        default_workers(),
+    );
+
+    let rows: Vec<BenchRow> = BENCHMARK_NAMES
+        .iter()
+        .map(|name| {
+            let row = dispatch(name, Sweep { args: &args });
+            println!(
+                "{:<18} {:>6} inputs {:>3} chunks | per-chunk {:>9.2} ms",
+                row.benchmark, row.inputs, row.chunks, row.per_chunk_ms
+            );
+            for wr in &row.widths {
+                println!(
+                    "  pool x{:<3} {:>9.2} ms  ({:.2}x vs per-chunk{}{})",
+                    wr.workers,
+                    wr.pooled_ms,
+                    row.per_chunk_ms / wr.pooled_ms,
+                    if wr.oversubscribed {
+                        ", oversubscribed"
+                    } else {
+                        ""
+                    },
+                    if wr.decisions_match && wr.outputs_match {
+                        ""
+                    } else {
+                        ", MISMATCH"
+                    },
+                );
+            }
+            row
+        })
+        .collect();
+
+    let gate = Gate::evaluate(&rows);
+    let json = render_json(&args, &rows, &gate);
+    validate(json.trim()).unwrap_or_else(|e| panic!("generated invalid JSON: {e}"));
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!(
+        "\nwrote {} | oversubscribed rows: {} | pooled/per-chunk geomean: {:.3} | parity: {}",
+        args.out,
+        gate.oversubscribed_rows,
+        gate.geomean_ratio,
+        if gate.all_match { "ok" } else { "MISMATCH" },
+    );
+
+    if args.gate {
+        if gate.pass() {
+            println!("OK: pooled executor is no slower than thread-per-chunk when oversubscribed");
+        } else {
+            println!("FAIL: pooled executor regressed against thread-per-chunk (or parity broke)");
+            std::process::exit(1);
+        }
+    }
+}

@@ -30,7 +30,8 @@
 //! * [`runtime::simulated`] — executes the model on the `stats-platform`
 //!   machine and emits a fully instrumented trace (the paper's §V-B
 //!   methodology).
-//! * [`runtime::threaded`] — the same protocol on real `std::thread`s.
+//! * [`runtime::threaded`] — the same protocol on real OS threads,
+//!   scheduled as tasks on a persistent [`runtime::pool::WorkerPool`].
 //! * [`InnerParallelism`] — the model of the benchmarks' pre-existing
 //!   ("original") TLP, so the three configurations of Fig. 9 can be
 //!   compared.

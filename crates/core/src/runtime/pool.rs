@@ -1,0 +1,498 @@
+//! A persistent worker pool with scoped task spawning.
+//!
+//! The threaded executor used to spawn one OS thread per chunk and a fresh
+//! scoped thread per replica batch — `chunks ≫ cores` configurations (the
+//! paper sweeps up to 28×4 chunks) oversubscribed the OS scheduler and paid
+//! thread-creation latency on the commit path. [`WorkerPool`] replaces that
+//! shape: a fixed set of persistent workers (default
+//! [`default_workers`] = available parallelism) drains a two-ended job
+//! queue, and chunks/replicas/reruns become queued tasks.
+//!
+//! # Scoped API
+//!
+//! [`WorkerPool::scope`] mirrors `std::thread::scope`: tasks spawned inside
+//! the scope may borrow from the enclosing environment (`'env`), and
+//! `scope` does not return until every spawned task has finished. This is
+//! what lets the runtime share read-only replay inputs by reference instead
+//! of cloning them into each task.
+//!
+//! # Queue discipline
+//!
+//! [`PoolScope::spawn`] enqueues at the back; [`PoolScope::spawn_urgent`]
+//! enqueues at the front. The executor uses the urgent lane for
+//! commit-critical work (replica replay, aborted-chunk reruns) so it is
+//! never stuck behind a long tail of not-yet-needed speculative chunks.
+//!
+//! # Non-blocking jobs
+//!
+//! Pool jobs must never block waiting on *another pool job's* completion:
+//! with fewer workers than chunks, a job parked on a channel would hold a
+//! worker hostage and can deadlock the whole run. The pooled executor is
+//! structured so every job computes, sends its result, and exits; all
+//! waiting happens on the coordinator thread (which is *not* a pool
+//! worker).
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of queued work. Jobs are type-erased and `'static`; the scoped
+/// lifetime is upheld by [`WorkerPool::scope`] (see the safety comment in
+/// [`PoolScope::enqueue`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool's shared state: the job queue and shutdown flag behind one
+/// mutex, plus a condvar workers park on when the queue is empty.
+struct Shared {
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Default pool width: the host's available parallelism (1 if unknown).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// A fixed-size pool of persistent worker threads draining a two-ended
+/// job queue. Construct once, reuse across runs; dropping the pool joins
+/// all workers.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with `workers` persistent threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stats-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// A pool sized by [`default_workers`].
+    pub fn with_default_workers() -> Self {
+        WorkerPool::new(default_workers())
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run `f` with a [`PoolScope`] through which tasks borrowing from the
+    /// enclosing environment can be spawned onto the pool. Returns once
+    /// `f` *and every spawned task* have finished, so borrows handed to
+    /// tasks are valid for their whole execution (the `std::thread::scope`
+    /// contract).
+    ///
+    /// # Panics
+    ///
+    /// If a spawned task panics, the panic is captured and resumed here
+    /// after all tasks have drained; if `f` itself panics, that panic is
+    /// resumed (task panics take precedence, matching the order in which
+    /// the work actually failed).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope PoolScope<'scope, 'env>) -> R,
+    {
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::new(ScopeState::default()),
+            _scope: PhantomData,
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Wait for every task — on the panic path too, or borrows of 'env
+        // data could dangle while tasks are still running.
+        scope.state.wait_idle();
+        if let Some(payload) = scope.state.take_panic() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("pool mutex");
+            q.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for h in self.workers.drain(..) {
+            // A worker that panicked already stashed the payload with the
+            // owning scope; joining here must not double-panic in Drop.
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool mutex");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work_ready.wait(q).expect("pool mutex");
+            }
+        };
+        job();
+    }
+}
+
+/// Per-scope bookkeeping: outstanding task count, completion condvar, and
+/// the first panic payload raised by a task.
+#[derive(Default)]
+struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn task_started(&self) {
+        *self.pending.lock().expect("scope mutex") += 1;
+    }
+
+    fn task_finished(&self) {
+        let mut pending = self.pending.lock().expect("scope mutex");
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut pending = self.pending.lock().expect("scope mutex");
+        while *pending > 0 {
+            pending = self.all_done.wait(pending).expect("scope mutex");
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("scope mutex");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().expect("scope mutex").take()
+    }
+}
+
+/// Handle for spawning environment-borrowing tasks onto a [`WorkerPool`];
+/// see [`WorkerPool::scope`]. `'scope` is the region in which tasks run,
+/// `'env` the enclosing borrows (both invariant, as in `std::thread::Scope`).
+pub struct PoolScope<'scope, 'env: 'scope> {
+    pool: &'scope WorkerPool,
+    state: Arc<ScopeState>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl std::fmt::Debug for PoolScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolScope")
+            .field("workers", &self.pool.workers())
+            .finish()
+    }
+}
+
+impl<'scope> PoolScope<'scope, '_> {
+    /// Enqueue `f` at the back of the pool's queue (normal lane).
+    ///
+    /// Tasks may themselves spawn further tasks through the same scope.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.enqueue(f, false);
+    }
+
+    /// Enqueue `f` at the *front* of the pool's queue. The executor uses
+    /// this lane for commit-critical work (replica replay, reruns) so it
+    /// overtakes queued-but-not-yet-needed speculative chunks.
+    pub fn spawn_urgent<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.enqueue(f, true);
+    }
+
+    fn enqueue<F>(&'scope self, f: F, urgent: bool)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        // Count the task before it is visible to workers so `wait_idle`
+        // can never observe a queued-but-uncounted task.
+        self.state.task_started();
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                state.record_panic(payload);
+            }
+            state.task_finished();
+        });
+        // SAFETY: the closure borrows data that lives at least `'scope`.
+        // `WorkerPool::scope` does not return before `wait_idle()` observes
+        // every counted task finished — on the panic path as well — so the
+        // erased borrows are valid for the job's entire execution. This is
+        // the same lifetime-erasure argument `std::thread::scope` rests on.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        {
+            let mut q = self.pool.shared.queue.lock().expect("pool mutex");
+            if urgent {
+                q.jobs.push_front(job);
+            } else {
+                q.jobs.push_back(job);
+            }
+        }
+        self.pool.shared.work_ready.notify_one();
+    }
+}
+
+/// A small free-list of state buffers, recycling allocations between
+/// replica batches instead of hitting the allocator on the commit path.
+///
+/// Lifetime rule: a state may be recycled only once nothing reads it —
+/// after the ordered comparison for its boundary has finished (see
+/// DESIGN.md §9). `copy_of` refills a spare in place via `clone_from`,
+/// which for heap-backed states (e.g. `Vec`-based benchmark states of
+/// matching length) reuses the spare's allocation.
+#[derive(Debug)]
+pub struct StatePool<S> {
+    spares: Mutex<Vec<S>>,
+    cap: usize,
+}
+
+impl<S: Clone> StatePool<S> {
+    /// A pool retaining at most `cap` spare states.
+    pub fn with_capacity(cap: usize) -> Self {
+        StatePool {
+            spares: Mutex::new(Vec::new()),
+            cap,
+        }
+    }
+
+    /// A copy of `src`, refilling a recycled spare when one is available.
+    pub fn copy_of(&self, src: &S) -> S {
+        let spare = self.spares.lock().expect("state pool mutex").pop();
+        match spare {
+            Some(mut s) => {
+                s.clone_from(src);
+                s
+            }
+            None => src.clone(),
+        }
+    }
+
+    /// Return a dead state's buffer to the pool (dropped if full).
+    pub fn recycle(&self, state: S) {
+        let mut spares = self.spares.lock().expect("state pool mutex");
+        if spares.len() < self.cap {
+            spares.push(state);
+        }
+    }
+
+    /// Number of spare buffers currently held.
+    pub fn spares(&self) -> usize {
+        self.spares.lock().expect("state pool mutex").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_tasks_and_waits() {
+        let pool = WorkerPool::new(3);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..100 {
+                scope.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn tasks_borrow_the_environment() {
+        let pool = WorkerPool::new(2);
+        let data: Vec<u64> = (0..64).collect();
+        let sum = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for half in data.chunks(32) {
+                scope.spawn(|| {
+                    let s: u64 = half.iter().sum();
+                    sum.fetch_add(s as usize, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed) as u64, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            scope.spawn(|| {
+                for _ in 0..10 {
+                    scope.spawn(|| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn urgent_tasks_overtake_queued_ones() {
+        // One worker, held busy while the queue fills; the urgent task
+        // enqueued last must run before the normal tasks enqueued first.
+        let pool = WorkerPool::new(1);
+        let order = Mutex::new(Vec::new());
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        pool.scope(|scope| {
+            let g = Arc::clone(&gate);
+            scope.spawn(move || {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+            for i in 0..3 {
+                let order = &order;
+                scope.spawn(move || order.lock().unwrap().push(format!("normal-{i}")));
+            }
+            let order = &order;
+            scope.spawn_urgent(move || order.lock().unwrap().push("urgent".to_string()));
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        assert_eq!(order.lock().unwrap()[0], "urgent");
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let pool = WorkerPool::new(2);
+        for round in 0..5 {
+            let hits = AtomicUsize::new(0);
+            pool.scope(|scope| {
+                for _ in 0..=round {
+                    scope.spawn(|| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), round + 1);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let pool = WorkerPool::new(2);
+        let survivors = Arc::new(AtomicUsize::new(0));
+        let s2 = Arc::clone(&survivors);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("task boom"));
+                for _ in 0..8 {
+                    let s = Arc::clone(&s2);
+                    scope.spawn(move || {
+                        s.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "scope must re-raise the task panic");
+        // Every non-panicking task still ran to completion before the
+        // scope returned.
+        assert_eq!(survivors.load(Ordering::Relaxed), 8);
+        // The pool survives a panicked scope.
+        let ok = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            scope.spawn(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+        assert!(WorkerPool::with_default_workers().workers() >= 1);
+    }
+
+    #[test]
+    fn state_pool_recycles_buffers() {
+        let pool: StatePool<Vec<u64>> = StatePool::with_capacity(2);
+        let src = vec![1, 2, 3];
+        let a = pool.copy_of(&src);
+        assert_eq!(a, src);
+        pool.recycle(a);
+        assert_eq!(pool.spares(), 1);
+        let b = pool.copy_of(&vec![9, 9]);
+        assert_eq!(b, vec![9, 9]);
+        assert_eq!(pool.spares(), 0);
+        // Capacity bounds retained spares.
+        pool.recycle(vec![1]);
+        pool.recycle(vec![2]);
+        pool.recycle(vec![3]);
+        assert_eq!(pool.spares(), 2);
+    }
+}

@@ -587,6 +587,8 @@ fn record_outcome_telemetry<O>(outcome: &SpeculationOutcome<O>, t: &TelemetrySin
             .filter(|c| c.decision == ChunkDecision::Committed)
             .count(),
         aborted: outcome.aborts(),
+        // The simulated lowering schedules one virtual worker per chunk.
+        workers: outcome.chunks.len(),
     });
 }
 

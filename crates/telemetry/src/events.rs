@@ -69,6 +69,10 @@ pub enum Event {
         committed: usize,
         /// Aborted chunk count.
         aborted: usize,
+        /// Worker parallelism the run executed with: pool width for the
+        /// pooled threaded runtime, chunk count for thread-per-chunk and
+        /// for the simulated lowering (one virtual worker per chunk).
+        workers: usize,
     },
     /// The autotuner evaluated one configuration.
     TuneIteration {
@@ -190,9 +194,14 @@ impl Event {
             | Event::RerunFinished { chunk } => {
                 o.u64("chunk", *chunk as u64);
             }
-            Event::RunFinished { committed, aborted } => {
+            Event::RunFinished {
+                committed,
+                aborted,
+                workers,
+            } => {
                 o.u64("committed", *committed as u64)
-                    .u64("aborted", *aborted as u64);
+                    .u64("aborted", *aborted as u64)
+                    .u64("workers", *workers as u64);
             }
             Event::TuneIteration {
                 iteration,
@@ -361,6 +370,7 @@ mod tests {
             Event::RunFinished {
                 committed: 2,
                 aborted: 1,
+                workers: 4,
             },
             Event::TuneIteration {
                 iteration: 1,

@@ -16,7 +16,9 @@
 //! keeps the offline crate set minimal) and unit-tested.
 
 use stats_bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
+use stats_core::runtime::pool::WorkerPool;
 use stats_core::runtime::simulated::SimulatedRuntime;
+use stats_core::runtime::threaded::run_threaded_on;
 use stats_telemetry::json::JsonObject;
 use stats_telemetry::{export, Event, TelemetrySink};
 use stats_workloads::{dispatch, Workload, WorkloadVisitor, EXTENDED_BENCHMARK_NAMES};
@@ -122,6 +124,10 @@ pub struct Options {
     pub telemetry: Option<String>,
     /// Print a machine-readable JSON summary instead of the text one.
     pub json: bool,
+    /// Execute natively on a worker pool of this width (run/metrics
+    /// record telemetry from the threaded runtime; tune replays the
+    /// winner natively). `None` keeps the simulated-only behavior.
+    pub workers: Option<usize>,
 }
 
 impl Default for Options {
@@ -134,6 +140,7 @@ impl Default for Options {
             extra_states: None,
             telemetry: None,
             json: false,
+            workers: None,
         }
     }
 }
@@ -177,6 +184,10 @@ OPTIONS:
   --telemetry PATH write a JSONL telemetry event log (run/tune)
   --json           machine-readable run summary   (run only)
   --format F       metrics rendering: table | prometheus | folded | json
+  --workers N      also execute natively on an N-wide worker pool
+                   (run/metrics: telemetry comes from the threaded
+                   runtime; tune: the winner is replayed natively;
+                   folded metrics keep using the simulated trace)
 ";
 
 /// Everything `parse_options` extracts besides the shared [`Options`]:
@@ -245,6 +256,15 @@ fn parse_options(args: &[String]) -> Result<ParsedArgs, ParseError> {
             }
             "--telemetry" => {
                 opts.telemetry = Some(take_value("--telemetry")?);
+            }
+            "--workers" => {
+                let n: usize = take_value("--workers")?
+                    .parse()
+                    .map_err(|_| ParseError("--workers expects an integer".into()))?;
+                if n == 0 {
+                    return Err(ParseError("--workers must be at least 1".into()));
+                }
+                opts.workers = Some(n);
             }
             "--json" => {
                 opts.json = true;
@@ -371,7 +391,11 @@ impl WorkloadVisitor for RunCmd {
         let sink = sink_for(&cfg, self.opts.telemetry.as_deref())?;
         sink.event(&Event::RunStarted {
             benchmark: w.name().to_string(),
-            runtime: "simulated",
+            runtime: if self.opts.workers.is_some() {
+                "threaded"
+            } else {
+                "simulated"
+            },
             inputs: n,
             chunks: cfg.chunks,
             lookback: cfg.lookback,
@@ -379,6 +403,13 @@ impl WorkloadVisitor for RunCmd {
             seed: self.opts.seed,
         });
         let rt = SimulatedRuntime::paper_machine();
+        // With --workers the live telemetry comes from the pooled threaded
+        // runtime; the simulated run still supplies the model metrics
+        // (speedup, accounting) and the parity cross-check.
+        let native = self.opts.workers.map(|workers| {
+            let pool = WorkerPool::new(workers);
+            run_threaded_on(&pool, w, &inputs, cfg, self.opts.seed, Some(&sink))
+        });
         let report = rt
             .run_observed(
                 w.name(),
@@ -387,9 +418,12 @@ impl WorkloadVisitor for RunCmd {
                 cfg,
                 w.inner_parallelism(),
                 self.opts.seed,
-                Some(&sink),
+                if native.is_some() { None } else { Some(&sink) },
             )
             .expect("valid configuration");
+        let decisions_match = native
+            .as_ref()
+            .is_none_or(|t| t.decisions == report.decisions);
         let quality = w.quality(&inputs, &report.outputs);
         let snap = sink.snapshot();
         sink.event(&Event::Snapshot {
@@ -399,7 +433,14 @@ impl WorkloadVisitor for RunCmd {
         if self.opts.json {
             let mut o = JsonObject::new();
             o.str("benchmark", w.name())
-                .str("runtime", "simulated")
+                .str(
+                    "runtime",
+                    if native.is_some() {
+                        "threaded"
+                    } else {
+                        "simulated"
+                    },
+                )
                 .u64("inputs", n as u64)
                 .f64("scale", self.opts.scale.0)
                 .u64("seed", self.opts.seed)
@@ -418,6 +459,11 @@ impl WorkloadVisitor for RunCmd {
                 )
                 .f64("quality", quality)
                 .raw("telemetry", &snap.to_json());
+            if let Some(t) = &native {
+                o.u64("workers", t.workers as u64)
+                    .f64("native_ms", t.elapsed.as_secs_f64() * 1e3)
+                    .bool("decisions_match", decisions_match);
+            }
             return Ok(format!("{}\n", o.finish()));
         }
         let mut out = format!(
@@ -442,6 +488,18 @@ impl WorkloadVisitor for RunCmd {
             report.extra_instruction_percent(),
             quality,
         );
+        if let Some(t) = &native {
+            out.push_str(&format!(
+                "native:        {:.1} ms on {} pooled workers (decisions {} simulated)\n",
+                t.elapsed.as_secs_f64() * 1e3,
+                t.workers,
+                if decisions_match {
+                    "match"
+                } else {
+                    "DIVERGE from"
+                },
+            ));
+        }
         if let Some(path) = &self.opts.telemetry {
             out.push_str(&format!(
                 "telemetry:     {} events -> {}\n",
@@ -465,6 +523,25 @@ impl WorkloadVisitor for MetricsCmd {
         let n = self.opts.scale.inputs_for(w);
         let inputs = w.generate_inputs(n, self.opts.seed);
         let sink = sink_for(&cfg, self.opts.telemetry.as_deref())?;
+        // Snapshot formats can record from the real threaded runtime
+        // (--workers); the folded export is a trace rendering, which only
+        // the simulated runtime produces, so it always runs simulated.
+        let native_snapshot = self
+            .opts
+            .workers
+            .filter(|_| self.format != MetricsFormat::Folded);
+        if let Some(workers) = native_snapshot {
+            let pool = WorkerPool::new(workers);
+            run_threaded_on(&pool, w, &inputs, cfg, self.opts.seed, Some(&sink));
+            sink.flush();
+            let snap = sink.snapshot();
+            return Ok(match self.format {
+                MetricsFormat::Table => export::table(&snap),
+                MetricsFormat::Prometheus => export::prometheus(&snap),
+                MetricsFormat::Json => format!("{}\n", snap.to_json()),
+                MetricsFormat::Folded => unreachable!("folded runs simulated"),
+            });
+        }
         let rt = SimulatedRuntime::paper_machine();
         let report = rt
             .run_observed(
@@ -599,7 +676,7 @@ impl WorkloadVisitor for TuneCmd {
             speedup_variance: variance,
         });
         sink.flush();
-        Ok(format!(
+        let mut out = format!(
             "benchmark: {}\nexplored:  {} configurations\nbest:      {}\nspeedup:   {:.2}x mean over {} seeds (variance {:.4})\n",
             w.name(),
             report.configurations_explored(),
@@ -607,7 +684,20 @@ impl WorkloadVisitor for TuneCmd {
             mean,
             TUNE_REPLAY_SEEDS,
             variance,
-        ))
+        );
+        // With --workers, replay the winner on real threads so the tuned
+        // configuration's native behavior is visible next to the model's.
+        if let Some(workers) = self.opts.workers {
+            let pool = WorkerPool::new(workers);
+            let native = run_threaded_on(&pool, w, &inputs, report.best, self.opts.seed, None);
+            out.push_str(&format!(
+                "native:    {:.1} ms on {} pooled workers ({} aborts)\n",
+                native.elapsed.as_secs_f64() * 1e3,
+                native.workers,
+                native.aborts(),
+            ));
+        }
+        Ok(out)
     }
 }
 
@@ -871,6 +961,72 @@ mod tests {
             stats_telemetry::json::validate(line)
                 .unwrap_or_else(|e| panic!("invalid event line: {e}\n{line}"));
         }
+    }
+
+    #[test]
+    fn parses_and_validates_workers() {
+        match parse(&args("run swaptions --workers 4")).unwrap() {
+            Command::Run { opts, .. } => assert_eq!(opts.workers, Some(4)),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&args("run swaptions --workers 0")).is_err());
+        assert!(parse(&args("run swaptions --workers abc")).is_err());
+        assert!(parse(&args("run swaptions --workers")).is_err());
+    }
+
+    #[test]
+    fn run_with_workers_executes_natively_and_matches() {
+        let cmd = parse(&args("run swaptions --scale 0.05 --chunks 8 --workers 2")).unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("native:"));
+        assert!(out.contains("2 pooled workers"));
+        assert!(
+            out.contains("decisions match simulated"),
+            "threaded must agree with simulated:\n{out}"
+        );
+    }
+
+    #[test]
+    fn run_json_with_workers_records_pool_width() {
+        let cmd = parse(&args(
+            "run swaptions --scale 0.05 --chunks 8 --workers 2 --json",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        stats_telemetry::json::validate(out.trim())
+            .unwrap_or_else(|e| panic!("invalid --json summary: {e}\n{out}"));
+        assert!(out.contains("\"runtime\":\"threaded\""));
+        assert!(out.contains("\"workers\":2"));
+        assert!(out.contains("\"native_ms\":"));
+        assert!(out.contains("\"decisions_match\":true"));
+        // The embedded snapshot now comes from the threaded runtime and
+        // still carries the full protocol counter set.
+        assert!(out.contains("\"chunks_started\":8"));
+    }
+
+    #[test]
+    fn metrics_with_workers_snapshots_the_threaded_runtime() {
+        let cmd = parse(&args(
+            "metrics swaptions --scale 0.05 --chunks 8 --workers 2 --format json",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("\"chunks_started\":8"));
+        // Folded is a simulated-trace export; it must still work with
+        // --workers rather than erroring out.
+        let folded = parse(&args(
+            "metrics swaptions --scale 0.05 --workers 2 --format folded",
+        ))
+        .unwrap();
+        assert!(execute(folded).unwrap().contains(";chunk-compute "));
+    }
+
+    #[test]
+    fn tune_with_workers_replays_winner_natively() {
+        let cmd = parse(&args("tune swaptions --scale 0.05 --budget 3 --workers 2")).unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("native:"));
+        assert!(out.contains("2 pooled workers"));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Oversubscription parity: many more chunks than pool workers.
+//!
+//! The pooled executor's pipelining (replica replay overlapping the next
+//! chunk, urgent-lane reruns, state recycling) must never leak into
+//! results. These tests drive 64 chunks through a 4-worker pool — 16
+//! chunks per worker — and require bit-for-bit agreement with the
+//! semantic layer on every commit/abort decision AND every output, for
+//! all six paper benchmarks. The thread-per-chunk baseline is held to the
+//! same bar, and a shared pool must carry no state between runs.
+
+use stats_workbench::core::runtime::pool::WorkerPool;
+use stats_workbench::core::runtime::threaded::{run_threaded_on, run_threaded_per_chunk};
+use stats_workbench::core::{run_speculative, ChunkDecision, Config};
+use stats_workbench::workloads::Workload;
+use stats_workbench::workloads::{
+    bodytrack::BodyTrack, facedet_and_track::FaceDetAndTrack, facetrack::FaceTrack,
+    streamclassifier::StreamClassifier, streamcluster::StreamCluster, swaptions::Swaptions,
+};
+
+const INPUTS: usize = 256;
+const SEED: u64 = 0x0517_2026;
+
+/// 64 chunks of 4 inputs on a 4-worker pool: 16 queued tasks per worker,
+/// plus the replica and rerun tasks racing through the urgent lane.
+fn oversubscribed_config() -> Config {
+    Config::stats_only(64, 4, 2)
+}
+
+/// Run one workload through the semantic layer, the pooled executor, and
+/// the thread-per-chunk baseline; all three must agree exactly.
+fn assert_parity<W>(pool: &WorkerPool, w: &W, seed: u64)
+where
+    W: Workload + Sync,
+    W::Output: PartialEq + std::fmt::Debug,
+{
+    let inputs = w.generate_inputs(INPUTS, seed);
+    let cfg = oversubscribed_config();
+    cfg.validate(inputs.len()).expect("valid config");
+    assert!(
+        cfg.chunks >= 4 * pool.workers(),
+        "test must oversubscribe: {} chunks on {} workers",
+        cfg.chunks,
+        pool.workers()
+    );
+
+    let semantic = run_speculative(w, &inputs, cfg, seed);
+    let reference: Vec<ChunkDecision> = semantic.chunks.iter().map(|c| c.decision).collect();
+
+    let pooled = run_threaded_on(pool, w, &inputs, cfg, seed, None);
+    assert_eq!(
+        pooled.decisions,
+        reference,
+        "{}: pooled decisions",
+        w.name()
+    );
+    assert_eq!(
+        pooled.outputs,
+        semantic.outputs,
+        "{}: pooled outputs",
+        w.name()
+    );
+    assert_eq!(pooled.workers, pool.workers());
+
+    let per_chunk = run_threaded_per_chunk(w, &inputs, cfg, seed);
+    assert_eq!(
+        per_chunk.decisions,
+        reference,
+        "{}: per-chunk decisions",
+        w.name()
+    );
+    assert_eq!(
+        per_chunk.outputs,
+        semantic.outputs,
+        "{}: per-chunk outputs",
+        w.name()
+    );
+}
+
+#[test]
+fn oversubscribed_pool_matches_semantics_on_every_benchmark() {
+    // One pool for all six benchmarks: reuse across workloads is part of
+    // what's under test.
+    let pool = WorkerPool::new(4);
+    assert_parity(&pool, &Swaptions::paper(), SEED);
+    assert_parity(&pool, &StreamCluster::paper(), SEED);
+    assert_parity(&pool, &StreamClassifier::paper(), SEED);
+    assert_parity(&pool, &BodyTrack::paper(), SEED);
+    assert_parity(&pool, &FaceTrack::paper(), SEED);
+    assert_parity(&pool, &FaceDetAndTrack::paper(), SEED);
+}
+
+#[test]
+fn pool_reuse_carries_no_state_between_seeds() {
+    // Interleave seeds on one pool; each run must equal a fresh-pool run
+    // of the same seed, including after an intervening different seed.
+    let shared = WorkerPool::new(4);
+    let w = StreamClassifier::paper();
+    let cfg = oversubscribed_config();
+    for &seed in &[SEED, 42, SEED, 7, 42] {
+        let inputs = w.generate_inputs(INPUTS, seed);
+        let on_shared = run_threaded_on(&shared, &w, &inputs, cfg, seed, None);
+        let fresh = WorkerPool::new(4);
+        let on_fresh = run_threaded_on(&fresh, &w, &inputs, cfg, seed, None);
+        assert_eq!(on_shared.decisions, on_fresh.decisions, "seed {seed}");
+        assert_eq!(on_shared.outputs, on_fresh.outputs, "seed {seed}");
+    }
+}
+
+#[test]
+fn single_worker_pool_still_drains_oversubscribed_plans() {
+    // The degenerate 1-worker pool serializes everything; decisions and
+    // outputs still match the semantic layer (no deadlock, no divergence).
+    let pool = WorkerPool::new(1);
+    assert_parity(&pool, &Swaptions::paper(), 42);
+    assert_parity(&pool, &FaceDetAndTrack::paper(), 42);
+}
