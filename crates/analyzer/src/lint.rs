@@ -15,6 +15,7 @@
 //! | ND005 | RNG streams built inside `update`/`states_match` bodies |
 //! | ND006 | `println!`/`eprintln!` in runtime hot paths (use telemetry) |
 //! | ND007 | raw `std::thread` spawns in runtime hot paths (use the pool) |
+//! | ND008 | ambient state read inside a searcher's `ask`/`tell` body |
 //!
 //! A finding is suppressed by a comment on the same or the preceding
 //! line: `// stats-analyzer: allow(ND002): reason`.
@@ -26,7 +27,11 @@
 //! timings the telemetry layer exists to measure. ND007 fires in the
 //! same hot paths except `pool.rs` itself: with the pooled executor in
 //! place, per-task `std::thread` creation off the pool reintroduces the
-//! spawn cost the pool exists to amortize.
+//! spawn cost the pool exists to amortize. ND008 fires only in autotuner
+//! searcher files: the batched ask/tell contract promises a search
+//! trajectory that depends on `(seed, budget, batch)` alone, so an
+//! `ask`/`tell` body reading the clock, its thread identity, or the pool
+//! width would silently re-couple tuning results to worker count.
 
 use crate::diag::{display_path, Diagnostic};
 use crate::lex::{lex, LexedFile, Tok, TokKind};
@@ -87,6 +92,13 @@ pub fn hot_path(path: &str) -> bool {
 /// create OS threads, so every other hot-path file must go through it.
 pub fn hot_path_outside_pool(path: &str) -> bool {
     hot_path(path) && !path.ends_with("pool.rs")
+}
+
+/// Searcher implementation files: the autotuner crate plus any file
+/// named after the searcher module (covers out-of-crate `Searcher`
+/// implementations that follow the naming convention).
+pub fn searcher_path(path: &str) -> bool {
+    path.contains("autotuner") || path.ends_with("searcher.rs")
 }
 
 /// The registry of all rules, in id order.
@@ -150,6 +162,15 @@ pub fn registry() -> Vec<Rule> {
                    oversubscription the pool exists to eliminate",
             applies_to: hot_path_outside_pool,
             check: check_raw_thread_spawn,
+        },
+        Rule {
+            id: "ND008",
+            summary: "ambient state read inside a searcher ask/tell body",
+            hint: "derive every ask/tell decision from the searcher's seeded state and \
+                   the told costs; clocks, thread identity, and pool width make the \
+                   search trajectory depend on worker count and completion order",
+            applies_to: searcher_path,
+            check: check_ambient_searcher,
         },
     ]
 }
@@ -366,6 +387,103 @@ fn check_raw_thread_spawn(file: &LexedFile) -> Vec<RawFinding> {
             )
         })
         .collect()
+}
+
+/// The batched searcher protocol functions whose bodies must be pure in
+/// `(seeded state, told costs)` — see `stats-autotuner`'s `Searcher`.
+const SEARCHER_FNS: &[&str] = &["ask", "tell"];
+
+fn check_ambient_searcher(file: &LexedFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    let mut depth = 0usize;
+    let mut stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if t.text == "fn" => {
+                if let Some(name) = toks.get(i + 1) {
+                    if name.kind == TokKind::Ident {
+                        pending_fn = Some(name.text.clone());
+                    }
+                }
+            }
+            TokKind::Punct if t.text == "{" => {
+                if let Some(name) = pending_fn.take() {
+                    stack.push((name, depth));
+                }
+                depth += 1;
+            }
+            TokKind::Punct if t.text == ";" => {
+                pending_fn = None;
+            }
+            TokKind::Punct if t.text == "}" => {
+                depth = depth.saturating_sub(1);
+                if stack.last().is_some_and(|(_, d)| *d == depth) {
+                    stack.pop();
+                }
+            }
+            _ => {}
+        }
+        let in_searcher_fn = stack
+            .iter()
+            .any(|(name, _)| SEARCHER_FNS.contains(&name.as_str()));
+        if !in_searcher_fn || t.kind != TokKind::Ident {
+            continue;
+        }
+        let path_seg = |j: usize, name: &str| {
+            toks.get(j).is_some_and(|a| a.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|a| a.is_ident(name))
+        };
+        // Clock reads: completion timing must not steer proposals.
+        if (t.text == "Instant" || t.text == "SystemTime") && path_seg(i + 1, "now") {
+            out.push(RawFinding::at(
+                t,
+                t.text.chars().count() + "::now".len(),
+                format!("`{}::now` read inside a searcher ask/tell body", t.text),
+            ));
+        }
+        // Thread identity: which worker evaluated a batch is not a
+        // search signal.
+        if t.text == "thread" && path_seg(i + 1, "current") {
+            out.push(RawFinding::at(
+                t,
+                "thread::current".len(),
+                "`thread::current` reads thread identity inside a searcher ask/tell body"
+                    .to_string(),
+            ));
+        }
+        if t.text == "ThreadId" {
+            out.push(RawFinding::at(
+                t,
+                t.text.chars().count(),
+                "`ThreadId` used inside a searcher ask/tell body".to_string(),
+            ));
+        }
+        // Pool/host width: proposals sized or shaped by worker count
+        // re-couple the trajectory to the machine.
+        if t.text == "available_parallelism" {
+            out.push(RawFinding::at(
+                t,
+                t.text.chars().count(),
+                "`available_parallelism` reads host width inside a searcher ask/tell body"
+                    .to_string(),
+            ));
+        }
+        if t.text == "workers"
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+        {
+            out.push(RawFinding::at(
+                t,
+                t.text.chars().count() + 2,
+                "`.workers()` reads pool width inside a searcher ask/tell body".to_string(),
+            ));
+        }
+    }
+    out
 }
 
 /// Lint one file's source text. `name` is used in diagnostics and
@@ -605,6 +723,41 @@ mod tests {
         let waived = "// stats-analyzer: allow(ND007): thread-per-chunk baseline\n\
                       fn f() { std::thread::scope(|s| {}); }";
         assert!(lint_source("x/runtime/y.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn ambient_searcher_reads_are_scoped_to_ask_tell_in_searcher_paths() {
+        let src = "fn ask(&mut self) { let w = pool.workers(); }";
+        let hit = lint_source("crates/autotuner/src/searcher.rs", src);
+        assert_eq!(hit.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND008"]);
+        // Same read outside ask/tell (constructors size caches freely).
+        let ctor = "fn new(pool: &WorkerPool) -> Self { let w = pool.workers(); todo!() }";
+        assert!(lint_source("crates/autotuner/src/searcher.rs", ctor).is_empty());
+        // Same read outside the searcher paths (the tuner stamps pool
+        // width into telemetry deliberately).
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn ambient_searcher_covers_clock_thread_and_width_probes() {
+        let clock = "fn tell(&mut self) { let t = Instant::now(); }";
+        let hit = lint_source("crates/autotuner/src/x.rs", clock);
+        // ND002 (global wall-clock rule) and ND008 both apply here.
+        assert_eq!(
+            hit.iter().map(|d| d.rule).collect::<Vec<_>>(),
+            ["ND002", "ND008"]
+        );
+        let identity = "fn ask(&mut self) { let id = thread::current().id(); }";
+        let hit = lint_source("crates/autotuner/src/x.rs", identity);
+        assert_eq!(hit.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND008"]);
+        let width = "fn ask(&mut self) { let n = available_parallelism(); }";
+        let hit = lint_source("crates/autotuner/src/x.rs", width);
+        assert_eq!(hit.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND008"]);
+        // And the waiver comment works like every other rule.
+        let waived = "fn ask(&mut self) {\n\
+                      // stats-analyzer: allow(ND008): diagnostics only\n\
+                      let id = thread::current().id(); }";
+        assert!(lint_source("crates/autotuner/src/x.rs", waived).is_empty());
     }
 
     #[test]

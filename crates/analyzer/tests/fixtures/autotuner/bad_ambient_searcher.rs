@@ -1,0 +1,41 @@
+//! Seeded ND008 violations: a searcher whose `ask`/`tell` bodies read
+//! ambient state (pool width, thread identity, the clock), which would
+//! make the tuning trajectory depend on worker count and completion
+//! order. Never compiled — lexed by the lint tests.
+
+use std::thread;
+use std::time::Instant;
+
+struct JitterySearch {
+    pool: PoolHandle,
+    temperature: f64,
+}
+
+impl Searcher for JitterySearch {
+    fn ask(&mut self, space: &DesignSpace, batch: usize) -> Vec<Config> {
+        // Sizing the batch by pool width couples proposals to the host.
+        let width = self.pool.workers();
+        // Seeding choices from thread identity breaks replay entirely.
+        let id = thread::current().id();
+        sample(space, batch + width, id)
+    }
+
+    fn tell(&mut self, results: &[(Config, f64)]) {
+        // stats-analyzer: allow(ND002): fixture isolates the ND008 read
+        let arrived = Instant::now();
+        // A waived probe is tolerated when justified:
+        // stats-analyzer: allow(ND008): cooling logged for diagnostics only
+        let hosts = available_parallelism();
+        self.cool(results, arrived, hosts);
+    }
+
+    fn name(&self) -> &'static str {
+        "jittery"
+    }
+}
+
+fn pool_diagnostics(pool: &PoolHandle) {
+    // The same probes outside ask/tell are legitimate (constructors size
+    // caches, the tuner stamps pool width into telemetry).
+    let _ = pool.workers();
+}

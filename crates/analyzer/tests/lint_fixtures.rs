@@ -130,6 +130,44 @@ fn hot_spawn_rule_exempts_the_pool_module() {
 }
 
 #[test]
+fn ambient_searcher_fixture_flags_ask_tell_reads_but_honors_waivers() {
+    let diags = fixture("autotuner/bad_ambient_searcher.rs");
+    assert_eq!(rules(&diags), ["ND008", "ND008", "ND008"]);
+    let text = diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains(".workers()"));
+    assert!(text.contains("thread::current"));
+    assert!(text.contains("Instant::now"));
+    // The waived `available_parallelism` probe and the probes outside
+    // ask/tell bodies are not reported.
+    assert!(diags
+        .iter()
+        .all(|d| !d.snippet.contains("available_parallelism")));
+    assert!(diags
+        .iter()
+        .all(|d| !d.snippet.contains("pool_diagnostics")));
+    assert!(diags.iter().all(|d| d.line < 36), "{diags:#?}");
+}
+
+#[test]
+fn ambient_searcher_rule_is_path_scoped() {
+    // Identical source outside the autotuner/searcher paths lints down
+    // to the always-on rules only (no ND008): the contract is specific
+    // to Searcher implementations.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/autotuner/bad_ambient_searcher.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    let diags = stats_analyzer::lint::lint_source("crates/bench/src/table1.rs", &source);
+    assert!(
+        diags.iter().all(|d| d.rule != "ND008"),
+        "ND008 escaped its path scope: {diags:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_has_zero_findings() {
     let diags = fixture("clean.rs");
     assert!(diags.is_empty(), "clean fixture flagged: {diags:#?}");

@@ -16,8 +16,16 @@
 //! * [`Ensemble`] — a bandit over the above, rewarding whichever technique
 //!   recently improved the best cost (OpenTuner's AUC bandit, simplified).
 //!
-//! [`Tuner`] runs the loop against any objective (`Config -> cost`); the
-//! experiment harness plugs in the simulated runtime's makespan.
+//! The searchers speak a batched ask/tell protocol: [`Searcher::ask`]
+//! proposes a batch of candidates from current state, [`Searcher::tell`]
+//! feeds `(config, cost)` results back in proposal order — the only
+//! place state changes. [`Tuner`] runs the loop against any objective
+//! (`Config -> cost`) either serially ([`Tuner::tune`]) or with each
+//! batch sharded across a persistent worker pool
+//! ([`Tuner::tune_parallel_on`]); because tells arrive in proposal
+//! order either way, the trajectory depends only on
+//! `(seed, budget, batch)`, never on worker count. The experiment
+//! harness plugs in the simulated runtime's makespan as the objective.
 //!
 //! ```
 //! use stats_autotuner::{Tuner, Strategy};
@@ -35,5 +43,5 @@
 mod searcher;
 mod tuner;
 
-pub use searcher::{Annealing, Ensemble, Evolutionary, HillClimb, RandomSearch, Searcher};
-pub use tuner::{Strategy, Tuner, TuningReport};
+pub use searcher::{Annealing, Ensemble, Evolutionary, HillClimb, RandomSearch, Searcher, Told};
+pub use tuner::{Strategy, Tuner, TuningReport, DEFAULT_BATCH};

@@ -1,28 +1,44 @@
-//! Search techniques over the STATS design space.
+//! Search techniques over the STATS design space, as batched ask/tell
+//! searchers.
+//!
+//! Every technique implements [`Searcher`]: [`Searcher::ask`] proposes a
+//! speculative batch of candidates from the technique's *current* state,
+//! and [`Searcher::tell`] feeds `(config, cost)` results back **in
+//! proposal order**. All randomness comes from seeded ChaCha8 streams
+//! drawn inside `ask`/`tell` on the coordinating thread, and a
+//! technique's state changes only in `tell` — never while a batch is
+//! being evaluated — so a search trajectory is a pure function of
+//! `(seed, budget, batch)`. In particular it is bit-identical no matter
+//! how many workers evaluate the batch or in which order the
+//! evaluations complete; analyzer rule ND008 guards against the ambient
+//! reads (wall clocks, thread identity, pool width) that would break
+//! this contract.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use stats_core::{Config, DesignSpace};
 
-/// Evaluation history the searchers draw on: `(config, cost)` pairs in
-/// evaluation order (lower cost is better).
-pub type History = [(Config, f64)];
+/// Evaluation results fed back to a searcher: `(config, cost)` pairs in
+/// proposal order (lower cost is better). Proposals the tuner had
+/// already evaluated are told with their memoized cost, so techniques
+/// still learn from duplicate proposals.
+pub type Told = [(Config, f64)];
 
-/// A search technique proposing the next configuration to evaluate.
+/// A search technique proposing batches of configurations to evaluate.
 pub trait Searcher {
-    /// Propose a configuration given the history so far. Proposals must be
-    /// valid members of the space.
-    fn propose(&mut self, space: &DesignSpace, history: &History) -> Config;
+    /// Propose `batch` configurations from the technique's current
+    /// state. Proposals must be valid members of the space; duplicates
+    /// (within the batch or with earlier proposals) are allowed — the
+    /// tuner memoizes and never re-runs the objective for them.
+    fn ask(&mut self, space: &DesignSpace, batch: usize) -> Vec<Config>;
+
+    /// Feed back one result per proposal of the preceding
+    /// [`Searcher::ask`] call, in proposal order. This is the only place
+    /// a technique may update its state.
+    fn tell(&mut self, results: &Told);
 
     /// Technique name for reports.
     fn name(&self) -> &'static str;
-}
-
-fn best_of(history: &History) -> Option<Config> {
-    history
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN costs"))
-        .map(|(c, _)| *c)
 }
 
 /// Uniform random sampling of the valid configuration set.
@@ -40,15 +56,21 @@ impl RandomSearch {
             cache: Vec::new(),
         }
     }
-}
 
-impl Searcher for RandomSearch {
-    fn propose(&mut self, space: &DesignSpace, _history: &History) -> Config {
+    fn sample(&mut self, space: &DesignSpace) -> Config {
         if self.cache.is_empty() {
             self.cache = space.enumerate();
         }
         self.cache[self.rng.gen_range(0..self.cache.len())]
     }
+}
+
+impl Searcher for RandomSearch {
+    fn ask(&mut self, space: &DesignSpace, batch: usize) -> Vec<Config> {
+        (0..batch).map(|_| self.sample(space)).collect()
+    }
+
+    fn tell(&mut self, _results: &Told) {}
 
     fn name(&self) -> &'static str {
         "random"
@@ -59,6 +81,8 @@ impl Searcher for RandomSearch {
 #[derive(Debug)]
 pub struct HillClimb {
     rng: ChaCha8Rng,
+    fallback: RandomSearch,
+    best: Option<(Config, f64)>,
 }
 
 impl HillClimb {
@@ -66,6 +90,8 @@ impl HillClimb {
     pub fn new(seed: u64) -> Self {
         HillClimb {
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0xC11B),
+            fallback: RandomSearch::new(seed ^ 0x41C0),
+            best: None,
         }
     }
 
@@ -97,15 +123,10 @@ impl HillClimb {
         }
         cfg
     }
-}
 
-impl Searcher for HillClimb {
-    fn propose(&mut self, space: &DesignSpace, history: &History) -> Config {
-        let base = match best_of(history) {
-            Some(b) => b,
-            None => return RandomSearch::new(self.rng.gen()).propose(space, history),
-        };
-        // Try a few mutations until one validates.
+    /// A validated single-dimension mutation of `base` (the base itself
+    /// when sixteen attempts fail to validate).
+    fn valid_neighbor(&mut self, space: &DesignSpace, base: Config) -> Config {
         for _ in 0..16 {
             let cfg = self.neighbor(space, base);
             if cfg.validate(space.inputs).is_ok() && cfg != base {
@@ -113,6 +134,25 @@ impl Searcher for HillClimb {
             }
         }
         base
+    }
+}
+
+impl Searcher for HillClimb {
+    fn ask(&mut self, space: &DesignSpace, batch: usize) -> Vec<Config> {
+        match self.best {
+            None => self.fallback.ask(space, batch),
+            Some((base, _)) => (0..batch)
+                .map(|_| self.valid_neighbor(space, base))
+                .collect(),
+        }
+    }
+
+    fn tell(&mut self, results: &Told) {
+        for &(cfg, cost) in results {
+            if self.best.is_none_or(|(_, b)| cost < b) {
+                self.best = Some((cfg, cost));
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -125,6 +165,8 @@ impl Searcher for HillClimb {
 pub struct Evolutionary {
     rng: ChaCha8Rng,
     tournament: usize,
+    population: Vec<(Config, f64)>,
+    fallback: RandomSearch,
 }
 
 impl Evolutionary {
@@ -133,29 +175,26 @@ impl Evolutionary {
         Evolutionary {
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0xEE01),
             tournament: 3,
+            population: Vec::new(),
+            fallback: RandomSearch::new(seed ^ 0xEE02),
         }
     }
 
-    fn select(&mut self, history: &History) -> Config {
+    fn select(&mut self) -> Config {
         let mut best: Option<(Config, f64)> = None;
         for _ in 0..self.tournament {
-            let pick = history[self.rng.gen_range(0..history.len())];
+            let pick = self.population[self.rng.gen_range(0..self.population.len())];
             match best {
                 Some((_, c)) if c <= pick.1 => {}
                 _ => best = Some(pick),
             }
         }
-        best.expect("non-empty history").0
+        best.expect("non-empty population").0
     }
-}
 
-impl Searcher for Evolutionary {
-    fn propose(&mut self, space: &DesignSpace, history: &History) -> Config {
-        if history.len() < 4 {
-            return RandomSearch::new(self.rng.gen()).propose(space, history);
-        }
-        let a = self.select(history);
-        let b = self.select(history);
+    fn child(&mut self, space: &DesignSpace) -> Config {
+        let a = self.select();
+        let b = self.select();
         // Uniform crossover.
         let mut child = Config {
             chunks: if self.rng.gen() { a.chunks } else { b.chunks },
@@ -182,8 +221,21 @@ impl Searcher for Evolutionary {
         if child.validate(space.inputs).is_ok() {
             child
         } else {
-            RandomSearch::new(self.rng.gen()).propose(space, history)
+            self.fallback.sample(space)
         }
+    }
+}
+
+impl Searcher for Evolutionary {
+    fn ask(&mut self, space: &DesignSpace, batch: usize) -> Vec<Config> {
+        if self.population.len() < 4 {
+            return self.fallback.ask(space, batch);
+        }
+        (0..batch).map(|_| self.child(space)).collect()
+    }
+
+    fn tell(&mut self, results: &Told) {
+        self.population.extend_from_slice(results);
     }
 
     fn name(&self) -> &'static str {
@@ -198,6 +250,7 @@ impl Searcher for Evolutionary {
 pub struct Annealing {
     rng: ChaCha8Rng,
     hill: HillClimb,
+    fallback: RandomSearch,
     current: Option<(Config, f64)>,
     temperature: f64,
     cooling: f64,
@@ -205,11 +258,12 @@ pub struct Annealing {
 
 impl Annealing {
     /// Create with a seed. Temperature starts at 1.0 and decays
-    /// geometrically per proposal.
+    /// geometrically per told result.
     pub fn new(seed: u64) -> Self {
         Annealing {
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0xA44EA1),
             hill: HillClimb::new(seed ^ 0x51),
+            fallback: RandomSearch::new(seed ^ 0xA44EA2),
             current: None,
             temperature: 1.0,
             cooling: 0.92,
@@ -218,10 +272,19 @@ impl Annealing {
 }
 
 impl Searcher for Annealing {
-    fn propose(&mut self, space: &DesignSpace, history: &History) -> Config {
-        // Adopt the latest evaluation as the annealing state when it beats
-        // the Metropolis criterion.
-        if let Some(&(cfg, cost)) = history.last() {
+    fn ask(&mut self, space: &DesignSpace, batch: usize) -> Vec<Config> {
+        match self.current {
+            None => self.fallback.ask(space, batch),
+            Some((base, _)) => (0..batch)
+                .map(|_| self.hill.valid_neighbor(space, base))
+                .collect(),
+        }
+    }
+
+    fn tell(&mut self, results: &Told) {
+        // Walk the results in proposal order, applying the Metropolis
+        // criterion to each as if it had been evaluated sequentially.
+        for &(cfg, cost) in results {
             let accept = match self.current {
                 None => true,
                 Some((_, cur_cost)) => {
@@ -236,18 +299,6 @@ impl Searcher for Annealing {
                 self.current = Some((cfg, cost));
             }
             self.temperature *= self.cooling;
-        }
-        match self.current {
-            None => RandomSearch::new(self.rng.gen()).propose(space, history),
-            Some((base, _)) => {
-                for _ in 0..16 {
-                    let cfg = self.hill.neighbor(space, base);
-                    if cfg.validate(space.inputs).is_ok() && cfg != base {
-                        return cfg;
-                    }
-                }
-                base
-            }
         }
     }
 
@@ -265,7 +316,8 @@ pub struct Ensemble {
     hill: HillClimb,
     evo: Evolutionary,
     scores: [f64; 3],
-    last_technique: usize,
+    /// Which technique proposed each slot of the outstanding batch.
+    pending: Vec<usize>,
     best_seen: f64,
 }
 
@@ -278,49 +330,59 @@ impl Ensemble {
             hill: HillClimb::new(seed),
             evo: Evolutionary::new(seed),
             scores: [1.0; 3],
-            last_technique: 0,
+            pending: Vec::new(),
             best_seen: f64::INFINITY,
         }
     }
 
-    /// Reward bookkeeping: call with the cost of the last proposal.
-    pub fn observe(&mut self, cost: f64) {
-        if cost < self.best_seen {
-            self.best_seen = cost;
-            self.scores[self.last_technique] += 1.0;
-        } else {
-            self.scores[self.last_technique] = (self.scores[self.last_technique] * 0.95).max(0.2);
-        }
-    }
-}
-
-impl Searcher for Ensemble {
-    fn propose(&mut self, space: &DesignSpace, history: &History) -> Config {
-        // Keep the bandit honest: update best_seen from history (covers
-        // costs observed without an explicit observe() call).
-        if let Some(min) = history
-            .iter()
-            .map(|(_, c)| *c)
-            .min_by(|a, b| a.partial_cmp(b).expect("no NaN"))
-        {
-            self.best_seen = self.best_seen.min(min);
-        }
+    fn pick_technique(&mut self) -> usize {
         let total: f64 = self.scores.iter().sum();
         let mut pick = self.rng.gen::<f64>() * total;
-        let idx = self
-            .scores
+        self.scores
             .iter()
             .position(|s| {
                 pick -= s;
                 pick <= 0.0
             })
-            .unwrap_or(2);
-        self.last_technique = idx;
-        match idx {
-            0 => self.random.propose(space, history),
-            1 => self.hill.propose(space, history),
-            _ => self.evo.propose(space, history),
+            .unwrap_or(2)
+    }
+}
+
+impl Searcher for Ensemble {
+    fn ask(&mut self, space: &DesignSpace, batch: usize) -> Vec<Config> {
+        self.pending.clear();
+        (0..batch)
+            .map(|_| {
+                let idx = self.pick_technique();
+                self.pending.push(idx);
+                let proposal = match idx {
+                    0 => self.random.ask(space, 1),
+                    1 => self.hill.ask(space, 1),
+                    _ => self.evo.ask(space, 1),
+                };
+                proposal[0]
+            })
+            .collect()
+    }
+
+    fn tell(&mut self, results: &Told) {
+        // Reward bookkeeping per slot: credit (or decay) the technique
+        // that proposed it, in proposal order.
+        for (i, &(_, cost)) in results.iter().enumerate() {
+            let idx = self.pending.get(i).copied().unwrap_or(2);
+            if cost < self.best_seen {
+                self.best_seen = cost;
+                self.scores[idx] += 1.0;
+            } else {
+                self.scores[idx] = (self.scores[idx] * 0.95).max(0.2);
+            }
         }
+        self.pending.clear();
+        // Every technique learns from every result, whichever technique
+        // proposed it — the batched equivalent of the shared history the
+        // one-at-a-time ensemble passed to its members.
+        self.hill.tell(results);
+        self.evo.tell(results);
     }
 
     fn name(&self) -> &'static str {
@@ -343,85 +405,121 @@ mod tests {
             + (cfg.extra_states as f64 - 1.0).abs()
     }
 
-    fn run_search(mut s: impl Searcher, evals: usize) -> f64 {
+    /// Drive a searcher through the ask/tell protocol with a batch of
+    /// `batch`, returning the best cost seen.
+    fn run_search(mut s: impl Searcher, evals: usize, batch: usize) -> f64 {
         let sp = space();
-        let mut history: Vec<(Config, f64)> = Vec::new();
-        for _ in 0..evals {
-            let cfg = s.propose(&sp, &history);
-            assert!(cfg.validate(sp.inputs).is_ok(), "invalid proposal {cfg:?}");
-            history.push((cfg, cost(&cfg)));
+        let mut best = f64::INFINITY;
+        let mut done = 0;
+        while done < evals {
+            let want = batch.min(evals - done);
+            let proposals = s.ask(&sp, want);
+            assert_eq!(proposals.len(), want, "short batch from {}", s.name());
+            let results: Vec<(Config, f64)> = proposals
+                .iter()
+                .map(|cfg| {
+                    assert!(cfg.validate(sp.inputs).is_ok(), "invalid proposal {cfg:?}");
+                    (*cfg, cost(cfg))
+                })
+                .collect();
+            for (_, c) in &results {
+                best = best.min(*c);
+            }
+            s.tell(&results);
+            done += want;
         }
-        history
-            .iter()
-            .map(|(_, c)| *c)
-            .fold(f64::INFINITY, f64::min)
+        best
     }
 
     #[test]
     fn random_search_proposes_valid_configs() {
-        let best = run_search(RandomSearch::new(1), 60);
+        let best = run_search(RandomSearch::new(1), 60, 8);
         assert!(best < 10.0, "random best {best}");
     }
 
     #[test]
     fn hill_climb_descends() {
-        let best = run_search(HillClimb::new(2), 60);
+        let best = run_search(HillClimb::new(2), 60, 4);
         assert!(best <= 2.0, "hill-climb best {best}");
     }
 
     #[test]
     fn evolutionary_converges() {
-        let best = run_search(Evolutionary::new(3), 120);
+        let best = run_search(Evolutionary::new(3), 120, 8);
         assert!(best <= 3.0, "evolutionary best {best}");
     }
 
     #[test]
     fn ensemble_is_at_least_as_good_as_random_alone() {
-        let ens = run_search(Ensemble::new(4), 80);
+        let ens = run_search(Ensemble::new(4), 80, 8);
         assert!(ens <= 2.5, "ensemble best {ens}");
     }
 
     #[test]
     fn annealing_converges() {
-        let best = run_search(Annealing::new(8), 80);
+        let best = run_search(Annealing::new(8), 80, 4);
         assert!(best <= 3.0, "annealing best {best}");
     }
 
     #[test]
     fn annealing_accepts_worse_moves_early() {
-        // Feed a history where the last evaluation is worse than the
-        // best: with temperature 1.0 the sampler should still sometimes
-        // adopt it (we just check it keeps proposing valid configs).
+        // Tell a result far worse than the current state: with
+        // temperature 1.0 the Metropolis sampler must still keep
+        // proposing valid configurations (and sometimes adopt it).
         let sp = space();
         let mut a = Annealing::new(3);
-        let mut history = vec![
+        a.tell(&[
             (Config::stats_only(28, 8, 1), 1.0),
             (Config::stats_only(2, 16, 0), 50.0),
-        ];
+        ]);
         for _ in 0..10 {
-            let cfg = a.propose(&sp, &history);
-            assert!(cfg.validate(sp.inputs).is_ok());
-            history.push((cfg, cost(&cfg)));
+            let proposals = a.ask(&sp, 2);
+            let results: Vec<(Config, f64)> = proposals
+                .iter()
+                .map(|cfg| {
+                    assert!(cfg.validate(sp.inputs).is_ok());
+                    (*cfg, cost(cfg))
+                })
+                .collect();
+            a.tell(&results);
         }
     }
 
     #[test]
     fn proposals_are_deterministic_per_seed() {
         let sp = space();
-        let hist: Vec<(Config, f64)> = Vec::new();
-        let a = RandomSearch::new(9).propose(&sp, &hist);
-        let b = RandomSearch::new(9).propose(&sp, &hist);
+        let a = RandomSearch::new(9).ask(&sp, 5);
+        let b = RandomSearch::new(9).ask(&sp, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tells_rebuild_identical_state() {
+        // A searcher's state is a pure function of its seed and the
+        // told results: rebuilding from the same tells yields identical
+        // next proposals (this is what makes the tuning trajectory
+        // independent of which worker evaluated what).
+        let sp = space();
+        let results: Vec<(Config, f64)> = sp
+            .enumerate()
+            .into_iter()
+            .take(6)
+            .map(|c| (c, cost(&c)))
+            .collect();
+        let mut rebuilt = Ensemble::new(11);
+        rebuilt.tell(&results);
+        let mut replay = Ensemble::new(11);
+        replay.tell(&results);
+        assert_eq!(rebuilt.ask(&sp, 8), replay.ask(&sp, 8));
     }
 
     #[test]
     fn hill_climb_stays_near_base() {
         let sp = space();
         let base = Config::stats_only(16, 8, 1);
-        let history = vec![(base, 0.0)];
         let mut hc = HillClimb::new(5);
-        for _ in 0..20 {
-            let prop = hc.propose(&sp, &history);
+        hc.tell(&[(base, 0.0)]);
+        for prop in hc.ask(&sp, 20) {
             // At most one dimension differs.
             let diffs = usize::from(prop.chunks != base.chunks)
                 + usize::from(prop.lookback != base.lookback)
@@ -429,5 +527,38 @@ mod tests {
                 + usize::from(prop.combine_inner_tlp != base.combine_inner_tlp);
             assert!(diffs <= 1, "hill-climb changed {diffs} dims: {prop:?}");
         }
+    }
+
+    #[test]
+    fn hill_climb_tracks_the_told_best() {
+        let sp = space();
+        let mut hc = HillClimb::new(6);
+        let good = Config::stats_only(28, 8, 1);
+        let bad = Config::stats_only(2, 32, 4);
+        hc.tell(&[(bad, 50.0), (good, 1.0), (bad, 50.0)]);
+        // Every proposal is now a neighbor of the best told config.
+        for prop in hc.ask(&sp, 12) {
+            let diffs = usize::from(prop.chunks != good.chunks)
+                + usize::from(prop.lookback != good.lookback)
+                + usize::from(prop.extra_states != good.extra_states)
+                + usize::from(prop.combine_inner_tlp != good.combine_inner_tlp);
+            assert!(diffs <= 1, "proposal {prop:?} not near {good:?}");
+        }
+    }
+
+    #[test]
+    fn ensemble_rewards_are_order_deterministic() {
+        // Two identically seeded ensembles, told the same results in the
+        // same order, propose identical next batches.
+        let sp = space();
+        let mut a = Ensemble::new(21);
+        let mut b = Ensemble::new(21);
+        let pa = a.ask(&sp, 8);
+        let pb = b.ask(&sp, 8);
+        assert_eq!(pa, pb);
+        let results: Vec<(Config, f64)> = pa.iter().map(|c| (*c, cost(c))).collect();
+        a.tell(&results);
+        b.tell(&results);
+        assert_eq!(a.ask(&sp, 8), b.ask(&sp, 8));
     }
 }

@@ -1,9 +1,22 @@
 //! The autotuner drive loop (Fig. 3's autotuner → back-end → profiler).
+//!
+//! The loop is batched: each round the searcher is *asked* for a batch
+//! of candidate configurations, the batch is evaluated — serially in
+//! [`Tuner::tune`], sharded across a persistent [`WorkerPool`] in
+//! [`Tuner::tune_parallel_on`] — and the results are *told* back in
+//! proposal order. Because searcher state only changes on `tell`, and
+//! tells always arrive in proposal order with costs from a deterministic
+//! objective, the search trajectory (and therefore the whole
+//! [`TuningReport`]) is a pure function of `(seed, budget, batch)`:
+//! worker count and evaluation completion order cannot leak in. See
+//! DESIGN.md §10 for the full argument.
 
 use crate::searcher::{Annealing, Ensemble, Evolutionary, HillClimb, RandomSearch, Searcher};
 use serde::{Deserialize, Serialize};
+use stats_core::runtime::pool::WorkerPool;
 use stats_core::{Config, DesignSpace};
 use stats_telemetry::{Event, TelemetrySink};
+use std::collections::BTreeMap;
 
 /// Which search technique drives the loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,16 +64,39 @@ impl TuningReport {
     }
 }
 
-/// The autotuner: a design space, an evaluation budget, and a seed.
+/// Default number of candidates proposed per ask/tell round: wide enough
+/// to keep an 8-worker pool busy, narrow enough that the searchers still
+/// adapt several times within the paper's 89–342-evaluation budgets.
+pub const DEFAULT_BATCH: usize = 8;
+
+/// Consecutive already-evaluated proposals tolerated before the loop
+/// concludes the space is (effectively) exhausted and stops early.
+const STALL_LIMIT: usize = 50;
+
+/// The memoization key of a configuration (a totally ordered tuple, so
+/// the result database can live in a `BTreeMap` — deterministic and
+/// O(log n) instead of the former O(n) scan over a `Vec`).
+fn key(cfg: &Config) -> (usize, usize, usize, bool) {
+    (
+        cfg.chunks,
+        cfg.lookback,
+        cfg.extra_states,
+        cfg.combine_inner_tlp,
+    )
+}
+
+/// The autotuner: a design space, an evaluation budget, a seed, and a
+/// proposal batch width.
 #[derive(Debug, Clone)]
 pub struct Tuner {
     space: DesignSpace,
     budget: usize,
     seed: u64,
+    batch: usize,
 }
 
 impl Tuner {
-    /// Create a tuner.
+    /// Create a tuner with the [`DEFAULT_BATCH`] proposal batch.
     ///
     /// # Panics
     ///
@@ -71,7 +107,22 @@ impl Tuner {
             space,
             budget,
             seed,
+            batch: DEFAULT_BATCH,
         }
+    }
+
+    /// Set the proposal batch width. The batch is part of the search
+    /// trajectory's identity — `(seed, budget, batch)` fully determine a
+    /// tuning run — so sequential and parallel tuning must use the same
+    /// value to produce identical reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "need a non-zero proposal batch");
+        self.batch = batch;
+        self
     }
 
     /// The design space being explored.
@@ -79,64 +130,159 @@ impl Tuner {
         &self.space
     }
 
-    /// Run the loop: propose, evaluate (`objective` returns a cost, lower
-    /// is better), feed back, repeat until the budget is exhausted. Each
-    /// distinct configuration is evaluated at most once (results are
-    /// memoized, like OpenTuner's result database).
+    /// The proposal batch width.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn searcher_for(&self, strategy: Strategy) -> Box<dyn Searcher> {
+        match strategy {
+            Strategy::Random => Box::new(RandomSearch::new(self.seed)),
+            Strategy::HillClimb => Box::new(HillClimb::new(self.seed)),
+            Strategy::Evolutionary => Box::new(Evolutionary::new(self.seed)),
+            Strategy::Annealing => Box::new(Annealing::new(self.seed)),
+            Strategy::Ensemble => Box::new(Ensemble::new(self.seed)),
+        }
+    }
+
+    /// Run the loop serially: ask a batch, evaluate it (`objective`
+    /// returns a cost, lower is better), tell the results back, repeat
+    /// until the budget is exhausted. Each distinct configuration is
+    /// evaluated at most once — results are memoized in a result
+    /// database keyed by configuration, like OpenTuner's, and duplicate
+    /// proposals are answered from it (and still told to the searcher).
     pub fn tune(&self, strategy: Strategy, objective: impl FnMut(Config) -> f64) -> TuningReport {
         self.tune_observed(strategy, objective, None)
     }
 
-    /// [`Tuner::tune`] with live telemetry: every evaluation emits a
+    /// [`Tuner::tune`] with live telemetry: every evaluation emits an
     /// [`Event::TuneIteration`] (configuration tried, its cost, the best
-    /// cost so far) into the sink's event log, so a tuning session can be
-    /// watched — and later replayed — from the JSONL stream.
+    /// cost so far, the batch it belongs to) and every ask/tell round an
+    /// [`Event::TuneBatch`], so a tuning session can be watched — and
+    /// later replayed — from the JSONL stream.
     pub fn tune_observed(
         &self,
         strategy: Strategy,
         mut objective: impl FnMut(Config) -> f64,
         telemetry: Option<&TelemetrySink>,
     ) -> TuningReport {
+        self.drive(strategy, telemetry, 1, |fresh, costs| {
+            for (slot, cfg) in costs.iter_mut().zip(fresh) {
+                *slot = objective(*cfg);
+            }
+        })
+    }
+
+    /// [`Tuner::tune_observed`] with batch evaluation sharded across a
+    /// persistent [`WorkerPool`]: the `batch` proposals of each round run
+    /// concurrently (each evaluation is typically a full pipeline run, so
+    /// they dominate wall-clock), results land in proposal-indexed slots,
+    /// and the searcher is told in proposal order. The report is
+    /// bit-identical to [`Tuner::tune`] with the same `(seed, budget,
+    /// batch)` at *any* pool width — parallelism changes wall-clock only,
+    /// never the trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the objective panics on a worker (the pool propagates
+    /// the payload after draining the batch).
+    pub fn tune_parallel_on(
+        &self,
+        pool: &WorkerPool,
+        strategy: Strategy,
+        objective: impl Fn(Config) -> f64 + Sync,
+        telemetry: Option<&TelemetrySink>,
+    ) -> TuningReport {
+        let objective = &objective;
+        self.drive(strategy, telemetry, pool.workers(), |fresh, costs| {
+            pool.scope(|scope| {
+                for (slot, cfg) in costs.iter_mut().zip(fresh) {
+                    let cfg = *cfg;
+                    scope.spawn(move || *slot = objective(cfg));
+                }
+            });
+        })
+    }
+
+    /// The shared drive loop. `evaluate` fills one cost slot per fresh
+    /// (first-seen) configuration; everything the searcher proposed —
+    /// fresh or memoized — is told back in proposal order afterwards.
+    fn drive(
+        &self,
+        strategy: Strategy,
+        telemetry: Option<&TelemetrySink>,
+        workers: usize,
+        mut evaluate: impl FnMut(&[Config], &mut [f64]),
+    ) -> TuningReport {
+        let mut searcher = self.searcher_for(strategy);
+        let mut database: BTreeMap<(usize, usize, usize, bool), f64> = BTreeMap::new();
         let mut history: Vec<(Config, f64)> = Vec::new();
-        let mut searcher: Box<dyn Searcher> = match strategy {
-            Strategy::Random => Box::new(RandomSearch::new(self.seed)),
-            Strategy::HillClimb => Box::new(HillClimb::new(self.seed)),
-            Strategy::Evolutionary => Box::new(Evolutionary::new(self.seed)),
-            Strategy::Annealing => Box::new(Annealing::new(self.seed)),
-            Strategy::Ensemble => Box::new(Ensemble::new(self.seed)),
-        };
-        let mut evaluated: Vec<Config> = Vec::new();
-        let mut proposals_without_progress = 0usize;
+        let mut best_cost = f64::INFINITY;
+        let mut stalled = 0usize;
+        let mut batch_index = 0usize;
         while history.len() < self.budget {
-            let cfg = searcher.propose(&self.space, &history);
-            if evaluated.contains(&cfg) {
-                proposals_without_progress += 1;
+            let want = self.batch.min(self.budget - history.len());
+            let proposals = searcher.ask(&self.space, want);
+            assert_eq!(
+                proposals.len(),
+                want,
+                "searcher must fill the requested batch"
+            );
+            // First-seen configurations, in proposal order; the rest are
+            // answered from the result database without re-running the
+            // objective.
+            let mut fresh: Vec<Config> = Vec::new();
+            for cfg in &proposals {
+                if !database.contains_key(&key(cfg)) && !fresh.contains(cfg) {
+                    fresh.push(*cfg);
+                }
+            }
+            let mut costs = vec![f64::NAN; fresh.len()];
+            evaluate(&fresh, &mut costs);
+            for (cfg, cost) in fresh.iter().zip(&costs) {
+                assert!(!cost.is_nan(), "objective returned NaN for {cfg:?}");
+                database.insert(key(cfg), *cost);
+                history.push((*cfg, *cost));
+                best_cost = best_cost.min(*cost);
+                if let Some(t) = telemetry {
+                    t.event(&Event::TuneIteration {
+                        iteration: history.len(),
+                        batch: batch_index,
+                        chunks: cfg.chunks,
+                        lookback: cfg.lookback,
+                        extra_states: cfg.extra_states,
+                        combine_inner_tlp: cfg.combine_inner_tlp,
+                        cost: *cost,
+                        best_cost,
+                    });
+                }
+            }
+            // Tell every proposal back in proposal order — memoized ones
+            // carry their cached cost rather than being silently dropped.
+            let results: Vec<(Config, f64)> = proposals
+                .iter()
+                .map(|cfg| (*cfg, database[&key(cfg)]))
+                .collect();
+            searcher.tell(&results);
+            if let Some(t) = telemetry {
+                t.event(&Event::TuneBatch {
+                    batch: batch_index,
+                    proposed: proposals.len(),
+                    evaluated: fresh.len(),
+                    cache_hits: proposals.len() - fresh.len(),
+                    workers,
+                });
+            }
+            batch_index += 1;
+            if fresh.is_empty() {
+                stalled += proposals.len();
                 // The space may be smaller than the budget; stop once the
                 // searcher keeps re-proposing known points.
-                if proposals_without_progress > 50 {
+                if stalled > STALL_LIMIT {
                     break;
                 }
-                continue;
-            }
-            proposals_without_progress = 0;
-            let cost = objective(cfg);
-            assert!(!cost.is_nan(), "objective returned NaN for {cfg:?}");
-            evaluated.push(cfg);
-            history.push((cfg, cost));
-            if let Some(t) = telemetry {
-                let best_cost = history
-                    .iter()
-                    .map(|(_, c)| *c)
-                    .fold(f64::INFINITY, f64::min);
-                t.event(&Event::TuneIteration {
-                    iteration: history.len(),
-                    chunks: cfg.chunks,
-                    lookback: cfg.lookback,
-                    extra_states: cfg.extra_states,
-                    combine_inner_tlp: cfg.combine_inner_tlp,
-                    cost,
-                    best_cost,
-                });
+            } else {
+                stalled = 0;
             }
         }
         let (best, best_cost) = history
@@ -199,6 +345,20 @@ mod tests {
     }
 
     #[test]
+    fn memoized_proposals_never_rerun_the_objective() {
+        // The objective call count equals the number of distinct
+        // configurations in the report: duplicate proposals (frequent in
+        // the Ensemble, whose members re-propose each other's points)
+        // are answered from the result database.
+        let mut calls = 0usize;
+        let report = Tuner::new(space(), 120, 3).tune(Strategy::Ensemble, |cfg| {
+            calls += 1;
+            objective(cfg)
+        });
+        assert_eq!(calls, report.configurations_explored());
+    }
+
+    #[test]
     fn budget_exceeding_space_terminates() {
         // A tiny space with a huge budget must still terminate.
         let tiny = DesignSpace {
@@ -220,9 +380,49 @@ mod tests {
     }
 
     #[test]
+    fn batch_width_is_part_of_the_trajectory() {
+        // Different batch widths legitimately explore differently; the
+        // same batch width reproduces exactly.
+        let a = Tuner::new(space(), 40, 9)
+            .with_batch(4)
+            .tune(Strategy::Ensemble, objective);
+        let b = Tuner::new(space(), 40, 9)
+            .with_batch(4)
+            .tune(Strategy::Ensemble, objective);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(Tuner::new(space(), 40, 9).batch(), DEFAULT_BATCH);
+    }
+
+    #[test]
+    fn parallel_tuning_matches_sequential_bit_for_bit() {
+        for workers in [1, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            let seq = Tuner::new(space(), 64, 5).tune(Strategy::Ensemble, objective);
+            let par = Tuner::new(space(), 64, 5).tune_parallel_on(
+                &pool,
+                Strategy::Ensemble,
+                objective,
+                None,
+            );
+            assert_eq!(
+                seq.evaluations, par.evaluations,
+                "trajectory diverged at {workers} workers"
+            );
+            assert_eq!(seq.best, par.best);
+            assert!(seq.best_cost.to_bits() == par.best_cost.to_bits());
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "non-zero evaluation budget")]
     fn zero_budget_rejected() {
         Tuner::new(space(), 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero proposal batch")]
+    fn zero_batch_rejected() {
+        let _ = Tuner::new(space(), 10, 1).with_batch(0);
     }
 
     #[test]
@@ -247,13 +447,15 @@ mod tests {
             Tuner::new(space(), 40, 9).tune_observed(Strategy::Ensemble, objective, Some(&sink));
         sink.flush();
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
-        let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), report.configurations_explored());
+        let iterations: Vec<_> = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"tune_iteration\""))
+            .collect();
+        assert_eq!(iterations.len(), report.configurations_explored());
         // best_cost in the stream is monotone non-increasing, like
         // TuningReport::convergence.
         let mut last_best = f64::INFINITY;
-        for line in &lines {
-            assert!(line.contains("\"type\":\"tune_iteration\""));
+        for line in &iterations {
             let best = line
                 .split("\"best_cost\":")
                 .nth(1)
@@ -262,6 +464,32 @@ mod tests {
             assert!(best <= last_best, "best_cost regressed in {line}");
             last_best = best;
         }
+        // Every batch emits a tune_batch line whose arithmetic closes:
+        // proposed = evaluated + cache_hits, and evaluated sums to the
+        // report's distinct configurations.
+        let batches: Vec<_> = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"tune_batch\""))
+            .collect();
+        assert!(!batches.is_empty());
+        let field = |line: &str, name: &str| -> u64 {
+            line.split(&format!("\"{name}\":"))
+                .nth(1)
+                .and_then(|s| s.split([',', '}']).next())
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("missing {name} in {line}"))
+        };
+        let mut evaluated_total = 0;
+        for line in &batches {
+            assert_eq!(
+                field(line, "proposed"),
+                field(line, "evaluated") + field(line, "cache_hits"),
+                "batch arithmetic broken in {line}"
+            );
+            assert_eq!(field(line, "workers"), 1, "serial tuning has one worker");
+            evaluated_total += field(line, "evaluated");
+        }
+        assert_eq!(evaluated_total as usize, report.configurations_explored());
         // Observed and unobserved tuning make identical decisions.
         let plain = Tuner::new(space(), 40, 9).tune(Strategy::Ensemble, objective);
         assert_eq!(report.evaluations, plain.evaluations);

@@ -1,0 +1,142 @@
+//! Worker-count independence of the batched ask/tell autotuner.
+//!
+//! The contract under test: a tuning trajectory is a pure function of
+//! `(seed, budget, batch)` — sharding batch evaluation across a
+//! `WorkerPool` of *any* width must reproduce the sequential
+//! `TuningReport` bit for bit, because results are told back in proposal
+//! order regardless of completion order. These tests drive every
+//! strategy across several seeds and pool widths against an analytic
+//! objective (cheap enough to sweep widely), plus property-style sweeps
+//! that batching preserves the invariants `convergence()` promises.
+
+use stats_autotuner::{Strategy, Tuner, TuningReport};
+use stats_core::runtime::pool::WorkerPool;
+use stats_core::{Config, DesignSpace};
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Random,
+    Strategy::HillClimb,
+    Strategy::Evolutionary,
+    Strategy::Annealing,
+    Strategy::Ensemble,
+];
+
+const SEEDS: [u64; 3] = [1, 7, 42];
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn space() -> DesignSpace {
+    DesignSpace::for_inputs(560, 28, true)
+}
+
+/// An analytic stand-in for the simulated-makespan objective: smooth in
+/// every dimension, unique optimum, deterministic.
+fn objective(cfg: Config) -> f64 {
+    (cfg.chunks as f64 - 21.0).abs() * 3.0
+        + (cfg.lookback as f64 - 6.0).abs()
+        + cfg.extra_states as f64 * 0.7
+        + if cfg.combine_inner_tlp { 0.0 } else { 2.0 }
+}
+
+fn assert_reports_identical(a: &TuningReport, b: &TuningReport, context: &str) {
+    assert_eq!(
+        a.evaluations.len(),
+        b.evaluations.len(),
+        "{context}: evaluation counts diverged"
+    );
+    for (i, ((ca, va), (cb, vb))) in a.evaluations.iter().zip(&b.evaluations).enumerate() {
+        assert_eq!(ca, cb, "{context}: configuration {i} diverged");
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{context}: cost {i} diverged ({va} vs {vb})"
+        );
+    }
+    assert_eq!(a.best, b.best, "{context}: best configuration diverged");
+    assert_eq!(
+        a.best_cost.to_bits(),
+        b.best_cost.to_bits(),
+        "{context}: best cost diverged"
+    );
+}
+
+#[test]
+fn every_strategy_is_worker_count_independent() {
+    for strategy in STRATEGIES {
+        for seed in SEEDS {
+            let sequential = Tuner::new(space(), 48, seed).tune(strategy, objective);
+            for width in WIDTHS {
+                let pool = WorkerPool::new(width);
+                let parallel = Tuner::new(space(), 48, seed)
+                    .tune_parallel_on(&pool, strategy, objective, None);
+                assert_reports_identical(
+                    &sequential,
+                    &parallel,
+                    &format!("{strategy:?} seed {seed} width {width}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_reuse_across_strategies_leaves_no_state_behind() {
+    // One pool serving many searches back to back must behave like a
+    // fresh pool each time (the CLI shares one pool per invocation).
+    let pool = WorkerPool::new(4);
+    let mut first = Vec::new();
+    for strategy in STRATEGIES {
+        first.push(Tuner::new(space(), 32, 9).tune_parallel_on(&pool, strategy, objective, None));
+    }
+    for (strategy, before) in STRATEGIES.iter().zip(&first) {
+        let again = Tuner::new(space(), 32, 9).tune_parallel_on(&pool, *strategy, objective, None);
+        assert_reports_identical(before, &again, &format!("{strategy:?} on reused pool"));
+    }
+}
+
+#[test]
+fn convergence_stays_monotone_under_batching() {
+    // Property-style sweep: for every strategy, seed, and batch width,
+    // the best-so-far trajectory never regresses and ends at the
+    // reported best cost.
+    for strategy in STRATEGIES {
+        for seed in 0..8u64 {
+            for batch in [1, 3, 8, 17] {
+                let report = Tuner::new(space(), 40, seed)
+                    .with_batch(batch)
+                    .tune(strategy, objective);
+                let conv = report.convergence();
+                assert_eq!(conv.len(), report.configurations_explored());
+                for (i, pair) in conv.windows(2).enumerate() {
+                    assert!(
+                        pair[1] <= pair[0],
+                        "{strategy:?} seed {seed} batch {batch}: convergence \
+                         regressed at step {i}: {} -> {}",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+                assert_eq!(
+                    conv.last().map(|c| c.to_bits()),
+                    Some(report.best_cost.to_bits()),
+                    "{strategy:?} seed {seed} batch {batch}: trajectory must end at the best"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_parallel_trajectories_reproduce_across_batch_widths() {
+    // The batch width is part of the trajectory's identity; for each
+    // batch the parallel run still matches its own sequential twin.
+    for batch in [1, 5, 8] {
+        let pool = WorkerPool::new(3);
+        let sequential = Tuner::new(space(), 40, 11)
+            .with_batch(batch)
+            .tune(Strategy::Ensemble, objective);
+        let parallel = Tuner::new(space(), 40, 11)
+            .with_batch(batch)
+            .tune_parallel_on(&pool, Strategy::Ensemble, objective, None);
+        assert_reports_identical(&sequential, &parallel, &format!("batch {batch}"));
+    }
+}

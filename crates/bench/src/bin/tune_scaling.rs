@@ -1,0 +1,408 @@
+//! Tuning scaling sweep: pool-sharded batched design-space exploration
+//! vs. the sequential autotuner loop on real hardware.
+//!
+//! Runs the Fig. 3 autotuning loop (Ensemble strategy, simulated-makespan
+//! objective) for all six paper benchmarks, once sequentially
+//! (`Tuner::tune`) and once per pool width (`Tuner::tune_parallel_on`),
+//! and emits `BENCH_tune.json`. Timing uses the minimum over `--reps`
+//! repetitions. Because the batched ask/tell core tells results back in
+//! proposal order, every parallel run must produce a `TuningReport`
+//! bit-identical to the sequential one — each row records that check as
+//! `report_matches_sequential`.
+//!
+//! With `--gate`, rows at pool width ≥ 4 are *eligible* when the budget
+//! is ≥ 4× the proposal batch (enough rounds for sharding to matter).
+//! On a host with ≥ 4 cores the gate fails unless:
+//!
+//! * every row's report matches the sequential one,
+//! * at least one eligible row is strictly faster than sequential,
+//! * the geometric-mean ratio parallel/sequential over eligible rows is
+//!   ≤ 1.0 (no regression).
+//!
+//! On a narrower host (CI shells, containers pinned to one core) real
+//! width-4 speedup is physically impossible, so the gate degrades to
+//! parity plus bounded sharding overhead (geomean ≤ 1.15) and says so —
+//! honest numbers beat fabricated ones.
+//!
+//! Usage: `tune_scaling [--scale F] [--budget N] [--reps N]
+//! [--workers 1,2,4,8] [--out PATH] [--gate]` — exits 0 on success, 1 on
+//! gate failure, 2 on bad arguments.
+
+use stats_autotuner::{Strategy, Tuner, TuningReport, DEFAULT_BATCH};
+use stats_bench::pipeline::{Scale, FIGURE_SEED};
+use stats_core::runtime::pool::{default_workers, WorkerPool};
+use stats_core::runtime::simulated::SimulatedRuntime;
+use stats_core::DesignSpace;
+use stats_telemetry::json::{validate, JsonObject};
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+// stats-analyzer: allow(ND002): this harness measures real wall-clock scaling
+use std::time::Instant;
+
+/// A pool width is eligible for the speedup gate when the budget buys at
+/// least this many full proposal batches (sharding needs rounds to win).
+const MIN_BATCHES_FOR_GATE: usize = 4;
+
+/// Width threshold for the speedup side of the gate.
+const GATE_WIDTH: usize = 4;
+
+/// Overhead bound for the degraded (narrow-host) gate: sharding batches
+/// over a pool the host cannot actually parallelize must stay cheap.
+const NARROW_HOST_OVERHEAD: f64 = 1.15;
+
+#[derive(Clone)]
+struct Args {
+    scale: Scale,
+    budget: usize,
+    reps: usize,
+    workers: Vec<usize>,
+    out: String,
+    gate: bool,
+}
+
+/// One (benchmark, pool-width) measurement.
+struct WidthRow {
+    workers: usize,
+    parallel_ms: f64,
+    eligible: bool,
+    report_matches_sequential: bool,
+}
+
+/// One benchmark's sweep: the sequential baseline plus a row per width.
+struct BenchRow {
+    benchmark: &'static str,
+    inputs: usize,
+    explored: usize,
+    sequential_ms: f64,
+    widths: Vec<WidthRow>,
+}
+
+fn min_ms<F: FnMut() -> TuningReport>(reps: usize, mut run: F) -> (f64, TuningReport) {
+    let mut best = f64::INFINITY;
+    let mut last = run(); // warm-up: caches, allocator, lazy pool state
+    for _ in 0..reps {
+        // stats-analyzer: allow(ND002): scaling measurement harness
+        let t0 = Instant::now();
+        last = run();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, last)
+}
+
+/// Two reports are identical when every evaluation (configuration and
+/// bit-exact cost, in order) and the chosen best agree.
+fn reports_match(a: &TuningReport, b: &TuningReport) -> bool {
+    a.best == b.best
+        && a.best_cost.to_bits() == b.best_cost.to_bits()
+        && a.evaluations.len() == b.evaluations.len()
+        && a.evaluations
+            .iter()
+            .zip(&b.evaluations)
+            .all(|((ca, va), (cb, vb))| ca == cb && va.to_bits() == vb.to_bits())
+}
+
+struct Sweep<'a> {
+    args: &'a Args,
+}
+
+impl WorkloadVisitor for Sweep<'_> {
+    type Output = BenchRow;
+    fn visit<W: Workload>(self, w: &W) -> BenchRow {
+        let n = self.args.scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let rt = SimulatedRuntime::paper_machine();
+        let space = DesignSpace::for_inputs(n, 28, w.inner_parallelism().is_parallel());
+        let tuner = Tuner::new(space, self.args.budget, FIGURE_SEED);
+        let objective = |cfg| {
+            rt.run(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                FIGURE_SEED,
+            )
+            .expect("valid config")
+            .execution
+            .makespan
+            .get() as f64
+        };
+
+        let (sequential_ms, baseline) =
+            min_ms(self.args.reps, || tuner.tune(Strategy::Ensemble, objective));
+
+        let widths = self
+            .args
+            .workers
+            .iter()
+            .map(|&workers| {
+                let pool = WorkerPool::new(workers);
+                let (parallel_ms, report) = min_ms(self.args.reps, || {
+                    tuner.tune_parallel_on(&pool, Strategy::Ensemble, objective, None)
+                });
+                WidthRow {
+                    workers,
+                    parallel_ms,
+                    eligible: workers >= GATE_WIDTH
+                        && self.args.budget >= MIN_BATCHES_FOR_GATE * tuner.batch(),
+                    report_matches_sequential: reports_match(&report, &baseline),
+                }
+            })
+            .collect();
+
+        BenchRow {
+            benchmark: w.name(),
+            inputs: n,
+            explored: baseline.configurations_explored(),
+            sequential_ms,
+            widths,
+        }
+    }
+}
+
+/// The gate verdict over all rows.
+struct Gate {
+    strict: bool,
+    eligible_rows: usize,
+    any_parallel_win: bool,
+    all_match: bool,
+    geomean_ratio: f64,
+}
+
+impl Gate {
+    fn evaluate(rows: &[BenchRow], host_parallelism: usize) -> Gate {
+        let mut log_sum = 0.0f64;
+        let mut count = 0usize;
+        let mut any_win = false;
+        let mut all_match = true;
+        for row in rows {
+            for wr in &row.widths {
+                all_match &= wr.report_matches_sequential;
+                if !wr.eligible {
+                    continue;
+                }
+                count += 1;
+                any_win |= wr.parallel_ms < row.sequential_ms;
+                log_sum += (wr.parallel_ms / row.sequential_ms).ln();
+            }
+        }
+        Gate {
+            strict: host_parallelism >= GATE_WIDTH,
+            eligible_rows: count,
+            any_parallel_win: any_win,
+            all_match,
+            geomean_ratio: if count > 0 {
+                (log_sum / count as f64).exp()
+            } else {
+                f64::NAN
+            },
+        }
+    }
+
+    fn pass(&self) -> bool {
+        if !(self.all_match && self.eligible_rows > 0) {
+            return false;
+        }
+        if self.strict {
+            self.any_parallel_win && self.geomean_ratio <= 1.0
+        } else {
+            self.geomean_ratio <= NARROW_HOST_OVERHEAD
+        }
+    }
+}
+
+fn render_json(args: &Args, rows: &[BenchRow], gate: &Gate) -> String {
+    let mut benches = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            benches.push(',');
+        }
+        let mut widths = String::from("[");
+        for (j, wr) in row.widths.iter().enumerate() {
+            if j > 0 {
+                widths.push(',');
+            }
+            let mut o = JsonObject::new();
+            o.u64("workers", wr.workers as u64)
+                .f64("parallel_ms", wr.parallel_ms)
+                .f64("speedup_vs_sequential", row.sequential_ms / wr.parallel_ms)
+                .bool("eligible", wr.eligible)
+                .bool("report_matches_sequential", wr.report_matches_sequential);
+            widths.push_str(&o.finish());
+        }
+        widths.push(']');
+        let mut o = JsonObject::new();
+        o.str("benchmark", row.benchmark)
+            .u64("inputs", row.inputs as u64)
+            .u64("explored", row.explored as u64)
+            .f64("sequential_ms", row.sequential_ms)
+            .raw("workers", &widths);
+        benches.push_str(&o.finish());
+    }
+    benches.push(']');
+
+    let mut g = JsonObject::new();
+    g.bool("enforced", args.gate)
+        .str("mode", if gate.strict { "strict" } else { "parity-only" })
+        .u64("eligible_rows", gate.eligible_rows as u64)
+        .bool("any_parallel_win", gate.any_parallel_win)
+        .bool("all_match", gate.all_match)
+        .f64("geomean_parallel_over_sequential", gate.geomean_ratio)
+        .bool("pass", gate.pass());
+
+    let mut o = JsonObject::new();
+    o.str("bench", "tune_scaling")
+        .u64("seed", FIGURE_SEED)
+        .f64("scale", args.scale.0)
+        .u64("budget", args.budget as u64)
+        .u64("batch", DEFAULT_BATCH as u64)
+        .u64("reps", args.reps as u64)
+        .u64("host_parallelism", default_workers() as u64)
+        .raw("benchmarks", &benches)
+        .raw("gate", &g.finish());
+    format!("{}\n", o.finish())
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale(0.1),
+        budget: 80,
+        reps: 1,
+        workers: vec![1, 2, 4, 8],
+        out: "BENCH_tune.json".to_string(),
+        gate: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = "usage: tune_scaling [--scale F] [--budget N] [--reps N] \
+                 [--workers 1,2,4,8] [--out PATH] [--gate]";
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} requires a value\n{usage}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                let v: f64 = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --scale expects a number\n{usage}");
+                    std::process::exit(2);
+                });
+                args.scale = Scale(v);
+                i += 2;
+            }
+            "--budget" => {
+                args.budget = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --budget expects an integer\n{usage}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --reps expects an integer\n{usage}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--workers" => {
+                args.workers = value(i)
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("error: --workers expects a comma list like 1,2,4\n{usage}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--out" => {
+                args.out = value(i);
+                i += 2;
+            }
+            "--gate" => {
+                args.gate = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(args.scale.0 > 0.0 && args.scale.0 <= 1.0)
+        || args.budget == 0
+        || args.reps == 0
+        || args.workers.is_empty()
+        || args.workers.contains(&0)
+    {
+        eprintln!("error: --scale in (0,1], --budget, --reps and all --workers positive\n{usage}");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "tune_scaling: scale {}, budget {}, batch {}, {} reps, pool widths {:?}, host parallelism {}",
+        args.scale.0,
+        args.budget,
+        DEFAULT_BATCH,
+        args.reps,
+        args.workers,
+        default_workers(),
+    );
+
+    let rows: Vec<BenchRow> = BENCHMARK_NAMES
+        .iter()
+        .map(|name| {
+            let row = dispatch(name, Sweep { args: &args });
+            println!(
+                "{:<18} {:>6} inputs {:>3} evals | sequential {:>9.2} ms",
+                row.benchmark, row.inputs, row.explored, row.sequential_ms
+            );
+            for wr in &row.widths {
+                println!(
+                    "  pool x{:<3} {:>9.2} ms  ({:.2}x vs sequential{}{})",
+                    wr.workers,
+                    wr.parallel_ms,
+                    row.sequential_ms / wr.parallel_ms,
+                    if wr.eligible { ", eligible" } else { "" },
+                    if wr.report_matches_sequential {
+                        ""
+                    } else {
+                        ", REPORT MISMATCH"
+                    },
+                );
+            }
+            row
+        })
+        .collect();
+
+    let gate = Gate::evaluate(&rows, default_workers());
+    let json = render_json(&args, &rows, &gate);
+    validate(json.trim()).unwrap_or_else(|e| panic!("generated invalid JSON: {e}"));
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!(
+        "\nwrote {} | eligible rows: {} | parallel/sequential geomean: {:.3} | parity: {} | gate mode: {}",
+        args.out,
+        gate.eligible_rows,
+        gate.geomean_ratio,
+        if gate.all_match { "ok" } else { "MISMATCH" },
+        if gate.strict { "strict" } else { "parity-only" },
+    );
+
+    if args.gate {
+        if gate.pass() {
+            println!("OK: parallel tuning holds parity and scaling on this host");
+        } else {
+            println!("FAIL: parallel tuning regressed against sequential (or parity broke)");
+            std::process::exit(1);
+        }
+    }
+}

@@ -107,6 +107,26 @@ impl WorkerPool {
         WorkerPool::new(default_workers())
     }
 
+    /// The process-wide shared pool, sized by [`default_workers`] and
+    /// created on first use.
+    ///
+    /// # Lifetime rule
+    ///
+    /// Entry points that don't take an explicit pool (e.g.
+    /// `run_threaded_observed`) borrow this one instead of constructing a
+    /// throwaway pool per call — pool construction spawns OS threads, and
+    /// paying that on every run dwarfs the work of small runs. The shared
+    /// pool is never dropped: its workers park on a condvar when idle
+    /// (zero CPU) and the OS reclaims them at process exit. Callers that
+    /// need a *specific* width (CLI `--workers`, scaling benches) should
+    /// build one `WorkerPool::new(n)` per invocation and thread it through
+    /// the `*_on` entry points; never construct a pool inside a per-run
+    /// helper.
+    pub fn shared() -> &'static WorkerPool {
+        static SHARED: std::sync::OnceLock<WorkerPool> = std::sync::OnceLock::new();
+        SHARED.get_or_init(WorkerPool::with_default_workers)
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()

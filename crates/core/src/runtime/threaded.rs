@@ -244,6 +244,9 @@ where
 /// match the semantic layer exactly, so a quiesced snapshot reconciles
 /// with [`crate::speculation::run_speculative`] for the same seed.
 ///
+/// Executes on the process-wide [`WorkerPool::shared`] pool (see its
+/// lifetime rule); pass a pool to [`run_threaded_on`] to control width.
+///
 /// # Panics
 ///
 /// Panics if `config` is invalid for `inputs.len()` or a pool task
@@ -258,8 +261,14 @@ pub fn run_threaded_observed<W>(
 where
     W: StateDependence + Sync,
 {
-    let pool = WorkerPool::with_default_workers();
-    run_threaded_on(&pool, workload, inputs, config, master_seed, telemetry)
+    run_threaded_on(
+        WorkerPool::shared(),
+        workload,
+        inputs,
+        config,
+        master_seed,
+        telemetry,
+    )
 }
 
 /// [`run_threaded_observed`] on a caller-provided pool. Reuse one pool
@@ -310,7 +319,8 @@ where
 }
 
 /// [`run_threaded_planned`] with live telemetry (see
-/// [`run_threaded_observed`] for what gets recorded).
+/// [`run_threaded_observed`] for what gets recorded). Executes on the
+/// process-wide [`WorkerPool::shared`] pool.
 ///
 /// # Panics
 ///
@@ -327,9 +337,8 @@ pub fn run_threaded_planned_observed<W>(
 where
     W: StateDependence + Sync,
 {
-    let pool = WorkerPool::with_default_workers();
     run_threaded_planned_on(
-        &pool,
+        WorkerPool::shared(),
         workload,
         inputs,
         config,

@@ -78,6 +78,8 @@ pub enum Event {
     TuneIteration {
         /// 1-based evaluation index.
         iteration: usize,
+        /// 0-based ask/tell round the evaluation belongs to.
+        batch: usize,
         /// Configuration tried.
         chunks: usize,
         /// Lookback of the configuration.
@@ -90,6 +92,23 @@ pub enum Event {
         cost: f64,
         /// Best cost seen so far (including this one).
         best_cost: f64,
+    },
+    /// One ask/tell round of the batched autotuner finished: the
+    /// searcher proposed `proposed` configurations, `evaluated` of them
+    /// were fresh (first-seen) and ran the objective, the rest were
+    /// answered from the result database.
+    TuneBatch {
+        /// 0-based ask/tell round index.
+        batch: usize,
+        /// Configurations the searcher proposed this round.
+        proposed: usize,
+        /// Fresh configurations that ran the objective.
+        evaluated: usize,
+        /// Proposals answered from the memoized result database.
+        cache_hits: usize,
+        /// Worker parallelism the batch was evaluated with (1 when
+        /// tuning serially).
+        workers: usize,
     },
     /// One tuning evaluation's run-level quality metrics (emitted by
     /// harnesses that re-run or inspect the evaluated configuration).
@@ -145,6 +164,7 @@ impl Event {
             Event::RerunFinished { .. } => "rerun_finished",
             Event::RunFinished { .. } => "run_finished",
             Event::TuneIteration { .. } => "tune_iteration",
+            Event::TuneBatch { .. } => "tune_batch",
             Event::TuneEvaluated { .. } => "tune_evaluated",
             Event::TuneFinished { .. } => "tune_finished",
             Event::Snapshot { .. } => "snapshot",
@@ -205,6 +225,7 @@ impl Event {
             }
             Event::TuneIteration {
                 iteration,
+                batch,
                 chunks,
                 lookback,
                 extra_states,
@@ -213,12 +234,26 @@ impl Event {
                 best_cost,
             } => {
                 o.u64("iteration", *iteration as u64)
+                    .u64("batch", *batch as u64)
                     .u64("chunks", *chunks as u64)
                     .u64("lookback", *lookback as u64)
                     .u64("extra_states", *extra_states as u64)
                     .bool("combine_inner_tlp", *combine_inner_tlp)
                     .f64("cost", *cost)
                     .f64("best_cost", *best_cost);
+            }
+            Event::TuneBatch {
+                batch,
+                proposed,
+                evaluated,
+                cache_hits,
+                workers,
+            } => {
+                o.u64("batch", *batch as u64)
+                    .u64("proposed", *proposed as u64)
+                    .u64("evaluated", *evaluated as u64)
+                    .u64("cache_hits", *cache_hits as u64)
+                    .u64("workers", *workers as u64);
             }
             Event::TuneEvaluated {
                 iteration,
@@ -374,12 +409,20 @@ mod tests {
             },
             Event::TuneIteration {
                 iteration: 1,
+                batch: 0,
                 chunks: 28,
                 lookback: 16,
                 extra_states: 2,
                 combine_inner_tlp: false,
                 cost: 123.0,
                 best_cost: 123.0,
+            },
+            Event::TuneBatch {
+                batch: 0,
+                proposed: 8,
+                evaluated: 6,
+                cache_hits: 2,
+                workers: 4,
             },
             Event::TuneEvaluated {
                 iteration: 1,
@@ -431,6 +474,7 @@ mod tests {
                 "run_finished",
                 "run_started",
                 "snapshot",
+                "tune_batch",
                 "tune_evaluated",
                 "tune_finished",
                 "tune_iteration",

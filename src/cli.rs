@@ -184,9 +184,11 @@ OPTIONS:
   --telemetry PATH write a JSONL telemetry event log (run/tune)
   --json           machine-readable run summary   (run only)
   --format F       metrics rendering: table | prometheus | folded | json
-  --workers N      also execute natively on an N-wide worker pool
-                   (run/metrics: telemetry comes from the threaded
-                   runtime; tune: the winner is replayed natively;
+  --workers N      use an N-wide worker pool (one pool per invocation)
+                   (run/metrics: native execution, telemetry from the
+                   threaded runtime; tune: the design-space search is
+                   sharded across the pool, the winner's seed-ensemble
+                   replay too, and the winner is replayed natively;
                    folded metrics keep using the simulated trace)
 ";
 
@@ -378,11 +380,12 @@ fn sink_for(cfg: &stats_core::Config, telemetry: Option<&str>) -> std::io::Resul
     })
 }
 
-struct RunCmd {
+struct RunCmd<'p> {
     opts: Options,
+    pool: Option<&'p WorkerPool>,
 }
 
-impl WorkloadVisitor for RunCmd {
+impl WorkloadVisitor for RunCmd<'_> {
     type Output = std::io::Result<String>;
     fn visit<W: Workload>(self, w: &W) -> std::io::Result<String> {
         let cfg = config_for(w, &self.opts);
@@ -406,10 +409,9 @@ impl WorkloadVisitor for RunCmd {
         // With --workers the live telemetry comes from the pooled threaded
         // runtime; the simulated run still supplies the model metrics
         // (speedup, accounting) and the parity cross-check.
-        let native = self.opts.workers.map(|workers| {
-            let pool = WorkerPool::new(workers);
-            run_threaded_on(&pool, w, &inputs, cfg, self.opts.seed, Some(&sink))
-        });
+        let native = self
+            .pool
+            .map(|pool| run_threaded_on(pool, w, &inputs, cfg, self.opts.seed, Some(&sink)));
         let report = rt
             .run_observed(
                 w.name(),
@@ -511,12 +513,13 @@ impl WorkloadVisitor for RunCmd {
     }
 }
 
-struct MetricsCmd {
+struct MetricsCmd<'p> {
     opts: Options,
     format: MetricsFormat,
+    pool: Option<&'p WorkerPool>,
 }
 
-impl WorkloadVisitor for MetricsCmd {
+impl WorkloadVisitor for MetricsCmd<'_> {
     type Output = std::io::Result<String>;
     fn visit<W: Workload>(self, w: &W) -> std::io::Result<String> {
         let cfg = config_for(w, &self.opts);
@@ -526,13 +529,9 @@ impl WorkloadVisitor for MetricsCmd {
         // Snapshot formats can record from the real threaded runtime
         // (--workers); the folded export is a trace rendering, which only
         // the simulated runtime produces, so it always runs simulated.
-        let native_snapshot = self
-            .opts
-            .workers
-            .filter(|_| self.format != MetricsFormat::Folded);
-        if let Some(workers) = native_snapshot {
-            let pool = WorkerPool::new(workers);
-            run_threaded_on(&pool, w, &inputs, cfg, self.opts.seed, Some(&sink));
+        let native_snapshot = self.pool.filter(|_| self.format != MetricsFormat::Folded);
+        if let Some(pool) = native_snapshot {
+            run_threaded_on(pool, w, &inputs, cfg, self.opts.seed, Some(&sink));
             sink.flush();
             let snap = sink.snapshot();
             return Ok(match self.format {
@@ -601,67 +600,89 @@ impl WorkloadVisitor for ExportCmd {
 /// expose nondeterministic run-to-run speedup variance in the log.
 const TUNE_REPLAY_SEEDS: usize = 5;
 
-struct TuneCmd {
+struct TuneCmd<'p> {
     opts: Options,
     budget: usize,
+    pool: Option<&'p WorkerPool>,
 }
 
-impl WorkloadVisitor for TuneCmd {
+impl WorkloadVisitor for TuneCmd<'_> {
     type Output = std::io::Result<String>;
     fn visit<W: Workload>(self, w: &W) -> std::io::Result<String> {
         use stats_autotuner::{Strategy, Tuner};
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let n = self.opts.scale.inputs_for(w);
         let inputs = w.generate_inputs(n, self.opts.seed);
         let rt = SimulatedRuntime::paper_machine();
         let space = stats_core::DesignSpace::for_inputs(n, 28, w.inner_parallelism().is_parallel());
         let tuner = Tuner::new(space, self.budget, self.opts.seed);
-        // The autotuner shards nothing per-worker; one shard suffices.
-        let mut sink = TelemetrySink::new(1);
+        // One counter shard per worker evaluating tuning batches.
+        let mut sink = TelemetrySink::new(self.pool.map_or(1, WorkerPool::workers));
         if let Some(path) = &self.opts.telemetry {
             let file = std::fs::File::create(path)?;
             sink = sink.with_event_writer(Box::new(std::io::BufWriter::new(file)));
         }
-        let mut iteration = 0usize;
-        let report = tuner.tune_observed(
-            Strategy::Ensemble,
-            |cfg| {
-                let run = rt
-                    .run(
-                        w.name(),
-                        w,
-                        &inputs,
-                        cfg,
-                        w.inner_parallelism(),
-                        self.opts.seed,
-                    )
-                    .expect("valid config");
-                iteration += 1;
-                sink.event(&Event::TuneEvaluated {
-                    iteration,
-                    speedup: run.speedup(),
-                    quality: w.quality(&inputs, &run.outputs),
-                });
-                run.execution.makespan.get() as f64
-            },
-            Some(&sink),
-        );
-        // Replay the winner across several seeds: nondeterministic programs
-        // have per-run variance the single tuning seed hides.
-        let mut speedups = Vec::with_capacity(TUNE_REPLAY_SEEDS);
-        for s in 0..TUNE_REPLAY_SEEDS as u64 {
-            let seed = self.opts.seed.wrapping_add(s);
-            let replay_inputs = w.generate_inputs(n, seed);
+        // The objective runs on pool workers under --workers, so its
+        // bookkeeping is atomic; `iteration` stamps arrival order of the
+        // quality events, which under a pool may differ from the
+        // searcher-visible proposal order (the trajectory itself stays
+        // worker-count independent — see DESIGN.md §10).
+        let iteration = AtomicUsize::new(0);
+        let objective = |cfg: stats_core::Config| {
             let run = rt
                 .run(
                     w.name(),
                     w,
-                    &replay_inputs,
-                    report.best,
+                    &inputs,
+                    cfg,
                     w.inner_parallelism(),
-                    seed,
+                    self.opts.seed,
                 )
                 .expect("valid config");
-            speedups.push(run.speedup());
+            sink.event(&Event::TuneEvaluated {
+                iteration: iteration.fetch_add(1, Ordering::Relaxed) + 1,
+                speedup: run.speedup(),
+                quality: w.quality(&inputs, &run.outputs),
+            });
+            run.execution.makespan.get() as f64
+        };
+        let report = match self.pool {
+            // Shard each proposal batch across the pool: the report is
+            // bit-identical to the sequential path for any pool width.
+            Some(pool) => tuner.tune_parallel_on(pool, Strategy::Ensemble, objective, Some(&sink)),
+            None => tuner.tune_observed(Strategy::Ensemble, objective, Some(&sink)),
+        };
+        // Replay the winner across several seeds: nondeterministic programs
+        // have per-run variance the single tuning seed hides. Replays are
+        // independent, so the pool shards them too (slot-indexed results
+        // keep the reported ensemble identical at any width).
+        let replay = |s: u64| {
+            let seed = self.opts.seed.wrapping_add(s);
+            let replay_inputs = w.generate_inputs(n, seed);
+            rt.run(
+                w.name(),
+                w,
+                &replay_inputs,
+                report.best,
+                w.inner_parallelism(),
+                seed,
+            )
+            .expect("valid config")
+            .speedup()
+        };
+        let mut speedups = [0.0f64; TUNE_REPLAY_SEEDS];
+        match self.pool {
+            Some(pool) => pool.scope(|scope| {
+                for (s, slot) in speedups.iter_mut().enumerate() {
+                    let replay = &replay;
+                    scope.spawn(move || *slot = replay(s as u64));
+                }
+            }),
+            None => {
+                for (s, slot) in speedups.iter_mut().enumerate() {
+                    *slot = replay(s as u64);
+                }
+            }
         }
         let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
         let variance =
@@ -687,9 +708,8 @@ impl WorkloadVisitor for TuneCmd {
         );
         // With --workers, replay the winner on real threads so the tuned
         // configuration's native behavior is visible next to the model's.
-        if let Some(workers) = self.opts.workers {
-            let pool = WorkerPool::new(workers);
-            let native = run_threaded_on(&pool, w, &inputs, report.best, self.opts.seed, None);
+        if let Some(pool) = self.pool {
+            let native = run_threaded_on(pool, w, &inputs, report.best, self.opts.seed, None);
             out.push_str(&format!(
                 "native:    {:.1} ms on {} pooled workers ({} aborts)\n",
                 native.elapsed.as_secs_f64() * 1e3,
@@ -708,14 +728,25 @@ impl WorkloadVisitor for TuneCmd {
 /// I/O errors from `export` and from `--telemetry` log files; everything
 /// else is infallible.
 pub fn execute(cmd: Command) -> std::io::Result<String> {
+    // Lifetime rule: one `WorkerPool` per CLI invocation, built here and
+    // lent to every stage of the command (tune: search batches, the
+    // seed-ensemble replay, and the native winner replay all share it) —
+    // never one pool per stage, which would re-pay thread spawning.
+    let pool = match &cmd {
+        Command::Run { opts, .. } | Command::Metrics { opts, .. } | Command::Tune { opts, .. } => {
+            opts.workers.map(WorkerPool::new)
+        }
+        _ => None,
+    };
+    let pool = pool.as_ref();
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Run { benchmark, opts } => dispatch(&benchmark, RunCmd { opts }),
+        Command::Run { benchmark, opts } => dispatch(&benchmark, RunCmd { opts, pool }),
         Command::Metrics {
             benchmark,
             format,
             opts,
-        } => dispatch(&benchmark, MetricsCmd { opts, format }),
+        } => dispatch(&benchmark, MetricsCmd { opts, format, pool }),
         Command::Characterize { benchmark, opts } => {
             use stats_bench::attribution::attribute;
             use stats_bench::pipeline::Machines;
@@ -751,7 +782,7 @@ pub fn execute(cmd: Command) -> std::io::Result<String> {
             benchmark,
             budget,
             opts,
-        } => dispatch(&benchmark, TuneCmd { opts, budget }),
+        } => dispatch(&benchmark, TuneCmd { opts, budget, pool }),
         Command::Figures { ids, opts } => {
             let scale = opts.scale;
             let all = ids.is_empty() || ids.iter().any(|i| i == "all");
@@ -1027,6 +1058,44 @@ mod tests {
         let out = execute(cmd).unwrap();
         assert!(out.contains("native:"));
         assert!(out.contains("2 pooled workers"));
+    }
+
+    #[test]
+    fn tune_with_workers_shards_the_search_and_matches_sequential() {
+        // Same (seed, budget, batch) → identical report whether the
+        // search batches run serially or sharded over a pool. The visible
+        // output (explored count, best configuration, seed-ensemble
+        // stats) must therefore be identical too.
+        let seq =
+            execute(parse(&args("tune swaptions --scale 0.05 --budget 12")).unwrap()).unwrap();
+        let par =
+            execute(parse(&args("tune swaptions --scale 0.05 --budget 12 --workers 4")).unwrap())
+                .unwrap();
+        let strip_native = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("native:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip_native(&seq), strip_native(&par));
+        assert!(par.contains("native:"), "winner replayed natively:\n{par}");
+    }
+
+    #[test]
+    fn tune_telemetry_logs_batches_under_workers() {
+        let path = std::env::temp_dir().join("stats-cli-tune-batch-telemetry-test.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let cmd = parse(&args(&format!(
+            "tune swaptions --scale 0.05 --budget 9 --workers 2 --telemetry {path_str}"
+        )))
+        .unwrap();
+        execute(cmd).unwrap();
+        let log = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            log.contains("\"type\":\"tune_batch\"") && log.contains("\"workers\":2"),
+            "expected pool-width-stamped tune_batch events:\n{log}"
+        );
     }
 
     #[test]

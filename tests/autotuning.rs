@@ -70,6 +70,43 @@ fn all_strategies_find_speedup() {
 }
 
 #[test]
+fn pool_sharded_tuning_matches_sequential_on_the_real_objective() {
+    // The worker-independence contract holds on the real simulated-
+    // makespan objective, not just analytic stand-ins: sharding the
+    // batches over pools of any width reproduces the sequential
+    // trajectory bit for bit.
+    use stats_workbench::core::runtime::pool::WorkerPool;
+    let w = Swaptions::paper();
+    let n = Scale(0.1).inputs_for(&w);
+    let inputs = w.generate_inputs(n, 5);
+    let rt = SimulatedRuntime::paper_machine();
+    let objective = |cfg: Config| {
+        rt.run("tune", &w, &inputs, cfg, w.inner_parallelism(), 1)
+            .expect("valid config")
+            .execution
+            .makespan
+            .get() as f64
+    };
+    let sequential = Tuner::new(DesignSpace::for_inputs(n, 28, true), 40, 19)
+        .tune(Strategy::Ensemble, objective);
+    for width in [1, 2, 8] {
+        let pool = WorkerPool::new(width);
+        let parallel = Tuner::new(DesignSpace::for_inputs(n, 28, true), 40, 19).tune_parallel_on(
+            &pool,
+            Strategy::Ensemble,
+            objective,
+            None,
+        );
+        assert_eq!(
+            sequential.evaluations, parallel.evaluations,
+            "trajectory diverged at pool width {width}"
+        );
+        assert_eq!(sequential.best, parallel.best);
+        assert_eq!(sequential.best_cost.to_bits(), parallel.best_cost.to_bits());
+    }
+}
+
+#[test]
 fn paper_scale_exploration_counts() {
     // §IV-B: "the number of configurations analyzed varied from 89 to
     // 342". Our default budget regime lands in that range when the space
