@@ -1,0 +1,974 @@
+//! A lightweight item-level Rust parser on top of [`crate::lex`].
+//!
+//! The hermetic build has no `syn`, so the interprocedural passes work on
+//! a structure recovered directly from the token stream: modules, `impl`
+//! and `trait` blocks, `use` aliases, and `fn` items with their signature
+//! and body as token ranges. This is exactly enough structure for the
+//! call graph and taint engine — it is *not* a general Rust parser:
+//!
+//! * Function bodies are opaque token ranges; nested `fn` items inside a
+//!   body are attributed to the enclosing function (a sound
+//!   over-approximation for taint: the nested body's tokens stay in the
+//!   enclosing function's scan range).
+//! * Const-generic braces in signatures (`fn f<const N: usize>() ->
+//!   [u8; {N}]`) would be taken for a body start; the workspace does not
+//!   use them.
+//! * `#[cfg(test)]` modules and `#[test]` functions are marked
+//!   `test_only` so the workspace passes can exclude deliberately
+//!   nondeterministic test code.
+
+use crate::lex::{lex, LexedFile, Tok, TokKind};
+
+/// One `use` declaration leaf: the name it binds in this file's scope
+/// and the path segments it stands for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseAlias {
+    /// Local name (last segment, or the `as` rename).
+    pub alias: String,
+    /// Full path segments as written (including the head crate/`crate`).
+    pub segs: Vec<String>,
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name (`update`).
+    pub name: String,
+    /// Fully qualified segments: `crate :: modules… :: [SelfTy] :: name`.
+    pub segs: Vec<String>,
+    /// The `impl` type this function belongs to, if any.
+    pub self_ty: Option<String>,
+    /// The trait being implemented/declared, if any.
+    pub trait_name: Option<String>,
+    /// Token range `[start, end)` of the signature: from the `fn` token
+    /// up to (excluding) the body `{` or the terminating `;`.
+    pub sig: (usize, usize),
+    /// Token range `[start, end)` strictly inside the body braces, or
+    /// `None` for bodyless declarations.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` token.
+    pub line: usize,
+    /// 1-based column of the `fn` token.
+    pub col: usize,
+    /// Whether this item lives under `#[cfg(test)]` or is a `#[test]`.
+    pub test_only: bool,
+    /// Parameter names, in order (`self` receivers excluded).
+    pub params: Vec<String>,
+    /// The subset of `params` with callable types (`impl Fn…`, `dyn
+    /// Fn…`, `fn(…)`, or a generic parameter bounded by `Fn…`).
+    pub fn_like_params: Vec<String>,
+}
+
+impl FnDef {
+    /// `segs` joined with `::`, for messages.
+    pub fn display(&self) -> String {
+        self.segs.join("::")
+    }
+}
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Display path (used for rule path scoping and diagnostics).
+    pub path: String,
+    /// The underlying token stream and side tables.
+    pub lexed: LexedFile,
+    /// Canonical crate identifier this file belongs to (see
+    /// [`module_path_of`]).
+    pub crate_ident: String,
+    /// Module segments of this file within its crate.
+    pub module: Vec<String>,
+    /// All function items, in source order.
+    pub fns: Vec<FnDef>,
+    /// All `use` aliases visible in this file.
+    pub uses: Vec<UseAlias>,
+}
+
+/// Derive `(crate_ident, module_segments)` from a file path.
+///
+/// `crates/core/src/runtime/pool.rs` → (`core`, `["runtime", "pool"]`);
+/// `lib.rs`/`main.rs`/`mod.rs` contribute no segment of their own. When
+/// the path has no `src` component the file stem becomes a single-file
+/// crate. Hyphens in directory names become underscores.
+pub fn module_path_of(path: &str) -> (String, Vec<String>) {
+    let comps: Vec<&str> = path.split(['/', '\\']).filter(|c| !c.is_empty()).collect();
+    let src_pos = comps.iter().rposition(|c| *c == "src");
+    match src_pos {
+        Some(p) => {
+            let crate_dir = if p > 0 { comps[p - 1] } else { "crate" };
+            let mut module: Vec<String> = comps[p + 1..]
+                .iter()
+                .map(|c| c.trim_end_matches(".rs").replace('-', "_"))
+                .collect();
+            if matches!(
+                module.last().map(String::as_str),
+                Some("lib" | "main" | "mod")
+            ) {
+                module.pop();
+            }
+            (crate_dir.replace('-', "_"), module)
+        }
+        None => {
+            let stem = comps
+                .last()
+                .map(|c| c.trim_end_matches(".rs"))
+                .unwrap_or("crate");
+            (stem.replace('-', "_"), Vec::new())
+        }
+    }
+}
+
+/// Parse one file. Never fails: unparseable stretches are skipped token
+/// by token, so the linter degrades gracefully on any input.
+pub fn parse_file(path: &str, source: &str) -> ParsedFile {
+    let lexed = lex(source);
+    let (crate_ident, module) = module_path_of(path);
+    let mut root_segs = vec![crate_ident.clone()];
+    root_segs.extend(module.iter().cloned());
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        i: 0,
+        fns: Vec::new(),
+        uses: Vec::new(),
+    };
+    let end = lexed.tokens.len();
+    p.items(&root_segs, false, None, None, end);
+    ParsedFile {
+        path: path.to_string(),
+        crate_ident,
+        module,
+        fns: p.fns,
+        uses: p.uses,
+        lexed,
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    fns: Vec<FnDef>,
+    uses: Vec<UseAlias>,
+}
+
+impl<'a> Parser<'a> {
+    fn at_punct(&self, c: char) -> bool {
+        self.toks.get(self.i).is_some_and(|t| t.is_punct(c))
+    }
+
+    /// Index just past the brace matching `toks[open]` (which must be
+    /// `{`); `toks.len()` when unterminated.
+    fn brace_end(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.toks.len() {
+            if self.toks[j].is_punct('{') {
+                depth += 1;
+            } else if self.toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        self.toks.len()
+    }
+
+    /// Index just past the paren matching `toks[open]` (`(`).
+    fn paren_end(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.toks.len() {
+            if self.toks[j].is_punct('(') {
+                depth += 1;
+            } else if self.toks[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        self.toks.len()
+    }
+
+    /// Skip a balanced generic argument list starting at `<`. Honors the
+    /// `->` arrow (its `>` is not a closer). Returns the index just past
+    /// the matching `>`.
+    fn angle_end(&self, open: usize) -> usize {
+        let mut depth = 0isize;
+        let mut j = open;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                let arrow = j > 0 && self.toks[j - 1].is_punct('-');
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            } else if t.is_punct('(') {
+                j = self.paren_end(j);
+                continue;
+            } else if t.is_punct(';') || t.is_punct('{') {
+                // Malformed generics: bail rather than eat the file.
+                return j;
+            }
+            j += 1;
+        }
+        self.toks.len()
+    }
+
+    /// Parse items in `[self.i, end)`.
+    fn items(
+        &mut self,
+        path: &[String],
+        test_only: bool,
+        self_ty: Option<&str>,
+        trait_name: Option<&str>,
+        end: usize,
+    ) {
+        // Whether the next item carries `#[cfg(test)]` / `#[test]`.
+        let mut pending_test = false;
+        while self.i < end {
+            let t = &self.toks[self.i];
+            // Attributes: `#[…]` and inner `#![…]`.
+            if t.is_punct('#') {
+                let mut j = self.i + 1;
+                if self.toks.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if self.toks.get(j).is_some_and(|t| t.is_punct('[')) {
+                    let close = self.bracket_end(j);
+                    let attr_toks = &self.toks[j..close];
+                    let is_cfg_test = attr_toks.windows(4).any(|w| {
+                        w[0].is_ident("cfg") && w[1].is_punct('(') && w[2].is_ident("test")
+                    }) || attr_toks.iter().take(2).any(|t| t.is_ident("test"));
+                    if is_cfg_test {
+                        pending_test = true;
+                    }
+                    self.i = close;
+                } else {
+                    self.i += 1;
+                }
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "mod" => {
+                        let name = self.ident_at(self.i + 1);
+                        self.i += 1;
+                        if let Some(name) = name {
+                            self.i += 1;
+                            if self.at_punct('{') {
+                                let close = self.brace_end(self.i);
+                                let mut sub = path.to_vec();
+                                sub.push(name);
+                                self.i += 1;
+                                self.items(
+                                    &sub,
+                                    test_only || pending_test,
+                                    None,
+                                    None,
+                                    close.saturating_sub(1),
+                                );
+                                self.i = close;
+                            } else if self.at_punct(';') {
+                                self.i += 1;
+                            }
+                        }
+                        pending_test = false;
+                        continue;
+                    }
+                    "impl" => {
+                        let (ty, tr, body_open) = self.impl_header(self.i + 1);
+                        match body_open {
+                            Some(open) => {
+                                let close = self.brace_end(open);
+                                self.i = open + 1;
+                                self.items(
+                                    path,
+                                    test_only || pending_test,
+                                    ty.as_deref(),
+                                    tr.as_deref(),
+                                    close.saturating_sub(1),
+                                );
+                                self.i = close;
+                            }
+                            None => self.i += 1,
+                        }
+                        pending_test = false;
+                        continue;
+                    }
+                    "trait" => {
+                        let name = self.ident_at(self.i + 1);
+                        // Scan to the body `{` (bounds may hold generics).
+                        let mut j = self.i + 1;
+                        while j < end {
+                            if self.toks[j].is_punct('<') {
+                                j = self.angle_end(j);
+                                continue;
+                            }
+                            if self.toks[j].is_punct('{') || self.toks[j].is_punct(';') {
+                                break;
+                            }
+                            j += 1;
+                        }
+                        if j < end && self.toks[j].is_punct('{') {
+                            let close = self.brace_end(j);
+                            self.i = j + 1;
+                            self.items(
+                                path,
+                                test_only || pending_test,
+                                None,
+                                name.as_deref(),
+                                close.saturating_sub(1),
+                            );
+                            self.i = close;
+                        } else {
+                            self.i = (j + 1).min(end);
+                        }
+                        pending_test = false;
+                        continue;
+                    }
+                    "fn" => {
+                        self.fn_item(path, test_only || pending_test, self_ty, trait_name, end);
+                        pending_test = false;
+                        continue;
+                    }
+                    "use" => {
+                        self.use_item(end);
+                        pending_test = false;
+                        continue;
+                    }
+                    "struct" | "enum" | "union" => {
+                        // Skip to `;` or past a balanced `{…}` at depth 0.
+                        let mut j = self.i + 1;
+                        while j < end {
+                            if self.toks[j].is_punct('<') {
+                                j = self.angle_end(j);
+                                continue;
+                            }
+                            if self.toks[j].is_punct('(') {
+                                j = self.paren_end(j);
+                                continue;
+                            }
+                            if self.toks[j].is_punct(';') {
+                                j += 1;
+                                break;
+                            }
+                            if self.toks[j].is_punct('{') {
+                                j = self.brace_end(j);
+                                break;
+                            }
+                            j += 1;
+                        }
+                        self.i = j;
+                        pending_test = false;
+                        continue;
+                    }
+                    "macro_rules" => {
+                        // `macro_rules! name { … }`
+                        let mut j = self.i + 1;
+                        while j < end && !self.toks[j].is_punct('{') && !self.toks[j].is_punct('(')
+                        {
+                            j += 1;
+                        }
+                        self.i = if j < end && self.toks[j].is_punct('{') {
+                            self.brace_end(j)
+                        } else if j < end {
+                            self.paren_end(j)
+                        } else {
+                            j
+                        };
+                        pending_test = false;
+                        continue;
+                    }
+                    "static" | "const" | "type" => {
+                        // `const fn` is a modifier, not an item of its own.
+                        if t.text == "const"
+                            && self.toks.get(self.i + 1).is_some_and(|n| n.is_ident("fn"))
+                        {
+                            self.i += 1;
+                            continue;
+                        }
+                        let mut j = self.i + 1;
+                        let mut depth = 0usize;
+                        while j < end {
+                            if self.toks[j].is_punct('{') || self.toks[j].is_punct('(') {
+                                depth += 1;
+                            } else if self.toks[j].is_punct('}') || self.toks[j].is_punct(')') {
+                                depth = depth.saturating_sub(1);
+                            } else if self.toks[j].is_punct(';') && depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                            j += 1;
+                        }
+                        self.i = j;
+                        pending_test = false;
+                        continue;
+                    }
+                    // Modifiers: fall through to the next token.
+                    "pub" | "async" | "unsafe" | "extern" | "default" => {
+                        self.i += 1;
+                        // `pub(crate)` etc.
+                        if self.at_punct('(') {
+                            self.i = self.paren_end(self.i);
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Anything else (stray braces from malformed input, macros at
+            // item level, …): skip balanced groups so we never descend
+            // into non-item token soup.
+            if t.is_punct('{') {
+                self.i = self.brace_end(self.i);
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn bracket_end(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.toks.len() {
+            if self.toks[j].is_punct('[') {
+                depth += 1;
+            } else if self.toks[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        self.toks.len()
+    }
+
+    fn ident_at(&self, j: usize) -> Option<String> {
+        self.toks
+            .get(j)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+    }
+
+    /// Parse an `impl` header starting just after the `impl` token.
+    /// Returns `(self_ty, trait_name, body_open_index)`.
+    fn impl_header(&self, mut j: usize) -> (Option<String>, Option<String>, Option<usize>) {
+        // Skip `impl<…>` generics.
+        if self.toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = self.angle_end(j);
+        }
+        // Collect the path(s) up to the body. `impl Trait for Type {` or
+        // `impl Type {`.
+        let mut first: Vec<String> = Vec::new();
+        let mut second: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.is_punct('{') {
+                let (trait_name, ty) = if saw_for {
+                    (first.last().cloned(), second.last().cloned())
+                } else {
+                    (None, first.last().cloned())
+                };
+                return (ty, trait_name, Some(j));
+            }
+            if t.is_punct(';') {
+                return (None, None, None);
+            }
+            if t.is_punct('<') {
+                j = self.angle_end(j);
+                continue;
+            }
+            if t.is_ident("for") {
+                saw_for = true;
+                j += 1;
+                continue;
+            }
+            if t.is_ident("where") {
+                // Bounds may mention other types; the names are fixed now.
+                let ty_path = if saw_for { &second } else { &first };
+                let ty = ty_path.last().cloned();
+                let trait_name = if saw_for { first.last().cloned() } else { None };
+                // Scan on to the body brace.
+                let mut k = j;
+                while k < self.toks.len() && !self.toks[k].is_punct('{') {
+                    if self.toks[k].is_punct('<') {
+                        k = self.angle_end(k);
+                        continue;
+                    }
+                    if self.toks[k].is_punct(';') {
+                        return (None, None, None);
+                    }
+                    k += 1;
+                }
+                if k < self.toks.len() {
+                    return (ty, trait_name, Some(k));
+                }
+                return (None, None, None);
+            }
+            if t.kind == TokKind::Ident && !t.is_ident("dyn") {
+                if saw_for {
+                    second.push(t.text.clone());
+                } else {
+                    first.push(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        (None, None, None)
+    }
+
+    /// Parse a `fn` item starting at the `fn` token.
+    fn fn_item(
+        &mut self,
+        path: &[String],
+        test_only: bool,
+        self_ty: Option<&str>,
+        trait_name: Option<&str>,
+        end: usize,
+    ) {
+        let fn_tok = self.i;
+        let name = match self.ident_at(self.i + 1) {
+            Some(n) => n,
+            None => {
+                self.i += 1;
+                return;
+            }
+        };
+        let mut j = self.i + 2;
+        // Generics.
+        if self.toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = self.angle_end(j);
+        }
+        // Parameters.
+        let mut params: Vec<String> = Vec::new();
+        let mut param_types: Vec<Vec<String>> = Vec::new();
+        let params_open = j;
+        if self.toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            let close = self.paren_end(j);
+            self.split_params(params_open + 1, close - 1, &mut params, &mut param_types);
+            j = close;
+        }
+        // Return type / where clause: scan to the body `{` or `;`.
+        let sig_tail_start = j;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct('<') {
+                j = self.angle_end(j);
+                continue;
+            }
+            if t.is_punct('(') {
+                j = self.paren_end(j);
+                continue;
+            }
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let sig = (fn_tok, j.min(end));
+        let body = if j < end && self.toks[j].is_punct('{') {
+            let close = self.brace_end(j);
+            let b = Some((j + 1, close.saturating_sub(1)));
+            self.i = close;
+            b
+        } else {
+            self.i = (j + 1).min(end);
+            None
+        };
+        // Callable params: type mentions Fn/FnMut/FnOnce/`fn`, or is a
+        // single generic ident bounded by one of those in the signature
+        // (generics or where clause).
+        let bound_region: Vec<&Tok> = self.toks[fn_tok..params_open]
+            .iter()
+            .chain(self.toks[sig_tail_start..sig.1].iter())
+            .collect();
+        let fn_like = |ty: &[String]| -> bool {
+            if ty
+                .iter()
+                .any(|s| matches!(s.as_str(), "Fn" | "FnMut" | "FnOnce" | "fn"))
+            {
+                return true;
+            }
+            // Single generic ident: look for `T : … Fn…` in the bounds.
+            let ident_count = ty.iter().filter(|s| !s.is_empty()).count();
+            if ident_count == 1 {
+                let t_name = &ty[0];
+                let mut k = 0;
+                while k < bound_region.len() {
+                    if bound_region[k].is_ident(t_name)
+                        && bound_region.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    {
+                        // Scan the bound until `,`, `>`, `{`, or another
+                        // `ident :` at the same level.
+                        for t in bound_region[k + 1..].iter() {
+                            if t.is_punct(',') || t.is_punct('{') {
+                                break;
+                            }
+                            if matches!(t.text.as_str(), "Fn" | "FnMut" | "FnOnce") {
+                                return true;
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            false
+        };
+        let fn_like_params = params
+            .iter()
+            .zip(&param_types)
+            .filter(|(_, ty)| fn_like(ty))
+            .map(|(p, _)| p.clone())
+            .collect();
+        let mut segs = path.to_vec();
+        if let Some(ty) = self_ty {
+            segs.push(ty.to_string());
+        }
+        segs.push(name.clone());
+        self.fns.push(FnDef {
+            name,
+            segs,
+            self_ty: self_ty.map(str::to_string),
+            trait_name: trait_name.map(str::to_string),
+            sig,
+            body,
+            line: self.toks[fn_tok].line,
+            col: self.toks[fn_tok].col,
+            test_only,
+            params,
+            fn_like_params,
+        });
+    }
+
+    /// Split a parameter list `[start, end)` (inside the parens) into
+    /// names and type token texts.
+    fn split_params(
+        &self,
+        start: usize,
+        end: usize,
+        names: &mut Vec<String>,
+        types: &mut Vec<Vec<String>>,
+    ) {
+        let mut j = start;
+        let mut chunk_start = j;
+        let flush = |a: usize, b: usize, names: &mut Vec<String>, types: &mut Vec<Vec<String>>| {
+            let toks = &self.toks[a..b.min(end)];
+            if toks.is_empty() || toks.iter().any(|t| t.is_ident("self")) {
+                return;
+            }
+            // name = first ident before the top-level `:`; type = the rest.
+            let colon = toks.iter().position(|t| t.is_punct(':'));
+            if let Some(c) = colon {
+                let name = toks[..c]
+                    .iter()
+                    .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut") && !t.is_ident("ref"));
+                if let Some(name) = name {
+                    names.push(name.text.clone());
+                    types.push(
+                        toks[c + 1..]
+                            .iter()
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| t.text.clone())
+                            .collect(),
+                    );
+                }
+            }
+        };
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct('<') {
+                j = self.angle_end(j);
+                continue;
+            }
+            if t.is_punct('(') {
+                j = self.paren_end(j);
+                continue;
+            }
+            if t.is_punct('[') {
+                j = self.bracket_end(j);
+                continue;
+            }
+            if t.is_punct(',') {
+                flush(chunk_start, j, names, types);
+                chunk_start = j + 1;
+            }
+            j += 1;
+        }
+        flush(chunk_start, end, names, types);
+    }
+
+    /// Parse a `use` declaration starting at the `use` token, recording
+    /// every leaf alias.
+    fn use_item(&mut self, end: usize) {
+        let mut j = self.i + 1;
+        let stop = {
+            let mut k = j;
+            let mut depth = 0usize;
+            while k < end {
+                if self.toks[k].is_punct('{') {
+                    depth += 1;
+                } else if self.toks[k].is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                } else if self.toks[k].is_punct(';') && depth == 0 {
+                    break;
+                }
+                k += 1;
+            }
+            k
+        };
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(&mut j, stop, &mut prefix);
+        self.i = (stop + 1).min(end);
+    }
+
+    /// Parse one use-tree at `[*j, stop)` with `prefix` already read.
+    fn use_tree(&mut self, j: &mut usize, stop: usize, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        while *j < stop {
+            let t = &self.toks[*j];
+            if t.kind == TokKind::Ident && t.text != "as" {
+                prefix.push(t.text.clone());
+                *j += 1;
+                continue;
+            }
+            if t.is_ident("as") || (t.kind == TokKind::Ident && t.text == "as") {
+                // `path as alias`
+                if let Some(alias) = self.ident_at(*j + 1) {
+                    self.uses.push(UseAlias {
+                        alias,
+                        segs: prefix.clone(),
+                    });
+                    prefix.truncate(depth_at_entry);
+                    *j += 2;
+                    // Consume to the next `,` or `}`.
+                    while *j < stop && !self.toks[*j].is_punct(',') && !self.toks[*j].is_punct('}')
+                    {
+                        *j += 1;
+                    }
+                    continue;
+                }
+                *j += 1;
+                continue;
+            }
+            if t.is_punct(':') {
+                *j += 1;
+                continue;
+            }
+            if t.is_punct('{') {
+                *j += 1;
+                self.use_tree(j, stop, prefix);
+                continue;
+            }
+            if t.is_punct(',') {
+                if prefix.len() > depth_at_entry {
+                    self.flush_use_leaf(prefix);
+                    prefix.truncate(depth_at_entry);
+                }
+                *j += 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                if prefix.len() > depth_at_entry {
+                    self.flush_use_leaf(prefix);
+                    prefix.truncate(depth_at_entry);
+                }
+                *j += 1;
+                return;
+            }
+            if t.is_punct('*') {
+                // Glob import: nothing nameable to record.
+                prefix.truncate(depth_at_entry);
+                *j += 1;
+                continue;
+            }
+            *j += 1;
+        }
+        if prefix.len() > depth_at_entry {
+            self.flush_use_leaf(prefix);
+            prefix.truncate(depth_at_entry);
+        }
+    }
+
+    fn flush_use_leaf(&mut self, segs: &[String]) {
+        if let Some(alias) = segs.last() {
+            // `use x::y::self` binds `y`.
+            let (alias, segs) = if alias == "self" && segs.len() > 1 {
+                (segs[segs.len() - 2].clone(), &segs[..segs.len() - 1])
+            } else {
+                (alias.clone(), segs)
+            };
+            self.uses.push(UseAlias {
+                alias,
+                segs: segs.to_vec(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("crates/demo/src/lib.rs", src)
+    }
+
+    fn fn_named<'a>(f: &'a ParsedFile, name: &str) -> &'a FnDef {
+        f.fns
+            .iter()
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not found in {:?}", f.fns))
+    }
+
+    #[test]
+    fn module_paths_from_file_layout() {
+        assert_eq!(
+            module_path_of("crates/core/src/runtime/pool.rs"),
+            (
+                "core".to_string(),
+                vec!["runtime".to_string(), "pool".to_string()]
+            )
+        );
+        assert_eq!(
+            module_path_of("crates/core/src/lib.rs"),
+            ("core".to_string(), vec![])
+        );
+        assert_eq!(
+            module_path_of("crates/core/src/runtime/mod.rs"),
+            ("core".to_string(), vec!["runtime".to_string()])
+        );
+        assert_eq!(
+            module_path_of("standalone.rs"),
+            ("standalone".to_string(), vec![])
+        );
+    }
+
+    #[test]
+    fn free_fns_and_impl_methods_get_qualified_names() {
+        let f = parse(
+            "pub fn helper(x: u64) -> u64 { x }\n\
+             struct W;\n\
+             impl W { fn update(&self) { helper(1); } }\n\
+             impl Clone for W { fn clone(&self) -> W { W } }",
+        );
+        assert_eq!(fn_named(&f, "helper").display(), "demo::helper");
+        let update = fn_named(&f, "update");
+        assert_eq!(update.display(), "demo::W::update");
+        assert_eq!(update.self_ty.as_deref(), Some("W"));
+        let clone = fn_named(&f, "clone");
+        assert_eq!(clone.self_ty.as_deref(), Some("W"));
+        assert_eq!(clone.trait_name.as_deref(), Some("Clone"));
+    }
+
+    #[test]
+    fn inline_modules_extend_the_path() {
+        let f = parse("mod inner { pub mod deep { pub fn leaf() {} } }");
+        assert_eq!(fn_named(&f, "leaf").display(), "demo::inner::deep::leaf");
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_marked() {
+        let f = parse(
+            "fn prod() {}\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn check() { prod(); }\n  fn aux() {}\n}",
+        );
+        assert!(!fn_named(&f, "prod").test_only);
+        assert!(fn_named(&f, "check").test_only);
+        assert!(fn_named(&f, "aux").test_only);
+    }
+
+    #[test]
+    fn trait_decls_have_no_body_but_defaults_do() {
+        let f = parse("trait T { fn must(&self); fn dflt(&self) { self.must() } }");
+        assert!(fn_named(&f, "must").body.is_none());
+        assert!(fn_named(&f, "dflt").body.is_some());
+        assert_eq!(fn_named(&f, "dflt").trait_name.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn generic_signatures_do_not_derail_body_detection() {
+        let f = parse(
+            "fn run<W: Clone, F>(w: &W, obj: F) -> Vec<u64>\n\
+             where F: FnMut(u64) -> u64 { vec![obj(1)] }",
+        );
+        let run = fn_named(&f, "run");
+        assert!(run.body.is_some());
+        assert_eq!(run.params, ["w", "obj"]);
+        assert_eq!(run.fn_like_params, ["obj"]);
+    }
+
+    #[test]
+    fn fn_like_params_detect_impl_dyn_and_pointer_types() {
+        let f = parse(
+            "fn a(cb: impl Fn(u64) -> u64) { cb(1); }\n\
+             fn b(cb: &dyn FnMut(u64)) {}\n\
+             fn c(cb: fn(u64) -> u64) {}\n\
+             fn d(plain: u64) {}",
+        );
+        assert_eq!(fn_named(&f, "a").fn_like_params, ["cb"]);
+        assert_eq!(fn_named(&f, "b").fn_like_params, ["cb"]);
+        assert_eq!(fn_named(&f, "c").fn_like_params, ["cb"]);
+        assert!(fn_named(&f, "d").fn_like_params.is_empty());
+    }
+
+    #[test]
+    fn use_aliases_flatten_groups_and_renames() {
+        let f = parse(
+            "use std::collections::BTreeMap;\n\
+             use crate::runtime::{pool::WorkerPool, threaded as th};\n\
+             use other_crate::helpers::jitter;",
+        );
+        let find = |alias: &str| {
+            f.uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .unwrap_or_else(|| panic!("alias {alias} missing: {:?}", f.uses))
+        };
+        assert_eq!(find("BTreeMap").segs, ["std", "collections", "BTreeMap"]);
+        assert_eq!(
+            find("WorkerPool").segs,
+            ["crate", "runtime", "pool", "WorkerPool"]
+        );
+        assert_eq!(find("th").segs, ["crate", "runtime", "threaded"]);
+        assert_eq!(find("jitter").segs, ["other_crate", "helpers", "jitter"]);
+    }
+
+    #[test]
+    fn raw_identifier_fn_names_do_not_open_keyword_bodies() {
+        // `r#fn` is an identifier, not the `fn` keyword: the parser must
+        // not treat `r#fn` as starting a function item.
+        let f = parse("fn caller() { let r#fn = 1; helper(r#fn); }\nfn helper(x: i32) {}");
+        assert_eq!(f.fns.len(), 2);
+        assert!(fn_named(&f, "caller").body.is_some());
+    }
+
+    #[test]
+    fn impl_trait_for_type_with_generics() {
+        let f = parse("impl<T: Clone> Searcher for Grid<T> { fn ask(&mut self) {} }");
+        let ask = fn_named(&f, "ask");
+        assert_eq!(ask.self_ty.as_deref(), Some("Grid"));
+        assert_eq!(ask.trait_name.as_deref(), Some("Searcher"));
+    }
+
+    #[test]
+    fn bodies_are_token_ranges_inside_the_braces() {
+        let f = parse("fn f() { inner_call(); }");
+        let d = fn_named(&f, "f");
+        let (a, b) = d.body.unwrap();
+        let texts: Vec<&str> = f.lexed.tokens[a..b]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(texts, ["inner_call", "(", ")", ";"]);
+    }
+}

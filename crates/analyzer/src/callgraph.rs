@@ -1,0 +1,903 @@
+//! Workspace call graph over the item-level AST.
+//!
+//! Calls are extracted from function-body token ranges and resolved to
+//! workspace functions by path and receiver heuristics. Everything that
+//! cannot be pinned to a workspace item lands in an explicit bucket:
+//!
+//! * [`Resolution::Static`] — one or more candidate workspace functions.
+//!   Method calls over-approximate to *every* workspace method of that
+//!   name (no type inference), which keeps taint sound at the cost of
+//!   spurious edges.
+//! * [`Resolution::Dynamic`] — the callee is a value: a closure or
+//!   `fn`-pointer parameter, a `let`-bound callable, or a parenthesized
+//!   call expression. These are the escape hatches ND011 audits.
+//! * [`Resolution::Unresolved`] — a named call with no workspace match;
+//!   assumed external (`std` or vendored) and reported only in the
+//!   graph statistics.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::ast::{parse_file, FnDef, ParsedFile};
+use crate::lex::{Tok, TokKind};
+
+/// Global function id: `(file index, fn index within file)`.
+pub type FnId = (usize, usize);
+
+/// Where a call site ended up after resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Candidate workspace callees (never empty).
+    Static(Vec<FnId>),
+    /// Callee is a runtime value (closure/fn-pointer/trait object).
+    Dynamic,
+    /// Named call with no workspace target; assumed external.
+    Unresolved,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The function containing this call.
+    pub caller: FnId,
+    /// Callee name as written (`jitter`, or `<expr>` for paren calls).
+    pub name: String,
+    /// Path segments as written, when the call used a path.
+    pub path: Vec<String>,
+    /// Whether this was a `.name(…)` method call.
+    pub is_method: bool,
+    /// 1-based line of the callee name token.
+    pub line: usize,
+    /// 1-based column of the callee name token.
+    pub col: usize,
+    /// Underline length (callee name length).
+    pub len: usize,
+    /// Resolution outcome.
+    pub resolution: Resolution,
+}
+
+/// Aggregate graph statistics, surfaced in reports so the `unresolved`
+/// escape hatch stays visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of resolved call sites (each may fan out to several
+    /// candidates).
+    pub static_sites: usize,
+    /// Total static edges after candidate fan-out.
+    pub static_edges: usize,
+    /// Dynamic (value-callee) sites — ND011's audit surface.
+    pub dynamic_sites: usize,
+    /// Named calls with no workspace target.
+    pub unresolved_sites: usize,
+}
+
+/// All parsed files of a scan.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Parsed files, in load order.
+    pub files: Vec<ParsedFile>,
+}
+
+impl Workspace {
+    /// Parse a set of `(path, source)` pairs. Test-only entry point and
+    /// the core of [`Workspace::load`].
+    pub fn from_sources<P: AsRef<str>, S: AsRef<str>>(sources: &[(P, S)]) -> Workspace {
+        let mut files = Vec::with_capacity(sources.len());
+        for (path, source) in sources {
+            let path = path.as_ref();
+            let mut parsed = parse_file(path, source.as_ref());
+            if is_test_path(path) {
+                for f in &mut parsed.fns {
+                    f.test_only = true;
+                }
+            }
+            files.push(parsed);
+        }
+        Workspace { files }
+    }
+
+    /// Load and parse every `.rs` file under `roots`, skipping `target`
+    /// and lint-fixture directories.
+    pub fn load(roots: &[PathBuf]) -> std::io::Result<Workspace> {
+        let mut paths = Vec::new();
+        for root in roots {
+            collect_rs_files(root, &mut paths)?;
+        }
+        paths.sort();
+        let mut sources = Vec::with_capacity(paths.len());
+        for p in paths {
+            let text = std::fs::read_to_string(&p)?;
+            sources.push((crate::diag::display_path(&p), text));
+        }
+        Ok(Workspace::from_sources(&sources))
+    }
+
+    /// The function definition behind an id.
+    pub fn fn_def(&self, id: FnId) -> &FnDef {
+        &self.files[id.0].fns[id.1]
+    }
+
+    /// The file containing an id.
+    pub fn file_of(&self, id: FnId) -> &ParsedFile {
+        &self.files[id.0]
+    }
+
+    /// Iterate all functions with their ids.
+    pub fn iter_fns(&self) -> impl Iterator<Item = (FnId, &FnDef)> {
+        self.files.iter().enumerate().flat_map(|(fi, file)| {
+            file.fns
+                .iter()
+                .enumerate()
+                .map(move |(di, d)| ((fi, di), d))
+        })
+    }
+
+    /// `crate::module::Type::name` display for a function.
+    pub fn display_fn(&self, id: FnId) -> String {
+        self.fn_def(id).display()
+    }
+}
+
+/// Whether a path denotes test/bench/example code (everything under a
+/// `tests`, `benches`, or `examples` directory).
+fn is_test_path(path: &str) -> bool {
+    path.split(['/', '\\'])
+        .any(|c| matches!(c, "tests" | "benches" | "examples"))
+}
+
+/// Recursively collect `.rs` files, skipping `target` build output and
+/// `fixtures` trees (lint-test inputs are deliberately dirty).
+pub fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The resolved call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All call sites, in deterministic (file, fn, token) order.
+    pub sites: Vec<CallSite>,
+    /// Site indices per calling function.
+    pub out: BTreeMap<FnId, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph for a workspace.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let index = FnIndex::build(ws);
+        let mut graph = CallGraph::default();
+        for (id, def) in ws.iter_fns() {
+            let Some((start, end)) = def.body else {
+                continue;
+            };
+            let file = ws.file_of(id);
+            let extractor = Extractor {
+                ws,
+                index: &index,
+                file,
+                def,
+                caller: id,
+            };
+            let sites = extractor.extract(start, end);
+            if sites.is_empty() {
+                continue;
+            }
+            let base = graph.sites.len();
+            let idxs = (base..base + sites.len()).collect();
+            graph.sites.extend(sites);
+            graph.out.insert(id, idxs);
+        }
+        graph
+    }
+
+    /// Call sites of one function (empty slice if none).
+    pub fn sites_of(&self, id: FnId) -> &[usize] {
+        self.out.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> GraphStats {
+        let mut s = GraphStats::default();
+        for site in &self.sites {
+            match &site.resolution {
+                Resolution::Static(c) => {
+                    s.static_sites += 1;
+                    s.static_edges += c.len();
+                }
+                Resolution::Dynamic => s.dynamic_sites += 1,
+                Resolution::Unresolved => s.unresolved_sites += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Name → candidate ids, split by kind for resolution.
+struct FnIndex {
+    /// Free functions (no `self_ty`) by bare name.
+    free_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Methods (`self_ty` present) by bare name.
+    methods_by_name: BTreeMap<String, Vec<FnId>>,
+}
+
+impl FnIndex {
+    fn build(ws: &Workspace) -> FnIndex {
+        let mut free_by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        for (id, def) in ws.iter_fns() {
+            let bucket = if def.self_ty.is_some() {
+                &mut methods_by_name
+            } else {
+                &mut free_by_name
+            };
+            bucket.entry(def.name.clone()).or_default().push(id);
+        }
+        FnIndex {
+            free_by_name,
+            methods_by_name,
+        }
+    }
+}
+
+/// Keywords that read like calls (`if (…)`, `while (…)`, `return (…)`).
+fn is_call_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "match"
+            | "return"
+            | "for"
+            | "loop"
+            | "unsafe"
+            | "else"
+            | "in"
+            | "as"
+            | "move"
+            | "ref"
+            | "mut"
+            | "box"
+            | "await"
+            | "dyn"
+            | "fn"
+            | "let"
+            | "where"
+            | "impl"
+            | "break"
+            | "continue"
+            | "yield"
+    )
+}
+
+struct Extractor<'a> {
+    ws: &'a Workspace,
+    index: &'a FnIndex,
+    file: &'a ParsedFile,
+    def: &'a FnDef,
+    caller: FnId,
+}
+
+impl<'a> Extractor<'a> {
+    fn toks(&self) -> &[Tok] {
+        &self.file.lexed.tokens
+    }
+
+    fn extract(&self, start: usize, end: usize) -> Vec<CallSite> {
+        let toks = self.toks();
+        let (locals, closure_locals) = collect_locals(toks, start, end);
+        let mut sites = Vec::new();
+        let mut j = start;
+        while j < end {
+            let t = &toks[j];
+            // `( ident ) (` and `( self . ident ) (`: call of a
+            // parenthesized value — dynamic by construction.
+            if t.is_punct('(') && j > start && toks[j - 1].is_punct(')') {
+                let dyn_open = match () {
+                    _ if j >= 3
+                        && toks[j - 2].kind == TokKind::Ident
+                        && toks[j - 3].is_punct('(') =>
+                    {
+                        Some(&toks[j - 2])
+                    }
+                    _ if j >= 5
+                        && toks[j - 2].kind == TokKind::Ident
+                        && toks[j - 3].is_punct('.')
+                        && toks[j - 4].is_ident("self")
+                        && toks[j - 5].is_punct('(') =>
+                    {
+                        Some(&toks[j - 2])
+                    }
+                    _ => None,
+                };
+                if let Some(named) = dyn_open {
+                    sites.push(CallSite {
+                        caller: self.caller,
+                        name: named.text.clone(),
+                        path: Vec::new(),
+                        is_method: false,
+                        line: named.line,
+                        col: named.col,
+                        len: named.text.chars().count().max(1),
+                        resolution: Resolution::Dynamic,
+                    });
+                }
+                j += 1;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                j += 1;
+                continue;
+            }
+            // Callee name must be followed by `(`, optionally with a
+            // turbofish `::<…>` in between.
+            let mut call_paren = None;
+            if j + 1 < end && toks[j + 1].is_punct('(') {
+                call_paren = Some(j + 1);
+            } else if j + 3 < end
+                && toks[j + 1].is_punct(':')
+                && toks[j + 2].is_punct(':')
+                && toks[j + 3].is_punct('<')
+            {
+                let after = angle_end(toks, j + 3, end);
+                if after < end && toks[after].is_punct('(') {
+                    call_paren = Some(after);
+                }
+            }
+            let Some(_paren) = call_paren else {
+                j += 1;
+                continue;
+            };
+            let name = t.text.clone();
+            if is_call_keyword(&name) {
+                j += 1;
+                continue;
+            }
+            // `fn name(` is a nested definition, not a call.
+            if j > 0 && toks[j - 1].is_ident("fn") {
+                j += 1;
+                continue;
+            }
+            let is_method = j > 0 && toks[j - 1].is_punct('.');
+            let mut path = Vec::new();
+            if !is_method {
+                // Walk `ident ::` pairs backwards to recover the path.
+                path.push(name.clone());
+                let mut k = j;
+                while k >= 3
+                    && toks[k - 1].is_punct(':')
+                    && toks[k - 2].is_punct(':')
+                    && toks[k - 3].kind == TokKind::Ident
+                {
+                    path.insert(0, toks[k - 3].text.clone());
+                    k -= 3;
+                }
+            }
+            // Tuple-struct / enum-variant constructors (`Some(x)`,
+            // `Config(…)`) are not calls we track.
+            if starts_uppercase(&name) {
+                j += 1;
+                continue;
+            }
+            let resolution = if is_method {
+                self.resolve_method(&name)
+            } else if path.len() > 1 {
+                self.resolve_path(&path)
+            } else {
+                match self.resolve_plain(&name, &locals, &closure_locals) {
+                    Some(r) => r,
+                    None => {
+                        j += 1;
+                        continue;
+                    }
+                }
+            };
+            sites.push(CallSite {
+                caller: self.caller,
+                name: name.clone(),
+                path: if path.len() > 1 { path } else { Vec::new() },
+                is_method,
+                line: t.line,
+                col: t.col,
+                len: name.chars().count().max(1),
+                resolution,
+            });
+            j += 1;
+        }
+        sites
+    }
+
+    /// Drop candidates from test-only code when the caller is
+    /// production code.
+    fn filter_test(&self, ids: Vec<FnId>) -> Vec<FnId> {
+        if self.def.test_only {
+            return ids;
+        }
+        ids.into_iter()
+            .filter(|id| !self.ws.fn_def(*id).test_only)
+            .collect()
+    }
+
+    fn resolve_method(&self, name: &str) -> Resolution {
+        let cands = self
+            .index
+            .methods_by_name
+            .get(name)
+            .cloned()
+            .unwrap_or_default();
+        let cands = self.filter_test(cands);
+        if cands.is_empty() {
+            Resolution::Unresolved
+        } else {
+            Resolution::Static(cands)
+        }
+    }
+
+    /// Resolve `a::b::name(…)`.
+    fn resolve_path(&self, path: &[String]) -> Resolution {
+        // Expand a leading `use` alias.
+        let mut segs: Vec<String> = path.to_vec();
+        if let Some(alias) = self.file.uses.iter().find(|u| u.alias == segs[0]) {
+            let mut expanded = alias.segs.clone();
+            expanded.extend(segs[1..].iter().cloned());
+            segs = expanded;
+        }
+        // Normalize the head.
+        match segs[0].as_str() {
+            "crate" => {
+                segs[0] = self.file.crate_ident.clone();
+            }
+            "self" => {
+                let mut head = vec![self.file.crate_ident.clone()];
+                head.extend(self.file.module.iter().cloned());
+                head.extend(segs[1..].iter().cloned());
+                segs = head;
+            }
+            "super" => {
+                let mut module = self.file.module.clone();
+                module.pop();
+                let mut head = vec![self.file.crate_ident.clone()];
+                head.extend(module);
+                head.extend(segs[1..].iter().cloned());
+                segs = head;
+            }
+            "Self" => {
+                if let Some(ty) = &self.def.self_ty {
+                    segs[0] = ty.clone();
+                }
+            }
+            _ => {}
+        }
+        // Package idents (`stats_core`) alias the crate directory
+        // (`core`).
+        if let Some(stripped) = segs[0].strip_prefix("stats_") {
+            segs[0] = stripped.to_string();
+        }
+        let name = segs.last().cloned().unwrap_or_default();
+        let free = self.index.free_by_name.get(&name);
+        let methods = self.index.methods_by_name.get(&name);
+        let mut cands: Vec<FnId> = free
+            .into_iter()
+            .chain(methods)
+            .flatten()
+            .copied()
+            .filter(|id| ends_with_path(&self.ws.fn_def(*id).segs, &segs))
+            .collect();
+        cands = self.filter_test(cands);
+        if cands.is_empty() {
+            return Resolution::Unresolved;
+        }
+        // Prefer same-crate candidates when ambiguous.
+        if cands.len() > 1 {
+            let same_crate: Vec<FnId> = cands
+                .iter()
+                .copied()
+                .filter(|id| self.ws.file_of(*id).crate_ident == self.file.crate_ident)
+                .collect();
+            if !same_crate.is_empty() {
+                cands = same_crate;
+            }
+        }
+        Resolution::Static(cands)
+    }
+
+    /// Resolve a bare `name(…)`. `None` means "not a call we track"
+    /// (a closure literal bound locally — its body tokens already
+    /// belong to this function's scan range).
+    fn resolve_plain(
+        &self,
+        name: &str,
+        locals: &[String],
+        closure_locals: &[String],
+    ) -> Option<Resolution> {
+        if closure_locals.iter().any(|l| l == name) {
+            return None;
+        }
+        if self.def.fn_like_params.iter().any(|p| p == name)
+            || self.def.params.iter().any(|p| p == name)
+            || locals.iter().any(|l| l == name)
+        {
+            return Some(Resolution::Dynamic);
+        }
+        // Same-module free function.
+        let free = self.index.free_by_name.get(name);
+        if let Some(free) = free {
+            let same_module: Vec<FnId> = free
+                .iter()
+                .copied()
+                .filter(|id| {
+                    let f = self.ws.file_of(*id);
+                    f.crate_ident == self.file.crate_ident && f.module == self.file.module
+                })
+                .collect();
+            let same_module = self.filter_test(same_module);
+            if !same_module.is_empty() {
+                return Some(Resolution::Static(same_module));
+            }
+        }
+        // `use` alias of a function.
+        if let Some(alias) = self.file.uses.iter().find(|u| u.alias == name) {
+            let mut segs = alias.segs.clone();
+            if let Some(stripped) = segs[0].strip_prefix("stats_") {
+                segs[0] = stripped.to_string();
+            }
+            if segs[0] == "crate" {
+                segs[0] = self.file.crate_ident.clone();
+            }
+            let cands: Vec<FnId> = self
+                .index
+                .free_by_name
+                .get(name)
+                .into_iter()
+                .flatten()
+                .copied()
+                .filter(|id| ends_with_path(&self.ws.fn_def(*id).segs, &segs))
+                .collect();
+            let cands = self.filter_test(cands);
+            if !cands.is_empty() {
+                return Some(Resolution::Static(cands));
+            }
+        }
+        // Unique free function anywhere in the workspace.
+        if let Some(free) = free {
+            let cands = self.filter_test(free.clone());
+            if cands.len() == 1 {
+                return Some(Resolution::Static(cands));
+            }
+        }
+        Some(Resolution::Unresolved)
+    }
+}
+
+fn starts_uppercase(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_uppercase())
+}
+
+/// Whether `fn_segs` ends with `call_segs` (suffix match on qualified
+/// paths, so `helpers::jitter` matches `crate_a::helpers::jitter`).
+fn ends_with_path(fn_segs: &[String], call_segs: &[String]) -> bool {
+    if call_segs.len() > fn_segs.len() {
+        return false;
+    }
+    fn_segs[fn_segs.len() - call_segs.len()..]
+        .iter()
+        .zip(call_segs)
+        .all(|(a, b)| a == b)
+}
+
+/// Forward scan past a balanced `<…>` starting at `open`; returns the
+/// index just past the matching `>` (or `end`).
+fn angle_end(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = open;
+    while j < end {
+        if toks[j].is_punct('<') {
+            depth += 1;
+        } else if toks[j].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if toks[j].is_punct(';') || toks[j].is_punct('{') {
+            return j;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Collect `let`/`for` bound names in `[start, end)`, split into plain
+/// locals and closure-literal locals (`let f = |…| …` / `= move |…|`).
+fn collect_locals(toks: &[Tok], start: usize, end: usize) -> (Vec<String>, Vec<String>) {
+    let mut locals = Vec::new();
+    let mut closures = Vec::new();
+    let mut j = start;
+    while j < end {
+        let t = &toks[j];
+        if t.is_ident("let") || t.is_ident("for") {
+            let stop_ident = if t.is_ident("for") { "in" } else { "" };
+            let mut names = Vec::new();
+            let mut k = j + 1;
+            let mut depth = 0usize;
+            while k < end {
+                let tk = &toks[k];
+                if tk.is_punct('(') || tk.is_punct('[') || tk.is_punct('{') {
+                    depth += 1;
+                } else if tk.is_punct(')') || tk.is_punct(']') || tk.is_punct('}') {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if (depth == 0 && (tk.is_punct('=') || tk.is_punct(';') || tk.is_punct(':')))
+                    || (!stop_ident.is_empty() && tk.is_ident(stop_ident))
+                {
+                    break;
+                } else if tk.kind == TokKind::Ident
+                    && !starts_uppercase(&tk.text)
+                    && !matches!(tk.text.as_str(), "mut" | "ref" | "box" | "_")
+                {
+                    names.push(tk.text.clone());
+                }
+                k += 1;
+            }
+            // Closure literal on the right-hand side?
+            let mut is_closure = false;
+            if k < end && toks[k].is_punct('=') {
+                let mut m = k + 1;
+                if m < end && toks[m].is_ident("move") {
+                    m += 1;
+                }
+                if m < end && toks[m].is_punct('|') {
+                    is_closure = true;
+                }
+            }
+            if is_closure {
+                closures.extend(names);
+            } else {
+                locals.extend(names);
+            }
+            j = k.max(j + 1);
+            continue;
+        }
+        j += 1;
+    }
+    (locals, closures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(sources: &[(&str, &str)]) -> Workspace {
+        Workspace::from_sources(sources)
+    }
+
+    fn find_fn(ws: &Workspace, name: &str) -> FnId {
+        ws.iter_fns()
+            .find(|(_, d)| d.name == name)
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| panic!("fn {name} not found"))
+    }
+
+    fn site<'g>(g: &'g CallGraph, ws: &Workspace, caller: &str, callee: &str) -> &'g CallSite {
+        let id = find_fn(ws, caller);
+        g.sites_of(id)
+            .iter()
+            .map(|&i| &g.sites[i])
+            .find(|s| s.name == callee)
+            .unwrap_or_else(|| panic!("no call to {callee} in {caller}"))
+    }
+
+    #[test]
+    fn same_module_calls_resolve_statically() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { helper(); }\nfn helper() {}",
+        )]);
+        let g = CallGraph::build(&w);
+        let s = site(&g, &w, "top", "helper");
+        assert_eq!(
+            s.resolution,
+            Resolution::Static(vec![find_fn(&w, "helper")])
+        );
+    }
+
+    #[test]
+    fn cross_module_path_calls_resolve() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "mod helpers;\nfn top() { helpers::jitter(); crate::helpers::jitter(); }",
+            ),
+            ("crates/a/src/helpers.rs", "pub fn jitter() {}"),
+        ]);
+        let g = CallGraph::build(&w);
+        let jitter = find_fn(&w, "jitter");
+        for s in g.sites_of(find_fn(&w, "top")).iter().map(|&i| &g.sites[i]) {
+            assert_eq!(s.resolution, Resolution::Static(vec![jitter]));
+        }
+    }
+
+    #[test]
+    fn cross_crate_calls_resolve_via_package_ident() {
+        let w = ws(&[
+            ("crates/a/src/lib.rs", "fn top() { stats_b::util::leaf(); }"),
+            ("crates/b/src/util.rs", "pub fn leaf() {}"),
+        ]);
+        let g = CallGraph::build(&w);
+        let s = site(&g, &w, "top", "leaf");
+        assert_eq!(s.resolution, Resolution::Static(vec![find_fn(&w, "leaf")]));
+    }
+
+    #[test]
+    fn use_aliased_calls_resolve() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "use stats_b::util::leaf;\nfn top() { leaf(); }",
+            ),
+            ("crates/b/src/util.rs", "pub fn leaf() {}"),
+        ]);
+        let g = CallGraph::build(&w);
+        let s = site(&g, &w, "top", "leaf");
+        assert_eq!(s.resolution, Resolution::Static(vec![find_fn(&w, "leaf")]));
+    }
+
+    #[test]
+    fn method_calls_over_approximate_by_name() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { fn go(&self) {} }\n\
+             impl B { fn go(&self) {} }\n\
+             fn top(a: &A) { a.go(); }",
+        )]);
+        let g = CallGraph::build(&w);
+        let s = site(&g, &w, "top", "go");
+        match &s.resolution {
+            Resolution::Static(c) => assert_eq!(c.len(), 2),
+            other => panic!("expected static, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fn_like_params_and_let_bound_callables_are_dynamic() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn run(cb: impl Fn()) { cb(); }\n\
+             fn indirect() { let f = target; f(); }\n\
+             fn target() {}",
+        )]);
+        let g = CallGraph::build(&w);
+        assert_eq!(site(&g, &w, "run", "cb").resolution, Resolution::Dynamic);
+        assert_eq!(
+            site(&g, &w, "indirect", "f").resolution,
+            Resolution::Dynamic
+        );
+    }
+
+    #[test]
+    fn closure_literal_locals_are_not_call_sites() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { let add = |x: u64| x + inner(); add(1); }\nfn inner() -> u64 { 0 }",
+        )]);
+        let g = CallGraph::build(&w);
+        let sites: Vec<&CallSite> = g
+            .sites_of(find_fn(&w, "top"))
+            .iter()
+            .map(|&i| &g.sites[i])
+            .collect();
+        // `inner()` inside the closure body attributes to `top`;
+        // `add(1)` itself is skipped.
+        assert!(sites.iter().any(|s| s.name == "inner"));
+        assert!(!sites.iter().any(|s| s.name == "add"));
+    }
+
+    #[test]
+    fn external_calls_land_in_the_unresolved_bucket() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { std::mem::swap(&mut 1, &mut 2); unknown_fn(); }",
+        )]);
+        let g = CallGraph::build(&w);
+        assert_eq!(
+            site(&g, &w, "top", "swap").resolution,
+            Resolution::Unresolved
+        );
+        assert_eq!(
+            site(&g, &w, "top", "unknown_fn").resolution,
+            Resolution::Unresolved
+        );
+        let stats = g.stats();
+        assert_eq!(stats.unresolved_sites, 2);
+        assert_eq!(stats.static_edges, 0);
+    }
+
+    #[test]
+    fn constructors_and_macros_are_ignored() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { let x = Some(1); let v = vec![1]; println!(\"{x:?}{v:?}\"); }",
+        )]);
+        let g = CallGraph::build(&w);
+        assert!(g.sites_of(find_fn(&w, "top")).is_empty());
+    }
+
+    #[test]
+    fn test_only_callees_are_filtered_for_production_callers() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { helper(); }\n\
+             #[cfg(test)]\nmod tests { pub fn helper() {} }",
+        )]);
+        let g = CallGraph::build(&w);
+        // The only `helper` is test-only; production `top` cannot call it.
+        assert_eq!(
+            site(&g, &w, "top", "helper").resolution,
+            Resolution::Unresolved
+        );
+    }
+
+    #[test]
+    fn paren_wrapped_field_calls_are_dynamic() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "struct W { job: Box<dyn Fn()> }\n\
+             impl W { fn run(&self) { (self.job)(); } }",
+        )]);
+        let g = CallGraph::build(&w);
+        assert_eq!(site(&g, &w, "run", "job").resolution, Resolution::Dynamic);
+    }
+
+    #[test]
+    fn turbofish_calls_are_still_calls() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { helper::<u64>(); }\nfn helper<T>() {}",
+        )]);
+        let g = CallGraph::build(&w);
+        let s = site(&g, &w, "top", "helper");
+        assert_eq!(
+            s.resolution,
+            Resolution::Static(vec![find_fn(&w, "helper")])
+        );
+    }
+
+    #[test]
+    fn graph_stats_count_edges_and_buckets() {
+        let w = ws(&[(
+            "crates/a/src/lib.rs",
+            "fn top(cb: impl Fn()) { helper(); cb(); std::process::id(); }\nfn helper() {}",
+        )]);
+        let g = CallGraph::build(&w);
+        let s = g.stats();
+        assert_eq!(s.static_sites, 1);
+        assert_eq!(s.static_edges, 1);
+        assert_eq!(s.dynamic_sites, 1);
+        assert_eq!(s.unresolved_sites, 1);
+    }
+
+    #[test]
+    fn files_under_tests_dirs_are_test_only() {
+        let w = ws(&[("crates/a/tests/smoke.rs", "fn probe() {}")]);
+        let (_, d) = w.iter_fns().next().unwrap();
+        assert!(d.test_only);
+    }
+}

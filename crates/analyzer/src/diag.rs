@@ -3,8 +3,30 @@
 use std::fmt;
 use std::path::Path;
 
+/// A secondary span attached to a [`Diagnostic`]: one hop of a call
+/// chain, a sink declaration, or any other related location. Rendered as
+/// a rustc-style `note:` block under the primary span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// What this span shows (e.g. "sink `core::…::update` declared here"
+    /// or "hop 1: `update` calls `helpers::jitter`").
+    pub label: String,
+    /// Path of the file this span points into.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub col: usize,
+    /// Length of the underlined region, in characters (at least 1).
+    pub len: usize,
+    /// The full source line, for the snippet.
+    pub snippet: String,
+}
+
 /// One lint finding, with everything needed to render a rustc-style
 /// report: rule id, location, the offending source line, and a fix hint.
+/// Interprocedural findings carry the full source→…→sink call chain as
+/// secondary [`Note`] spans.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Rule identifier, e.g. `ND002`.
@@ -23,6 +45,9 @@ pub struct Diagnostic {
     pub snippet: String,
     /// How to fix it.
     pub hint: &'static str,
+    /// Secondary spans (call-chain hops), in sink-to-source order.
+    /// Empty for single-span findings.
+    pub notes: Vec<Note>,
 }
 
 impl Diagnostic {
@@ -32,20 +57,46 @@ impl Diagnostic {
     }
 }
 
+/// Write one `line | snippet` + underline block.
+fn write_span(
+    f: &mut fmt::Formatter<'_>,
+    pad: &str,
+    line: usize,
+    col: usize,
+    len: usize,
+    snippet: &str,
+) -> fmt::Result {
+    let gutter = line.to_string();
+    writeln!(f, "{pad} |")?;
+    writeln!(f, "{gutter} | {snippet}")?;
+    let underline = "^".repeat(len.max(1));
+    writeln!(
+        f,
+        "{pad} | {}{underline}",
+        " ".repeat(col.saturating_sub(1))
+    )
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let gutter = self.line.to_string();
-        let pad = " ".repeat(gutter.len());
+        let pad = " ".repeat(
+            gutter.len().max(
+                self.notes
+                    .iter()
+                    .map(|n| n.line.to_string().len())
+                    .max()
+                    .unwrap_or(0),
+            ),
+        );
         writeln!(f, "warning[{}]: {}", self.rule, self.message)?;
         writeln!(f, "{pad}--> {}:{}:{}", self.file, self.line, self.col)?;
-        writeln!(f, "{pad} |")?;
-        writeln!(f, "{gutter} | {}", self.snippet)?;
-        let underline = "^".repeat(self.len.max(1));
-        writeln!(
-            f,
-            "{pad} | {}{underline}",
-            " ".repeat(self.col.saturating_sub(1))
-        )?;
+        write_span(f, &pad, self.line, self.col, self.len, &self.snippet)?;
+        for note in &self.notes {
+            writeln!(f, "{pad} = note: {}", note.label)?;
+            writeln!(f, "{pad}--> {}:{}:{}", note.file, note.line, note.col)?;
+            write_span(f, &pad, note.line, note.col, note.len, &note.snippet)?;
+        }
         write!(f, "{pad} = help: {}", self.hint)
     }
 }
@@ -78,6 +129,7 @@ mod tests {
             len: 12,
             snippet: "    let t = Instant::now();".to_string(),
             hint: "derive timing from the simulated clock",
+            notes: Vec::new(),
         };
         let text = d.to_string();
         assert!(text.contains("warning[ND002]"));
@@ -98,7 +150,50 @@ mod tests {
             len: 1,
             snippet: String::new(),
             hint: "",
+            notes: Vec::new(),
         };
         assert_eq!(d.location(), "a.rs:3:7");
+    }
+
+    #[test]
+    fn notes_render_as_secondary_spans() {
+        let d = Diagnostic {
+            rule: "ND009",
+            message: "ambient entropy reaches a protocol sink".to_string(),
+            file: "src/helpers.rs".to_string(),
+            line: 7,
+            col: 11,
+            len: 10,
+            snippet: "    rand::thread_rng()".to_string(),
+            hint: "draw from the StatsRng stream instead",
+            notes: vec![
+                Note {
+                    label: "protocol sink `Pipe::update` declared here".to_string(),
+                    file: "src/lib.rs".to_string(),
+                    line: 3,
+                    col: 8,
+                    len: 6,
+                    snippet: "    fn update(&self) {".to_string(),
+                },
+                Note {
+                    label: "hop 1: `update` calls `jitter`".to_string(),
+                    file: "src/lib.rs".to_string(),
+                    line: 4,
+                    col: 9,
+                    len: 6,
+                    snippet: "        jitter();".to_string(),
+                },
+            ],
+        };
+        let text = d.to_string();
+        assert!(text.contains("= note: protocol sink `Pipe::update` declared here"));
+        assert!(text.contains("--> src/lib.rs:3:8"));
+        assert!(text.contains("= note: hop 1: `update` calls `jitter`"));
+        assert!(text.contains("--> src/lib.rs:4:9"));
+        // The primary span comes first, the help line last.
+        assert!(text.find("src/helpers.rs:7:11").unwrap() < text.find("src/lib.rs:3:8").unwrap());
+        assert!(text
+            .trim_end()
+            .ends_with("= help: draw from the StatsRng stream instead"));
     }
 }

@@ -48,6 +48,18 @@ impl Tok {
     }
 }
 
+/// One `stats-analyzer: allow(RULE): reason` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the directive comment starts on.
+    pub line: usize,
+    /// The allowed rule id (`ND002`, …).
+    pub rule: String,
+    /// The free-text justification after the closing paren (may be
+    /// empty; CI can insist on one via `--require-waiver-reasons`).
+    pub reason: String,
+}
+
 /// A lexed source file: the token stream plus the side tables rules use.
 #[derive(Debug, Clone)]
 pub struct LexedFile {
@@ -58,7 +70,7 @@ pub struct LexedFile {
     /// Lines carrying an `stats-analyzer: allow(RULE)` directive, with the
     /// allowed rule id. A directive suppresses findings of that rule on
     /// its own line and on the next line.
-    pub allows: Vec<(usize, String)>,
+    pub allows: Vec<Allow>,
 }
 
 impl LexedFile {
@@ -66,7 +78,17 @@ impl LexedFile {
     pub fn is_allowed(&self, id: &str, line: usize) -> bool {
         self.allows
             .iter()
-            .any(|(l, rule)| rule == id && (line == *l || line == *l + 1))
+            .any(|a| a.rule == id && (line == a.line || line == a.line + 1))
+    }
+
+    /// The reason attached to the directive that allows `id` at `line`.
+    /// `None` when no directive applies; `Some("")` when one applies but
+    /// carries no justification text.
+    pub fn waiver_reason(&self, id: &str, line: usize) -> Option<&str> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == id && (line == a.line || line == a.line + 1))
+            .map(|a| a.reason.as_str())
     }
 
     /// The source line at 1-based `line`, or empty.
@@ -79,15 +101,28 @@ impl LexedFile {
 }
 
 /// Scan a comment's text for allow directives.
-fn scan_allows(comment: &str, line: usize, allows: &mut Vec<(usize, String)>) {
+fn scan_allows(comment: &str, line: usize, allows: &mut Vec<Allow>) {
     let mut rest = comment;
     while let Some(pos) = rest.find("stats-analyzer:") {
         rest = &rest[pos + "stats-analyzer:".len()..];
         let trimmed = rest.trim_start();
         if let Some(args) = trimmed.strip_prefix("allow(") {
             if let Some(end) = args.find(')') {
+                let reason = args[end + 1..]
+                    .trim_start_matches(':')
+                    .trim()
+                    // A second directive on the same line ends the reason.
+                    .split("stats-analyzer:")
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .to_string();
                 for rule in args[..end].split(',') {
-                    allows.push((line, rule.trim().to_string()));
+                    allows.push(Allow {
+                        line,
+                        rule: rule.trim().to_string(),
+                        reason: reason.clone(),
+                    });
                 }
             }
         }
@@ -117,6 +152,14 @@ pub fn lex(source: &str) -> LexedFile {
             }
             i += 1;
         }};
+    }
+
+    // Shebang line (`#!/usr/bin/env …`): tokens on it are shell syntax,
+    // not Rust. An inner attribute `#![…]` at file start stays lexed.
+    if chars.first() == Some(&'#') && chars.get(1) == Some(&'!') && chars.get(2) != Some(&'[') {
+        while i < chars.len() && chars[i] != '\n' {
+            bump!();
+        }
     }
 
     while i < chars.len() {
@@ -160,6 +203,54 @@ pub fn lex(source: &str) -> LexedFile {
         // Whitespace.
         if c.is_whitespace() {
             bump!();
+            continue;
+        }
+        // Raw identifiers: `r#fn`, `r#match`. The token keeps its `r#`
+        // prefix so a raw identifier never collides with the keyword it
+        // escapes (the parser must not open a body for `r#fn`).
+        if c == 'r'
+            && chars.get(i + 1) == Some(&'#')
+            && matches!(chars.get(i + 2), Some(n) if n.is_alphabetic() || *n == '_')
+        {
+            let (tok_line, tok_col) = (line, col);
+            let start = i;
+            bump!(); // r
+            bump!(); // #
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: tok_line,
+                col: tok_col,
+            });
+            continue;
+        }
+        // Byte strings (`b"…"`) and byte literals (`b'x'`): opaque, like
+        // their textual counterparts.
+        if c == 'b' && matches!(chars.get(i + 1), Some(&'"') | Some(&'\'')) {
+            let (tok_line, tok_col) = (line, col);
+            let quote = chars[i + 1];
+            bump!(); // b
+            bump!(); // opening quote
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    bump!();
+                    bump!();
+                } else if chars[i] == quote {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: if quote == '"' { "\"\"" } else { "''" }.to_string(),
+                line: tok_line,
+                col: tok_col,
+            });
             continue;
         }
         // Raw strings: r"...", r#"..."#, br#"..."# etc.
@@ -400,11 +491,23 @@ mod tests {
     fn allow_directives_are_collected() {
         let src = "\n// stats-analyzer: allow(ND002): timing is informative only\nlet t = 1;";
         let f = lex(src);
-        assert_eq!(f.allows, vec![(2, "ND002".to_string())]);
+        assert_eq!(
+            f.allows,
+            vec![Allow {
+                line: 2,
+                rule: "ND002".to_string(),
+                reason: "timing is informative only".to_string(),
+            }]
+        );
         assert!(f.is_allowed("ND002", 2));
         assert!(f.is_allowed("ND002", 3));
         assert!(!f.is_allowed("ND002", 4));
         assert!(!f.is_allowed("ND001", 3));
+        assert_eq!(
+            f.waiver_reason("ND002", 3),
+            Some("timing is informative only")
+        );
+        assert_eq!(f.waiver_reason("ND002", 4), None);
     }
 
     #[test]
@@ -412,6 +515,49 @@ mod tests {
         let f = lex("// stats-analyzer: allow(ND001, ND003)");
         assert!(f.is_allowed("ND001", 1));
         assert!(f.is_allowed("ND003", 1));
+        // No justification text: the reason is empty, not absent.
+        assert_eq!(f.waiver_reason("ND001", 1), Some(""));
+    }
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        let f = lex("#!/usr/bin/env rust\nfn main() {}");
+        assert!(f.tokens.iter().all(|t| !t.is_ident("usr")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("main")));
+        // An inner attribute at file start is NOT a shebang.
+        let f = lex("#![forbid(unsafe_code)]\nfn main() {}");
+        assert!(f.tokens.iter().any(|t| t.is_ident("forbid")));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix() {
+        let f = lex("fn r#fn() { r#match(); }");
+        // Exactly one bare `fn` keyword: the raw identifiers keep `r#`.
+        let fns = f.tokens.iter().filter(|t| t.is_ident("fn")).count();
+        assert_eq!(fns, 1);
+        assert!(f.tokens.iter().any(|t| t.is_ident("r#fn")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("r#match")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_literals_are_opaque() {
+        let f = lex("let s = b\"thread_rng\"; let c = b'\\n'; after");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("after")));
+        let lits = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn raw_byte_strings_are_opaque() {
+        let f = lex("let s = br#\"Instant::now() \" OsRng\"#; tail");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(!f.tokens.iter().any(|t| t.is_ident("OsRng")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("tail")));
     }
 
     #[test]

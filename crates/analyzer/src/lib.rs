@@ -7,7 +7,12 @@
 //! * [`lint`]: a static pass over the workspace sources that flags
 //!   determinism hazards (ambient RNG, wall-clock reads, unordered
 //!   iteration, hidden mutable state, stream bypasses) with rustc-style
-//!   diagnostics and allow-list comments.
+//!   diagnostics and allow-list comments. The per-file rules are fed by
+//!   the hermetic lexer ([`lex`]); the interprocedural rules chain the
+//!   item-level parser ([`ast`]), the workspace call graph
+//!   ([`callgraph`]), and the taint engine ([`taint`]) to report full
+//!   source→…→sink call chains. [`output`] renders reports as JSON and
+//!   GitHub Actions annotations for CI.
 //! * [`model`]: a protocol model checker that re-executes the speculation
 //!   protocol of §II-B through the public [`stats_core`] API and asserts,
 //!   on small inputs, that decisions are independent of worker completion
@@ -16,7 +21,11 @@
 //!
 //! Both ship behind one CLI: `cargo run -p stats-analyzer -- lint|check`.
 
+pub mod ast;
+pub mod callgraph;
 pub mod diag;
 pub mod lex;
 pub mod lint;
 pub mod model;
+pub mod output;
+pub mod taint;

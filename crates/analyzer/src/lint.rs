@@ -16,6 +16,13 @@
 //! | ND006 | `println!`/`eprintln!` in runtime hot paths (use telemetry) |
 //! | ND007 | raw `std::thread` spawns in runtime hot paths (use the pool) |
 //! | ND008 | ambient state read inside a searcher's `ask`/`tell` body |
+//! | ND009 | transitive: a source reaching a protocol sink through calls |
+//! | ND010 | pool task closure capturing `&mut` enclosing-scope state |
+//! | ND011 | unwaived dynamic dispatch on a sink-reachable path |
+//!
+//! ND001–ND008 are single-file token-pattern checks. ND009–ND011 run on
+//! the workspace call graph (see [`crate::taint`]) and are only produced
+//! by [`lint_workspace`]; the per-file entry points skip them.
 //!
 //! A finding is suppressed by a comment on the same or the preceding
 //! line: `// stats-analyzer: allow(ND002): reason`.
@@ -33,6 +40,7 @@
 //! `ask`/`tell` body reading the clock, its thread identity, or the pool
 //! width would silently re-couple tuning results to worker count.
 
+use crate::callgraph::{collect_rs_files, GraphStats, Workspace};
 use crate::diag::{display_path, Diagnostic};
 use crate::lex::{lex, LexedFile, Tok, TokKind};
 use std::path::{Path, PathBuf};
@@ -61,8 +69,17 @@ impl RawFinding {
     }
 }
 
-/// One lint rule: identity, documentation, and a checker over a lexed
-/// file.
+/// How a rule is evaluated.
+#[derive(Clone, Copy)]
+pub enum RuleCheck {
+    /// A token-pattern check over one lexed file.
+    File(fn(&LexedFile) -> Vec<RawFinding>),
+    /// Produced by the interprocedural pass ([`crate::taint`]); per-file
+    /// entry points skip these.
+    Workspace,
+}
+
+/// One lint rule: identity, documentation, and a checker.
 pub struct Rule {
     /// Stable identifier (`ND001`…).
     pub id: &'static str,
@@ -73,7 +90,8 @@ pub struct Rule {
     /// Path predicate: the rule only runs on files whose (display) path
     /// satisfies it. Most rules use [`any_path`].
     pub applies_to: fn(&str) -> bool,
-    check: fn(&LexedFile) -> Vec<RawFinding>,
+    /// How to evaluate the rule.
+    pub check: RuleCheck,
 }
 
 /// The default [`Rule::applies_to`]: every file.
@@ -101,78 +119,123 @@ pub fn searcher_path(path: &str) -> bool {
     path.contains("autotuner") || path.ends_with("searcher.rs")
 }
 
+/// The registry of all rules, in id order: the single source of truth
+/// shared by `stats-analyzer rules`, the per-file lint pass, and the
+/// interprocedural taint pass.
+pub static RULES: &[Rule] = &[
+    Rule {
+        id: "ND001",
+        summary: "ambient randomness outside the per-role STATS streams",
+        hint: "draw from the StatsRng passed to the update; ambient entropy makes \
+               commit/abort decisions schedule-dependent",
+        applies_to: any_path,
+        check: RuleCheck::File(check_ambient_randomness),
+    },
+    Rule {
+        id: "ND002",
+        summary: "wall-clock time read",
+        hint: "derive timing from the simulated clock (stats-platform cycles); \
+               wall-clock reads differ across runs and runtimes",
+        applies_to: any_path,
+        check: RuleCheck::File(check_wall_clock),
+    },
+    Rule {
+        id: "ND003",
+        summary: "unordered iteration source",
+        hint: "use BTreeMap/BTreeSet (or sort before iterating); HashMap/HashSet \
+               iteration order varies per process and can leak into decisions, \
+               float accumulation order, and reports",
+        applies_to: any_path,
+        check: RuleCheck::File(check_unordered_iteration),
+    },
+    Rule {
+        id: "ND004",
+        summary: "hidden mutable state bypassing the State snapshot",
+        hint: "move the data into the workload's State type; state outside it is \
+               invisible to snapshot/restore and survives aborts",
+        applies_to: any_path,
+        check: RuleCheck::File(check_hidden_state),
+    },
+    Rule {
+        id: "ND005",
+        summary: "RNG stream constructed inside update/states_match",
+        hint: "use the StatsRng argument; a locally seeded stream repeats draws \
+               across replicas and breaks decision schedule-independence",
+        applies_to: any_path,
+        check: RuleCheck::File(check_stream_bypass),
+    },
+    Rule {
+        id: "ND006",
+        summary: "stdout/stderr print in a runtime hot path",
+        hint: "emit a stats-telemetry Event::Diagnostic (or a counter) instead; \
+               println!/eprintln! serialize workers behind the stdout lock and \
+               distort the timings telemetry reports",
+        applies_to: hot_path,
+        check: RuleCheck::File(check_hot_path_print),
+    },
+    Rule {
+        id: "ND007",
+        summary: "raw std::thread spawn in a runtime hot path",
+        hint: "schedule the work on the WorkerPool (scope.spawn / spawn_urgent); \
+               per-task OS threads reintroduce the creation cost and \
+               oversubscription the pool exists to eliminate",
+        applies_to: hot_path_outside_pool,
+        check: RuleCheck::File(check_raw_thread_spawn),
+    },
+    Rule {
+        id: "ND008",
+        summary: "ambient state read inside a searcher ask/tell body",
+        hint: "derive every ask/tell decision from the searcher's seeded state and \
+               the told costs; clocks, thread identity, and pool width make the \
+               search trajectory depend on worker count and completion order",
+        applies_to: searcher_path,
+        check: RuleCheck::File(check_ambient_searcher),
+    },
+    Rule {
+        id: "ND009",
+        summary: "transitive ambient nondeterminism reaching a protocol sink",
+        hint: "route the value through the seeded per-role streams (or the simulated \
+               clock) before it can influence the sink, or waive the source line \
+               with a reason explaining why it cannot affect commit/abort decisions",
+        applies_to: any_path,
+        check: RuleCheck::Workspace,
+    },
+    Rule {
+        id: "ND010",
+        summary: "pool task closure capturing &mut state outside the scoped-borrow API",
+        hint: "make the task a `move` closure (own the data) or hand out disjoint \
+               &mut borrows through the PoolScope API; a shared &mut capture lets \
+               task execution race commit order",
+        applies_to: hot_path,
+        check: RuleCheck::Workspace,
+    },
+    Rule {
+        id: "ND011",
+        summary: "dynamic dispatch on a sink-reachable path evades taint tracking",
+        hint: "the callee is a runtime value, so taint cannot be traced through it; \
+               replace it with a direct call, or audit the callable and waive the \
+               call site with a reason asserting it is deterministic",
+        applies_to: any_path,
+        check: RuleCheck::Workspace,
+    },
+];
+
 /// The registry of all rules, in id order.
-pub fn registry() -> Vec<Rule> {
-    vec![
-        Rule {
-            id: "ND001",
-            summary: "ambient randomness outside the per-role STATS streams",
-            hint: "draw from the StatsRng passed to the update; ambient entropy makes \
-                   commit/abort decisions schedule-dependent",
-            applies_to: any_path,
-            check: check_ambient_randomness,
-        },
-        Rule {
-            id: "ND002",
-            summary: "wall-clock time read",
-            hint: "derive timing from the simulated clock (stats-platform cycles); \
-                   wall-clock reads differ across runs and runtimes",
-            applies_to: any_path,
-            check: check_wall_clock,
-        },
-        Rule {
-            id: "ND003",
-            summary: "unordered iteration source",
-            hint: "use BTreeMap/BTreeSet (or sort before iterating); HashMap/HashSet \
-                   iteration order varies per process and can leak into decisions, \
-                   float accumulation order, and reports",
-            applies_to: any_path,
-            check: check_unordered_iteration,
-        },
-        Rule {
-            id: "ND004",
-            summary: "hidden mutable state bypassing the State snapshot",
-            hint: "move the data into the workload's State type; state outside it is \
-                   invisible to snapshot/restore and survives aborts",
-            applies_to: any_path,
-            check: check_hidden_state,
-        },
-        Rule {
-            id: "ND005",
-            summary: "RNG stream constructed inside update/states_match",
-            hint: "use the StatsRng argument; a locally seeded stream repeats draws \
-                   across replicas and breaks decision schedule-independence",
-            applies_to: any_path,
-            check: check_stream_bypass,
-        },
-        Rule {
-            id: "ND006",
-            summary: "stdout/stderr print in a runtime hot path",
-            hint: "emit a stats-telemetry Event::Diagnostic (or a counter) instead; \
-                   println!/eprintln! serialize workers behind the stdout lock and \
-                   distort the timings telemetry reports",
-            applies_to: hot_path,
-            check: check_hot_path_print,
-        },
-        Rule {
-            id: "ND007",
-            summary: "raw std::thread spawn in a runtime hot path",
-            hint: "schedule the work on the WorkerPool (scope.spawn / spawn_urgent); \
-                   per-task OS threads reintroduce the creation cost and \
-                   oversubscription the pool exists to eliminate",
-            applies_to: hot_path_outside_pool,
-            check: check_raw_thread_spawn,
-        },
-        Rule {
-            id: "ND008",
-            summary: "ambient state read inside a searcher ask/tell body",
-            hint: "derive every ask/tell decision from the searcher's seeded state and \
-                   the told costs; clocks, thread identity, and pool width make the \
-                   search trajectory depend on worker count and completion order",
-            applies_to: searcher_path,
-            check: check_ambient_searcher,
-        },
-    ]
+pub fn registry() -> &'static [Rule] {
+    RULES
+}
+
+/// Look up a rule by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id — rule ids are compile-time constants, so a
+/// miss is a bug in the analyzer itself.
+pub fn rule_by_id(id: &str) -> &'static Rule {
+    RULES
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("unknown rule id {id}"))
 }
 
 fn check_ambient_randomness(file: &LexedFile) -> Vec<RawFinding> {
@@ -486,33 +549,96 @@ fn check_ambient_searcher(file: &LexedFile) -> Vec<RawFinding> {
     out
 }
 
-/// Lint one file's source text. `name` is used in diagnostics and
-/// matched against each rule's path predicate.
-pub fn lint_source(name: &str, source: &str) -> Vec<Diagnostic> {
-    let file = lex(source);
+/// One finding with its waiver status. Waived findings are suppressed
+/// from the default text output but stay visible to `--format json`, so
+/// every `allow(…)` stays auditable.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rendered diagnostic (with call-chain notes when
+    /// interprocedural).
+    pub diag: Diagnostic,
+    /// Whether an `allow(…)` directive covers this finding.
+    pub waived: bool,
+    /// The justification text attached to the directive. `Some("")`
+    /// means a directive without a written reason — CI can reject that
+    /// via `--require-waiver-reasons`.
+    pub waiver_reason: Option<String>,
+}
+
+/// A full workspace lint report: every finding (waived included) plus
+/// the call-graph statistics behind the interprocedural rules.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings in (file, line, col, rule) order.
+    pub findings: Vec<Finding>,
+    /// Call-graph resolution statistics.
+    pub stats: GraphStats,
+}
+
+impl Report {
+    /// Findings not covered by a waiver — the gating set.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Waived findings whose directive carries no written reason.
+    pub fn unexplained_waivers(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.waived && f.waiver_reason.as_deref() == Some(""))
+    }
+}
+
+/// Run the per-file rules over one lexed file, keeping waived findings
+/// (marked) alongside live ones.
+fn file_findings(name: &str, file: &LexedFile) -> Vec<Finding> {
     let mut out = Vec::new();
-    for rule in registry() {
+    for rule in RULES {
+        let RuleCheck::File(check) = rule.check else {
+            continue;
+        };
         if !(rule.applies_to)(name) {
             continue;
         }
-        for f in (rule.check)(&file) {
-            if file.is_allowed(rule.id, f.line) {
-                continue;
-            }
-            out.push(Diagnostic {
-                rule: rule.id,
-                message: f.message,
-                file: name.to_string(),
-                line: f.line,
-                col: f.col,
-                len: f.len,
-                snippet: file.line(f.line).to_string(),
-                hint: rule.hint,
+        for f in check(file) {
+            let waiver = file.waiver_reason(rule.id, f.line).map(str::to_string);
+            out.push(Finding {
+                diag: Diagnostic {
+                    rule: rule.id,
+                    message: f.message,
+                    file: name.to_string(),
+                    line: f.line,
+                    col: f.col,
+                    len: f.len,
+                    snippet: file.line(f.line).to_string(),
+                    hint: rule.hint,
+                    notes: Vec::new(),
+                },
+                waived: waiver.is_some(),
+                waiver_reason: waiver,
             });
         }
     }
-    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
+}
+
+/// Lint one file's source text with waiver status retained.
+pub fn lint_source_findings(name: &str, source: &str) -> Vec<Finding> {
+    let file = lex(source);
+    let mut out = file_findings(name, &file);
+    sort_findings(&mut out);
+    out
+}
+
+/// Lint one file's source text. `name` is used in diagnostics and
+/// matched against each rule's path predicate. Waived findings are
+/// dropped (the historical contract of this entry point).
+pub fn lint_source(name: &str, source: &str) -> Vec<Diagnostic> {
+    lint_source_findings(name, source)
+        .into_iter()
+        .filter(|f| !f.waived)
+        .map(|f| f.diag)
+        .collect()
 }
 
 /// Lint one file from disk.
@@ -521,8 +647,9 @@ pub fn lint_file(path: &Path) -> std::io::Result<Vec<Diagnostic>> {
     Ok(lint_source(&display_path(path), &source))
 }
 
-/// Recursively lint every `.rs` file under each root, in sorted path
-/// order. Directories named `target` are skipped.
+/// Recursively lint every `.rs` file under each root with the per-file
+/// rules, in sorted path order. Directories named `target` or
+/// `fixtures` are skipped.
 pub fn lint_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
     for root in roots {
@@ -537,32 +664,53 @@ pub fn lint_paths(roots: &[PathBuf]) -> std::io::Result<Vec<Diagnostic>> {
     Ok(out)
 }
 
-fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    if path.is_file() {
-        if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path.to_path_buf());
-        }
-        return Ok(());
-    }
-    if path.file_name().is_some_and(|n| n == "target") {
-        return Ok(());
-    }
-    for entry in std::fs::read_dir(path)? {
-        collect_rs_files(&entry?.path(), out)?;
-    }
-    Ok(())
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.diag.file, a.diag.line, a.diag.col, a.diag.rule).cmp(&(
+            &b.diag.file,
+            b.diag.line,
+            b.diag.col,
+            b.diag.rule,
+        ))
+    });
 }
 
-/// The production source trees linted by default: every workspace crate
-/// except the analyzer itself (whose test fixtures contain seeded
-/// violations on purpose).
+/// Run every rule — per-file and interprocedural — over an already
+/// parsed workspace.
+pub fn lint_workspace_parsed(ws: &Workspace) -> Report {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        findings.extend(file_findings(&file.path, &file.lexed));
+    }
+    let (taint_findings, stats) = crate::taint::run(ws);
+    findings.extend(taint_findings);
+    sort_findings(&mut findings);
+    Report { findings, stats }
+}
+
+/// Run every rule over `(path, source)` pairs — the fixture-test entry
+/// point.
+pub fn lint_workspace_sources<P: AsRef<str>, S: AsRef<str>>(sources: &[(P, S)]) -> Report {
+    lint_workspace_parsed(&Workspace::from_sources(sources))
+}
+
+/// Run every rule over all `.rs` files under `roots`: the full
+/// workspace scan behind `stats-analyzer lint` and the CI self-scan.
+pub fn lint_workspace(roots: &[PathBuf]) -> std::io::Result<Report> {
+    Ok(lint_workspace_parsed(&Workspace::load(roots)?))
+}
+
+/// The production source trees linted by default: every workspace
+/// crate, the analyzer included — its own sources must honor the same
+/// contract they enforce. (Deliberately dirty lint-fixture trees are
+/// excluded by the `fixtures` directory skip in the file walk.)
 pub fn default_roots(repo_root: &Path) -> Vec<PathBuf> {
     let crates = repo_root.join("crates");
     let mut roots = Vec::new();
     if let Ok(entries) = std::fs::read_dir(&crates) {
         for entry in entries.flatten() {
             let p = entry.path();
-            if p.is_dir() && p.file_name().is_some_and(|n| n != "analyzer") {
+            if p.is_dir() {
                 roots.push(p);
             }
         }
@@ -758,6 +906,33 @@ mod tests {
                       // stats-analyzer: allow(ND008): diagnostics only\n\
                       let id = thread::current().id(); }";
         assert!(lint_source("crates/autotuner/src/x.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn findings_keep_waived_entries_with_reasons() {
+        let src = "// stats-analyzer: allow(ND002): measurement only\n\
+                   let t = Instant::now();\n\
+                   let u = SystemTime::now();";
+        let all = lint_source_findings("test.rs", src);
+        assert_eq!(all.len(), 2);
+        assert!(all[0].waived);
+        assert_eq!(all[0].waiver_reason.as_deref(), Some("measurement only"));
+        assert!(!all[1].waived);
+        assert_eq!(all[1].waiver_reason, None);
+        // The waived-dropping view sees only the live one.
+        assert_eq!(lint_source("test.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn workspace_report_separates_unwaived_and_unexplained() {
+        let src = "// stats-analyzer: allow(ND003)\n\
+                   use std::collections::HashMap;\n\
+                   use std::collections::HashSet;";
+        let report = lint_workspace_sources(&[("crates/demo/src/lib.rs", src)]);
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.unwaived().count(), 1);
+        // The directive has no written reason, so it shows up here.
+        assert_eq!(report.unexplained_waivers().count(), 1);
     }
 
     #[test]

@@ -1,15 +1,17 @@
 //! `stats-analyzer` — determinism lints and protocol model checking.
 //!
 //! ```text
-//! stats-analyzer lint  [paths...]        # default: every crate except this one
-//! stats-analyzer check [benchmarks...]   # default: swaptions facetrack streamclassifier
-//! stats-analyzer rules                   # list the lint rules
+//! stats-analyzer lint  [options] [paths...]  # default: every workspace crate
+//! stats-analyzer check [benchmarks...]       # default: swaptions facetrack streamclassifier
+//! stats-analyzer rules                       # list the lint rules
 //! ```
 //!
-//! `lint` exits 1 when it finds anything; `check` exits 1 when a protocol
-//! property fails. Both are wired into CI.
+//! `lint` runs every rule — the per-file token patterns *and* the
+//! interprocedural taint pass (ND009–ND011) over the workspace call
+//! graph — and exits 1 when it finds anything unwaived; `check` exits 1
+//! when a protocol property fails. Both are wired into CI.
 
-use stats_analyzer::{lint, model};
+use stats_analyzer::{lint, model, output};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,8 +26,13 @@ fn main() -> ExitCode {
                 "usage: stats-analyzer <command>\n\
                  \n\
                  commands:\n\
-                 \x20 lint  [paths...]       lint .rs files for determinism hazards\n\
-                 \x20                        (default: every workspace crate except the analyzer)\n\
+                 \x20 lint  [options] [paths...]\n\
+                 \x20                        lint .rs files for determinism hazards, including\n\
+                 \x20                        the interprocedural taint rules (default roots:\n\
+                 \x20                        every workspace crate)\n\
+                 \x20                        --format text|json|github   output style\n\
+                 \x20                        --out FILE                  also write the JSON report\n\
+                 \x20                        --require-waiver-reasons    fail on bare allow(..)\n\
                  \x20 check [benchmarks...]  model-check the speculation protocol at small scale\n\
                  \x20                        (default: swaptions facetrack streamclassifier;\n\
                  \x20                        options: --inputs N, --chunks N, --seed N)\n\
@@ -50,34 +57,97 @@ fn repo_root() -> PathBuf {
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
-    let roots: Vec<PathBuf> = if args.is_empty() {
+    let mut format = "text".to_string();
+    let mut out_file: Option<PathBuf> = None;
+    let mut require_reasons = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("text" | "json" | "github")) => format = f.to_string(),
+                _ => {
+                    eprintln!("stats-analyzer: --format needs one of text|json|github");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(f) => out_file = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("stats-analyzer: --out needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--require-waiver-reasons" => require_reasons = true,
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let roots = if paths.is_empty() {
         lint::default_roots(&repo_root())
     } else {
-        args.iter().map(PathBuf::from).collect()
+        paths
     };
     if roots.is_empty() {
         eprintln!("stats-analyzer: no lint roots found (run from the repository)");
         return ExitCode::from(2);
     }
-    let diagnostics = match lint::lint_paths(&roots) {
-        Ok(d) => d,
+    let report = match lint::lint_workspace(&roots) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("stats-analyzer: {e}");
             return ExitCode::from(2);
         }
     };
-    for d in &diagnostics {
-        println!("{d}\n");
+    if let Some(path) = &out_file {
+        if let Err(e) = std::fs::write(path, output::json_report(&report)) {
+            eprintln!("stats-analyzer: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
     }
-    if diagnostics.is_empty() {
-        println!("stats-analyzer: no determinism hazards found");
+    let unwaived = report.unwaived().count();
+    let unexplained = report.unexplained_waivers().count();
+    match format.as_str() {
+        "json" => print!("{}", output::json_report(&report)),
+        "github" => {
+            print!("{}", output::github_annotations(&report));
+            let g = &report.stats;
+            println!(
+                "stats-analyzer: {unwaived} unwaived finding(s), {} waived; call graph: \
+                 {} static site(s), {} edge(s), {} dynamic, {} unresolved",
+                report.findings.len() - unwaived,
+                g.static_sites,
+                g.static_edges,
+                g.dynamic_sites,
+                g.unresolved_sites,
+            );
+        }
+        _ => {
+            for f in report.unwaived() {
+                println!("{}\n", f.diag);
+            }
+            if unwaived == 0 {
+                println!("stats-analyzer: no determinism hazards found");
+            } else {
+                println!(
+                    "stats-analyzer: {unwaived} finding(s); suppress intentional ones with \
+                     `// stats-analyzer: allow(ND00X): reason`"
+                );
+            }
+        }
+    }
+    if require_reasons && unexplained > 0 {
+        for f in report.unexplained_waivers() {
+            eprintln!(
+                "stats-analyzer: {} waiver for {} has no written reason",
+                f.diag.location(),
+                f.diag.rule
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    if unwaived == 0 {
         ExitCode::SUCCESS
     } else {
-        println!(
-            "stats-analyzer: {} finding(s); suppress intentional ones with \
-             `// stats-analyzer: allow(ND00X): reason`",
-            diagnostics.len()
-        );
         ExitCode::FAILURE
     }
 }

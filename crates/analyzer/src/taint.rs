@@ -1,0 +1,660 @@
+//! Interprocedural nondeterminism-taint analysis: ND009, ND010, ND011.
+//!
+//! The single-file rules (ND001–ND008) catch an ambient-entropy read
+//! where it happens; this pass catches it where it *matters* — when the
+//! value can flow into a decision the STATS protocol requires to be
+//! schedule-independent (PAPER.md §II-B).
+//!
+//! * **Sources** are the ND001/ND002/ND003/ND004/ND008 token patterns
+//!   plus `Relaxed` atomic loads used in branch conditions. A source
+//!   whose base rule is waived on its line (e.g. an
+//!   `allow(ND002)`-sanctioned telemetry timestamp) is considered
+//!   sanctioned and does not propagate.
+//! * **Sinks** are the protocol-critical entry points: `update` /
+//!   `states_match` implementations, `Alternative` producers, searcher
+//!   `ask`/`tell` bodies, and every production function in the runtime
+//!   hot paths (`…/runtime/…`, `speculation.rs`).
+//! * **ND009** reports a source that reaches a sink through one or more
+//!   static call hops (the full chain is attached as secondary spans),
+//!   or sits directly inside a sink when no single-file rule covers
+//!   that path (closing the ND008-outside-searcher and `Relaxed`-branch
+//!   holes). Chains never pass *through* another sink: the inner sink
+//!   reports the shorter chain instead.
+//! * **ND010** flags a pool task closure (`scope.spawn(…)` /
+//!   `spawn_urgent(…)` without `move`) that captures `&mut` state from
+//!   the enclosing scope — a static commit-order race check.
+//! * **ND011** audits the escape hatch: a dynamic call (closure
+//!   parameter, `fn` pointer, boxed callable) on a sink-reachable path
+//!   is exactly where taint tracking goes blind, so it must carry a
+//!   waiver asserting the callable is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::callgraph::{CallGraph, FnId, GraphStats, Resolution, Workspace};
+use crate::diag::{Diagnostic, Note};
+use crate::lex::{LexedFile, Tok, TokKind};
+use crate::lint::{hot_path, rule_by_id, searcher_path, Finding};
+
+/// Function names treated as protocol entry points when implemented on a
+/// type or trait.
+const PROTOCOL_FNS: &[&str] = &["update", "states_match"];
+/// Searcher entry points (in searcher paths).
+const SEARCHER_FNS: &[&str] = &["ask", "tell"];
+
+/// One nondeterminism source inside a function body.
+#[derive(Debug, Clone)]
+struct Source {
+    line: usize,
+    col: usize,
+    len: usize,
+    /// Short description, e.g. "`thread_rng` (ambient entropy)".
+    what: String,
+    /// The single-file rule that owns this pattern, if any. `None` for
+    /// the `Relaxed`-load-in-branch pattern, which no file rule covers.
+    base: Option<&'static str>,
+}
+
+/// One sink with a human-readable kind label.
+#[derive(Debug, Clone, Copy)]
+struct Sink {
+    id: FnId,
+    kind: &'static str,
+}
+
+/// Run the interprocedural pass over a workspace. Returns the findings
+/// (waived ones included, marked) and the call-graph statistics.
+pub fn run(ws: &Workspace) -> (Vec<Finding>, GraphStats) {
+    let graph = CallGraph::build(ws);
+    let stats = graph.stats();
+    let sinks = collect_sinks(ws);
+    let sink_set: BTreeSet<FnId> = sinks.iter().map(|s| s.id).collect();
+    let sources = collect_sources(ws);
+    let mut findings = Vec::new();
+    nd009(ws, &graph, &sinks, &sink_set, &sources, &mut findings);
+    nd010(ws, &mut findings);
+    nd011(ws, &graph, &sink_set, &mut findings);
+    (findings, stats)
+}
+
+/// Identify every sink function in the workspace.
+fn collect_sinks(ws: &Workspace) -> Vec<Sink> {
+    let mut sinks = Vec::new();
+    for (id, def) in ws.iter_fns() {
+        if def.test_only || def.body.is_none() {
+            continue;
+        }
+        let path = &ws.file_of(id).path;
+        let kind = if PROTOCOL_FNS.contains(&def.name.as_str())
+            && (def.self_ty.is_some() || def.trait_name.is_some())
+        {
+            Some("protocol function")
+        } else if SEARCHER_FNS.contains(&def.name.as_str()) && searcher_path(path) {
+            Some("searcher entry point")
+        } else if produces_alternatives(ws, id) {
+            Some("Alternative producer")
+        } else if hot_path(path) {
+            Some("runtime hot-path function")
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            sinks.push(Sink { id, kind });
+        }
+    }
+    sinks
+}
+
+/// Whether a function's signature mentions `Alternative` after `->`
+/// (i.e. it hands speculation alternatives to the runtime).
+fn produces_alternatives(ws: &Workspace, id: FnId) -> bool {
+    let def = ws.fn_def(id);
+    let toks = &ws.file_of(id).lexed.tokens;
+    let (start, end) = def.sig;
+    let mut seen_arrow = false;
+    for j in start..end.min(toks.len()) {
+        if toks[j].is_punct('-') && toks.get(j + 1).is_some_and(|t| t.is_punct('>')) {
+            seen_arrow = true;
+        }
+        if seen_arrow && toks[j].is_ident("Alternative") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scan every production function body for sources.
+fn collect_sources(ws: &Workspace) -> BTreeMap<FnId, Vec<Source>> {
+    let mut map = BTreeMap::new();
+    for (id, def) in ws.iter_fns() {
+        if def.test_only {
+            continue;
+        }
+        let Some(range) = def.body else { continue };
+        let srcs = sources_in(&ws.file_of(id).lexed, range);
+        if !srcs.is_empty() {
+            map.insert(id, srcs);
+        }
+    }
+    map
+}
+
+/// Token-pattern source scan over one body range.
+fn sources_in(file: &LexedFile, (start, end): (usize, usize)) -> Vec<Source> {
+    const RNG_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+    let toks = &file.tokens;
+    let end = end.min(toks.len());
+    let mut out = Vec::new();
+    let at = |t: &Tok, len: usize, what: String, base: Option<&'static str>| Source {
+        line: t.line,
+        col: t.col,
+        len,
+        what,
+        base,
+    };
+    for j in start..end {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name_len = t.text.chars().count();
+        if RNG_IDENTS.contains(&t.text.as_str()) {
+            out.push(at(
+                t,
+                name_len,
+                format!("`{}` (ambient entropy)", t.text),
+                Some("ND001"),
+            ));
+        } else if (t.text == "Instant" || t.text == "SystemTime")
+            && toks.get(j + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|a| a.is_punct(':'))
+            && toks.get(j + 3).is_some_and(|a| a.is_ident("now"))
+        {
+            out.push(at(
+                t,
+                name_len + "::now".len(),
+                format!("`{}::now` (wall clock)", t.text),
+                Some("ND002"),
+            ));
+        } else if t.text == "HashMap" || t.text == "HashSet" {
+            out.push(at(
+                t,
+                name_len,
+                format!("`{}` (unordered iteration)", t.text),
+                Some("ND003"),
+            ));
+        } else if t.is_ident("static") && toks.get(j + 1).is_some_and(|a| a.is_ident("mut")) {
+            out.push(at(
+                t,
+                "static mut".len(),
+                "`static mut` (hidden mutable state)".to_string(),
+                Some("ND004"),
+            ));
+        } else if t.is_ident("thread_local") && toks.get(j + 1).is_some_and(|a| a.is_punct('!')) {
+            out.push(at(
+                t,
+                "thread_local!".len(),
+                "`thread_local!` (hidden mutable state)".to_string(),
+                Some("ND004"),
+            ));
+        } else if t.text == "thread"
+            && toks.get(j + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|a| a.is_punct(':'))
+            && toks.get(j + 3).is_some_and(|a| a.is_ident("current"))
+        {
+            out.push(at(
+                t,
+                "thread::current".len(),
+                "`thread::current` (thread identity)".to_string(),
+                Some("ND008"),
+            ));
+        } else if t.text == "available_parallelism" {
+            out.push(at(
+                t,
+                name_len,
+                "`available_parallelism` (host width)".to_string(),
+                Some("ND008"),
+            ));
+        }
+    }
+    // `Relaxed` atomic loads in `if`/`while` conditions: the loaded value
+    // steers control flow, and relaxed ordering makes which write it sees
+    // schedule-dependent. No single-file rule covers this pattern.
+    let mut j = start;
+    while j < end {
+        if toks[j].is_ident("if") || toks[j].is_ident("while") {
+            let cond_end = condition_end(toks, j + 1, end);
+            for k in j + 1..cond_end {
+                if toks[k].is_ident("load")
+                    && k > 0
+                    && toks[k - 1].is_punct('.')
+                    && toks.get(k + 1).is_some_and(|a| a.is_punct('('))
+                {
+                    let close = paren_end(toks, k + 1, end);
+                    if toks[k + 1..close].iter().any(|a| a.is_ident("Relaxed")) {
+                        out.push(Source {
+                            line: toks[k].line,
+                            col: toks[k].col,
+                            len: "load".len(),
+                            what: "`.load(Relaxed)` in a branch condition".to_string(),
+                            base: None,
+                        });
+                    }
+                }
+            }
+            j = cond_end;
+            continue;
+        }
+        j += 1;
+    }
+    out.sort_by_key(|s| (s.line, s.col));
+    out.dedup_by_key(|s| (s.line, s.col));
+    out
+}
+
+/// First `{` at bracket depth 0 after `start` (the end of an `if`/
+/// `while` condition).
+fn condition_end(toks: &[Tok], start: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct('{') && depth == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Index just past the paren matching `toks[open]`.
+fn paren_end(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+/// ND009: breadth-first search from each sink over static call edges.
+fn nd009(
+    ws: &Workspace,
+    graph: &CallGraph,
+    sinks: &[Sink],
+    sink_set: &BTreeSet<FnId>,
+    sources: &BTreeMap<FnId, Vec<Source>>,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = rule_by_id("ND009");
+    for sink in sinks {
+        let sink_def = ws.fn_def(sink.id);
+        let sink_file = ws.file_of(sink.id);
+        // parent[v] = (caller, site index) on the shortest path from the
+        // sink; the sink itself has no parent.
+        let mut parent: BTreeMap<FnId, (FnId, usize)> = BTreeMap::new();
+        let mut depth: BTreeMap<FnId, usize> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        depth.insert(sink.id, 0);
+        queue.push_back(sink.id);
+        while let Some(u) = queue.pop_front() {
+            let d = depth[&u];
+            if let Some(srcs) = sources.get(&u) {
+                for src in srcs {
+                    // Depth 0 is the sink's own body: single-file rules
+                    // already police it wherever they apply, so only
+                    // report patterns those rules do not cover here.
+                    let covered_by_file_rule = d == 0
+                        && src
+                            .base
+                            .is_some_and(|b| (rule_by_id(b).applies_to)(&ws.file_of(u).path));
+                    if covered_by_file_rule {
+                        continue;
+                    }
+                    // A waived base rule sanctions the source outright.
+                    if let Some(base) = src.base {
+                        if ws.file_of(u).lexed.is_allowed(base, src.line) {
+                            continue;
+                        }
+                    }
+                    findings.push(build_nd009_finding(
+                        ws, graph, rule, sink, sink_def, sink_file, u, src, &parent,
+                    ));
+                }
+            }
+            for &site_idx in graph.sites_of(u) {
+                let site = &graph.sites[site_idx];
+                let Resolution::Static(cands) = &site.resolution else {
+                    continue;
+                };
+                for &v in cands {
+                    if depth.contains_key(&v) || sink_set.contains(&v) {
+                        continue;
+                    }
+                    depth.insert(v, d + 1);
+                    parent.insert(v, (u, site_idx));
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    // Rebuild in deterministic order and drop duplicate chains that
+    // report the same source from the same sink.
+    findings.sort_by(|a, b| {
+        (
+            &a.diag.file,
+            a.diag.line,
+            a.diag.col,
+            a.diag.rule,
+            &a.diag.message,
+        )
+            .cmp(&(
+                &b.diag.file,
+                b.diag.line,
+                b.diag.col,
+                b.diag.rule,
+                &b.diag.message,
+            ))
+    });
+    findings.dedup_by(|a, b| {
+        a.diag.rule == b.diag.rule
+            && a.diag.file == b.diag.file
+            && a.diag.line == b.diag.line
+            && a.diag.col == b.diag.col
+            && a.diag.message == b.diag.message
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_nd009_finding(
+    ws: &Workspace,
+    graph: &CallGraph,
+    rule: &'static crate::lint::Rule,
+    sink: &Sink,
+    sink_def: &crate::ast::FnDef,
+    sink_file: &crate::ast::ParsedFile,
+    tainted: FnId,
+    src: &Source,
+    parent: &BTreeMap<FnId, (FnId, usize)>,
+) -> Finding {
+    let chain = chain_to(tainted, parent);
+    let hops = chain.len();
+    let src_file = ws.file_of(tainted);
+    let message = if hops == 0 {
+        format!("{} inside {} `{}`", src.what, sink.kind, sink_def.display())
+    } else {
+        format!(
+            "{} reaches {} `{}` through {} call{}",
+            src.what,
+            sink.kind,
+            sink_def.display(),
+            hops,
+            if hops == 1 { "" } else { "s" }
+        )
+    };
+    let mut notes = vec![Note {
+        label: format!("{} `{}` declared here", sink.kind, sink_def.display()),
+        file: sink_file.path.clone(),
+        line: sink_def.line,
+        col: sink_def.col,
+        len: "fn ".len() + sink_def.name.chars().count(),
+        snippet: sink_file.lexed.line(sink_def.line).to_string(),
+    }];
+    // Hop notes, sink-to-source order. Each hop is a call site inside
+    // the caller's file.
+    for (i, &(caller, site_idx, callee)) in chain.iter().enumerate() {
+        let site = &graph.sites[site_idx];
+        let caller_file = ws.file_of(caller);
+        notes.push(Note {
+            label: format!(
+                "hop {}: `{}` calls `{}`",
+                i + 1,
+                ws.fn_def(caller).name,
+                ws.display_fn(callee)
+            ),
+            file: caller_file.path.clone(),
+            line: site.line,
+            col: site.col,
+            len: site.len,
+            snippet: caller_file.lexed.line(site.line).to_string(),
+        });
+    }
+    // Waiver: ND009 can be allowed at the source line, at the sink's
+    // declaration line, or at any hop's call site.
+    let mut waiver = src_file
+        .lexed
+        .waiver_reason("ND009", src.line)
+        .map(str::to_string);
+    if waiver.is_none() {
+        waiver = sink_file
+            .lexed
+            .waiver_reason("ND009", sink_def.line)
+            .map(str::to_string);
+    }
+    if waiver.is_none() {
+        for &(caller, site_idx, _) in &chain {
+            let site = &graph.sites[site_idx];
+            if let Some(r) = ws.file_of(caller).lexed.waiver_reason("ND009", site.line) {
+                waiver = Some(r.to_string());
+                break;
+            }
+        }
+    }
+    Finding {
+        diag: Diagnostic {
+            rule: rule.id,
+            message,
+            file: src_file.path.clone(),
+            line: src.line,
+            col: src.col,
+            len: src.len,
+            snippet: src_file.lexed.line(src.line).to_string(),
+            hint: rule.hint,
+            notes,
+        },
+        waived: waiver.is_some(),
+        waiver_reason: waiver,
+    }
+}
+
+/// Walk `parent` pointers from `tainted` back to the sink, returning the
+/// chain in sink-to-source order as `(caller, site index, callee)`.
+fn chain_to(tainted: FnId, parent: &BTreeMap<FnId, (FnId, usize)>) -> Vec<(FnId, usize, FnId)> {
+    let mut rev = Vec::new();
+    let mut cur = tainted;
+    while let Some(&(prev, site)) = parent.get(&cur) {
+        rev.push((prev, site, cur));
+        cur = prev;
+    }
+    rev.reverse();
+    rev
+}
+
+/// ND010: non-`move` pool task closures capturing `&mut` state.
+fn nd010(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let rule = rule_by_id("ND010");
+    for (id, def) in ws.iter_fns() {
+        if def.test_only {
+            continue;
+        }
+        let file = ws.file_of(id);
+        if !hot_path(&file.path) {
+            continue;
+        }
+        let Some((start, end)) = def.body else {
+            continue;
+        };
+        let toks = &file.lexed.tokens;
+        let end = end.min(toks.len());
+        for j in start..end {
+            // `.spawn(` / `.spawn_urgent(` …
+            let is_spawn = toks[j].kind == TokKind::Ident
+                && (toks[j].text == "spawn" || toks[j].text == "spawn_urgent")
+                && j > 0
+                && toks[j - 1].is_punct('.')
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('('));
+            if !is_spawn {
+                continue;
+            }
+            let open = j + 1;
+            // … with a closure argument that does NOT take ownership.
+            if !toks.get(open + 1).is_some_and(|t| t.is_punct('|')) {
+                continue; // `move |…|` or a non-closure argument
+            }
+            let close = paren_end(toks, open, end);
+            // Names bound inside the closure (params and lets) may be
+            // borrowed mutably without racing the enclosing scope.
+            let mut bound = BTreeSet::new();
+            let params_close = toks[open + 2..close]
+                .iter()
+                .position(|t| t.is_punct('|'))
+                .map(|p| open + 2 + p)
+                .unwrap_or(close);
+            for t in &toks[open + 2..params_close] {
+                if t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref" {
+                    bound.insert(t.text.clone());
+                }
+            }
+            for k in params_close..close {
+                if toks[k].is_ident("let") {
+                    if let Some(n) = toks.get(k + 1) {
+                        if n.kind == TokKind::Ident {
+                            bound.insert(n.text.clone());
+                        }
+                        if n.is_ident("mut") {
+                            if let Some(n2) = toks.get(k + 2) {
+                                if n2.kind == TokKind::Ident {
+                                    bound.insert(n2.text.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // `&mut name` where `name` comes from outside the closure.
+            for k in params_close..close {
+                if toks[k].is_punct('&')
+                    && toks.get(k + 1).is_some_and(|t| t.is_ident("mut"))
+                    && toks
+                        .get(k + 2)
+                        .is_some_and(|t| t.kind == TokKind::Ident && !bound.contains(&t.text))
+                {
+                    let name = &toks[k + 2];
+                    let amp = &toks[k];
+                    let len = if name.line == amp.line {
+                        name.col + name.text.chars().count() - amp.col
+                    } else {
+                        "&mut ".len() + name.text.chars().count()
+                    };
+                    let waiver = file
+                        .lexed
+                        .waiver_reason("ND010", amp.line)
+                        .map(str::to_string);
+                    findings.push(Finding {
+                        diag: Diagnostic {
+                            rule: rule.id,
+                            message: format!(
+                                "pool task closure captures `&mut {}` from the enclosing scope",
+                                name.text
+                            ),
+                            file: file.path.clone(),
+                            line: amp.line,
+                            col: amp.col,
+                            len,
+                            snippet: file.lexed.line(amp.line).to_string(),
+                            hint: rule.hint,
+                            notes: vec![Note {
+                                label: format!(
+                                    "spawned outside the scoped-borrow API in `{}`",
+                                    def.display()
+                                ),
+                                file: file.path.clone(),
+                                line: def.line,
+                                col: def.col,
+                                len: "fn ".len() + def.name.chars().count(),
+                                snippet: file.lexed.line(def.line).to_string(),
+                            }],
+                        },
+                        waived: waiver.is_some(),
+                        waiver_reason: waiver,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// ND011: unwaived dynamic calls on sink-reachable paths.
+fn nd011(
+    ws: &Workspace,
+    graph: &CallGraph,
+    sink_set: &BTreeSet<FnId>,
+    findings: &mut Vec<Finding>,
+) {
+    let rule = rule_by_id("ND011");
+    // Forward closure: every function a sink can reach (including the
+    // sinks themselves) is a place where blind dispatch breaks tracing.
+    let mut reachable: BTreeSet<FnId> = sink_set.clone();
+    let mut queue: VecDeque<FnId> = sink_set.iter().copied().collect();
+    while let Some(u) = queue.pop_front() {
+        for &site_idx in graph.sites_of(u) {
+            if let Resolution::Static(cands) = &graph.sites[site_idx].resolution {
+                for &v in cands {
+                    if reachable.insert(v) {
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+    for site in &graph.sites {
+        if site.resolution != Resolution::Dynamic
+            || !reachable.contains(&site.caller)
+            || ws.fn_def(site.caller).test_only
+        {
+            continue;
+        }
+        let def = ws.fn_def(site.caller);
+        let file = ws.file_of(site.caller);
+        let waiver = file
+            .lexed
+            .waiver_reason("ND011", site.line)
+            .map(str::to_string);
+        findings.push(Finding {
+            diag: Diagnostic {
+                rule: rule.id,
+                message: format!(
+                    "dynamic call via `{}` on a sink-reachable path cannot be traced",
+                    site.name
+                ),
+                file: file.path.clone(),
+                line: site.line,
+                col: site.col,
+                len: site.len,
+                snippet: file.lexed.line(site.line).to_string(),
+                hint: rule.hint,
+                notes: vec![Note {
+                    label: format!("`{}` is reachable from a protocol sink", def.display()),
+                    file: file.path.clone(),
+                    line: def.line,
+                    col: def.col,
+                    len: "fn ".len() + def.name.chars().count(),
+                    snippet: file.lexed.line(def.line).to_string(),
+                }],
+            },
+            waived: waiver.is_some(),
+            waiver_reason: waiver,
+        });
+    }
+}

@@ -1,0 +1,9 @@
+//! Helper module: the ambient draw is two calls away from the sink.
+
+pub fn jitter() -> u64 {
+    ambient_draw() % 7
+}
+
+fn ambient_draw() -> u64 {
+    rand::thread_rng().gen()
+}

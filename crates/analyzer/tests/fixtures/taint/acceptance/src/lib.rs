@@ -1,0 +1,14 @@
+//! ND009 acceptance fixture: `thread_rng()` in another module reaches a
+//! protocol `update` through two helper calls.
+
+pub mod helpers;
+
+pub struct Pipeline {
+    state: u64,
+}
+
+impl Pipeline {
+    pub fn update(&mut self) {
+        self.state = self.state.wrapping_add(helpers::jitter());
+    }
+}

@@ -1,0 +1,12 @@
+//! ND009 cross-crate fixture: the sink lives here, the wall-clock read
+//! lives in `stats-crate-b`.
+
+pub struct Model {
+    last: u64,
+}
+
+impl Model {
+    pub fn update(&mut self) {
+        self.last = stats_crate_b::util::noisy_delay();
+    }
+}

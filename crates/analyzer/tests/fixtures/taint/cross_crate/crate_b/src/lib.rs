@@ -1,0 +1,3 @@
+//! The noisy dependency crate for the cross-crate ND009 fixture.
+
+pub mod util;

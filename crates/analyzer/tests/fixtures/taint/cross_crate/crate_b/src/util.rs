@@ -1,0 +1,6 @@
+//! The wall-clock read the taint pass must trace across the crate edge.
+
+pub fn noisy_delay() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

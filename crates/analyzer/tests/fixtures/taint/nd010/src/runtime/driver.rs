@@ -1,0 +1,37 @@
+//! ND010 fixture (hot-path file): a non-`move` pool task closure that
+//! mutably captures enclosing-scope state, next to two clean variants.
+
+pub struct PoolScope;
+
+impl PoolScope {
+    pub fn spawn<F: FnOnce()>(&self, _f: F) {}
+}
+
+fn add_chunk(total: &mut u64) {
+    *total += 1;
+}
+
+/// True positive: `total` lives in the enclosing frame and the closure
+/// borrows it mutably without taking ownership.
+pub fn drive_bad(scope: &PoolScope) -> u64 {
+    let mut total = 0u64;
+    scope.spawn(|| add_chunk(&mut total));
+    total
+}
+
+/// True negative: a `move` closure owns its captures.
+pub fn drive_good(scope: &PoolScope) -> u64 {
+    let mut total = 0u64;
+    scope.spawn(move || {
+        total += 1;
+    });
+    total
+}
+
+/// True negative: the `&mut` target is bound inside the closure.
+pub fn drive_local(scope: &PoolScope) {
+    scope.spawn(|| {
+        let mut local = 0u64;
+        add_chunk(&mut local);
+    });
+}

@@ -1,0 +1,11 @@
+//! ND011 fixture (hot-path file): dynamic dispatch on sink-reachable
+//! paths, with and without a waiver.
+
+pub fn run_task(task: fn() -> u64) -> u64 {
+    task()
+}
+
+pub fn run_task_waived(task: fn() -> u64) -> u64 {
+    // stats-analyzer: allow(ND011): fixture: callable audited deterministic
+    task()
+}

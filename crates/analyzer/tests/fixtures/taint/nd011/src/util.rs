@@ -1,0 +1,5 @@
+//! ND011 true negative: dynamic dispatch in a module no sink can reach.
+
+pub fn free_dispatch(f: fn() -> u64) -> u64 {
+    f()
+}

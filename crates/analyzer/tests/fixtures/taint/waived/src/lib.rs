@@ -1,0 +1,64 @@
+//! Waiver-placement fixture: four identical source→sink chains, each
+//! suppressed (or not) a different way.
+//!
+//! * `A`: `allow(ND009)` on the *source* line — waived.
+//! * `B`: `allow(ND009)` on a *hop* call site — waived.
+//! * `C`: `allow(ND009)` on the *sink declaration* — waived.
+//! * `D`: `allow(ND002)` (the base rule) on the source line — the source
+//!   is sanctioned outright, so no ND009 finding exists at all.
+
+pub struct A;
+
+impl A {
+    pub fn update(&mut self) {
+        helper_a();
+    }
+}
+
+fn helper_a() -> u64 {
+    // stats-analyzer: allow(ND009): fixture: the value never reaches a decision
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub struct B;
+
+impl B {
+    pub fn update(&mut self) {
+        // stats-analyzer: allow(ND009): fixture: audited call into a noisy helper
+        helper_b();
+    }
+}
+
+fn helper_b() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub struct C;
+
+impl C {
+    // stats-analyzer: allow(ND009): fixture: the whole sink is audited
+    pub fn update(&mut self) {
+        helper_c();
+    }
+}
+
+fn helper_c() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub struct D;
+
+impl D {
+    pub fn update(&mut self) {
+        helper_d();
+    }
+}
+
+fn helper_d() -> u64 {
+    // stats-analyzer: allow(ND002): fixture: telemetry timestamp, decisions untouched
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

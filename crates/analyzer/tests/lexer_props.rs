@@ -1,0 +1,240 @@
+//! Property tests for the hermetic lexer, using the vendored `proptest`.
+//!
+//! The lexer underpins every lint rule and the whole interprocedural
+//! pass, so its contract is pinned down generatively:
+//!
+//! * it never panics, whatever soup it is fed;
+//! * token positions are monotonically increasing and in-bounds;
+//! * structured token streams round-trip (text and kind preserved for
+//!   identifiers — raw ones included — numbers, lifetimes, puncts);
+//! * opaque literals (strings, raw strings, byte strings, chars) never
+//!   leak their contents into the token stream;
+//! * waiver directives round-trip through `waiver_reason`.
+
+use proptest::prelude::*;
+use proptest::{collection, sample};
+use stats_analyzer::lex::{lex, TokKind};
+
+/// Fragments chosen to stress every lexer mode and mode transition:
+/// string/comment openers and closers, raw-string hash fences, raw
+/// identifiers, escapes, and plain code.
+const SOUP: &[&str] = &[
+    "ident",
+    "_x9",
+    "r#fn",
+    "r#type",
+    "fn",
+    "let",
+    "42",
+    "0x1f",
+    "1_000.5",
+    "'a",
+    "'\\n'",
+    "'q'",
+    "\"str\\\"esc\"",
+    "\"unterminated",
+    "r\"raw\"",
+    "r#\"raw#\"#",
+    "r##\"x\"#y\"##",
+    "b\"bytes\"",
+    "b'\\x7f'",
+    "br#\"rawbytes\"#",
+    "// line comment",
+    "/* block",
+    "*/",
+    "/* nested /* deep */ */",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "::",
+    ";",
+    ",",
+    "->",
+    "=>",
+    "&",
+    "|",
+    "#",
+    "!",
+    "#!",
+    "\n",
+    "\n\n",
+    " ",
+    "\t",
+    "é",
+    "λ",
+    "€",
+    "stats-analyzer: allow(ND001): not a comment",
+];
+
+/// A strategy producing adversarial source text from [`SOUP`] fragments.
+fn soup_source() -> impl Strategy<Value = String> {
+    collection::vec((any::<sample::Index>(), any::<bool>()), 0..40).prop_map(|picks| {
+        let mut out = String::new();
+        for (idx, space) in picks {
+            out.push_str(SOUP[idx.index(SOUP.len())]);
+            if space {
+                out.push(' ');
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #[test]
+    fn lexing_arbitrary_soup_never_panics_and_positions_are_ordered(src in soup_source()) {
+        let file = lex(&src);
+        let line_count = src.lines().count().max(1);
+        let mut prev = (0usize, 0usize);
+        for t in &file.tokens {
+            prop_assert!(t.line >= 1 && t.col >= 1, "1-based positions: {t:?}");
+            prop_assert!(
+                t.line <= line_count,
+                "token line {} beyond {} lines",
+                t.line,
+                line_count
+            );
+            prop_assert!(
+                (t.line, t.col) > prev,
+                "positions must strictly increase: {prev:?} then {t:?}"
+            );
+            prop_assert!(!t.text.is_empty(), "empty token text: {t:?}");
+            prev = (t.line, t.col);
+        }
+    }
+
+    #[test]
+    fn opaque_literals_never_leak_contents(src in soup_source()) {
+        // Whatever the fragment mix, a Literal token is either a number
+        // (starts alphanumeric) or the fixed opaque forms.
+        for t in lex(&src).tokens.iter().filter(|t| t.kind == TokKind::Literal) {
+            let opaque = t.text == "\"\"" || t.text == "''";
+            let number = t.text.starts_with(|c: char| c.is_ascii_digit());
+            prop_assert!(opaque || number, "literal leaked contents: {t:?}");
+        }
+    }
+}
+
+/// Tokens whose text survives lexing verbatim, for round-trip checks.
+/// (Kind, text as written, expected token text.)
+const ROUND_TRIP: &[(TokKind, &str, &str)] = &[
+    (TokKind::Ident, "alpha", "alpha"),
+    (TokKind::Ident, "_under_score9", "_under_score9"),
+    (TokKind::Ident, "r#fn", "r#fn"),
+    (TokKind::Ident, "r#match", "r#match"),
+    (TokKind::Ident, "thread_rng", "thread_rng"),
+    (TokKind::Literal, "42", "42"),
+    (TokKind::Literal, "0x1f", "0x1f"),
+    (TokKind::Literal, "9_000", "9_000"),
+    (TokKind::Lifetime, "'scope", "scope"),
+    (TokKind::Lifetime, "'_", "_"),
+    (TokKind::Punct, "{", "{"),
+    (TokKind::Punct, "}", "}"),
+    (TokKind::Punct, ";", ";"),
+    (TokKind::Punct, "&", "&"),
+    (TokKind::Punct, "#", "#"),
+];
+
+proptest! {
+    #[test]
+    fn structured_token_streams_round_trip(
+        picks in collection::vec(any::<sample::Index>(), 1..30),
+        shebang in any::<bool>(),
+    ) {
+        let chosen: Vec<_> = picks.iter().map(|i| ROUND_TRIP[i.index(ROUND_TRIP.len())]).collect();
+        let mut src = String::new();
+        if shebang {
+            // A shebang line must be skipped without disturbing positions.
+            src.push_str("#!/usr/bin/env run\n");
+        }
+        for (_, written, _) in &chosen {
+            src.push_str(written);
+            src.push(' ');
+        }
+        let file = lex(&src);
+        prop_assert_eq!(file.tokens.len(), chosen.len());
+        for (tok, (kind, _, expect)) in file.tokens.iter().zip(&chosen) {
+            prop_assert_eq!(tok.kind, *kind, "kind mismatch: {:?}", tok);
+            prop_assert_eq!(&tok.text, expect, "text mismatch: {:?}", tok);
+        }
+    }
+}
+
+/// Reason words for waiver round-trips (no `)` or newline, which would
+/// end the directive or the comment).
+const REASONS: &[&str] = &[
+    "telemetry timestamp only",
+    "fixture",
+    "audited: cannot reach a decision",
+    "width sizes the executor",
+];
+
+proptest! {
+    #[test]
+    fn waiver_directives_round_trip(
+        rule_num in 1usize..=11,
+        which in any::<sample::Index>(),
+        with_reason in any::<bool>(),
+    ) {
+        let rule = format!("ND{rule_num:03}");
+        let reason = REASONS[which.index(REASONS.len())];
+        let directive = if with_reason {
+            format!("// stats-analyzer: allow({rule}): {reason}")
+        } else {
+            format!("// stats-analyzer: allow({rule})")
+        };
+        let src = format!("{directive}\nlet t = Instant::now();\nlet u = 1;");
+        let file = lex(&src);
+        // The directive covers its own line and the next one…
+        prop_assert!(file.is_allowed(&rule, 1));
+        prop_assert!(file.is_allowed(&rule, 2));
+        prop_assert_eq!(
+            file.waiver_reason(&rule, 2),
+            Some(if with_reason { reason } else { "" })
+        );
+        // …but not the line after, and never a different rule.
+        prop_assert!(!file.is_allowed(&rule, 3));
+        let other = if rule_num == 1 { "ND002" } else { "ND001" };
+        prop_assert!(!file.is_allowed(other, 2));
+    }
+}
+
+proptest! {
+    #[test]
+    fn raw_string_fences_of_any_depth_stay_opaque(
+        hashes in 0usize..=4,
+        byte_prefix in any::<bool>(),
+        content in collection::vec(any::<sample::Index>(), 0..6),
+    ) {
+        const INSIDE: &[&str] = &["plain", "\"", "#", "\"#ident", "thread_rng", "{"];
+        let fence = "#".repeat(hashes);
+        let mut body = String::new();
+        for i in &content {
+            let frag = INSIDE[i.index(INSIDE.len())];
+            body.push_str(frag);
+            body.push(' ');
+        }
+        // Never embed the closing fence itself.
+        prop_assume!(!body.contains(&format!("\"{fence}")) || hashes == 0);
+        if hashes == 0 {
+            prop_assume!(!body.contains('"'));
+        }
+        let prefix = if byte_prefix { "br" } else { "r" };
+        let src = format!("let s = {prefix}{fence}\"{body}\"{fence}; after");
+        let file = lex(&src);
+        let lits: Vec<_> = file
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .collect();
+        prop_assert_eq!(lits.len(), 1, "one opaque literal: {:?}", file.tokens);
+        prop_assert_eq!(&lits[0].text, "\"\"");
+        // Nothing inside the raw string surfaced as an identifier, and
+        // the trailing code is still tokenized.
+        prop_assert!(!file.tokens.iter().any(|t| t.is_ident("thread_rng")));
+        prop_assert!(file.tokens.iter().any(|t| t.is_ident("after")));
+    }
+}
