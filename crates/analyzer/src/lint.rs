@@ -19,10 +19,11 @@
 //! | ND009 | transitive: a source reaching a protocol sink through calls |
 //! | ND010 | pool task closure capturing `&mut` enclosing-scope state |
 //! | ND011 | unwaived dynamic dispatch on a sink-reachable path |
+//! | ND012 | direct wall-clock read in a runtime hot path (use the telemetry clock) |
 //!
-//! ND001–ND008 are single-file token-pattern checks. ND009–ND011 run on
-//! the workspace call graph (see [`crate::taint`]) and are only produced
-//! by [`lint_workspace`]; the per-file entry points skip them.
+//! ND001–ND008 and ND012 are single-file token-pattern checks. ND009–ND011
+//! run on the workspace call graph (see [`crate::taint`]) and are only
+//! produced by [`lint_workspace`]; the per-file entry points skip them.
 //!
 //! A finding is suppressed by a comment on the same or the preceding
 //! line: `// stats-analyzer: allow(ND002): reason`.
@@ -218,6 +219,16 @@ pub static RULES: &[Rule] = &[
         applies_to: any_path,
         check: RuleCheck::Workspace,
     },
+    Rule {
+        id: "ND012",
+        summary: "direct wall-clock read in a runtime hot path",
+        hint: "stamp through stats_telemetry::clock::monotonic_ns(), the single \
+               sanctioned wall-clock read: it keeps timestamps observation-only \
+               (one waived site to audit instead of many), and shares one epoch \
+               so per-worker spans are comparable",
+        applies_to: hot_path,
+        check: RuleCheck::File(check_hot_path_wall_clock),
+    },
 ];
 
 /// The registry of all rules, in id order.
@@ -253,7 +264,10 @@ fn check_ambient_randomness(file: &LexedFile) -> Vec<RawFinding> {
         .collect()
 }
 
-fn check_wall_clock(file: &LexedFile) -> Vec<RawFinding> {
+/// `Instant::now` / `SystemTime::now` call sites (shared by ND002 and
+/// its hot-path-scoped sibling ND012, which differ only in scope and
+/// remedy).
+fn wall_clock_reads(file: &LexedFile, message: fn(&str) -> String) -> Vec<RawFinding> {
     let mut out = Vec::new();
     let toks = &file.tokens;
     for (i, t) in toks.iter().enumerate() {
@@ -265,12 +279,22 @@ fn check_wall_clock(file: &LexedFile) -> Vec<RawFinding> {
                 out.push(RawFinding::at(
                     t,
                     t.text.chars().count() + "::now".len(),
-                    format!("`{}::now` reads the wall clock", t.text),
+                    message(&t.text),
                 ));
             }
         }
     }
     out
+}
+
+fn check_wall_clock(file: &LexedFile) -> Vec<RawFinding> {
+    wall_clock_reads(file, |clock| format!("`{clock}::now` reads the wall clock"))
+}
+
+fn check_hot_path_wall_clock(file: &LexedFile) -> Vec<RawFinding> {
+    wall_clock_reads(file, |clock| {
+        format!("`{clock}::now` in a runtime hot path bypasses the telemetry clock")
+    })
 }
 
 fn check_unordered_iteration(file: &LexedFile) -> Vec<RawFinding> {

@@ -1,0 +1,14 @@
+//! Fixture: direct wall-clock reads inside a runtime hot path. Each
+//! read fires both the global ND002 and the hot-path-scoped ND012; the
+//! waived site (sanctioned for both rules on one directive line) is
+//! reported by neither.
+
+use std::time::{Instant, SystemTime};
+
+fn worker_loop() {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    // stats-analyzer: allow(ND002): profiling timestamp stats-analyzer: allow(ND012): routed through the span recorder, never protocol logic
+    let sanctioned = Instant::now();
+    let _ = (started, wall, sanctioned);
+}

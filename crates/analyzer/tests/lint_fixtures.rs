@@ -130,6 +130,34 @@ fn hot_spawn_rule_exempts_the_pool_module() {
 }
 
 #[test]
+fn hot_clock_fixture_fires_both_wall_clock_rules_and_honors_the_waiver() {
+    let diags = fixture("runtime/bad_hot_clock.rs");
+    let mut ids = rules(&diags);
+    ids.sort_unstable();
+    // Two unwaived reads, each hit by the global rule and the hot-path
+    // rule; the sanctioned read is waived for both on one line.
+    assert_eq!(ids, ["ND002", "ND002", "ND012", "ND012"]);
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("bypasses the telemetry clock")));
+    assert!(diags.iter().all(|d| !d.snippet.contains("sanctioned")));
+    // The import line never fires.
+    assert!(diags.iter().all(|d| d.line != 6), "{diags:?}");
+}
+
+#[test]
+fn hot_clock_rule_is_path_scoped() {
+    // Outside the runtime hot paths the same source keeps the global
+    // ND002 findings but gains no ND012: the sharper rule is about the
+    // executor, not about wall clocks in general.
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/runtime/bad_hot_clock.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    let diags = stats_analyzer::lint::lint_source("crates/bench/src/table1.rs", &source);
+    assert_eq!(rules(&diags), ["ND002", "ND002"], "{diags:#?}");
+}
+
+#[test]
 fn ambient_searcher_fixture_flags_ask_tell_reads_but_honors_waivers() {
     let diags = fixture("autotuner/bad_ambient_searcher.rs");
     assert_eq!(rules(&diags), ["ND008", "ND008", "ND008"]);

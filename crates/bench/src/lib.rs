@@ -36,6 +36,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod native_attribution;
 pub mod pipeline;
 pub mod render;
 pub mod report;

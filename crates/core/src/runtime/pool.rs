@@ -93,7 +93,14 @@ impl WorkerPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("stats-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || {
+                        // Tag the thread for the wall-clock profiler so
+                        // its spans land in worker shard `i`; the label
+                        // is observability-only and is never read by
+                        // protocol logic.
+                        stats_telemetry::profiler::register_worker(i);
+                        worker_loop(&shared)
+                    })
                     .expect("spawn pool worker")
             })
             .collect();

@@ -42,13 +42,42 @@ use crate::rng::{StatsRng, StreamRole};
 use crate::runtime::pool::{PoolScope, StatePool, WorkerPool};
 use crate::speculation::run_segment;
 use crossbeam::channel::bounded;
-use stats_telemetry::{Counter, Event, TelemetrySink};
+use stats_telemetry::clock::monotonic_ns;
+use stats_telemetry::{Category, Counter, Event, Profiler, TelemetrySink};
 use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Nanoseconds since `start`, saturating at `u64::MAX`.
-fn elapsed_ns(start: Instant) -> u64 {
-    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+/// Nanoseconds since the `monotonic_ns` stamp `start_ns`. All wall
+/// clock in this module flows through `stats_telemetry::clock` — the
+/// single sanctioned read point (analyzer rule ND012) — and feeds
+/// telemetry/profiling only, never protocol decisions.
+fn ns_since(start_ns: u64) -> u64 {
+    monotonic_ns().saturating_sub(start_ns)
+}
+
+/// Profiler handle of a sink, if both are present. Span hooks below
+/// reduce to this one `Option` check when profiling is off, keeping the
+/// counters-only path unchanged.
+fn profiler_of(telemetry: Option<&TelemetrySink>) -> Option<&Profiler> {
+    telemetry.and_then(TelemetrySink::profiler)
+}
+
+/// Stamp a span start only when a profiler is attached.
+#[inline]
+fn span_start(prof: Option<&Profiler>) -> u64 {
+    if prof.is_some() {
+        monotonic_ns()
+    } else {
+        0
+    }
+}
+
+/// Close a span opened with [`span_start`].
+#[inline]
+fn span_end(prof: Option<&Profiler>, category: Category, chunk: usize, start_ns: u64) {
+    if let Some(p) = prof {
+        p.record(category, chunk, start_ns, monotonic_ns());
+    }
 }
 
 /// Result of a threaded STATS execution.
@@ -196,16 +225,30 @@ fn schedule_replicas<'scope, 'env, W>(
     if m == 0 {
         return;
     }
+    // Profiler spans here carry `boundary + 1` — the chunk this
+    // boundary's replicas validate — so the attribution engine groups
+    // replica-generation time with the seal it gates.
+    let validated = boundary + 1;
     scope.spawn_urgent(move || {
+        let prof = profiler_of(ctx.telemetry);
         for j in 0..m - 1 {
+            let t0 = span_start(prof);
             let st = states.copy_of(&snapshot);
+            span_end(prof, Category::OriginalStateGen, validated, t0);
             scope.spawn_urgent(move || {
-                set.put(j, replay_replica(ctx, st, boundary, j, replay));
+                let prof = profiler_of(ctx.telemetry);
+                let t0 = span_start(prof);
+                let replayed = replay_replica(ctx, st, boundary, j, replay);
+                span_end(prof, Category::OriginalStateGen, validated, t0);
+                set.put(j, replayed);
             });
         }
         // Final replica: takes the snapshot by move — no clone.
         let last = m - 1;
-        set.put(last, replay_replica(ctx, snapshot, boundary, last, replay));
+        let t0 = span_start(prof);
+        let replayed = replay_replica(ctx, snapshot, boundary, last, replay);
+        span_end(prof, Category::OriginalStateGen, validated, t0);
+        set.put(last, replayed);
     });
 }
 
@@ -378,8 +421,8 @@ where
     let chunks = plan.len();
     let k = config.lookback;
     let m = config.extra_states;
-    // stats-analyzer: allow(ND002): informative wall-clock only (ThreadedRun::elapsed)
-    let start_time = Instant::now();
+    let prof = profiler_of(telemetry);
+    let start_ns = monotonic_ns();
 
     let ctx = RunCtx {
         workload,
@@ -410,6 +453,9 @@ where
     let mut decisions = vec![ChunkDecision::First; chunks];
     let mut outputs_per_chunk: Vec<Vec<W::Output>> = Vec::with_capacity(chunks);
 
+    // Plan, channel, and rendezvous construction is the run's setup cost.
+    span_end(prof, Category::Setup, 0, start_ns);
+
     pool.scope(|scope| {
         // ---- chunk tasks --------------------------------------------------
         // Queued in commit order on the normal lane; replicas and reruns
@@ -419,8 +465,8 @@ where
         for (c, tx) in result_tx.into_iter().enumerate() {
             let range = plan.chunk(c);
             scope.spawn(move || {
-                // stats-analyzer: allow(ND002): telemetry busy accounting, not workload semantics
-                let busy_start = Instant::now();
+                let prof = profiler_of(ctx.telemetry);
+                let busy_start = monotonic_ns();
                 if let Some(t) = ctx.telemetry {
                     t.incr(c, Counter::ChunksStarted);
                     t.event(&Event::ChunkStarted {
@@ -431,18 +477,24 @@ where
                 let (spec_state, start_state) = if c == 0 {
                     (None, ctx.workload.fresh_state())
                 } else {
+                    let t_warm = span_start(prof);
                     let mut rng = StatsRng::derive(ctx.master_seed, StreamRole::AltProducer(c));
                     let mut st = ctx.workload.fresh_state();
                     for input in &ctx.inputs[range.start - ctx.k..range.start] {
                         ctx.workload.update(&mut st, input, &mut rng);
                     }
+                    span_end(prof, Category::AltProducer, c, t_warm);
                     // Speculative-state hand-off to the coordinator (Fig. 6).
                     if let Some(t) = ctx.telemetry {
                         t.incr(c, Counter::StateCopies);
                     }
-                    (Some(st.clone()), st)
+                    let t_copy = span_start(prof);
+                    let spec = st.clone();
+                    span_end(prof, Category::StateCopy, c, t_copy);
+                    (Some(spec), st)
                 };
                 let mut rng = StatsRng::derive(ctx.master_seed, StreamRole::Chunk(c));
+                let t_run = span_start(prof);
                 let run = run_segment(
                     ctx.workload,
                     start_state,
@@ -451,8 +503,9 @@ where
                     ctx.k,
                     &mut rng,
                 );
+                span_end(prof, Category::ChunkCompute, c, t_run);
                 if let Some(t) = ctx.telemetry {
-                    t.add(c, Counter::BusyTime, elapsed_ns(busy_start));
+                    t.add(c, Counter::BusyTime, ns_since(busy_start));
                     t.queue_enter();
                 }
                 tx.send(WorkerResult {
@@ -470,7 +523,9 @@ where
         // chunk results and replica rendezvous without holding up the pool.
         let mut prev_final: Option<W::State> = None;
         for c in 0..chunks {
+            let t_recv = span_start(prof);
             let result = result_rx[c].recv().expect("chunk task alive");
+            span_end(prof, Category::Sync, c, t_recv);
             if let Some(t) = telemetry {
                 t.queue_leave();
             }
@@ -497,7 +552,9 @@ where
             let pf = prev_final.take().expect("previous final state");
             // Await the pipelined replicas for this boundary (Fig. 5);
             // they were scheduled when chunk c-1's outcome became final.
+            let t_wait = span_start(prof);
             let replica_states = replica_sets[c - 1].wait();
+            span_end(prof, Category::Sync, c, t_wait);
             if let Some(t) = telemetry {
                 // One state materialization per replica: m-1 pool-recycled
                 // clones plus the final moved snapshot — the protocol
@@ -509,6 +566,7 @@ where
             // Ordered comparison: producer's own final state first, then
             // replicas — identical order to the semantic layer.
             let spec_state = result.spec_state.as_ref().expect("speculative chunk");
+            let t_cmp = span_start(prof);
             let mut comparisons = 1u64;
             let mut matched: Option<usize> = workload.states_match(spec_state, &pf).then_some(0);
             for (j, st) in replica_states.iter().enumerate() {
@@ -520,6 +578,7 @@ where
                     matched = Some(j + 1);
                 }
             }
+            span_end(prof, Category::StateComparison, c, t_cmp);
             if let Some(t) = telemetry {
                 t.add(c, Counter::StateComparisons, comparisons);
                 t.event(&Event::ValidationFinished {
@@ -551,15 +610,19 @@ where
                 let (xtx, xrx) = bounded::<WorkerResult<W::State, W::Output>>(1);
                 let range = plan.chunk(c);
                 scope.spawn_urgent(move || {
-                    // stats-analyzer: allow(ND002): telemetry busy accounting, not workload semantics
-                    let rerun_start = Instant::now();
+                    let prof = profiler_of(ctx.telemetry);
+                    let rerun_start = monotonic_ns();
                     if let Some(t) = ctx.telemetry {
                         t.incr(c, Counter::Reruns);
                     }
                     let mut rng = StatsRng::derive(ctx.master_seed, StreamRole::Rerun(c));
+                    let t_rerun = span_start(prof);
                     let rerun = run_segment(ctx.workload, pf, ctx.inputs, range, ctx.k, &mut rng);
+                    // The serialized rerun is the chunk's true compute;
+                    // assembly relabels the dead speculative attempt.
+                    span_end(prof, Category::ChunkCompute, c, t_rerun);
                     if let Some(t) = ctx.telemetry {
-                        t.add(c, Counter::BusyTime, elapsed_ns(rerun_start));
+                        t.add(c, Counter::BusyTime, ns_since(rerun_start));
                     }
                     xtx.send(WorkerResult {
                         spec_state: None,
@@ -572,7 +635,9 @@ where
                         t.event(&Event::RerunFinished { chunk: c });
                     }
                 });
+                let t_rr = span_start(prof);
                 let rerun = xrx.recv().expect("rerun task alive");
+                span_end(prof, Category::Sync, c, t_rr);
                 // The rejected speculative results are dead; recycle them.
                 states.recycle(result.final_state);
                 states.recycle(result.snapshot);
@@ -620,7 +685,7 @@ where
     ThreadedRun {
         outputs: outputs_per_chunk.into_iter().flatten().collect(),
         decisions,
-        elapsed: start_time.elapsed(),
+        elapsed: Duration::from_nanos(ns_since(start_ns)),
         workers: pool.workers(),
     }
 }
@@ -679,8 +744,7 @@ where
     let chunks = plan.len();
     let k = config.lookback;
     let m = config.extra_states;
-    // stats-analyzer: allow(ND002): informative wall-clock only (ThreadedRun::elapsed)
-    let start_time = Instant::now();
+    let start_ns = monotonic_ns();
 
     // Channels: worker -> coordinator results, coordinator -> worker
     // verdicts, worker -> coordinator rerun results.
@@ -707,8 +771,7 @@ where
         for (c, (rtx, vrx, xtx)) in worker_ends.into_iter().enumerate() {
             let range = plan.chunk(c);
             scope.spawn(move || {
-                // stats-analyzer: allow(ND002): telemetry busy/idle accounting, not workload semantics
-                let busy_start = Instant::now();
+                let busy_start = monotonic_ns();
                 if let Some(t) = telemetry {
                     t.incr(c, Counter::ChunksStarted);
                     t.event(&Event::ChunkStarted {
@@ -733,7 +796,7 @@ where
                 let mut rng = StatsRng::derive(master_seed, StreamRole::Chunk(c));
                 let run = run_segment(workload, start_state, inputs, range.clone(), k, &mut rng);
                 if let Some(t) = telemetry {
-                    t.add(c, Counter::BusyTime, elapsed_ns(busy_start));
+                    t.add(c, Counter::BusyTime, ns_since(busy_start));
                     t.queue_enter();
                 }
                 rtx.send(WorkerResult {
@@ -743,25 +806,23 @@ where
                     final_state: run.final_state,
                 })
                 .expect("coordinator alive");
-                // stats-analyzer: allow(ND002): telemetry busy/idle accounting, not workload semantics
-                let idle_start = Instant::now();
+                let idle_start = monotonic_ns();
                 match vrx.recv().expect("coordinator alive") {
                     Verdict::Commit => {
                         if let Some(t) = telemetry {
-                            t.add(c, Counter::IdleTime, elapsed_ns(idle_start));
+                            t.add(c, Counter::IdleTime, ns_since(idle_start));
                         }
                     }
                     Verdict::Abort(true_state) => {
-                        // stats-analyzer: allow(ND002): telemetry busy/idle accounting, not workload semantics
-                        let rerun_start = Instant::now();
+                        let rerun_start = monotonic_ns();
                         if let Some(t) = telemetry {
-                            t.add(c, Counter::IdleTime, elapsed_ns(idle_start));
+                            t.add(c, Counter::IdleTime, ns_since(idle_start));
                             t.incr(c, Counter::Reruns);
                         }
                         let mut rng = StatsRng::derive(master_seed, StreamRole::Rerun(c));
                         let rerun = run_segment(workload, *true_state, inputs, range, k, &mut rng);
                         if let Some(t) = telemetry {
-                            t.add(c, Counter::BusyTime, elapsed_ns(rerun_start));
+                            t.add(c, Counter::BusyTime, ns_since(rerun_start));
                         }
                         xtx.send(WorkerResult {
                             spec_state: None,
@@ -923,7 +984,7 @@ where
     ThreadedRun {
         outputs: outputs_per_chunk.into_iter().flatten().collect(),
         decisions,
-        elapsed: start_time.elapsed(),
+        elapsed: Duration::from_nanos(ns_since(start_ns)),
         workers: chunks,
     }
 }

@@ -1,0 +1,69 @@
+//! The single sanctioned wall-clock read point.
+//!
+//! Profiling the pooled runtime needs wall-clock timestamps, but the
+//! determinism contract forbids ambient time from leaking into protocol
+//! decisions (analyzer rules ND002/ND012). The compromise is a choke
+//! point: every runtime timestamp is taken through [`monotonic_ns`],
+//! which reads a process-wide monotonic clock relative to a lazily
+//! initialised epoch. Hot paths outside this module never name
+//! `Instant`/`SystemTime` directly — ND012 enforces exactly that — so
+//! auditing "can time influence a decision?" reduces to auditing the
+//! callers of this one function.
+//!
+//! The epoch is pinned on first use, so timestamps are small, strictly
+//! comparable across threads (same `Instant` basis), and cheap to pack
+//! into profiler records.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide profiling epoch (first call).
+///
+/// Monotonic and cross-thread comparable. Used only for observability:
+/// profiler spans, elapsed-time reporting. Never feed this into
+/// anything that decides protocol behaviour.
+#[inline]
+pub fn monotonic_ns() -> u64 {
+    // stats-analyzer: allow(ND002): telemetry clock abstraction — the one sanctioned wall-clock read; timestamps feed profiling/reporting only, never protocol decisions.
+    let now = Instant::now();
+    let epoch = *EPOCH.get_or_init(|| now);
+    now.duration_since(epoch).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut prev = monotonic_ns();
+        for _ in 0..1000 {
+            let t = monotonic_ns();
+            assert!(t >= prev, "clock went backwards: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn clock_advances() {
+        let t0 = monotonic_ns();
+        // Burn a little real time; a spin keeps the test sleep-free.
+        let mut x = 0u64;
+        for i in 0..200_000u64 {
+            x = x.wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let t1 = monotonic_ns();
+        assert!(t1 > t0, "clock did not advance across real work");
+    }
+
+    #[test]
+    fn cross_thread_timestamps_share_the_epoch() {
+        let before = monotonic_ns();
+        let from_thread = std::thread::spawn(monotonic_ns).join().unwrap();
+        let after = monotonic_ns();
+        assert!(before <= from_thread && from_thread <= after);
+    }
+}

@@ -25,6 +25,15 @@
 //!   and a human-readable metrics table.
 //! * [`json`] — the escaping helpers and a small validating parser used
 //!   to test every JSON surface this workspace emits.
+//! * [`clock`] — the single sanctioned wall-clock read point
+//!   (`monotonic_ns`); runtime hot paths never name `Instant` directly
+//!   (analyzer rule ND012).
+//! * [`profiler`] — TASKPROF-style wall-clock span capture on the
+//!   pooled runtime (per-worker cache-line-sharded rings), plus the
+//!   §V-B critical-path attribution and what-if re-scheduler over the
+//!   captured span graph.
+//! * [`sketch`] — a mergeable DDSketch-style quantile/histogram sketch
+//!   for span-duration distributions.
 //!
 //! Consistency model: counter recording is a single relaxed atomic add on
 //! a per-worker shard — no locks, no false sharing. [`TelemetrySink::snapshot`]
@@ -45,14 +54,18 @@
 //! assert!(snap.consistent);
 //! ```
 
+pub mod clock;
 pub mod counters;
 pub mod events;
 pub mod export;
 pub mod json;
+pub mod profiler;
 mod sink;
+pub mod sketch;
 
 pub use counters::{Counter, MetricsCore, COUNTERS};
 pub use events::{Event, EventLog};
+pub use profiler::{Estimate, Profiler, WallAttribution, WallLoss, WallProfile, WallSpan};
 pub use sink::{CategorySnapshot, Snapshot, TelemetrySink};
 
 // Re-exported so downstream integration code can name trace categories

@@ -3,6 +3,7 @@
 use crate::counters::{Counter, MetricsCore, COUNTERS};
 use crate::events::{Event, EventLog};
 use crate::json::JsonObject;
+use crate::profiler::Profiler;
 use stats_trace::{Category, Cycles, CATEGORIES};
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +47,7 @@ pub struct TelemetrySink {
     queue_depth: AtomicU64,
     queue_high_water: AtomicU64,
     events: Option<EventLog>,
+    profiler: Option<Profiler>,
 }
 
 impl TelemetrySink {
@@ -58,6 +60,7 @@ impl TelemetrySink {
             queue_depth: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
             events: None,
+            profiler: None,
         }
     }
 
@@ -66,6 +69,22 @@ impl TelemetrySink {
     pub fn with_event_writer(mut self, writer: Box<dyn Write + Send>) -> Self {
         self.events = Some(EventLog::new(writer));
         self
+    }
+
+    /// Attach a wall-clock span profiler. Runtimes that see a profiler
+    /// on their sink record spans into it; without one the span hooks
+    /// are a single `Option` check (the counters-only path is
+    /// unchanged).
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// The attached profiler, if any.
+    #[inline]
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
     }
 
     /// Number of counter shards.

@@ -1,0 +1,236 @@
+//! A mergeable streaming quantile/histogram sketch for span durations.
+//!
+//! The profiler needs per-category latency distributions (p50/p90/p99 of
+//! span durations) without retaining every span. This is a DDSketch-style
+//! sketch over `u64` nanosecond values: logarithmic buckets with growth
+//! factor `gamma = (1 + alpha) / (1 - alpha)`, which guarantees every
+//! reported quantile is within *relative* error `alpha` of the true
+//! value (plus integer rounding). Bucket counts add, so merging two
+//! sketches is exact and associative — the property tests in
+//! `tests/sketch_props.rs` pin merge associativity, the rank-error
+//! bound, and quantile monotonicity under arbitrary insertion orders.
+
+use std::collections::BTreeMap;
+
+/// Default relative-error target: quantiles within 1% of the true value.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// A mergeable log-bucketed quantile sketch over `u64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    alpha: f64,
+    ln_gamma: f64,
+    /// Count per log-bucket index; bucket `i` covers `(gamma^(i-1), gamma^i]`.
+    buckets: BTreeMap<i64, u64>,
+    /// Zero is outside every log bucket and gets its own counter.
+    zeros: u64,
+    count: u64,
+    min: u64,
+    max: u64,
+}
+
+impl QuantileSketch {
+    /// A sketch with the default 1% relative-error target.
+    pub fn new() -> Self {
+        Self::with_alpha(DEFAULT_ALPHA)
+    }
+
+    /// A sketch with relative-error target `alpha` (0 < alpha < 1).
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            ln_gamma: gamma.ln(),
+            buckets: BTreeMap::new(),
+            zeros: 0,
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The configured relative-error target.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of values inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest inserted value (None when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest inserted value (None when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    fn bucket_of(&self, value: u64) -> i64 {
+        debug_assert!(value >= 1);
+        // ceil(ln(v) / ln(gamma)); v = 1 maps to bucket 0.
+        ((value as f64).ln() / self.ln_gamma).ceil() as i64
+    }
+
+    /// Insert one value.
+    pub fn insert(&mut self, value: u64) {
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value == 0 {
+            self.zeros += 1;
+        } else {
+            *self.buckets.entry(self.bucket_of(value)).or_insert(0) += 1;
+        }
+    }
+
+    /// Merge `other` into `self`. Panics if the error targets differ —
+    /// bucket boundaries would not line up and the merge would be lossy.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            (self.alpha - other.alpha).abs() < 1e-12,
+            "cannot merge sketches with different alpha"
+        );
+        for (&bucket, &n) in &other.buckets {
+            *self.buckets.entry(bucket).or_insert(0) += n;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// The value at quantile `q` in [0, 1], within relative error
+    /// `alpha` of the true order statistic (plus integer rounding).
+    /// Returns `None` when the sketch is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the order statistic we are after (0-based).
+        let rank = ((q * (self.count - 1) as f64).floor() as u64).min(self.count - 1);
+        if rank < self.zeros {
+            return Some(0);
+        }
+        let mut seen = self.zeros;
+        for (&bucket, &n) in &self.buckets {
+            seen += n;
+            if seen > rank {
+                // Midpoint estimate of bucket (gamma^(b-1), gamma^b]:
+                // 2*gamma^b / (gamma + 1), within alpha of any member.
+                let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
+                let upper = (bucket as f64 * self.ln_gamma).exp();
+                let est = 2.0 * upper / (gamma + 1.0);
+                // Clamp to the observed range so estimates never stray
+                // outside real data (keeps min/max quantiles exact-ish).
+                let est = est.round().max(1.0);
+                return Some((est as u64).clamp(self.min.max(1), self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty histogram buckets as `(upper_bound, count)` pairs in
+    /// increasing order; a zero bucket appears as `(0, zeros)`.
+    pub fn histogram(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        if self.zeros > 0 {
+            out.push((0, self.zeros));
+        }
+        for (&bucket, &n) in &self.buckets {
+            let upper = (bucket as f64 * self.ln_gamma).exp().round() as u64;
+            out.push((upper.max(1), n));
+        }
+        out
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_value_is_recovered_exactly() {
+        let mut s = QuantileSketch::new();
+        s.insert(1_000);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let got = s.quantile(q).unwrap();
+            let err = (got as f64 - 1_000.0).abs() / 1_000.0;
+            assert!(err <= s.alpha() + 1e-9, "q={q}: got {got}");
+        }
+    }
+
+    #[test]
+    fn quantiles_respect_relative_error_on_a_known_stream() {
+        let mut s = QuantileSketch::new();
+        for v in 1..=10_000u64 {
+            s.insert(v);
+        }
+        for (q, truth) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let got = s.quantile(q).unwrap() as f64;
+            let err = (got - truth as f64).abs() / truth as f64;
+            assert!(
+                err <= s.alpha() + 0.001,
+                "q={q}: got {got}, want ~{truth}, err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeros_are_tracked() {
+        let mut s = QuantileSketch::new();
+        s.insert(0);
+        s.insert(0);
+        s.insert(100);
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(1.0).unwrap(), 100);
+        assert_eq!(s.histogram()[0], (0, 2));
+    }
+
+    #[test]
+    fn merge_matches_union_stream() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut all = QuantileSketch::new();
+        for v in 1..=500u64 {
+            a.insert(v * 3);
+            all.insert(v * 3);
+        }
+        for v in 1..=500u64 {
+            b.insert(v * 7);
+            all.insert(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "different alpha")]
+    fn merging_mismatched_alphas_panics() {
+        let mut a = QuantileSketch::with_alpha(0.01);
+        let b = QuantileSketch::with_alpha(0.02);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the streaming quantile/histogram sketch, using
+//! the vendored `proptest`.
+//!
+//! The sketch backs the profiler's per-category latency distributions,
+//! so its guarantees are pinned generatively:
+//!
+//! * merging is exact and associative (bucket counts add), so sharded
+//!   sketches can be combined in any order;
+//! * every reported quantile is within the configured relative error of
+//!   the true order statistic, whatever the insertion order;
+//! * quantiles are monotone in `q`;
+//! * counts/min/max are exact under splits and merges.
+
+use proptest::prelude::*;
+use stats_telemetry::sketch::QuantileSketch;
+
+fn sketch_of(values: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in values {
+        s.insert(v);
+    }
+    s
+}
+
+/// True order statistic matching the sketch's rank convention.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * (sorted.len() - 1) as f64).floor() as usize).min(sorted.len() - 1);
+    sorted[rank]
+}
+
+proptest! {
+    /// Merge is associative and independent of insertion order: any
+    /// 3-way split of a stream, merged in either association order,
+    /// equals the sketch of the whole stream.
+    #[test]
+    fn merge_is_associative(
+        mut values in proptest::collection::vec(0u64..1_000_000_000, 3..200),
+        cut_a in 0usize..200,
+        cut_b in 0usize..200,
+        shuffle_seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-shuffle so insertion order varies.
+        let n = values.len();
+        for i in 0..n {
+            let j = ((shuffle_seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            values.swap(i, j);
+        }
+        let a_end = cut_a % n;
+        let b_end = a_end + (cut_b % (n - a_end + 1));
+        let (a, b, c) = (
+            sketch_of(&values[..a_end]),
+            sketch_of(&values[a_end..b_end]),
+            sketch_of(&values[b_end..]),
+        );
+        let whole = sketch_of(&values);
+
+        // (a ⊔ b) ⊔ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊔ (b ⊔ c)
+        let mut right_tail = b.clone();
+        right_tail.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_tail);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(left.count(), n as u64);
+    }
+
+    /// Every quantile is within the relative-error target of the true
+    /// order statistic (plus one unit of integer rounding), for any
+    /// value distribution and insertion order.
+    #[test]
+    fn rank_error_bound_holds(
+        values in proptest::collection::vec(0u64..10_000_000, 1..300),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let s = sketch_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in qs {
+            let truth = true_quantile(&sorted, q);
+            let got = s.quantile(q).unwrap();
+            if truth == 0 {
+                prop_assert_eq!(got, 0, "q={}: zero order statistic must be exact", q);
+            } else {
+                let err = (got as f64 - truth as f64).abs() / truth as f64;
+                prop_assert!(
+                    err <= s.alpha() + 1.0 / truth as f64 + 1e-9,
+                    "q={}: got {}, want ~{}, relative error {}",
+                    q, got, truth, err
+                );
+            }
+        }
+    }
+
+    /// Quantiles never decrease as q increases, whatever the stream.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+    ) {
+        let s = sketch_of(&values);
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = s.quantile(q).unwrap();
+            prop_assert!(
+                v >= prev,
+                "quantile({}) = {} < quantile of smaller q = {}",
+                q, v, prev
+            );
+            prev = v;
+        }
+        // Extremes stay inside the observed range.
+        prop_assert!(s.quantile(0.0).unwrap() >= s.min().unwrap());
+        prop_assert!(s.quantile(1.0).unwrap() <= s.max().unwrap());
+    }
+
+    /// Counts, min, and max are exact across arbitrary splits/merges.
+    #[test]
+    fn exact_statistics_survive_merges(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..200),
+        cut in 0usize..200,
+    ) {
+        let cut = cut % values.len();
+        let mut merged = sketch_of(&values[..cut]);
+        merged.merge(&sketch_of(&values[cut..]));
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.min(), values.iter().copied().min());
+        prop_assert_eq!(merged.max(), values.iter().copied().max());
+        // Histogram mass equals the count.
+        let mass: u64 = merged.histogram().iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(mass, merged.count());
+    }
+}

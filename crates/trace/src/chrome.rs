@@ -34,7 +34,12 @@ fn escape(s: &str) -> String {
 ///
 /// Each span becomes a complete event (`"ph":"X"`) on its logical thread;
 /// dependency edges become flow events (`"ph":"s"`/`"ph":"f"`) so the
-/// viewer draws arrows between producers and consumers.
+/// viewer draws arrows between producers and consumers. Metadata events
+/// (`"ph":"M"`) name the process after the trace's scenario and pin each
+/// thread's display order to its thread id — without the explicit
+/// `thread_sort_index`, viewers order rows by first-event appearance, so
+/// two exports of the same workload could lay out their threads
+/// differently.
 ///
 /// ```
 /// use stats_trace::{Category, Cycles, ThreadId, TraceBuilder};
@@ -45,8 +50,18 @@ fn escape(s: &str) -> String {
 /// let json = to_chrome_trace(&b.finish().unwrap());
 /// assert!(json.starts_with('['));
 /// assert!(json.contains("\"ph\":\"X\""));
+/// assert!(json.contains("\"process_name\""));
 /// ```
 pub fn to_chrome_trace(trace: &Trace) -> String {
+    to_chrome_trace_with_names(trace, &[])
+}
+
+/// [`to_chrome_trace`] with explicit thread names: `names` maps a logical
+/// thread id to the label shown in the viewer (e.g. `stats-pool-3`,
+/// `coordinator`). Threads without an entry fall back to `thread N`.
+/// Native profiles use this so the timeline reads in pool terms instead
+/// of bare numbers.
+pub fn to_chrome_trace_with_names(trace: &Trace, names: &[(usize, String)]) -> String {
     let mut out = String::from("[\n");
     let mut first = true;
     let mut push = |event: String, out: &mut String| {
@@ -56,6 +71,43 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
         first = false;
         out.push_str(&event);
     };
+
+    // Metadata first: the process name, then every thread in ascending
+    // id order (a stable order regardless of which thread happened to
+    // record the first span).
+    push(
+        format!(
+            "  {{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(&trace.meta().scenario)
+        ),
+        &mut out,
+    );
+    let mut tids: Vec<usize> = trace.spans().iter().map(|s| s.thread.0).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let name = names
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map_or_else(|| format!("thread {tid}"), |(_, n)| n.clone());
+        push(
+            format!(
+                "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                tid,
+                escape(&name)
+            ),
+            &mut out,
+        );
+        push(
+            format!(
+                "  {{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"sort_index\":{tid}}}}}"
+            ),
+            &mut out,
+        );
+    }
 
     for s in trace.spans() {
         let name = match &s.label {
@@ -178,10 +230,62 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_is_an_empty_array() {
+    fn empty_trace_has_only_process_metadata() {
         let t = TraceBuilder::new("empty").finish().unwrap();
         let json = to_chrome_trace(&t);
-        assert_eq!(json.trim(), "[\n\n]".trim_start());
+        // No spans → no complete/flow/thread events, but the process is
+        // still named so the viewer shows the scenario.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 1);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"empty\""));
+        assert!(!json.contains("\"ph\":\"X\""));
+        assert!(!json.contains("thread_name"));
+    }
+
+    #[test]
+    fn metadata_names_process_and_threads_in_stable_order() {
+        // Record the higher thread id first: appearance order and id
+        // order disagree, and the metadata must follow id order.
+        let mut b = TraceBuilder::new("meta");
+        b.push(ThreadId(3), Category::ChunkCompute, Cycles(0), Cycles(5), 1);
+        b.push(ThreadId(1), Category::Setup, Cycles(0), Cycles(2), 1);
+        let json = to_chrome_trace(&b.finish().unwrap());
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"meta\""));
+        let t1 = json
+            .find("\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1")
+            .unwrap();
+        let t3 = json
+            .find("\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3")
+            .unwrap();
+        assert!(t1 < t3, "thread metadata must be in ascending tid order");
+        assert_eq!(json.matches("\"thread_sort_index\"").count(), 2);
+        assert!(json.contains("\"sort_index\":1"));
+        assert!(json.contains("\"sort_index\":3"));
+        // Metadata precedes the first span event.
+        assert!(t3 < json.find("\"ph\":\"X\"").unwrap());
+    }
+
+    #[test]
+    fn named_threads_override_the_default_labels() {
+        let mut b = TraceBuilder::new("named");
+        b.push(ThreadId(0), Category::ChunkCompute, Cycles(0), Cycles(5), 1);
+        b.push(ThreadId(1), Category::Sync, Cycles(0), Cycles(1), 0);
+        b.push(ThreadId(2), Category::Commit, Cycles(0), Cycles(1), 0);
+        let t = b.finish().unwrap();
+        let names = vec![
+            (0, "stats-pool-0".to_string()),
+            (2, "coordinator".to_string()),
+        ];
+        let json = to_chrome_trace_with_names(&t, &names);
+        assert!(json.contains("\"name\":\"stats-pool-0\""));
+        assert!(json.contains("\"name\":\"coordinator\""));
+        // Unnamed threads keep the numeric fallback.
+        assert!(json.contains("\"name\":\"thread 1\""));
+        // Hostile names are escaped like every other string.
+        let hostile = vec![(0, "a\"b\\c".to_string())];
+        let json = to_chrome_trace_with_names(&t, &hostile);
+        assert!(json.contains("a\\\"b\\\\c"));
     }
 
     #[test]

@@ -11,16 +11,21 @@
 //!   (`--format table|prometheus|folded|json`).
 //! * `figures [ids…]` — regenerate tables/figures (`all` by default).
 //! * `export <benchmark> <path>` — write a Chrome-trace JSON of a run.
+//! * `profile <benchmark>` — causal profile of the native pooled runtime
+//!   (`--workers N --seeds K --format table|json|chrome`); `run` and
+//!   `tune` accept `--profile` to attribute their native replays inline.
 //!
 //! Argument parsing is hand-rolled (the workbench's dependency policy
 //! keeps the offline crate set minimal) and unit-tested.
 
+use stats_bench::native_attribution::{profile_workload, render_profile_table};
 use stats_bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
-use stats_core::runtime::pool::WorkerPool;
+use stats_core::report::ChunkDecision;
+use stats_core::runtime::pool::{default_workers, WorkerPool};
 use stats_core::runtime::simulated::SimulatedRuntime;
 use stats_core::runtime::threaded::run_threaded_on;
 use stats_telemetry::json::JsonObject;
-use stats_telemetry::{export, Event, TelemetrySink};
+use stats_telemetry::{export, Event, Profiler, TelemetrySink, WallAttribution, WallProfile};
 use stats_workloads::{dispatch, Workload, WorkloadVisitor, EXTENDED_BENCHMARK_NAMES};
 use std::fmt;
 
@@ -75,6 +80,17 @@ pub enum Command {
         /// Parsed common options.
         opts: Options,
     },
+    /// `profile <benchmark> [--workers N] [--seeds K] [--format …]`
+    Profile {
+        /// Benchmark name.
+        benchmark: String,
+        /// Output rendering.
+        format: ProfileFormat,
+        /// Number of seeds profiled (mean ± CI aggregation).
+        seeds: usize,
+        /// Parsed common options.
+        opts: Options,
+    },
     /// `help`
     Help,
 }
@@ -107,6 +123,32 @@ impl MetricsFormat {
     }
 }
 
+/// How `stats profile` renders the causal profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfileFormat {
+    /// Human-readable attribution + what-if table (the default).
+    #[default]
+    Table,
+    /// The aggregated profile report as one JSON object.
+    Json,
+    /// Chrome trace-event JSON of the captured wall-clock spans (real
+    /// pool threads, named; open in `chrome://tracing` or Perfetto).
+    Chrome,
+}
+
+impl ProfileFormat {
+    fn from_arg(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "table" => Ok(ProfileFormat::Table),
+            "json" => Ok(ProfileFormat::Json),
+            "chrome" => Ok(ProfileFormat::Chrome),
+            other => Err(ParseError(format!(
+                "--format expects table|json|chrome, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Options shared by the subcommands.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
@@ -128,6 +170,9 @@ pub struct Options {
     /// record telemetry from the threaded runtime; tune replays the
     /// winner natively). `None` keeps the simulated-only behavior.
     pub workers: Option<usize>,
+    /// Attach the wall-clock profiler to native replays (run/tune with
+    /// `--workers`) and append a causal attribution to the summary.
+    pub profile: bool,
 }
 
 impl Default for Options {
@@ -141,6 +186,7 @@ impl Default for Options {
             telemetry: None,
             json: false,
             workers: None,
+            profile: false,
         }
     }
 }
@@ -168,6 +214,7 @@ USAGE:
   stats metrics <benchmark> [--format F] [options]
   stats figures [fig09 fig10 … ablations scaling | all] [options]
   stats export <benchmark> <out.json> [options]
+  stats profile <benchmark> [--workers N] [--seeds K] [--format F] [options]
   stats help
 
 BENCHMARKS:
@@ -184,6 +231,11 @@ OPTIONS:
   --telemetry PATH write a JSONL telemetry event log (run/tune)
   --json           machine-readable run summary   (run only)
   --format F       metrics rendering: table | prometheus | folded | json
+                   profile rendering: table | json | chrome
+  --seeds K        seeds profiled for mean ± CI   (default 3; profile only)
+  --profile        attribute the native replay's wall-clock speedup loss
+                   (run/tune with --workers; `stats profile` is the
+                   multi-seed version under the benchmark's tuned config)
   --workers N      use an N-wide worker pool (one pool per invocation)
                    (run/metrics: native execution, telemetry from the
                    threaded runtime; tune: the design-space search is
@@ -198,14 +250,18 @@ struct ParsedArgs {
     opts: Options,
     positional: Vec<String>,
     budget: usize,
-    format: MetricsFormat,
+    /// Raw `--format` value; each subcommand accepts a different set, so
+    /// conversion happens once the subcommand is known.
+    format: Option<String>,
+    seeds: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<ParsedArgs, ParseError> {
     let mut opts = Options::default();
     let mut positional = Vec::new();
     let mut budget = 80usize;
-    let mut format = MetricsFormat::default();
+    let mut format = None;
+    let mut seeds = 3usize;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -271,8 +327,19 @@ fn parse_options(args: &[String]) -> Result<ParsedArgs, ParseError> {
             "--json" => {
                 opts.json = true;
             }
+            "--profile" => {
+                opts.profile = true;
+            }
+            "--seeds" => {
+                seeds = take_value("--seeds")?
+                    .parse()
+                    .map_err(|_| ParseError("--seeds expects an integer".into()))?;
+                if seeds == 0 {
+                    return Err(ParseError("--seeds must be at least 1".into()));
+                }
+            }
             "--format" => {
-                format = MetricsFormat::from_arg(&take_value("--format")?)?;
+                format = Some(take_value("--format")?);
             }
             other if other.starts_with("--") => {
                 return Err(ParseError(format!("unknown option {other}")));
@@ -286,6 +353,7 @@ fn parse_options(args: &[String]) -> Result<ParsedArgs, ParseError> {
         positional,
         budget,
         format,
+        seeds,
     })
 }
 
@@ -311,7 +379,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         positional,
         budget,
         format,
+        seeds,
     } = parse_options(rest)?;
+    if opts.profile && opts.workers.is_none() && matches!(sub.as_str(), "run" | "tune") {
+        return Err(ParseError(
+            "--profile attributes the native replay, so it requires --workers".into(),
+        ));
+    }
     match sub.as_str() {
         "run" => Ok(Command::Run {
             benchmark: expect_benchmark(&positional)?,
@@ -328,7 +402,19 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }),
         "metrics" => Ok(Command::Metrics {
             benchmark: expect_benchmark(&positional)?,
-            format,
+            format: match format.as_deref() {
+                Some(s) => MetricsFormat::from_arg(s)?,
+                None => MetricsFormat::default(),
+            },
+            opts,
+        }),
+        "profile" => Ok(Command::Profile {
+            benchmark: expect_benchmark(&positional)?,
+            format: match format.as_deref() {
+                Some(s) => ProfileFormat::from_arg(s)?,
+                None => ProfileFormat::default(),
+            },
+            seeds,
             opts,
         }),
         "figures" => Ok(Command::Figures {
@@ -380,6 +466,35 @@ fn sink_for(cfg: &stats_core::Config, telemetry: Option<&str>) -> std::io::Resul
     })
 }
 
+/// Attribute one profiled native run (the `--profile` flag): assemble
+/// the captured spans into a wall-clock profile and run the causal
+/// attribution. `None` when the sink carries no profiler.
+fn attribute_native<O>(
+    sink: &TelemetrySink,
+    run: &stats_core::runtime::threaded::ThreadedRun<O>,
+) -> Option<WallAttribution> {
+    let prof = sink.profiler()?;
+    let aborted = run
+        .decisions
+        .iter()
+        .map(|d| *d == ChunkDecision::Aborted)
+        .collect();
+    let elapsed_ns = u64::try_from(run.elapsed.as_nanos()).unwrap_or(u64::MAX);
+    Some(WallProfile::assemble(prof, aborted, elapsed_ns).attribute())
+}
+
+/// The one-line attribution summary `--profile` appends to run/tune
+/// text output.
+fn profile_line(a: &WallAttribution) -> String {
+    format!(
+        "profile:       projected {:.2}x of {:.2}x ideal | dominant loss {} | 2x workers -> {:.2}x\n",
+        a.projected,
+        a.ideal,
+        a.dominant().name(),
+        a.whatifs.double_workers,
+    )
+}
+
 struct RunCmd<'p> {
     opts: Options,
     pool: Option<&'p WorkerPool>,
@@ -391,7 +506,12 @@ impl WorkloadVisitor for RunCmd<'_> {
         let cfg = config_for(w, &self.opts);
         let n = self.opts.scale.inputs_for(w);
         let inputs = w.generate_inputs(n, self.opts.seed);
-        let sink = sink_for(&cfg, self.opts.telemetry.as_deref())?;
+        let mut sink = sink_for(&cfg, self.opts.telemetry.as_deref())?;
+        if self.opts.profile {
+            if let Some(pool) = self.pool {
+                sink = sink.with_profiler(Profiler::new(pool.workers()));
+            }
+        }
         sink.event(&Event::RunStarted {
             benchmark: w.name().to_string(),
             runtime: if self.opts.workers.is_some() {
@@ -426,6 +546,7 @@ impl WorkloadVisitor for RunCmd<'_> {
         let decisions_match = native
             .as_ref()
             .is_none_or(|t| t.decisions == report.decisions);
+        let wall = native.as_ref().and_then(|t| attribute_native(&sink, t));
         let quality = w.quality(&inputs, &report.outputs);
         let snap = sink.snapshot();
         sink.event(&Event::Snapshot {
@@ -466,6 +587,9 @@ impl WorkloadVisitor for RunCmd<'_> {
                     .f64("native_ms", t.elapsed.as_secs_f64() * 1e3)
                     .bool("decisions_match", decisions_match);
             }
+            if let Some(a) = &wall {
+                o.raw("profile", &a.to_json());
+            }
             return Ok(format!("{}\n", o.finish()));
         }
         let mut out = format!(
@@ -501,6 +625,9 @@ impl WorkloadVisitor for RunCmd<'_> {
                     "DIVERGE from"
                 },
             ));
+        }
+        if let Some(a) = &wall {
+            out.push_str(&profile_line(a));
         }
         if let Some(path) = &self.opts.telemetry {
             out.push_str(&format!(
@@ -707,17 +834,65 @@ impl WorkloadVisitor for TuneCmd<'_> {
             variance,
         );
         // With --workers, replay the winner on real threads so the tuned
-        // configuration's native behavior is visible next to the model's.
+        // configuration's native behavior is visible next to the model's;
+        // --profile rides the wall-clock profiler on that replay and
+        // appends its causal attribution.
         if let Some(pool) = self.pool {
-            let native = run_threaded_on(pool, w, &inputs, report.best, self.opts.seed, None);
+            let psink = self.opts.profile.then(|| {
+                TelemetrySink::new(report.best.chunks.max(1))
+                    .with_profiler(Profiler::new(pool.workers()))
+            });
+            let native = run_threaded_on(
+                pool,
+                w,
+                &inputs,
+                report.best,
+                self.opts.seed,
+                psink.as_ref(),
+            );
             out.push_str(&format!(
                 "native:    {:.1} ms on {} pooled workers ({} aborts)\n",
                 native.elapsed.as_secs_f64() * 1e3,
                 native.workers,
                 native.aborts(),
             ));
+            if let Some(a) = psink.as_ref().and_then(|s| attribute_native(s, &native)) {
+                out.push_str(&profile_line(&a));
+            }
         }
         Ok(out)
+    }
+}
+
+struct ProfileCmd<'p> {
+    opts: Options,
+    format: ProfileFormat,
+    seeds: usize,
+    pool: Option<&'p WorkerPool>,
+}
+
+impl WorkloadVisitor for ProfileCmd<'_> {
+    type Output = std::io::Result<String>;
+    fn visit<W: Workload>(self, w: &W) -> std::io::Result<String> {
+        let pool = self.pool.expect("execute() builds a pool for profile");
+        let seeds: Vec<u64> = (0..self.seeds as u64)
+            .map(|i| self.opts.seed.wrapping_add(i))
+            .collect();
+        let report = profile_workload(w, pool, self.opts.scale, &seeds);
+        Ok(match self.format {
+            ProfileFormat::Table => render_profile_table(&report),
+            ProfileFormat::Json => format!("{}\n", report.to_json()),
+            ProfileFormat::Chrome => {
+                let trace = report
+                    .profile
+                    .to_trace(w.name())
+                    .expect("captured spans form a valid trace");
+                stats_trace::chrome::to_chrome_trace_with_names(
+                    &trace,
+                    &report.profile.thread_names(),
+                )
+            }
+        })
     }
 }
 
@@ -736,6 +911,11 @@ pub fn execute(cmd: Command) -> std::io::Result<String> {
         Command::Run { opts, .. } | Command::Metrics { opts, .. } | Command::Tune { opts, .. } => {
             opts.workers.map(WorkerPool::new)
         }
+        // Profiling is native by definition: no --workers means "the
+        // host's natural pool width".
+        Command::Profile { opts, .. } => Some(WorkerPool::new(
+            opts.workers.unwrap_or_else(default_workers),
+        )),
         _ => None,
     };
     let pool = pool.as_ref();
@@ -835,6 +1015,20 @@ pub fn execute(cmd: Command) -> std::io::Result<String> {
             path,
             opts,
         } => dispatch(&benchmark, ExportCmd { opts, path }),
+        Command::Profile {
+            benchmark,
+            format,
+            seeds,
+            opts,
+        } => dispatch(
+            &benchmark,
+            ProfileCmd {
+                opts,
+                format,
+                seeds,
+                pool,
+            },
+        ),
     }
 }
 
@@ -1096,6 +1290,119 @@ mod tests {
             log.contains("\"type\":\"tune_batch\"") && log.contains("\"workers\":2"),
             "expected pool-width-stamped tune_batch events:\n{log}"
         );
+    }
+
+    #[test]
+    fn parses_profile_with_options() {
+        match parse(&args(
+            "profile swaptions --workers 2 --seeds 4 --format json",
+        ))
+        .unwrap()
+        {
+            Command::Profile {
+                benchmark,
+                format,
+                seeds,
+                opts,
+            } => {
+                assert_eq!(benchmark, "swaptions");
+                assert_eq!(format, ProfileFormat::Json);
+                assert_eq!(seeds, 4);
+                assert_eq!(opts.workers, Some(2));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: table rendering, 3 seeds, host-width pool.
+        match parse(&args("profile swaptions")).unwrap() {
+            Command::Profile { format, seeds, .. } => {
+                assert_eq!(format, ProfileFormat::Table);
+                assert_eq!(seeds, 3);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&args("profile swaptions --format prometheus")).is_err());
+        assert!(parse(&args("profile swaptions --seeds 0")).is_err());
+        assert!(parse(&args("profile")).is_err());
+    }
+
+    #[test]
+    fn profile_flag_requires_workers_on_run_and_tune() {
+        assert!(parse(&args("run swaptions --profile")).is_err());
+        assert!(parse(&args("tune swaptions --profile")).is_err());
+        assert!(parse(&args("run swaptions --profile --workers 2")).is_ok());
+        // `stats profile` itself needs no flag.
+        assert!(parse(&args("profile swaptions")).is_ok());
+    }
+
+    #[test]
+    fn profile_command_renders_each_format() {
+        let table = execute(
+            parse(&args(
+                "profile swaptions --scale 0.05 --workers 2 --seeds 2",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(table.contains("causal profile: swaptions"));
+        assert!(table.contains("speedup lost to:"));
+        assert!(table.contains("what-if projections:"));
+
+        let json = execute(
+            parse(&args(
+                "profile swaptions --scale 0.05 --workers 2 --format json",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        stats_telemetry::json::validate(json.trim())
+            .unwrap_or_else(|e| panic!("invalid profile json: {e}\n{json}"));
+        assert!(json.contains("\"losses\":"));
+        assert!(json.contains("\"whatifs\":"));
+
+        let chrome = execute(
+            parse(&args(
+                "profile swaptions --scale 0.05 --workers 2 --format chrome",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(chrome.trim_start().starts_with('['));
+        assert!(chrome.contains("\"thread_name\""));
+        assert!(chrome.contains("stats-pool-0"));
+        assert!(chrome.contains("coordinator"));
+        assert!(chrome.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn run_with_profile_appends_attribution() {
+        let cmd = parse(&args(
+            "run swaptions --scale 0.05 --chunks 8 --workers 2 --profile",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("profile:"), "missing attribution:\n{out}");
+        assert!(out.contains("dominant loss"));
+        // JSON summary embeds the full attribution object.
+        let cmd = parse(&args(
+            "run swaptions --scale 0.05 --chunks 8 --workers 2 --profile --json",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        stats_telemetry::json::validate(out.trim())
+            .unwrap_or_else(|e| panic!("invalid --json summary: {e}\n{out}"));
+        assert!(out.contains("\"profile\":{"));
+        assert!(out.contains("\"losses\":"));
+    }
+
+    #[test]
+    fn tune_with_profile_attributes_the_native_replay() {
+        let cmd = parse(&args(
+            "tune swaptions --scale 0.05 --budget 3 --workers 2 --profile",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("native:"));
+        assert!(out.contains("profile:"), "missing attribution:\n{out}");
     }
 
     #[test]

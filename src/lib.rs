@@ -59,6 +59,7 @@ pub use stats_autotuner as autotuner;
 pub use stats_bench as bench;
 pub use stats_core as core;
 pub use stats_platform as platform;
+pub use stats_telemetry as telemetry;
 pub use stats_trace as trace;
 pub use stats_uarch as uarch;
 pub use stats_workloads as workloads;
