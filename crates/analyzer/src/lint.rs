@@ -20,8 +20,9 @@
 //! | ND010 | pool task closure capturing `&mut` enclosing-scope state |
 //! | ND011 | unwaived dynamic dispatch on a sink-reachable path |
 //! | ND012 | direct wall-clock read in a runtime hot path (use the telemetry clock) |
+//! | ND013 | direct clone of workload state in a runtime hot path (use the snapshot API) |
 //!
-//! ND001–ND008 and ND012 are single-file token-pattern checks. ND009–ND011
+//! ND001–ND008, ND012, and ND013 are single-file token-pattern checks. ND009–ND011
 //! run on the workspace call graph (see [`crate::taint`]) and are only
 //! produced by [`lint_workspace`]; the per-file entry points skip them.
 //!
@@ -35,7 +36,13 @@
 //! timings the telemetry layer exists to measure. ND007 fires in the
 //! same hot paths except `pool.rs` itself: with the pooled executor in
 //! place, per-task `std::thread` creation off the pool reintroduces the
-//! spawn cost the pool exists to amortize. ND008 fires only in autotuner
+//! spawn cost the pool exists to amortize. ND013 shares ND007's scope:
+//! inside the executor, every state duplication must route through the
+//! sanctioned snapshot API (`StatePool::copy_of`,
+//! `StateDependence::snapshot_state`) so that the COW strategy, spare
+//! recycling, and the `StateBytesCopied` accounting all see it — and
+//! `pool.rs` is exempt precisely because it *implements* that API.
+//! ND008 fires only in autotuner
 //! searcher files: the batched ask/tell contract promises a search
 //! trajectory that depends on `(seed, budget, batch)` alone, so an
 //! `ask`/`tell` body reading the clock, its thread identity, or the pool
@@ -228,6 +235,17 @@ pub static RULES: &[Rule] = &[
                so per-worker spans are comparable",
         applies_to: hot_path,
         check: RuleCheck::File(check_hot_path_wall_clock),
+    },
+    Rule {
+        id: "ND013",
+        summary: "direct clone of workload state in a runtime hot path",
+        hint: "copy state through the sanctioned snapshot API (StatePool::copy_of, \
+               StateDependence::snapshot_state): a bare .clone() always pays the \
+               full deep copy, bypassing COW structural sharing, spare recycling, \
+               and the StateBytesLogical/StateBytesCopied accounting that prices \
+               copies in the cost model",
+        applies_to: hot_path_outside_pool,
+        check: RuleCheck::File(check_hot_path_state_clone),
     },
 ];
 
@@ -569,6 +587,48 @@ fn check_ambient_searcher(file: &LexedFile) -> Vec<RawFinding> {
                 "`.workers()` reads pool width inside a searcher ask/tell body".to_string(),
             ));
         }
+    }
+    out
+}
+
+/// Receiver names that hold a workload's `State` value by the
+/// executor's naming convention: the replica fan-out and commit loops
+/// call them `state`, `baseline`, `snapshot`, or a `*_state` /
+/// `*_snapshot` variant. A name check is deliberate — the lexer has no
+/// types, and the runtime's own style guide fixes these names, so the
+/// convention *is* the contract the rule enforces.
+fn is_state_receiver(name: &str) -> bool {
+    name == "state"
+        || name == "baseline"
+        || name == "snapshot"
+        || name.ends_with("_state")
+        || name.ends_with("_snapshot")
+}
+
+fn check_hot_path_state_clone(file: &LexedFile) -> Vec<RawFinding> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let is_clone = t.kind == TokKind::Ident && (t.text == "clone" || t.text == "clone_from");
+        if !is_clone || !toks.get(i + 1).is_some_and(|a| a.is_punct('(')) {
+            continue;
+        }
+        // Method-call form only: `recv.clone(..)` / `recv.clone_from(..)`.
+        if i < 2 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        let recv = &toks[i - 2];
+        if recv.kind != TokKind::Ident || !is_state_receiver(&recv.text) {
+            continue;
+        }
+        out.push(RawFinding::at(
+            recv,
+            recv.text.chars().count() + 1 + t.text.chars().count(),
+            format!(
+                "`{}.{}(..)` duplicates workload state outside the snapshot API",
+                recv.text, t.text
+            ),
+        ));
     }
     out
 }
@@ -930,6 +990,38 @@ mod tests {
                       // stats-analyzer: allow(ND008): diagnostics only\n\
                       let id = thread::current().id(); }";
         assert!(lint_source("crates/autotuner/src/x.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn state_clones_are_scoped_to_hot_paths_outside_the_pool() {
+        let src = "fn commit() { let s = state.clone(); }";
+        let hot = lint_source("crates/core/src/runtime/threaded.rs", src);
+        assert_eq!(hot.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND013"]);
+        let spec = lint_source("crates/core/src/speculation.rs", src);
+        assert_eq!(spec.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND013"]);
+        // The pool implements the sanctioned copy: its clone_from IS the API.
+        assert!(lint_source("crates/core/src/runtime/pool.rs", src).is_empty());
+        // Outside the hot paths (workload internals, oracles, tests)
+        // cloning state is unremarkable.
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn state_clone_matches_conventional_receivers_only() {
+        // clone_from and suffixed receivers are covered.
+        let each = "fn f() { baseline.clone_from(&committed); let c = chunk_state.clone(); }";
+        assert_eq!(lint_source("x/runtime/y.rs", each).len(), 2);
+        // A field access still names the state.
+        let field = "fn f(&self) { let s = self.snapshot.clone(); }";
+        assert_eq!(lint_source("x/runtime/y.rs", field).len(), 1);
+        // Clones of non-state values (ranges, configs, plural handles) and
+        // bare `clone` without a receiver don't match.
+        let fine = "fn f() { let r = range.clone(); cfg.clone(); states.clone(); clone(); }";
+        assert!(lint_source("x/runtime/y.rs", fine).is_empty());
+        // And the waiver comment works like every other rule.
+        let waived = "// stats-analyzer: allow(ND013): oracle copy outside the measured region\n\
+                      fn f() { let s = state.clone(); }";
+        assert!(lint_source("x/runtime/y.rs", waived).is_empty());
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! ND013 fixture (path says `runtime/`): direct clones of workload
+//! state dodge the snapshot API and always pay the full deep copy. The
+//! range clone (not state) and the waived oracle copy stay quiet.
+
+fn commit_chunk(state: &ChunkState, range: std::ops::Range<usize>) {
+    let replica = state.clone();
+    let window = range.clone();
+    publish(replica, window);
+}
+
+fn replay(baseline: &mut ChunkState, committed: &ChunkState) {
+    baseline.clone_from(committed);
+}
+
+fn audit(state: &ChunkState) {
+    // stats-analyzer: allow(ND013): oracle copy, outside the measured region
+    let oracle = state.clone();
+    compare(oracle);
+}

@@ -158,6 +158,40 @@ fn hot_clock_rule_is_path_scoped() {
 }
 
 #[test]
+fn state_clone_fixture_flags_direct_clones_but_honors_the_waiver() {
+    let diags = fixture("runtime/bad_state_clone.rs");
+    assert_eq!(rules(&diags), ["ND013", "ND013"]);
+    let text = diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("state.clone"));
+    assert!(text.contains("baseline.clone_from"));
+    // The range clone (not workload state) and the waived oracle copy
+    // are not reported.
+    assert!(diags.iter().all(|d| !d.snippet.contains("range.clone")));
+    assert!(diags.iter().all(|d| !d.snippet.contains("oracle")));
+}
+
+#[test]
+fn state_clone_rule_exempts_the_pool_and_non_hot_paths() {
+    // Identical source lints clean when the path is the pool (which
+    // implements the sanctioned copy) or any file outside the runtime
+    // hot paths (workload internals clone their own state freely).
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/runtime/bad_state_clone.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    for ok_path in [
+        "crates/core/src/runtime/pool.rs",
+        "crates/workloads/src/bodytrack.rs",
+    ] {
+        let diags = stats_analyzer::lint::lint_source(ok_path, &source);
+        assert!(diags.is_empty(), "{ok_path}: {diags:#?}");
+    }
+}
+
+#[test]
 fn ambient_searcher_fixture_flags_ask_tell_reads_but_honors_waivers() {
     let diags = fixture("autotuner/bad_ambient_searcher.rs");
     assert_eq!(rules(&diags), ["ND008", "ND008", "ND008"]);

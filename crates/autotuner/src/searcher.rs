@@ -97,8 +97,16 @@ impl HillClimb {
 
     pub(crate) fn neighbor(&mut self, space: &DesignSpace, base: Config) -> Config {
         let mut cfg = base;
-        // Pick a dimension and move to an adjacent choice.
-        let dim = self.rng.gen_range(0..4u8);
+        // Pick a dimension and move to an adjacent choice. The snapshot
+        // dimension only exists (and only costs an RNG draw) when the
+        // space actually offers more than one strategy, so trajectories
+        // over the historical four-dimensional space stay bit-identical.
+        let dims = if space.snapshot_options().len() > 1 {
+            5u8
+        } else {
+            4u8
+        };
+        let dim = self.rng.gen_range(0..dims);
         let shift = |rng: &mut ChaCha8Rng, choices: &[usize], cur: usize| -> usize {
             let idx = choices.iter().position(|&c| c == cur).unwrap_or(0);
             let next = if rng.gen::<bool>() {
@@ -115,10 +123,15 @@ impl HillClimb {
                 cfg.extra_states =
                     shift(&mut self.rng, &space.extra_state_choices, cfg.extra_states)
             }
-            _ => {
+            3 => {
                 if space.allow_combine {
                     cfg.combine_inner_tlp = !cfg.combine_inner_tlp;
                 }
+            }
+            _ => {
+                let options = space.snapshot_options();
+                let idx = options.iter().position(|&s| s == cfg.snapshot).unwrap_or(0);
+                cfg.snapshot = options[(idx + 1) % options.len()];
             }
         }
         cfg
@@ -213,7 +226,14 @@ impl Evolutionary {
             } else {
                 b.combine_inner_tlp
             },
+            snapshot: a.snapshot,
         };
+        // Crossover on the snapshot dimension draws (and costs) a coin
+        // only when the space offers a choice, keeping four-dimensional
+        // trajectories bit-identical to the pre-snapshot searcher.
+        if space.snapshot_options().len() > 1 && self.rng.gen() {
+            child.snapshot = b.snapshot;
+        }
         // Mutation.
         if self.rng.gen::<f64>() < 0.3 {
             child = HillClimb::new(self.rng.gen()).neighbor(space, child);
@@ -525,6 +545,31 @@ mod tests {
                 + usize::from(prop.lookback != base.lookback)
                 + usize::from(prop.extra_states != base.extra_states)
                 + usize::from(prop.combine_inner_tlp != base.combine_inner_tlp);
+            assert!(diffs <= 1, "hill-climb changed {diffs} dims: {prop:?}");
+        }
+    }
+
+    #[test]
+    fn hill_climb_explores_snapshot_when_offered() {
+        use stats_core::SnapshotStrategy;
+        let mut sp = space();
+        sp.snapshot_choices = vec![SnapshotStrategy::DeepClone, SnapshotStrategy::CopyOnWrite];
+        let base = Config::stats_only(28, 8, 1);
+        let mut hc = HillClimb::new(7);
+        hc.tell(&[(base, 0.0)]);
+        let props = hc.ask(&sp, 40);
+        assert!(
+            props
+                .iter()
+                .any(|p| p.snapshot == SnapshotStrategy::CopyOnWrite),
+            "snapshot dimension never mutated"
+        );
+        for prop in props {
+            let diffs = usize::from(prop.chunks != base.chunks)
+                + usize::from(prop.lookback != base.lookback)
+                + usize::from(prop.extra_states != base.extra_states)
+                + usize::from(prop.combine_inner_tlp != base.combine_inner_tlp)
+                + usize::from(prop.snapshot != base.snapshot);
             assert!(diffs <= 1, "hill-climb changed {diffs} dims: {prop:?}");
         }
     }

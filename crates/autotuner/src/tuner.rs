@@ -14,7 +14,7 @@
 use crate::searcher::{Annealing, Ensemble, Evolutionary, HillClimb, RandomSearch, Searcher};
 use serde::{Deserialize, Serialize};
 use stats_core::runtime::pool::WorkerPool;
-use stats_core::{Config, DesignSpace};
+use stats_core::{Config, DesignSpace, SnapshotStrategy};
 use stats_telemetry::{Event, TelemetrySink};
 use std::collections::BTreeMap;
 
@@ -76,12 +76,13 @@ const STALL_LIMIT: usize = 50;
 /// The memoization key of a configuration (a totally ordered tuple, so
 /// the result database can live in a `BTreeMap` — deterministic and
 /// O(log n) instead of the former O(n) scan over a `Vec`).
-fn key(cfg: &Config) -> (usize, usize, usize, bool) {
+fn key(cfg: &Config) -> (usize, usize, usize, bool, SnapshotStrategy) {
     (
         cfg.chunks,
         cfg.lookback,
         cfg.extra_states,
         cfg.combine_inner_tlp,
+        cfg.snapshot,
     )
 }
 
@@ -215,7 +216,8 @@ impl Tuner {
         mut evaluate: impl FnMut(&[Config], &mut [f64]),
     ) -> TuningReport {
         let mut searcher = self.searcher_for(strategy);
-        let mut database: BTreeMap<(usize, usize, usize, bool), f64> = BTreeMap::new();
+        let mut database: BTreeMap<(usize, usize, usize, bool, SnapshotStrategy), f64> =
+            BTreeMap::new();
         let mut history: Vec<(Config, f64)> = Vec::new();
         let mut best_cost = f64::INFINITY;
         let mut stalled = 0usize;
@@ -339,7 +341,15 @@ mod tests {
             .map(|(c, _)| *c)
             .collect::<Vec<_>>();
         let before = seen.len();
-        seen.sort_by_key(|c| (c.chunks, c.lookback, c.extra_states, c.combine_inner_tlp));
+        seen.sort_by_key(|c| {
+            (
+                c.chunks,
+                c.lookback,
+                c.extra_states,
+                c.combine_inner_tlp,
+                c.snapshot,
+            )
+        });
         seen.dedup();
         assert_eq!(seen.len(), before, "duplicate evaluations");
     }
@@ -366,6 +376,7 @@ mod tests {
             lookback_choices: vec![1],
             extra_state_choices: vec![0],
             allow_combine: false,
+            snapshot_choices: Vec::new(),
             inputs: 10,
         };
         let report = Tuner::new(tiny, 1_000, 4).tune(Strategy::Random, objective);

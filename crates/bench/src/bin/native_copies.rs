@@ -1,0 +1,425 @@
+//! Snapshot-strategy sweep over the native pooled runtime: every paper
+//! benchmark × {deep, cow} × pool widths.
+//!
+//! For each cell this harness runs the pooled executor `--reps` times
+//! and records the min wall time plus the byte accounting
+//! (`StateBytesLogical` / `StateBytesCopied`); for each benchmark at the
+//! widest width it additionally profiles both strategies to close the
+//! causal-profiler loop. With `--gate`, the process exits non-zero
+//! unless:
+//!
+//! * **parity** — at every width, the cow run's decisions, outputs, and
+//!   quality bits match the deep run exactly, and both strategies agree
+//!   on `StateBytesLogical` (the logical copy volume is a property of
+//!   the protocol, not the snapshot mechanism);
+//! * **byte collapse** — on the tracker benchmarks, whose particle-cloud
+//!   states update generationally and so never fault their shared
+//!   generations, `StateBytesCopied(cow) <= 0.5 x deep` (in practice it
+//!   is near zero — far beyond the 2x the acceptance bar asks for);
+//! * **no slowdown** — the geomean over all (benchmark, width) cells of
+//!   `cow_time / deep_time` stays within `--tolerance` percent of 1.0;
+//! * **bracket** — on the trackers, the achieved cow speedup lands in
+//!   the bracket the deep profile predicts: at least the deep measured
+//!   speedup and at most the copies-free what-if projection, each side
+//!   slackened by `--tolerance` percent plus the estimate's own CI
+//!   (wall-clock speedups on a time-shared host carry scheduler noise
+//!   the tolerance absorbs).
+//!
+//! Usage: `native_copies [--scale F] [--reps N] [--widths A,B] \
+//! [--tolerance PCT] [--out PATH] [--gate]` — exits 0 on success, 1 on
+//! gate failure, 2 on bad arguments.
+
+use stats_bench::native_attribution::profile_workload_configured;
+use stats_bench::pipeline::{geomean, tuned_config, Scale, FIGURE_SEED};
+use stats_core::runtime::pool::{default_workers, WorkerPool};
+use stats_core::runtime::threaded::run_threaded_on;
+use stats_core::{Config, SnapshotStrategy};
+use stats_telemetry::json::{validate, JsonObject};
+use stats_telemetry::{Counter, Estimate, TelemetrySink};
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+/// Benchmarks whose dominant state is a particle cloud: COW forks share
+/// whole generations structurally, so physical copies must collapse.
+/// The stream workloads merely *defer* their (tiny) copy to the first
+/// post-fork write, which the byte gate deliberately does not reward.
+const TRACKERS: [&str; 3] = ["bodytrack", "facetrack", "facedet-and-track"];
+
+#[derive(Clone)]
+struct Args {
+    scale: Scale,
+    reps: usize,
+    widths: Vec<usize>,
+    tolerance: f64,
+    out: String,
+    gate: bool,
+}
+
+/// One (strategy, width) cell: timing plus byte accounting.
+struct Cell {
+    min_ns: u64,
+    bytes_logical: u64,
+    bytes_copied: u64,
+}
+
+/// Deep and cow at one width, with the parity verdict between them.
+struct WidthPair {
+    width: usize,
+    deep: Cell,
+    cow: Cell,
+    parity: bool,
+}
+
+struct BenchRow {
+    name: String,
+    pairs: Vec<WidthPair>,
+    /// Measured speedup of the deep-snapshot runs (profiled, widest width).
+    deep_measured: Estimate,
+    /// Measured speedup of the cow-snapshot runs (same pool and seeds).
+    cow_measured: Estimate,
+    /// The copies-free what-if, projected from the *deep* profile: the
+    /// upper edge of the bracket the cow runs must land in.
+    copies_free_deep: Estimate,
+    is_tracker: bool,
+}
+
+struct Sweep<'a> {
+    args: &'a Args,
+}
+
+impl WorkloadVisitor for Sweep<'_> {
+    type Output = BenchRow;
+    fn visit<W: Workload>(self, w: &W) -> BenchRow {
+        let args = self.args;
+        let n = args.scale.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let deep_cfg = tuned_config(w, 28, args.scale);
+        let mut cow_cfg = deep_cfg;
+        cow_cfg.snapshot = SnapshotStrategy::CopyOnWrite;
+
+        let mut pairs = Vec::new();
+        for &width in &args.widths {
+            let pool = WorkerPool::new(width);
+            let measure = |cfg: Config| {
+                let sink = TelemetrySink::new(cfg.chunks.max(1));
+                let first = run_threaded_on(&pool, w, &inputs, cfg, FIGURE_SEED, Some(&sink));
+                let snap = sink.snapshot();
+                let mut min_ns = u64::try_from(first.elapsed.as_nanos()).unwrap_or(u64::MAX);
+                for _ in 1..args.reps {
+                    let rep = run_threaded_on(&pool, w, &inputs, cfg, FIGURE_SEED, None);
+                    min_ns = min_ns.min(u64::try_from(rep.elapsed.as_nanos()).unwrap_or(u64::MAX));
+                }
+                let cell = Cell {
+                    min_ns,
+                    bytes_logical: snap.get(Counter::StateBytesLogical),
+                    bytes_copied: snap.get(Counter::StateBytesCopied),
+                };
+                (cell, first)
+            };
+            let (deep, deep_run) = measure(deep_cfg);
+            let (cow, cow_run) = measure(cow_cfg);
+            // Outputs lack a PartialEq bound at this level; the quality
+            // score hashes every output bit, so equal decisions + equal
+            // quality bits is output parity in practice (the integration
+            // suite checks Output equality directly where the type allows).
+            let parity = deep_run.decisions == cow_run.decisions
+                && deep_run.outputs.len() == cow_run.outputs.len()
+                && w.quality(&inputs, &deep_run.outputs).to_bits()
+                    == w.quality(&inputs, &cow_run.outputs).to_bits()
+                && deep.bytes_logical == cow.bytes_logical;
+            pairs.push(WidthPair {
+                width,
+                deep,
+                cow,
+                parity,
+            });
+        }
+
+        // Close the profiler loop at the widest width: the copies-free
+        // what-if is measured under deep (where copies still cost), the
+        // achieved speedup under cow.
+        let widest = args.widths.iter().copied().max().unwrap_or(1);
+        let pool = WorkerPool::new(widest);
+        let seeds = [FIGURE_SEED, FIGURE_SEED + 1];
+        let deep_report = profile_workload_configured(w, &pool, args.scale, &seeds, deep_cfg);
+        let cow_report = profile_workload_configured(w, &pool, args.scale, &seeds, cow_cfg);
+
+        BenchRow {
+            name: w.name().to_string(),
+            pairs,
+            deep_measured: deep_report.measured,
+            cow_measured: cow_report.measured,
+            copies_free_deep: deep_report.whatif_copies_free,
+            is_tracker: TRACKERS.contains(&w.name()),
+        }
+    }
+}
+
+struct Gate {
+    all_parity: bool,
+    trackers_collapse: bool,
+    geomean_time_ratio: f64,
+    brackets_hold: bool,
+    tolerance_pct: f64,
+}
+
+impl Gate {
+    fn evaluate(rows: &[BenchRow], tolerance_pct: f64) -> Gate {
+        let slack = 1.0 + tolerance_pct / 100.0;
+        let all_parity = rows.iter().all(|r| r.pairs.iter().all(|p| p.parity));
+        let trackers_collapse = rows.iter().filter(|r| r.is_tracker).all(|r| {
+            r.pairs
+                .iter()
+                .all(|p| 2 * p.cow.bytes_copied <= p.deep.bytes_copied)
+        });
+        let ratios: Vec<f64> = rows
+            .iter()
+            .flat_map(|r| r.pairs.iter())
+            .map(|p| p.cow.min_ns as f64 / p.deep.min_ns.max(1) as f64)
+            .collect();
+        let geomean_time_ratio = geomean(&ratios);
+        let brackets_hold = rows.iter().filter(|r| r.is_tracker).all(|r| {
+            let ceiling = (r.copies_free_deep.mean + r.copies_free_deep.half_width) * slack;
+            let floor = (r.deep_measured.mean - r.deep_measured.half_width) / slack;
+            let achieved = r.cow_measured.mean;
+            achieved - r.cow_measured.half_width <= ceiling
+                && achieved + r.cow_measured.half_width >= floor
+        });
+        Gate {
+            all_parity,
+            trackers_collapse,
+            geomean_time_ratio,
+            brackets_hold,
+            tolerance_pct,
+        }
+    }
+
+    fn pass(&self) -> bool {
+        self.all_parity
+            && self.trackers_collapse
+            && self.geomean_time_ratio <= 1.0 + self.tolerance_pct / 100.0
+            && self.brackets_hold
+    }
+}
+
+fn render_json(args: &Args, rows: &[BenchRow], gate: &Gate) -> String {
+    let est = |e: &Estimate| format!("{{\"mean\":{:.6},\"ci\":{:.6}}}", e.mean, e.half_width);
+    let mut benches = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            benches.push(',');
+        }
+        let mut widths = String::from("[");
+        for (j, p) in row.pairs.iter().enumerate() {
+            if j > 0 {
+                widths.push(',');
+            }
+            let cell = |c: &Cell| {
+                let mut o = JsonObject::new();
+                o.u64("min_ns", c.min_ns)
+                    .u64("bytes_logical", c.bytes_logical)
+                    .u64("bytes_copied", c.bytes_copied);
+                o.finish()
+            };
+            let mut o = JsonObject::new();
+            o.u64("width", p.width as u64)
+                .raw("deep", &cell(&p.deep))
+                .raw("cow", &cell(&p.cow))
+                .bool("parity", p.parity);
+            widths.push_str(&o.finish());
+        }
+        widths.push(']');
+        let mut o = JsonObject::new();
+        o.str("benchmark", &row.name)
+            .bool("tracker", row.is_tracker)
+            .raw("widths", &widths)
+            .raw("deep_measured", &est(&row.deep_measured))
+            .raw("cow_measured", &est(&row.cow_measured))
+            .raw("copies_free_deep", &est(&row.copies_free_deep));
+        benches.push_str(&o.finish());
+    }
+    benches.push(']');
+
+    let mut widths = String::from("[");
+    for (i, wd) in args.widths.iter().enumerate() {
+        if i > 0 {
+            widths.push(',');
+        }
+        widths.push_str(&wd.to_string());
+    }
+    widths.push(']');
+
+    let mut g = JsonObject::new();
+    g.bool("enforced", args.gate)
+        .bool("all_parity", gate.all_parity)
+        .bool("trackers_collapse", gate.trackers_collapse)
+        .f64("geomean_time_ratio", gate.geomean_time_ratio)
+        .bool("brackets_hold", gate.brackets_hold)
+        .f64("tolerance_pct", gate.tolerance_pct)
+        .bool("pass", gate.pass());
+
+    let mut o = JsonObject::new();
+    o.str("bench", "native_copies")
+        .u64("seed", FIGURE_SEED)
+        .f64("scale", args.scale.0)
+        .u64("reps", args.reps as u64)
+        .raw("widths", &widths)
+        .u64("host_parallelism", default_workers() as u64)
+        .raw("benchmarks", &benches)
+        .raw("gate", &g.finish());
+    format!("{}\n", o.finish())
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale(0.1),
+        reps: 3,
+        widths: vec![1, 4],
+        tolerance: 10.0,
+        out: "BENCH_copies.json".to_string(),
+        gate: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = "usage: native_copies [--scale F] [--reps N] [--widths A,B] \
+                 [--tolerance PCT] [--out PATH] [--gate]";
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} requires a value\n{usage}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                let v: f64 = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --scale expects a number\n{usage}");
+                    std::process::exit(2);
+                });
+                args.scale = Scale(v);
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --reps expects an integer\n{usage}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--widths" => {
+                args.widths = value(i)
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("error: --widths expects integers\n{usage}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--tolerance" => {
+                let v: f64 = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --tolerance expects a number\n{usage}");
+                    std::process::exit(2);
+                });
+                args.tolerance = v;
+                i += 2;
+            }
+            "--out" => {
+                args.out = value(i);
+                i += 2;
+            }
+            "--gate" => {
+                args.gate = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(args.scale.0 > 0.0 && args.scale.0 <= 1.0)
+        || args.reps == 0
+        || args.widths.is_empty()
+        || args.widths.contains(&0)
+        || args.tolerance <= 0.0
+        || args.tolerance.is_nan()
+    {
+        eprintln!("error: --scale in (0,1]; --reps, --widths, --tolerance positive\n{usage}");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "native_copies: scale {}, {} reps, widths {:?}, host parallelism {}",
+        args.scale.0,
+        args.reps,
+        args.widths,
+        default_workers(),
+    );
+
+    let rows: Vec<BenchRow> = BENCHMARK_NAMES
+        .iter()
+        .map(|name| {
+            let row = dispatch(name, Sweep { args: &args });
+            for p in &row.pairs {
+                println!(
+                    "{:<18} w{} copied {:>12} -> {:>12} B ({}) | time x{:.3}{}",
+                    row.name,
+                    p.width,
+                    p.deep.bytes_copied,
+                    p.cow.bytes_copied,
+                    if p.deep.bytes_copied > 0 && 2 * p.cow.bytes_copied <= p.deep.bytes_copied {
+                        "collapsed"
+                    } else {
+                        "deferred"
+                    },
+                    p.cow.min_ns as f64 / p.deep.min_ns.max(1) as f64,
+                    if p.parity { "" } else { " PARITY BROKEN" },
+                );
+            }
+            println!(
+                "{:<18} bracket: deep {:.2}x <= cow {:.2}x <= copies-free {:.2}x{}",
+                "",
+                row.deep_measured.mean,
+                row.cow_measured.mean,
+                row.copies_free_deep.mean,
+                if row.is_tracker { " (gated)" } else { "" },
+            );
+            row
+        })
+        .collect();
+
+    let gate = Gate::evaluate(&rows, args.tolerance);
+    let json = render_json(&args, &rows, &gate);
+    validate(json.trim()).unwrap_or_else(|e| panic!("generated invalid JSON: {e}"));
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!(
+        "\nwrote {} | parity {} | tracker bytes {} | geomean time x{:.3} | brackets {}",
+        args.out,
+        if gate.all_parity { "ok" } else { "BROKEN" },
+        if gate.trackers_collapse {
+            "collapsed"
+        } else {
+            "NOT COLLAPSED"
+        },
+        gate.geomean_time_ratio,
+        if gate.brackets_hold { "hold" } else { "BROKEN" },
+    );
+
+    if args.gate {
+        if gate.pass() {
+            println!("OK: cow snapshots change bytes and time, never results");
+        } else {
+            println!("FAIL: snapshot-strategy gate failed");
+            std::process::exit(1);
+        }
+    }
+}

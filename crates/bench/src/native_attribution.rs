@@ -151,8 +151,19 @@ pub fn profile_workload<W: Workload>(
     scale: Scale,
     seeds: &[u64],
 ) -> ProfileReport {
+    profile_workload_configured(w, pool, scale, seeds, tuned_config(w, 28, scale))
+}
+
+/// [`profile_workload`] under an explicit configuration (the CLI's
+/// `--snapshot` / override flags route through this).
+pub fn profile_workload_configured<W: Workload>(
+    w: &W,
+    pool: &WorkerPool,
+    scale: Scale,
+    seeds: &[u64],
+    cfg: Config,
+) -> ProfileReport {
     assert!(!seeds.is_empty(), "at least one seed");
-    let cfg = tuned_config(w, 28, scale);
     let mut runs = Vec::with_capacity(seeds.len());
     let mut first_profile: Option<WallProfile> = None;
     let mut parity = true;

@@ -1,6 +1,7 @@
 //! The STATS developer interface: explicit state dependences.
 
 use crate::rng::StatsRng;
+use crate::snapshot::SnapshotStrategy;
 use serde::{Deserialize, Serialize};
 use std::ops::Add;
 
@@ -113,6 +114,41 @@ pub trait StateDependence {
     /// Drives the §III-C synchronization overhead.
     fn sync_ops_per_update(&self) -> u64 {
         1
+    }
+
+    /// Take a protocol snapshot of `state` under `strategy`.
+    ///
+    /// The default deep-clones regardless of strategy, which is correct
+    /// for any state. Workloads whose state holds large components in
+    /// [`CowBox`](crate::snapshot::CowBox) cells override this to `fork`
+    /// those cells under [`SnapshotStrategy::CopyOnWrite`] — an O(1)
+    /// pointer share in place of an O(state) copy. The returned state and
+    /// the (mutated) original must be observably identical to two deep
+    /// clones; only the copy *cost* may differ.
+    fn snapshot_state(&self, state: &mut Self::State, strategy: SnapshotStrategy) -> Self::State {
+        let _ = strategy;
+        state.clone()
+    }
+
+    /// Drain the bytes this state materialized through copy-on-write
+    /// faults since the last drain (in units of
+    /// [`state_bytes`](StateDependence::state_bytes) shares). States
+    /// without COW components never fault; the default reports zero.
+    fn take_materialized(&self, state: &mut Self::State) -> u64 {
+        let _ = state;
+        0
+    }
+
+    /// Bytes physically copied by one [`snapshot_state`] call under
+    /// `strategy`, *excluding* later copy-on-write faults (those are
+    /// reported by [`take_materialized`]). The default — a full deep
+    /// clone either way — charges the whole state.
+    ///
+    /// [`snapshot_state`]: StateDependence::snapshot_state
+    /// [`take_materialized`]: StateDependence::take_materialized
+    fn snapshot_copy_bytes(&self, strategy: SnapshotStrategy) -> u64 {
+        let _ = strategy;
+        self.state_bytes() as u64
     }
 }
 

@@ -45,6 +45,7 @@ pub mod planner;
 pub mod report;
 pub mod rng;
 pub mod runtime;
+pub mod snapshot;
 pub mod speculation;
 pub mod tlp;
 
@@ -54,5 +55,6 @@ pub use dependence::{StateDependence, UpdateCost};
 pub use planner::{plan_balanced, plan_weighted, ChunkPlan};
 pub use report::{ChunkDecision, ResourceAccounting, RunReport};
 pub use rng::StatsRng;
+pub use snapshot::{CowBox, SnapshotStrategy};
 pub use speculation::{run_speculative, run_speculative_planned, ChunkOutcome, SpeculationOutcome};
 pub use tlp::InnerParallelism;

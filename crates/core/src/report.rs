@@ -133,6 +133,7 @@ mod tests {
             lookback: 4,
             extra_states: 1,
             combine_inner_tlp: true,
+            snapshot: crate::SnapshotStrategy::DeepClone,
         };
         let acc = ResourceAccounting::for_config(&cfg, 500_000, 2);
         // 1 + 14 + 13 + 14*2 shards.

@@ -35,6 +35,7 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -338,6 +339,8 @@ impl<'scope> PoolScope<'scope, '_> {
 pub struct StatePool<S> {
     spares: Mutex<Vec<S>>,
     cap: usize,
+    /// Most spares ever held at once (relaxed: a monotone watermark).
+    high_water: AtomicUsize,
 }
 
 impl<S: Clone> StatePool<S> {
@@ -346,6 +349,7 @@ impl<S: Clone> StatePool<S> {
         StatePool {
             spares: Mutex::new(Vec::new()),
             cap,
+            high_water: AtomicUsize::new(0),
         }
     }
 
@@ -366,12 +370,30 @@ impl<S: Clone> StatePool<S> {
         let mut spares = self.spares.lock().expect("state pool mutex");
         if spares.len() < self.cap {
             spares.push(state);
+            self.high_water.fetch_max(spares.len(), Ordering::Relaxed);
         }
     }
 
     /// Number of spare buffers currently held.
-    pub fn spares(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.spares.lock().expect("state pool mutex").len()
+    }
+
+    /// Whether the free-list is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of spare buffers currently held (alias kept for callers
+    /// predating [`StatePool::len`]).
+    pub fn spares(&self) -> usize {
+        self.len()
+    }
+
+    /// The most spares ever held at once: the pool's memory high-water
+    /// mark, bounded by its capacity.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
     }
 }
 

@@ -210,6 +210,20 @@ fn build_graph_inner<O>(
     let config = outcome.config;
     let chunks = outcome.chunks.len();
     let bytes = outcome.state_bytes;
+    // Copy tasks are charged for the bytes the protocol *materialized*,
+    // not the bytes it logically replicated: under the deep strategy the
+    // two totals are equal, so the historical lowering is reproduced
+    // bit-for-bit; under copy-on-write each clone point is scaled by the
+    // run's measured materialization ratio.
+    let copy_bytes = {
+        let logical = outcome.bytes_logical();
+        let copied = outcome.bytes_copied();
+        if logical == 0 {
+            bytes
+        } else {
+            (bytes as u128 * copied as u128 / logical as u128) as usize
+        }
+    };
     let width = effective_width(&config, &opts.inner, machine.topology().total_cores());
     let layout = ThreadLayout {
         chunks,
@@ -289,8 +303,8 @@ fn build_graph_inner<O>(
             let copy = g.task_full(
                 worker,
                 Category::StateCopy,
-                cm.state_copy(machine.topology(), bytes, worker, layout.worker(c - 1)),
-                cm.copy_instructions(bytes),
+                cm.state_copy(machine.topology(), copy_bytes, worker, layout.worker(c - 1)),
+                cm.copy_instructions(copy_bytes),
                 Vec::new(),
                 Some(format!("spec state copy {c}")),
             );
@@ -320,8 +334,8 @@ fn build_graph_inner<O>(
                 let snap = g.task_full(
                     worker,
                     Category::StateCopy,
-                    cm.state_copy(machine.topology(), bytes, worker, layout.replica(c, j)),
-                    cm.copy_instructions(bytes),
+                    cm.state_copy(machine.topology(), copy_bytes, worker, layout.replica(c, j)),
+                    cm.copy_instructions(copy_bytes),
                     Vec::new(),
                     Some(format!("snapshot {c}.{j}")),
                 );
@@ -456,8 +470,8 @@ fn build_graph_inner<O>(
             g.task_full(
                 worker,
                 Category::StateCopy,
-                cm.state_copy(machine.topology(), bytes, producer, worker),
-                cm.copy_instructions(bytes),
+                cm.state_copy(machine.topology(), copy_bytes, producer, worker),
+                cm.copy_instructions(copy_bytes),
                 Vec::new(),
                 Some(format!("true state copy {c}")),
             );
@@ -480,8 +494,8 @@ fn build_graph_inner<O>(
                 let snap = g.task_full(
                     worker,
                     Category::StateCopy,
-                    cm.state_copy(machine.topology(), bytes, worker, layout.replica(c, j)),
-                    cm.copy_instructions(bytes),
+                    cm.state_copy(machine.topology(), copy_bytes, worker, layout.replica(c, j)),
+                    cm.copy_instructions(copy_bytes),
                     Vec::new(),
                     Some(format!("snapshot {c}.{j} (rerun)")),
                 );
@@ -545,6 +559,8 @@ fn record_outcome_telemetry<O>(outcome: &SpeculationOutcome<O>, t: &TelemetrySin
             chunk: c,
             len: ch.range.len(),
         });
+        t.add(c, Counter::StateBytesLogical, ch.bytes_logical);
+        t.add(c, Counter::StateBytesCopied, ch.bytes_copied);
         if c == 0 {
             continue;
         }
@@ -763,6 +779,7 @@ impl SimulatedRuntime {
 mod tests {
     use super::*;
     use crate::rng::StatsRng;
+    use crate::snapshot::SnapshotStrategy;
     use stats_trace::TraceSummary;
 
     struct Ema {
@@ -964,6 +981,7 @@ mod tests {
             lookback: 10,
             extra_states: 1,
             combine_inner_tlp: true,
+            snapshot: SnapshotStrategy::DeepClone,
         };
         let inner = InnerParallelism::amdahl(0.8, usize::MAX);
         let report = rt.run("ema-combined", &w, &ins, cfg, inner, 5).unwrap();
@@ -1112,6 +1130,7 @@ mod tests {
             lookback: 1,
             extra_states: 0,
             combine_inner_tlp: true,
+            snapshot: SnapshotStrategy::DeepClone,
         };
         assert_eq!(effective_width(&combined, &inner, 28), 2);
         assert_eq!(

@@ -40,6 +40,7 @@ use crate::planner::{plan_balanced, ChunkPlan};
 use crate::report::ChunkDecision;
 use crate::rng::{StatsRng, StreamRole};
 use crate::runtime::pool::{PoolScope, StatePool, WorkerPool};
+use crate::snapshot::SnapshotStrategy;
 use crate::speculation::run_segment;
 use crossbeam::channel::bounded;
 use stats_telemetry::clock::monotonic_ns;
@@ -121,6 +122,8 @@ struct RunCtx<'a, W: StateDependence> {
     k: usize,
     m: usize,
     master_seed: u64,
+    strategy: SnapshotStrategy,
+    state_bytes: u64,
     telemetry: Option<&'a TelemetrySink>,
 }
 
@@ -202,6 +205,13 @@ fn replay_replica<W: StateDependence>(
     for idx in replay.0..replay.1 {
         ctx.workload.update(&mut state, &ctx.inputs[idx], &mut rng);
     }
+    // Bytes this replica materialized through copy-on-write faults,
+    // attributed (like the replica copies themselves) to the chunk this
+    // boundary validates.
+    let materialized = ctx.workload.take_materialized(&mut state);
+    if let Some(t) = ctx.telemetry {
+        t.add(boundary + 1, Counter::StateBytesCopied, materialized);
+    }
     state
 }
 
@@ -230,10 +240,19 @@ fn schedule_replicas<'scope, 'env, W>(
     // replica-generation time with the seal it gates.
     let validated = boundary + 1;
     scope.spawn_urgent(move || {
+        let mut snapshot = snapshot;
         let prof = profiler_of(ctx.telemetry);
         for j in 0..m - 1 {
             let t0 = span_start(prof);
-            let st = states.copy_of(&snapshot);
+            // Deep clones route through the state free-list to reuse dead
+            // allocations; copy-on-write snapshots are O(1) forks with
+            // nothing worth recycling.
+            let st = match ctx.strategy {
+                SnapshotStrategy::DeepClone => states.copy_of(&snapshot),
+                SnapshotStrategy::CopyOnWrite => {
+                    ctx.workload.snapshot_state(&mut snapshot, ctx.strategy)
+                }
+            };
             span_end(prof, Category::OriginalStateGen, validated, t0);
             scope.spawn_urgent(move || {
                 let prof = profiler_of(ctx.telemetry);
@@ -430,6 +449,8 @@ where
         k,
         m,
         master_seed,
+        strategy: config.snapshot,
+        state_bytes: workload.state_bytes() as u64,
         telemetry,
     };
 
@@ -487,9 +508,15 @@ where
                     // Speculative-state hand-off to the coordinator (Fig. 6).
                     if let Some(t) = ctx.telemetry {
                         t.incr(c, Counter::StateCopies);
+                        t.add(c, Counter::StateBytesLogical, ctx.state_bytes);
+                        t.add(
+                            c,
+                            Counter::StateBytesCopied,
+                            ctx.workload.snapshot_copy_bytes(ctx.strategy),
+                        );
                     }
                     let t_copy = span_start(prof);
-                    let spec = st.clone();
+                    let spec = ctx.workload.snapshot_state(&mut st, ctx.strategy);
                     span_end(prof, Category::StateCopy, c, t_copy);
                     (Some(spec), st)
                 };
@@ -501,10 +528,12 @@ where
                     ctx.inputs,
                     range,
                     ctx.k,
+                    ctx.strategy,
                     &mut rng,
                 );
                 span_end(prof, Category::ChunkCompute, c, t_run);
                 if let Some(t) = ctx.telemetry {
+                    t.add(c, Counter::StateBytesCopied, run.materialized);
                     t.add(c, Counter::BusyTime, ns_since(busy_start));
                     t.queue_enter();
                 }
@@ -559,9 +588,16 @@ where
                 // One state materialization per replica: m-1 pool-recycled
                 // clones plus the final moved snapshot — the protocol
                 // transfers m states either way, matching the semantic
-                // layer's accounting.
+                // layer's accounting. (Replica fault bytes were drained at
+                // replay time by `replay_replica`.)
                 t.add(c, Counter::ReplicasValidated, m as u64);
                 t.add(c, Counter::StateCopies, m as u64);
+                t.add(c, Counter::StateBytesLogical, m as u64 * ctx.state_bytes);
+                t.add(
+                    c,
+                    Counter::StateBytesCopied,
+                    m as u64 * workload.snapshot_copy_bytes(ctx.strategy),
+                );
             }
             // Ordered comparison: producer's own final state first, then
             // replicas — identical order to the semantic layer.
@@ -601,6 +637,12 @@ where
                     // True-state transfer to the re-executing chunk.
                     t.incr(c, Counter::ChunksAborted);
                     t.incr(c, Counter::StateCopies);
+                    t.add(c, Counter::StateBytesLogical, ctx.state_bytes);
+                    t.add(
+                        c,
+                        Counter::StateBytesCopied,
+                        workload.snapshot_copy_bytes(ctx.strategy),
+                    );
                     t.event(&Event::ChunkAborted { chunk: c });
                 }
                 // Serialized re-execution as an urgent task: the true
@@ -617,11 +659,20 @@ where
                     }
                     let mut rng = StatsRng::derive(ctx.master_seed, StreamRole::Rerun(c));
                     let t_rerun = span_start(prof);
-                    let rerun = run_segment(ctx.workload, pf, ctx.inputs, range, ctx.k, &mut rng);
+                    let rerun = run_segment(
+                        ctx.workload,
+                        pf,
+                        ctx.inputs,
+                        range,
+                        ctx.k,
+                        ctx.strategy,
+                        &mut rng,
+                    );
                     // The serialized rerun is the chunk's true compute;
                     // assembly relabels the dead speculative attempt.
                     span_end(prof, Category::ChunkCompute, c, t_rerun);
                     if let Some(t) = ctx.telemetry {
+                        t.add(c, Counter::StateBytesCopied, rerun.materialized);
                         t.add(c, Counter::BusyTime, ns_since(rerun_start));
                     }
                     xtx.send(WorkerResult {
@@ -744,6 +795,11 @@ where
     let chunks = plan.len();
     let k = config.lookback;
     let m = config.extra_states;
+    let strategy = config.snapshot;
+    let state_bytes = workload.state_bytes() as u64;
+    // Dead states are recycled through the same free-list the pooled
+    // executor uses, so replica clones reuse their allocations.
+    let states: StatePool<W::State> = StatePool::with_capacity(m + 2);
     let start_ns = monotonic_ns();
 
     // Channels: worker -> coordinator results, coordinator -> worker
@@ -790,12 +846,28 @@ where
                     // Speculative-state hand-off to the coordinator (Fig. 6).
                     if let Some(t) = telemetry {
                         t.incr(c, Counter::StateCopies);
+                        t.add(c, Counter::StateBytesLogical, state_bytes);
+                        t.add(
+                            c,
+                            Counter::StateBytesCopied,
+                            workload.snapshot_copy_bytes(strategy),
+                        );
                     }
-                    (Some(st.clone()), st)
+                    let spec = workload.snapshot_state(&mut st, strategy);
+                    (Some(spec), st)
                 };
                 let mut rng = StatsRng::derive(master_seed, StreamRole::Chunk(c));
-                let run = run_segment(workload, start_state, inputs, range.clone(), k, &mut rng);
+                let run = run_segment(
+                    workload,
+                    start_state,
+                    inputs,
+                    range.clone(),
+                    k,
+                    strategy,
+                    &mut rng,
+                );
                 if let Some(t) = telemetry {
+                    t.add(c, Counter::StateBytesCopied, run.materialized);
                     t.add(c, Counter::BusyTime, ns_since(busy_start));
                     t.queue_enter();
                 }
@@ -820,8 +892,17 @@ where
                             t.incr(c, Counter::Reruns);
                         }
                         let mut rng = StatsRng::derive(master_seed, StreamRole::Rerun(c));
-                        let rerun = run_segment(workload, *true_state, inputs, range, k, &mut rng);
+                        let rerun = run_segment(
+                            workload,
+                            *true_state,
+                            inputs,
+                            range,
+                            k,
+                            strategy,
+                            &mut rng,
+                        );
                         if let Some(t) = telemetry {
+                            t.add(c, Counter::StateBytesCopied, rerun.materialized);
                             t.add(c, Counter::BusyTime, ns_since(rerun_start));
                         }
                         xtx.send(WorkerResult {
@@ -855,9 +936,9 @@ where
                 outputs_per_chunk.push(result.outputs);
                 continue;
             }
-            let spec_state = result.spec_state.as_ref().expect("speculative chunk");
+            let mut result = result;
             let pf = prev_final.take().expect("previous final state");
-            let snapshot = prev_snapshot.take().expect("previous snapshot");
+            let mut snapshot = prev_snapshot.take().expect("previous snapshot");
             // Generate the m extra original states in parallel (Fig. 5).
             let prev_range = plan.chunk(c - 1);
             let replay_start = prev_range.end.saturating_sub(k).max(prev_range.start);
@@ -866,7 +947,14 @@ where
             std::thread::scope(|rep_scope| {
                 let handles: Vec<_> = (0..m.saturating_sub(1))
                     .map(|j| {
-                        let snap = snapshot.clone();
+                        // Deep clones reuse dead allocations through the
+                        // free-list; cow snapshots are O(1) forks.
+                        let snap = match strategy {
+                            SnapshotStrategy::DeepClone => states.copy_of(&snapshot),
+                            SnapshotStrategy::CopyOnWrite => {
+                                workload.snapshot_state(&mut snapshot, strategy)
+                            }
+                        };
                         let replay = replay_start..prev_range.end;
                         rep_scope.spawn(move || {
                             let mut rng = StatsRng::derive(
@@ -912,13 +1000,26 @@ where
                     replica_states.push(Some(h.join().expect("replica thread")));
                 }
             });
+            // Replica fault bytes are drained before the states are
+            // compared and recycled, exactly once per replica.
+            let mut replica_fault_bytes = 0u64;
+            for st in replica_states.iter_mut().flatten() {
+                replica_fault_bytes += workload.take_materialized(st);
+            }
             if let Some(t) = telemetry {
                 // One state materialization feeds each replica.
                 t.add(c, Counter::ReplicasValidated, m as u64);
                 t.add(c, Counter::StateCopies, m as u64);
+                t.add(c, Counter::StateBytesLogical, m as u64 * state_bytes);
+                t.add(
+                    c,
+                    Counter::StateBytesCopied,
+                    m as u64 * workload.snapshot_copy_bytes(strategy) + replica_fault_bytes,
+                );
             }
             // Ordered comparison: producer's own final state first, then
             // replicas — identical order to the semantic layer.
+            let spec_state = result.spec_state.as_ref().expect("speculative chunk");
             let mut comparisons = 1u64;
             let mut matched: Option<usize> = workload.states_match(spec_state, &pf).then_some(0);
             for (j, st) in replica_states.iter().flatten().enumerate() {
@@ -938,6 +1039,7 @@ where
                     matched_original: matched,
                 });
             }
+            let spec_state = result.spec_state.take();
             if matched.is_some() {
                 decisions[c] = ChunkDecision::Committed;
                 if let Some(t) = telemetry {
@@ -945,6 +1047,8 @@ where
                     t.event(&Event::ChunkCommitted { chunk: c });
                 }
                 verdict_tx[c].send(Verdict::Commit).expect("worker alive");
+                // The superseded original state is dead; recycle it.
+                states.recycle(pf);
                 prev_final = Some(result.final_state);
                 prev_snapshot = Some(result.snapshot);
                 outputs_per_chunk.push(result.outputs);
@@ -954,15 +1058,33 @@ where
                     // True-state transfer to the aborted worker.
                     t.incr(c, Counter::ChunksAborted);
                     t.incr(c, Counter::StateCopies);
+                    t.add(c, Counter::StateBytesLogical, state_bytes);
+                    t.add(
+                        c,
+                        Counter::StateBytesCopied,
+                        workload.snapshot_copy_bytes(strategy),
+                    );
                     t.event(&Event::ChunkAborted { chunk: c });
                 }
                 verdict_tx[c]
                     .send(Verdict::Abort(Box::new(pf)))
                     .expect("worker alive");
                 let rerun = rerun_rx[c].recv().expect("worker alive");
+                // The rejected speculative results are dead; recycle them.
+                states.recycle(result.final_state);
+                states.recycle(result.snapshot);
                 prev_final = Some(rerun.final_state);
                 prev_snapshot = Some(rerun.snapshot);
                 outputs_per_chunk.push(rerun.outputs);
+            }
+            // The compared speculative and replica states are dead after
+            // validation; feed the next boundary's clones from them (the
+            // same lifetime rule as the pooled executor, DESIGN.md §9).
+            if let Some(st) = spec_state {
+                states.recycle(st);
+            }
+            for st in replica_states.into_iter().flatten() {
+                states.recycle(st);
             }
         }
     });
@@ -1171,6 +1293,21 @@ mod tests {
             snap.get(Counter::StateCopies),
             (chunks - 1) + (chunks - 1) * m + aborts
         );
+        // Byte accounting: logical bytes are state size × copy events,
+        // and a deep-clone run physically copies exactly that.
+        assert_eq!(
+            snap.get(Counter::StateBytesLogical),
+            8 * snap.get(Counter::StateCopies)
+        );
+        assert_eq!(
+            snap.get(Counter::StateBytesCopied),
+            snap.get(Counter::StateBytesLogical)
+        );
+        assert_eq!(
+            snap.get(Counter::StateBytesLogical),
+            semantic.bytes_logical()
+        );
+        assert_eq!(snap.get(Counter::StateBytesCopied), semantic.bytes_copied());
         // Comparisons: the shared ordered-comparison formula per chunk.
         let expected_comparisons: u64 = semantic.chunks[1..]
             .iter()
@@ -1214,6 +1351,8 @@ mod tests {
             Counter::ReplicasValidated,
             Counter::StateCopies,
             Counter::StateComparisons,
+            Counter::StateBytesLogical,
+            Counter::StateBytesCopied,
         ] {
             assert_eq!(p.get(c), b.get(c), "counter {c:?} diverged");
         }

@@ -12,6 +12,7 @@ use crate::dependence::{StateDependence, UpdateCost};
 use crate::planner::{plan_balanced, ChunkPlan};
 use crate::report::ChunkDecision;
 use crate::rng::{StatsRng, StreamRole};
+use crate::snapshot::SnapshotStrategy;
 use std::ops::Range;
 
 /// The recorded execution of one chunk under the STATS protocol.
@@ -37,6 +38,18 @@ pub struct ChunkOutcome {
     /// `Some(0)` is the producer's own final state, `Some(j)` is replica
     /// `j-1`. `None` for chunk 0 and for aborted chunks.
     pub matched_original: Option<usize>,
+    /// Logical bytes the protocol replicated for this chunk: state size ×
+    /// replication events (speculative handoff, `m` boundary replicas,
+    /// abort transfer). Strategy-invariant — this is the historical
+    /// `StateCopies × state_bytes` accounting.
+    pub bytes_logical: u64,
+    /// Bytes physically copied for this chunk under the configured
+    /// [`SnapshotStrategy`]: equal to [`bytes_logical`] under `DeepClone`;
+    /// under `CopyOnWrite`, only the snapshot's unshared residue plus
+    /// bytes later materialized by dirty-on-write faults.
+    ///
+    /// [`bytes_logical`]: ChunkOutcome::bytes_logical
+    pub bytes_copied: u64,
 }
 
 impl ChunkOutcome {
@@ -90,6 +103,16 @@ impl<O> SpeculationOutcome<O> {
     pub fn realized_work(&self) -> u64 {
         self.chunks.iter().map(|c| c.realized_cost().work).sum()
     }
+
+    /// Total logical replication bytes (Σ [`ChunkOutcome::bytes_logical`]).
+    pub fn bytes_logical(&self) -> u64 {
+        self.chunks.iter().map(|c| c.bytes_logical).sum()
+    }
+
+    /// Total physically copied bytes (Σ [`ChunkOutcome::bytes_copied`]).
+    pub fn bytes_copied(&self) -> u64 {
+        self.chunks.iter().map(|c| c.bytes_copied).sum()
+    }
 }
 
 /// One segment run: outputs plus aggregated prefix/suffix costs and the
@@ -101,6 +124,9 @@ pub(crate) struct SegmentRun<S, O> {
     /// State snapshot taken before processing the last `k` inputs.
     pub(crate) snapshot: S,
     pub(crate) final_state: S,
+    /// Bytes the running state materialized through copy-on-write faults
+    /// during the segment (always 0 under `DeepClone`).
+    pub(crate) materialized: u64,
 }
 
 /// Run `inputs[range]` from `start` state, splitting cost accounting at
@@ -111,6 +137,7 @@ pub(crate) fn run_segment<W: StateDependence>(
     inputs: &[W::Input],
     range: Range<usize>,
     k: usize,
+    strategy: SnapshotStrategy,
     rng: &mut StatsRng,
 ) -> SegmentRun<W::State, W::Output> {
     let len = range.len();
@@ -119,10 +146,17 @@ pub(crate) fn run_segment<W: StateDependence>(
     let mut outputs = Vec::with_capacity(len);
     let mut prefix_cost = UpdateCost::default();
     let mut suffix_cost = UpdateCost::default();
-    let mut snapshot = state.clone();
+    // `k == 0` (single-chunk runs): the boundary snapshot is the starting
+    // state and no replica ever replays from it; otherwise it is taken at
+    // the prefix/suffix split. Either way exactly one snapshot is taken.
+    let mut snapshot = if split >= len {
+        Some(workload.snapshot_state(&mut state, strategy))
+    } else {
+        None
+    };
     for (i, idx) in range.enumerate() {
         if i == split {
-            snapshot = state.clone();
+            snapshot = Some(workload.snapshot_state(&mut state, strategy));
         }
         let (out, cost) = workload.update(&mut state, &inputs[idx], rng);
         outputs.push(out);
@@ -132,15 +166,14 @@ pub(crate) fn run_segment<W: StateDependence>(
             suffix_cost = suffix_cost + cost;
         }
     }
-    if split == 0 {
-        // The whole segment is "suffix"; snapshot is the starting state.
-    }
+    let materialized = workload.take_materialized(&mut state);
     SegmentRun {
         outputs,
         prefix_cost,
         suffix_cost,
-        snapshot,
+        snapshot: snapshot.expect("segment recorded its boundary snapshot"),
         final_state: state,
+        materialized,
     }
 }
 
@@ -201,6 +234,8 @@ pub fn run_speculative_planned<W: StateDependence>(
     }
     let k = config.lookback;
     let m = config.extra_states;
+    let strategy = config.snapshot;
+    let state_bytes = workload.state_bytes() as u64;
 
     let mut chunks: Vec<ChunkOutcome> = Vec::with_capacity(plan.len());
     let mut outputs_per_chunk: Vec<Vec<W::Output>> = Vec::with_capacity(plan.len());
@@ -219,6 +254,7 @@ pub fn run_speculative_planned<W: StateDependence>(
                 inputs,
                 range.clone(),
                 k,
+                strategy,
                 &mut rng,
             );
             chunks.push(ChunkOutcome {
@@ -230,6 +266,8 @@ pub fn run_speculative_planned<W: StateDependence>(
                 rerun: None,
                 replica_costs: Vec::new(),
                 matched_original: None,
+                bytes_logical: 0,
+                bytes_copied: run.materialized,
             });
             outputs_per_chunk.push(run.outputs);
             prev_final = run.final_state;
@@ -247,18 +285,25 @@ pub fn run_speculative_planned<W: StateDependence>(
             let (_, cost) = workload.update(&mut alt_state, &inputs[idx], &mut alt_rng);
             alt_cost = alt_cost + cost;
         }
-        let spec_state = alt_state;
+        let mut spec_state = alt_state;
 
-        // Speculative run of this chunk from the speculative state.
+        // Speculative run of this chunk from a snapshot of the
+        // speculative state (the handoff is one replication event; the
+        // original is retained for the boundary comparison).
+        let mut bytes_logical = state_bytes;
+        let mut bytes_copied = workload.snapshot_copy_bytes(strategy);
+        let spec_start = workload.snapshot_state(&mut spec_state, strategy);
         let mut chunk_rng = StatsRng::derive(master_seed, StreamRole::Chunk(c));
         let spec_run = run_segment(
             workload,
-            spec_state.clone(),
+            spec_start,
             inputs,
             range.clone(),
             k,
+            strategy,
             &mut chunk_rng,
         );
+        bytes_copied += spec_run.materialized;
 
         // Validation at the previous boundary: the producer's own final
         // state plus m replicas re-running its last k inputs from the
@@ -267,7 +312,7 @@ pub fn run_speculative_planned<W: StateDependence>(
         // the original algorithm", §II-B).
         let prev_range = plan.chunk(c - 1);
         let replay_start = prev_range.end.saturating_sub(k).max(prev_range.start);
-        let snapshot = prev_snapshot
+        let mut snapshot = prev_snapshot
             .take()
             .expect("previous chunk recorded a snapshot");
         let mut replica_costs = Vec::with_capacity(m);
@@ -275,7 +320,20 @@ pub fn run_speculative_planned<W: StateDependence>(
         if workload.states_match(&spec_state, &prev_final) {
             matched = Some(0);
         }
-        for j in 0..m {
+        // Replica starting states: m - 1 snapshots plus the boundary
+        // snapshot itself by move (the threaded runtime fans out the same
+        // way, so copy-on-write fault histories agree across runtimes).
+        // All m delivered states are protocol replication events.
+        bytes_logical += m as u64 * state_bytes;
+        bytes_copied += m as u64 * workload.snapshot_copy_bytes(strategy);
+        let mut replica_states: Vec<W::State> = Vec::with_capacity(m);
+        for _ in 1..m {
+            replica_states.push(workload.snapshot_state(&mut snapshot, strategy));
+        }
+        if m > 0 {
+            replica_states.push(snapshot);
+        }
+        for (j, mut st) in replica_states.into_iter().enumerate() {
             let mut rng = StatsRng::derive(
                 master_seed,
                 StreamRole::OriginalState {
@@ -283,12 +341,12 @@ pub fn run_speculative_planned<W: StateDependence>(
                     replica: j,
                 },
             );
-            let mut st = snapshot.clone();
             let mut cost = UpdateCost::default();
             for input in &inputs[replay_start..prev_range.end] {
                 let (_, step) = workload.update(&mut st, input, &mut rng);
                 cost = cost + step;
             }
+            bytes_copied += workload.take_materialized(&mut st);
             replica_costs.push(cost);
             if matched.is_none() && workload.states_match(&spec_state, &st) {
                 matched = Some(j + 1);
@@ -307,21 +365,30 @@ pub fn run_speculative_planned<W: StateDependence>(
                 rerun: None,
                 replica_costs: Vec::new(),
                 matched_original: Some(which),
+                bytes_logical,
+                bytes_copied,
             });
             prev_final = spec_run.final_state;
             prev_snapshot = Some(spec_run.snapshot);
             outputs_per_chunk.push(spec_run.outputs);
         } else {
-            // Abort: re-run from the true original state (§II-B case (i)).
+            // Abort: re-run from the true original state (§II-B case (i)),
+            // which moves to the re-run like the threaded runtime's urgent
+            // rerun task does — one more logical replication event.
+            bytes_logical += state_bytes;
+            bytes_copied += workload.snapshot_copy_bytes(strategy);
+            let rerun_start = std::mem::replace(&mut prev_final, workload.fresh_state());
             let mut rerun_rng = StatsRng::derive(master_seed, StreamRole::Rerun(c));
             let rerun = run_segment(
                 workload,
-                prev_final.clone(),
+                rerun_start,
                 inputs,
                 range.clone(),
                 k,
+                strategy,
                 &mut rerun_rng,
             );
+            bytes_copied += rerun.materialized;
             chunks.push(ChunkOutcome {
                 range,
                 decision: ChunkDecision::Aborted,
@@ -331,6 +398,8 @@ pub fn run_speculative_planned<W: StateDependence>(
                 rerun: Some((rerun.prefix_cost, rerun.suffix_cost)),
                 replica_costs: Vec::new(),
                 matched_original: None,
+                bytes_logical,
+                bytes_copied,
             });
             prev_final = rerun.final_state;
             prev_snapshot = Some(rerun.snapshot);
@@ -572,6 +641,33 @@ mod tests {
         let ins = inputs(60);
         let plan = crate::planner::plan_balanced(60, 3);
         run_speculative_planned(&w, &ins, Config::stats_only(4, 4, 1), plan, 1);
+    }
+
+    #[test]
+    fn byte_accounting_matches_the_copy_events() {
+        let w = Ema {
+            decay: 0.5,
+            tolerance: 0.05,
+        };
+        let ins = inputs(256);
+        let cfg = Config::stats_only(8, 16, 2);
+        let out = run_speculative(&w, &ins, cfg, 42);
+        // StateCopies events: one spec handoff and m replicas per
+        // speculative chunk, plus one transfer per abort.
+        let copies = (8 - 1) * (1 + 2) + out.aborts();
+        assert_eq!(out.bytes_logical(), 8 * copies as u64);
+        assert_eq!(out.bytes_copied(), out.bytes_logical());
+        // A state without COW components is charged identically (and
+        // decides identically) under the cow strategy.
+        let cow = run_speculative(
+            &w,
+            &ins,
+            cfg.with_snapshot(SnapshotStrategy::CopyOnWrite),
+            42,
+        );
+        assert_eq!(cow.outputs, out.outputs);
+        assert_eq!(cow.bytes_logical(), out.bytes_logical());
+        assert_eq!(cow.bytes_copied(), out.bytes_copied());
     }
 
     #[test]

@@ -109,8 +109,45 @@ proptest! {
             lookback,
             extra_states: m,
             combine_inner_tlp: chunks % 2 == 0,
+            snapshot: stats_core::SnapshotStrategy::DeepClone,
         };
         let _ = cfg.validate(inputs);
+    }
+
+    /// CowBox aliasing discipline: however reads, in-place writes, and
+    /// whole-value replacements interleave across a forked pair, a write
+    /// on either side is never observable from the other, fault counts
+    /// price exactly the materializations that happened, and the wire
+    /// format (`Debug`) matches a plain value bit for bit.
+    #[test]
+    fn cowbox_forks_never_alias_writes(
+        init in proptest::collection::vec(0u64..1_000, 1..12),
+        ops in proptest::collection::vec((0u8..4, 0u64..1_000), 1..24),
+    ) {
+        use stats_core::CowBox;
+        let mut original = CowBox::new(init.clone());
+        let mut fork = original.fork();
+        // Plain twins replayed alongside as the ground truth.
+        let mut original_twin = init.clone();
+        let mut fork_twin = init;
+        for (op, v) in ops {
+            match op {
+                // In-place write through DerefMut: materializes on the
+                // first post-fork write of that handle.
+                0 => { original[0] = v; original_twin[0] = v; }
+                1 => { fork[0] = v; fork_twin[0] = v; }
+                // Whole-value replacement (the generational path).
+                2 => { original.set(vec![v]); original_twin = vec![v]; }
+                _ => { fork.set(vec![v]); fork_twin = vec![v]; }
+            }
+            prop_assert_eq!(&*original, &original_twin);
+            prop_assert_eq!(&*fork, &fork_twin);
+            prop_assert_eq!(format!("{original:?}"), format!("{original_twin:?}"));
+        }
+        // Each handle faulted at most once: after the first
+        // materialization it owns its payload and writes are free.
+        prop_assert!(original.take_faults() <= 1);
+        prop_assert!(fork.take_faults() <= 1);
     }
 
     /// Derived RNG streams: equal (seed, role) pairs agree, different

@@ -33,6 +33,12 @@ pub enum Counter {
     StateCopies,
     /// `states_match` evaluations during validation.
     StateComparisons,
+    /// Bytes the protocol *logically* replicated (state size × copy
+    /// events) — invariant under the snapshot strategy.
+    StateBytesLogical,
+    /// Bytes *physically* copied: full clones under the deep strategy,
+    /// inline scalars plus copy-on-write materializations under `cow`.
+    StateBytesCopied,
     /// Worker time spent computing (ns on threads, cycles simulated).
     BusyTime,
     /// Worker time spent waiting on the protocol (ns on threads, cycles
@@ -41,7 +47,7 @@ pub enum Counter {
 }
 
 /// All counters, in presentation order.
-pub const COUNTERS: [Counter; 9] = [
+pub const COUNTERS: [Counter; 11] = [
     Counter::ChunksStarted,
     Counter::ChunksCommitted,
     Counter::ChunksAborted,
@@ -49,6 +55,8 @@ pub const COUNTERS: [Counter; 9] = [
     Counter::ReplicasValidated,
     Counter::StateCopies,
     Counter::StateComparisons,
+    Counter::StateBytesLogical,
+    Counter::StateBytesCopied,
     Counter::BusyTime,
     Counter::IdleTime,
 ];
@@ -64,6 +72,8 @@ impl Counter {
             Counter::ReplicasValidated => "replicas_validated",
             Counter::StateCopies => "state_copies",
             Counter::StateComparisons => "state_comparisons",
+            Counter::StateBytesLogical => "state_bytes_logical",
+            Counter::StateBytesCopied => "state_bytes_copied",
             Counter::BusyTime => "busy_time",
             Counter::IdleTime => "idle_time",
         }

@@ -80,6 +80,8 @@ fn counter_help(counter: Counter) -> &'static str {
         Counter::ReplicasValidated => "Extra original states generated for validation",
         Counter::StateCopies => "Computational-state clones at protocol points",
         Counter::StateComparisons => "states_match evaluations during validation",
+        Counter::StateBytesLogical => "Bytes logically replicated (state size x copy events)",
+        Counter::StateBytesCopied => "Bytes physically copied by snapshots and COW faults",
         Counter::BusyTime => "Worker compute time (ns threaded, cycles simulated)",
         Counter::IdleTime => "Worker protocol-wait time (ns threaded, cycles simulated)",
     }

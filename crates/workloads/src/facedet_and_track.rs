@@ -15,7 +15,7 @@ use crate::suite::{ExecMode, Workload};
 use crate::synth::{Frame, ImageStreamConfig};
 use serde::{Deserialize, Serialize};
 use stats_core::rng::StatsRng;
-use stats_core::{Config, InnerParallelism, StateDependence, UpdateCost};
+use stats_core::{Config, InnerParallelism, SnapshotStrategy, StateDependence, UpdateCost};
 use stats_uarch::StreamProfile;
 
 /// Particles in the fallback filter.
@@ -56,6 +56,14 @@ impl FaceDetAndTrack {
             detect_base: 0.92,
             tolerance: 0.18,
         }
+    }
+
+    /// The cloud's share of the modeled 8 KB state, pro-rated by actual
+    /// in-memory size (cloud vs. the inline box center + miss counter).
+    fn cloud_modeled_bytes(&self) -> u64 {
+        let cloud = ParticleCloud::byte_size(PARTICLES, 2) as u64;
+        let inline = (2 * 8 + 4) as u64;
+        self.state_bytes() as u64 * cloud / (cloud + inline)
     }
 }
 
@@ -128,6 +136,30 @@ impl StateDependence for FaceDetAndTrack {
         8_000 // Table I
     }
 
+    fn snapshot_state(&self, state: &mut TrackState, strategy: SnapshotStrategy) -> TrackState {
+        match strategy {
+            SnapshotStrategy::DeepClone => state.clone(),
+            SnapshotStrategy::CopyOnWrite => TrackState {
+                box_center: state.box_center.clone(),
+                cloud: state.cloud.fork(),
+                misses: state.misses,
+            },
+        }
+    }
+
+    fn take_materialized(&self, state: &mut TrackState) -> u64 {
+        state.cloud.take_materialized(self.cloud_modeled_bytes())
+    }
+
+    fn snapshot_copy_bytes(&self, strategy: SnapshotStrategy) -> u64 {
+        match strategy {
+            SnapshotStrategy::DeepClone => self.state_bytes() as u64,
+            // The inline part (box center + miss counter) is always copied;
+            // only the cloud shares structure.
+            SnapshotStrategy::CopyOnWrite => self.state_bytes() as u64 - self.cloud_modeled_bytes(),
+        }
+    }
+
     fn outside_region_work(&self) -> (u64, u64) {
         (2_000_000, 1_000_000)
     }
@@ -157,6 +189,7 @@ impl Workload for FaceDetAndTrack {
             lookback: 2,
             extra_states: 4,
             combine_inner_tlp: true,
+            snapshot: SnapshotStrategy::DeepClone,
         }
     }
 

@@ -13,7 +13,7 @@ use crate::particle::ParticleCloud;
 use crate::suite::{ExecMode, Workload};
 use crate::synth::{Frame, ImageStreamConfig};
 use stats_core::rng::StatsRng;
-use stats_core::{Config, InnerParallelism, StateDependence, UpdateCost};
+use stats_core::{Config, InnerParallelism, SnapshotStrategy, StateDependence, UpdateCost};
 use stats_uarch::StreamProfile;
 
 /// Particles simulated (state is 8 KB at native scale per Table I).
@@ -108,6 +108,30 @@ impl StateDependence for FaceTrack {
         8_000 // Table I
     }
 
+    fn snapshot_state(
+        &self,
+        state: &mut ParticleCloud,
+        strategy: SnapshotStrategy,
+    ) -> ParticleCloud {
+        match strategy {
+            SnapshotStrategy::DeepClone => state.clone(),
+            SnapshotStrategy::CopyOnWrite => state.fork(),
+        }
+    }
+
+    fn take_materialized(&self, state: &mut ParticleCloud) -> u64 {
+        state.take_materialized(self.state_bytes() as u64)
+    }
+
+    fn snapshot_copy_bytes(&self, strategy: SnapshotStrategy) -> u64 {
+        match strategy {
+            // The whole 8 KB state is the cloud; a COW snapshot copies
+            // nothing up front.
+            SnapshotStrategy::DeepClone => self.state_bytes() as u64,
+            SnapshotStrategy::CopyOnWrite => 0,
+        }
+    }
+
     fn outside_region_work(&self) -> (u64, u64) {
         (60_000_000, 30_000_000)
     }
@@ -136,6 +160,7 @@ impl Workload for FaceTrack {
             lookback: 4,
             extra_states: 1,
             combine_inner_tlp: true,
+            snapshot: SnapshotStrategy::DeepClone,
         }
     }
 

@@ -17,7 +17,7 @@
 use crate::suite::{ExecMode, Workload};
 use serde::{Deserialize, Serialize};
 use stats_core::rng::StatsRng;
-use stats_core::{Config, InnerParallelism, StateDependence, UpdateCost};
+use stats_core::{Config, CowBox, InnerParallelism, SnapshotStrategy, StateDependence, UpdateCost};
 use stats_uarch::StreamProfile;
 
 /// Coarse cells in the simulated velocity field.
@@ -37,8 +37,10 @@ pub struct Forcing {
 /// The fluid state: a coarse velocity field with momentum.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FluidState {
-    /// Per-cell velocity.
-    pub velocity: Vec<f64>,
+    /// Per-cell velocity. Boxed for O(1) snapshots, though the in-place
+    /// force application faults the whole field right after every fork —
+    /// COW buys the negative control nothing, by design.
+    pub velocity: CowBox<Vec<f64>>,
 }
 
 /// The fluidanimate workload (negative control).
@@ -62,7 +64,7 @@ impl FluidAnimate {
     fn field_distance(a: &FluidState, b: &FluidState) -> f64 {
         a.velocity
             .iter()
-            .zip(&b.velocity)
+            .zip(b.velocity.iter())
             .map(|(x, y)| (x - y) * (x - y))
             .sum::<f64>()
             .sqrt()
@@ -76,7 +78,7 @@ impl StateDependence for FluidAnimate {
 
     fn fresh_state(&self) -> FluidState {
         FluidState {
-            velocity: vec![0.0; CELLS],
+            velocity: CowBox::new(vec![0.0; CELLS]),
         }
     }
 
@@ -90,13 +92,14 @@ impl StateDependence for FluidAnimate {
         // the field remembers old forces almost indefinitely.
         let cell = input.cell % CELLS;
         state.velocity[cell] += input.force + rng.noise(0.001);
-        let mut next = state.velocity.clone();
-        for (i, n) in next.iter_mut().enumerate() {
-            let left = state.velocity[(i + CELLS - 1) % CELLS];
-            let right = state.velocity[(i + 1) % CELLS];
-            *n = self.retention * (0.9 * state.velocity[i] + 0.05 * (left + right));
-        }
-        state.velocity = next;
+        let next: Vec<f64> = (0..CELLS)
+            .map(|i| {
+                let left = state.velocity[(i + CELLS - 1) % CELLS];
+                let right = state.velocity[(i + 1) % CELLS];
+                self.retention * (0.9 * state.velocity[i] + 0.05 * (left + right))
+            })
+            .collect();
+        state.velocity.set(next);
         let kinetic: f64 = state.velocity.iter().map(|v| v * v).sum();
         let work = CELLS as u64 * 8 * NATIVE_SCALE / 64;
         (kinetic, UpdateCost::new(work, work * 2))
@@ -108,6 +111,28 @@ impl StateDependence for FluidAnimate {
 
     fn state_bytes(&self) -> usize {
         CELLS * 8
+    }
+
+    fn snapshot_state(&self, state: &mut FluidState, strategy: SnapshotStrategy) -> FluidState {
+        match strategy {
+            SnapshotStrategy::DeepClone => state.clone(),
+            SnapshotStrategy::CopyOnWrite => FluidState {
+                velocity: state.velocity.fork(),
+            },
+        }
+    }
+
+    fn take_materialized(&self, state: &mut FluidState) -> u64 {
+        state.velocity.take_faults() as u64 * self.state_bytes() as u64
+    }
+
+    fn snapshot_copy_bytes(&self, strategy: SnapshotStrategy) -> u64 {
+        match strategy {
+            SnapshotStrategy::DeepClone => self.state_bytes() as u64,
+            // Deferred, not avoided: the next force application faults the
+            // whole field, so COW merely moves the copy off the boundary.
+            SnapshotStrategy::CopyOnWrite => 0,
+        }
     }
 }
 

@@ -9,12 +9,20 @@
 
 use serde::{Deserialize, Serialize};
 use stats_core::rng::StatsRng;
+use stats_core::CowBox;
 
 /// A weighted particle cloud over a `dims`-dimensional pose space.
+///
+/// Both buffers live in [`CowBox`] cells so a protocol snapshot
+/// ([`ParticleCloud::fork`]) is two pointer bumps. The filter advances
+/// *generationally* — each step builds the next particle generation in
+/// fresh buffers and replaces the old ones wholesale — so a shared
+/// generation is never written in place and copy-on-write snapshots stay
+/// fault-free: the tracker states replicate for free.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParticleCloud {
-    particles: Vec<Vec<f64>>,
-    weights: Vec<f64>,
+    particles: CowBox<Vec<Vec<f64>>>,
+    weights: CowBox<Vec<f64>>,
 }
 
 impl ParticleCloud {
@@ -32,9 +40,35 @@ impl ParticleCloud {
             .map(|_| (0..dims).map(|_| rng.noise(1.0)).collect())
             .collect();
         ParticleCloud {
-            particles,
-            weights: vec![1.0 / n as f64; n],
+            particles: CowBox::new(particles),
+            weights: CowBox::new(vec![1.0 / n as f64; n]),
         }
+    }
+
+    /// O(1) protocol snapshot: share both buffers with the returned
+    /// cloud. Either side's next in-place write would fault (and be
+    /// reported by [`ParticleCloud::take_materialized`]); the
+    /// generational [`step`](ParticleCloud::step) never writes in place,
+    /// so in practice neither side ever faults.
+    pub fn fork(&mut self) -> ParticleCloud {
+        ParticleCloud {
+            particles: self.particles.fork(),
+            weights: self.weights.fork(),
+        }
+    }
+
+    /// Drain copy-on-write materializations since the last drain, scaled
+    /// to the workload's modeled state size: each component fault charges
+    /// its byte share of `modeled_bytes` (integer arithmetic, so the
+    /// charge is exact and platform-independent).
+    pub fn take_materialized(&mut self, modeled_bytes: u64) -> u64 {
+        let n = self.len() as u64;
+        let dims = self.dims() as u64;
+        let total = n * dims * 8 + n * 8;
+        let particle_share = modeled_bytes * (n * dims * 8) / total;
+        let weight_share = modeled_bytes * (n * 8) / total;
+        self.particles.take_faults() as u64 * particle_share
+            + self.weights.take_faults() as u64 * weight_share
     }
 
     /// Number of particles.
@@ -56,7 +90,7 @@ impl ParticleCloud {
     pub fn estimate(&self) -> Vec<f64> {
         let dims = self.dims();
         let mut est = vec![0.0; dims];
-        for (p, w) in self.particles.iter().zip(&self.weights) {
+        for (p, w) in self.particles.iter().zip(self.weights.iter()) {
             for d in 0..dims {
                 est[d] += p[d] * w;
             }
@@ -70,7 +104,7 @@ impl ParticleCloud {
         let var: f64 = self
             .particles
             .iter()
-            .zip(&self.weights)
+            .zip(self.weights.iter())
             .map(|(p, w)| {
                 w * p
                     .iter()
@@ -100,31 +134,41 @@ impl ParticleCloud {
             // Annealing: noise shrinks layer by layer.
             let anneal = 1.0 / (1.0 + layer as f64);
             let sigma = motion_sigma * anneal;
-            // Diffuse.
-            for p in &mut self.particles {
-                for x in p.iter_mut() {
-                    *x = (*x + rng.gaussian() * sigma).clamp(-1.5, 1.5);
-                }
-            }
+            // Diffuse into a fresh generation: the previous one may be
+            // structurally shared with a protocol snapshot, and replacing
+            // it wholesale keeps copy-on-write snapshots fault-free.
+            let diffused: Vec<Vec<f64>> = self
+                .particles
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .map(|x| (*x + rng.gaussian() * sigma).clamp(-1.5, 1.5))
+                        .collect()
+                })
+                .collect();
             // Weight by a heavy-tailed likelihood: a narrow peak for
             // precision plus a wide component so a lost cloud still feels
             // a gradient toward the target and can re-acquire it.
             let inv = 1.0 / (2.0 * obs_sigma * obs_sigma * anneal.max(0.25));
+            let mut weights = Vec::with_capacity(n);
             let mut total = 0.0;
-            for (p, w) in self.particles.iter().zip(self.weights.iter_mut()) {
+            for p in &diffused {
                 let d2: f64 = p
                     .iter()
                     .zip(observation)
                     .map(|(x, o)| (x - o) * (x - o))
                     .sum();
-                *w = (-d2 * inv).exp() + 0.02 * (-d2 * inv / 50.0).exp() + 1e-12;
-                total += *w;
+                let w = (-d2 * inv).exp() + 0.02 * (-d2 * inv / 50.0).exp() + 1e-12;
+                total += w;
+                weights.push(w);
             }
-            for w in &mut self.weights {
+            for w in &mut weights {
                 *w /= total;
             }
-            // Systematic resampling.
-            self.resample(rng);
+            // Systematic resampling over the diffused generation.
+            let (next, step) = resample(&diffused, &weights, rng);
+            self.particles.set(next);
+            self.weights.set(vec![step; n]);
             flops += (n * dims * 6 + n * 4) as u64;
         }
         flops
@@ -135,34 +179,25 @@ impl ParticleCloud {
     /// the flop estimate.
     pub fn reseed_around(&mut self, target: &[f64], sigma: f64, rng: &mut StatsRng) -> u64 {
         let dims = self.dims();
-        for p in &mut self.particles {
-            for (x, t) in p.iter_mut().zip(target) {
-                *x = (t + rng.gaussian() * sigma).clamp(-1.5, 1.5);
-            }
-        }
+        // Generational replacement, like `step`: pose dimensions beyond
+        // the target's keep their current value.
+        let reseeded: Vec<Vec<f64>> = self
+            .particles
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .enumerate()
+                    .map(|(d, x)| match target.get(d) {
+                        Some(t) => (t + rng.gaussian() * sigma).clamp(-1.5, 1.5),
+                        None => *x,
+                    })
+                    .collect()
+            })
+            .collect();
         let n = self.len();
-        self.weights = vec![1.0 / n as f64; n];
+        self.particles.set(reseeded);
+        self.weights.set(vec![1.0 / n as f64; n]);
         (n * dims * 3) as u64
-    }
-
-    fn resample(&mut self, rng: &mut StatsRng) {
-        let n = self.len();
-        let step = 1.0 / n as f64;
-        let mut u = rng.unit() * step;
-        let mut cum = 0.0;
-        let mut idx = 0usize;
-        let mut next = Vec::with_capacity(n);
-        for p in self.particles.iter().enumerate() {
-            let _ = p;
-            while idx < n - 1 && cum + self.weights[idx] < u {
-                cum += self.weights[idx];
-                idx += 1;
-            }
-            next.push(self.particles[idx].clone());
-            u += step;
-        }
-        self.particles = next;
-        self.weights = vec![step; n];
     }
 
     /// Application-level acceptance predicate: two clouds are
@@ -179,6 +214,27 @@ impl ParticleCloud {
     pub fn byte_size(n: usize, dims: usize) -> usize {
         n * dims * 8 + n * 8
     }
+}
+
+/// Systematic resampling: draw the next generation from `particles`
+/// proportionally to `weights`. Returns the generation and the uniform
+/// weight each survivor carries.
+fn resample(particles: &[Vec<f64>], weights: &[f64], rng: &mut StatsRng) -> (Vec<Vec<f64>>, f64) {
+    let n = particles.len();
+    let step = 1.0 / n as f64;
+    let mut u = rng.unit() * step;
+    let mut cum = 0.0;
+    let mut idx = 0usize;
+    let mut next = Vec::with_capacity(n);
+    for _ in 0..n {
+        while idx < n - 1 && cum + weights[idx] < u {
+            cum += weights[idx];
+            idx += 1;
+        }
+        next.push(particles[idx].clone());
+        u += step;
+    }
+    (next, step)
 }
 
 #[cfg(test)]
@@ -282,6 +338,60 @@ mod tests {
     #[test]
     fn byte_size_formula() {
         assert_eq!(ParticleCloud::byte_size(64, 2), 64 * 16 + 64 * 8);
+    }
+
+    #[test]
+    fn fork_is_fault_free_under_generational_stepping() {
+        let mut live = ParticleCloud::fresh(64, 2, 8);
+        let mut r = rng(4);
+        live.step(&[0.2, -0.1], 0.05, 0.1, 2, &mut r);
+        let mut snap = live.fork();
+        let frozen = snap.estimate();
+        // The live side keeps stepping; the snapshot must not move, and
+        // neither side may materialize a single byte.
+        for _ in 0..4 {
+            live.step(&[0.2, -0.1], 0.05, 0.1, 2, &mut r);
+        }
+        assert_eq!(snap.estimate(), frozen);
+        assert_eq!(live.take_materialized(500_000), 0);
+        assert_eq!(snap.take_materialized(500_000), 0);
+        // Reseeding is generational too.
+        live.reseed_around(&[0.0, 0.0], 0.1, &mut r);
+        assert_eq!(live.take_materialized(500_000), 0);
+    }
+
+    #[test]
+    fn fork_then_step_matches_deep_clone_twin() {
+        // A forked cloud stepped forward is bit-identical to a deep clone
+        // stepped with the same RNG stream: structural sharing never leaks
+        // into the numerics.
+        let mut base = ParticleCloud::fresh(32, 2, 5);
+        base.step(&[0.1, 0.1], 0.05, 0.1, 2, &mut rng(6));
+        let mut deep = base.clone();
+        let mut cow = base.fork();
+        let mut ra = rng(7);
+        let mut rb = rng(7);
+        deep.step(&[0.3, -0.2], 0.05, 0.1, 3, &mut ra);
+        cow.step(&[0.3, -0.2], 0.05, 0.1, 3, &mut rb);
+        assert_eq!(deep, cow);
+        assert_eq!(format!("{deep:?}"), format!("{cow:?}"));
+    }
+
+    #[test]
+    fn materialized_bytes_charge_component_shares() {
+        // Force an in-place write through a shared handle and check the
+        // fault is charged at the particles' byte share of the modeled
+        // state size.
+        let mut live = ParticleCloud::fresh(64, 2, 9);
+        let _snap = live.fork();
+        live.particles.make_mut()[0][0] = 0.0;
+        let n = 64u64;
+        let total = n * 2 * 8 + n * 8;
+        assert_eq!(
+            live.take_materialized(500_000),
+            500_000 * (n * 2 * 8) / total
+        );
+        assert_eq!(live.take_materialized(500_000), 0, "drain resets");
     }
 
     #[test]

@@ -13,23 +13,25 @@ use crate::suite::{ExecMode, Workload};
 use crate::synth::{LabeledBatch, PointStreamConfig};
 use serde::{Deserialize, Serialize};
 use stats_core::rng::StatsRng;
-use stats_core::{Config, InnerParallelism, StateDependence, UpdateCost};
+use stats_core::{Config, CowBox, InnerParallelism, SnapshotStrategy, StateDependence, UpdateCost};
 use stats_uarch::StreamProfile;
 
 /// The classifier state: one prototype per class plus confidence mass.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Prototypes {
-    /// `protos[class]` is the class's prototype vector.
-    pub protos: Vec<Vec<f64>>,
-    /// Per-class confidence (observation mass).
-    pub confidence: Vec<f64>,
+    /// `protos[class]` is the class's prototype vector. Boxed for O(1)
+    /// chunk-boundary snapshots; faults on the first post-fork update.
+    pub protos: CowBox<Vec<Vec<f64>>>,
+    /// Per-class confidence (observation mass), snapshot independently of
+    /// the prototypes so a confidence-only frame copies fewer bytes.
+    pub confidence: CowBox<Vec<f64>>,
 }
 
 impl Prototypes {
     fn init(classes: usize, dims: usize) -> Self {
         Prototypes {
-            protos: vec![vec![0.0; dims]; classes],
-            confidence: vec![0.0; classes],
+            protos: CowBox::new(vec![vec![0.0; dims]; classes]),
+            confidence: CowBox::new(vec![0.0; classes]),
         }
     }
 
@@ -41,7 +43,7 @@ impl Prototypes {
         let total: f64 = self
             .protos
             .iter()
-            .zip(&other.protos)
+            .zip(other.protos.iter())
             .map(|(a, b)| {
                 a.iter()
                     .zip(b)
@@ -148,7 +150,7 @@ impl StateDependence for StreamClassifier {
         if take > 0 {
             dist_evals += process(state, rng, &mut scratch, take);
         }
-        for c in &mut state.confidence {
+        for c in state.confidence.iter_mut() {
             *c *= self.confidence_decay;
         }
         let accuracy = correct as f64 / input.points.len() as f64;
@@ -163,6 +165,38 @@ impl StateDependence for StreamClassifier {
 
     fn state_bytes(&self) -> usize {
         104 // Table I
+    }
+
+    fn snapshot_state(&self, state: &mut Prototypes, strategy: SnapshotStrategy) -> Prototypes {
+        match strategy {
+            SnapshotStrategy::DeepClone => state.clone(),
+            SnapshotStrategy::CopyOnWrite => Prototypes {
+                protos: state.protos.fork(),
+                confidence: state.confidence.fork(),
+            },
+        }
+    }
+
+    fn take_materialized(&self, state: &mut Prototypes) -> u64 {
+        // Pro-rate the modeled 104 bytes over the two components by their
+        // actual in-memory sizes.
+        let classes = state.protos.len() as u64;
+        let dims = state.protos.first().map_or(0, Vec::len) as u64;
+        let proto_actual = classes * dims * 8;
+        let conf_actual = classes * 8;
+        let total = (proto_actual + conf_actual).max(1);
+        let modeled = self.state_bytes() as u64;
+        state.protos.take_faults() as u64 * (modeled * proto_actual / total)
+            + state.confidence.take_faults() as u64 * (modeled * conf_actual / total)
+    }
+
+    fn snapshot_copy_bytes(&self, strategy: SnapshotStrategy) -> u64 {
+        match strategy {
+            SnapshotStrategy::DeepClone => self.state_bytes() as u64,
+            // Both components share structure; copies happen only on the
+            // first post-fork write to each.
+            SnapshotStrategy::CopyOnWrite => 0,
+        }
     }
 
     fn outside_region_work(&self) -> (u64, u64) {
@@ -185,6 +219,7 @@ impl Workload for StreamClassifier {
             lookback: 4,
             extra_states: 1,
             combine_inner_tlp: true,
+            snapshot: SnapshotStrategy::DeepClone,
         }
     }
 

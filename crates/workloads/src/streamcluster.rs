@@ -14,7 +14,7 @@ use crate::suite::{ExecMode, Workload};
 use crate::synth::{PointBatch, PointStreamConfig};
 use serde::{Deserialize, Serialize};
 use stats_core::rng::StatsRng;
-use stats_core::{Config, InnerParallelism, StateDependence, UpdateCost};
+use stats_core::{Config, CowBox, InnerParallelism, SnapshotStrategy, StateDependence, UpdateCost};
 use stats_uarch::StreamProfile;
 
 /// One weighted median center.
@@ -29,8 +29,10 @@ pub struct Center {
 /// The clustering state: the current centers.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Centers {
-    /// Current centers, unordered.
-    pub centers: Vec<Center>,
+    /// Current centers, unordered. Boxed for O(1) chunk-boundary
+    /// snapshots; the refinement loop's first in-place write after a
+    /// fork materializes a private copy.
+    pub centers: CowBox<Vec<Center>>,
 }
 
 impl Centers {
@@ -187,7 +189,7 @@ impl StateDependence for StreamCluster {
             };
             dist_evals += self.refine_once(state, &partial, rng);
         }
-        for c in &mut state.centers {
+        for c in state.centers.iter_mut() {
             c.weight *= self.weight_decay;
         }
         // Batch clustering cost: mean distance to the nearest center.
@@ -221,6 +223,29 @@ impl StateDependence for StreamCluster {
         104 // Table I
     }
 
+    fn snapshot_state(&self, state: &mut Centers, strategy: SnapshotStrategy) -> Centers {
+        match strategy {
+            SnapshotStrategy::DeepClone => state.clone(),
+            SnapshotStrategy::CopyOnWrite => Centers {
+                centers: state.centers.fork(),
+            },
+        }
+    }
+
+    fn take_materialized(&self, state: &mut Centers) -> u64 {
+        state.centers.take_faults() as u64 * self.state_bytes() as u64
+    }
+
+    fn snapshot_copy_bytes(&self, strategy: SnapshotStrategy) -> u64 {
+        match strategy {
+            SnapshotStrategy::DeepClone => self.state_bytes() as u64,
+            // The centers ARE the state: a fork copies nothing up front.
+            // The in-place refinement loop faults the payload on its first
+            // write, so COW defers (rather than avoids) this tiny copy.
+            SnapshotStrategy::CopyOnWrite => 0,
+        }
+    }
+
     fn outside_region_work(&self) -> (u64, u64) {
         // Input parsing and final output writing: the paper's dominant
         // residual for the stream benchmarks (§V-B, Fig. 10).
@@ -243,6 +268,7 @@ impl Workload for StreamCluster {
             lookback: 4,
             extra_states: 1,
             combine_inner_tlp: true,
+            snapshot: SnapshotStrategy::DeepClone,
         }
     }
 
@@ -367,16 +393,16 @@ mod tests {
     #[test]
     fn chamfer_distance_properties() {
         let a = Centers {
-            centers: vec![Center {
+            centers: CowBox::new(vec![Center {
                 pos: vec![0.0, 0.0],
                 weight: 1.0,
-            }],
+            }]),
         };
         let b = Centers {
-            centers: vec![Center {
+            centers: CowBox::new(vec![Center {
                 pos: vec![3.0, 4.0],
                 weight: 5.0,
-            }],
+            }]),
         };
         assert_eq!(a.chamfer(&a), 0.0);
         assert!((a.chamfer(&b) - 5.0).abs() < 1e-12);

@@ -14,7 +14,7 @@ use crate::suite::{ExecMode, Workload};
 use crate::synth::{RateBatch, RateStreamConfig};
 use serde::{Deserialize, Serialize};
 use stats_core::rng::StatsRng;
-use stats_core::{Config, InnerParallelism, StateDependence, UpdateCost};
+use stats_core::{Config, InnerParallelism, SnapshotStrategy, StateDependence, UpdateCost};
 use stats_uarch::StreamProfile;
 
 /// Paths actually simulated per batch (statistics are scaled to the
@@ -119,6 +119,10 @@ impl StateDependence for Swaptions {
         24
     }
 
+    // The 24-byte `Copy` state is cheaper to duplicate than to share:
+    // swaptions keeps the default deep snapshot under both strategies
+    // (the trait defaults charge `state_bytes` per copy event either way).
+
     fn outside_region_work(&self) -> (u64, u64) {
         // Argument parsing and result printing: negligible.
         (2_000_000, 1_000_000)
@@ -142,6 +146,7 @@ impl Workload for Swaptions {
             lookback: 4,
             extra_states: 1,
             combine_inner_tlp: true,
+            snapshot: SnapshotStrategy::DeepClone,
         }
     }
 

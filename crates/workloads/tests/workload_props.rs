@@ -4,9 +4,76 @@
 use proptest::prelude::*;
 use stats_core::rng::StatsRng;
 use stats_core::speculation::run_speculative;
-use stats_core::{Config, StateDependence, UpdateCost};
+use stats_core::{Config, SnapshotStrategy, StateDependence, UpdateCost};
+use stats_workloads::bodytrack::BodyTrack;
+use stats_workloads::facedet_and_track::FaceDetAndTrack;
+use stats_workloads::facetrack::FaceTrack;
 use stats_workloads::particle::ParticleCloud;
-use stats_workloads::streamcluster::{Center, Centers};
+use stats_workloads::streamclassifier::StreamClassifier;
+use stats_workloads::streamcluster::{Center, Centers, StreamCluster};
+use stats_workloads::suite::Workload;
+use stats_workloads::swaptions::Swaptions;
+
+/// Drive a COW snapshot and its deep-cloned twin through one arbitrary
+/// update sequence; the pair must stay `states_match`-equal and
+/// wire-identical (the marker-serde wire format is `Debug`) at every
+/// step, and writes to the still-aliased original must never show
+/// through the snapshot.
+fn check_cow_twin<W>(w: &W, prefix: usize, steps: usize, seed: u64)
+where
+    W: Workload,
+    W::State: std::fmt::Debug,
+{
+    let inputs = w.generate_inputs(prefix + steps, seed);
+    let mut rng = StatsRng::from_seed_value(seed);
+    let mut state = w.fresh_state();
+    for i in &inputs[..prefix] {
+        w.update(&mut state, i, &mut rng);
+    }
+
+    // Fork a COW snapshot of the evolved state, then a deep twin of the
+    // snapshot itself (`State: Clone` is a full payload copy — CowBox's
+    // Clone never shares).
+    let mut cow = w.snapshot_state(&mut state, SnapshotStrategy::CopyOnWrite);
+    let mut deep = cow.clone();
+    assert!(
+        w.states_match(&cow, &deep),
+        "{}: twins differ at birth",
+        w.name()
+    );
+
+    // Identical update sequences on identical RNG streams must keep the
+    // pair bit-identical, whether a step materializes a private copy
+    // (first in-place write) or not (generational set()).
+    let mut rng_cow = StatsRng::from_seed_value(seed ^ 0x00C0_FFEE);
+    let mut rng_deep = StatsRng::from_seed_value(seed ^ 0x00C0_FFEE);
+    for i in &inputs[prefix..] {
+        w.update(&mut cow, i, &mut rng_cow);
+        w.update(&mut deep, i, &mut rng_deep);
+        assert!(w.states_match(&cow, &deep), "{}: twins diverged", w.name());
+        assert_eq!(
+            format!("{cow:?}"),
+            format!("{deep:?}"),
+            "{}: wire bytes diverged",
+            w.name()
+        );
+    }
+
+    // Commit-order safety: the original still aliases whatever the
+    // snapshot has not yet materialized, so updating it must be
+    // unobservable from the snapshot.
+    let frozen = format!("{cow:?}");
+    let mut rng_orig = StatsRng::from_seed_value(seed ^ 0x000A_11A5);
+    for i in &inputs {
+        w.update(&mut state, i, &mut rng_orig);
+    }
+    assert_eq!(
+        format!("{cow:?}"),
+        frozen,
+        "{}: aliased write leaked into the snapshot",
+        w.name()
+    );
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -43,6 +110,23 @@ proptest! {
         prop_assert_eq!(a.estimates_match(&b, tol), b.estimates_match(&a, tol));
     }
 
+    /// A COW snapshot is indistinguishable from a deep clone under any
+    /// update sequence, on every benchmark — the per-workload face of
+    /// the tentpole's bit-identity contract.
+    #[test]
+    fn cow_snapshots_track_their_deep_twins(
+        prefix in 0usize..16,
+        steps in 1usize..16,
+        seed in 0u64..1_000,
+    ) {
+        check_cow_twin(&Swaptions::paper(), prefix, steps, seed);
+        check_cow_twin(&StreamCluster::paper(), prefix, steps, seed);
+        check_cow_twin(&StreamClassifier::paper(), prefix, steps, seed);
+        check_cow_twin(&BodyTrack::paper(), prefix, steps, seed);
+        check_cow_twin(&FaceTrack::paper(), prefix, steps, seed);
+        check_cow_twin(&FaceDetAndTrack::paper(), prefix, steps, seed);
+    }
+
     /// Chamfer distance between center sets is symmetric, zero on self,
     /// and grows with displacement.
     #[test]
@@ -54,19 +138,19 @@ proptest! {
         shift in 0.0f64..2.0,
     ) {
         let a = Centers {
-            centers: positions
+            centers: stats_core::CowBox::new(positions
                 .iter()
                 .map(|p| Center { pos: p.clone(), weight: 1.0 })
-                .collect(),
+                .collect()),
         };
         let b = Centers {
-            centers: positions
+            centers: stats_core::CowBox::new(positions
                 .iter()
                 .map(|p| Center {
                     pos: p.iter().map(|x| x + shift).collect(),
                     weight: 3.0,
                 })
-                .collect(),
+                .collect()),
         };
         prop_assert!(a.chamfer(&a) < 1e-12);
         prop_assert!((a.chamfer(&b) - b.chamfer(&a)).abs() < 1e-12);

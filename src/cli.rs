@@ -18,12 +18,13 @@
 //! Argument parsing is hand-rolled (the workbench's dependency policy
 //! keeps the offline crate set minimal) and unit-tested.
 
-use stats_bench::native_attribution::{profile_workload, render_profile_table};
+use stats_bench::native_attribution::{profile_workload_configured, render_profile_table};
 use stats_bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
 use stats_core::report::ChunkDecision;
 use stats_core::runtime::pool::{default_workers, WorkerPool};
 use stats_core::runtime::simulated::SimulatedRuntime;
 use stats_core::runtime::threaded::run_threaded_on;
+use stats_core::SnapshotStrategy;
 use stats_telemetry::json::JsonObject;
 use stats_telemetry::{export, Event, Profiler, TelemetrySink, WallAttribution, WallProfile};
 use stats_workloads::{dispatch, Workload, WorkloadVisitor, EXTENDED_BENCHMARK_NAMES};
@@ -173,6 +174,10 @@ pub struct Options {
     /// Attach the wall-clock profiler to native replays (run/tune with
     /// `--workers`) and append a causal attribution to the summary.
     pub profile: bool,
+    /// Snapshot-strategy override (`--snapshot deep|cow`). `None` keeps
+    /// the benchmark's tuned strategy; on `tune`, `cow` also adds the
+    /// snapshot dimension to the searched design space.
+    pub snapshot: Option<SnapshotStrategy>,
 }
 
 impl Default for Options {
@@ -187,6 +192,7 @@ impl Default for Options {
             json: false,
             workers: None,
             profile: false,
+            snapshot: None,
         }
     }
 }
@@ -227,6 +233,9 @@ OPTIONS:
   --chunks N       override the tuned chunk count
   --lookback N     override the tuned lookback k
   --extra-states N override the tuned extra original states m
+  --snapshot S     chunk-boundary state snapshots: deep | cow
+                   (run/metrics/profile: override; tune with cow: the
+                   searched design space gains the snapshot dimension)
   --budget N       tuning evaluations     (default 80; tune only)
   --telemetry PATH write a JSONL telemetry event log (run/tune)
   --json           machine-readable run summary   (run only)
@@ -329,6 +338,10 @@ fn parse_options(args: &[String]) -> Result<ParsedArgs, ParseError> {
             }
             "--profile" => {
                 opts.profile = true;
+            }
+            "--snapshot" => {
+                opts.snapshot =
+                    Some(SnapshotStrategy::parse(&take_value("--snapshot")?).map_err(ParseError)?);
             }
             "--seeds" => {
                 seeds = take_value("--seeds")?
@@ -448,6 +461,9 @@ fn config_for<W: Workload>(w: &W, opts: &Options) -> stats_core::Config {
     }
     if let Some(m) = opts.extra_states {
         cfg.extra_states = m;
+    }
+    if let Some(s) = opts.snapshot {
+        cfg.snapshot = s;
     }
     stats_bench::pipeline::clamp_config(cfg, opts.scale.inputs_for(w))
 }
@@ -571,6 +587,7 @@ impl WorkloadVisitor for RunCmd<'_> {
                 .u64("lookback", cfg.lookback as u64)
                 .u64("extra_states", cfg.extra_states as u64)
                 .bool("combine_inner_tlp", cfg.combine_inner_tlp)
+                .str("snapshot", cfg.snapshot.token())
                 .f64("speedup", report.speedup())
                 .u64("aborts", report.aborts() as u64)
                 .u64("threads", report.accounting.threads as u64)
@@ -741,7 +758,12 @@ impl WorkloadVisitor for TuneCmd<'_> {
         let n = self.opts.scale.inputs_for(w);
         let inputs = w.generate_inputs(n, self.opts.seed);
         let rt = SimulatedRuntime::paper_machine();
-        let space = stats_core::DesignSpace::for_inputs(n, 28, w.inner_parallelism().is_parallel());
+        let mut space =
+            stats_core::DesignSpace::for_inputs(n, 28, w.inner_parallelism().is_parallel());
+        if self.opts.snapshot == Some(SnapshotStrategy::CopyOnWrite) {
+            space.snapshot_choices =
+                vec![SnapshotStrategy::DeepClone, SnapshotStrategy::CopyOnWrite];
+        }
         let tuner = Tuner::new(space, self.budget, self.opts.seed);
         // One counter shard per worker evaluating tuning batches.
         let mut sink = TelemetrySink::new(self.pool.map_or(1, WorkerPool::workers));
@@ -878,7 +900,11 @@ impl WorkloadVisitor for ProfileCmd<'_> {
         let seeds: Vec<u64> = (0..self.seeds as u64)
             .map(|i| self.opts.seed.wrapping_add(i))
             .collect();
-        let report = profile_workload(w, pool, self.opts.scale, &seeds);
+        let mut cfg = tuned_config(w, 28, self.opts.scale);
+        if let Some(s) = self.opts.snapshot {
+            cfg.snapshot = s;
+        }
+        let report = profile_workload_configured(w, pool, self.opts.scale, &seeds, cfg);
         Ok(match self.format {
             ProfileFormat::Table => render_profile_table(&report),
             ProfileFormat::Json => format!("{}\n", report.to_json()),
@@ -1403,6 +1429,78 @@ mod tests {
         let out = execute(cmd).unwrap();
         assert!(out.contains("native:"));
         assert!(out.contains("profile:"), "missing attribution:\n{out}");
+    }
+
+    #[test]
+    fn parses_snapshot_strategy() {
+        match parse(&args("run bodytrack --snapshot cow")).unwrap() {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.snapshot, Some(SnapshotStrategy::CopyOnWrite));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args("profile bodytrack --snapshot deep")).unwrap() {
+            Command::Profile { opts, .. } => {
+                assert_eq!(opts.snapshot, Some(SnapshotStrategy::DeepClone));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(
+            parse(&args("run bodytrack")).map(|c| match c {
+                Command::Run { opts, .. } => opts.snapshot,
+                _ => unreachable!(),
+            }),
+            Ok(None)
+        );
+        assert!(parse(&args("run bodytrack --snapshot shallow")).is_err());
+        assert!(parse(&args("run bodytrack --snapshot")).is_err());
+    }
+
+    #[test]
+    fn run_with_cow_snapshots_matches_simulated_decisions() {
+        // The keystone bit-identity contract, exercised end to end through
+        // the CLI: COW snapshots must not change a single decision.
+        let cmd = parse(&args(
+            "run bodytrack --scale 0.05 --chunks 4 --workers 2 --snapshot cow",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(
+            out.contains("cow snapshots"),
+            "config line shows cow:\n{out}"
+        );
+        assert!(
+            out.contains("decisions match simulated"),
+            "cow threaded must agree with cow simulated:\n{out}"
+        );
+    }
+
+    #[test]
+    fn run_json_reports_snapshot_strategy() {
+        let cmd = parse(&args(
+            "run swaptions --scale 0.05 --chunks 8 --snapshot cow --json",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("\"snapshot\":\"cow\""));
+        // Byte counters ride along in the embedded telemetry snapshot.
+        assert!(out.contains("\"state_bytes_logical\":"));
+        assert!(out.contains("\"state_bytes_copied\":"));
+    }
+
+    #[test]
+    fn tune_with_cow_searches_the_snapshot_dimension() {
+        let cmd = parse(&args(
+            "tune bodytrack --scale 0.05 --budget 16 --snapshot cow",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        // Under the byte-proportional cost model COW strictly cheapens
+        // bodytrack's 500 KB copies, so the winner adopts it.
+        assert!(
+            out.contains("cow snapshots"),
+            "expected the tuner to pick cow for the copy-heavy tracker:\n{out}"
+        );
     }
 
     #[test]

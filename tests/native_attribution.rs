@@ -30,10 +30,12 @@
 //!   the median is a robust estimate of the capture cost itself.
 
 use stats_workbench::bench::native_attribution::{
-    compare_shapes, profile_workload, profiling_overhead_pct, simulated_reference,
+    compare_shapes, profile_workload, profile_workload_configured, profiling_overhead_pct,
+    simulated_reference,
 };
-use stats_workbench::bench::pipeline::{Scale, FIGURE_SEED};
+use stats_workbench::bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
 use stats_workbench::core::runtime::pool::WorkerPool;
+use stats_workbench::core::SnapshotStrategy;
 use stats_workbench::workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
 
 const SCALE: Scale = Scale(0.08);
@@ -122,6 +124,64 @@ fn native_attribution_agrees_with_the_simulator_on_every_benchmark() {
             .map(|r| (r.name, r.overhead_pct))
             .collect::<Vec<_>>(),
     );
+}
+
+#[test]
+fn copies_free_whatif_brackets_the_achieved_cow_speedup() {
+    // The tentpole's closed loop: `stats profile` under deep snapshots
+    // projects a copies-free speedup; switching `--snapshot cow` is the
+    // closest real implementation of that counterfactual on the
+    // copy-heavy trackers (their generational particle clouds fault no
+    // bytes). The achieved cow speedup must land in the bracket the deep
+    // profile predicts — no worse than deep's measured speedup, no
+    // better than the copies-free projection — with each edge slackened
+    // by the edges' own CIs plus a documented 25% noise allowance
+    // (wall-clock speedups on a time-shared CI host jitter; the bench
+    // harness `native_copies` gates the same bracket at 10% on more
+    // reps).
+    const BRACKET_SLACK: f64 = 1.25;
+    struct Bracket;
+    impl WorkloadVisitor for Bracket {
+        type Output = ();
+        fn visit<W: Workload>(self, w: &W) {
+            let pool = WorkerPool::new(WORKERS);
+            let seeds: Vec<u64> = (0..SEEDS as u64).map(|i| FIGURE_SEED + i).collect();
+            let deep_cfg = tuned_config(w, 28, SCALE);
+            let mut cow_cfg = deep_cfg;
+            cow_cfg.snapshot = SnapshotStrategy::CopyOnWrite;
+            let deep = profile_workload_configured(w, &pool, SCALE, &seeds, deep_cfg);
+            let cow = profile_workload_configured(w, &pool, SCALE, &seeds, cow_cfg);
+            assert!(deep.parity && cow.parity, "{}: parity broken", w.name());
+
+            let ceiling =
+                (deep.whatif_copies_free.mean + deep.whatif_copies_free.half_width) * BRACKET_SLACK;
+            let floor = (deep.measured.mean - deep.measured.half_width) / BRACKET_SLACK;
+            let achieved = cow.measured.mean;
+            assert!(
+                achieved - cow.measured.half_width <= ceiling,
+                "{}: cow speedup {achieved:.3}x (ci {:.3}) exceeds the copies-free \
+                 projection {:.3}x (ci {:.3}, slackened ceiling {ceiling:.3}x) — the \
+                 what-if is supposed to be an upper bound on what removing copies buys",
+                w.name(),
+                cow.measured.half_width,
+                deep.whatif_copies_free.mean,
+                deep.whatif_copies_free.half_width,
+            );
+            assert!(
+                achieved + cow.measured.half_width >= floor,
+                "{}: cow speedup {achieved:.3}x (ci {:.3}) fell below deep's measured \
+                 {:.3}x (ci {:.3}, slackened floor {floor:.3}x) — cheaper snapshots \
+                 must not cost wall time",
+                w.name(),
+                cow.measured.half_width,
+                deep.measured.mean,
+                deep.measured.half_width,
+            );
+        }
+    }
+    for name in ["bodytrack", "facetrack", "facedet-and-track"] {
+        dispatch(name, Bracket);
+    }
 }
 
 #[test]

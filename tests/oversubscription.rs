@@ -114,3 +114,83 @@ fn single_worker_pool_still_drains_oversubscribed_plans() {
     assert_parity(&pool, &Swaptions::paper(), 42);
     assert_parity(&pool, &FaceDetAndTrack::paper(), 42);
 }
+
+#[test]
+fn state_pool_high_water_stays_within_capacity() {
+    use stats_workbench::core::runtime::pool::StatePool;
+    // Both threaded paths recycle dead snapshots through a StatePool
+    // capped at m + 2; the watermark proves recycling actually happens
+    // without the free-list growing past its bound.
+    let pool: StatePool<Vec<u64>> = StatePool::with_capacity(3);
+    assert_eq!(pool.len(), 0);
+    assert!(pool.is_empty());
+    assert_eq!(pool.high_water(), 0);
+    for i in 0..8u64 {
+        pool.recycle(vec![i; 16]);
+        assert!(pool.len() <= 3, "free-list exceeded its cap");
+    }
+    assert_eq!(pool.len(), 3, "cap bounds retained spares");
+    assert_eq!(pool.high_water(), 3, "watermark saturates at the cap");
+    // Draining spares lowers len but never the watermark.
+    let copy = pool.copy_of(&vec![9; 16]);
+    assert_eq!(copy, vec![9; 16]);
+    assert_eq!(pool.len(), 2);
+    assert!(!pool.is_empty());
+    assert_eq!(pool.high_water(), 3);
+}
+
+#[test]
+fn cow_snapshots_are_bit_identical_to_deep_on_every_benchmark() {
+    // The tentpole's non-negotiable contract: switching the snapshot
+    // strategy must not change one decision or one output bit, on any
+    // benchmark, at any width. Decisions and outputs come from the
+    // semantic layer (strategy-invariant by construction) and the pooled
+    // executor at widths 1, 2, 4, and 8.
+    fn assert_cow_parity<W>(w: &W)
+    where
+        W: Workload + Sync,
+        W::Output: PartialEq + std::fmt::Debug,
+    {
+        use stats_workbench::core::SnapshotStrategy;
+        let inputs = w.generate_inputs(INPUTS, SEED);
+        let mut deep_cfg = Config::stats_only(16, 4, 2);
+        deep_cfg.snapshot = SnapshotStrategy::DeepClone;
+        let mut cow_cfg = deep_cfg;
+        cow_cfg.snapshot = SnapshotStrategy::CopyOnWrite;
+
+        let deep = run_speculative(w, &inputs, deep_cfg, SEED);
+        let cow = run_speculative(w, &inputs, cow_cfg, SEED);
+        let deep_decisions: Vec<ChunkDecision> = deep.chunks.iter().map(|c| c.decision).collect();
+        let cow_decisions: Vec<ChunkDecision> = cow.chunks.iter().map(|c| c.decision).collect();
+        assert_eq!(
+            deep_decisions,
+            cow_decisions,
+            "{}: semantic decisions",
+            w.name()
+        );
+        assert_eq!(deep.outputs, cow.outputs, "{}: semantic outputs", w.name());
+
+        for width in [1usize, 2, 4, 8] {
+            let pool = WorkerPool::new(width);
+            let threaded = run_threaded_on(&pool, w, &inputs, cow_cfg, SEED, None);
+            assert_eq!(
+                threaded.decisions,
+                deep_decisions,
+                "{}: cow decisions at width {width}",
+                w.name()
+            );
+            assert_eq!(
+                threaded.outputs,
+                deep.outputs,
+                "{}: cow outputs at width {width}",
+                w.name()
+            );
+        }
+    }
+    assert_cow_parity(&Swaptions::paper());
+    assert_cow_parity(&StreamCluster::paper());
+    assert_cow_parity(&StreamClassifier::paper());
+    assert_cow_parity(&BodyTrack::paper());
+    assert_cow_parity(&FaceTrack::paper());
+    assert_cow_parity(&FaceDetAndTrack::paper());
+}

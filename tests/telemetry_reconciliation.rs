@@ -21,7 +21,7 @@ const SCALE: Scale = Scale(0.05);
 /// The protocol counters both runtimes record (time counters are in
 /// different units — simulated cycles vs. wall nanoseconds — and are
 /// checked separately).
-const PROTOCOL: [Counter; 7] = [
+const PROTOCOL: [Counter; 9] = [
     Counter::ChunksStarted,
     Counter::ChunksCommitted,
     Counter::ChunksAborted,
@@ -29,6 +29,8 @@ const PROTOCOL: [Counter; 7] = [
     Counter::ReplicasValidated,
     Counter::StateCopies,
     Counter::StateComparisons,
+    Counter::StateBytesLogical,
+    Counter::StateBytesCopied,
 ];
 
 struct Reconcile;
