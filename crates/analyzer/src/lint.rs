@@ -21,8 +21,9 @@
 //! | ND011 | unwaived dynamic dispatch on a sink-reachable path |
 //! | ND012 | direct wall-clock read in a runtime hot path (use the telemetry clock) |
 //! | ND013 | direct clone of workload state in a runtime hot path (use the snapshot API) |
+//! | ND014 | blocking channel receive inside a pool task closure (deadlock risk) |
 //!
-//! ND001–ND008, ND012, and ND013 are single-file token-pattern checks. ND009–ND011
+//! ND001–ND008 and ND012–ND014 are single-file token-pattern checks. ND009–ND011
 //! run on the workspace call graph (see [`crate::taint`]) and are only
 //! produced by [`lint_workspace`]; the per-file entry points skip them.
 //!
@@ -47,6 +48,11 @@
 //! trajectory that depends on `(seed, budget, batch)` alone, so an
 //! `ask`/`tell` body reading the clock, its thread identity, or the pool
 //! width would silently re-couple tuning results to worker count.
+//! ND014 fires in the same hot paths as ND006: pool jobs must compute,
+//! send, and exit — a job parked on `recv()` holds a worker hostage,
+//! and with fewer workers than chunks can deadlock the whole run (the
+//! pool-module contract "Non-blocking jobs"). All waiting belongs on
+//! the coordinator thread, which is not a pool worker.
 
 use crate::callgraph::{collect_rs_files, GraphStats, Workspace};
 use crate::diag::{display_path, Diagnostic};
@@ -246,6 +252,16 @@ pub static RULES: &[Rule] = &[
                copies in the cost model",
         applies_to: hot_path_outside_pool,
         check: RuleCheck::File(check_hot_path_state_clone),
+    },
+    Rule {
+        id: "ND014",
+        summary: "blocking channel receive inside a pool task closure",
+        hint: "restructure the task to compute, send its result, and exit; move the \
+               wait onto the coordinator thread (which is not a pool worker) or \
+               chain a follow-up task instead — a job parked on recv() holds a \
+               worker hostage and can deadlock runs with fewer workers than chunks",
+        applies_to: hot_path,
+        check: RuleCheck::File(check_pool_task_blocking_recv),
     },
 ];
 
@@ -585,6 +601,55 @@ fn check_ambient_searcher(file: &LexedFile) -> Vec<RawFinding> {
                 t,
                 t.text.chars().count() + 2,
                 "`.workers()` reads pool width inside a searcher ask/tell body".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+fn check_pool_task_blocking_recv(file: &LexedFile) -> Vec<RawFinding> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut paren_depth = 0usize;
+    // Paren depths at which a `spawn(...)` / `spawn_urgent(...)` argument
+    // list opened: while the stack is non-empty we are lexically inside a
+    // task closure handed to the pool (or, in the baseline executor, to a
+    // scoped thread — its dedicated-OS-thread waits carry a waiver).
+    let mut spawn_regions: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Punct if t.text == "(" => {
+                paren_depth += 1;
+            }
+            TokKind::Punct if t.text == ")" => {
+                paren_depth = paren_depth.saturating_sub(1);
+                if spawn_regions.last().is_some_and(|d| *d == paren_depth) {
+                    spawn_regions.pop();
+                }
+            }
+            TokKind::Ident
+                if (t.text == "spawn" || t.text == "spawn_urgent")
+                    && toks.get(i + 1).is_some_and(|a| a.is_punct('(')) =>
+            {
+                // The `(` itself is handled next iteration; the region
+                // lives while paren_depth exceeds this entry value.
+                spawn_regions.push(paren_depth);
+            }
+            _ => {}
+        }
+        if spawn_regions.is_empty() || t.kind != TokKind::Ident {
+            continue;
+        }
+        // Method-call form only: `rx.recv()` / `rx.recv_timeout(..)`.
+        if (t.text == "recv" || t.text == "recv_timeout")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+        {
+            out.push(RawFinding::at(
+                t,
+                t.text.chars().count() + 2,
+                format!("`.{}()` blocks a pool worker inside a task closure", t.text),
             ));
         }
     }
@@ -1021,6 +1086,49 @@ mod tests {
         // And the waiver comment works like every other rule.
         let waived = "// stats-analyzer: allow(ND013): oracle copy outside the measured region\n\
                       fn f() { let s = state.clone(); }";
+        assert!(lint_source("x/runtime/y.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn pool_task_recvs_are_scoped_to_spawn_closures_in_hot_paths() {
+        let src = "fn go(scope: &PoolScope) { scope.spawn(move || { let r = rx.recv(); }); }";
+        let hot = lint_source("crates/core/src/runtime/threaded.rs", src);
+        assert_eq!(hot.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND014"]);
+        let spec = lint_source("crates/core/src/speculation.rs", src);
+        assert_eq!(spec.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND014"]);
+        // The coordinator waits outside any task closure — that is where
+        // waiting belongs.
+        let coord = "fn coordinate() { let r = rx.recv(); }";
+        assert!(lint_source("crates/core/src/runtime/threaded.rs", coord).is_empty());
+        // Outside the hot paths (tests, CLI plumbing) receives are
+        // unremarkable.
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn pool_task_recv_variants_nesting_and_waiver() {
+        // recv_timeout blocks the same way, and the urgent lane is
+        // covered too.
+        let each = "fn f(s: &PoolScope) { s.spawn_urgent(|| { rx.recv_timeout(d); }); }";
+        assert_eq!(lint_source("x/runtime/y.rs", each).len(), 1);
+        // The region closes with the spawn call: a receive after it is
+        // the coordinator's.
+        let after = "fn f(s: &PoolScope) { s.spawn(|| work()); let r = rx.recv(); }";
+        assert!(lint_source("x/runtime/y.rs", after).is_empty());
+        // Nested spawns: a recv in the inner closure is still inside a
+        // task; chained segment tasks that only spawn-and-send are fine.
+        let nested = "fn f(s: &PoolScope) { s.spawn(|| { s.spawn_urgent(|| { rx.recv(); }); }); }";
+        assert_eq!(lint_source("x/runtime/y.rs", nested).len(), 1);
+        let chained =
+            "fn f(s: &PoolScope) { s.spawn(|| { s.spawn_urgent(|| { tx.send(v); }); }); }";
+        assert!(lint_source("x/runtime/y.rs", chained).is_empty());
+        // Non-method recv idents (a variable, a function call) don't match.
+        let fine = "fn f(s: &PoolScope) { s.spawn(|| { let recv = 1; recv_all(); }); }";
+        assert!(lint_source("x/runtime/y.rs", fine).is_empty());
+        // And the waiver comment works like every other rule.
+        let waived = "fn f(s: &Scope) { s.spawn(|| {\n\
+                      // stats-analyzer: allow(ND014): dedicated OS thread, not a pool worker\n\
+                      let r = rx.recv(); }); }";
         assert!(lint_source("x/runtime/y.rs", waived).is_empty());
     }
 

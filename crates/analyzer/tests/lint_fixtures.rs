@@ -192,6 +192,34 @@ fn state_clone_rule_exempts_the_pool_and_non_hot_paths() {
 }
 
 #[test]
+fn pool_recv_fixture_flags_task_closures_but_honors_the_waiver() {
+    let diags = fixture("runtime/bad_pool_recv.rs");
+    assert_eq!(rules(&diags), ["ND014", "ND014"]);
+    let text = diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("recv"));
+    assert!(text.contains("recv_timeout"));
+    // The coordinator-side receive and the waived handoff are not
+    // reported.
+    assert!(diags.iter().all(|d| !d.snippet.contains("worker alive")));
+    assert!(diags.iter().all(|d| !d.snippet.contains("sealed")));
+}
+
+#[test]
+fn pool_recv_rule_is_path_scoped() {
+    // Outside the runtime hot paths the same source lints clean: the
+    // contract is about pool workers, not channel use in general.
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/runtime/bad_pool_recv.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    let diags = stats_analyzer::lint::lint_source("crates/bench/src/table1.rs", &source);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
 fn ambient_searcher_fixture_flags_ask_tell_reads_but_honors_waivers() {
     let diags = fixture("autotuner/bad_ambient_searcher.rs");
     assert_eq!(rules(&diags), ["ND008", "ND008", "ND008"]);

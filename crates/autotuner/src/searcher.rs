@@ -98,14 +98,13 @@ impl HillClimb {
     pub(crate) fn neighbor(&mut self, space: &DesignSpace, base: Config) -> Config {
         let mut cfg = base;
         // Pick a dimension and move to an adjacent choice. The snapshot
-        // dimension only exists (and only costs an RNG draw) when the
-        // space actually offers more than one strategy, so trajectories
-        // over the historical four-dimensional space stay bit-identical.
-        let dims = if space.snapshot_options().len() > 1 {
-            5u8
-        } else {
-            4u8
-        };
+        // and breadth dimensions only exist (and only cost an RNG draw)
+        // when the space actually offers more than one choice, so
+        // trajectories over the historical four-dimensional space stay
+        // bit-identical.
+        let snapshot_dims = u8::from(space.snapshot_options().len() > 1);
+        let breadth_dims = u8::from(space.breadth_options().len() > 1);
+        let dims = 4 + snapshot_dims + breadth_dims;
         let dim = self.rng.gen_range(0..dims);
         let shift = |rng: &mut ChaCha8Rng, choices: &[usize], cur: usize| -> usize {
             let idx = choices.iter().position(|&c| c == cur).unwrap_or(0);
@@ -128,10 +127,15 @@ impl HillClimb {
                     cfg.combine_inner_tlp = !cfg.combine_inner_tlp;
                 }
             }
-            _ => {
-                let options = space.snapshot_options();
-                let idx = options.iter().position(|&s| s == cfg.snapshot).unwrap_or(0);
-                cfg.snapshot = options[(idx + 1) % options.len()];
+            d => {
+                if d == 4 && snapshot_dims == 1 {
+                    let options = space.snapshot_options();
+                    let idx = options.iter().position(|&s| s == cfg.snapshot).unwrap_or(0);
+                    cfg.snapshot = options[(idx + 1) % options.len()];
+                } else {
+                    cfg.spec_breadth =
+                        shift(&mut self.rng, space.breadth_options(), cfg.spec_breadth);
+                }
             }
         }
         cfg
@@ -227,12 +231,18 @@ impl Evolutionary {
                 b.combine_inner_tlp
             },
             snapshot: a.snapshot,
+            spec_breadth: a.spec_breadth,
+            overlap_rerun: a.overlap_rerun,
         };
-        // Crossover on the snapshot dimension draws (and costs) a coin
-        // only when the space offers a choice, keeping four-dimensional
-        // trajectories bit-identical to the pre-snapshot searcher.
+        // Crossover on the snapshot and breadth dimensions draws (and
+        // costs) a coin only when the space offers a choice, keeping
+        // four-dimensional trajectories bit-identical to the historical
+        // searcher.
         if space.snapshot_options().len() > 1 && self.rng.gen() {
             child.snapshot = b.snapshot;
+        }
+        if space.breadth_options().len() > 1 && self.rng.gen() {
+            child.spec_breadth = b.spec_breadth;
         }
         // Mutation.
         if self.rng.gen::<f64>() < 0.3 {
@@ -571,6 +581,76 @@ mod tests {
                 + usize::from(prop.combine_inner_tlp != base.combine_inner_tlp)
                 + usize::from(prop.snapshot != base.snapshot);
             assert!(diffs <= 1, "hill-climb changed {diffs} dims: {prop:?}");
+        }
+    }
+
+    #[test]
+    fn hill_climb_explores_breadth_when_offered() {
+        let mut sp = space();
+        sp.breadth_choices = vec![1, 2, 4];
+        let base = Config::stats_only(28, 8, 1);
+        let mut hc = HillClimb::new(7);
+        hc.tell(&[(base, 0.0)]);
+        let props = hc.ask(&sp, 40);
+        assert!(
+            props.iter().any(|p| p.spec_breadth != 1),
+            "breadth dimension never mutated"
+        );
+        for prop in props {
+            assert!(
+                sp.breadth_options().contains(&prop.spec_breadth),
+                "breadth {} escaped the space",
+                prop.spec_breadth
+            );
+            let diffs = usize::from(prop.chunks != base.chunks)
+                + usize::from(prop.lookback != base.lookback)
+                + usize::from(prop.extra_states != base.extra_states)
+                + usize::from(prop.combine_inner_tlp != base.combine_inner_tlp)
+                + usize::from(prop.spec_breadth != base.spec_breadth);
+            assert!(diffs <= 1, "hill-climb changed {diffs} dims: {prop:?}");
+        }
+    }
+
+    #[test]
+    fn breadth_dimension_does_not_disturb_historical_trajectories() {
+        // A space without the breadth (or snapshot) dimension must cost
+        // zero extra RNG draws: trajectories are bit-identical whether
+        // the searcher knows about the new knobs or not. The strongest
+        // check available without a time machine: the narrow space and
+        // an explicitly-breadth-1 space propose identical batches.
+        let sp = space();
+        let mut one = sp.clone();
+        one.breadth_choices = vec![1];
+        for seed in [3u64, 17, 92] {
+            let mut a = Ensemble::new(seed);
+            let mut b = Ensemble::new(seed);
+            let pa = a.ask(&sp, 8);
+            let pb = b.ask(&one, 8);
+            assert_eq!(pa, pb, "seed {seed}");
+            let results: Vec<(Config, f64)> = pa.iter().map(|c| (*c, cost(c))).collect();
+            a.tell(&results);
+            b.tell(&results);
+            assert_eq!(a.ask(&sp, 8), b.ask(&one, 8), "seed {seed} after tell");
+        }
+    }
+
+    #[test]
+    fn evolutionary_explores_breadth_when_offered() {
+        let mut sp = space();
+        sp.breadth_choices = vec![1, 2, 4];
+        let mut evo = Evolutionary::new(13);
+        // Seed the population with mixed breadths so crossover has both
+        // alleles to draw from.
+        let narrow = Config::stats_only(28, 8, 1);
+        let wide = Config::stats_only(16, 8, 1).with_breadth(4);
+        evo.tell(&[(narrow, 2.0), (wide, 1.0), (narrow, 2.0), (wide, 1.0)]);
+        let props = evo.ask(&sp, 40);
+        assert!(
+            props.iter().any(|p| p.spec_breadth > 1),
+            "evolutionary never inherited the wide allele"
+        );
+        for prop in props {
+            assert!(prop.validate(sp.inputs).is_ok(), "invalid child {prop:?}");
         }
     }
 

@@ -377,6 +377,7 @@ mod tests {
             extra_state_choices: vec![0],
             allow_combine: false,
             snapshot_choices: Vec::new(),
+            breadth_choices: Vec::new(),
             inputs: 10,
         };
         let report = Tuner::new(tiny, 1_000, 4).tune(Strategy::Random, objective);

@@ -1,0 +1,517 @@
+//! Speculation-breadth sweep over the native pooled runtime: every paper
+//! benchmark × breadth {1, 2, 4} × {serial, overlapped} abort recovery.
+//!
+//! For each cell this harness runs the pooled executor over two seeds,
+//! `--reps` times each, and records the summed min wall time, the abort
+//! count, and the breadth counters (`SpecCandidates` / `CandidateHits` /
+//! `RerunSegments`); for each benchmark it additionally profiles the
+//! breadth-1 and breadth-2 configurations to close the causal-profiler
+//! loop. With `--gate`, the process exits non-zero unless:
+//!
+//! * **parity** — in every cell the threaded decisions and quality bits
+//!   match the simulated run exactly, and the overlapped-recovery cell
+//!   matches its serial sibling exactly (overlap moves work, never
+//!   results);
+//! * **counters** — `SpecCandidates` equals speculative-chunks × breadth
+//!   exactly, and `RerunSegments` equals the abort count under serial
+//!   recovery (at most twice it when overlapped);
+//! * **rescue** — on the abort-heavy trackers, breadth 2 strictly
+//!   reduces the summed abort count, and the profiled mispeculation
+//!   loss share strictly shrinks from breadth 1 to breadth 2;
+//! * **no overlap slowdown** — the geomean over all (benchmark,
+//!   breadth) cells of `overlapped_time / serial_time` stays within
+//!   `--tolerance` percent of 1.0;
+//! * **bracket** — on the trackers, the achieved breadth-2 speedup
+//!   stays under the mispeculation-free what-if the breadth-1 profile
+//!   projects (slackened by `--tolerance` percent plus the CIs); the
+//!   floor — breadth must not cost wall time — additionally needs the
+//!   host to have a thread for every candidate of every chunk, so it is
+//!   only enforced when `host_parallelism >= 2 x chunks` (the JSON
+//!   records whether it was).
+//!
+//! Usage: `native_breadth [--scale F] [--reps N] [--tolerance PCT] \
+//! [--out PATH] [--gate]` — exits 0 on success, 1 on gate failure, 2 on
+//! bad arguments.
+
+use stats_bench::native_attribution::{profile_workload_configured, ProfileReport};
+use stats_bench::pipeline::{geomean, tuned_config, Scale, FIGURE_SEED};
+use stats_core::runtime::pool::{default_workers, WorkerPool};
+use stats_core::runtime::simulated::SimulatedRuntime;
+use stats_core::runtime::threaded::run_threaded_on;
+use stats_core::{ChunkDecision, Config};
+use stats_telemetry::json::{validate, JsonObject};
+use stats_telemetry::{Counter, Estimate, TelemetrySink, WallLoss};
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+/// Breadths swept per benchmark. 1 is the head-identical baseline; the
+/// profiler bracket compares 1 against 2.
+const BREADTHS: [usize; 3] = [1, 2, 4];
+
+/// Seeds each cell runs over (abort patterns are seed-dependent; the
+/// rescue gate sums across both so a lucky single seed cannot pass it).
+const SEEDS: [u64; 2] = [FIGURE_SEED, FIGURE_SEED + 1];
+
+/// Benchmarks whose tuned configurations actually mispeculate at the
+/// sweep scale: breadth has aborts to rescue, so the rescue and bracket
+/// gates apply. The face detector's aborts stem from a detection-count
+/// discontinuity no sibling RNG stream crosses differently, so breadth
+/// cannot rescue it — it stays a sweep row but not a gated one.
+const ABORT_HEAVY: [&str; 2] = ["bodytrack", "facetrack"];
+
+#[derive(Clone)]
+struct Args {
+    scale: Scale,
+    reps: usize,
+    tolerance: f64,
+    out: String,
+    gate: bool,
+}
+
+/// One (breadth, overlap) cell, summed over [`SEEDS`].
+struct Cell {
+    min_ns: u64,
+    aborts: u64,
+    candidates: u64,
+    hits: u64,
+    segments: u64,
+    /// Threaded decisions and quality bits matched the simulated run on
+    /// every seed.
+    sim_parity: bool,
+}
+
+/// Serial and overlapped recovery at one breadth.
+struct BreadthPair {
+    breadth: usize,
+    serial: Cell,
+    overlapped: Cell,
+    /// Overlapped decisions and quality bits matched serial on every seed.
+    overlap_parity: bool,
+    /// The counter identities held in both cells.
+    counters_ok: bool,
+}
+
+struct BenchRow {
+    name: String,
+    /// Pool width the sweep ran on: `2 x chunks`, so at breadth 2 every
+    /// candidate of every chunk has a worker slot.
+    width: usize,
+    pairs: Vec<BreadthPair>,
+    narrow_measured: Estimate,
+    wide_measured: Estimate,
+    /// The mispeculation-free what-if projected from the breadth-1
+    /// profile: the upper edge of the bracket breadth 2 must land in.
+    mispec_free_narrow: Estimate,
+    narrow_mispec_share: f64,
+    wide_mispec_share: f64,
+    is_abort_heavy: bool,
+}
+
+fn mispec_share(r: &ProfileReport) -> f64 {
+    r.normalized_losses()
+        .iter()
+        .find(|(l, _)| *l == WallLoss::Mispeculation)
+        .map_or(0.0, |(_, s)| *s)
+}
+
+struct Sweep<'a> {
+    args: &'a Args,
+}
+
+impl WorkloadVisitor for Sweep<'_> {
+    type Output = BenchRow;
+    fn visit<W: Workload>(self, w: &W) -> BenchRow {
+        let args = self.args;
+        let n = args.scale.inputs_for(w);
+        let base = tuned_config(w, 28, args.scale);
+        let width = base.chunks * 2;
+        let pool = WorkerPool::new(width);
+        let rt = SimulatedRuntime::paper_machine();
+
+        // One threaded cell: summed min-over-reps time, counters, and
+        // the per-seed decision/quality record for the parity checks.
+        let measure = |cfg: Config| {
+            let mut cell = Cell {
+                min_ns: 0,
+                aborts: 0,
+                candidates: 0,
+                hits: 0,
+                segments: 0,
+                sim_parity: true,
+            };
+            let mut record = Vec::new();
+            for &seed in &SEEDS {
+                let inputs = w.generate_inputs(n, seed);
+                let sink = TelemetrySink::new(cfg.chunks.max(1));
+                let first = run_threaded_on(&pool, w, &inputs, cfg, seed, Some(&sink));
+                let snap = sink.snapshot();
+                let mut min_ns = u64::try_from(first.elapsed.as_nanos()).unwrap_or(u64::MAX);
+                for _ in 1..args.reps {
+                    let rep = run_threaded_on(&pool, w, &inputs, cfg, seed, None);
+                    min_ns = min_ns.min(u64::try_from(rep.elapsed.as_nanos()).unwrap_or(u64::MAX));
+                }
+                let sim = rt
+                    .run(w.name(), w, &inputs, cfg, w.inner_parallelism(), seed)
+                    .expect("valid configuration");
+                let quality = w.quality(&inputs, &first.outputs).to_bits();
+                cell.sim_parity &= first.decisions == sim.decisions
+                    && quality == w.quality(&inputs, &sim.outputs).to_bits();
+                cell.min_ns += min_ns;
+                cell.aborts += first
+                    .decisions
+                    .iter()
+                    .filter(|d| **d == ChunkDecision::Aborted)
+                    .count() as u64;
+                cell.candidates += snap.get(Counter::SpecCandidates);
+                cell.hits += snap.get(Counter::CandidateHits);
+                cell.segments += snap.get(Counter::RerunSegments);
+                record.push((first.decisions, quality));
+            }
+            (cell, record)
+        };
+
+        let mut pairs = Vec::new();
+        for &breadth in &BREADTHS {
+            let cfg = base.with_breadth(breadth);
+            let (serial, serial_record) = measure(cfg);
+            let (overlapped, overlapped_record) = measure(cfg.with_overlap(true));
+            let overlap_parity = serial_record == overlapped_record;
+            // Every seed contributes (chunks - 1) speculative chunks.
+            let speculative = SEEDS.len() as u64 * (cfg.chunks as u64 - 1);
+            let counters_ok = serial.candidates == speculative * breadth as u64
+                && overlapped.candidates == serial.candidates
+                && serial.segments == serial.aborts
+                && overlapped.segments >= overlapped.aborts
+                && overlapped.segments <= 2 * overlapped.aborts;
+            pairs.push(BreadthPair {
+                breadth,
+                serial,
+                overlapped,
+                overlap_parity,
+                counters_ok,
+            });
+        }
+
+        // Close the profiler loop: the mispeculation-free what-if is
+        // projected under breadth 1 (where reruns still cost), the
+        // achieved speedup measured under breadth 2.
+        let narrow = profile_workload_configured(w, &pool, args.scale, &SEEDS, base);
+        let wide = profile_workload_configured(w, &pool, args.scale, &SEEDS, base.with_breadth(2));
+
+        BenchRow {
+            name: w.name().to_string(),
+            width,
+            pairs,
+            narrow_measured: narrow.measured,
+            wide_measured: wide.measured,
+            mispec_free_narrow: narrow.whatif_mispeculation_free,
+            narrow_mispec_share: mispec_share(&narrow),
+            wide_mispec_share: mispec_share(&wide),
+            is_abort_heavy: ABORT_HEAVY.contains(&w.name()),
+        }
+    }
+}
+
+struct Gate {
+    all_parity: bool,
+    counters_exact: bool,
+    rescues: bool,
+    geomean_overlap_ratio: f64,
+    ceilings_hold: bool,
+    /// Whether the host had the threads to enforce the wall-time floor
+    /// on every gated row.
+    floor_enforced: bool,
+    floors_hold: bool,
+    tolerance_pct: f64,
+}
+
+impl Gate {
+    fn evaluate(rows: &[BenchRow], tolerance_pct: f64) -> Gate {
+        let slack = 1.0 + tolerance_pct / 100.0;
+        let all_parity = rows.iter().all(|r| {
+            r.pairs
+                .iter()
+                .all(|p| p.serial.sim_parity && p.overlapped.sim_parity && p.overlap_parity)
+        });
+        let counters_exact = rows.iter().all(|r| r.pairs.iter().all(|p| p.counters_ok));
+        fn cell(r: &BenchRow, breadth: usize) -> &BreadthPair {
+            r.pairs
+                .iter()
+                .find(|p| p.breadth == breadth)
+                .expect("swept breadth")
+        }
+        let rescues = rows.iter().filter(|r| r.is_abort_heavy).all(|r| {
+            let (b1, b2) = (cell(r, 1), cell(r, 2));
+            b1.serial.aborts > 0
+                && b2.serial.aborts < b1.serial.aborts
+                && r.wide_mispec_share < r.narrow_mispec_share
+        });
+        let ratios: Vec<f64> = rows
+            .iter()
+            .flat_map(|r| r.pairs.iter())
+            .map(|p| p.overlapped.min_ns as f64 / p.serial.min_ns.max(1) as f64)
+            .collect();
+        let geomean_overlap_ratio = geomean(&ratios);
+        let ceilings_hold = rows.iter().filter(|r| r.is_abort_heavy).all(|r| {
+            let ceiling = (r.mispec_free_narrow.mean + r.mispec_free_narrow.half_width) * slack;
+            r.wide_measured.mean - r.wide_measured.half_width <= ceiling
+        });
+        let floor_enforced = rows
+            .iter()
+            .filter(|r| r.is_abort_heavy)
+            .all(|r| default_workers() >= r.width);
+        let floors_hold = !floor_enforced
+            || rows.iter().filter(|r| r.is_abort_heavy).all(|r| {
+                let floor = (r.narrow_measured.mean - r.narrow_measured.half_width) / slack;
+                r.wide_measured.mean + r.wide_measured.half_width >= floor
+            });
+        Gate {
+            all_parity,
+            counters_exact,
+            rescues,
+            geomean_overlap_ratio,
+            ceilings_hold,
+            floor_enforced,
+            floors_hold,
+            tolerance_pct,
+        }
+    }
+
+    fn pass(&self) -> bool {
+        self.all_parity
+            && self.counters_exact
+            && self.rescues
+            && self.geomean_overlap_ratio <= 1.0 + self.tolerance_pct / 100.0
+            && self.ceilings_hold
+            && self.floors_hold
+    }
+}
+
+fn render_json(args: &Args, rows: &[BenchRow], gate: &Gate) -> String {
+    let est = |e: &Estimate| format!("{{\"mean\":{:.6},\"ci\":{:.6}}}", e.mean, e.half_width);
+    let mut benches = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            benches.push(',');
+        }
+        let mut cells = String::from("[");
+        for (j, p) in row.pairs.iter().enumerate() {
+            if j > 0 {
+                cells.push(',');
+            }
+            let cell = |c: &Cell| {
+                let mut o = JsonObject::new();
+                o.u64("min_ns", c.min_ns)
+                    .u64("aborts", c.aborts)
+                    .u64("candidates", c.candidates)
+                    .u64("hits", c.hits)
+                    .u64("segments", c.segments)
+                    .bool("sim_parity", c.sim_parity);
+                o.finish()
+            };
+            let mut o = JsonObject::new();
+            o.u64("breadth", p.breadth as u64)
+                .raw("serial", &cell(&p.serial))
+                .raw("overlapped", &cell(&p.overlapped))
+                .bool("overlap_parity", p.overlap_parity)
+                .bool("counters_ok", p.counters_ok);
+            cells.push_str(&o.finish());
+        }
+        cells.push(']');
+        let mut o = JsonObject::new();
+        o.str("benchmark", &row.name)
+            .bool("abort_heavy", row.is_abort_heavy)
+            .u64("width", row.width as u64)
+            .raw("breadths", &cells)
+            .raw("narrow_measured", &est(&row.narrow_measured))
+            .raw("wide_measured", &est(&row.wide_measured))
+            .raw("mispec_free_narrow", &est(&row.mispec_free_narrow))
+            .f64("narrow_mispec_share", row.narrow_mispec_share)
+            .f64("wide_mispec_share", row.wide_mispec_share);
+        benches.push_str(&o.finish());
+    }
+    benches.push(']');
+
+    let mut breadths = String::from("[");
+    for (i, b) in BREADTHS.iter().enumerate() {
+        if i > 0 {
+            breadths.push(',');
+        }
+        breadths.push_str(&b.to_string());
+    }
+    breadths.push(']');
+
+    let mut g = JsonObject::new();
+    g.bool("enforced", args.gate)
+        .bool("all_parity", gate.all_parity)
+        .bool("counters_exact", gate.counters_exact)
+        .bool("rescues", gate.rescues)
+        .f64("geomean_overlap_ratio", gate.geomean_overlap_ratio)
+        .bool("ceilings_hold", gate.ceilings_hold)
+        .bool("floor_enforced", gate.floor_enforced)
+        .bool("floors_hold", gate.floors_hold)
+        .f64("tolerance_pct", gate.tolerance_pct)
+        .bool("pass", gate.pass());
+
+    let mut o = JsonObject::new();
+    o.str("bench", "native_breadth")
+        .u64("seed", FIGURE_SEED)
+        .f64("scale", args.scale.0)
+        .u64("reps", args.reps as u64)
+        .u64("seeds", SEEDS.len() as u64)
+        .raw("breadths", &breadths)
+        .u64("host_parallelism", default_workers() as u64)
+        .raw("benchmarks", &benches)
+        .raw("gate", &g.finish());
+    format!("{}\n", o.finish())
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale(0.08),
+        reps: 2,
+        tolerance: 10.0,
+        out: "BENCH_breadth.json".to_string(),
+        gate: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = "usage: native_breadth [--scale F] [--reps N] [--tolerance PCT] \
+                 [--out PATH] [--gate]";
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} requires a value\n{usage}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                let v: f64 = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --scale expects a number\n{usage}");
+                    std::process::exit(2);
+                });
+                args.scale = Scale(v);
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --reps expects an integer\n{usage}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--tolerance" => {
+                let v: f64 = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --tolerance expects a number\n{usage}");
+                    std::process::exit(2);
+                });
+                args.tolerance = v;
+                i += 2;
+            }
+            "--out" => {
+                args.out = value(i);
+                i += 2;
+            }
+            "--gate" => {
+                args.gate = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(args.scale.0 > 0.0 && args.scale.0 <= 1.0)
+        || args.reps == 0
+        || args.tolerance <= 0.0
+        || args.tolerance.is_nan()
+    {
+        eprintln!("error: --scale in (0,1]; --reps and --tolerance positive\n{usage}");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "native_breadth: scale {}, {} reps x {} seeds, breadths {:?}, host parallelism {}",
+        args.scale.0,
+        args.reps,
+        SEEDS.len(),
+        BREADTHS,
+        default_workers(),
+    );
+
+    let rows: Vec<BenchRow> = BENCHMARK_NAMES
+        .iter()
+        .map(|name| {
+            let row = dispatch(name, Sweep { args: &args });
+            for p in &row.pairs {
+                println!(
+                    "{:<18} b{} aborts {} -> hits {} | segments {} -> {} | overlap x{:.3}{}{}",
+                    row.name,
+                    p.breadth,
+                    p.serial.aborts,
+                    p.serial.hits,
+                    p.serial.segments,
+                    p.overlapped.segments,
+                    p.overlapped.min_ns as f64 / p.serial.min_ns.max(1) as f64,
+                    if p.serial.sim_parity && p.overlapped.sim_parity && p.overlap_parity {
+                        ""
+                    } else {
+                        " PARITY BROKEN"
+                    },
+                    if p.counters_ok { "" } else { " COUNTERS OFF" },
+                );
+            }
+            println!(
+                "{:<18} bracket: b1 {:.2}x <= b2 {:.2}x <= mispec-free {:.2}x | \
+                 mispec share {:.4} -> {:.4}{}",
+                "",
+                row.narrow_measured.mean,
+                row.wide_measured.mean,
+                row.mispec_free_narrow.mean,
+                row.narrow_mispec_share,
+                row.wide_mispec_share,
+                if row.is_abort_heavy { " (gated)" } else { "" },
+            );
+            row
+        })
+        .collect();
+
+    let gate = Gate::evaluate(&rows, args.tolerance);
+    let json = render_json(&args, &rows, &gate);
+    validate(json.trim()).unwrap_or_else(|e| panic!("generated invalid JSON: {e}"));
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!(
+        "\nwrote {} | parity {} | counters {} | rescues {} | overlap x{:.3} | \
+         ceilings {} | floors {}",
+        args.out,
+        if gate.all_parity { "ok" } else { "BROKEN" },
+        if gate.counters_exact { "exact" } else { "OFF" },
+        if gate.rescues { "ok" } else { "MISSING" },
+        gate.geomean_overlap_ratio,
+        if gate.ceilings_hold { "hold" } else { "BROKEN" },
+        if !gate.floor_enforced {
+            "skipped (host too narrow)"
+        } else if gate.floors_hold {
+            "hold"
+        } else {
+            "BROKEN"
+        },
+    );
+
+    if args.gate {
+        if gate.pass() {
+            println!("OK: breadth trades bounded extra work for fewer aborts, never results");
+        } else {
+            println!("FAIL: speculation-breadth gate failed");
+            std::process::exit(1);
+        }
+    }
+}

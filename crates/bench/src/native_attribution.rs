@@ -79,6 +79,9 @@ pub struct ProfileReport {
     pub whatif_copies_free: Estimate,
     /// See [`ProfileReport::whatif_sync_free`].
     pub whatif_double_workers: Estimate,
+    /// See [`ProfileReport::whatif_sync_free`]: projected speedup if no
+    /// chunk had mispeculated (the ceiling a breadth > 1 run chases).
+    pub whatif_mispeculation_free: Estimate,
     /// Whether decisions/outputs with profiling on matched a
     /// profiling-off run bit-for-bit (first seed).
     pub parity: bool,
@@ -130,10 +133,11 @@ impl ProfileReport {
             .raw(
                 "whatifs",
                 &format!(
-                    "{{\"sync_free\":{},\"copies_free\":{},\"double_workers\":{}}}",
+                    "{{\"sync_free\":{},\"copies_free\":{},\"double_workers\":{},\"mispeculation_free\":{}}}",
                     est(&self.whatif_sync_free),
                     est(&self.whatif_copies_free),
-                    est(&self.whatif_double_workers)
+                    est(&self.whatif_double_workers),
+                    est(&self.whatif_mispeculation_free)
                 ),
             )
             .bool("parity", self.parity)
@@ -181,7 +185,12 @@ pub fn profile_workload_configured<W: Workload>(
             .collect();
         let elapsed_ns = u64::try_from(run.elapsed.as_nanos()).unwrap_or(u64::MAX);
         let profiler = sink.profiler().expect("profiler attached above");
-        let profile = WallProfile::assemble(profiler, aborted, elapsed_ns);
+        let profile = WallProfile::assemble_with_breadth(
+            profiler,
+            aborted,
+            cfg.spec_breadth.max(1),
+            elapsed_ns,
+        );
         if i == 0 {
             // Profiling must be observation-only: a profiler-free run
             // with the same seed must decide and produce identically.
@@ -214,6 +223,7 @@ pub fn profile_workload_configured<W: Workload>(
         whatif_sync_free: collect(&|r| r.whatifs.sync_free),
         whatif_copies_free: collect(&|r| r.whatifs.copies_free),
         whatif_double_workers: collect(&|r| r.whatifs.double_workers),
+        whatif_mispeculation_free: collect(&|r| r.whatifs.mispeculation_free),
         profile: first_profile.expect("at least one seed profiled"),
         parity,
         runs,
@@ -369,10 +379,12 @@ pub fn compare_shapes(
     let eps = 1e-9;
     let native_ok = report.whatif_sync_free.mean >= report.projected.mean - eps
         && report.whatif_copies_free.mean >= report.projected.mean - eps
-        && report.whatif_double_workers.mean >= report.projected.mean - eps;
+        && report.whatif_double_workers.mean >= report.projected.mean - eps
+        && report.whatif_mispeculation_free.mean >= report.projected.mean - eps;
     let sim_ok = sim_whatifs.sync_free >= sim_baseline - eps
         && sim_whatifs.copies_free >= sim_baseline - eps
-        && sim_whatifs.double_workers >= sim_baseline - eps;
+        && sim_whatifs.double_workers >= sim_baseline - eps
+        && sim_whatifs.mispeculation_free >= sim_baseline - eps;
 
     ShapeComparison {
         benchmark: report.benchmark.clone(),
@@ -404,6 +416,7 @@ pub fn simulated_reference<W: Workload>(
         // The simulator's marginal for "more cores" is the unreachable
         // headroom; doubling workers recovers at most that.
         double_workers: b.achieved,
+        mispeculation_free: b.achieved + b.marginal_of(LossCategory::Mispeculation),
     };
     let base = b.achieved;
     (b, whatifs, base)
@@ -453,13 +466,15 @@ pub fn render_profile_table(report: &ProfileReport) -> String {
     }
     out.push_str("  what-if projections:\n");
     out.push_str(&format!(
-        "    sync were free     {:>6.2}x ± {:.2}\n    copies were free   {:>6.2}x ± {:.2}\n    2x workers         {:>6.2}x ± {:.2}\n",
+        "    sync were free     {:>6.2}x ± {:.2}\n    copies were free   {:>6.2}x ± {:.2}\n    2x workers         {:>6.2}x ± {:.2}\n    no mispeculation   {:>6.2}x ± {:.2}\n",
         report.whatif_sync_free.mean,
         report.whatif_sync_free.half_width,
         report.whatif_copies_free.mean,
         report.whatif_copies_free.half_width,
         report.whatif_double_workers.mean,
         report.whatif_double_workers.half_width,
+        report.whatif_mispeculation_free.mean,
+        report.whatif_mispeculation_free.half_width,
     ));
     let sketches = report.profile.category_sketches();
     if !sketches.is_empty() {

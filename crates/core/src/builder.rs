@@ -116,6 +116,21 @@ impl<'w, W: StateDependence> Stats<'w, W> {
         self
     }
 
+    /// Speculation breadth `b`: alternative candidates raced per
+    /// speculative chunk (1 is the historical protocol).
+    pub fn spec_breadth(&mut self, b: usize) -> &mut Self {
+        self.config.spec_breadth = b;
+        self
+    }
+
+    /// Overlap abort recovery: split reruns into pool segments that
+    /// release boundary replicas early instead of blocking the
+    /// coordinator.
+    pub fn overlap_rerun(&mut self, on: bool) -> &mut Self {
+        self.config.overlap_rerun = on;
+        self
+    }
+
     /// Combine the program's inner TLP with the STATS TLP, using the given
     /// profile ("Par. STATS").
     pub fn combine_inner_tlp(&mut self, inner: InnerParallelism) -> &mut Self {
@@ -253,6 +268,30 @@ mod tests {
         let thr = b.run_threaded(&ins, 7).unwrap();
         assert_eq!(sim.outputs, thr.outputs);
         assert_eq!(sim.decisions, thr.decisions);
+    }
+
+    #[test]
+    fn builder_breadth_and_overlap_flow_into_the_config() {
+        let mut b = Stats::of(&Ema);
+        b.chunks(4)
+            .lookback(2)
+            .extra_states(1)
+            .spec_breadth(3)
+            .overlap_rerun(true);
+        let cfg = b.assembled_config();
+        assert_eq!(cfg.spec_breadth, 3);
+        assert!(cfg.overlap_rerun);
+        let ins = inputs(120);
+        let sim = b.run_simulated(&ins, 7).unwrap();
+        let thr = b.run_threaded(&ins, 7).unwrap();
+        assert_eq!(sim.outputs, thr.outputs);
+        assert_eq!(sim.decisions, thr.decisions);
+        // Zero breadth is rejected at the terminal methods.
+        b.spec_breadth(0);
+        assert!(matches!(
+            b.run_simulated(&ins, 7),
+            Err(StatsError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -56,5 +56,7 @@ pub use planner::{plan_balanced, plan_weighted, ChunkPlan};
 pub use report::{ChunkDecision, ResourceAccounting, RunReport};
 pub use rng::StatsRng;
 pub use snapshot::{CowBox, SnapshotStrategy};
-pub use speculation::{run_speculative, run_speculative_planned, ChunkOutcome, SpeculationOutcome};
+pub use speculation::{
+    run_speculative, run_speculative_planned, CandidateCost, ChunkOutcome, SpeculationOutcome,
+};
 pub use tlp::InnerParallelism;

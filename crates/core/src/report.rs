@@ -41,11 +41,15 @@ impl ResourceAccounting {
         let workers = c;
         let replicas = boundaries * config.extra_states;
         let shards = if inner_width > 1 { c * inner_width } else { 0 };
-        let threads = 1 + workers + replicas + shards;
+        // Breadth candidates beyond the first get their own worker thread
+        // and speculative state per non-first chunk.
+        let extra_candidates = boundaries * config.spec_breadth.saturating_sub(1);
+        let threads = 1 + workers + replicas + shards + extra_candidates;
         let states = 1                      // initial
             + c                             // working state per chunk
             + boundaries                    // speculative state per boundary
-            + boundaries * config.extra_states; // replica states
+            + boundaries * config.extra_states // replica states
+            + extra_candidates; // extra candidate states
         ResourceAccounting {
             threads,
             states,
@@ -134,9 +138,22 @@ mod tests {
             extra_states: 1,
             combine_inner_tlp: true,
             snapshot: crate::SnapshotStrategy::DeepClone,
+            spec_breadth: 1,
+            overlap_rerun: false,
         };
         let acc = ResourceAccounting::for_config(&cfg, 500_000, 2);
         // 1 + 14 + 13 + 14*2 shards.
         assert_eq!(acc.threads, 1 + 14 + 13 + 28);
+    }
+
+    #[test]
+    fn accounting_counts_breadth_candidates() {
+        let cfg = Config::stats_only(28, 8, 2).with_breadth(3);
+        let acc = ResourceAccounting::for_config(&cfg, 104, 1);
+        // Breadth adds 27*2 candidate threads and states over the
+        // breadth-1 accounting.
+        let base = ResourceAccounting::for_config(&Config::stats_only(28, 8, 2), 104, 1);
+        assert_eq!(acc.threads, base.threads + 54);
+        assert_eq!(acc.states, base.states + 54);
     }
 }

@@ -28,6 +28,13 @@ pub enum StreamRole {
     OriginalState { chunk: usize, replica: usize },
     /// The re-execution of a chunk after an abort.
     Rerun(usize),
+    /// The alternative producer of breadth candidate `candidate` (>= 1)
+    /// feeding a chunk. Candidate 0 uses [`StreamRole::AltProducer`], so
+    /// breadth 1 reproduces the historical streams bit for bit.
+    AltCandidate { chunk: usize, candidate: usize },
+    /// The speculative run of breadth candidate `candidate` (>= 1) of a
+    /// chunk. Candidate 0 uses [`StreamRole::Chunk`].
+    ChunkCandidate { chunk: usize, candidate: usize },
 }
 
 impl StreamRole {
@@ -40,6 +47,12 @@ impl StreamRole {
                 0x3000_0000 + (chunk as u64) * 1_024 + replica as u64
             }
             StreamRole::Rerun(c) => 0x4000_0000 + c as u64,
+            StreamRole::AltCandidate { chunk, candidate } => {
+                0x5000_0000 + (chunk as u64) * 1_024 + candidate as u64
+            }
+            StreamRole::ChunkCandidate { chunk, candidate } => {
+                0x6000_0000 + (chunk as u64) * 1_024 + candidate as u64
+            }
         }
     }
 }
@@ -171,6 +184,56 @@ mod tests {
             },
         );
         assert_ne!(r0.next_u64(), r1.next_u64());
+    }
+
+    #[test]
+    fn breadth_candidates_are_independent() {
+        // Each candidate of a chunk draws from its own stream, distinct
+        // from the primary candidate's legacy streams and from every
+        // other candidate of the same or a neighbouring chunk.
+        let mut primary_alt = StatsRng::derive(42, StreamRole::AltProducer(3));
+        let mut primary_chunk = StatsRng::derive(42, StreamRole::Chunk(3));
+        let mut alt1 = StatsRng::derive(
+            42,
+            StreamRole::AltCandidate {
+                chunk: 3,
+                candidate: 1,
+            },
+        );
+        let mut chunk1 = StatsRng::derive(
+            42,
+            StreamRole::ChunkCandidate {
+                chunk: 3,
+                candidate: 1,
+            },
+        );
+        let mut alt2 = StatsRng::derive(
+            42,
+            StreamRole::AltCandidate {
+                chunk: 3,
+                candidate: 2,
+            },
+        );
+        let mut next_chunk = StatsRng::derive(
+            42,
+            StreamRole::AltCandidate {
+                chunk: 4,
+                candidate: 1,
+            },
+        );
+        let draws = [
+            primary_alt.next_u64(),
+            primary_chunk.next_u64(),
+            alt1.next_u64(),
+            chunk1.next_u64(),
+            alt2.next_u64(),
+            next_chunk.next_u64(),
+        ];
+        for (i, a) in draws.iter().enumerate() {
+            for b in &draws[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

@@ -18,10 +18,14 @@
 //!
 //! # Queue discipline
 //!
-//! [`PoolScope::spawn`] enqueues at the back; [`PoolScope::spawn_urgent`]
-//! enqueues at the front. The executor uses the urgent lane for
+//! [`PoolScope::spawn`] enqueues on the normal lane;
+//! [`PoolScope::spawn_urgent`] on a separate urgent lane that workers
+//! always drain first. The executor uses the urgent lane for
 //! commit-critical work (replica replay, aborted-chunk reruns) so it is
 //! never stuck behind a long tail of not-yet-needed speculative chunks.
+//! Both lanes are FIFO among themselves: two urgent tasks run in the
+//! order they were spawned (a front-pushed single queue would reverse
+//! them, running a later rerun segment before an earlier replica batch).
 //!
 //! # Non-blocking jobs
 //!
@@ -52,7 +56,11 @@ struct Shared {
 }
 
 struct QueueState {
+    /// Normal lane (speculative chunk tasks), FIFO.
     jobs: VecDeque<Job>,
+    /// Urgent lane (replicas, reruns), FIFO among urgent tasks and
+    /// drained before the normal lane.
+    urgent: VecDeque<Job>,
     shutdown: bool,
 }
 
@@ -85,6 +93,7 @@ impl WorkerPool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
+                urgent: VecDeque::new(),
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
@@ -198,7 +207,7 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut q = shared.queue.lock().expect("pool mutex");
             loop {
-                if let Some(job) = q.jobs.pop_front() {
+                if let Some(job) = q.urgent.pop_front().or_else(|| q.jobs.pop_front()) {
                     break job;
                 }
                 if q.shutdown {
@@ -282,9 +291,10 @@ impl<'scope> PoolScope<'scope, '_> {
         self.enqueue(f, false);
     }
 
-    /// Enqueue `f` at the *front* of the pool's queue. The executor uses
-    /// this lane for commit-critical work (replica replay, reruns) so it
-    /// overtakes queued-but-not-yet-needed speculative chunks.
+    /// Enqueue `f` on the urgent lane, which workers drain before the
+    /// normal lane. The executor uses it for commit-critical work
+    /// (replica replay, reruns) so it overtakes queued-but-not-yet-needed
+    /// speculative chunks; urgent tasks run FIFO among themselves.
     pub fn spawn_urgent<F>(&'scope self, f: F)
     where
         F: FnOnce() + Send + 'scope,
@@ -318,7 +328,7 @@ impl<'scope> PoolScope<'scope, '_> {
         {
             let mut q = self.pool.shared.queue.lock().expect("pool mutex");
             if urgent {
-                q.jobs.push_front(job);
+                q.urgent.push_back(job);
             } else {
                 q.jobs.push_back(job);
             }
@@ -476,6 +486,41 @@ mod tests {
             cv.notify_all();
         });
         assert_eq!(order.lock().unwrap()[0], "urgent");
+    }
+
+    #[test]
+    fn urgent_lane_is_fifo_among_urgent_tasks() {
+        // Regression: the urgent lane used to be a push_front onto the
+        // shared queue, so several urgent tasks ran in *reverse* spawn
+        // order — an overlapped rerun's segment 1 could be dispatched
+        // before a replica batch spawned earlier. With a worker held
+        // busy while three urgent tasks queue up, they must run in
+        // spawn order, all still ahead of any normal task.
+        let pool = WorkerPool::new(1);
+        let order = Mutex::new(Vec::new());
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        pool.scope(|scope| {
+            let g = Arc::clone(&gate);
+            scope.spawn(move || {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+            let order = &order;
+            scope.spawn(move || order.lock().unwrap().push("normal".to_string()));
+            for i in 0..3 {
+                scope.spawn_urgent(move || order.lock().unwrap().push(format!("urgent-{i}")));
+            }
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["urgent-0", "urgent-1", "urgent-2", "normal"]
+        );
     }
 
     #[test]

@@ -58,6 +58,9 @@ struct ThreadLayout {
     chunks: usize,
     extra_states: usize,
     width: usize,
+    /// `b`: speculation breadth; candidates beyond the primary get their
+    /// own threads after the shard block.
+    breadth: usize,
 }
 
 impl ThreadLayout {
@@ -73,6 +76,13 @@ impl ThreadLayout {
     fn shard(&self, c: usize, s: usize) -> ThreadId {
         let boundaries = self.chunks.saturating_sub(1);
         ThreadId(1 + self.chunks + boundaries * self.extra_states + c * self.width + s)
+    }
+    /// Thread of chunk `c`'s `q`-th *losing* breadth candidate (the
+    /// realized candidate runs on [`ThreadLayout::worker`]).
+    fn candidate(&self, c: usize, q: usize) -> ThreadId {
+        let boundaries = self.chunks.saturating_sub(1);
+        let base = 1 + self.chunks + boundaries * self.extra_states + self.chunks * self.width;
+        ThreadId(base + c * self.breadth.saturating_sub(1) + q)
     }
 }
 
@@ -225,10 +235,12 @@ fn build_graph_inner<O>(
         }
     };
     let width = effective_width(&config, &opts.inner, machine.topology().total_cores());
+    let breadth = config.spec_breadth.max(1);
     let layout = ThreadLayout {
         chunks,
         extra_states: config.extra_states,
         width,
+        breadth,
     };
     let acc = ResourceAccounting::for_config(&config, bytes, width);
     let mut g = TaskGraph::new(name);
@@ -256,6 +268,9 @@ fn build_graph_inner<O>(
     let mut realized_last: Vec<TaskId> = Vec::with_capacity(chunks);
     // Snapshot copies feeding each boundary's replicas.
     let mut snap_copies: Vec<Vec<TaskId>> = vec![Vec::new(); chunks];
+    // Speculative-state hand-offs of the losing breadth candidates; the
+    // commit check waits on these alongside the realized candidate's.
+    let mut cand_copies: Vec<Vec<TaskId>> = vec![Vec::new(); chunks];
     let mut commit: Vec<Option<TaskId>> = vec![None; chunks];
 
     let aborted = |c: usize| !opts.assume_all_commit && outcome.chunks[c].aborted();
@@ -309,6 +324,55 @@ fn build_graph_inner<O>(
                 Some(format!("spec state copy {c}")),
             );
             spec_copy[c] = Some(copy);
+        }
+        // Losing breadth candidates: each runs its own alternative producer
+        // and speculative chunk on a dedicated thread, then hands its start
+        // state to the runtime for the commit check. The compute is charged
+        // as AbortedCompute — it occupies a core but produces no realized
+        // outputs — and is kept under `assume_all_commit`: breadth work is
+        // a deliberate hedge, not mispeculation, so the mispeculation-free
+        // ceiling still pays for it.
+        for (q, cand) in ch.losing_candidates.iter().enumerate() {
+            let cthread = layout.candidate(c, q);
+            g.task_full(
+                cthread,
+                Category::Sync,
+                cm.sync_wakeup + cm.sync_block,
+                300,
+                vec![setup],
+                Some(format!("candidate {c}.{q} start")),
+            );
+            g.task_full(
+                cthread,
+                Category::AltProducer,
+                cm.work(cand.alt.work),
+                cand.alt.instructions,
+                Vec::new(),
+                Some(format!("alt candidate {c}.{q}")),
+            );
+            let copy = g.task_full(
+                cthread,
+                Category::StateCopy,
+                cm.state_copy(
+                    machine.topology(),
+                    copy_bytes,
+                    cthread,
+                    layout.worker(c - 1),
+                ),
+                cm.copy_instructions(copy_bytes),
+                Vec::new(),
+                Some(format!("candidate state copy {c}.{q}")),
+            );
+            cand_copies[c].push(copy);
+            let total = cand.prefix + cand.suffix;
+            g.task_full(
+                cthread,
+                Category::AbortedCompute,
+                cm.work(total.work),
+                total.instructions,
+                Vec::new(),
+                Some(format!("candidate {c}.{q} compute")),
+            );
         }
         let compute_cat = if aborted(c) {
             Category::AbortedCompute
@@ -425,6 +489,7 @@ fn build_graph_inner<O>(
         if let Some(sc) = spec_copy[c] {
             cmp_deps.push(sc);
         }
+        cmp_deps.extend(cand_copies[c].iter().copied());
         cmp_deps.extend(replica_tasks.iter().copied());
         if let Some(prev_commit) = commit[b] {
             cmp_deps.push(prev_commit);
@@ -437,11 +502,19 @@ fn build_graph_inner<O>(
             cmp_deps,
             Some(format!("await boundary {b}")),
         );
+        // The candidate-major check compares each tried candidate against
+        // all m+1 originals; the cost model charges the full sweep per
+        // tried candidate (it already charged m+1 per chunk at breadth 1
+        // despite the early exit inside a candidate's sweep).
+        let tried = outcome.chunks[c]
+            .matched_candidate
+            .map(|w| w as u64 + 1)
+            .unwrap_or(breadth as u64);
         let cmp = g.task_full(
             producer,
             Category::StateComparison,
-            Cycles(cm.state_compare(bytes).get() * (m as u64 + 1)),
-            cm.compare_instructions(bytes) * (m as u64 + 1),
+            Cycles(cm.state_compare(bytes).get() * (m as u64 + 1) * tried),
+            cm.compare_instructions(bytes) * (m as u64 + 1) * tried,
             vec![cmp_sync],
             Some(format!("compare chunk {c}")),
         );
@@ -546,13 +619,15 @@ fn build_graph_inner<O>(
 ///
 /// The recording points are shared with
 /// [`crate::runtime::threaded::run_threaded_observed`]: chunk starts,
-/// one speculative-state hand-off per producer, `m` replica snapshots per
-/// boundary, the ordered-comparison count
-/// (`1 + {Some(0) => 0, Some(j) => j, None => m}` per validated chunk),
-/// and one true-state transfer per abort — so both runtimes report
-/// identical protocol totals for the same `(workload, inputs, config,
-/// seed)`.
+/// `b` breadth candidates and speculative-state hand-offs per producer,
+/// `m` replica snapshots per boundary, the candidate-major ordered
+/// comparison count (`w*(1+m) + 1 + i` on a commit won by candidate `w`
+/// matching original `i`; `b*(1+m)` on an abort), and one true-state
+/// transfer plus [`Config::rerun_segments`] pool segments per abort — so
+/// both runtimes report identical protocol totals for the same
+/// `(workload, inputs, config, seed)`.
 fn record_outcome_telemetry<O>(outcome: &SpeculationOutcome<O>, t: &TelemetrySink) {
+    let breadth = outcome.config.spec_breadth.max(1) as u64;
     for (c, ch) in outcome.chunks.iter().enumerate() {
         t.incr(c, Counter::ChunksStarted);
         t.event(&Event::ChunkStarted {
@@ -565,14 +640,15 @@ fn record_outcome_telemetry<O>(outcome: &SpeculationOutcome<O>, t: &TelemetrySin
             continue;
         }
         let m = outcome.chunks[c - 1].replica_costs.len();
-        // Speculative-state hand-off, then one snapshot clone per replica.
-        t.incr(c, Counter::StateCopies);
+        // One speculative-state hand-off per breadth candidate, then one
+        // snapshot clone per replica.
+        t.add(c, Counter::SpecCandidates, breadth);
+        t.add(c, Counter::StateCopies, breadth);
         t.add(c, Counter::ReplicasValidated, m as u64);
         t.add(c, Counter::StateCopies, m as u64);
-        let comparisons = 1 + match ch.matched_original {
-            Some(0) => 0,
-            Some(j) => j as u64,
-            None => m as u64,
+        let comparisons = match (ch.matched_candidate, ch.matched_original) {
+            (Some(w), Some(i)) => (w as u64) * (1 + m as u64) + 1 + i as u64,
+            _ => breadth * (1 + m as u64),
         };
         t.add(c, Counter::StateComparisons, comparisons);
         t.event(&Event::ValidationFinished {
@@ -582,8 +658,17 @@ fn record_outcome_telemetry<O>(outcome: &SpeculationOutcome<O>, t: &TelemetrySin
         });
         match ch.decision {
             ChunkDecision::Committed => {
+                let winner = ch.matched_candidate.expect("committed chunk has a winner");
                 t.incr(c, Counter::ChunksCommitted);
+                if winner > 0 {
+                    t.incr(c, Counter::CandidateHits);
+                }
                 t.event(&Event::ChunkCommitted { chunk: c });
+                t.event(&Event::CandidateCommitted {
+                    chunk: c,
+                    candidate: winner,
+                    original: ch.matched_original.expect("committed chunk matched"),
+                });
             }
             ChunkDecision::Aborted => {
                 t.incr(c, Counter::ChunksAborted);
@@ -591,6 +676,11 @@ fn record_outcome_telemetry<O>(outcome: &SpeculationOutcome<O>, t: &TelemetrySin
                 // True-state transfer to the re-executing chunk.
                 t.incr(c, Counter::StateCopies);
                 t.event(&Event::ChunkAborted { chunk: c });
+                let segments = outcome.config.rerun_segments(ch.range.len());
+                t.add(c, Counter::RerunSegments, segments as u64);
+                for segment in 0..segments {
+                    t.event(&Event::RerunSegmentFinished { chunk: c, segment });
+                }
                 t.event(&Event::RerunFinished { chunk: c });
             }
             ChunkDecision::First => {}
@@ -982,6 +1072,8 @@ mod tests {
             extra_states: 1,
             combine_inner_tlp: true,
             snapshot: SnapshotStrategy::DeepClone,
+            spec_breadth: 1,
+            overlap_rerun: false,
         };
         let inner = InnerParallelism::amdahl(0.8, usize::MAX);
         let report = rt.run("ema-combined", &w, &ins, cfg, inner, 5).unwrap();
@@ -1123,6 +1215,186 @@ mod tests {
     }
 
     #[test]
+    fn breadth_graph_adds_candidate_threads_and_matches_counter_formulas() {
+        let rt = SimulatedRuntime::paper_machine();
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-7,
+            outside: (0, 0),
+        };
+        let ins = inputs(128);
+        let b = 3usize;
+        let cfg = Config::stats_only(4, 4, 2).with_breadth(b);
+        let sink = TelemetrySink::new(cfg.chunks);
+        let narrow = rt
+            .run(
+                "ema-b1",
+                &w,
+                &ins,
+                Config::stats_only(4, 4, 2),
+                InnerParallelism::none(),
+                7,
+            )
+            .unwrap();
+        let wide = rt
+            .run_observed(
+                "ema-b3",
+                &w,
+                &ins,
+                cfg,
+                InnerParallelism::none(),
+                7,
+                Some(&sink),
+            )
+            .unwrap();
+        // The losing candidates occupy their own threads after the shard
+        // block, so the breadth graph is strictly wider.
+        assert!(
+            wide.execution.trace.thread_count() > narrow.execution.trace.thread_count(),
+            "breadth must add candidate threads: {} vs {}",
+            wide.execution.trace.thread_count(),
+            narrow.execution.trace.thread_count()
+        );
+        let snap = sink.snapshot();
+        let chunks = cfg.chunks as u64;
+        let m = cfg.extra_states as u64;
+        let aborts = wide.aborts() as u64;
+        assert_eq!(snap.get(Counter::SpecCandidates), (chunks - 1) * b as u64);
+        assert_eq!(
+            snap.get(Counter::StateCopies),
+            (chunks - 1) * (b as u64 + m) + aborts
+        );
+        // Candidate hits are commits the primary would have lost; they are
+        // bounded by the commit count and by the rescued aborts.
+        let commits = chunks - 1 - aborts;
+        assert!(snap.get(Counter::CandidateHits) <= commits);
+        assert!(
+            wide.aborts() <= narrow.aborts(),
+            "breadth must not add aborts here: {} vs {}",
+            wide.aborts(),
+            narrow.aborts()
+        );
+    }
+
+    #[test]
+    fn breadth_commits_same_outputs_when_primary_always_wins() {
+        // When candidate 0 matches everywhere (no aborts at breadth 1),
+        // the candidate-major check commits candidate 0 at any breadth, so
+        // outputs are identical and no candidate hits are recorded.
+        let rt = SimulatedRuntime::paper_machine();
+        let w = short_memory();
+        let ins = inputs(280);
+        let base = Config::stats_only(14, 10, 2);
+        let narrow = rt
+            .run("ema-n", &w, &ins, base, InnerParallelism::none(), 42)
+            .unwrap();
+        assert_eq!(narrow.aborts(), 0);
+        let sink = TelemetrySink::new(base.chunks);
+        let wide = rt
+            .run_observed(
+                "ema-w",
+                &w,
+                &ins,
+                base.with_breadth(2),
+                InnerParallelism::none(),
+                42,
+                Some(&sink),
+            )
+            .unwrap();
+        assert_eq!(wide.outputs, narrow.outputs);
+        assert_eq!(wide.aborts(), 0);
+        assert_eq!(sink.snapshot().get(Counter::CandidateHits), 0);
+    }
+
+    #[test]
+    fn assume_all_commit_keeps_dead_candidate_work() {
+        // Breadth work is a hedge, not mispeculation: the
+        // mispeculation-free ceiling still pays for the losing candidates,
+        // so their AbortedCompute spans survive `assume_all_commit`.
+        let machine = Machine::paper_machine();
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-7,
+            outside: (0, 0),
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 4, 1).with_breadth(2);
+        let outcome = run_speculative(&w, &ins, cfg, 7);
+        let graph = build_task_graph(
+            "ceiling",
+            &outcome,
+            &machine,
+            &GraphOptions {
+                assume_all_commit: true,
+                ..GraphOptions::default()
+            },
+        );
+        let r = machine.execute(&graph).unwrap();
+        let cats = r.trace.cycles_by_category();
+        assert!(
+            cats.get(&Category::AbortedCompute)
+                .map(|x| x.get() > 0)
+                .unwrap_or(false),
+            "losing candidates must survive assume_all_commit"
+        );
+    }
+
+    #[test]
+    fn overlap_rerun_is_a_noop_in_the_simulated_graph() {
+        // The simulated lowering already overlaps an aborted boundary's
+        // replicas with the rerun suffix via the snapshot-copy deps, so
+        // `overlap_rerun` changes only the RerunSegments accounting.
+        let rt = SimulatedRuntime::paper_machine();
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-7,
+            outside: (0, 0),
+        };
+        let ins = inputs(128);
+        let base = Config::stats_only(4, 4, 2);
+        let serial_sink = TelemetrySink::new(base.chunks);
+        let overlap_sink = TelemetrySink::new(base.chunks);
+        let serial = rt
+            .run_observed(
+                "ema-serial",
+                &w,
+                &ins,
+                base,
+                InnerParallelism::none(),
+                7,
+                Some(&serial_sink),
+            )
+            .unwrap();
+        let overlap = rt
+            .run_observed(
+                "ema-overlap",
+                &w,
+                &ins,
+                base.with_overlap(true),
+                InnerParallelism::none(),
+                7,
+                Some(&overlap_sink),
+            )
+            .unwrap();
+        assert!(serial.aborts() > 0);
+        assert_eq!(serial.aborts(), overlap.aborts());
+        assert_eq!(serial.outputs, overlap.outputs);
+        assert_eq!(serial.execution.makespan, overlap.execution.makespan);
+        assert_eq!(serial.execution.schedule, overlap.execution.schedule);
+        let aborts = serial.aborts() as u64;
+        assert_eq!(
+            serial_sink.snapshot().get(Counter::RerunSegments),
+            aborts,
+            "serialized reruns are one segment each"
+        );
+        assert_eq!(
+            overlap_sink.snapshot().get(Counter::RerunSegments),
+            2 * aborts,
+            "overlapped reruns split in two (chunks longer than lookback)"
+        );
+    }
+
+    #[test]
     fn effective_width_rules() {
         let inner = InnerParallelism::amdahl(0.8, usize::MAX);
         let combined = Config {
@@ -1131,6 +1403,8 @@ mod tests {
             extra_states: 0,
             combine_inner_tlp: true,
             snapshot: SnapshotStrategy::DeepClone,
+            spec_breadth: 1,
+            overlap_rerun: false,
         };
         assert_eq!(effective_width(&combined, &inner, 28), 2);
         assert_eq!(

@@ -42,7 +42,7 @@ use crate::rng::{StatsRng, StreamRole};
 use crate::runtime::pool::{PoolScope, StatePool, WorkerPool};
 use crate::snapshot::SnapshotStrategy;
 use crate::speculation::run_segment;
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, Receiver};
 use stats_telemetry::clock::monotonic_ns;
 use stats_telemetry::{Category, Counter, Event, Profiler, TelemetrySink};
 use std::sync::{Condvar, Mutex};
@@ -107,10 +107,14 @@ impl<O> ThreadedRun<O> {
 }
 
 /// A chunk (or rerun) task's report to the coordinator.
+///
+/// `snapshot` is `None` only for an overlapped rerun's final segment: its
+/// boundary snapshot was consumed by the rerun's first segment, which
+/// scheduled the boundary replicas before the suffix even started.
 struct WorkerResult<S, O> {
     spec_state: Option<S>,
     outputs: Vec<O>,
-    snapshot: S,
+    snapshot: Option<S>,
     final_state: S,
 }
 
@@ -454,13 +458,24 @@ where
         telemetry,
     };
 
-    // Chunk-result channels; the sending half moves into each chunk task.
-    let mut result_rx = Vec::with_capacity(chunks);
+    // Chunk-result channels, one per (chunk, candidate); the sending half
+    // moves into each candidate task. Chunk 0 is never speculative, so it
+    // has exactly one producer regardless of the configured breadth.
+    type CandidateReceivers<S, O> = Vec<Vec<Receiver<WorkerResult<S, O>>>>;
+    let b = config.spec_breadth.max(1);
+    let mut result_rx: CandidateReceivers<W::State, W::Output> = Vec::with_capacity(chunks);
     let mut result_tx = Vec::with_capacity(chunks);
-    for _ in 0..chunks {
-        let (tx, rx) = bounded::<WorkerResult<W::State, W::Output>>(1);
-        result_tx.push(tx);
-        result_rx.push(rx);
+    for c in 0..chunks {
+        let cands = if c == 0 { 1 } else { b };
+        let mut txs = Vec::with_capacity(cands);
+        let mut rxs = Vec::with_capacity(cands);
+        for _ in 0..cands {
+            let (tx, rx) = bounded::<WorkerResult<W::State, W::Output>>(1);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        result_tx.push(txs);
+        result_rx.push(rxs);
     }
 
     // Pipelined-replica rendezvous, one per boundary, and the state
@@ -479,86 +494,123 @@ where
 
     pool.scope(|scope| {
         // ---- chunk tasks --------------------------------------------------
-        // Queued in commit order on the normal lane; replicas and reruns
-        // overtake them through the urgent lane. Tasks compute, send, and
-        // exit — no task ever blocks on the coordinator, so any pool
-        // width drains any chunk count.
-        for (c, tx) in result_tx.into_iter().enumerate() {
-            let range = plan.chunk(c);
-            scope.spawn(move || {
-                let prof = profiler_of(ctx.telemetry);
-                let busy_start = monotonic_ns();
-                if let Some(t) = ctx.telemetry {
-                    t.incr(c, Counter::ChunksStarted);
-                    t.event(&Event::ChunkStarted {
-                        chunk: c,
-                        len: range.len(),
-                    });
-                }
-                let (spec_state, start_state) = if c == 0 {
-                    (None, ctx.workload.fresh_state())
-                } else {
-                    let t_warm = span_start(prof);
-                    let mut rng = StatsRng::derive(ctx.master_seed, StreamRole::AltProducer(c));
-                    let mut st = ctx.workload.fresh_state();
-                    for input in &ctx.inputs[range.start - ctx.k..range.start] {
-                        ctx.workload.update(&mut st, input, &mut rng);
+        // Queued in commit order on the normal lane, candidate-major within
+        // a chunk; replicas and reruns overtake them through the urgent
+        // lane. Tasks compute, send, and exit — no task ever blocks on the
+        // coordinator, so any pool width drains any chunk count. Candidate
+        // 0 runs the historical streams, so a breadth-1 run is bit-for-bit
+        // the pre-breadth executor; candidates above 0 warm up and run on
+        // their own derived streams, sampling alternative start states.
+        for (c, txs) in result_tx.into_iter().enumerate() {
+            for (j, tx) in txs.into_iter().enumerate() {
+                let range = plan.chunk(c);
+                scope.spawn(move || {
+                    let prof = profiler_of(ctx.telemetry);
+                    let busy_start = monotonic_ns();
+                    if j == 0 {
+                        if let Some(t) = ctx.telemetry {
+                            t.incr(c, Counter::ChunksStarted);
+                            t.event(&Event::ChunkStarted {
+                                chunk: c,
+                                len: range.len(),
+                            });
+                        }
                     }
-                    span_end(prof, Category::AltProducer, c, t_warm);
-                    // Speculative-state hand-off to the coordinator (Fig. 6).
+                    let (spec_state, start_state) = if c == 0 {
+                        (None, ctx.workload.fresh_state())
+                    } else {
+                        if let Some(t) = ctx.telemetry {
+                            t.incr(c, Counter::SpecCandidates);
+                        }
+                        let warm_role = if j == 0 {
+                            StreamRole::AltProducer(c)
+                        } else {
+                            StreamRole::AltCandidate {
+                                chunk: c,
+                                candidate: j,
+                            }
+                        };
+                        let t_warm = span_start(prof);
+                        let mut rng = StatsRng::derive(ctx.master_seed, warm_role);
+                        let mut st = ctx.workload.fresh_state();
+                        for input in &ctx.inputs[range.start - ctx.k..range.start] {
+                            ctx.workload.update(&mut st, input, &mut rng);
+                        }
+                        span_end(prof, Category::AltProducer, c, t_warm);
+                        // Speculative-state hand-off to the coordinator
+                        // (Fig. 6), once per candidate.
+                        if let Some(t) = ctx.telemetry {
+                            t.incr(c, Counter::StateCopies);
+                            t.add(c, Counter::StateBytesLogical, ctx.state_bytes);
+                            t.add(
+                                c,
+                                Counter::StateBytesCopied,
+                                ctx.workload.snapshot_copy_bytes(ctx.strategy),
+                            );
+                        }
+                        let t_copy = span_start(prof);
+                        let spec = ctx.workload.snapshot_state(&mut st, ctx.strategy);
+                        span_end(prof, Category::StateCopy, c, t_copy);
+                        (Some(spec), st)
+                    };
+                    let run_role = if j == 0 {
+                        StreamRole::Chunk(c)
+                    } else {
+                        StreamRole::ChunkCandidate {
+                            chunk: c,
+                            candidate: j,
+                        }
+                    };
+                    let mut rng = StatsRng::derive(ctx.master_seed, run_role);
+                    let t_run = span_start(prof);
+                    let run = run_segment(
+                        ctx.workload,
+                        start_state,
+                        ctx.inputs,
+                        range,
+                        ctx.k,
+                        ctx.strategy,
+                        &mut rng,
+                    );
+                    span_end(prof, Category::ChunkCompute, c, t_run);
                     if let Some(t) = ctx.telemetry {
-                        t.incr(c, Counter::StateCopies);
-                        t.add(c, Counter::StateBytesLogical, ctx.state_bytes);
-                        t.add(
-                            c,
-                            Counter::StateBytesCopied,
-                            ctx.workload.snapshot_copy_bytes(ctx.strategy),
-                        );
+                        t.add(c, Counter::StateBytesCopied, run.materialized);
+                        t.add(c, Counter::BusyTime, ns_since(busy_start));
+                        t.queue_enter();
                     }
-                    let t_copy = span_start(prof);
-                    let spec = ctx.workload.snapshot_state(&mut st, ctx.strategy);
-                    span_end(prof, Category::StateCopy, c, t_copy);
-                    (Some(spec), st)
-                };
-                let mut rng = StatsRng::derive(ctx.master_seed, StreamRole::Chunk(c));
-                let t_run = span_start(prof);
-                let run = run_segment(
-                    ctx.workload,
-                    start_state,
-                    ctx.inputs,
-                    range,
-                    ctx.k,
-                    ctx.strategy,
-                    &mut rng,
-                );
-                span_end(prof, Category::ChunkCompute, c, t_run);
-                if let Some(t) = ctx.telemetry {
-                    t.add(c, Counter::StateBytesCopied, run.materialized);
-                    t.add(c, Counter::BusyTime, ns_since(busy_start));
-                    t.queue_enter();
-                }
-                tx.send(WorkerResult {
-                    spec_state,
-                    outputs: run.outputs,
-                    snapshot: run.snapshot,
-                    final_state: run.final_state,
-                })
-                .expect("coordinator alive");
-            });
+                    tx.send(WorkerResult {
+                        spec_state,
+                        outputs: run.outputs,
+                        snapshot: Some(run.snapshot),
+                        final_state: run.final_state,
+                    })
+                    .expect("coordinator alive");
+                });
+            }
         }
 
         // ---- coordinator: sequential-order commit checks ------------------
         // Runs on the calling thread (not a pool worker): it may block on
         // chunk results and replica rendezvous without holding up the pool.
         let mut prev_final: Option<W::State> = None;
+        // An in-flight overlapped rerun: its final segment's result is
+        // received only when the *next* chunk's validation needs the true
+        // state, so the rerun suffix overlaps replica generation instead
+        // of parking the coordinator.
+        let mut pending_rerun: Option<Receiver<WorkerResult<W::State, W::Output>>> = None;
         for c in 0..chunks {
-            let t_recv = span_start(prof);
-            let result = result_rx[c].recv().expect("chunk task alive");
-            span_end(prof, Category::Sync, c, t_recv);
-            if let Some(t) = telemetry {
-                t.queue_leave();
+            let mut cand_results = Vec::with_capacity(result_rx[c].len());
+            for rx in &result_rx[c] {
+                let t_recv = span_start(prof);
+                let result = rx.recv().expect("chunk task alive");
+                span_end(prof, Category::Sync, c, t_recv);
+                if let Some(t) = telemetry {
+                    t.queue_leave();
+                }
+                cand_results.push(result);
             }
             if c == 0 {
+                let result = cand_results.pop().expect("chunk 0 result");
                 decisions[0] = ChunkDecision::First;
                 prev_final = Some(result.final_state);
                 // Pipeline: chunk 0 is final by definition, so its boundary
@@ -572,15 +624,16 @@ where
                         &replica_sets[0],
                         0,
                         replay_bounds(&plan, 0, k),
-                        result.snapshot,
+                        result.snapshot.expect("chunk snapshot"),
                     );
                 }
                 outputs_per_chunk.push(result.outputs);
                 continue;
             }
-            let pf = prev_final.take().expect("previous final state");
             // Await the pipelined replicas for this boundary (Fig. 5);
-            // they were scheduled when chunk c-1's outcome became final.
+            // they were scheduled when chunk c-1's outcome became final —
+            // by the coordinator on a commit, by the rerun's first segment
+            // on an overlapped abort.
             let t_wait = span_start(prof);
             let replica_states = replica_sets[c - 1].wait();
             span_end(prof, Category::Sync, c, t_wait);
@@ -599,19 +652,40 @@ where
                     m as u64 * workload.snapshot_copy_bytes(ctx.strategy),
                 );
             }
-            // Ordered comparison: producer's own final state first, then
-            // replicas — identical order to the semantic layer.
-            let spec_state = result.spec_state.as_ref().expect("speculative chunk");
+            // Resolve an overlapped rerun of chunk c-1 now that its true
+            // final state gates this chunk's validation. Its boundary
+            // replicas were scheduled by the rerun's first segment (and
+            // just awaited above); only the trailing-k suffix is
+            // synchronized on here.
+            let pf = if let Some(xrx) = pending_rerun.take() {
+                let t_rr = span_start(prof);
+                let rerun = xrx.recv().expect("rerun task alive");
+                span_end(prof, Category::Sync, c - 1, t_rr);
+                outputs_per_chunk.push(rerun.outputs);
+                rerun.final_state
+            } else {
+                prev_final.take().expect("previous final state")
+            };
+            // Candidate-major ordered comparison: for each candidate in
+            // index order, the producer's own final state first, then the
+            // replicas — identical order (and comparison count) to the
+            // semantic layer. The first matching candidate wins.
             let t_cmp = span_start(prof);
-            let mut comparisons = 1u64;
-            let mut matched: Option<usize> = workload.states_match(spec_state, &pf).then_some(0);
-            for (j, st) in replica_states.iter().enumerate() {
-                if matched.is_some() {
-                    break;
-                }
+            let mut comparisons = 0u64;
+            let mut matched: Option<(usize, usize)> = None;
+            'candidates: for (j, r) in cand_results.iter().enumerate() {
+                let spec_state = r.spec_state.as_ref().expect("speculative chunk");
                 comparisons += 1;
-                if workload.states_match(spec_state, st) {
-                    matched = Some(j + 1);
+                if workload.states_match(spec_state, &pf) {
+                    matched = Some((j, 0));
+                    break 'candidates;
+                }
+                for (i, st) in replica_states.iter().enumerate() {
+                    comparisons += 1;
+                    if workload.states_match(spec_state, st) {
+                        matched = Some((j, i + 1));
+                        break 'candidates;
+                    }
                 }
             }
             span_end(prof, Category::StateComparison, c, t_cmp);
@@ -620,17 +694,56 @@ where
                 t.event(&Event::ValidationFinished {
                     chunk: c,
                     comparisons,
-                    matched_original: matched,
+                    matched_original: matched.map(|(_, i)| i),
                 });
             }
-            let accepted = if matched.is_some() {
+            if let Some((winner, original)) = matched {
                 decisions[c] = ChunkDecision::Committed;
                 if let Some(t) = telemetry {
                     t.incr(c, Counter::ChunksCommitted);
+                    if winner > 0 {
+                        t.incr(c, Counter::CandidateHits);
+                    }
                     t.event(&Event::ChunkCommitted { chunk: c });
+                    t.event(&Event::CandidateCommitted {
+                        chunk: c,
+                        candidate: winner,
+                        original,
+                    });
                 }
                 states.recycle(pf);
-                result
+                let accepted = cand_results.swap_remove(winner);
+                // The rejected candidates and compared replicas are dead
+                // after validation (DESIGN.md §9's lifetime rule); feed
+                // the next boundary's clones from them.
+                for r in cand_results {
+                    if let Some(st) = r.spec_state {
+                        states.recycle(st);
+                    }
+                    if let Some(st) = r.snapshot {
+                        states.recycle(st);
+                    }
+                    states.recycle(r.final_state);
+                }
+                if let Some(st) = accepted.spec_state {
+                    states.recycle(st);
+                }
+                for st in replica_states {
+                    states.recycle(st);
+                }
+                prev_final = Some(accepted.final_state);
+                if c + 1 < chunks {
+                    schedule_replicas(
+                        scope,
+                        ctx,
+                        &states,
+                        &replica_sets[c],
+                        c,
+                        replay_bounds(&plan, c, k),
+                        accepted.snapshot.expect("chunk snapshot"),
+                    );
+                }
+                outputs_per_chunk.push(accepted.outputs);
             } else {
                 decisions[c] = ChunkDecision::Aborted;
                 if let Some(t) = telemetry {
@@ -645,77 +758,186 @@ where
                     );
                     t.event(&Event::ChunkAborted { chunk: c });
                 }
-                // Serialized re-execution as an urgent task: the true
-                // state moves in, the result comes back on a fresh
-                // channel. The coordinator blocks here — re-execution is
-                // serialized by the protocol anyway (§II-B).
-                let (xtx, xrx) = bounded::<WorkerResult<W::State, W::Output>>(1);
+                // Every candidate's speculative results are dead.
+                for r in cand_results {
+                    if let Some(st) = r.spec_state {
+                        states.recycle(st);
+                    }
+                    if let Some(st) = r.snapshot {
+                        states.recycle(st);
+                    }
+                    states.recycle(r.final_state);
+                }
+                for st in replica_states {
+                    states.recycle(st);
+                }
                 let range = plan.chunk(c);
-                scope.spawn_urgent(move || {
-                    let prof = profiler_of(ctx.telemetry);
-                    let rerun_start = monotonic_ns();
-                    if let Some(t) = ctx.telemetry {
-                        t.incr(c, Counter::Reruns);
+                let (xtx, xrx) = bounded::<WorkerResult<W::State, W::Output>>(1);
+                if config.rerun_segments(range.len()) > 1 {
+                    // Overlapped recovery (DESIGN.md §14): the rerun splits
+                    // at its boundary-snapshot point into two pool-scheduled
+                    // urgent segments. Segment 0 re-executes the prefix and
+                    // seals the boundary state, so chunk c's replicas start
+                    // replaying while segment 1 is still re-executing the
+                    // trailing-k suffix; the coordinator defers the rerun
+                    // receive until chunk c+1's validation actually needs
+                    // the true final state. Commit order is untouched:
+                    // chunk c+1 is still validated strictly after chunk c's
+                    // outcome is final, and the single derived `Rerun(c)`
+                    // stream threads through both segments, so the rerun is
+                    // bit-identical to the unsplit re-execution.
+                    let split = range.end - k.min(range.len());
+                    let replay = replay_bounds(&plan, c, k);
+                    let set = (c + 1 < chunks).then(|| &replica_sets[c]);
+                    let states_ref = &states;
+                    scope.spawn_urgent(move || {
+                        let prof = profiler_of(ctx.telemetry);
+                        let seg_start = monotonic_ns();
+                        if let Some(t) = ctx.telemetry {
+                            t.incr(c, Counter::Reruns);
+                            t.incr(c, Counter::RerunSegments);
+                        }
+                        let mut rng = StatsRng::derive(ctx.master_seed, StreamRole::Rerun(c));
+                        let mut state = pf;
+                        let mut outputs = Vec::with_capacity(range.len());
+                        let t_seg = span_start(prof);
+                        for idx in range.start..split {
+                            let (out, _) =
+                                ctx.workload.update(&mut state, &ctx.inputs[idx], &mut rng);
+                            outputs.push(out);
+                        }
+                        // The boundary snapshot is sealed exactly where
+                        // `run_segment` takes it: before the trailing-k
+                        // suffix updates.
+                        let snap = ctx.workload.snapshot_state(&mut state, ctx.strategy);
+                        span_end(prof, Category::ChunkCompute, c, t_seg);
+                        let materialized = ctx.workload.take_materialized(&mut state);
+                        if let Some(t) = ctx.telemetry {
+                            t.add(c, Counter::StateBytesCopied, materialized);
+                            t.add(c, Counter::BusyTime, ns_since(seg_start));
+                            t.event(&Event::RerunSegmentFinished {
+                                chunk: c,
+                                segment: 0,
+                            });
+                        }
+                        match set {
+                            Some(set) => {
+                                schedule_replicas(scope, ctx, states_ref, set, c, replay, snap);
+                            }
+                            // Last chunk: no boundary left to validate.
+                            None => drop(snap),
+                        }
+                        // Segment 1: the trailing-k suffix, overlapping the
+                        // replicas scheduled above.
+                        scope.spawn_urgent(move || {
+                            let prof = profiler_of(ctx.telemetry);
+                            let seg_start = monotonic_ns();
+                            if let Some(t) = ctx.telemetry {
+                                t.incr(c, Counter::RerunSegments);
+                            }
+                            let mut state = state;
+                            let mut rng = rng;
+                            let mut outputs = outputs;
+                            let t_seg = span_start(prof);
+                            for idx in split..range.end {
+                                let (out, _) =
+                                    ctx.workload.update(&mut state, &ctx.inputs[idx], &mut rng);
+                                outputs.push(out);
+                            }
+                            span_end(prof, Category::ChunkCompute, c, t_seg);
+                            let materialized = ctx.workload.take_materialized(&mut state);
+                            if let Some(t) = ctx.telemetry {
+                                t.add(c, Counter::StateBytesCopied, materialized);
+                                t.add(c, Counter::BusyTime, ns_since(seg_start));
+                                t.event(&Event::RerunSegmentFinished {
+                                    chunk: c,
+                                    segment: 1,
+                                });
+                            }
+                            xtx.send(WorkerResult {
+                                spec_state: None,
+                                outputs,
+                                snapshot: None,
+                                final_state: state,
+                            })
+                            .expect("coordinator alive");
+                            if let Some(t) = ctx.telemetry {
+                                t.event(&Event::RerunFinished { chunk: c });
+                            }
+                        });
+                    });
+                    pending_rerun = Some(xrx);
+                } else {
+                    // Serialized re-execution as an urgent task: the true
+                    // state moves in, the result comes back on a fresh
+                    // channel. The coordinator blocks here — re-execution
+                    // is serialized by the protocol anyway (§II-B).
+                    scope.spawn_urgent(move || {
+                        let prof = profiler_of(ctx.telemetry);
+                        let rerun_start = monotonic_ns();
+                        if let Some(t) = ctx.telemetry {
+                            t.incr(c, Counter::Reruns);
+                            t.incr(c, Counter::RerunSegments);
+                        }
+                        let mut rng = StatsRng::derive(ctx.master_seed, StreamRole::Rerun(c));
+                        let t_rerun = span_start(prof);
+                        let rerun = run_segment(
+                            ctx.workload,
+                            pf,
+                            ctx.inputs,
+                            range,
+                            ctx.k,
+                            ctx.strategy,
+                            &mut rng,
+                        );
+                        // The serialized rerun is the chunk's true compute;
+                        // assembly relabels the dead speculative attempt.
+                        span_end(prof, Category::ChunkCompute, c, t_rerun);
+                        if let Some(t) = ctx.telemetry {
+                            t.add(c, Counter::StateBytesCopied, rerun.materialized);
+                            t.add(c, Counter::BusyTime, ns_since(rerun_start));
+                            t.event(&Event::RerunSegmentFinished {
+                                chunk: c,
+                                segment: 0,
+                            });
+                        }
+                        xtx.send(WorkerResult {
+                            spec_state: None,
+                            outputs: rerun.outputs,
+                            snapshot: Some(rerun.snapshot),
+                            final_state: rerun.final_state,
+                        })
+                        .expect("coordinator alive");
+                        if let Some(t) = ctx.telemetry {
+                            t.event(&Event::RerunFinished { chunk: c });
+                        }
+                    });
+                    let t_rr = span_start(prof);
+                    let rerun = xrx.recv().expect("rerun task alive");
+                    span_end(prof, Category::Sync, c, t_rr);
+                    prev_final = Some(rerun.final_state);
+                    if c + 1 < chunks {
+                        schedule_replicas(
+                            scope,
+                            ctx,
+                            &states,
+                            &replica_sets[c],
+                            c,
+                            replay_bounds(&plan, c, k),
+                            rerun.snapshot.expect("rerun snapshot"),
+                        );
                     }
-                    let mut rng = StatsRng::derive(ctx.master_seed, StreamRole::Rerun(c));
-                    let t_rerun = span_start(prof);
-                    let rerun = run_segment(
-                        ctx.workload,
-                        pf,
-                        ctx.inputs,
-                        range,
-                        ctx.k,
-                        ctx.strategy,
-                        &mut rng,
-                    );
-                    // The serialized rerun is the chunk's true compute;
-                    // assembly relabels the dead speculative attempt.
-                    span_end(prof, Category::ChunkCompute, c, t_rerun);
-                    if let Some(t) = ctx.telemetry {
-                        t.add(c, Counter::StateBytesCopied, rerun.materialized);
-                        t.add(c, Counter::BusyTime, ns_since(rerun_start));
-                    }
-                    xtx.send(WorkerResult {
-                        spec_state: None,
-                        outputs: rerun.outputs,
-                        snapshot: rerun.snapshot,
-                        final_state: rerun.final_state,
-                    })
-                    .expect("coordinator alive");
-                    if let Some(t) = ctx.telemetry {
-                        t.event(&Event::RerunFinished { chunk: c });
-                    }
-                });
-                let t_rr = span_start(prof);
-                let rerun = xrx.recv().expect("rerun task alive");
-                span_end(prof, Category::Sync, c, t_rr);
-                // The rejected speculative results are dead; recycle them.
-                states.recycle(result.final_state);
-                states.recycle(result.snapshot);
-                rerun
-            };
-            // The compared replica states are dead after validation
-            // (DESIGN.md §9's lifetime rule); feed the next boundary's
-            // clones from them.
-            if let Some(st) = accepted.spec_state {
-                states.recycle(st);
+                    outputs_per_chunk.push(rerun.outputs);
+                }
             }
-            for st in replica_states {
-                states.recycle(st);
-            }
-            prev_final = Some(accepted.final_state);
-            if c + 1 < chunks {
-                schedule_replicas(
-                    scope,
-                    ctx,
-                    &states,
-                    &replica_sets[c],
-                    c,
-                    replay_bounds(&plan, c, k),
-                    accepted.snapshot,
-                );
-            }
-            outputs_per_chunk.push(accepted.outputs);
+        }
+        // A last-chunk overlapped rerun has no successor to synchronize
+        // with; resolve it before the scope closes.
+        if let Some(xrx) = pending_rerun.take() {
+            let t_rr = span_start(prof);
+            let rerun = xrx.recv().expect("rerun task alive");
+            span_end(prof, Category::Sync, chunks - 1, t_rr);
+            outputs_per_chunk.push(rerun.outputs);
         }
     });
 
@@ -791,6 +1013,13 @@ where
     config
         .validate(inputs.len())
         .expect("invalid configuration for input length");
+    // The baseline predates breadth speculation and is kept only as the
+    // pooled executor's measurement comparison point; it would silently
+    // diverge from the semantic layer at higher breadths.
+    assert_eq!(
+        config.spec_breadth, 1,
+        "thread-per-chunk baseline supports breadth 1 only"
+    );
     let plan = plan_balanced(inputs.len(), config.chunks);
     let chunks = plan.len();
     let k = config.lookback;
@@ -845,6 +1074,7 @@ where
                     }
                     // Speculative-state hand-off to the coordinator (Fig. 6).
                     if let Some(t) = telemetry {
+                        t.incr(c, Counter::SpecCandidates);
                         t.incr(c, Counter::StateCopies);
                         t.add(c, Counter::StateBytesLogical, state_bytes);
                         t.add(
@@ -874,11 +1104,12 @@ where
                 rtx.send(WorkerResult {
                     spec_state,
                     outputs: run.outputs,
-                    snapshot: run.snapshot,
+                    snapshot: Some(run.snapshot),
                     final_state: run.final_state,
                 })
                 .expect("coordinator alive");
                 let idle_start = monotonic_ns();
+                // stats-analyzer: allow(ND014): thread-per-chunk baseline uses dedicated OS threads, not pool workers
                 match vrx.recv().expect("coordinator alive") {
                     Verdict::Commit => {
                         if let Some(t) = telemetry {
@@ -890,6 +1121,9 @@ where
                         if let Some(t) = telemetry {
                             t.add(c, Counter::IdleTime, ns_since(idle_start));
                             t.incr(c, Counter::Reruns);
+                            // The baseline never overlaps recovery: every
+                            // rerun is one physical segment.
+                            t.incr(c, Counter::RerunSegments);
                         }
                         let mut rng = StatsRng::derive(master_seed, StreamRole::Rerun(c));
                         let rerun = run_segment(
@@ -904,11 +1138,15 @@ where
                         if let Some(t) = telemetry {
                             t.add(c, Counter::StateBytesCopied, rerun.materialized);
                             t.add(c, Counter::BusyTime, ns_since(rerun_start));
+                            t.event(&Event::RerunSegmentFinished {
+                                chunk: c,
+                                segment: 0,
+                            });
                         }
                         xtx.send(WorkerResult {
                             spec_state: None,
                             outputs: rerun.outputs,
-                            snapshot: rerun.snapshot,
+                            snapshot: Some(rerun.snapshot),
                             final_state: rerun.final_state,
                         })
                         .expect("coordinator alive");
@@ -932,7 +1170,7 @@ where
                 decisions[0] = ChunkDecision::First;
                 verdict_tx[0].send(Verdict::Commit).expect("worker alive");
                 prev_final = Some(result.final_state);
-                prev_snapshot = Some(result.snapshot);
+                prev_snapshot = result.snapshot;
                 outputs_per_chunk.push(result.outputs);
                 continue;
             }
@@ -1040,17 +1278,23 @@ where
                 });
             }
             let spec_state = result.spec_state.take();
-            if matched.is_some() {
+            if let Some(original) = matched {
                 decisions[c] = ChunkDecision::Committed;
                 if let Some(t) = telemetry {
                     t.incr(c, Counter::ChunksCommitted);
                     t.event(&Event::ChunkCommitted { chunk: c });
+                    // Breadth-1 semantics: the sole candidate is the winner.
+                    t.event(&Event::CandidateCommitted {
+                        chunk: c,
+                        candidate: 0,
+                        original,
+                    });
                 }
                 verdict_tx[c].send(Verdict::Commit).expect("worker alive");
                 // The superseded original state is dead; recycle it.
                 states.recycle(pf);
                 prev_final = Some(result.final_state);
-                prev_snapshot = Some(result.snapshot);
+                prev_snapshot = result.snapshot;
                 outputs_per_chunk.push(result.outputs);
             } else {
                 decisions[c] = ChunkDecision::Aborted;
@@ -1072,9 +1316,11 @@ where
                 let rerun = rerun_rx[c].recv().expect("worker alive");
                 // The rejected speculative results are dead; recycle them.
                 states.recycle(result.final_state);
-                states.recycle(result.snapshot);
+                if let Some(st) = result.snapshot {
+                    states.recycle(st);
+                }
                 prev_final = Some(rerun.final_state);
-                prev_snapshot = Some(rerun.snapshot);
+                prev_snapshot = rerun.snapshot;
                 outputs_per_chunk.push(rerun.outputs);
             }
             // The compared speculative and replica states are dead after
@@ -1286,6 +1532,11 @@ mod tests {
         assert_eq!(snap.get(Counter::ChunksCommitted), committed);
         assert_eq!(snap.get(Counter::ChunksAborted), aborts);
         assert_eq!(snap.get(Counter::Reruns), aborts);
+        // Overlap off: every rerun is one segment; breadth 1: one
+        // candidate per speculative chunk, never a non-primary hit.
+        assert_eq!(snap.get(Counter::RerunSegments), aborts);
+        assert_eq!(snap.get(Counter::SpecCandidates), chunks - 1);
+        assert_eq!(snap.get(Counter::CandidateHits), 0);
         assert_eq!(snap.get(Counter::ReplicasValidated), (chunks - 1) * m);
         // Copies: spec hand-off per producer + m replica states per
         // boundary + one true-state transfer per abort.
@@ -1348,6 +1599,9 @@ mod tests {
             Counter::ChunksCommitted,
             Counter::ChunksAborted,
             Counter::Reruns,
+            Counter::RerunSegments,
+            Counter::SpecCandidates,
+            Counter::CandidateHits,
             Counter::ReplicasValidated,
             Counter::StateCopies,
             Counter::StateComparisons,
@@ -1398,6 +1652,10 @@ mod tests {
         assert_eq!(count("validation_finished"), cfg.chunks - 1);
         assert_eq!(count("chunk_aborted"), run.aborts());
         assert_eq!(count("rerun_finished"), run.aborts());
+        // Overlap off: one segment per rerun; every commit names its
+        // winning candidate (always 0 at breadth 1).
+        assert_eq!(count("rerun_segment_finished"), run.aborts());
+        assert_eq!(count("candidate_committed"), cfg.chunks - 1 - run.aborts());
         assert_eq!(count("run_finished"), 1);
         // The RunFinished event now carries the executing pool's width.
         let finished = lines
@@ -1426,6 +1684,133 @@ mod tests {
         let b = run_threaded(&w, &ins, cfg, 9);
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn breadth_two_matches_semantic_layer() {
+        // An abort-prone setup: the candidates and the rerun paths both
+        // get exercised, and the threaded executor must land on exactly
+        // the semantic layer's decisions and outputs.
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-6,
+        };
+        let ins = inputs(128);
+        for b in [2usize, 3, 4] {
+            let cfg = Config::stats_only(4, 4, 1).with_breadth(b);
+            let threaded = run_threaded(&w, &ins, cfg, 7);
+            let semantic = run_speculative(&w, &ins, cfg, 7);
+            assert_eq!(threaded.outputs, semantic.outputs, "breadth {b}");
+            assert_eq!(
+                threaded.decisions,
+                semantic
+                    .chunks
+                    .iter()
+                    .map(|c| c.decision)
+                    .collect::<Vec<_>>(),
+                "breadth {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapped_rerun_preserves_semantics_and_counts_segments() {
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-6,
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 4, 2).with_overlap(true);
+        let sink = TelemetrySink::new(cfg.chunks);
+        let threaded = run_threaded_observed(&w, &ins, cfg, 7, Some(&sink));
+        let semantic = run_speculative(&w, &ins, cfg, 7);
+        assert!(threaded.aborts() > 0, "this setup must abort");
+        assert_eq!(threaded.outputs, semantic.outputs);
+        assert_eq!(
+            threaded.decisions,
+            semantic
+                .chunks
+                .iter()
+                .map(|c| c.decision)
+                .collect::<Vec<_>>()
+        );
+        let snap = sink.snapshot();
+        // Every aborted chunk's rerun split per the shared config-derived
+        // segment count (two here: every chunk is longer than the
+        // lookback).
+        let expected: u64 = semantic
+            .chunks
+            .iter()
+            .filter(|c| c.aborted())
+            .map(|c| cfg.rerun_segments(c.range.len()) as u64)
+            .sum();
+        assert_eq!(expected, 2 * threaded.aborts() as u64);
+        assert_eq!(snap.get(Counter::RerunSegments), expected);
+        assert_eq!(snap.get(Counter::Reruns), threaded.aborts() as u64);
+    }
+
+    #[test]
+    fn overlapped_rerun_on_last_chunk_resolves_after_the_loop() {
+        // Force a plan where the final chunk aborts so the post-loop
+        // pending-rerun resolution runs; outputs must still be complete
+        // and ordered.
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-6,
+        };
+        let ins = inputs(128);
+        let cfg = Config::stats_only(4, 4, 1).with_overlap(true);
+        let semantic = run_speculative(&w, &ins, cfg, 7);
+        let threaded = run_threaded(&w, &ins, cfg, 7);
+        assert_eq!(threaded.outputs.len(), ins.len());
+        assert_eq!(threaded.outputs, semantic.outputs);
+    }
+
+    #[test]
+    fn breadth_counters_match_shared_formulas() {
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 1e-6,
+        };
+        let ins = inputs(128);
+        let b = 3usize;
+        let cfg = Config::stats_only(4, 4, 2).with_breadth(b);
+        let sink = TelemetrySink::new(cfg.chunks);
+        let threaded = run_threaded_observed(&w, &ins, cfg, 7, Some(&sink));
+        let semantic = run_speculative(&w, &ins, cfg, 7);
+        assert_eq!(threaded.outputs, semantic.outputs);
+        let snap = sink.snapshot();
+        let chunks = cfg.chunks as u64;
+        let m = cfg.extra_states as u64;
+        let aborts = semantic.aborts() as u64;
+        assert_eq!(snap.get(Counter::SpecCandidates), (chunks - 1) * b as u64);
+        let hits = semantic
+            .chunks
+            .iter()
+            .filter(|c| c.matched_candidate.is_some_and(|w| w > 0))
+            .count() as u64;
+        assert_eq!(snap.get(Counter::CandidateHits), hits);
+        // Copies: b speculative hand-offs per boundary + m replicas per
+        // boundary + one true-state transfer per abort.
+        assert_eq!(
+            snap.get(Counter::StateCopies),
+            (chunks - 1) * (b as u64 + m) + aborts
+        );
+        assert_eq!(
+            snap.get(Counter::StateBytesLogical),
+            semantic.bytes_logical()
+        );
+        assert_eq!(snap.get(Counter::StateBytesCopied), semantic.bytes_copied());
+        // Comparisons: candidate-major formula, w*(1+m) + 1 + i on a
+        // commit, b*(1+m) on an abort.
+        let expected_comparisons: u64 = semantic.chunks[1..]
+            .iter()
+            .map(|c| match (c.matched_candidate, c.matched_original) {
+                (Some(w), Some(i)) => w as u64 * (1 + m) + 1 + i as u64,
+                _ => b as u64 * (1 + m),
+            })
+            .sum();
+        assert_eq!(snap.get(Counter::StateComparisons), expected_comparisons);
     }
 
     #[test]

@@ -15,6 +15,20 @@ use crate::rng::{StatsRng, StreamRole};
 use crate::snapshot::SnapshotStrategy;
 use std::ops::Range;
 
+/// Costs of one breadth candidate's pipeline — the alternative producer
+/// warmup plus the speculative run it fed — recorded for candidates that
+/// did not become the chunk's realized run (the winner's, or candidate
+/// 0's on an abort, live in the [`ChunkOutcome`] primary cost fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateCost {
+    /// Cost of the candidate's alternative producer.
+    pub alt: UpdateCost,
+    /// Cost of the candidate's speculative prefix.
+    pub prefix: UpdateCost,
+    /// Cost of the candidate's speculative suffix (last `k` inputs).
+    pub suffix: UpdateCost,
+}
+
 /// The recorded execution of one chunk under the STATS protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChunkOutcome {
@@ -36,8 +50,18 @@ pub struct ChunkOutcome {
     pub replica_costs: Vec<UpdateCost>,
     /// Which original state matched this chunk's speculative state:
     /// `Some(0)` is the producer's own final state, `Some(j)` is replica
-    /// `j-1`. `None` for chunk 0 and for aborted chunks.
+    /// `j-1`. `None` for chunk 0 and for aborted chunks. Under breadth
+    /// this is the *winning candidate's* match.
     pub matched_original: Option<usize>,
+    /// Which breadth candidate's start state matched an original (the
+    /// commit check tries candidates in index order, so this is the
+    /// lowest matching index). `None` for chunk 0 and aborted chunks;
+    /// always `Some(0)` at breadth 1.
+    pub matched_candidate: Option<usize>,
+    /// Costs of the candidates that lost the commit check, in candidate
+    /// order with the primary candidate excluded: all but the winner on a
+    /// commit, candidates `1..b` on an abort. Empty at breadth 1.
+    pub losing_candidates: Vec<CandidateCost>,
     /// Logical bytes the protocol replicated for this chunk: state size ×
     /// replication events (speculative handoff, `m` boundary replicas,
     /// abort transfer). Strategy-invariant — this is the historical
@@ -234,6 +258,7 @@ pub fn run_speculative_planned<W: StateDependence>(
     }
     let k = config.lookback;
     let m = config.extra_states;
+    let b = config.spec_breadth.max(1);
     let strategy = config.snapshot;
     let state_bytes = workload.state_bytes() as u64;
 
@@ -266,6 +291,8 @@ pub fn run_speculative_planned<W: StateDependence>(
                 rerun: None,
                 replica_costs: Vec::new(),
                 matched_original: None,
+                matched_candidate: None,
+                losing_candidates: Vec::new(),
                 bytes_logical: 0,
                 bytes_copied: run.materialized,
             });
@@ -275,35 +302,62 @@ pub fn run_speculative_planned<W: StateDependence>(
             continue;
         }
 
-        // Alternative producer: the k inputs preceding the chunk, from a
-        // fresh state (the short memory property, §II-B).
+        // Alternative producers: `b` candidates, each warming up on the k
+        // inputs preceding the chunk from a fresh state (the short memory
+        // property, §II-B) on an independent derived stream, then running
+        // the chunk body from a snapshot of its own speculative state
+        // (each handoff is one replication event; the original is
+        // retained for the boundary comparison). Candidate 0 uses the
+        // historical streams, so breadth 1 is the historical protocol.
         let alt_range = range.start - k..range.start;
-        let mut alt_rng = StatsRng::derive(master_seed, StreamRole::AltProducer(c));
-        let mut alt_state = workload.fresh_state();
-        let mut alt_cost = UpdateCost::default();
-        for idx in alt_range {
-            let (_, cost) = workload.update(&mut alt_state, &inputs[idx], &mut alt_rng);
-            alt_cost = alt_cost + cost;
+        let mut bytes_logical = 0u64;
+        let mut bytes_copied = 0u64;
+        let mut cand_alt_costs: Vec<UpdateCost> = Vec::with_capacity(b);
+        let mut cand_spec_states: Vec<W::State> = Vec::with_capacity(b);
+        let mut cand_runs: Vec<SegmentRun<W::State, W::Output>> = Vec::with_capacity(b);
+        for j in 0..b {
+            let alt_role = if j == 0 {
+                StreamRole::AltProducer(c)
+            } else {
+                StreamRole::AltCandidate {
+                    chunk: c,
+                    candidate: j,
+                }
+            };
+            let mut alt_rng = StatsRng::derive(master_seed, alt_role);
+            let mut alt_state = workload.fresh_state();
+            let mut alt_cost = UpdateCost::default();
+            for idx in alt_range.clone() {
+                let (_, cost) = workload.update(&mut alt_state, &inputs[idx], &mut alt_rng);
+                alt_cost = alt_cost + cost;
+            }
+            let mut spec_state = alt_state;
+            bytes_logical += state_bytes;
+            bytes_copied += workload.snapshot_copy_bytes(strategy);
+            let spec_start = workload.snapshot_state(&mut spec_state, strategy);
+            let chunk_role = if j == 0 {
+                StreamRole::Chunk(c)
+            } else {
+                StreamRole::ChunkCandidate {
+                    chunk: c,
+                    candidate: j,
+                }
+            };
+            let mut chunk_rng = StatsRng::derive(master_seed, chunk_role);
+            let spec_run = run_segment(
+                workload,
+                spec_start,
+                inputs,
+                range.clone(),
+                k,
+                strategy,
+                &mut chunk_rng,
+            );
+            bytes_copied += spec_run.materialized;
+            cand_alt_costs.push(alt_cost);
+            cand_spec_states.push(spec_state);
+            cand_runs.push(spec_run);
         }
-        let mut spec_state = alt_state;
-
-        // Speculative run of this chunk from a snapshot of the
-        // speculative state (the handoff is one replication event; the
-        // original is retained for the boundary comparison).
-        let mut bytes_logical = state_bytes;
-        let mut bytes_copied = workload.snapshot_copy_bytes(strategy);
-        let spec_start = workload.snapshot_state(&mut spec_state, strategy);
-        let mut chunk_rng = StatsRng::derive(master_seed, StreamRole::Chunk(c));
-        let spec_run = run_segment(
-            workload,
-            spec_start,
-            inputs,
-            range.clone(),
-            k,
-            strategy,
-            &mut chunk_rng,
-        );
-        bytes_copied += spec_run.materialized;
 
         // Validation at the previous boundary: the producer's own final
         // state plus m replicas re-running its last k inputs from the
@@ -316,10 +370,6 @@ pub fn run_speculative_planned<W: StateDependence>(
             .take()
             .expect("previous chunk recorded a snapshot");
         let mut replica_costs = Vec::with_capacity(m);
-        let mut matched: Option<usize> = None;
-        if workload.states_match(&spec_state, &prev_final) {
-            matched = Some(0);
-        }
         // Replica starting states: m - 1 snapshots plus the boundary
         // snapshot itself by move (the threaded runtime fans out the same
         // way, so copy-on-write fault histories agree across runtimes).
@@ -333,6 +383,7 @@ pub fn run_speculative_planned<W: StateDependence>(
         if m > 0 {
             replica_states.push(snapshot);
         }
+        let mut replica_finals: Vec<W::State> = Vec::with_capacity(m);
         for (j, mut st) in replica_states.into_iter().enumerate() {
             let mut rng = StatsRng::derive(
                 master_seed,
@@ -348,23 +399,52 @@ pub fn run_speculative_planned<W: StateDependence>(
             }
             bytes_copied += workload.take_materialized(&mut st);
             replica_costs.push(cost);
-            if matched.is_none() && workload.states_match(&spec_state, &st) {
-                matched = Some(j + 1);
-            }
+            replica_finals.push(st);
         }
         chunks[c - 1].replica_costs = replica_costs;
 
+        // Candidate-major commit check: for each candidate in index
+        // order, compare its start state against the producer's own
+        // final state, then each replica in order; the first match wins.
+        // The chunk commits iff *any* candidate matches an original.
+        let mut matched: Option<(usize, usize)> = None;
+        'candidates: for (j, spec) in cand_spec_states.iter().enumerate() {
+            if workload.states_match(spec, &prev_final) {
+                matched = Some((j, 0));
+                break;
+            }
+            for (i, st) in replica_finals.iter().enumerate() {
+                if workload.states_match(spec, st) {
+                    matched = Some((j, i + 1));
+                    break 'candidates;
+                }
+            }
+        }
+
         // Decision.
-        if let Some(which) = matched {
+        if let Some((winner, which)) = matched {
+            let losing_candidates = cand_alt_costs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != winner)
+                .map(|(j, &alt)| CandidateCost {
+                    alt,
+                    prefix: cand_runs[j].prefix_cost,
+                    suffix: cand_runs[j].suffix_cost,
+                })
+                .collect();
+            let spec_run = cand_runs.swap_remove(winner);
             chunks.push(ChunkOutcome {
                 range,
                 decision: ChunkDecision::Committed,
-                alt_cost: Some(alt_cost),
+                alt_cost: Some(cand_alt_costs[winner]),
                 spec_prefix: spec_run.prefix_cost,
                 spec_suffix: spec_run.suffix_cost,
                 rerun: None,
                 replica_costs: Vec::new(),
                 matched_original: Some(which),
+                matched_candidate: Some(winner),
+                losing_candidates,
                 bytes_logical,
                 bytes_copied,
             });
@@ -389,15 +469,26 @@ pub fn run_speculative_planned<W: StateDependence>(
                 &mut rerun_rng,
             );
             bytes_copied += rerun.materialized;
+            let losing_candidates = cand_alt_costs[1..]
+                .iter()
+                .zip(&cand_runs[1..])
+                .map(|(&alt, run)| CandidateCost {
+                    alt,
+                    prefix: run.prefix_cost,
+                    suffix: run.suffix_cost,
+                })
+                .collect();
             chunks.push(ChunkOutcome {
                 range,
                 decision: ChunkDecision::Aborted,
-                alt_cost: Some(alt_cost),
-                spec_prefix: spec_run.prefix_cost,
-                spec_suffix: spec_run.suffix_cost,
+                alt_cost: Some(cand_alt_costs[0]),
+                spec_prefix: cand_runs[0].prefix_cost,
+                spec_suffix: cand_runs[0].suffix_cost,
                 rerun: Some((rerun.prefix_cost, rerun.suffix_cost)),
                 replica_costs: Vec::new(),
                 matched_original: None,
+                matched_candidate: None,
+                losing_candidates,
                 bytes_logical,
                 bytes_copied,
             });
@@ -668,6 +759,92 @@ mod tests {
         assert_eq!(cow.outputs, out.outputs);
         assert_eq!(cow.bytes_logical(), out.bytes_logical());
         assert_eq!(cow.bytes_copied(), out.bytes_copied());
+    }
+
+    #[test]
+    fn breadth_one_is_the_historical_protocol() {
+        // `with_breadth(1)` must be a no-op on every recorded field —
+        // candidate 0 runs on the historical streams.
+        let w = Ema {
+            decay: 0.9,
+            tolerance: 0.0035,
+        };
+        let ins = inputs(512);
+        let base = run_speculative(&w, &ins, Config::stats_only(8, 16, 2), 17);
+        let explicit = run_speculative(&w, &ins, Config::stats_only(8, 16, 2).with_breadth(1), 17);
+        assert_eq!(base.outputs, explicit.outputs);
+        assert_eq!(base.chunks, explicit.chunks);
+        for c in &base.chunks {
+            assert!(c.losing_candidates.is_empty());
+            assert_eq!(c.matched_candidate, c.matched_original.map(|_| 0));
+        }
+    }
+
+    #[test]
+    fn breadth_candidates_rescue_borderline_aborts() {
+        // Borderline tolerance: each extra candidate is one more draw at
+        // landing inside the acceptance window.
+        let w = Ema {
+            decay: 0.9,
+            tolerance: 0.0035,
+        };
+        let ins = inputs(512);
+        let narrow = run_speculative(&w, &ins, Config::stats_only(8, 16, 1), 17);
+        let wide = run_speculative(&w, &ins, Config::stats_only(8, 16, 1).with_breadth(4), 17);
+        assert!(
+            wide.aborts() <= narrow.aborts(),
+            "breadth should rescue aborts here: {} vs {}",
+            wide.aborts(),
+            narrow.aborts()
+        );
+        assert_eq!(wide.outputs.len(), ins.len());
+    }
+
+    #[test]
+    fn breadth_records_candidates_and_byte_accounting() {
+        let w = Ema {
+            decay: 0.9,
+            tolerance: 0.0035,
+        };
+        let ins = inputs(512);
+        let cfg = Config::stats_only(8, 16, 2).with_breadth(3);
+        let out = run_speculative(&w, &ins, cfg, 17);
+        // Every speculative chunk ran 3 candidates: one primary plus two
+        // recorded losers, whatever the decision.
+        for c in &out.chunks[1..] {
+            assert_eq!(c.losing_candidates.len(), 2);
+            if c.aborted() {
+                assert_eq!(c.matched_candidate, None);
+            } else {
+                let w_idx = c
+                    .matched_candidate
+                    .expect("committed chunks record a winner");
+                assert!(w_idx < 3);
+                assert!(c.matched_original.is_some());
+            }
+        }
+        // Copy events: b handoffs and m replicas per speculative chunk,
+        // plus one transfer per abort.
+        let copies = (8 - 1) * (3 + 2) + out.aborts();
+        assert_eq!(out.bytes_logical(), 8 * copies as u64);
+        assert_eq!(out.bytes_copied(), out.bytes_logical());
+    }
+
+    #[test]
+    fn overlap_flag_never_changes_semantics() {
+        // Overlapped abort recovery is pure scheduling; the semantic
+        // record is bit-identical with the flag on.
+        let w = Ema {
+            decay: 0.999,
+            tolerance: 0.001,
+        };
+        let ins = inputs(256);
+        let cfg = Config::stats_only(8, 4, 1);
+        let plain = run_speculative(&w, &ins, cfg, 42);
+        assert!(plain.aborts() > 0);
+        let overlapped = run_speculative(&w, &ins, cfg.with_overlap(true), 42);
+        assert_eq!(plain.outputs, overlapped.outputs);
+        assert_eq!(plain.chunks, overlapped.chunks);
     }
 
     #[test]

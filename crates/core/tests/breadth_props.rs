@@ -1,0 +1,288 @@
+//! Property tests for breadth-k alternative speculation, across the six
+//! real benchmarks.
+//!
+//! Three protocol facts must hold for *arbitrary* configurations with
+//! `spec_breadth` in `1..=4`:
+//!
+//! 1. breadth 1 with overlap off is the historical protocol bit for bit
+//!    (and `overlap_rerun` never changes semantics at any breadth — it
+//!    only reschedules recovery);
+//! 2. the simulated and threaded runtimes agree on decisions, aborts,
+//!    and outputs at every breadth;
+//! 3. extra candidates only ever *rescue* chunks: comparing breadth `b`
+//!    against `b + 1`, the runs are identical up to the first chunk the
+//!    wider run rescues (committed via the new candidate where the
+//!    narrow run aborted). Global abort counts are not provably monotone
+//!    — a rescue changes the committed boundary state, so downstream
+//!    decisions may flip either way — but the divergence point itself is
+//!    always a rescue, never a newly-introduced abort.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use stats_core::runtime::simulated::SimulatedRuntime;
+use stats_core::runtime::threaded::run_threaded;
+use stats_core::speculation::{run_speculative, SpeculationOutcome};
+use stats_core::Config;
+use stats_workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
+
+/// One generated protocol scenario, small enough that a six-benchmark
+/// proptest stays quick but large enough to see commits and aborts.
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    chunks: usize,
+    lookback: usize,
+    extra_states: usize,
+    inputs: usize,
+    seed: u64,
+}
+
+impl Scenario {
+    fn config(&self, breadth: usize, overlap: bool) -> Config {
+        Config::stats_only(self.chunks, self.lookback, self.extra_states)
+            .with_breadth(breadth)
+            .with_overlap(overlap)
+    }
+}
+
+fn scenarios() -> impl Strategy<Value = Scenario> {
+    (2usize..6, 1usize..4, 0usize..3, 40usize..100, 0u64..1_000).prop_map(
+        |(chunks, lookback, extra_states, inputs, seed)| Scenario {
+            chunks,
+            lookback,
+            extra_states,
+            inputs,
+            seed,
+        },
+    )
+}
+
+/// Per-chunk decision record: everything the protocol decides.
+type Decision = (bool, Option<usize>, Option<usize>);
+
+fn decisions<O>(out: &SpeculationOutcome<O>) -> Vec<Decision> {
+    out.chunks
+        .iter()
+        .map(|c| (c.aborted(), c.matched_candidate, c.matched_original))
+        .collect()
+}
+
+/// Breadth 1 is the historical protocol: no candidate machinery is live,
+/// and the overlap knob never changes what is computed.
+struct BreadthOneIsHead {
+    sc: Scenario,
+}
+
+impl WorkloadVisitor for BreadthOneIsHead {
+    type Output = Result<(), TestCaseError>;
+    fn visit<W: Workload>(self, w: &W) -> Self::Output {
+        let cfg = self.sc.config(1, false);
+        prop_assume!(cfg.validate(self.sc.inputs).is_ok());
+        let inputs = w.generate_inputs(self.sc.inputs, self.sc.seed);
+        let head = run_speculative(w, &inputs, cfg, self.sc.seed);
+        for ch in &head.chunks {
+            prop_assert!(
+                ch.losing_candidates.is_empty(),
+                "{}: breadth 1 grew losing candidates",
+                w.name()
+            );
+            prop_assert!(
+                ch.matched_candidate.is_none() || ch.matched_candidate == Some(0),
+                "{}: breadth 1 committed a candidate other than the producer",
+                w.name()
+            );
+        }
+        // Overlapped recovery reschedules the rerun; it must not touch
+        // decisions or outputs at any breadth.
+        for b in 1..=4usize {
+            let plain = run_speculative(w, &inputs, self.sc.config(b, false), self.sc.seed);
+            let overlapped = run_speculative(w, &inputs, self.sc.config(b, true), self.sc.seed);
+            prop_assert_eq!(
+                decisions(&plain),
+                decisions(&overlapped),
+                "{}: overlap changed decisions at breadth {}",
+                w.name(),
+                b
+            );
+            prop_assert_eq!(
+                w.quality(&inputs, &plain.outputs),
+                w.quality(&inputs, &overlapped.outputs),
+                "{}: overlap changed outputs at breadth {}",
+                w.name(),
+                b
+            );
+            if b == 1 {
+                prop_assert_eq!(
+                    decisions(&head),
+                    decisions(&plain),
+                    "{}: breadth 1 diverged from itself",
+                    w.name()
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Both runtimes lower the same semantic outcome: decisions, aborts, and
+/// outputs agree exactly at every breadth.
+struct RuntimesAgree {
+    sc: Scenario,
+    breadth: usize,
+    overlap: bool,
+}
+
+impl WorkloadVisitor for RuntimesAgree {
+    type Output = Result<(), TestCaseError>;
+    fn visit<W: Workload>(self, w: &W) -> Self::Output {
+        let cfg = self.sc.config(self.breadth, self.overlap);
+        prop_assume!(cfg.validate(self.sc.inputs).is_ok());
+        let inputs = w.generate_inputs(self.sc.inputs, self.sc.seed);
+        let simulated = SimulatedRuntime::paper_machine()
+            .run(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                self.sc.seed,
+            )
+            .expect("simulated run");
+        let threaded = run_threaded(w, &inputs, cfg, self.sc.seed);
+        prop_assert_eq!(
+            &threaded.decisions,
+            &simulated.decisions,
+            "{}: decision mismatch at breadth {}",
+            w.name(),
+            self.breadth
+        );
+        prop_assert_eq!(
+            w.quality(&inputs, &threaded.outputs),
+            w.quality(&inputs, &simulated.outputs),
+            "{}: output mismatch at breadth {}",
+            w.name(),
+            self.breadth
+        );
+        Ok(())
+    }
+}
+
+/// Prefix domination: widening the candidate set from `b` to `b + 1`
+/// leaves the run untouched up to the first rescue, and that divergence
+/// point is always "narrow aborted, wide committed via the new
+/// candidate".
+struct WideningOnlyRescues {
+    sc: Scenario,
+    breadth: usize,
+}
+
+impl WorkloadVisitor for WideningOnlyRescues {
+    type Output = Result<(), TestCaseError>;
+    fn visit<W: Workload>(self, w: &W) -> Self::Output {
+        let narrow_cfg = self.sc.config(self.breadth, false);
+        prop_assume!(narrow_cfg.validate(self.sc.inputs).is_ok());
+        let inputs = w.generate_inputs(self.sc.inputs, self.sc.seed);
+        let narrow = run_speculative(w, &inputs, narrow_cfg, self.sc.seed);
+        let wide = run_speculative(
+            w,
+            &inputs,
+            self.sc.config(self.breadth + 1, false),
+            self.sc.seed,
+        );
+        let nd = decisions(&narrow);
+        let wd = decisions(&wide);
+        prop_assert_eq!(nd.len(), wd.len());
+        match nd.iter().zip(&wd).position(|(a, b)| a != b) {
+            None => {
+                // Identical decisions end to end imply identical work.
+                prop_assert_eq!(narrow.aborts(), wide.aborts(), "{}", w.name());
+                prop_assert_eq!(
+                    w.quality(&inputs, &narrow.outputs),
+                    w.quality(&inputs, &wide.outputs),
+                    "{}",
+                    w.name()
+                );
+            }
+            Some(d) => {
+                let (n_aborted, _, _) = nd[d];
+                let (w_aborted, w_cand, w_orig) = wd[d];
+                prop_assert!(
+                    n_aborted && !w_aborted,
+                    "{}: chunk {} diverged without a rescue: narrow {:?}, wide {:?}",
+                    w.name(),
+                    d,
+                    nd[d],
+                    wd[d]
+                );
+                prop_assert_eq!(
+                    w_cand,
+                    Some(self.breadth),
+                    "{}: chunk {} was rescued by candidate {:?}, not the new one",
+                    w.name(),
+                    d,
+                    w_cand
+                );
+                prop_assert!(w_orig.is_some());
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn breadth_one_reproduces_head_and_overlap_is_semantics_free(
+        sc in scenarios(),
+        bench in 0usize..6,
+    ) {
+        dispatch(BENCHMARK_NAMES[bench], BreadthOneIsHead { sc })?;
+    }
+
+    #[test]
+    fn simulated_and_threaded_agree_at_every_breadth(
+        sc in scenarios(),
+        bench in 0usize..6,
+        breadth in 1usize..=4,
+        overlap_bit in 0usize..2,
+    ) {
+        let overlap = overlap_bit == 1;
+        dispatch(BENCHMARK_NAMES[bench], RuntimesAgree { sc, breadth, overlap })?;
+    }
+
+    #[test]
+    fn widening_the_candidate_set_only_rescues(
+        sc in scenarios(),
+        bench in 0usize..6,
+        breadth in 1usize..=3,
+    ) {
+        dispatch(BENCHMARK_NAMES[bench], WideningOnlyRescues { sc, breadth })?;
+    }
+}
+
+/// The proptest above samples benchmarks; this deterministic sweep pins
+/// every benchmark at every breadth once, so a regression in any single
+/// benchmark cannot hide behind sampling.
+#[test]
+fn every_benchmark_runs_at_every_breadth() {
+    let sc = Scenario {
+        chunks: 4,
+        lookback: 2,
+        extra_states: 1,
+        inputs: 64,
+        seed: 11,
+    };
+    for name in BENCHMARK_NAMES {
+        for breadth in 1..=4 {
+            let r = dispatch(
+                name,
+                RuntimesAgree {
+                    sc,
+                    breadth,
+                    overlap: breadth % 2 == 0,
+                },
+            );
+            r.unwrap_or_else(|e| panic!("{name} at breadth {breadth}: {e:?}"));
+        }
+    }
+}

@@ -110,6 +110,8 @@ proptest! {
             extra_states: m,
             combine_inner_tlp: chunks % 2 == 0,
             snapshot: stats_core::SnapshotStrategy::DeepClone,
+            spec_breadth: 1,
+            overlap_rerun: false,
         };
         let _ = cfg.validate(inputs);
     }

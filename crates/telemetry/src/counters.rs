@@ -26,6 +26,15 @@ pub enum Counter {
     ChunksAborted,
     /// Serialized re-executions after an abort.
     Reruns,
+    /// Pool-scheduled segments the reruns split into (equals `Reruns`
+    /// unless overlapped abort recovery is on).
+    RerunSegments,
+    /// Breadth candidates launched (alternative producer + speculative
+    /// run pipelines); equals the speculative chunk count at breadth 1.
+    SpecCandidates,
+    /// Commits won by a non-primary breadth candidate (candidate index
+    /// above 0); always zero at breadth 1.
+    CandidateHits,
     /// Extra original states generated for validation (§II-B).
     ReplicasValidated,
     /// Computational-state clones at protocol points (speculative-state
@@ -47,11 +56,14 @@ pub enum Counter {
 }
 
 /// All counters, in presentation order.
-pub const COUNTERS: [Counter; 11] = [
+pub const COUNTERS: [Counter; 14] = [
     Counter::ChunksStarted,
     Counter::ChunksCommitted,
     Counter::ChunksAborted,
     Counter::Reruns,
+    Counter::RerunSegments,
+    Counter::SpecCandidates,
+    Counter::CandidateHits,
     Counter::ReplicasValidated,
     Counter::StateCopies,
     Counter::StateComparisons,
@@ -69,6 +81,9 @@ impl Counter {
             Counter::ChunksCommitted => "chunks_committed",
             Counter::ChunksAborted => "chunks_aborted",
             Counter::Reruns => "reruns",
+            Counter::RerunSegments => "rerun_segments",
+            Counter::SpecCandidates => "spec_candidates",
+            Counter::CandidateHits => "candidate_hits",
             Counter::ReplicasValidated => "replicas_validated",
             Counter::StateCopies => "state_copies",
             Counter::StateComparisons => "state_comparisons",

@@ -53,6 +53,17 @@ pub enum Event {
         /// Chunk index.
         chunk: usize,
     },
+    /// A breadth candidate won a chunk's commit check.
+    CandidateCommitted {
+        /// Chunk index.
+        chunk: usize,
+        /// Winning candidate index (0 is the primary alternative
+        /// producer).
+        candidate: usize,
+        /// Which original state it matched (0 = producer's final state,
+        /// `j` = replica `j-1`).
+        original: usize,
+    },
     /// A chunk aborted (re-execution follows).
     ChunkAborted {
         /// Chunk index.
@@ -62,6 +73,14 @@ pub enum Event {
     RerunFinished {
         /// Chunk index.
         chunk: usize,
+    },
+    /// One pool-scheduled segment of an aborted chunk's re-execution
+    /// finished (overlapped abort recovery splits reruns into several).
+    RerunSegmentFinished {
+        /// Chunk index.
+        chunk: usize,
+        /// 0-based segment index within the rerun.
+        segment: usize,
     },
     /// The run left the STATS region.
     RunFinished {
@@ -160,8 +179,10 @@ impl Event {
             Event::ChunkStarted { .. } => "chunk_started",
             Event::ValidationFinished { .. } => "validation_finished",
             Event::ChunkCommitted { .. } => "chunk_committed",
+            Event::CandidateCommitted { .. } => "candidate_committed",
             Event::ChunkAborted { .. } => "chunk_aborted",
             Event::RerunFinished { .. } => "rerun_finished",
+            Event::RerunSegmentFinished { .. } => "rerun_segment_finished",
             Event::RunFinished { .. } => "run_finished",
             Event::TuneIteration { .. } => "tune_iteration",
             Event::TuneBatch { .. } => "tune_batch",
@@ -213,6 +234,19 @@ impl Event {
             | Event::ChunkAborted { chunk }
             | Event::RerunFinished { chunk } => {
                 o.u64("chunk", *chunk as u64);
+            }
+            Event::CandidateCommitted {
+                chunk,
+                candidate,
+                original,
+            } => {
+                o.u64("chunk", *chunk as u64)
+                    .u64("candidate", *candidate as u64)
+                    .u64("original", *original as u64);
+            }
+            Event::RerunSegmentFinished { chunk, segment } => {
+                o.u64("chunk", *chunk as u64)
+                    .u64("segment", *segment as u64);
             }
             Event::RunFinished {
                 committed,
@@ -400,8 +434,17 @@ mod tests {
                 matched_original: None,
             },
             Event::ChunkCommitted { chunk: 1 },
+            Event::CandidateCommitted {
+                chunk: 1,
+                candidate: 1,
+                original: 2,
+            },
             Event::ChunkAborted { chunk: 2 },
             Event::RerunFinished { chunk: 2 },
+            Event::RerunSegmentFinished {
+                chunk: 2,
+                segment: 1,
+            },
             Event::RunFinished {
                 committed: 2,
                 aborted: 1,
@@ -466,11 +509,13 @@ mod tests {
         assert_eq!(
             kinds,
             vec![
+                "candidate_committed",
                 "chunk_aborted",
                 "chunk_committed",
                 "chunk_started",
                 "diagnostic",
                 "rerun_finished",
+                "rerun_segment_finished",
                 "run_finished",
                 "run_started",
                 "snapshot",

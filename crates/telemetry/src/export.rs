@@ -77,6 +77,9 @@ fn counter_help(counter: Counter) -> &'static str {
         Counter::ChunksCommitted => "Chunks whose speculation validated and committed",
         Counter::ChunksAborted => "Chunks whose speculation aborted",
         Counter::Reruns => "Serialized re-executions after an abort",
+        Counter::RerunSegments => "Pool-scheduled segments the reruns split into",
+        Counter::SpecCandidates => "Breadth candidates launched for speculative chunks",
+        Counter::CandidateHits => "Commits won by a non-primary breadth candidate",
         Counter::ReplicasValidated => "Extra original states generated for validation",
         Counter::StateCopies => "Computational-state clones at protocol points",
         Counter::StateComparisons => "states_match evaluations during validation",

@@ -297,6 +297,11 @@ pub struct WhatIfs {
     pub copies_free: f64,
     /// Projected speedup with twice the workers.
     pub double_workers: f64,
+    /// Projected speedup if every speculation had committed (no aborted
+    /// attempts, no reruns). Breadth candidates that lost the commit
+    /// check are kept — hedging is a deliberate cost, not
+    /// mispeculation — so this stays a valid ceiling for breadth runs.
+    pub mispeculation_free: f64,
 }
 
 /// The result of attributing one profiled run.
@@ -383,8 +388,11 @@ impl WallAttribution {
         o.raw(
             "whatifs",
             &format!(
-                "{{\"sync_free\":{:.6},\"copies_free\":{:.6},\"double_workers\":{:.6}}}",
-                self.whatifs.sync_free, self.whatifs.copies_free, self.whatifs.double_workers
+                "{{\"sync_free\":{:.6},\"copies_free\":{:.6},\"double_workers\":{:.6},\"mispeculation_free\":{:.6}}}",
+                self.whatifs.sync_free,
+                self.whatifs.copies_free,
+                self.whatifs.double_workers,
+                self.whatifs.mispeculation_free
             ),
         );
         o.finish()
@@ -414,13 +422,39 @@ impl WallProfile {
     /// the speculative attempt and is relabeled `AbortedCompute`; the
     /// remaining one is its serialized rerun.
     pub fn assemble(profiler: &Profiler, aborted: Vec<bool>, elapsed_ns: u64) -> Self {
+        Self::assemble_with_breadth(profiler, aborted, 1, elapsed_ns)
+    }
+
+    /// [`WallProfile::assemble`] for a run at speculation breadth
+    /// `breadth`. Each speculative chunk ran `breadth` candidate
+    /// attempts, every one recording a `ChunkCompute` span. In start
+    /// order: a committed chunk keeps its first compute span as the
+    /// realized run and relabels the rest `AbortedCompute` (losing
+    /// candidates — dead work, but not serial work); an aborted chunk
+    /// relabels its first `breadth` spans (all attempts lost) and keeps
+    /// the remainder — the rerun, possibly in several pool segments.
+    pub fn assemble_with_breadth(
+        profiler: &Profiler,
+        aborted: Vec<bool>,
+        breadth: usize,
+        elapsed_ns: u64,
+    ) -> Self {
         let (mut spans, dropped) = profiler.take_spans();
-        for (chunk, _) in aborted.iter().enumerate().filter(|(_, a)| **a) {
-            if let Some(first) = spans
+        let breadth = breadth.max(1);
+        for (chunk, &was_aborted) in aborted.iter().enumerate() {
+            for (seen, s) in spans
                 .iter_mut()
-                .find(|s| s.category == Category::ChunkCompute && s.chunk as usize == chunk)
+                .filter(|s| s.category == Category::ChunkCompute && s.chunk as usize == chunk)
+                .enumerate()
             {
-                first.category = Category::AbortedCompute;
+                let relabel = if was_aborted {
+                    seen < breadth
+                } else {
+                    seen > 0
+                };
+                if relabel {
+                    s.category = Category::AbortedCompute;
+                }
             }
         }
         WallProfile {
@@ -587,6 +621,11 @@ impl WallProfile {
                 ..Scenario::default()
             }))
             .max(base),
+            mispeculation_free: s(model.makespan(&Scenario {
+                assume_all_commit: true,
+                ..Scenario::default()
+            }))
+            .max(base),
         };
 
         WallAttribution {
@@ -633,6 +672,12 @@ struct DesModel {
     compare: Vec<f64>,
     coord_copy: Vec<f64>,
     replicas: Vec<Vec<f64>>,
+    /// Per-chunk compute durations of breadth candidates that lost the
+    /// commit check (and, on aborts, of every failed attempt). They run
+    /// as ordinary pool tasks the commit check waits on, and — unlike
+    /// reruns — survive `assume_all_commit`: hedging is a deliberate
+    /// cost, not mispeculation.
+    dead_candidates: Vec<Vec<f64>>,
     aborted: Vec<bool>,
     /// Per-seal coordination cost: the *minimum* observed sync span, a
     /// robust estimate of the uncontended handoff cost (measured blocked
@@ -669,6 +714,7 @@ impl DesModel {
             compare: vec![0.0; chunks],
             coord_copy: vec![0.0; chunks],
             replicas: vec![Vec::new(); chunks],
+            dead_candidates: vec![Vec::new(); chunks],
             aborted: profile.aborted.clone(),
             sync_per_seal: 0.0,
         };
@@ -693,7 +739,7 @@ impl DesModel {
                         m.compute[c] += d;
                     }
                 }
-                Category::AbortedCompute => m.compute[c] += d,
+                Category::AbortedCompute => m.dead_candidates[c].push(d),
                 Category::OriginalStateGen => m.replicas[c].push(d),
                 Category::StateComparison => m.compare[c] += d,
                 Category::Sync => min_sync = min_sync.min(d),
@@ -706,13 +752,26 @@ impl DesModel {
         m
     }
 
+    /// Speculative attempts chunk `c` made: its dead candidates plus the
+    /// realized one when it committed.
+    fn attempts(&self, c: usize) -> usize {
+        let dead = self.dead_candidates[c].len();
+        if self.aborted[c] {
+            dead.max(1)
+        } else {
+            dead + 1
+        }
+    }
+
     /// Makespan of the re-scheduled run under `scenario`, in ns.
     fn makespan(&self, scenario: &Scenario) -> f64 {
         let chunks = self.aborted.len();
         let workers = self.workers * scenario.worker_factor.max(1);
         let setup = if scenario.zero_setup { 0.0 } else { self.setup };
         let mean_compute = self.compute.iter().sum::<f64>() / chunks as f64;
-        let chunk_dur = |c: usize| -> f64 {
+        // Warmup and hand-off copies accumulate over every breadth
+        // candidate of a chunk; each attempt task carries its share.
+        let share = |c: usize| -> f64 {
             let warmup = if scenario.zero_warmup {
                 0.0
             } else {
@@ -723,17 +782,33 @@ impl DesModel {
             } else {
                 self.spec_copy[c]
             };
-            let compute = if scenario.equalize_compute {
-                mean_compute
-            } else {
-                self.compute[c]
-            };
-            warmup + copy + compute
+            (warmup + copy) / self.attempts(c) as f64
         };
 
         let mut sim = PoolSim::new(workers, setup);
+        // Per chunk: the main attempt (the realized run, or the first
+        // failed attempt when it aborted) plus one task per remaining
+        // dead candidate. The commit check waits on all of them.
+        let mut main_ids = Vec::with_capacity(chunks);
+        let mut extra_ids: Vec<Vec<usize>> = Vec::with_capacity(chunks);
         for c in 0..chunks {
-            sim.enqueue_normal(chunk_dur(c));
+            let dead = &self.dead_candidates[c];
+            let (main_compute, rest) = if self.aborted[c] && !dead.is_empty() {
+                (dead[0], &dead[1..])
+            } else {
+                let compute = if scenario.equalize_compute {
+                    mean_compute
+                } else {
+                    self.compute[c]
+                };
+                (compute, &dead[..])
+            };
+            main_ids.push(sim.enqueue_normal(share(c) + main_compute));
+            extra_ids.push(
+                rest.iter()
+                    .map(|&d| sim.enqueue_normal(share(c) + d))
+                    .collect(),
+            );
         }
         let mut seal = setup;
         for c in 0..chunks {
@@ -746,7 +821,10 @@ impl DesModel {
                     sim.enqueue_urgent(seal, d)
                 })
                 .collect();
-            let result = sim.pump_until(c);
+            let mut result = sim.pump_until(main_ids[c]);
+            for &id in &extra_ids[c] {
+                result = result.max(sim.pump_until(id));
+            }
             let mut ready = result.max(seal);
             for id in replica_ids {
                 ready = ready.max(sim.pump_until(id));
@@ -1074,7 +1152,56 @@ mod tests {
             assert!(a.whatifs.sync_free >= a.projected - 1e-9);
             assert!(a.whatifs.copies_free >= a.projected - 1e-9);
             assert!(a.whatifs.double_workers >= a.projected - 1e-9);
+            assert!(a.whatifs.mispeculation_free >= a.projected - 1e-9);
         }
+    }
+
+    #[test]
+    fn mispeculation_free_recovers_abort_loss() {
+        let mut p = synthetic_profile(vec![false, true, false, false]);
+        let t0 = p.elapsed_ns;
+        p.spans
+            .push(span(Category::ChunkCompute, 1, 0, t0, t0 + 1000));
+        p.elapsed_ns += 1000;
+        let a = p.attribute();
+        assert!(
+            a.whatifs.mispeculation_free > a.projected,
+            "dropping the abort must beat the baseline: {} vs {}",
+            a.whatifs.mispeculation_free,
+            a.projected
+        );
+        // The ceiling equals baseline + the mispeculation marginal.
+        let expect = a.projected + a.loss(WallLoss::Mispeculation);
+        assert!((a.whatifs.mispeculation_free - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breadth_assembly_relabels_losing_candidates() {
+        let p = Profiler::with_capacity(1, 16);
+        // Chunk 0 committed at breadth 2: winner + one loser.
+        p.record(Category::ChunkCompute, 0, 0, 100);
+        p.record(Category::ChunkCompute, 0, 10, 95);
+        // Chunk 1 aborted at breadth 2: two failed attempts, then an
+        // overlapped rerun in two pool segments.
+        p.record(Category::ChunkCompute, 1, 0, 90);
+        p.record(Category::ChunkCompute, 1, 5, 92);
+        p.record(Category::ChunkCompute, 1, 200, 260);
+        p.record(Category::ChunkCompute, 1, 260, 290);
+        let profile = WallProfile::assemble_with_breadth(&p, vec![false, true], 2, 300);
+        let dead: Vec<_> = profile
+            .spans
+            .iter()
+            .filter(|s| s.category == Category::AbortedCompute)
+            .map(|s| (s.chunk, s.start_ns))
+            .collect();
+        // Spans are globally start-sorted after draining.
+        assert_eq!(dead, vec![(1, 0), (1, 5), (0, 10)]);
+        // Serial estimate: winner (100) + both rerun segments (60 + 30).
+        assert_eq!(profile.serial_estimate_ns(), 100 + 60 + 30);
+        // The dead candidates gate the commit check but survive
+        // `assume_all_commit`, so the what-if ceiling stays causal.
+        let a = profile.attribute();
+        assert!(a.whatifs.mispeculation_free >= a.projected - 1e-9);
     }
 
     #[test]
@@ -1132,6 +1259,7 @@ mod tests {
         crate::json::validate(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
         assert!(json.contains("\"imbalance\""));
         assert!(json.contains("\"whatifs\""));
+        assert!(json.contains("\"mispeculation_free\""));
     }
 
     #[test]

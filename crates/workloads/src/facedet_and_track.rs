@@ -190,6 +190,8 @@ impl Workload for FaceDetAndTrack {
             extra_states: 4,
             combine_inner_tlp: true,
             snapshot: SnapshotStrategy::DeepClone,
+            spec_breadth: 1,
+            overlap_rerun: false,
         }
     }
 

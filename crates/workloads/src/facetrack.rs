@@ -161,6 +161,8 @@ impl Workload for FaceTrack {
             extra_states: 1,
             combine_inner_tlp: true,
             snapshot: SnapshotStrategy::DeepClone,
+            spec_breadth: 1,
+            overlap_rerun: false,
         }
     }
 

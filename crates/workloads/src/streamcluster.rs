@@ -269,6 +269,8 @@ impl Workload for StreamCluster {
             extra_states: 1,
             combine_inner_tlp: true,
             snapshot: SnapshotStrategy::DeepClone,
+            spec_breadth: 1,
+            overlap_rerun: false,
         }
     }
 

@@ -147,6 +147,8 @@ impl Workload for Swaptions {
             extra_states: 1,
             combine_inner_tlp: true,
             snapshot: SnapshotStrategy::DeepClone,
+            spec_breadth: 1,
+            overlap_rerun: false,
         }
     }
 

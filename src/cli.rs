@@ -178,6 +178,14 @@ pub struct Options {
     /// the benchmark's tuned strategy; on `tune`, `cow` also adds the
     /// snapshot dimension to the searched design space.
     pub snapshot: Option<SnapshotStrategy>,
+    /// Speculation-breadth override (`--breadth k`): run k alternative
+    /// candidates per speculative chunk. `None` keeps the tuned breadth
+    /// (1); on `tune`, any explicit breadth adds the breadth dimension
+    /// to the searched design space.
+    pub breadth: Option<usize>,
+    /// Split each mispeculation rerun into pool segments so recovery
+    /// overlaps with downstream validation (`--overlap-rerun`).
+    pub overlap_rerun: bool,
 }
 
 impl Default for Options {
@@ -193,6 +201,8 @@ impl Default for Options {
             workers: None,
             profile: false,
             snapshot: None,
+            breadth: None,
+            overlap_rerun: false,
         }
     }
 }
@@ -236,6 +246,11 @@ OPTIONS:
   --snapshot S     chunk-boundary state snapshots: deep | cow
                    (run/metrics/profile: override; tune with cow: the
                    searched design space gains the snapshot dimension)
+  --breadth K      run K alternative candidates per speculative chunk
+                   (run/metrics/profile: override; tune: the searched
+                   design space gains the breadth dimension 1|2|K)
+  --overlap-rerun  split mispeculation reruns into pool segments so
+                   recovery overlaps with downstream validation
   --budget N       tuning evaluations     (default 80; tune only)
   --telemetry PATH write a JSONL telemetry event log (run/tune)
   --json           machine-readable run summary   (run only)
@@ -342,6 +357,18 @@ fn parse_options(args: &[String]) -> Result<ParsedArgs, ParseError> {
             "--snapshot" => {
                 opts.snapshot =
                     Some(SnapshotStrategy::parse(&take_value("--snapshot")?).map_err(ParseError)?);
+            }
+            "--breadth" => {
+                let k: usize = take_value("--breadth")?
+                    .parse()
+                    .map_err(|_| ParseError("--breadth expects an integer".into()))?;
+                if k == 0 {
+                    return Err(ParseError("--breadth must be at least 1".into()));
+                }
+                opts.breadth = Some(k);
+            }
+            "--overlap-rerun" => {
+                opts.overlap_rerun = true;
             }
             "--seeds" => {
                 seeds = take_value("--seeds")?
@@ -465,6 +492,12 @@ fn config_for<W: Workload>(w: &W, opts: &Options) -> stats_core::Config {
     if let Some(s) = opts.snapshot {
         cfg.snapshot = s;
     }
+    if let Some(k) = opts.breadth {
+        cfg.spec_breadth = k;
+    }
+    if opts.overlap_rerun {
+        cfg.overlap_rerun = true;
+    }
     stats_bench::pipeline::clamp_config(cfg, opts.scale.inputs_for(w))
 }
 
@@ -488,6 +521,7 @@ fn sink_for(cfg: &stats_core::Config, telemetry: Option<&str>) -> std::io::Resul
 fn attribute_native<O>(
     sink: &TelemetrySink,
     run: &stats_core::runtime::threaded::ThreadedRun<O>,
+    breadth: usize,
 ) -> Option<WallAttribution> {
     let prof = sink.profiler()?;
     let aborted = run
@@ -496,7 +530,7 @@ fn attribute_native<O>(
         .map(|d| *d == ChunkDecision::Aborted)
         .collect();
     let elapsed_ns = u64::try_from(run.elapsed.as_nanos()).unwrap_or(u64::MAX);
-    Some(WallProfile::assemble(prof, aborted, elapsed_ns).attribute())
+    Some(WallProfile::assemble_with_breadth(prof, aborted, breadth, elapsed_ns).attribute())
 }
 
 /// The one-line attribution summary `--profile` appends to run/tune
@@ -562,7 +596,9 @@ impl WorkloadVisitor for RunCmd<'_> {
         let decisions_match = native
             .as_ref()
             .is_none_or(|t| t.decisions == report.decisions);
-        let wall = native.as_ref().and_then(|t| attribute_native(&sink, t));
+        let wall = native
+            .as_ref()
+            .and_then(|t| attribute_native(&sink, t, cfg.spec_breadth));
         let quality = w.quality(&inputs, &report.outputs);
         let snap = sink.snapshot();
         sink.event(&Event::Snapshot {
@@ -588,6 +624,8 @@ impl WorkloadVisitor for RunCmd<'_> {
                 .u64("extra_states", cfg.extra_states as u64)
                 .bool("combine_inner_tlp", cfg.combine_inner_tlp)
                 .str("snapshot", cfg.snapshot.token())
+                .u64("spec_breadth", cfg.spec_breadth as u64)
+                .bool("overlap_rerun", cfg.overlap_rerun)
                 .f64("speedup", report.speedup())
                 .u64("aborts", report.aborts() as u64)
                 .u64("threads", report.accounting.threads as u64)
@@ -764,6 +802,15 @@ impl WorkloadVisitor for TuneCmd<'_> {
             space.snapshot_choices =
                 vec![SnapshotStrategy::DeepClone, SnapshotStrategy::CopyOnWrite];
         }
+        if let Some(k) = self.opts.breadth {
+            // An explicit --breadth opts the search into the breadth
+            // dimension: the historical narrow space, pairwise, and the
+            // requested width (deduplicated and sorted for determinism).
+            let mut choices = vec![1, 2, k];
+            choices.sort_unstable();
+            choices.dedup();
+            space.breadth_choices = choices;
+        }
         let tuner = Tuner::new(space, self.budget, self.opts.seed);
         // One counter shard per worker evaluating tuning batches.
         let mut sink = TelemetrySink::new(self.pool.map_or(1, WorkerPool::workers));
@@ -878,7 +925,10 @@ impl WorkloadVisitor for TuneCmd<'_> {
                 native.workers,
                 native.aborts(),
             ));
-            if let Some(a) = psink.as_ref().and_then(|s| attribute_native(s, &native)) {
+            if let Some(a) = psink
+                .as_ref()
+                .and_then(|s| attribute_native(s, &native, report.best.spec_breadth))
+            {
                 out.push_str(&profile_line(&a));
             }
         }
@@ -903,6 +953,12 @@ impl WorkloadVisitor for ProfileCmd<'_> {
         let mut cfg = tuned_config(w, 28, self.opts.scale);
         if let Some(s) = self.opts.snapshot {
             cfg.snapshot = s;
+        }
+        if let Some(k) = self.opts.breadth {
+            cfg.spec_breadth = k;
+        }
+        if self.opts.overlap_rerun {
+            cfg.overlap_rerun = true;
         }
         let report = profile_workload_configured(w, pool, self.opts.scale, &seeds, cfg);
         Ok(match self.format {
@@ -1486,6 +1542,79 @@ mod tests {
         // Byte counters ride along in the embedded telemetry snapshot.
         assert!(out.contains("\"state_bytes_logical\":"));
         assert!(out.contains("\"state_bytes_copied\":"));
+    }
+
+    #[test]
+    fn parses_breadth_and_overlap() {
+        match parse(&args("run bodytrack --breadth 2 --overlap-rerun")).unwrap() {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.breadth, Some(2));
+                assert!(opts.overlap_rerun);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args("profile bodytrack --breadth 4")).unwrap() {
+            Command::Profile { opts, .. } => {
+                assert_eq!(opts.breadth, Some(4));
+                assert!(!opts.overlap_rerun);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(
+            parse(&args("run bodytrack")).map(|c| match c {
+                Command::Run { opts, .. } => opts.breadth,
+                _ => unreachable!(),
+            }),
+            Ok(None)
+        );
+        assert!(parse(&args("run bodytrack --breadth 0")).is_err());
+        assert!(parse(&args("run bodytrack --breadth wide")).is_err());
+        assert!(parse(&args("run bodytrack --breadth")).is_err());
+    }
+
+    #[test]
+    fn run_with_breadth_matches_simulated_decisions() {
+        // The breadth bit-identity contract end to end through the CLI:
+        // alternative candidates plus overlapped recovery must leave the
+        // native decision sequence exactly where the model puts it.
+        let cmd = parse(&args(
+            "run bodytrack --scale 0.05 --chunks 4 --workers 2 --breadth 2 --overlap-rerun",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(
+            out.contains("breadth 2") && out.contains("overlapped reruns"),
+            "config line shows the breadth knobs:\n{out}"
+        );
+        assert!(
+            out.contains("decisions match simulated"),
+            "breadth-2 threaded must agree with breadth-2 simulated:\n{out}"
+        );
+    }
+
+    #[test]
+    fn run_json_reports_breadth_and_overlap() {
+        let cmd = parse(&args(
+            "run swaptions --scale 0.05 --chunks 8 --breadth 3 --json",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("\"spec_breadth\":3"));
+        assert!(out.contains("\"overlap_rerun\":false"));
+        // Candidate counters ride along in the embedded telemetry
+        // snapshot: 7 speculative chunks x 3 candidates each.
+        assert!(out.contains("\"spec_candidates\":21"));
+    }
+
+    #[test]
+    fn tune_with_breadth_searches_the_breadth_dimension() {
+        let out =
+            execute(parse(&args("tune swaptions --scale 0.05 --budget 6 --breadth 4")).unwrap())
+                .unwrap();
+        // The searched space gained the dimension; the winner is still a
+        // sound configuration whatever breadth it lands on.
+        assert!(out.contains("explored:"), "tune ran:\n{out}");
+        assert!(out.contains("best:"), "tune reported a winner:\n{out}");
     }
 
     #[test]

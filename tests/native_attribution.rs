@@ -185,6 +185,99 @@ fn copies_free_whatif_brackets_the_achieved_cow_speedup() {
 }
 
 #[test]
+fn mispeculation_free_whatif_brackets_the_achieved_breadth_speedup() {
+    // The breadth tentpole's closed loop, mirroring the cow bracket
+    // above: `stats profile` at breadth 1 projects a mispeculation-free
+    // speedup; racing a second alternative candidate per chunk
+    // (`--breadth 2`) is the closest real implementation of that
+    // counterfactual on the abort-heavy trackers (their rescued chunks
+    // skip the serial rerun entirely). The achieved breadth-2 speedup
+    // must stay under the mispeculation-free ceiling the breadth-1
+    // profile predicts, and the native attribution must show the
+    // mispeculation loss share strictly shrinking. The bracket's floor
+    // (breadth must not cost wall time) additionally needs hardware to
+    // absorb the candidate work — with fewer host threads than
+    // chunks x breadth the extra computation is paid in wall time by
+    // construction — so it is gated on host parallelism, like the bench
+    // harness `native_breadth` gates its timing rows.
+    const BRACKET_SLACK: f64 = 1.25;
+    struct BreadthBracket;
+    impl WorkloadVisitor for BreadthBracket {
+        type Output = ();
+        fn visit<W: Workload>(self, w: &W) {
+            let narrow_cfg = tuned_config(w, 28, SCALE);
+            let wide_cfg = narrow_cfg.with_breadth(2);
+            // Wide enough that every candidate of every chunk has a
+            // worker: breadth then rides on idle slots instead of
+            // stealing them from chunk bodies.
+            let width = narrow_cfg.chunks * 2;
+            let pool = WorkerPool::new(width);
+            let seeds: Vec<u64> = (0..SEEDS as u64).map(|i| FIGURE_SEED + i).collect();
+            let narrow = profile_workload_configured(w, &pool, SCALE, &seeds, narrow_cfg);
+            let wide = profile_workload_configured(w, &pool, SCALE, &seeds, wide_cfg);
+            assert!(narrow.parity && wide.parity, "{}: parity broken", w.name());
+
+            // The whole point: candidates rescue chunks, so the
+            // mispeculation loss share strictly shrinks.
+            let mispec = |r: &stats_workbench::bench::native_attribution::ProfileReport| {
+                r.normalized_losses()
+                    .iter()
+                    .find(|(l, _)| *l == stats_workbench::telemetry::WallLoss::Mispeculation)
+                    .map_or(0.0, |(_, s)| *s)
+            };
+            let (narrow_share, wide_share) = (mispec(&narrow), mispec(&wide));
+            assert!(
+                narrow_share > 0.0,
+                "{}: expected an abort-heavy breadth-1 baseline, got zero \
+                 mispeculation share",
+                w.name()
+            );
+            assert!(
+                wide_share < narrow_share,
+                "{}: mispeculation share did not shrink ({narrow_share:.4} -> \
+                 {wide_share:.4})",
+                w.name()
+            );
+
+            // Ceiling: rescuing every abort cannot beat the what-if that
+            // removed mispeculation for free.
+            let ceiling = (narrow.whatif_mispeculation_free.mean
+                + narrow.whatif_mispeculation_free.half_width)
+                * BRACKET_SLACK;
+            assert!(
+                wide.measured.mean - wide.measured.half_width <= ceiling,
+                "{}: breadth-2 speedup {:.3}x (ci {:.3}) exceeds the \
+                 mispeculation-free projection {:.3}x (ci {:.3}, slackened \
+                 ceiling {ceiling:.3}x)",
+                w.name(),
+                wide.measured.mean,
+                wide.measured.half_width,
+                narrow.whatif_mispeculation_free.mean,
+                narrow.whatif_mispeculation_free.half_width,
+            );
+
+            // Floor: gated on the host actually having the threads the
+            // candidate fan-out needs.
+            if stats_workbench::core::runtime::pool::default_workers() >= width {
+                let floor = (narrow.measured.mean - narrow.measured.half_width) / BRACKET_SLACK;
+                assert!(
+                    wide.measured.mean + wide.measured.half_width >= floor,
+                    "{}: breadth-2 speedup {:.3}x (ci {:.3}) fell below the \
+                     breadth-1 measured floor {floor:.3}x — candidates must ride \
+                     idle workers, not the critical path",
+                    w.name(),
+                    wide.measured.mean,
+                    wide.measured.half_width,
+                );
+            }
+        }
+    }
+    for name in ["bodytrack", "facetrack"] {
+        dispatch(name, BreadthBracket);
+    }
+}
+
+#[test]
 fn attribution_accounts_for_the_full_gap_to_ideal() {
     // No loss may be negative, and projected + losses must cover the
     // ideal: the unreachability residual closes any unexplained gap.

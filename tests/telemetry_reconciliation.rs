@@ -21,7 +21,7 @@ const SCALE: Scale = Scale(0.05);
 /// The protocol counters both runtimes record (time counters are in
 /// different units — simulated cycles vs. wall nanoseconds — and are
 /// checked separately).
-const PROTOCOL: [Counter; 9] = [
+const PROTOCOL: [Counter; 12] = [
     Counter::ChunksStarted,
     Counter::ChunksCommitted,
     Counter::ChunksAborted,
@@ -31,16 +31,24 @@ const PROTOCOL: [Counter; 9] = [
     Counter::StateComparisons,
     Counter::StateBytesLogical,
     Counter::StateBytesCopied,
+    Counter::SpecCandidates,
+    Counter::CandidateHits,
+    Counter::RerunSegments,
 ];
 
-struct Reconcile;
+struct Reconcile {
+    breadth: usize,
+    overlap: bool,
+}
 
 impl WorkloadVisitor for Reconcile {
     type Output = ();
     fn visit<W: Workload>(self, w: &W) {
         let n = SCALE.inputs_for(w);
         let inputs = w.generate_inputs(n, FIGURE_SEED);
-        let cfg = tuned_config(w, 28, SCALE);
+        let cfg = tuned_config(w, 28, SCALE)
+            .with_breadth(self.breadth)
+            .with_overlap(self.overlap);
 
         let sim_sink = TelemetrySink::new(cfg.chunks);
         let rt = SimulatedRuntime::paper_machine();
@@ -115,6 +123,29 @@ impl WorkloadVisitor for Reconcile {
         assert_eq!(sim.get(Counter::ChunksAborted), aborted, "{}", w.name());
         assert_eq!(sim.get(Counter::Reruns), aborted, "{}", w.name());
 
+        // Breadth accounting: every speculative chunk launches exactly
+        // `spec_breadth` candidates; hits are a subset of the commits;
+        // overlapped recovery splits each rerun into at most two
+        // segments (exactly one when overlap is off).
+        let speculative = report.decisions.len().saturating_sub(1) as u64;
+        assert_eq!(
+            sim.get(Counter::SpecCandidates),
+            speculative * self.breadth as u64,
+            "{}",
+            w.name()
+        );
+        assert!(sim.get(Counter::CandidateHits) <= committed, "{}", w.name());
+        let segments = sim.get(Counter::RerunSegments);
+        if self.overlap {
+            assert!(
+                segments >= aborted && segments <= 2 * aborted,
+                "{}",
+                w.name()
+            );
+        } else {
+            assert_eq!(segments, aborted, "{}", w.name());
+        }
+
         // The threaded runtime records the same protocol counters live,
         // at the worker/coordinator call sites, and lands on identical
         // totals — schedule-independence extends to the telemetry.
@@ -142,6 +173,27 @@ impl WorkloadVisitor for Reconcile {
 #[test]
 fn telemetry_reconciles_with_traces_on_every_benchmark() {
     for name in BENCHMARK_NAMES {
-        dispatch(name, Reconcile);
+        dispatch(
+            name,
+            Reconcile {
+                breadth: 1,
+                overlap: false,
+            },
+        );
+    }
+}
+
+#[test]
+fn telemetry_reconciles_with_breadth_and_overlapped_recovery() {
+    // The same three-way reconciliation must survive the widest knob
+    // settings: three candidates per chunk plus segmented reruns.
+    for name in BENCHMARK_NAMES {
+        dispatch(
+            name,
+            Reconcile {
+                breadth: 3,
+                overlap: true,
+            },
+        );
     }
 }
