@@ -22,8 +22,9 @@
 //! | ND012 | direct wall-clock read in a runtime hot path (use the telemetry clock) |
 //! | ND013 | direct clone of workload state in a runtime hot path (use the snapshot API) |
 //! | ND014 | blocking channel receive inside a pool task closure (deadlock risk) |
+//! | ND015 | panic-capture machinery in a hot path outside the fault plane |
 //!
-//! ND001–ND008 and ND012–ND014 are single-file token-pattern checks. ND009–ND011
+//! ND001–ND008 and ND012–ND015 are single-file token-pattern checks. ND009–ND011
 //! run on the workspace call graph (see [`crate::taint`]) and are only
 //! produced by [`lint_workspace`]; the per-file entry points skip them.
 //!
@@ -53,6 +54,14 @@
 //! and with fewer workers than chunks can deadlock the whole run (the
 //! pool-module contract "Non-blocking jobs"). All waiting belongs on
 //! the coordinator thread, which is not a pool worker.
+//! ND015 fires in the hot paths except `pool.rs` and `fault.rs` — the
+//! two modules that *are* the fault plane. Anywhere else,
+//! `catch_unwind`/`resume_unwind`/`std::panic::…` swallows a worker
+//! panic before the pool's scope-poisoning and the fault counters can
+//! see it, so a failure recovers silently without the deterministic
+//! retry accounting the chaos harness reconciles (`panic!` itself — the
+//! macro — stays legal everywhere: raising is fine, *capturing* is the
+//! fault plane's job).
 
 use crate::callgraph::{collect_rs_files, GraphStats, Workspace};
 use crate::diag::{display_path, Diagnostic};
@@ -124,6 +133,13 @@ pub fn hot_path(path: &str) -> bool {
 /// create OS threads, so every other hot-path file must go through it.
 pub fn hot_path_outside_pool(path: &str) -> bool {
     hot_path(path) && !path.ends_with("pool.rs")
+}
+
+/// [`hot_path`] minus the fault plane (`pool.rs`, `fault.rs`) — the only
+/// modules allowed to capture panics; everywhere else a worker failure
+/// must propagate into the pool's recovery machinery.
+pub fn hot_path_outside_fault_plane(path: &str) -> bool {
+    hot_path(path) && !path.ends_with("pool.rs") && !path.ends_with("fault.rs")
 }
 
 /// Searcher implementation files: the autotuner crate plus any file
@@ -262,6 +278,17 @@ pub static RULES: &[Rule] = &[
                worker hostage and can deadlock runs with fewer workers than chunks",
         applies_to: hot_path,
         check: RuleCheck::File(check_pool_task_blocking_recv),
+    },
+    Rule {
+        id: "ND015",
+        summary: "panic-capture machinery in a hot path outside the fault plane",
+        hint: "let the panic propagate: the pool's scope poisoning and the fault \
+               plane's recovery guards (fault.rs, pool.rs) are the only sanctioned \
+               panic handlers — an ad-hoc catch_unwind recovers a worker failure \
+               without the FaultsInjected/RetriesScheduled accounting, so the \
+               threaded and simulated runtimes stop reconciling",
+        applies_to: hot_path_outside_fault_plane,
+        check: RuleCheck::File(check_hot_path_panic_capture),
     },
 ];
 
@@ -698,6 +725,52 @@ fn check_hot_path_state_clone(file: &LexedFile) -> Vec<RawFinding> {
     out
 }
 
+fn check_hot_path_panic_capture(file: &LexedFile) -> Vec<RawFinding> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // The unwind-capture entry points themselves, however qualified
+        // (`catch_unwind(..)`, `panic::catch_unwind`, `std::panic::…`).
+        if t.text == "catch_unwind" || t.text == "resume_unwind" {
+            out.push(RawFinding::at(
+                t,
+                t.text.chars().count(),
+                format!(
+                    "`{}` captures a worker panic outside the fault plane",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // Any other use of the `std::panic` module (`panic::set_hook`,
+        // `panic::AssertUnwindSafe`, …). The `::` requirement keeps the
+        // `panic!` macro — raising, not capturing — out of scope, and
+        // the ident check above already covered `panic::catch_unwind`
+        // (skipped here so one capture yields one finding).
+        if t.text == "panic"
+            && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+            && !toks
+                .get(i + 3)
+                .is_some_and(|a| a.is_ident("catch_unwind") || a.is_ident("resume_unwind"))
+        {
+            let target = toks
+                .get(i + 3)
+                .filter(|a| a.kind == TokKind::Ident)
+                .map_or_else(String::new, |a| a.text.clone());
+            out.push(RawFinding::at(
+                t,
+                "panic::".len() + target.chars().count(),
+                format!("`panic::{target}` panic machinery used outside the fault plane"),
+            ));
+        }
+    }
+    out
+}
+
 /// One finding with its waiver status. Waived findings are suppressed
 /// from the default text output but stay visible to `--format json`, so
 /// every `allow(…)` stays auditable.
@@ -1129,6 +1202,42 @@ mod tests {
         let waived = "fn f(s: &Scope) { s.spawn(|| {\n\
                       // stats-analyzer: allow(ND014): dedicated OS thread, not a pool worker\n\
                       let r = rx.recv(); }); }";
+        assert!(lint_source("x/runtime/y.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn panic_capture_is_scoped_to_hot_paths_outside_the_fault_plane() {
+        let src = "fn run() { let r = std::panic::catch_unwind(|| work()); }";
+        let hot = lint_source("crates/core/src/runtime/threaded.rs", src);
+        assert_eq!(hot.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND015"]);
+        let spec = lint_source("crates/core/src/speculation.rs", src);
+        assert_eq!(spec.iter().map(|d| d.rule).collect::<Vec<_>>(), ["ND015"]);
+        // The fault plane is the sanctioned handler: the pool's scope
+        // poisoning and the fault module's recovery guards.
+        assert!(lint_source("crates/core/src/runtime/pool.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/runtime/fault.rs", src).is_empty());
+        // Outside the hot paths (tests asserting panics, the CLI's top
+        // level) capturing is unremarkable.
+        assert_eq!(rules_hit(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn panic_capture_variants_macro_exemption_and_waiver() {
+        // One capture yields one finding, however the path is written.
+        let bare = "fn f() { catch_unwind(AssertUnwindSafe(g)); }";
+        assert_eq!(lint_source("x/runtime/y.rs", bare).len(), 1);
+        let qualified = "fn f() { panic::resume_unwind(payload); }";
+        assert_eq!(lint_source("x/runtime/y.rs", qualified).len(), 1);
+        // Other std::panic machinery is capture-adjacent and flagged too.
+        let hook = "fn f() { panic::set_hook(Box::new(|_| {})); }";
+        assert_eq!(lint_source("x/runtime/y.rs", hook).len(), 1);
+        // The panic! macro raises — it does not capture — and stays
+        // legal in hot paths (invariant violations must abort loudly).
+        let raises = "fn f() { panic!(\"chunk {c} died\"); }";
+        assert!(lint_source("x/runtime/y.rs", raises).is_empty());
+        // And the waiver comment works like every other rule.
+        let waived = "// stats-analyzer: allow(ND015): test-only harness shim\n\
+                      fn f() { catch_unwind(AssertUnwindSafe(g)); }";
         assert!(lint_source("x/runtime/y.rs", waived).is_empty());
     }
 

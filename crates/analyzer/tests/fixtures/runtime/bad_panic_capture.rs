@@ -1,0 +1,31 @@
+//! ND015 fixture (path says `runtime/`): panic-capture machinery outside
+//! the fault plane swallows a worker failure before the pool's scope
+//! poisoning and the fault counters can see it — recovery happens, but
+//! silently, and the threaded/simulated fault telemetry stops
+//! reconciling. Raising with `panic!` stays legal (invariants must abort
+//! loudly); the waived shim stays quiet.
+
+fn run_chunk(task: impl FnOnce()) {
+    let result = std::panic::catch_unwind(AssertUnwindSafe(task));
+    if result.is_err() {
+        retry_quietly();
+    }
+}
+
+fn relay(payload: Box<dyn Any + Send>) {
+    resume_unwind(payload);
+}
+
+fn install() {
+    panic::set_hook(Box::new(|_| {}));
+}
+
+fn guard(c: usize) {
+    // Raising is not capturing: the macro must not fire the rule.
+    panic!("chunk {c} violated the commit invariant");
+}
+
+fn shim(task: impl FnOnce()) {
+    // stats-analyzer: allow(ND015): test-only harness shim
+    let _ = catch_unwind(AssertUnwindSafe(task));
+}

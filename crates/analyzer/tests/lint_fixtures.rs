@@ -220,6 +220,42 @@ fn pool_recv_rule_is_path_scoped() {
 }
 
 #[test]
+fn panic_capture_fixture_flags_captures_but_honors_the_waiver() {
+    let diags = fixture("runtime/bad_panic_capture.rs");
+    assert_eq!(rules(&diags), ["ND015", "ND015", "ND015"]);
+    let text = diags
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("catch_unwind"));
+    assert!(text.contains("resume_unwind"));
+    assert!(text.contains("panic::set_hook"));
+    // The raising macro and the waived shim are not reported.
+    assert!(diags.iter().all(|d| !d.snippet.contains("panic!")));
+    assert!(diags.iter().all(|d| !d.snippet.contains("shim")));
+}
+
+#[test]
+fn panic_capture_rule_exempts_the_fault_plane_and_non_hot_paths() {
+    // Identical source lints clean when the path is the fault plane
+    // (pool.rs poisons scopes, fault.rs hosts the recovery guards) or
+    // any file outside the runtime hot paths (tests assert panics, the
+    // CLI catches at top level).
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/runtime/bad_panic_capture.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    for ok_path in [
+        "crates/core/src/runtime/pool.rs",
+        "crates/core/src/fault.rs",
+        "crates/bench/src/table1.rs",
+    ] {
+        let diags = stats_analyzer::lint::lint_source(ok_path, &source);
+        assert!(diags.is_empty(), "{ok_path}: {diags:#?}");
+    }
+}
+
+#[test]
 fn ambient_searcher_fixture_flags_ask_tell_reads_but_honors_waivers() {
     let diags = fixture("autotuner/bad_ambient_searcher.rs");
     assert_eq!(rules(&diags), ["ND008", "ND008", "ND008"]);

@@ -1,0 +1,249 @@
+//! Differential chaos sweep over the fault-injection plane: every paper
+//! benchmark × pool width {1, 2, 4} × seeded fault plans.
+//!
+//! Each cell runs the pooled executor fault-free and under a seeded
+//! [`FaultPlan`](stats_core::FaultPlan), plus the simulated runtime
+//! under the same plan, and checks that recovery is observationally
+//! invisible (see `stats_bench::chaos`). With `--gate`, the process
+//! exits non-zero unless:
+//!
+//! * **parity** — every faulted run's decisions and quality bits equal
+//!   the fault-free run's, on every width and plan;
+//! * **counters** — the twelve protocol counters are untouched by
+//!   recovery, and all fifteen (protocol + fault) counters reconcile
+//!   exactly between the threaded and simulated runtimes;
+//! * **accounting** — observed fault counters equal the plan's derived
+//!   totals, and retries stay within `injections × max_retries`;
+//! * **coverage** — all six injection kinds executed somewhere in the
+//!   sweep (a kind that never fires is a kind that was never tested).
+//!
+//! Usage: `chaos [--scale F] [--plans N] [--injections N] [--out PATH]
+//! [--gate]` — exits 0 on success, 1 on gate failure, 2 on bad
+//! arguments.
+
+use stats_bench::chaos::{ChaosGate, ChaosRow, ChaosSweep, ALL_KINDS, WIDTHS};
+use stats_bench::pipeline::{Scale, FIGURE_SEED};
+use stats_core::runtime::pool::default_workers;
+use stats_telemetry::json::{validate, JsonObject};
+use stats_workloads::{dispatch, BENCHMARK_NAMES};
+
+#[derive(Clone)]
+struct Args {
+    scale: Scale,
+    plans: usize,
+    injections: usize,
+    out: String,
+    gate: bool,
+}
+
+fn render_json(args: &Args, rows: &[ChaosRow], gate: &ChaosGate) -> String {
+    let mut benches = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            benches.push(',');
+        }
+        let mut cells = String::from("[");
+        for (j, c) in row.cells.iter().enumerate() {
+            if j > 0 {
+                cells.push(',');
+            }
+            let mut kinds = String::from("[");
+            for (k, kind) in c.kinds_executed.iter().enumerate() {
+                if k > 0 {
+                    kinds.push(',');
+                }
+                kinds.push('"');
+                kinds.push_str(kind);
+                kinds.push('"');
+            }
+            kinds.push(']');
+            let mut o = JsonObject::new();
+            o.u64("width", c.width as u64)
+                .u64("plan_seed", c.plan_seed)
+                .u64("planned", c.planned as u64)
+                .u64("injected", c.injected)
+                .u64("retries", c.retries)
+                .u64("workers_lost", c.workers_lost)
+                .u64("aborts", c.aborts)
+                .bool("decisions_match", c.decisions_match)
+                .bool("quality_match", c.quality_match)
+                .bool("protocol_match", c.protocol_match)
+                .bool("sim_reconciled", c.sim_reconciled)
+                .bool("totals_exact", c.totals_exact)
+                .bool("retries_bounded", c.retries_bounded)
+                .raw("kinds_executed", &kinds);
+            cells.push_str(&o.finish());
+        }
+        cells.push(']');
+        let mut o = JsonObject::new();
+        o.str("benchmark", &row.name).raw("cells", &cells);
+        benches.push_str(&o.finish());
+    }
+    benches.push(']');
+
+    let mut widths = String::from("[");
+    for (i, wd) in WIDTHS.iter().enumerate() {
+        if i > 0 {
+            widths.push(',');
+        }
+        widths.push_str(&wd.to_string());
+    }
+    widths.push(']');
+
+    let mut covered = String::from("[");
+    for (i, kind) in gate.kinds_covered.iter().enumerate() {
+        if i > 0 {
+            covered.push(',');
+        }
+        covered.push('"');
+        covered.push_str(kind);
+        covered.push('"');
+    }
+    covered.push(']');
+
+    let mut g = JsonObject::new();
+    g.bool("enforced", args.gate)
+        .bool("all_ok", gate.all_ok)
+        .raw("kinds_covered", &covered)
+        .bool("full_coverage", gate.full_coverage)
+        .bool("pass", gate.pass());
+
+    let mut o = JsonObject::new();
+    o.str("bench", "chaos")
+        .u64("seed", FIGURE_SEED)
+        .f64("scale", args.scale.0)
+        .u64("plans_per_width", args.plans as u64)
+        .u64("injections_per_plan", args.injections as u64)
+        .raw("widths", &widths)
+        .u64("host_parallelism", default_workers() as u64)
+        .raw("benchmarks", &benches)
+        .raw("gate", &g.finish());
+    format!("{}\n", o.finish())
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale(0.05),
+        plans: 3,
+        injections: 5,
+        out: "BENCH_chaos.json".to_string(),
+        gate: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = "usage: chaos [--scale F] [--plans N] [--injections N] [--out PATH] [--gate]";
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} requires a value\n{usage}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--scale" => {
+                let v: f64 = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --scale expects a number\n{usage}");
+                    std::process::exit(2);
+                });
+                args.scale = Scale(v);
+                i += 2;
+            }
+            "--plans" => {
+                args.plans = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --plans expects an integer\n{usage}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--injections" => {
+                args.injections = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("error: --injections expects an integer\n{usage}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--out" => {
+                args.out = value(i);
+                i += 2;
+            }
+            "--gate" => {
+                args.gate = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown option {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(args.scale.0 > 0.0 && args.scale.0 <= 1.0) || args.plans == 0 || args.injections == 0 {
+        eprintln!("error: --scale in (0,1]; --plans and --injections positive\n{usage}");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "chaos: scale {}, {} plans x {} injections per width, widths {:?}, host parallelism {}",
+        args.scale.0,
+        args.plans,
+        args.injections,
+        WIDTHS,
+        default_workers(),
+    );
+
+    let sweep = ChaosSweep {
+        scale: args.scale,
+        plans: args.plans,
+        injections: args.injections,
+    };
+    let rows: Vec<ChaosRow> = BENCHMARK_NAMES
+        .iter()
+        .map(|name| {
+            let row = dispatch(name, &sweep);
+            for c in &row.cells {
+                println!(
+                    "{:<18} w{} plan {:#010x} injected {:>2} retries {:>2} lost {} | {}",
+                    row.name,
+                    c.width,
+                    c.plan_seed & 0xFFFF_FFFF,
+                    c.injected,
+                    c.retries,
+                    c.workers_lost,
+                    if c.ok() { "identical" } else { "DIVERGED" },
+                );
+            }
+            row
+        })
+        .collect();
+
+    let gate = ChaosGate::evaluate(&rows);
+    let json = render_json(&args, &rows, &gate);
+    validate(json.trim()).unwrap_or_else(|e| panic!("generated invalid JSON: {e}"));
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", args.out);
+        std::process::exit(2);
+    });
+    println!(
+        "\nwrote {} | cells {} | kinds covered {}/{}",
+        args.out,
+        if gate.all_ok {
+            "all identical"
+        } else {
+            "DIVERGED"
+        },
+        gate.kinds_covered.len(),
+        ALL_KINDS.len(),
+    );
+
+    if args.gate {
+        if gate.pass() {
+            println!("OK: every injected fault recovered without a trace in the results");
+        } else {
+            println!("FAIL: chaos gate failed");
+            std::process::exit(1);
+        }
+    }
+}

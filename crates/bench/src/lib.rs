@@ -20,7 +20,9 @@
 //!
 //! [`ablations`] adds the design-choice sweeps DESIGN.md calls out
 //! (sync-cost elasticity, state-copy acceleration, k/m/chunk trade-offs);
-//! [`scaling`] sweeps input size and core count (§I's headline claims).
+//! [`scaling`] sweeps input size and core count (§I's headline claims);
+//! [`chaos`] differentially tests the fault-injection plane (recovery
+//! must be observationally invisible — DESIGN.md §15).
 //! The measurement machinery lives in [`attribution`]: the post-mortem
 //! what-if analysis of §V-B ("we emulate the parallel execution removing
 //! only the part of the overhead targeted that is in the critical path",
@@ -28,6 +30,7 @@
 
 pub mod ablations;
 pub mod attribution;
+pub mod chaos;
 pub mod fig09;
 pub mod fig10;
 pub mod fig11;

@@ -38,9 +38,10 @@
 use crate::attribution::{attribute, LossBreakdown, LossCategory};
 use crate::pipeline::{tuned_config, Scale};
 use stats_core::config::Config;
+use stats_core::fault::FaultPlan;
 use stats_core::report::ChunkDecision;
 use stats_core::runtime::pool::WorkerPool;
-use stats_core::runtime::threaded::run_threaded_on;
+use stats_core::runtime::threaded::{run_threaded_faulted_on, run_threaded_on};
 use stats_platform::{CostModel, Machine, Topology};
 use stats_telemetry::json::JsonObject;
 use stats_telemetry::profiler::{WhatIfs, WALL_LOSSES};
@@ -51,6 +52,20 @@ use stats_workloads::Workload;
 /// normalized share is below this fraction is "small" and exempt from
 /// inversion checks (shape-level agreement, not rank of noise).
 pub const MATERIAL_SHARE: f64 = 0.15;
+
+/// Fault-plane observations riding along a faulted profile (`--faults`):
+/// the first seed's live fault counters, next to what the plan asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Injections the plan carries (sites may or may not execute).
+    pub planned: usize,
+    /// `FaultsInjected` observed on the first profiled seed.
+    pub injected: u64,
+    /// `RetriesScheduled` observed on the first profiled seed.
+    pub retries: u64,
+    /// `WorkersLost` observed on the first profiled seed.
+    pub workers_lost: u64,
+}
 
 /// One benchmark profiled over several seeds on the pooled runtime.
 #[derive(Debug)]
@@ -85,6 +100,9 @@ pub struct ProfileReport {
     /// Whether decisions/outputs with profiling on matched a
     /// profiling-off run bit-for-bit (first seed).
     pub parity: bool,
+    /// Fault-plane observations when the runs carried a fault plan
+    /// (`None` for fault-free profiles).
+    pub faults: Option<FaultReport>,
 }
 
 impl ProfileReport {
@@ -142,6 +160,14 @@ impl ProfileReport {
             )
             .bool("parity", self.parity)
             .u64("dropped", self.runs.iter().map(|r| r.dropped).sum());
+        if let Some(f) = &self.faults {
+            let mut fo = JsonObject::new();
+            fo.u64("planned", f.planned as u64)
+                .u64("injected", f.injected)
+                .u64("retries", f.retries)
+                .u64("workers_lost", f.workers_lost);
+            o.raw("faults", &fo.finish());
+        }
         o.finish()
     }
 }
@@ -167,17 +193,34 @@ pub fn profile_workload_configured<W: Workload>(
     seeds: &[u64],
     cfg: Config,
 ) -> ProfileReport {
+    profile_workload_faulted(w, pool, scale, seeds, cfg, &FaultPlan::none())
+}
+
+/// [`profile_workload_configured`] with a fault plan injected into every
+/// profiled run (the CLI's `--faults`): the attribution then covers the
+/// recovery path — retries, backoff, worker loss — while the parity
+/// check still demands the profiler itself stays observation-only. An
+/// empty plan is the exact fault-free path.
+pub fn profile_workload_faulted<W: Workload>(
+    w: &W,
+    pool: &WorkerPool,
+    scale: Scale,
+    seeds: &[u64],
+    cfg: Config,
+    faults: &FaultPlan,
+) -> ProfileReport {
     assert!(!seeds.is_empty(), "at least one seed");
     let mut runs = Vec::with_capacity(seeds.len());
     let mut first_profile: Option<WallProfile> = None;
     let mut parity = true;
+    let mut fault_report = None;
 
     for (i, &seed) in seeds.iter().enumerate() {
         let n = scale.inputs_for(w);
         let inputs = w.generate_inputs(n, seed);
         let sink =
             TelemetrySink::new(cfg.chunks.max(1)).with_profiler(Profiler::new(pool.workers()));
-        let run = run_threaded_on(pool, w, &inputs, cfg, seed, Some(&sink));
+        let run = run_threaded_faulted_on(pool, w, &inputs, cfg, seed, faults, Some(&sink));
         let aborted: Vec<bool> = run
             .decisions
             .iter()
@@ -193,13 +236,23 @@ pub fn profile_workload_configured<W: Workload>(
         );
         if i == 0 {
             // Profiling must be observation-only: a profiler-free run
-            // with the same seed must decide and produce identically.
-            let bare = run_threaded_on(pool, w, &inputs, cfg, seed, None);
+            // with the same seed (and the same plan) must decide and
+            // produce identically.
+            let bare = run_threaded_faulted_on(pool, w, &inputs, cfg, seed, faults, None);
             parity = bare.decisions == run.decisions
                 && bare.outputs.len() == run.outputs.len()
                 && w.quality(&inputs, &bare.outputs).to_bits()
                     == w.quality(&inputs, &run.outputs).to_bits();
             first_profile = Some(profile.clone());
+            if !faults.injections().is_empty() {
+                let snap = sink.snapshot();
+                fault_report = Some(FaultReport {
+                    planned: faults.injections().len(),
+                    injected: snap.get(stats_telemetry::Counter::FaultsInjected),
+                    retries: snap.get(stats_telemetry::Counter::RetriesScheduled),
+                    workers_lost: snap.get(stats_telemetry::Counter::WorkersLost),
+                });
+            }
         }
         runs.push(profile.attribute());
     }
@@ -226,6 +279,7 @@ pub fn profile_workload_configured<W: Workload>(
         whatif_mispeculation_free: collect(&|r| r.whatifs.mispeculation_free),
         profile: first_profile.expect("at least one seed profiled"),
         parity,
+        faults: fault_report,
         runs,
     }
 }
@@ -490,6 +544,12 @@ pub fn render_profile_table(report: &ProfileReport) -> String {
             ));
         }
     }
+    if let Some(f) = &report.faults {
+        out.push_str(&format!(
+            "  fault plane:       {} planned | {} injected, {} retries, {} workers lost (first seed)\n",
+            f.planned, f.injected, f.retries, f.workers_lost,
+        ));
+    }
     if !report.parity {
         out.push_str("  WARNING: profiled run diverged from unprofiled run\n");
     }
@@ -519,6 +579,32 @@ mod tests {
         assert!(table.contains("causal profile: swaptions"));
         assert!(table.contains("imbalance"));
         assert!(table.contains("what-if"));
+    }
+
+    #[test]
+    fn faulted_profile_reports_the_fault_plane_and_keeps_parity() {
+        let w = Swaptions::paper();
+        let pool = WorkerPool::new(2);
+        let scale = Scale(0.05);
+        let cfg = tuned_config(&w, 28, scale);
+        let plan = FaultPlan::seeded(9, 4, &cfg, scale.inputs_for(&w));
+        let report = profile_workload_faulted(&w, &pool, scale, &[FIGURE_SEED], cfg, &plan);
+        assert!(
+            report.parity,
+            "faulted profiling must stay observation-only"
+        );
+        let f = report
+            .faults
+            .expect("a seeded plan reports its fault plane");
+        assert_eq!(f.planned, 4);
+        let json = report.to_json();
+        stats_telemetry::json::validate(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"faults\":{"));
+        let table = render_profile_table(&report);
+        assert!(table.contains("fault plane:"), "{table}");
+        // A fault-free profile carries no fault object.
+        let clean = profile_workload(&w, &pool, scale, &[FIGURE_SEED]);
+        assert_eq!(clean.faults, None);
     }
 
     #[test]

@@ -1,0 +1,941 @@
+//! Deterministic fault injection and the recovery guards.
+//!
+//! A production-scale STATS runtime must keep its determinism contract —
+//! commit/abort decisions a pure function of `(inputs, seed, config)` —
+//! even when workers die, tasks stall, or state transfers fail mid-run.
+//! This module is the single plane through which such failures enter the
+//! system: a [`FaultPlan`] addresses protocol tasks by *site* (chunk
+//! candidate, replica replay, rerun segment, validation transfer) and
+//! fires a [`FaultKind`] at seeded attempt indices, and the guard
+//! functions at the top of every faultable task turn those firings into
+//! bounded, exponentially backed-off retries.
+//!
+//! # Why recovery is observationally invisible
+//!
+//! Every injection fires at *task entry*, before the task has recorded a
+//! protocol counter or consumed its input state, and every retry re-runs
+//! the task on its original [`crate::rng::StreamRole`] stream. A retried
+//! task therefore produces bit-identical results to a never-faulted one,
+//! records its protocol telemetry exactly once, and differs only in wall
+//! time and in the three fault counters (`FaultsInjected`,
+//! `RetriesScheduled`, `WorkersLost`) plus the `FaultInjected` /
+//! `RecoveryFinished` events. Because whether a site executes is itself a
+//! pure function of `(config, chunk plan, decisions)`, the simulated
+//! runtime derives the same fault totals post-hoc
+//! ([`FaultPlan::record_into`]) and reconciles exactly with the threaded
+//! runtime's live recording.
+//!
+//! # Failure semantics per kind
+//!
+//! * [`FaultKind::TaskPanic`] — the task fails at entry; the guard
+//!   schedules a retry (chunk tasks re-spawn on the pool's urgent lane,
+//!   state-carrying tasks retry in place so their moved-in state is
+//!   never lost).
+//! * [`FaultKind::WorkerDeath`] — as `TaskPanic`, and the pool worker
+//!   running the attempt is doomed: it finishes the current job, then
+//!   exits ([`crate::runtime::pool`] degrades to fewer workers, spawning
+//!   one emergency replacement only when the last worker dies).
+//! * [`FaultKind::DelayedStart`] — the task start is delayed by a
+//!   deterministic backoff; no retry is consumed.
+//! * [`FaultKind::PoisonedSnapshot`] — a replica's forked state is
+//!   detected as poisoned before use; the replay restarts from the
+//!   pristine fork after a backoff.
+//! * [`FaultKind::LostResult`] — the task's result delivery is lost; the
+//!   retry recomputes on the same stream.
+//! * [`FaultKind::TransferFailure`] — the `states_match` transfer for a
+//!   chunk's validation fails spuriously on the coordinator; the
+//!   (pure) comparison is retried after a backoff.
+//!
+//! If an injection fires more than [`FaultPlan::max_retries`] times the
+//! run is not recoverable: the guard panics with the injection as the
+//! payload and the pool's fail-fast scope poisoning surfaces it
+//! immediately. [`FaultPlan::seeded`] only generates recoverable plans.
+
+use crate::config::Config;
+use crate::planner::{plan_balanced, ChunkPlan};
+use crate::report::ChunkDecision;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use stats_telemetry::{Counter, Event, TelemetrySink};
+use std::time::Duration;
+
+/// What an injection does to the task it fires in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The task panics at entry and is retried.
+    TaskPanic,
+    /// The task panics at entry and the pool worker running it dies
+    /// after the job (chunk sites only — retries re-spawn on the urgent
+    /// lane, so each firing costs one worker).
+    WorkerDeath,
+    /// The task's start is delayed by one deterministic backoff; no
+    /// retry is consumed.
+    DelayedStart,
+    /// A replica's forked state is detected as poisoned before use
+    /// (replica sites only).
+    PoisonedSnapshot,
+    /// The task's result delivery is lost; the retry recomputes.
+    LostResult,
+    /// The validation's state transfer fails spuriously on the
+    /// coordinator (transfer sites only).
+    TransferFailure,
+}
+
+impl FaultKind {
+    /// Stable snake_case name used in events and transcripts.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TaskPanic => "task_panic",
+            FaultKind::WorkerDeath => "worker_death",
+            FaultKind::DelayedStart => "delayed_start",
+            FaultKind::PoisonedSnapshot => "poisoned_snapshot",
+            FaultKind::LostResult => "lost_result",
+            FaultKind::TransferFailure => "transfer_failure",
+        }
+    }
+
+    /// Whether a firing consumes one of the bounded retries (everything
+    /// except a pure start delay).
+    fn consumes_retry(self) -> bool {
+        self != FaultKind::DelayedStart
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A config-addressable injection site: one protocol task of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The speculation task of `chunk`'s breadth candidate `candidate`
+    /// (chunk 0 has only candidate 0).
+    Chunk { chunk: usize, candidate: usize },
+    /// The replay task of original-state replica `replica` at the
+    /// boundary after chunk `boundary`.
+    Replica { boundary: usize, replica: usize },
+    /// Segment `segment` of `chunk`'s post-abort re-execution (executes
+    /// only when the chunk actually aborts).
+    Rerun { chunk: usize, segment: usize },
+    /// The `states_match` transfer validating `chunk` (`chunk >= 1`).
+    Transfer { chunk: usize },
+}
+
+impl FaultSite {
+    /// The chunk index fault telemetry for this site is attributed to.
+    pub fn chunk_index(self) -> usize {
+        match self {
+            FaultSite::Chunk { chunk, .. }
+            | FaultSite::Rerun { chunk, .. }
+            | FaultSite::Transfer { chunk } => chunk,
+            FaultSite::Replica { boundary, .. } => boundary,
+        }
+    }
+
+    /// Stable task-class name used in events and transcripts.
+    pub fn task_name(self) -> &'static str {
+        match self {
+            FaultSite::Chunk { .. } => "chunk",
+            FaultSite::Replica { .. } => "replica",
+            FaultSite::Rerun { .. } => "rerun",
+            FaultSite::Transfer { .. } => "transfer",
+        }
+    }
+
+    /// The within-class slot (candidate / replica / segment) the site
+    /// addresses.
+    pub fn slot_index(self) -> usize {
+        match self {
+            FaultSite::Chunk { candidate, .. } => candidate,
+            FaultSite::Replica { replica, .. } => replica,
+            FaultSite::Rerun { segment, .. } => segment,
+            FaultSite::Transfer { .. } => 0,
+        }
+    }
+
+    /// Whether `kind` may legally be injected at this site (the rules
+    /// the counter-accounting derivation depends on).
+    fn admits(self, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::WorkerDeath => matches!(self, FaultSite::Chunk { .. }),
+            FaultKind::PoisonedSnapshot => matches!(self, FaultSite::Replica { .. }),
+            FaultKind::TransferFailure => matches!(self, FaultSite::Transfer { .. }),
+            FaultKind::TaskPanic | FaultKind::LostResult | FaultKind::DelayedStart => {
+                !matches!(self, FaultSite::Transfer { .. })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSite::Chunk { chunk, candidate } => write!(f, "chunk {chunk}.{candidate}"),
+            FaultSite::Replica { boundary, replica } => {
+                write!(f, "replica {boundary}.{replica}")
+            }
+            FaultSite::Rerun { chunk, segment } => write!(f, "rerun {chunk}.{segment}"),
+            FaultSite::Transfer { chunk } => write!(f, "transfer {chunk}"),
+        }
+    }
+}
+
+/// One injection: `kind` fires at `site` while the task's attempt index
+/// is below `fail_attempts` (a `DelayedStart` fires once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Where the fault fires.
+    pub site: FaultSite,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+    /// Attempts 0..fail_attempts fail; attempt `fail_attempts` runs
+    /// clean. Recoverable iff `fail_attempts <= max_retries`.
+    pub fail_attempts: usize,
+}
+
+/// A seeded, validated set of injections plus the retry policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    injections: Vec<Injection>,
+    /// Retries a single site may consume before the run fails fast.
+    pub max_retries: usize,
+    /// Base of the exponential retry backoff, in microseconds (wall
+    /// time only — backoff never feeds protocol decisions).
+    pub backoff_base_us: u64,
+}
+
+/// Default retry bound: three retries per site.
+pub const DEFAULT_MAX_RETRIES: usize = 3;
+
+/// Default backoff base: 50 µs (so `50 << attempt` µs per retry).
+pub const DEFAULT_BACKOFF_BASE_US: u64 = 50;
+
+/// Exact fault-counter totals a plan produces over one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTotals {
+    /// `FaultsInjected` — individual firings.
+    pub injected: u64,
+    /// `RetriesScheduled` — retries the firings scheduled.
+    pub retries: u64,
+    /// `WorkersLost` — pool workers doomed by `WorkerDeath` firings.
+    pub workers_lost: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, making every guarded path a
+    /// single branch on `is_empty` (bit-identical to the unguarded
+    /// executor).
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            injections: Vec::new(),
+            max_retries: DEFAULT_MAX_RETRIES,
+            backoff_base_us: DEFAULT_BACKOFF_BASE_US,
+        }
+    }
+
+    /// A validated plan.
+    ///
+    /// # Errors
+    ///
+    /// Rejects injections with zero `fail_attempts`, kinds illegal for
+    /// their site (see [`FaultKind`]), or two injections at one site.
+    pub fn new(injections: Vec<Injection>, max_retries: usize) -> Result<FaultPlan, String> {
+        for (i, inj) in injections.iter().enumerate() {
+            if inj.fail_attempts == 0 {
+                return Err(format!("injection at {} never fires", inj.site));
+            }
+            if !inj.site.admits(inj.kind) {
+                return Err(format!("{} cannot be injected at {}", inj.kind, inj.site));
+            }
+            if injections[..i].iter().any(|p| p.site == inj.site) {
+                return Err(format!("duplicate injection site {}", inj.site));
+            }
+        }
+        Ok(FaultPlan {
+            injections,
+            max_retries,
+            backoff_base_us: DEFAULT_BACKOFF_BASE_US,
+        })
+    }
+
+    /// A recoverable plan of `count` seeded injections, addressed only
+    /// at sites `config` can actually schedule for `inputs_len` inputs
+    /// (fewer when the configuration has fewer distinct sites). Every
+    /// `fail_attempts` stays within `max_retries`, so recovery always
+    /// succeeds and the run completes bit-identically.
+    pub fn seeded(seed: u64, count: usize, config: &Config, inputs_len: usize) -> FaultPlan {
+        let chunks = config.chunks;
+        let b = config.spec_breadth.max(1);
+        let m = config.extra_states;
+        let plan = plan_balanced(inputs_len, chunks);
+        let mut sites = Vec::new();
+        for c in 0..chunks {
+            for j in 0..if c == 0 { 1 } else { b } {
+                sites.push(FaultSite::Chunk {
+                    chunk: c,
+                    candidate: j,
+                });
+            }
+        }
+        for boundary in 0..chunks.saturating_sub(1) {
+            for replica in 0..m {
+                sites.push(FaultSite::Replica { boundary, replica });
+            }
+        }
+        for c in 1..chunks {
+            sites.push(FaultSite::Transfer { chunk: c });
+            for segment in 0..config.rerun_segments(plan.chunk(c).len()) {
+                sites.push(FaultSite::Rerun { chunk: c, segment });
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA01_7D15_7AB1_E000);
+        // Partial Fisher–Yates: the first `count` entries become a
+        // uniform sample of distinct sites.
+        let picked = count.min(sites.len());
+        for i in 0..picked {
+            let j = rng.gen_range(i..sites.len());
+            sites.swap(i, j);
+        }
+        let max_retries = DEFAULT_MAX_RETRIES;
+        let injections = sites[..picked]
+            .iter()
+            .map(|&site| {
+                let kinds: &[FaultKind] = match site {
+                    FaultSite::Chunk { .. } => &[
+                        FaultKind::TaskPanic,
+                        FaultKind::WorkerDeath,
+                        FaultKind::DelayedStart,
+                        FaultKind::LostResult,
+                    ],
+                    FaultSite::Replica { .. } => &[
+                        FaultKind::TaskPanic,
+                        FaultKind::PoisonedSnapshot,
+                        FaultKind::LostResult,
+                        FaultKind::DelayedStart,
+                    ],
+                    FaultSite::Rerun { .. } => &[FaultKind::TaskPanic, FaultKind::DelayedStart],
+                    FaultSite::Transfer { .. } => &[FaultKind::TransferFailure],
+                };
+                let kind = kinds[rng.gen_range(0..kinds.len())];
+                let fail_attempts = if kind.consumes_retry() {
+                    rng.gen_range(1..=max_retries)
+                } else {
+                    1
+                };
+                Injection {
+                    site,
+                    kind,
+                    fail_attempts,
+                }
+            })
+            .collect();
+        FaultPlan::new(injections, max_retries).expect("seeded plans are valid by construction")
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// The plan's injections.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Whether every injection recovers within the retry bound.
+    pub fn is_recoverable(&self) -> bool {
+        self.injections
+            .iter()
+            .all(|i| !i.kind.consumes_retry() || i.fail_attempts <= self.max_retries)
+    }
+
+    /// The kind firing at `site` on `attempt`, if any.
+    pub fn fires(&self, site: FaultSite, attempt: usize) -> Option<FaultKind> {
+        let inj = self.injections.iter().find(|i| i.site == site)?;
+        let still_firing = if inj.kind.consumes_retry() {
+            attempt < inj.fail_attempts
+        } else {
+            attempt == 0
+        };
+        still_firing.then_some(inj.kind)
+    }
+
+    /// Retry backoff after the firing at `attempt`: `base << attempt`
+    /// microseconds (shift capped so the duration stays sane).
+    pub fn backoff(&self, attempt: usize) -> Duration {
+        Duration::from_micros(self.backoff_base_us << attempt.min(10))
+    }
+
+    /// The deterministic start delay a [`FaultKind::DelayedStart`]
+    /// injection imposes.
+    pub fn start_delay(&self) -> Duration {
+        Duration::from_micros(self.backoff_base_us)
+    }
+
+    /// Whether `inj`'s site executes in a run that took `decisions`
+    /// under `(config, plan)` — a pure function shared by both runtimes,
+    /// which is what lets the simulated runtime reconcile fault counters
+    /// exactly with the threaded one.
+    pub fn executes(
+        &self,
+        inj: &Injection,
+        config: &Config,
+        plan: &ChunkPlan,
+        decisions: &[ChunkDecision],
+    ) -> bool {
+        let chunks = plan.len();
+        let b = config.spec_breadth.max(1);
+        match inj.site {
+            FaultSite::Chunk { chunk, candidate } => {
+                chunk < chunks && candidate < if chunk == 0 { 1 } else { b }
+            }
+            FaultSite::Replica { boundary, replica } => {
+                chunks > 1 && boundary < chunks - 1 && replica < config.extra_states
+            }
+            FaultSite::Rerun { chunk, segment } => {
+                chunk < chunks
+                    && decisions.get(chunk) == Some(&ChunkDecision::Aborted)
+                    && segment < config.rerun_segments(plan.chunk(chunk).len())
+            }
+            FaultSite::Transfer { chunk } => chunk >= 1 && chunk < chunks,
+        }
+    }
+
+    /// Exact fault-counter totals for a run that took `decisions`.
+    /// Meaningful for recoverable plans (an unrecoverable plan kills the
+    /// run before totals settle).
+    pub fn expected_totals(
+        &self,
+        config: &Config,
+        plan: &ChunkPlan,
+        decisions: &[ChunkDecision],
+    ) -> FaultTotals {
+        let mut totals = FaultTotals::default();
+        for inj in &self.injections {
+            if !self.executes(inj, config, plan, decisions) {
+                continue;
+            }
+            if inj.kind.consumes_retry() {
+                let fires = inj.fail_attempts as u64;
+                totals.injected += fires;
+                totals.retries += fires;
+                if inj.kind == FaultKind::WorkerDeath {
+                    totals.workers_lost += fires;
+                }
+            } else {
+                totals.injected += 1;
+            }
+        }
+        totals
+    }
+
+    /// Record into `t` exactly the fault counters and events a threaded
+    /// run under this plan records live — the simulated runtime's side
+    /// of the reconciliation contract.
+    pub fn record_into(
+        &self,
+        t: &TelemetrySink,
+        config: &Config,
+        plan: &ChunkPlan,
+        decisions: &[ChunkDecision],
+    ) {
+        debug_assert!(
+            self.is_recoverable(),
+            "accounting assumes a recoverable plan"
+        );
+        for inj in &self.injections {
+            if !self.executes(inj, config, plan, decisions) {
+                continue;
+            }
+            let shard = inj.site.chunk_index();
+            let fires = if inj.kind.consumes_retry() {
+                inj.fail_attempts
+            } else {
+                1
+            };
+            for attempt in 0..fires {
+                t.add(shard, Counter::FaultsInjected, 1);
+                t.event(&Event::FaultInjected {
+                    chunk: shard,
+                    task: inj.site.task_name(),
+                    index: inj.site.slot_index(),
+                    attempt,
+                    kind: inj.kind.name(),
+                });
+                if inj.kind.consumes_retry() {
+                    t.add(shard, Counter::RetriesScheduled, 1);
+                    if inj.kind == FaultKind::WorkerDeath {
+                        t.add(shard, Counter::WorkersLost, 1);
+                    }
+                }
+            }
+            if inj.kind.consumes_retry() {
+                t.event(&Event::RecoveryFinished {
+                    chunk: shard,
+                    task: inj.site.task_name(),
+                    retries: fires,
+                });
+            }
+        }
+    }
+}
+
+/// A CLI-level fault request: `COUNT@SEED` (or bare `COUNT`, seed 0),
+/// resolved into a [`FaultPlan`] once the run's configuration and input
+/// length are known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Injections to generate.
+    pub count: usize,
+    /// Plan seed.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// Parse `"COUNT@SEED"` or `"COUNT"`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed component.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let (count, seed) = match s.split_once('@') {
+            Some((c, sd)) => (c, Some(sd)),
+            None => (s, None),
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("fault spec `{s}`: `{count}` is not an injection count"))?;
+        if count == 0 {
+            return Err(format!(
+                "fault spec `{s}`: injection count must be positive"
+            ));
+        }
+        let seed: u64 = match seed {
+            Some(sd) => sd
+                .parse()
+                .map_err(|_| format!("fault spec `{s}`: `{sd}` is not a seed"))?,
+            None => 0,
+        };
+        Ok(FaultSpec { count, seed })
+    }
+
+    /// Resolve the spec for one run.
+    pub fn plan(&self, config: &Config, inputs_len: usize) -> FaultPlan {
+        FaultPlan::seeded(self.seed, self.count, config, inputs_len)
+    }
+}
+
+/// What a guarded chunk attempt should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkAttempt {
+    /// Run the task body (any injected delay has already been served).
+    Proceed,
+    /// This attempt failed; re-spawn attempt + 1 on the urgent lane.
+    Respawn,
+}
+
+/// The fault guard for a chunk/candidate task attempt. Called at task
+/// entry, before any protocol recording: it serves the retry backoff
+/// (attempts above 0), fires any injection addressed at this attempt,
+/// records the fault telemetry, and dooms the worker on a
+/// [`FaultKind::WorkerDeath`]. Retries are handed back to the caller as
+/// [`ChunkAttempt::Respawn`] so the re-execution runs as a fresh task on
+/// the pool's urgent lane, on the chunk's original derived streams.
+///
+/// # Panics
+///
+/// Panics when the injection has exhausted [`FaultPlan::max_retries`] —
+/// the run fails fast with the injection as the payload.
+pub fn chunk_attempt(
+    plan: &FaultPlan,
+    chunk: usize,
+    candidate: usize,
+    attempt: usize,
+    telemetry: Option<&TelemetrySink>,
+) -> ChunkAttempt {
+    if plan.is_empty() {
+        return ChunkAttempt::Proceed;
+    }
+    if attempt > 0 {
+        std::thread::sleep(plan.backoff(attempt - 1));
+    }
+    let site = FaultSite::Chunk { chunk, candidate };
+    let Some(kind) = plan.fires(site, attempt) else {
+        if attempt > 0 {
+            if let Some(t) = telemetry {
+                t.event(&Event::RecoveryFinished {
+                    chunk,
+                    task: site.task_name(),
+                    retries: attempt,
+                });
+            }
+        }
+        return ChunkAttempt::Proceed;
+    };
+    if let Some(t) = telemetry {
+        t.add(chunk, Counter::FaultsInjected, 1);
+        t.event(&Event::FaultInjected {
+            chunk,
+            task: site.task_name(),
+            index: candidate,
+            attempt,
+            kind: kind.name(),
+        });
+    }
+    if kind == FaultKind::DelayedStart {
+        std::thread::sleep(plan.start_delay());
+        return ChunkAttempt::Proceed;
+    }
+    if kind == FaultKind::WorkerDeath {
+        crate::runtime::pool::doom_current_worker();
+        if let Some(t) = telemetry {
+            t.add(chunk, Counter::WorkersLost, 1);
+        }
+    }
+    assert!(
+        attempt < plan.max_retries,
+        "injected {kind} at {site}: retries exhausted after {attempt} retries"
+    );
+    if let Some(t) = telemetry {
+        t.add(chunk, Counter::RetriesScheduled, 1);
+    }
+    ChunkAttempt::Respawn
+}
+
+/// The in-place fault guard for state-carrying tasks (replica replays,
+/// rerun segments) and the coordinator's validation transfer. Called at
+/// task entry, before any protocol recording and before the moved-in
+/// state is consumed — which is why the bounded retry can simply loop in
+/// place: nothing was lost, and the body then runs exactly once on its
+/// original derived stream. Returns the number of retries served.
+///
+/// # Panics
+///
+/// Panics when the injection has exhausted [`FaultPlan::max_retries`].
+pub fn recovery_guard(
+    plan: &FaultPlan,
+    site: FaultSite,
+    telemetry: Option<&TelemetrySink>,
+) -> usize {
+    if plan.is_empty() {
+        return 0;
+    }
+    let shard = site.chunk_index();
+    let mut attempt = 0usize;
+    while let Some(kind) = plan.fires(site, attempt) {
+        if let Some(t) = telemetry {
+            t.add(shard, Counter::FaultsInjected, 1);
+            t.event(&Event::FaultInjected {
+                chunk: shard,
+                task: site.task_name(),
+                index: site.slot_index(),
+                attempt,
+                kind: kind.name(),
+            });
+        }
+        if kind == FaultKind::DelayedStart {
+            std::thread::sleep(plan.start_delay());
+            break;
+        }
+        // Plan validation confines `WorkerDeath` to chunk sites (which
+        // go through `chunk_attempt`), so in-place retries never doom
+        // the worker they share with later attempts.
+        debug_assert!(kind != FaultKind::WorkerDeath);
+        assert!(
+            attempt < plan.max_retries,
+            "injected {kind} at {site}: retries exhausted after {attempt} retries"
+        );
+        if let Some(t) = telemetry {
+            t.add(shard, Counter::RetriesScheduled, 1);
+        }
+        std::thread::sleep(plan.backoff(attempt));
+        attempt += 1;
+    }
+    if attempt > 0 {
+        if let Some(t) = telemetry {
+            t.event(&Event::RecoveryFinished {
+                chunk: shard,
+                task: site.task_name(),
+                retries: attempt,
+            });
+        }
+    }
+    attempt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(chunks: usize, k: usize, m: usize) -> Config {
+        Config::stats_only(chunks, k, m)
+    }
+
+    #[test]
+    fn empty_plan_fires_nothing_and_guards_are_no_ops() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.is_recoverable());
+        assert_eq!(
+            plan.fires(
+                FaultSite::Chunk {
+                    chunk: 0,
+                    candidate: 0
+                },
+                0
+            ),
+            None
+        );
+        assert_eq!(chunk_attempt(&plan, 3, 0, 0, None), ChunkAttempt::Proceed);
+        assert_eq!(
+            recovery_guard(&plan, FaultSite::Transfer { chunk: 1 }, None),
+            0
+        );
+    }
+
+    #[test]
+    fn fires_respects_fail_attempts_and_delay_semantics() {
+        let plan = FaultPlan::new(
+            vec![
+                Injection {
+                    site: FaultSite::Chunk {
+                        chunk: 1,
+                        candidate: 0,
+                    },
+                    kind: FaultKind::TaskPanic,
+                    fail_attempts: 2,
+                },
+                Injection {
+                    site: FaultSite::Replica {
+                        boundary: 0,
+                        replica: 1,
+                    },
+                    kind: FaultKind::DelayedStart,
+                    fail_attempts: 1,
+                },
+            ],
+            3,
+        )
+        .expect("valid plan");
+        let chunk = FaultSite::Chunk {
+            chunk: 1,
+            candidate: 0,
+        };
+        assert_eq!(plan.fires(chunk, 0), Some(FaultKind::TaskPanic));
+        assert_eq!(plan.fires(chunk, 1), Some(FaultKind::TaskPanic));
+        assert_eq!(plan.fires(chunk, 2), None);
+        let delay = FaultSite::Replica {
+            boundary: 0,
+            replica: 1,
+        };
+        assert_eq!(plan.fires(delay, 0), Some(FaultKind::DelayedStart));
+        assert_eq!(plan.fires(delay, 1), None, "delays fire exactly once");
+    }
+
+    #[test]
+    fn validation_rejects_illegal_plans() {
+        let worker_death_off_chunk = FaultPlan::new(
+            vec![Injection {
+                site: FaultSite::Replica {
+                    boundary: 0,
+                    replica: 0,
+                },
+                kind: FaultKind::WorkerDeath,
+                fail_attempts: 1,
+            }],
+            3,
+        );
+        assert!(worker_death_off_chunk.is_err());
+        let transfer_panic = FaultPlan::new(
+            vec![Injection {
+                site: FaultSite::Transfer { chunk: 1 },
+                kind: FaultKind::TaskPanic,
+                fail_attempts: 1,
+            }],
+            3,
+        );
+        assert!(transfer_panic.is_err());
+        let dup = Injection {
+            site: FaultSite::Chunk {
+                chunk: 0,
+                candidate: 0,
+            },
+            kind: FaultKind::TaskPanic,
+            fail_attempts: 1,
+        };
+        assert!(FaultPlan::new(vec![dup, dup], 3).is_err());
+        let never = FaultPlan::new(
+            vec![Injection {
+                fail_attempts: 0,
+                ..dup
+            }],
+            3,
+        );
+        assert!(never.is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_valid_recoverable_and_deterministic() {
+        let config = cfg(6, 4, 2).with_breadth(2).with_overlap(true);
+        for seed in 0..50u64 {
+            let plan = FaultPlan::seeded(seed, 5, &config, 240);
+            assert_eq!(plan.injections().len(), 5);
+            assert!(plan.is_recoverable(), "seed {seed}");
+            assert_eq!(plan, FaultPlan::seeded(seed, 5, &config, 240));
+        }
+        // Distinct seeds explore distinct plans.
+        assert_ne!(
+            FaultPlan::seeded(1, 5, &config, 240),
+            FaultPlan::seeded(2, 5, &config, 240)
+        );
+        // Site-starved configurations clamp the count instead of
+        // duplicating sites.
+        let tiny = FaultPlan::seeded(7, 100, &cfg(1, 1, 0), 16);
+        assert_eq!(tiny.injections().len(), 1, "one chunk, no boundaries");
+    }
+
+    #[test]
+    fn expected_totals_count_fires_retries_and_deaths() {
+        let config = cfg(4, 4, 1);
+        let plan = plan_balanced(64, 4);
+        let decisions = vec![
+            ChunkDecision::First,
+            ChunkDecision::Committed,
+            ChunkDecision::Aborted,
+            ChunkDecision::Committed,
+        ];
+        let faults = FaultPlan::new(
+            vec![
+                Injection {
+                    site: FaultSite::Chunk {
+                        chunk: 2,
+                        candidate: 0,
+                    },
+                    kind: FaultKind::WorkerDeath,
+                    fail_attempts: 2,
+                },
+                Injection {
+                    site: FaultSite::Rerun {
+                        chunk: 2,
+                        segment: 0,
+                    },
+                    kind: FaultKind::TaskPanic,
+                    fail_attempts: 1,
+                },
+                Injection {
+                    // Chunk 3 committed: this rerun site never executes.
+                    site: FaultSite::Rerun {
+                        chunk: 3,
+                        segment: 0,
+                    },
+                    kind: FaultKind::TaskPanic,
+                    fail_attempts: 3,
+                },
+                Injection {
+                    site: FaultSite::Replica {
+                        boundary: 1,
+                        replica: 0,
+                    },
+                    kind: FaultKind::DelayedStart,
+                    fail_attempts: 1,
+                },
+            ],
+            3,
+        )
+        .expect("valid plan");
+        let totals = faults.expected_totals(&config, &plan, &decisions);
+        assert_eq!(
+            totals,
+            FaultTotals {
+                injected: 2 + 1 + 1,
+                retries: 2 + 1,
+                workers_lost: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn fault_spec_parses_and_rejects() {
+        assert_eq!(FaultSpec::parse("4@7"), Ok(FaultSpec { count: 4, seed: 7 }));
+        assert_eq!(FaultSpec::parse("3"), Ok(FaultSpec { count: 3, seed: 0 }));
+        assert!(FaultSpec::parse("0@1").is_err());
+        assert!(FaultSpec::parse("x@1").is_err());
+        assert!(FaultSpec::parse("2@y").is_err());
+        let config = cfg(4, 4, 2);
+        let plan = FaultSpec { count: 3, seed: 9 }.plan(&config, 128);
+        assert_eq!(plan.injections().len(), 3);
+        assert_eq!(plan, FaultPlan::seeded(9, 3, &config, 128));
+    }
+
+    #[test]
+    fn guards_fire_retry_and_clear() {
+        let plan = FaultPlan {
+            injections: vec![
+                Injection {
+                    site: FaultSite::Replica {
+                        boundary: 2,
+                        replica: 1,
+                    },
+                    kind: FaultKind::LostResult,
+                    fail_attempts: 2,
+                },
+                Injection {
+                    site: FaultSite::Chunk {
+                        chunk: 1,
+                        candidate: 0,
+                    },
+                    kind: FaultKind::TaskPanic,
+                    fail_attempts: 1,
+                },
+            ],
+            max_retries: 3,
+            backoff_base_us: 1,
+        };
+        assert_eq!(
+            recovery_guard(
+                &plan,
+                FaultSite::Replica {
+                    boundary: 2,
+                    replica: 1
+                },
+                None
+            ),
+            2
+        );
+        assert_eq!(chunk_attempt(&plan, 1, 0, 0, None), ChunkAttempt::Respawn);
+        assert_eq!(chunk_attempt(&plan, 1, 0, 1, None), ChunkAttempt::Proceed);
+    }
+
+    #[test]
+    fn exhausted_retries_panic_with_the_injection_payload() {
+        let plan = FaultPlan {
+            injections: vec![Injection {
+                site: FaultSite::Rerun {
+                    chunk: 1,
+                    segment: 0,
+                },
+                kind: FaultKind::TaskPanic,
+                fail_attempts: 9,
+            }],
+            max_retries: 1,
+            backoff_base_us: 1,
+        };
+        assert!(!plan.is_recoverable());
+        let err = std::panic::catch_unwind(|| {
+            recovery_guard(
+                &plan,
+                FaultSite::Rerun {
+                    chunk: 1,
+                    segment: 0,
+                },
+                None,
+            )
+        })
+        .expect_err("must exhaust");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("retries exhausted"), "{msg}");
+        assert!(msg.contains("task_panic"), "{msg}");
+    }
+}

@@ -41,6 +41,7 @@
 pub mod builder;
 pub mod config;
 pub mod dependence;
+pub mod fault;
 pub mod planner;
 pub mod report;
 pub mod rng;
@@ -52,6 +53,7 @@ pub mod tlp;
 pub use builder::{Stats, StatsError};
 pub use config::{Config, ConfigError, DesignSpace};
 pub use dependence::{StateDependence, UpdateCost};
+pub use fault::{FaultKind, FaultPlan, FaultSite, FaultSpec, FaultTotals, Injection};
 pub use planner::{plan_balanced, plan_weighted, ChunkPlan};
 pub use report::{ChunkDecision, ResourceAccounting, RunReport};
 pub use rng::StatsRng;

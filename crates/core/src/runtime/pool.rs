@@ -35,11 +35,28 @@
 //! structured so every job computes, sends its result, and exits; all
 //! waiting happens on the coordinator thread (which is *not* a pool
 //! worker).
+//!
+//! # Failure semantics
+//!
+//! A panicking task **poisons its scope**: the first panic payload is
+//! stashed, every queued-but-not-yet-started task of that scope is
+//! skipped (its closure is dropped unrun, so channel senders it owns
+//! disconnect promptly), and the scope re-raises the original payload as
+//! soon as in-flight tasks drain — fail-fast instead of running a long
+//! tail of doomed work. Poisoning is per scope; the pool itself stays
+//! healthy for later scopes.
+//!
+//! Separately, the fault plane ([`crate::fault`]) can *doom* the worker
+//! running the current job: the worker finishes that job, then exits,
+//! degrading the pool to fewer workers. When the last worker dies an
+//! emergency replacement is spawned, so the pool always drains its queue
+//! — ultimately sequentially, on one surviving worker.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -53,6 +70,8 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct Shared {
     queue: Mutex<QueueState>,
     work_ready: Condvar,
+    /// Workers currently alive (doomed workers decrement on exit).
+    live: AtomicUsize,
 }
 
 struct QueueState {
@@ -68,6 +87,22 @@ struct QueueState {
 pub fn default_workers() -> usize {
     // stats-analyzer: allow(ND009): pool width sizes the executor only; commit/abort decisions are proven width-independent by the model checker
     std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+// stats-analyzer: allow(ND004): the doom flag marks the *executor thread* for teardown; it carries no workload state across chunks
+thread_local! {
+    /// Set by [`doom_current_worker`]; checked by the worker loop after
+    /// every job.
+    // stats-analyzer: allow(ND004): a bool latch on the worker thread itself, not workload state
+    static DOOMED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Doom the pool worker running the current job: it finishes the job,
+/// then exits (see the module docs on failure semantics). A no-op on
+/// threads that are not pool workers — the flag is only ever read by
+/// [`worker_loop`].
+pub fn doom_current_worker() {
+    DOOMED.with(|d| d.set(true));
 }
 
 /// A fixed-size pool of persistent worker threads draining a two-ended
@@ -97,6 +132,7 @@ impl WorkerPool {
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            live: AtomicUsize::new(workers),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -109,7 +145,7 @@ impl WorkerPool {
                         // is observability-only and is never read by
                         // protocol logic.
                         stats_telemetry::profiler::register_worker(i);
-                        worker_loop(&shared)
+                        worker_loop(shared, i)
                     })
                     .expect("spawn pool worker")
             })
@@ -145,9 +181,16 @@ impl WorkerPool {
         SHARED.get_or_init(WorkerPool::with_default_workers)
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool was configured with.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Worker threads currently alive. Equals [`WorkerPool::workers`]
+    /// until injected worker-death faults doom some; never drops below
+    /// one (the emergency replacement).
+    pub fn live_workers(&self) -> usize {
+        self.shared.live.load(Ordering::Relaxed)
     }
 
     /// Run `f` with a [`PoolScope`] through which tasks borrowing from the
@@ -158,10 +201,13 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// If a spawned task panics, the panic is captured and resumed here
-    /// after all tasks have drained; if `f` itself panics, that panic is
-    /// resumed (task panics take precedence, matching the order in which
-    /// the work actually failed).
+    /// If a spawned task panics, the scope is poisoned: queued tasks
+    /// that have not started yet are skipped (fail-fast), in-flight
+    /// tasks drain, and the *original* panic payload is resumed here;
+    /// if `f` itself panics, that panic is resumed (task panics take
+    /// precedence, matching the order in which the work actually
+    /// failed). Poisoning does not outlive the scope — the pool is
+    /// reusable afterwards.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: for<'scope> FnOnce(&'scope PoolScope<'scope, 'env>) -> R,
@@ -202,7 +248,8 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    DOOMED.with(|d| d.set(false));
     loop {
         let job = {
             let mut q = shared.queue.lock().expect("pool mutex");
@@ -218,16 +265,58 @@ fn worker_loop(shared: &Shared) {
         };
         // stats-analyzer: allow(ND011): jobs are opaque boxed closures by design; determinism is enforced where tasks are spawned, not in the drain loop
         job();
+        if DOOMED.with(|d| d.get()) {
+            worker_death(shared, index);
+            return;
+        }
     }
 }
 
-/// Per-scope bookkeeping: outstanding task count, completion condvar, and
-/// the first panic payload raised by a task.
+/// Tear down a doomed worker: degrade the pool to fewer workers, and when
+/// this was the last one, hand the slot to an emergency replacement so
+/// the queue always keeps draining (sequentially, in the limit). `live`
+/// never reads zero: the last worker's slot transfers to the replacement
+/// without ever being decremented. The replacement is detached — it holds
+/// its own `Arc<Shared>` and exits on shutdown.
+fn worker_death(shared: Arc<Shared>, index: usize) {
+    loop {
+        let live = shared.live.load(Ordering::Acquire);
+        if live > 1 {
+            if shared
+                .live
+                .compare_exchange(live, live - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+            continue;
+        }
+        let respawn = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("stats-pool-{index}-revive"))
+            .spawn(move || {
+                stats_telemetry::profiler::register_worker(index);
+                worker_loop(respawn, index)
+            });
+        if spawned.is_err() {
+            // Could not replace the last worker: keep draining on this
+            // thread instead of leaving the pool dead.
+            DOOMED.with(|d| d.set(false));
+            worker_loop(shared, index);
+        }
+        return;
+    }
+}
+
+/// Per-scope bookkeeping: outstanding task count, completion condvar,
+/// the first panic payload raised by a task, and the poison flag that
+/// makes later queued tasks fail fast.
 #[derive(Default)]
 struct ScopeState {
     pending: Mutex<usize>,
     all_done: Condvar,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    poisoned: AtomicBool,
 }
 
 impl ScopeState {
@@ -255,6 +344,13 @@ impl ScopeState {
         if slot.is_none() {
             *slot = Some(payload);
         }
+        // Publish after stashing the payload so a skipper observing the
+        // flag can rely on `take_panic` finding something to re-raise.
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
@@ -302,6 +398,13 @@ impl<'scope> PoolScope<'scope, '_> {
         self.enqueue(f, true);
     }
 
+    /// Whether a task of this scope has panicked. Coordinators polling a
+    /// rendezvous that a killed task will never signal use this to bail
+    /// out instead of waiting forever.
+    pub fn poisoned(&self) -> bool {
+        self.state.is_poisoned()
+    }
+
     fn enqueue<F>(&'scope self, f: F, urgent: bool)
     where
         F: FnOnce() + Send + 'scope,
@@ -311,9 +414,15 @@ impl<'scope> PoolScope<'scope, '_> {
         self.state.task_started();
         let state = Arc::clone(&self.state);
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-            let result = catch_unwind(AssertUnwindSafe(f));
-            if let Err(payload) = result {
-                state.record_panic(payload);
+            // Fail-fast: once a sibling panicked there is no point
+            // running tasks that have not started — dropping `f` unrun
+            // also drops any channel senders it owns, so coordinators
+            // blocked on its result disconnect promptly.
+            if !state.is_poisoned() {
+                let result = catch_unwind(AssertUnwindSafe(f));
+                if let Err(payload) = result {
+                    state.record_panic(payload);
+                }
             }
             state.task_finished();
         });
@@ -351,6 +460,8 @@ pub struct StatePool<S> {
     cap: usize,
     /// Most spares ever held at once (relaxed: a monotone watermark).
     high_water: AtomicUsize,
+    /// Buffers abandoned by killed tasks (see [`StatePool::note_leak`]).
+    leaked: AtomicUsize,
 }
 
 impl<S: Clone> StatePool<S> {
@@ -360,6 +471,7 @@ impl<S: Clone> StatePool<S> {
             spares: Mutex::new(Vec::new()),
             cap,
             high_water: AtomicUsize::new(0),
+            leaked: AtomicUsize::new(0),
         }
     }
 
@@ -404,6 +516,19 @@ impl<S: Clone> StatePool<S> {
     /// mark, bounded by its capacity.
     pub fn high_water(&self) -> usize {
         self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Record that a buffer checked out of the pool was abandoned by a
+    /// killed task. The buffer itself dies with the task's closure —
+    /// leaked-and-counted, never recycled, so a later `copy_of` can
+    /// never hand out a state an unfinished task still aliases.
+    pub fn note_leak(&self) {
+        self.leaked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Buffers recorded by [`StatePool::note_leak`].
+    pub fn leaked(&self) -> usize {
+        self.leaked.load(Ordering::Relaxed)
     }
 }
 
@@ -540,8 +665,13 @@ mod tests {
     }
 
     #[test]
-    fn task_panic_propagates_after_drain() {
-        let pool = WorkerPool::new(2);
+    fn task_panic_fails_fast_with_original_payload() {
+        // Regression: panic propagation used to surface only after the
+        // scope ran every queued task to completion. With one worker the
+        // panicking task runs first and must poison the scope: the eight
+        // queued survivors are skipped, and the scope re-raises the
+        // *original* payload.
+        let pool = WorkerPool::new(1);
         let survivors = Arc::new(AtomicUsize::new(0));
         let s2 = Arc::clone(&survivors);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -555,18 +685,95 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err(), "scope must re-raise the task panic");
-        // Every non-panicking task still ran to completion before the
-        // scope returned.
-        assert_eq!(survivors.load(Ordering::Relaxed), 8);
-        // The pool survives a panicked scope.
-        let ok = AtomicUsize::new(0);
-        pool.scope(|scope| {
-            scope.spawn(|| {
-                ok.fetch_add(1, Ordering::Relaxed);
+        let payload = result.expect_err("scope must re-raise the task panic");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"task boom"),
+            "the original payload must surface, not a secondary error"
+        );
+        assert_eq!(
+            survivors.load(Ordering::Relaxed),
+            0,
+            "queued tasks must be skipped once the scope is poisoned"
+        );
+    }
+
+    #[test]
+    fn recovered_panic_does_not_poison_later_scopes() {
+        let pool = WorkerPool::new(2);
+        for round in 0..3 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|scope| {
+                    scope.spawn(|| panic!("boom {round}"));
+                });
+            }));
+            assert!(result.is_err());
+            // Poisoning is per scope: the pool immediately runs clean
+            // work again, and a fresh scope reports unpoisoned.
+            let ok = AtomicUsize::new(0);
+            pool.scope(|scope| {
+                assert!(!scope.poisoned());
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
             });
+            assert_eq!(ok.load(Ordering::Relaxed), 4);
+        }
+    }
+
+    /// A doomed worker exits shortly *after* its job finishes; give the
+    /// teardown a moment before asserting the live count.
+    fn wait_live(pool: &WorkerPool, expect: usize) {
+        for _ in 0..2_000 {
+            if pool.live_workers() == expect {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(pool.live_workers(), expect);
+    }
+
+    #[test]
+    fn doomed_workers_degrade_then_revive_at_one() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.live_workers(), 2);
+        // Kill one worker: the pool degrades and keeps working.
+        pool.scope(|scope| {
+            scope.spawn(doom_current_worker);
         });
-        assert_eq!(ok.load(Ordering::Relaxed), 1);
+        wait_live(&pool, 1);
+        // Kill the survivor: an emergency replacement takes over, so the
+        // pool still drains (sequentially) and never reads zero.
+        let hits = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            scope.spawn(doom_current_worker);
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        assert_eq!(pool.live_workers(), 1);
+    }
+
+    #[test]
+    fn state_pool_counts_leaks_without_recycling() {
+        let pool: StatePool<Vec<u64>> = StatePool::with_capacity(4);
+        let a = pool.copy_of(&vec![1, 2, 3]);
+        // A killed task abandons its buffer: counted, never recycled, so
+        // no later checkout can alias it.
+        drop(a);
+        pool.note_leak();
+        assert_eq!(pool.leaked(), 1);
+        assert_eq!(pool.spares(), 0, "a leaked buffer must not reappear");
+        let b = pool.copy_of(&vec![7]);
+        assert_eq!(b, vec![7]);
+        pool.recycle(b);
+        assert_eq!(pool.spares(), 1);
+        assert_eq!(pool.leaked(), 1, "recycling is independent of leaks");
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use crate::config::Config;
 use crate::dependence::StateDependence;
+use crate::fault::FaultPlan;
+use crate::planner::plan_balanced;
 use crate::report::{ChunkDecision, ResourceAccounting, RunReport};
 use crate::runtime::sequential::run_sequential;
 use crate::speculation::{run_speculative, SpeculationOutcome};
@@ -786,6 +788,53 @@ impl SimulatedRuntime {
             master_seed,
             telemetry,
         )
+    }
+
+    /// [`SimulatedRuntime::run_observed`] under a fault plan.
+    ///
+    /// Decisions, outputs, and protocol counters are those of the
+    /// fault-free run — injected faults are observationally invisible by
+    /// design (every injection fires at task entry, before any protocol
+    /// recording, and the clearing attempt records exactly once). The
+    /// simulated runtime therefore derives the fault counters and events
+    /// post hoc from the plan itself: which injection sites *execute* is a
+    /// pure function of (config, chunk plan, decisions), so the derived
+    /// totals reconcile exactly with a threaded run under the same plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid for `inputs.len()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_observed_faulted<W: StateDependence>(
+        &self,
+        name: &str,
+        workload: &W,
+        inputs: &[W::Input],
+        config: Config,
+        inner: InnerParallelism,
+        master_seed: u64,
+        faults: &FaultPlan,
+        telemetry: Option<&TelemetrySink>,
+    ) -> Result<RunReport<W::Output>, SimError> {
+        let report = self.run_observed(
+            name,
+            workload,
+            inputs,
+            config,
+            inner,
+            master_seed,
+            telemetry,
+        )?;
+        if let Some(t) = telemetry {
+            let plan = plan_balanced(inputs.len(), config.chunks);
+            faults.record_into(t, &config, &plan, &report.decisions);
+            t.flush();
+        }
+        Ok(report)
     }
 
     /// Lower and execute a precomputed outcome (lets callers reuse one

@@ -36,17 +36,23 @@
 
 use crate::config::Config;
 use crate::dependence::StateDependence;
+use crate::fault::{self, ChunkAttempt, FaultPlan, FaultSite};
 use crate::planner::{plan_balanced, ChunkPlan};
 use crate::report::ChunkDecision;
 use crate::rng::{StatsRng, StreamRole};
 use crate::runtime::pool::{PoolScope, StatePool, WorkerPool};
 use crate::snapshot::SnapshotStrategy;
 use crate::speculation::run_segment;
-use crossbeam::channel::{bounded, Receiver};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use stats_telemetry::clock::monotonic_ns;
 use stats_telemetry::{Category, Counter, Event, Profiler, TelemetrySink};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
+
+/// The empty fault plan every non-faulted entry point threads through:
+/// all guards reduce to one `is_empty` branch, keeping the fault-free
+/// path bit-identical to the pre-fault executor.
+static NO_FAULTS: FaultPlan = FaultPlan::none();
 
 /// Nanoseconds since the `monotonic_ns` stamp `start_ns`. All wall
 /// clock in this module flows through `stats_telemetry::clock` — the
@@ -129,6 +135,7 @@ struct RunCtx<'a, W: StateDependence> {
     strategy: SnapshotStrategy,
     state_bytes: u64,
     telemetry: Option<&'a TelemetrySink>,
+    faults: &'a FaultPlan,
 }
 
 impl<W: StateDependence> Clone for RunCtx<'_, W> {
@@ -175,16 +182,29 @@ impl<S> ReplicaSet<S> {
 
     /// Block until every replica has arrived, then drain them in index
     /// order. Resets nothing: a set serves exactly one boundary.
-    fn wait(&self) -> Vec<S> {
+    ///
+    /// Polls `abandoned` while waiting: a replica task killed by a panic
+    /// will never `put`, so once the owning scope is poisoned the wait
+    /// returns `Err` with the number of missing replicas instead of
+    /// hanging the coordinator forever.
+    fn wait_unless(&self, abandoned: impl Fn() -> bool) -> Result<Vec<S>, usize> {
         let mut slots = self.slots.lock().expect("replica mutex");
         while slots.remaining > 0 {
-            slots = self.all_done.wait(slots).expect("replica mutex");
+            let (guard, _timeout) = self
+                .all_done
+                .wait_timeout(slots, Duration::from_millis(2))
+                .expect("replica mutex");
+            slots = guard;
+            // stats-analyzer: allow(ND011): the predicate only reads the scope's poison flag; it feeds the abort-the-wait path, never a commit/abort decision
+            if slots.remaining > 0 && abandoned() {
+                return Err(slots.remaining);
+            }
         }
-        slots
+        Ok(slots
             .states
             .iter_mut()
             .map(|s| s.take().expect("replica deposited"))
-            .collect()
+            .collect())
     }
 }
 
@@ -259,6 +279,17 @@ fn schedule_replicas<'scope, 'env, W>(
             };
             span_end(prof, Category::OriginalStateGen, validated, t0);
             scope.spawn_urgent(move || {
+                // Fault guard at task entry: the fork is untouched and no
+                // protocol counter is recorded yet, so an in-place retry
+                // replays once, on the replica's original derived stream.
+                fault::recovery_guard(
+                    ctx.faults,
+                    FaultSite::Replica {
+                        boundary,
+                        replica: j,
+                    },
+                    ctx.telemetry,
+                );
                 let prof = profiler_of(ctx.telemetry);
                 let t0 = span_start(prof);
                 let replayed = replay_replica(ctx, st, boundary, j, replay);
@@ -268,6 +299,14 @@ fn schedule_replicas<'scope, 'env, W>(
         }
         // Final replica: takes the snapshot by move — no clone.
         let last = m - 1;
+        fault::recovery_guard(
+            ctx.faults,
+            FaultSite::Replica {
+                boundary,
+                replica: last,
+            },
+            ctx.telemetry,
+        );
         let t0 = span_start(prof);
         let replayed = replay_replica(ctx, snapshot, boundary, last, replay);
         span_end(prof, Category::OriginalStateGen, validated, t0);
@@ -280,6 +319,120 @@ fn schedule_replicas<'scope, 'env, W>(
 fn replay_bounds(plan: &ChunkPlan, boundary: usize, k: usize) -> (usize, usize) {
     let range = plan.chunk(boundary);
     (range.end.saturating_sub(k).max(range.start), range.end)
+}
+
+/// Spawn attempt `attempt` of chunk `c`'s breadth candidate `j`:
+/// attempt 0 on the normal lane (commit order), fault-plan retries back
+/// onto the urgent lane so recovery overtakes queued speculation. The
+/// fault guard runs at task entry, before any protocol recording or
+/// compute, so the body executes — and records its telemetry — exactly
+/// once, on the clearing attempt, on the candidate's original derived
+/// streams; recovery is therefore bit-identical to a fault-free run.
+fn spawn_chunk_candidate<'scope, 'env, W>(
+    scope: &'scope PoolScope<'scope, 'env>,
+    ctx: RunCtx<'env, W>,
+    c: usize,
+    j: usize,
+    range: std::ops::Range<usize>,
+    tx: Sender<WorkerResult<W::State, W::Output>>,
+    attempt: usize,
+) where
+    W: StateDependence + Sync,
+{
+    let task = move || {
+        match fault::chunk_attempt(ctx.faults, c, j, attempt, ctx.telemetry) {
+            ChunkAttempt::Respawn => {
+                spawn_chunk_candidate(scope, ctx, c, j, range, tx, attempt + 1);
+                return;
+            }
+            ChunkAttempt::Proceed => {}
+        }
+        let prof = profiler_of(ctx.telemetry);
+        let busy_start = monotonic_ns();
+        if j == 0 {
+            if let Some(t) = ctx.telemetry {
+                t.incr(c, Counter::ChunksStarted);
+                t.event(&Event::ChunkStarted {
+                    chunk: c,
+                    len: range.len(),
+                });
+            }
+        }
+        let (spec_state, start_state) = if c == 0 {
+            (None, ctx.workload.fresh_state())
+        } else {
+            if let Some(t) = ctx.telemetry {
+                t.incr(c, Counter::SpecCandidates);
+            }
+            let warm_role = if j == 0 {
+                StreamRole::AltProducer(c)
+            } else {
+                StreamRole::AltCandidate {
+                    chunk: c,
+                    candidate: j,
+                }
+            };
+            let t_warm = span_start(prof);
+            let mut rng = StatsRng::derive(ctx.master_seed, warm_role);
+            let mut st = ctx.workload.fresh_state();
+            for input in &ctx.inputs[range.start - ctx.k..range.start] {
+                ctx.workload.update(&mut st, input, &mut rng);
+            }
+            span_end(prof, Category::AltProducer, c, t_warm);
+            // Speculative-state hand-off to the coordinator
+            // (Fig. 6), once per candidate.
+            if let Some(t) = ctx.telemetry {
+                t.incr(c, Counter::StateCopies);
+                t.add(c, Counter::StateBytesLogical, ctx.state_bytes);
+                t.add(
+                    c,
+                    Counter::StateBytesCopied,
+                    ctx.workload.snapshot_copy_bytes(ctx.strategy),
+                );
+            }
+            let t_copy = span_start(prof);
+            let spec = ctx.workload.snapshot_state(&mut st, ctx.strategy);
+            span_end(prof, Category::StateCopy, c, t_copy);
+            (Some(spec), st)
+        };
+        let run_role = if j == 0 {
+            StreamRole::Chunk(c)
+        } else {
+            StreamRole::ChunkCandidate {
+                chunk: c,
+                candidate: j,
+            }
+        };
+        let mut rng = StatsRng::derive(ctx.master_seed, run_role);
+        let t_run = span_start(prof);
+        let run = run_segment(
+            ctx.workload,
+            start_state,
+            ctx.inputs,
+            range,
+            ctx.k,
+            ctx.strategy,
+            &mut rng,
+        );
+        span_end(prof, Category::ChunkCompute, c, t_run);
+        if let Some(t) = ctx.telemetry {
+            t.add(c, Counter::StateBytesCopied, run.materialized);
+            t.add(c, Counter::BusyTime, ns_since(busy_start));
+            t.queue_enter();
+        }
+        tx.send(WorkerResult {
+            spec_state,
+            outputs: run.outputs,
+            snapshot: Some(run.snapshot),
+            final_state: run.final_state,
+        })
+        .expect("coordinator alive");
+    };
+    if attempt == 0 {
+        scope.spawn(task);
+    } else {
+        scope.spawn_urgent(task);
+    }
 }
 
 /// Run the STATS protocol on real threads (a transient worker pool sized
@@ -414,9 +567,10 @@ where
     )
 }
 
-/// The pooled, pipelined executor: [`run_threaded_planned_observed`] on a
-/// caller-provided pool. Every other `run_threaded_*` entry point lowers
-/// to this function.
+/// [`run_threaded_planned_observed`] on a caller-provided pool, with no
+/// faults injected — a thin wrapper threading the empty plan through
+/// [`run_threaded_planned_faulted_on`], bit-identical to the pre-fault
+/// executor.
 ///
 /// # Panics
 ///
@@ -430,6 +584,81 @@ pub fn run_threaded_planned_on<W>(
     config: Config,
     plan: ChunkPlan,
     master_seed: u64,
+    telemetry: Option<&TelemetrySink>,
+) -> ThreadedRun<W::Output>
+where
+    W: StateDependence + Sync,
+{
+    run_threaded_planned_faulted_on(
+        pool,
+        workload,
+        inputs,
+        config,
+        plan,
+        master_seed,
+        &NO_FAULTS,
+        telemetry,
+    )
+}
+
+/// [`run_threaded_on`] under a deterministic [`FaultPlan`]: injections
+/// fire at their addressed task sites and the recovery guards retry with
+/// exponential backoff (chunk tasks re-spawn on the urgent lane,
+/// state-carrying tasks retry in place). For a recoverable plan the run's
+/// outputs, decisions, quality, and protocol counters are bit-identical
+/// to the fault-free run — only the fault counters/events and wall time
+/// differ (see [`crate::fault`] for the argument).
+///
+/// # Panics
+///
+/// Panics if `config` is invalid for `inputs.len()`, a pool task panics,
+/// or an injection exhausts [`FaultPlan::max_retries`] (the run then
+/// fails fast with the injection as the payload).
+pub fn run_threaded_faulted_on<W>(
+    pool: &WorkerPool,
+    workload: &W,
+    inputs: &[W::Input],
+    config: Config,
+    master_seed: u64,
+    faults: &FaultPlan,
+    telemetry: Option<&TelemetrySink>,
+) -> ThreadedRun<W::Output>
+where
+    W: StateDependence + Sync,
+{
+    config
+        .validate(inputs.len())
+        .expect("invalid configuration for input length");
+    let plan = plan_balanced(inputs.len(), config.chunks);
+    run_threaded_planned_faulted_on(
+        pool,
+        workload,
+        inputs,
+        config,
+        plan,
+        master_seed,
+        faults,
+        telemetry,
+    )
+}
+
+/// The pooled, pipelined executor: every other `run_threaded_*` entry
+/// point lowers to this function, non-faulted callers via the empty
+/// plan.
+///
+/// # Panics
+///
+/// Panics if the plan does not match the configuration, a pool task
+/// panics, or `faults` exhausts its retry bound.
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_planned_faulted_on<W>(
+    pool: &WorkerPool,
+    workload: &W,
+    inputs: &[W::Input],
+    config: Config,
+    plan: ChunkPlan,
+    master_seed: u64,
+    faults: &FaultPlan,
     telemetry: Option<&TelemetrySink>,
 ) -> ThreadedRun<W::Output>
 where
@@ -456,6 +685,7 @@ where
         strategy: config.snapshot,
         state_bytes: workload.state_bytes() as u64,
         telemetry,
+        faults,
     };
 
     // Chunk-result channels, one per (chunk, candidate); the sending half
@@ -503,89 +733,7 @@ where
         // their own derived streams, sampling alternative start states.
         for (c, txs) in result_tx.into_iter().enumerate() {
             for (j, tx) in txs.into_iter().enumerate() {
-                let range = plan.chunk(c);
-                scope.spawn(move || {
-                    let prof = profiler_of(ctx.telemetry);
-                    let busy_start = monotonic_ns();
-                    if j == 0 {
-                        if let Some(t) = ctx.telemetry {
-                            t.incr(c, Counter::ChunksStarted);
-                            t.event(&Event::ChunkStarted {
-                                chunk: c,
-                                len: range.len(),
-                            });
-                        }
-                    }
-                    let (spec_state, start_state) = if c == 0 {
-                        (None, ctx.workload.fresh_state())
-                    } else {
-                        if let Some(t) = ctx.telemetry {
-                            t.incr(c, Counter::SpecCandidates);
-                        }
-                        let warm_role = if j == 0 {
-                            StreamRole::AltProducer(c)
-                        } else {
-                            StreamRole::AltCandidate {
-                                chunk: c,
-                                candidate: j,
-                            }
-                        };
-                        let t_warm = span_start(prof);
-                        let mut rng = StatsRng::derive(ctx.master_seed, warm_role);
-                        let mut st = ctx.workload.fresh_state();
-                        for input in &ctx.inputs[range.start - ctx.k..range.start] {
-                            ctx.workload.update(&mut st, input, &mut rng);
-                        }
-                        span_end(prof, Category::AltProducer, c, t_warm);
-                        // Speculative-state hand-off to the coordinator
-                        // (Fig. 6), once per candidate.
-                        if let Some(t) = ctx.telemetry {
-                            t.incr(c, Counter::StateCopies);
-                            t.add(c, Counter::StateBytesLogical, ctx.state_bytes);
-                            t.add(
-                                c,
-                                Counter::StateBytesCopied,
-                                ctx.workload.snapshot_copy_bytes(ctx.strategy),
-                            );
-                        }
-                        let t_copy = span_start(prof);
-                        let spec = ctx.workload.snapshot_state(&mut st, ctx.strategy);
-                        span_end(prof, Category::StateCopy, c, t_copy);
-                        (Some(spec), st)
-                    };
-                    let run_role = if j == 0 {
-                        StreamRole::Chunk(c)
-                    } else {
-                        StreamRole::ChunkCandidate {
-                            chunk: c,
-                            candidate: j,
-                        }
-                    };
-                    let mut rng = StatsRng::derive(ctx.master_seed, run_role);
-                    let t_run = span_start(prof);
-                    let run = run_segment(
-                        ctx.workload,
-                        start_state,
-                        ctx.inputs,
-                        range,
-                        ctx.k,
-                        ctx.strategy,
-                        &mut rng,
-                    );
-                    span_end(prof, Category::ChunkCompute, c, t_run);
-                    if let Some(t) = ctx.telemetry {
-                        t.add(c, Counter::StateBytesCopied, run.materialized);
-                        t.add(c, Counter::BusyTime, ns_since(busy_start));
-                        t.queue_enter();
-                    }
-                    tx.send(WorkerResult {
-                        spec_state,
-                        outputs: run.outputs,
-                        snapshot: Some(run.snapshot),
-                        final_state: run.final_state,
-                    })
-                    .expect("coordinator alive");
-                });
+                spawn_chunk_candidate(scope, ctx, c, j, plan.chunk(c), tx, 0);
             }
         }
 
@@ -602,7 +750,16 @@ where
             let mut cand_results = Vec::with_capacity(result_rx[c].len());
             for rx in &result_rx[c] {
                 let t_recv = span_start(prof);
-                let result = rx.recv().expect("chunk task alive");
+                let result = match rx.recv() {
+                    Ok(result) => result,
+                    Err(_) => {
+                        // The producer died without delivering: its buffer
+                        // is gone with it — count the leak rather than let
+                        // the free-list alias a half-written state.
+                        states.note_leak();
+                        panic!("chunk {c} candidate task died before delivering its result");
+                    }
+                };
                 span_end(prof, Category::Sync, c, t_recv);
                 if let Some(t) = telemetry {
                     t.queue_leave();
@@ -635,7 +792,22 @@ where
             // by the coordinator on a commit, by the rerun's first segment
             // on an overlapped abort.
             let t_wait = span_start(prof);
-            let replica_states = replica_sets[c - 1].wait();
+            let replica_states = match replica_sets[c - 1].wait_unless(|| scope.poisoned()) {
+                Ok(states) => states,
+                Err(missing) => {
+                    // A replica task died before its `put`; the rendezvous
+                    // can never fill. Count each undelivered buffer as
+                    // leaked and re-raise through the scope.
+                    for _ in 0..missing {
+                        states.note_leak();
+                    }
+                    panic!(
+                        "replica rendezvous for boundary {} abandoned with {missing} \
+                         replica(s) undelivered",
+                        c - 1
+                    );
+                }
+            };
             span_end(prof, Category::Sync, c, t_wait);
             if let Some(t) = telemetry {
                 // One state materialization per replica: m-1 pool-recycled
@@ -659,13 +831,24 @@ where
             // synchronized on here.
             let pf = if let Some(xrx) = pending_rerun.take() {
                 let t_rr = span_start(prof);
-                let rerun = xrx.recv().expect("rerun task alive");
+                let rerun = match xrx.recv() {
+                    Ok(rerun) => rerun,
+                    Err(_) => {
+                        states.note_leak();
+                        panic!("overlapped rerun of chunk {} died before delivering", c - 1);
+                    }
+                };
                 span_end(prof, Category::Sync, c - 1, t_rr);
                 outputs_per_chunk.push(rerun.outputs);
                 rerun.final_state
             } else {
                 prev_final.take().expect("previous final state")
             };
+            // A spurious `states_match` transfer failure surfaces here, on
+            // the coordinator, before any comparison is recorded: the guard
+            // retries (with backoff) until the injection clears, then the
+            // comparison loop below runs — and counts — exactly once.
+            fault::recovery_guard(ctx.faults, FaultSite::Transfer { chunk: c }, telemetry);
             // Candidate-major ordered comparison: for each candidate in
             // index order, the producer's own final state first, then the
             // replicas — identical order (and comparison count) to the
@@ -791,6 +974,14 @@ where
                     let set = (c + 1 < chunks).then(|| &replica_sets[c]);
                     let states_ref = &states;
                     scope.spawn_urgent(move || {
+                        fault::recovery_guard(
+                            ctx.faults,
+                            FaultSite::Rerun {
+                                chunk: c,
+                                segment: 0,
+                            },
+                            ctx.telemetry,
+                        );
                         let prof = profiler_of(ctx.telemetry);
                         let seg_start = monotonic_ns();
                         if let Some(t) = ctx.telemetry {
@@ -830,6 +1021,14 @@ where
                         // Segment 1: the trailing-k suffix, overlapping the
                         // replicas scheduled above.
                         scope.spawn_urgent(move || {
+                            fault::recovery_guard(
+                                ctx.faults,
+                                FaultSite::Rerun {
+                                    chunk: c,
+                                    segment: 1,
+                                },
+                                ctx.telemetry,
+                            );
                             let prof = profiler_of(ctx.telemetry);
                             let seg_start = monotonic_ns();
                             if let Some(t) = ctx.telemetry {
@@ -873,6 +1072,14 @@ where
                     // channel. The coordinator blocks here — re-execution
                     // is serialized by the protocol anyway (§II-B).
                     scope.spawn_urgent(move || {
+                        fault::recovery_guard(
+                            ctx.faults,
+                            FaultSite::Rerun {
+                                chunk: c,
+                                segment: 0,
+                            },
+                            ctx.telemetry,
+                        );
                         let prof = profiler_of(ctx.telemetry);
                         let rerun_start = monotonic_ns();
                         if let Some(t) = ctx.telemetry {
@@ -913,7 +1120,13 @@ where
                         }
                     });
                     let t_rr = span_start(prof);
-                    let rerun = xrx.recv().expect("rerun task alive");
+                    let rerun = match xrx.recv() {
+                        Ok(rerun) => rerun,
+                        Err(_) => {
+                            states.note_leak();
+                            panic!("serialized rerun of chunk {c} died before delivering");
+                        }
+                    };
                     span_end(prof, Category::Sync, c, t_rr);
                     prev_final = Some(rerun.final_state);
                     if c + 1 < chunks {
@@ -935,7 +1148,16 @@ where
         // with; resolve it before the scope closes.
         if let Some(xrx) = pending_rerun.take() {
             let t_rr = span_start(prof);
-            let rerun = xrx.recv().expect("rerun task alive");
+            let rerun = match xrx.recv() {
+                Ok(rerun) => rerun,
+                Err(_) => {
+                    states.note_leak();
+                    panic!(
+                        "overlapped rerun of chunk {} died before delivering",
+                        chunks - 1
+                    );
+                }
+            };
             span_end(prof, Category::Sync, chunks - 1, t_rr);
             outputs_per_chunk.push(rerun.outputs);
         }

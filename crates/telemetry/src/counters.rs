@@ -53,10 +53,16 @@ pub enum Counter {
     /// Worker time spent waiting on the protocol (ns on threads, cycles
     /// simulated).
     IdleTime,
+    /// Fault-plan injections that fired (one per failed attempt).
+    FaultsInjected,
+    /// Retries the fault-recovery guards scheduled (bounded per site).
+    RetriesScheduled,
+    /// Pool workers doomed by injected worker-death faults.
+    WorkersLost,
 }
 
 /// All counters, in presentation order.
-pub const COUNTERS: [Counter; 14] = [
+pub const COUNTERS: [Counter; 17] = [
     Counter::ChunksStarted,
     Counter::ChunksCommitted,
     Counter::ChunksAborted,
@@ -71,6 +77,9 @@ pub const COUNTERS: [Counter; 14] = [
     Counter::StateBytesCopied,
     Counter::BusyTime,
     Counter::IdleTime,
+    Counter::FaultsInjected,
+    Counter::RetriesScheduled,
+    Counter::WorkersLost,
 ];
 
 impl Counter {
@@ -91,6 +100,9 @@ impl Counter {
             Counter::StateBytesCopied => "state_bytes_copied",
             Counter::BusyTime => "busy_time",
             Counter::IdleTime => "idle_time",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::RetriesScheduled => "retries_scheduled",
+            Counter::WorkersLost => "workers_lost",
         }
     }
 

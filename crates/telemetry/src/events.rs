@@ -82,6 +82,29 @@ pub enum Event {
         /// 0-based segment index within the rerun.
         segment: usize,
     },
+    /// A fault-plan injection fired in a protocol task.
+    FaultInjected {
+        /// Chunk the faulted task belongs to (boundary chunk for
+        /// replica replays).
+        chunk: usize,
+        /// Task class (`"chunk"`, `"replica"`, `"rerun"`, `"transfer"`).
+        task: &'static str,
+        /// Within-class slot: candidate, replica, or segment index.
+        index: usize,
+        /// 0-based attempt the injection fired on.
+        attempt: usize,
+        /// Injected fault kind (snake_case).
+        kind: &'static str,
+    },
+    /// A faulted task's bounded-retry recovery cleared.
+    RecoveryFinished {
+        /// Chunk the recovered task belongs to.
+        chunk: usize,
+        /// Task class (`"chunk"`, `"replica"`, `"rerun"`, `"transfer"`).
+        task: &'static str,
+        /// Retries the recovery consumed.
+        retries: usize,
+    },
     /// The run left the STATS region.
     RunFinished {
         /// Committed chunk count (excludes chunk 0).
@@ -183,6 +206,8 @@ impl Event {
             Event::ChunkAborted { .. } => "chunk_aborted",
             Event::RerunFinished { .. } => "rerun_finished",
             Event::RerunSegmentFinished { .. } => "rerun_segment_finished",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::RecoveryFinished { .. } => "recovery_finished",
             Event::RunFinished { .. } => "run_finished",
             Event::TuneIteration { .. } => "tune_iteration",
             Event::TuneBatch { .. } => "tune_batch",
@@ -247,6 +272,28 @@ impl Event {
             Event::RerunSegmentFinished { chunk, segment } => {
                 o.u64("chunk", *chunk as u64)
                     .u64("segment", *segment as u64);
+            }
+            Event::FaultInjected {
+                chunk,
+                task,
+                index,
+                attempt,
+                kind,
+            } => {
+                o.u64("chunk", *chunk as u64)
+                    .str("task", task)
+                    .u64("index", *index as u64)
+                    .u64("attempt", *attempt as u64)
+                    .str("kind", kind);
+            }
+            Event::RecoveryFinished {
+                chunk,
+                task,
+                retries,
+            } => {
+                o.u64("chunk", *chunk as u64)
+                    .str("task", task)
+                    .u64("retries", *retries as u64);
             }
             Event::RunFinished {
                 committed,
@@ -445,6 +492,18 @@ mod tests {
                 chunk: 2,
                 segment: 1,
             },
+            Event::FaultInjected {
+                chunk: 2,
+                task: "replica",
+                index: 1,
+                attempt: 0,
+                kind: "poisoned_snapshot",
+            },
+            Event::RecoveryFinished {
+                chunk: 2,
+                task: "replica",
+                retries: 1,
+            },
             Event::RunFinished {
                 committed: 2,
                 aborted: 1,
@@ -514,6 +573,8 @@ mod tests {
                 "chunk_committed",
                 "chunk_started",
                 "diagnostic",
+                "fault_injected",
+                "recovery_finished",
                 "rerun_finished",
                 "rerun_segment_finished",
                 "run_finished",

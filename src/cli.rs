@@ -18,15 +18,17 @@
 //! Argument parsing is hand-rolled (the workbench's dependency policy
 //! keeps the offline crate set minimal) and unit-tested.
 
-use stats_bench::native_attribution::{profile_workload_configured, render_profile_table};
+use stats_bench::native_attribution::{profile_workload_faulted, render_profile_table};
 use stats_bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
 use stats_core::report::ChunkDecision;
 use stats_core::runtime::pool::{default_workers, WorkerPool};
 use stats_core::runtime::simulated::SimulatedRuntime;
-use stats_core::runtime::threaded::run_threaded_on;
-use stats_core::SnapshotStrategy;
+use stats_core::runtime::threaded::{run_threaded_faulted_on, run_threaded_on};
+use stats_core::{FaultPlan, FaultSpec, SnapshotStrategy};
 use stats_telemetry::json::JsonObject;
-use stats_telemetry::{export, Event, Profiler, TelemetrySink, WallAttribution, WallProfile};
+use stats_telemetry::{
+    export, Counter, Event, Profiler, TelemetrySink, WallAttribution, WallProfile,
+};
 use stats_workloads::{dispatch, Workload, WorkloadVisitor, EXTENDED_BENCHMARK_NAMES};
 use std::fmt;
 
@@ -186,6 +188,10 @@ pub struct Options {
     /// Split each mispeculation rerun into pool segments so recovery
     /// overlaps with downstream validation (`--overlap-rerun`).
     pub overlap_rerun: bool,
+    /// Seeded fault injection into the native run (`--faults COUNT[@SEED]`):
+    /// the plan is resolved against the run's configuration, and recovery
+    /// must leave decisions/outputs bit-identical.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for Options {
@@ -203,6 +209,7 @@ impl Default for Options {
             snapshot: None,
             breadth: None,
             overlap_rerun: false,
+            faults: None,
         }
     }
 }
@@ -251,6 +258,9 @@ OPTIONS:
                    design space gains the breadth dimension 1|2|K)
   --overlap-rerun  split mispeculation reruns into pool segments so
                    recovery overlaps with downstream validation
+  --faults C[@S]   inject C seeded recoverable faults (plan seed S,
+                   default 0) into the native run; recovery must leave
+                   results bit-identical (run with --workers; profile)
   --budget N       tuning evaluations     (default 80; tune only)
   --telemetry PATH write a JSONL telemetry event log (run/tune)
   --json           machine-readable run summary   (run only)
@@ -370,6 +380,9 @@ fn parse_options(args: &[String]) -> Result<ParsedArgs, ParseError> {
             "--overlap-rerun" => {
                 opts.overlap_rerun = true;
             }
+            "--faults" => {
+                opts.faults = Some(FaultSpec::parse(&take_value("--faults")?).map_err(ParseError)?);
+            }
             "--seeds" => {
                 seeds = take_value("--seeds")?
                     .parse()
@@ -424,6 +437,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     if opts.profile && opts.workers.is_none() && matches!(sub.as_str(), "run" | "tune") {
         return Err(ParseError(
             "--profile attributes the native replay, so it requires --workers".into(),
+        ));
+    }
+    if opts.faults.is_some() && opts.workers.is_none() && sub == "run" {
+        return Err(ParseError(
+            "--faults injects into the native pooled runtime, so it requires --workers".into(),
+        ));
+    }
+    if opts.faults.is_some() && !matches!(sub.as_str(), "run" | "profile") {
+        return Err(ParseError(
+            "--faults applies to run and profile only".into(),
         ));
     }
     match sub.as_str() {
@@ -578,10 +601,16 @@ impl WorkloadVisitor for RunCmd<'_> {
         let rt = SimulatedRuntime::paper_machine();
         // With --workers the live telemetry comes from the pooled threaded
         // runtime; the simulated run still supplies the model metrics
-        // (speedup, accounting) and the parity cross-check.
-        let native = self
-            .pool
-            .map(|pool| run_threaded_on(pool, w, &inputs, cfg, self.opts.seed, Some(&sink)));
+        // (speedup, accounting) and the parity cross-check. --faults
+        // resolves its seeded plan here and injects into the native run;
+        // the parity check below then doubles as the recovery contract.
+        let faults = self.opts.faults.map(|spec| spec.plan(&cfg, inputs.len()));
+        let native = self.pool.map(|pool| match &faults {
+            Some(plan) => {
+                run_threaded_faulted_on(pool, w, &inputs, cfg, self.opts.seed, plan, Some(&sink))
+            }
+            None => run_threaded_on(pool, w, &inputs, cfg, self.opts.seed, Some(&sink)),
+        });
         let report = rt
             .run_observed(
                 w.name(),
@@ -642,6 +671,14 @@ impl WorkloadVisitor for RunCmd<'_> {
                     .f64("native_ms", t.elapsed.as_secs_f64() * 1e3)
                     .bool("decisions_match", decisions_match);
             }
+            if let Some(plan) = &faults {
+                let mut f = JsonObject::new();
+                f.u64("planned", plan.injections().len() as u64)
+                    .u64("injected", snap.get(Counter::FaultsInjected))
+                    .u64("retries", snap.get(Counter::RetriesScheduled))
+                    .u64("workers_lost", snap.get(Counter::WorkersLost));
+                o.raw("faults", &f.finish());
+            }
             if let Some(a) = &wall {
                 o.raw("profile", &a.to_json());
             }
@@ -679,6 +716,15 @@ impl WorkloadVisitor for RunCmd<'_> {
                 } else {
                     "DIVERGE from"
                 },
+            ));
+        }
+        if let Some(plan) = &faults {
+            out.push_str(&format!(
+                "faults:        {} planned | {} injected, {} retries, {} workers lost\n",
+                plan.injections().len(),
+                snap.get(Counter::FaultsInjected),
+                snap.get(Counter::RetriesScheduled),
+                snap.get(Counter::WorkersLost),
             ));
         }
         if let Some(a) = &wall {
@@ -960,7 +1006,10 @@ impl WorkloadVisitor for ProfileCmd<'_> {
         if self.opts.overlap_rerun {
             cfg.overlap_rerun = true;
         }
-        let report = profile_workload_configured(w, pool, self.opts.scale, &seeds, cfg);
+        let plan = self.opts.faults.map_or_else(FaultPlan::none, |spec| {
+            spec.plan(&cfg, self.opts.scale.inputs_for(w))
+        });
+        let report = profile_workload_faulted(w, pool, self.opts.scale, &seeds, cfg, &plan);
         Ok(match self.format {
             ProfileFormat::Table => render_profile_table(&report),
             ProfileFormat::Json => format!("{}\n", report.to_json()),
@@ -1570,6 +1619,87 @@ mod tests {
         assert!(parse(&args("run bodytrack --breadth 0")).is_err());
         assert!(parse(&args("run bodytrack --breadth wide")).is_err());
         assert!(parse(&args("run bodytrack --breadth")).is_err());
+    }
+
+    #[test]
+    fn parses_faults_spec() {
+        match parse(&args("run swaptions --workers 2 --faults 4@7")).unwrap() {
+            Command::Run { opts, .. } => {
+                assert_eq!(opts.faults, Some(FaultSpec { count: 4, seed: 7 }));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Bare COUNT defaults the plan seed to 0; profile is always
+        // native, so it needs no --workers.
+        match parse(&args("profile swaptions --faults 3")).unwrap() {
+            Command::Profile { opts, .. } => {
+                assert_eq!(opts.faults, Some(FaultSpec { count: 3, seed: 0 }));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&args("run swaptions --workers 2 --faults 0")).is_err());
+        assert!(parse(&args("run swaptions --workers 2 --faults x@1")).is_err());
+        assert!(parse(&args("run swaptions --workers 2 --faults")).is_err());
+        // Injection happens in the pooled runtime: run needs --workers,
+        // and the other subcommands reject the flag outright.
+        assert!(parse(&args("run swaptions --faults 4")).is_err());
+        assert!(parse(&args("tune swaptions --faults 4 --workers 2")).is_err());
+        assert!(parse(&args("metrics swaptions --faults 4")).is_err());
+    }
+
+    #[test]
+    fn run_with_faults_recovers_invisibly() {
+        // The recovery contract end to end through the CLI: the injected
+        // faults fire (visible in the fault counters) yet the decision
+        // sequence still matches the fault-free simulated run.
+        let cmd = parse(&args(
+            "run swaptions --scale 0.05 --chunks 8 --workers 2 --faults 5@9",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("faults:"), "missing fault line:\n{out}");
+        assert!(out.contains("5 planned"), "plan size echoed:\n{out}");
+        assert!(
+            out.contains("decisions match simulated"),
+            "faulted threaded must agree with fault-free simulated:\n{out}"
+        );
+    }
+
+    #[test]
+    fn run_json_reports_fault_plane() {
+        let cmd = parse(&args(
+            "run swaptions --scale 0.05 --chunks 8 --workers 2 --faults 5@9 --json",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        stats_telemetry::json::validate(out.trim())
+            .unwrap_or_else(|e| panic!("invalid --json summary: {e}\n{out}"));
+        assert!(out.contains("\"faults\":{"));
+        assert!(out.contains("\"planned\":5"));
+        assert!(out.contains("\"decisions_match\":true"));
+        // The fault counters also ride along in the embedded snapshot.
+        assert!(out.contains("\"faults_injected\":"));
+    }
+
+    #[test]
+    fn profile_with_faults_prints_the_fault_plane() {
+        let cmd = parse(&args(
+            "profile swaptions --scale 0.05 --workers 2 --seeds 2 --faults 4@7",
+        ))
+        .unwrap();
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("fault plane:"), "missing fault plane:\n{out}");
+        assert!(out.contains("4 planned"), "plan size echoed:\n{out}");
+        let json = execute(
+            parse(&args(
+                "profile swaptions --scale 0.05 --workers 2 --faults 4@7 --format json",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        stats_telemetry::json::validate(json.trim())
+            .unwrap_or_else(|e| panic!("invalid profile json: {e}\n{json}"));
+        assert!(json.contains("\"faults\":{"));
     }
 
     #[test]

@@ -153,6 +153,16 @@ fn copies_free_whatif_brackets_the_achieved_cow_speedup() {
             let cow = profile_workload_configured(w, &pool, SCALE, &seeds, cow_cfg);
             assert!(deep.parity && cow.parity, "{}: parity broken", w.name());
 
+            // Both bracket edges compare wall-clock speedups of *different*
+            // runs, so they need the host to actually run the workers in
+            // parallel: on a time-shared host with fewer threads than the
+            // pool, each edge measures OS preemption luck, not snapshot
+            // cost, and even the 25% allowance flakes. Gate like the
+            // breadth bracket's floor below; `native_copies --gate` in CI
+            // enforces the same bracket at 10% on more reps.
+            if stats_workbench::core::runtime::pool::default_workers() < WORKERS {
+                return;
+            }
             let ceiling =
                 (deep.whatif_copies_free.mean + deep.whatif_copies_free.half_width) * BRACKET_SLACK;
             let floor = (deep.measured.mean - deep.measured.half_width) / BRACKET_SLACK;
@@ -218,7 +228,13 @@ fn mispeculation_free_whatif_brackets_the_achieved_breadth_speedup() {
             assert!(narrow.parity && wide.parity, "{}: parity broken", w.name());
 
             // The whole point: candidates rescue chunks, so the
-            // mispeculation loss share strictly shrinks.
+            // mispeculation loss share strictly shrinks. Like the floor
+            // below, the share assertions are gated on host parallelism:
+            // with fewer host threads than the pool is wide, the captured
+            // span timeline is an artifact of OS time-sharing and the
+            // critical-path model can hide the single rerun entirely,
+            // attributing exactly zero mispeculation loss to a run that
+            // demonstrably aborted.
             let mispec = |r: &stats_workbench::bench::native_attribution::ProfileReport| {
                 r.normalized_losses()
                     .iter()
@@ -226,18 +242,20 @@ fn mispeculation_free_whatif_brackets_the_achieved_breadth_speedup() {
                     .map_or(0.0, |(_, s)| *s)
             };
             let (narrow_share, wide_share) = (mispec(&narrow), mispec(&wide));
-            assert!(
-                narrow_share > 0.0,
-                "{}: expected an abort-heavy breadth-1 baseline, got zero \
-                 mispeculation share",
-                w.name()
-            );
-            assert!(
-                wide_share < narrow_share,
-                "{}: mispeculation share did not shrink ({narrow_share:.4} -> \
-                 {wide_share:.4})",
-                w.name()
-            );
+            if stats_workbench::core::runtime::pool::default_workers() >= width {
+                assert!(
+                    narrow_share > 0.0,
+                    "{}: expected an abort-heavy breadth-1 baseline, got zero \
+                     mispeculation share",
+                    w.name()
+                );
+                assert!(
+                    wide_share < narrow_share,
+                    "{}: mispeculation share did not shrink ({narrow_share:.4} -> \
+                     {wide_share:.4})",
+                    w.name()
+                );
+            }
 
             // Ceiling: rescuing every abort cannot beat the what-if that
             // removed mispeculation for free.

@@ -140,6 +140,87 @@ fn state_pool_high_water_stays_within_capacity() {
 }
 
 #[test]
+fn worker_killed_mid_run_degrades_pool_without_touching_results() {
+    use stats_workbench::core::fault::{FaultKind, FaultSite, Injection};
+    use stats_workbench::core::runtime::threaded::run_threaded_faulted_on;
+    use stats_workbench::core::FaultPlan;
+
+    // 64 chunks on 4 workers with one worker killed mid-run (a
+    // worker-death injection on chunk 7's primary candidate): the pool
+    // degrades to 3 live workers, drains all 64 chunks anyway, and the
+    // results stay bit-identical to the semantic layer. The pool must
+    // remain usable afterwards.
+    let w = BodyTrack::paper();
+    let inputs = w.generate_inputs(INPUTS, SEED);
+    let cfg = oversubscribed_config();
+    let plan = FaultPlan::new(
+        vec![Injection {
+            site: FaultSite::Chunk {
+                chunk: 7,
+                candidate: 0,
+            },
+            kind: FaultKind::WorkerDeath,
+            fail_attempts: 1,
+        }],
+        3,
+    )
+    .expect("valid plan");
+
+    let semantic = run_speculative(&w, &inputs, cfg, SEED);
+    let reference: Vec<ChunkDecision> = semantic.chunks.iter().map(|c| c.decision).collect();
+
+    let pool = WorkerPool::new(4);
+    let faulted = run_threaded_faulted_on(&pool, &w, &inputs, cfg, SEED, &plan, None);
+    assert_eq!(faulted.decisions, reference, "decisions under worker loss");
+    assert_eq!(
+        faulted.outputs, semantic.outputs,
+        "outputs under worker loss"
+    );
+
+    // The doomed worker exits after its fatal job; poll briefly for the
+    // teardown to land, then confirm graceful degradation (not revival:
+    // the pool only revives its *last* worker).
+    let mut live = pool.live_workers();
+    for _ in 0..2000 {
+        if live == 3 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        live = pool.live_workers();
+    }
+    assert_eq!(live, 3, "pool should have lost exactly one worker");
+
+    // The degraded pool still serves later fault-free runs correctly.
+    assert_parity(&pool, &w, SEED);
+}
+
+#[test]
+fn seeded_chaos_survives_oversubscription() {
+    use stats_workbench::core::runtime::threaded::run_threaded_faulted_on;
+    use stats_workbench::core::FaultPlan;
+
+    // A seeded multi-kind plan under 16x oversubscription: recovery
+    // retries ride the urgent lane through a saturated queue and must
+    // still be observationally invisible.
+    let w = StreamClassifier::paper();
+    let inputs = w.generate_inputs(INPUTS, SEED);
+    let cfg = oversubscribed_config();
+    let plan = FaultPlan::seeded(SEED, 6, &cfg, inputs.len());
+    assert!(plan.is_recoverable());
+
+    let semantic = run_speculative(&w, &inputs, cfg, SEED);
+    let reference: Vec<ChunkDecision> = semantic.chunks.iter().map(|c| c.decision).collect();
+
+    let pool = WorkerPool::new(4);
+    let faulted = run_threaded_faulted_on(&pool, &w, &inputs, cfg, SEED, &plan, None);
+    assert_eq!(faulted.decisions, reference, "decisions under seeded chaos");
+    assert_eq!(
+        faulted.outputs, semantic.outputs,
+        "outputs under seeded chaos"
+    );
+}
+
+#[test]
 fn cow_snapshots_are_bit_identical_to_deep_on_every_benchmark() {
     // The tentpole's non-negotiable contract: switching the snapshot
     // strategy must not change one decision or one output bit, on any

@@ -11,9 +11,10 @@
 use stats_telemetry::{Counter, TelemetrySink};
 use stats_trace::CATEGORIES;
 use stats_workbench::bench::pipeline::{tuned_config, Scale, FIGURE_SEED};
+use stats_workbench::core::runtime::pool::WorkerPool;
 use stats_workbench::core::runtime::simulated::SimulatedRuntime;
-use stats_workbench::core::runtime::threaded::run_threaded_observed;
-use stats_workbench::core::ChunkDecision;
+use stats_workbench::core::runtime::threaded::{run_threaded_faulted_on, run_threaded_observed};
+use stats_workbench::core::{ChunkDecision, FaultPlan};
 use stats_workbench::workloads::{dispatch, Workload, WorkloadVisitor, BENCHMARK_NAMES};
 
 const SCALE: Scale = Scale(0.05);
@@ -34,6 +35,14 @@ const PROTOCOL: [Counter; 12] = [
     Counter::SpecCandidates,
     Counter::CandidateHits,
     Counter::RerunSegments,
+];
+
+/// The fault counters, reconciled exactly under injected faults (and
+/// zero without them).
+const FAULTS: [Counter; 3] = [
+    Counter::FaultsInjected,
+    Counter::RetriesScheduled,
+    Counter::WorkersLost,
 ];
 
 struct Reconcile {
@@ -167,6 +176,87 @@ impl WorkloadVisitor for Reconcile {
                 counter.name()
             );
         }
+        // No fault plan, no fault telemetry — on either runtime.
+        for counter in FAULTS {
+            assert_eq!(
+                thr.get(counter),
+                0,
+                "{}: stray {}",
+                w.name(),
+                counter.name()
+            );
+            assert_eq!(
+                sim.get(counter),
+                0,
+                "{}: stray {}",
+                w.name(),
+                counter.name()
+            );
+        }
+    }
+}
+
+/// Under a seeded fault plan, the threaded runtime records fault
+/// counters live (at the recovery guards) while the simulated runtime
+/// derives them post hoc from (config, chunk plan, decisions) — and
+/// they must land on identical totals, alongside the untouched protocol
+/// counters.
+struct ReconcileFaulted {
+    plan_seed: u64,
+    injections: usize,
+}
+
+impl WorkloadVisitor for ReconcileFaulted {
+    type Output = ();
+    fn visit<W: Workload>(self, w: &W) {
+        let n = SCALE.inputs_for(w);
+        let inputs = w.generate_inputs(n, FIGURE_SEED);
+        let cfg = tuned_config(w, 28, SCALE);
+        let plan = FaultPlan::seeded(self.plan_seed, self.injections, &cfg, inputs.len());
+        assert!(plan.is_recoverable());
+
+        let pool = WorkerPool::new(2);
+        let thr_sink = TelemetrySink::new(cfg.chunks);
+        let threaded =
+            run_threaded_faulted_on(&pool, w, &inputs, cfg, FIGURE_SEED, &plan, Some(&thr_sink));
+
+        let sim_sink = TelemetrySink::new(cfg.chunks);
+        let rt = SimulatedRuntime::paper_machine();
+        let report = rt
+            .run_observed_faulted(
+                w.name(),
+                w,
+                &inputs,
+                cfg,
+                w.inner_parallelism(),
+                FIGURE_SEED,
+                &plan,
+                Some(&sim_sink),
+            )
+            .expect("simulated run");
+        assert_eq!(
+            threaded.decisions,
+            report.decisions,
+            "{}: runtimes diverged under faults",
+            w.name()
+        );
+
+        let thr = thr_sink.snapshot();
+        let sim = sim_sink.snapshot();
+        for counter in PROTOCOL.iter().chain(&FAULTS) {
+            assert_eq!(
+                thr.get(*counter),
+                sim.get(*counter),
+                "{}: {} differs between threaded and simulated telemetry under faults",
+                w.name(),
+                counter.name()
+            );
+        }
+        assert!(
+            thr.get(Counter::FaultsInjected) > 0,
+            "{}: the seeded plan injected nothing — the reconciliation is vacuous",
+            w.name()
+        );
     }
 }
 
@@ -178,6 +268,19 @@ fn telemetry_reconciles_with_traces_on_every_benchmark() {
             Reconcile {
                 breadth: 1,
                 overlap: false,
+            },
+        );
+    }
+}
+
+#[test]
+fn fault_counters_reconcile_exactly_between_runtimes() {
+    for (i, name) in BENCHMARK_NAMES.iter().enumerate() {
+        dispatch(
+            name,
+            ReconcileFaulted {
+                plan_seed: FIGURE_SEED + i as u64,
+                injections: 5,
             },
         );
     }
